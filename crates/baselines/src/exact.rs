@@ -1,0 +1,95 @@
+//! Exact dictionary matching (Example 1.1's "Exact Match" baseline).
+
+use aeetes_text::{Dictionary, Document, EntityId, Span, TokenId};
+use std::collections::HashMap;
+
+/// Finds verbatim token-sequence mentions of dictionary entities.
+///
+/// Entities are bucketed by first token; at each document position the
+/// matcher compares every same-first-token entity in full. With natural-
+/// language dictionaries the buckets are tiny, giving near-linear scans.
+#[derive(Debug, Clone)]
+pub struct ExactMatcher {
+    /// first token → entities starting with it
+    heads: HashMap<TokenId, Vec<EntityId>>,
+    entities: Vec<Vec<TokenId>>,
+}
+
+impl ExactMatcher {
+    /// Builds the matcher from a dictionary.
+    pub fn build(dict: &Dictionary) -> Self {
+        let mut heads: HashMap<TokenId, Vec<EntityId>> = HashMap::new();
+        let mut entities = Vec::with_capacity(dict.len());
+        for (id, e) in dict.iter() {
+            if let Some(&first) = e.tokens.first() {
+                heads.entry(first).or_default().push(id);
+            }
+            entities.push(e.tokens.clone());
+        }
+        Self { heads, entities }
+    }
+
+    /// All `(entity, span)` pairs where the span's tokens equal the entity's.
+    pub fn extract(&self, doc: &Document) -> Vec<(EntityId, Span)> {
+        let tokens = doc.tokens();
+        let mut out = Vec::new();
+        for (p, &t) in tokens.iter().enumerate() {
+            let Some(bucket) = self.heads.get(&t) else { continue };
+            for &e in bucket {
+                let pat = &self.entities[e.idx()];
+                if pat.len() <= tokens.len() - p && tokens[p..p + pat.len()] == *pat {
+                    out.push((e, Span::new(p, pat.len())));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeetes_text::{Interner, Tokenizer};
+
+    fn setup(entries: &[&str], doc: &str) -> (ExactMatcher, Document, Dictionary) {
+        let mut int = Interner::new();
+        let tok = Tokenizer::default();
+        let dict = Dictionary::from_strings(entries.iter().copied(), &tok, &mut int);
+        let m = ExactMatcher::build(&dict);
+        let d = Document::parse(doc, &tok, &mut int);
+        (m, d, dict)
+    }
+
+    #[test]
+    fn finds_exact_mentions_only() {
+        let (m, d, _) = setup(
+            &["purdue university usa", "uq au"],
+            "visited purdue university usa not purdue university",
+        );
+        let got = m.extract(&d);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, Span::new(1, 3));
+    }
+
+    #[test]
+    fn overlapping_and_nested_mentions() {
+        let (m, d, _) = setup(&["a b", "b a", "a b a"], "a b a b a");
+        let got = m.extract(&d);
+        // "a b" at 0 and 2; "b a" at 1 and 3; "a b a" at 0 and 2.
+        assert_eq!(got.len(), 6);
+    }
+
+    #[test]
+    fn empty_document_or_dictionary() {
+        let (m, d, _) = setup(&["x"], "");
+        assert!(m.extract(&d).is_empty());
+        let (m2, d2, _) = setup(&[], "x y z");
+        assert!(m2.extract(&d2).is_empty());
+    }
+
+    #[test]
+    fn single_token_entities() {
+        let (m, d, _) = setup(&["mit"], "mit and mit again");
+        assert_eq!(m.extract(&d).len(), 2);
+    }
+}

@@ -1,0 +1,16 @@
+//! Baselines the paper compares against (§6).
+//!
+//! * [`ExactMatcher`] — exact dictionary matching (the "Exact Match"
+//!   approach of Example 1.1): finds only verbatim token-sequence mentions.
+//! * [`Faerie`] — our implementation of the state-of-the-art AEE framework
+//!   of Deng et al. (VLDB J. 24(1), 2015): single-heap grouping of inverted
+//!   lists, lazy-count pruning and windowed occurrence counting.
+//! * **FaerieR** — the paper's extension of Faerie to the AEES problem:
+//!   run Faerie over the *derived* dictionary and map every derived entity
+//!   back to its origin ([`Faerie::build_derived`]).
+
+mod exact;
+mod faerie;
+
+pub use exact::ExactMatcher;
+pub use faerie::{Faerie, FaerieMatch, FaerieStats};

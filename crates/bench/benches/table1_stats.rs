@@ -1,0 +1,29 @@
+//! Table 1 bench: dataset generation and statistics computation for the
+//! three calibrated corpora.
+
+use aeetes_bench::{fixture, profiles, BENCH_SCALE, BENCH_SEED};
+use aeetes_datagen::generate;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for profile in profiles() {
+        let name = profile.name.clone();
+        let scaled = profile.clone().scaled(BENCH_SCALE);
+        g.bench_function(format!("generate/{name}"), |b| {
+            b.iter(|| black_box(generate(&scaled, BENCH_SEED)));
+        });
+        let fx = fixture(profile);
+        g.bench_function(format!("statistics/{name}"), |b| {
+            b.iter(|| black_box(fx.data.statistics(500)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Table 2 bench: cost of the three similarity measures over the gold
+//! pairs — Jaccard, Fuzzy Jaccard and JaccAR verification (the
+//! effectiveness numbers themselves are produced by `experiments table2`).
+
+use aeetes_bench::{fixture, profiles};
+use aeetes_rules::{DeriveConfig, DerivedDictionary};
+use aeetes_sim::{fuzzy_jaccard, jaccard, sorted_set, JaccArVerifier};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(20);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+    for profile in profiles() {
+        let fx = fixture(profile);
+        let dd = DerivedDictionary::build(&fx.data.dictionary, &fx.data.rules, &DeriveConfig::default());
+        let verifier = JaccArVerifier::new(&dd);
+        // Gold pairs as (entity set, substring set, entity strings, sub strings).
+        let pairs: Vec<_> = fx
+            .data
+            .gold
+            .iter()
+            .take(100)
+            .map(|gold| {
+                let sub = fx.data.documents[gold.doc].slice(gold.span);
+                (gold.entity, sorted_set(fx.data.dictionary.entity(gold.entity)), sorted_set(sub))
+            })
+            .collect();
+        let str_pairs: Vec<(Vec<&str>, Vec<&str>)> = fx
+            .data
+            .gold
+            .iter()
+            .take(100)
+            .map(|gold| {
+                let sub = fx.data.documents[gold.doc].slice(gold.span);
+                (
+                    fx.data.dictionary.entity(gold.entity).iter().map(|&t| fx.data.interner.resolve(t)).collect(),
+                    sub.iter().map(|&t| fx.data.interner.resolve(t)).collect(),
+                )
+            })
+            .collect();
+
+        g.bench_function(format!("jaccard/{}", fx.data.name), |b| {
+            b.iter(|| {
+                for (_, e, s) in &pairs {
+                    black_box(jaccard(e, s));
+                }
+            });
+        });
+        g.bench_function(format!("fuzzy_jaccard/{}", fx.data.name), |b| {
+            b.iter(|| {
+                for (e, s) in &str_pairs {
+                    black_box(fuzzy_jaccard(e, s, 0.8));
+                }
+            });
+        });
+        g.bench_function(format!("jaccar/{}", fx.data.name), |b| {
+            b.iter(|| {
+                for (e, _, s) in &pairs {
+                    black_box(verifier.verify(*e, s, 0.7));
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Shared fixtures for the criterion benchmarks.
+//!
+//! Each bench regenerates one table/figure of the paper on small calibrated
+//! corpora (benchmark-friendly scale; the `experiments` binary runs the
+//! same measurements at arbitrary scale).
+
+use aeetes_core::{Aeetes, AeetesConfig};
+use aeetes_datagen::{generate, Dataset, DatasetProfile};
+
+/// Scale used by the benches: small enough for criterion's repetitions.
+pub const BENCH_SCALE: f64 = 0.05;
+
+/// Deterministic seed shared by all benches.
+pub const BENCH_SEED: u64 = 42;
+
+/// The thresholds of the paper's sweeps (subset for bench runtime).
+pub const TAUS: [f64; 3] = [0.7, 0.8, 0.9];
+
+/// One generated dataset and its ready-built engine.
+pub struct Fixture {
+    /// The corpus.
+    pub data: Dataset,
+    /// Engine with synonym rules applied.
+    pub engine: Aeetes,
+}
+
+/// Builds the fixture for one profile at bench scale.
+pub fn fixture(profile: DatasetProfile) -> Fixture {
+    let data = generate(&profile.scaled(BENCH_SCALE), BENCH_SEED);
+    let engine = Aeetes::build(data.dictionary.clone(), &data.rules, AeetesConfig::default());
+    Fixture { data, engine }
+}
+
+/// All three paper profiles.
+pub fn profiles() -> Vec<DatasetProfile> {
+    DatasetProfile::all()
+}

@@ -1,0 +1,96 @@
+//! Tiny flag parser: `--name value` pairs and boolean `--name` switches.
+
+use std::collections::HashMap;
+
+/// Parsed flags of one subcommand.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    /// Parses `argv`; `bool_flags` names the value-less switches.
+    pub fn parse(argv: &[String], bool_flags: &[&str]) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut it = argv.iter();
+        while let Some(flag) = it.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(format!("expected a --flag, got `{flag}`"));
+            };
+            if bool_flags.contains(&name) {
+                out.switches.push(name.to_string());
+            } else {
+                let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+                out.values.insert(name.to_string(), value.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// A required string flag.
+    pub fn required(&self, name: &str) -> Result<&str, String> {
+        self.values.get(name).map(String::as_str).ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// An optional parsed flag with a default.
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{name}: {e}")),
+        }
+    }
+
+    /// Whether a boolean switch was present.
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let a = Args::parse(&argv(&["--tau", "0.8", "--best", "--docs", "d.txt"]), &["best"]).unwrap();
+        assert_eq!(a.required("tau").unwrap(), "0.8");
+        assert_eq!(a.required("docs").unwrap(), "d.txt");
+        assert!(a.switch("best"));
+        assert!(!a.switch("jsonl"));
+        assert_eq!(a.parse_or("tau", 0.0).unwrap(), 0.8);
+        assert_eq!(a.parse_or("threads", 4usize).unwrap(), 4);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(Args::parse(&argv(&["--tau"]), &[]).is_err());
+        assert!(Args::parse(&argv(&["tau", "0.8"]), &[]).is_err());
+    }
+
+    #[test]
+    fn missing_required_flag() {
+        let a = Args::parse(&argv(&[]), &[]).unwrap();
+        assert!(a.required("dict").is_err());
+        assert!(a.optional("dict").is_none());
+    }
+
+    #[test]
+    fn bad_parse_reports_flag_name() {
+        let a = Args::parse(&argv(&["--tau", "xyz"]), &[]).unwrap();
+        let err = a.parse_or("tau", 0.5f64).unwrap_err();
+        assert!(err.contains("--tau"));
+    }
+}

@@ -1,0 +1,44 @@
+//! `aeetes` — command-line entity extraction with synonyms.
+//!
+//! ```text
+//! aeetes build   --dict FILE --rules FILE --out ENGINE [--max-derived N]
+//! aeetes extract --engine ENGINE --docs FILE [--tau F] [--metric NAME]
+//!                [--threads N] [--best] [--format tsv|jsonl]
+//! aeetes stats   --engine ENGINE
+//! aeetes demo
+//! ```
+//!
+//! File formats:
+//! * dictionary — one entity per line;
+//! * rules — one rule per line: `lhs <TAB> rhs [<TAB> weight]`;
+//! * documents — one document per line.
+
+use aeetes_cli::commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match argv.first().map(String::as_str) {
+        Some("build") => commands::build(&argv[1..]),
+        Some("extract") => commands::extract(&argv[1..]),
+        Some("stats") => commands::stats(&argv[1..]),
+        Some("generate") => commands::generate_cmd(&argv[1..]),
+        Some("demo") => commands::demo(),
+        Some("--help" | "-h" | "help") | None => {
+            eprint!("{}", commands::USAGE);
+            if argv.is_empty() {
+                Err("missing subcommand".into())
+            } else {
+                Ok(())
+            }
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}` (try --help)")),
+    }
+    .map_or_else(
+        |err: String| {
+            eprintln!("error: {err}");
+            1
+        },
+        |()| 0,
+    );
+    std::process::exit(code);
+}

@@ -1,0 +1,151 @@
+//! Integration tests for the CLI subcommands: build an engine from files,
+//! run stats, and verify extraction output formats.
+
+use aeetes_cli::commands;
+use std::fs;
+use std::path::PathBuf;
+
+fn workdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("aeetes-cli-test-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp workdir");
+    dir
+}
+
+fn argv(parts: &[String]) -> Vec<String> {
+    parts.to_vec()
+}
+
+fn s(x: &str) -> String {
+    x.to_string()
+}
+
+#[test]
+fn build_stats_extract_round_trip() {
+    let dir = workdir("roundtrip");
+    let dict = dir.join("dict.txt");
+    let rules = dir.join("rules.tsv");
+    let docs = dir.join("docs.txt");
+    let engine = dir.join("engine.aeet");
+    fs::write(&dict, "Purdue University USA\nUQ AU\nMIT\n").unwrap();
+    fs::write(&rules, "UQ\tUniversity of Queensland\nAU\tAustralia\nMIT\tMassachusetts Institute of Technology\t0.95\n")
+        .unwrap();
+    fs::write(&docs, "she visited purdue university usa then mit\nuniversity of queensland australia\n").unwrap();
+
+    commands::build(&argv(&[
+        s("--dict"),
+        dict.display().to_string(),
+        s("--rules"),
+        rules.display().to_string(),
+        s("--out"),
+        engine.display().to_string(),
+    ]))
+    .expect("build succeeds");
+    assert!(engine.exists());
+    assert!(fs::metadata(&engine).unwrap().len() > 32);
+
+    commands::stats(&argv(&[s("--engine"), engine.display().to_string()])).expect("stats succeeds");
+
+    for format in ["tsv", "jsonl"] {
+        commands::extract(&argv(&[
+            s("--engine"),
+            engine.display().to_string(),
+            s("--docs"),
+            docs.display().to_string(),
+            s("--tau"),
+            s("0.8"),
+            s("--best"),
+            s("--format"),
+            s(format),
+        ]))
+        .expect("extract succeeds");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metric_flag_accepted_and_validated() {
+    let dir = workdir("metric");
+    let dict = dir.join("dict.txt");
+    let rules = dir.join("rules.tsv");
+    let docs = dir.join("docs.txt");
+    let engine = dir.join("engine.aeet");
+    fs::write(&dict, "alpha beta\n").unwrap();
+    fs::write(&rules, "alpha\ta1\n").unwrap();
+    fs::write(&docs, "alpha beta here\n").unwrap();
+    commands::build(&argv(&[
+        s("--dict"),
+        dict.display().to_string(),
+        s("--rules"),
+        rules.display().to_string(),
+        s("--out"),
+        engine.display().to_string(),
+    ]))
+    .unwrap();
+    for metric in ["jaccard", "dice", "cosine", "overlap"] {
+        commands::extract(&argv(&[
+            s("--engine"),
+            engine.display().to_string(),
+            s("--docs"),
+            docs.display().to_string(),
+            s("--metric"),
+            s(metric),
+        ]))
+        .unwrap_or_else(|e| panic!("metric {metric}: {e}"));
+    }
+    let err = commands::extract(&argv(&[
+        s("--engine"),
+        engine.display().to_string(),
+        s("--docs"),
+        docs.display().to_string(),
+        s("--metric"),
+        s("nope"),
+    ]))
+    .unwrap_err();
+    assert!(err.contains("unknown metric"));
+    let err = commands::extract(&argv(&[
+        s("--engine"),
+        engine.display().to_string(),
+        s("--docs"),
+        docs.display().to_string(),
+        s("--tau"),
+        s("1.5"),
+    ]))
+    .unwrap_err();
+    assert!(err.contains("--tau"));
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn helpful_errors_for_missing_files_and_flags() {
+    assert!(commands::build(&argv(&[s("--dict"), s("/nonexistent/x")])).is_err());
+    let err = commands::extract(&argv(&[])).unwrap_err();
+    assert!(err.contains("--engine"), "{err}");
+    let err = commands::stats(&argv(&[s("--engine"), s("/nonexistent/engine")])).unwrap_err();
+    assert!(err.contains("/nonexistent/engine"));
+}
+
+#[test]
+fn demo_runs() {
+    commands::demo().expect("demo runs");
+}
+
+#[test]
+fn malformed_rules_file_reports_line() {
+    let dir = workdir("badrules");
+    let dict = dir.join("dict.txt");
+    let rules = dir.join("rules.tsv");
+    fs::write(&dict, "a b\n").unwrap();
+    fs::write(&rules, "only-one-column\n").unwrap();
+    let err = commands::build(&argv(&[
+        s("--dict"),
+        dict.display().to_string(),
+        s("--rules"),
+        rules.display().to_string(),
+        s("--out"),
+        dir.join("e.aeet").display().to_string(),
+    ]))
+    .unwrap_err();
+    assert!(err.contains(":1:"), "line number in: {err}");
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,97 @@
+//! Parallel batch extraction over a document collection.
+//!
+//! The paper's motivating systems "receive many consumer reviews" (§1) —
+//! extraction is embarrassingly parallel across documents because the
+//! engine is immutable after the off-line phase. This helper fans a slice
+//! of documents out over scoped threads and returns per-document results in
+//! input order.
+
+use crate::extractor::Aeetes;
+use crate::matches::Match;
+use aeetes_text::Document;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Extracts from every document with up to `threads` worker threads,
+/// returning `results[i]` = matches of `docs[i]`.
+///
+/// `threads == 0` or `1` runs inline; thread count is clamped to the number
+/// of documents.
+pub fn extract_batch(engine: &Aeetes, docs: &[Document], tau: f64, threads: usize) -> Vec<Vec<Match>> {
+    let threads = threads.clamp(1, docs.len().max(1));
+    if threads <= 1 || docs.len() <= 1 {
+        return docs.iter().map(|d| engine.extract(d, tau)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: std::sync::Mutex<Vec<(usize, Vec<Match>)>> =
+        std::sync::Mutex::new(Vec::with_capacity(docs.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                // Atomic work-stealing by document index keeps long
+                // documents from serializing behind a static partition.
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= docs.len() {
+                    break;
+                }
+                let out = engine.extract(&docs[i], tau);
+                collected.lock().expect("collector lock").push((i, out));
+            });
+        }
+    });
+    let mut collected = collected.into_inner().expect("collector lock");
+    collected.sort_unstable_by_key(|(i, _)| *i);
+    collected.into_iter().map(|(_, out)| out).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AeetesConfig;
+    use aeetes_rules::RuleSet;
+    use aeetes_text::{Dictionary, Interner, Tokenizer};
+
+    fn setup() -> (Aeetes, Vec<Document>) {
+        let mut int = Interner::new();
+        let tok = Tokenizer::default();
+        let mut dict = Dictionary::new();
+        dict.push("purdue university usa", &tok, &mut int);
+        dict.push("uq au", &tok, &mut int);
+        let mut rules = RuleSet::new();
+        rules.push_str("uq", "university of queensland", &tok, &mut int).unwrap();
+        let engine = Aeetes::build(dict, &rules, AeetesConfig::default());
+        let docs: Vec<Document> = [
+            "a visit to purdue university usa was nice",
+            "nothing relevant here at all",
+            "the university of queensland au idea",
+            "purdue university usa and uq au together",
+        ]
+        .iter()
+        .map(|t| Document::parse(t, &tok, &mut int))
+        .collect();
+        (engine, docs)
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (engine, docs) = setup();
+        let serial = extract_batch(&engine, &docs, 0.8, 1);
+        for threads in [2, 3, 8] {
+            let parallel = extract_batch(&engine, &docs, 0.8, threads);
+            assert_eq!(serial, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_docs() {
+        let (engine, _) = setup();
+        assert!(extract_batch(&engine, &[], 0.8, 4).is_empty());
+    }
+
+    #[test]
+    fn zero_threads_runs_inline() {
+        let (engine, docs) = setup();
+        let got = extract_batch(&engine, &docs[..1], 0.8, 0);
+        assert_eq!(got.len(), 1);
+        assert!(!got[0].is_empty());
+    }
+}

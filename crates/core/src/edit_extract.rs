@@ -1,0 +1,348 @@
+//! Character-level (edit-distance) extraction — the paper's future-work
+//! item (ii): "extend our framework to support character-based similarity
+//! functions such as Edit Distance for tolerating typos in documents".
+//!
+//! The asymmetric design carries over directly: rules are applied to the
+//! dictionary off-line, and a substring matches entity `e` when
+//! `ED-AR(e, s) = min over variants eᵢ ∈ D(e) of ed(string(eᵢ), string(s))`
+//! is at most `k`. Candidate generation uses the standard **q-gram count
+//! filter**: `ed(a, b) ≤ k` implies the strings share at least
+//! `max(|a|,|b|) − q + 1 − k·q` positional-free q-grams, so an inverted
+//! index over variant q-grams prunes almost all variants before the banded
+//! edit-distance verification.
+//!
+//! Both sides are canonicalized as the single-space join of their tokens,
+//! so punctuation and whitespace differences in the raw document never
+//! count as edits.
+
+use crate::extractor::Aeetes;
+use aeetes_rules::DerivedId;
+use aeetes_sim::levenshtein_bounded;
+use aeetes_text::{Document, EntityId, Interner, Span};
+use std::collections::HashMap;
+
+/// One edit-distance match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EditMatch {
+    /// The origin entity.
+    pub entity: EntityId,
+    /// The matched token span.
+    pub span: Span,
+    /// `ED-AR(entity, span)` — the minimum edit distance over variants.
+    pub distance: usize,
+    /// The variant achieving the minimum.
+    pub best_variant: DerivedId,
+}
+
+/// A q-gram inverted index over the derived dictionary's variant strings.
+///
+/// Build once per engine ([`EditIndex::build`]), then extract from any
+/// number of documents with any distance threshold `k`.
+#[derive(Debug)]
+pub struct EditIndex {
+    q: usize,
+    /// Canonical (space-joined) string per variant.
+    variant_strs: Vec<String>,
+    /// Character count per variant.
+    variant_chars: Vec<u32>,
+    /// Token count per variant.
+    variant_tokens: Vec<u32>,
+    /// q-gram hash → variant ids containing it (deduplicated).
+    grams: HashMap<u64, Vec<u32>>,
+    /// Variant ids sorted by character count (fallback candidate source
+    /// when the count filter degenerates on very short strings).
+    by_chars: Vec<u32>,
+    min_tokens: usize,
+    max_tokens: usize,
+}
+
+/// FNV-1a over the `q` characters of one gram.
+fn gram_hash(chars: &[char]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &c in chars {
+        h ^= c as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// All q-gram hashes of `s` (deduplicated when `dedup` is set).
+fn grams_of(s: &str, q: usize, dedup: bool) -> Vec<u64> {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < q {
+        return Vec::new();
+    }
+    let mut out: Vec<u64> = chars.windows(q).map(gram_hash).collect();
+    if dedup {
+        out.sort_unstable();
+        out.dedup();
+    }
+    out
+}
+
+impl EditIndex {
+    /// Builds the index over `engine`'s derived dictionary with gram size
+    /// `q` (2 or 3 are the usual choices).
+    ///
+    /// # Panics
+    /// Panics when `q == 0`.
+    pub fn build(engine: &Aeetes, interner: &Interner, q: usize) -> Self {
+        assert!(q >= 1, "q-gram size must be at least 1");
+        let dd = engine.derived();
+        let mut variant_strs = Vec::with_capacity(dd.len());
+        let mut variant_chars = Vec::with_capacity(dd.len());
+        let mut variant_tokens = Vec::with_capacity(dd.len());
+        let mut grams: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut min_tokens = usize::MAX;
+        let mut max_tokens = 0usize;
+        for (id, d) in dd.iter() {
+            let s = interner.render(&d.tokens);
+            for g in grams_of(&s, q, true) {
+                grams.entry(g).or_default().push(id.0);
+            }
+            variant_chars.push(s.chars().count() as u32);
+            variant_tokens.push(d.tokens.len() as u32);
+            variant_strs.push(s);
+            if !d.tokens.is_empty() {
+                min_tokens = min_tokens.min(d.tokens.len());
+                max_tokens = max_tokens.max(d.tokens.len());
+            }
+        }
+        let mut by_chars: Vec<u32> = (0..variant_strs.len() as u32).collect();
+        by_chars.sort_unstable_by_key(|&v| variant_chars[v as usize]);
+        if min_tokens == usize::MAX {
+            min_tokens = 0;
+        }
+        Self { q, variant_strs, variant_chars, variant_tokens, grams, by_chars, min_tokens, max_tokens }
+    }
+
+    /// The canonical string of a variant (for reporting).
+    pub fn variant_str(&self, id: DerivedId) -> &str {
+        &self.variant_strs[id.idx()]
+    }
+
+    /// Extracts all `(entity, span)` pairs with `ED-AR ≤ k`, sorted by
+    /// `(span, entity)`. One best match (minimum distance) per pair.
+    pub fn extract(&self, engine: &Aeetes, doc: &Document, interner: &Interner, k: usize) -> Vec<EditMatch> {
+        let dd = engine.derived();
+        let n = doc.len();
+        if n == 0 || self.variant_strs.is_empty() || self.max_tokens == 0 {
+            return Vec::new();
+        }
+        // Every edit changes the token count by at most one (insert/delete
+        // of a separator), so |tokens(s) − tokens(v)| ≤ k.
+        let l_lo = self.min_tokens.saturating_sub(k).max(1);
+        let l_hi = self.max_tokens + k;
+
+        let doc_strs: Vec<&str> = doc.tokens().iter().map(|&t| interner.resolve(t)).collect();
+        let mut best: HashMap<(u32, u32, u32), (usize, DerivedId)> = HashMap::new();
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for p in 0..n {
+            let mut s = String::new();
+            for l in 1..=l_hi.min(n - p) {
+                if l > 1 {
+                    s.push(' ');
+                }
+                s.push_str(doc_strs[p + l - 1]);
+                if l < l_lo {
+                    continue;
+                }
+                let span = Span::new(p, l);
+                let s_chars = s.chars().count();
+                // Candidates via the q-gram count filter (multiplicity on
+                // the window side is an upper bound of the matched count —
+                // sound, see module docs).
+                counts.clear();
+                for g in grams_of(&s, self.q, false) {
+                    if let Some(list) = self.grams.get(&g) {
+                        for &v in list {
+                            *counts.entry(v).or_insert(0) += 1;
+                        }
+                    }
+                }
+                let verify = |v: u32, best: &mut HashMap<(u32, u32, u32), (usize, DerivedId)>| {
+                    let v_chars = self.variant_chars[v as usize] as usize;
+                    if v_chars.abs_diff(s_chars) > k {
+                        return;
+                    }
+                    let v_tokens = self.variant_tokens[v as usize] as usize;
+                    if v_tokens.abs_diff(l) > k {
+                        return;
+                    }
+                    if let Some(d) = levenshtein_bounded(&self.variant_strs[v as usize], &s, k) {
+                        let origin = dd.derived(DerivedId(v)).origin;
+                        let key = (origin.0, span.start, span.len);
+                        let entry = best.entry(key).or_insert((usize::MAX, DerivedId(v)));
+                        if d < entry.0 {
+                            *entry = (d, DerivedId(v));
+                        }
+                    }
+                };
+                // Count-filter threshold per variant: T(v) =
+                // max(|s|,|v|) − q + 1 − k·q. The minimum over admissible
+                // variants is |s| − q + 1 − k·q; when that is ≤ 0 (or the
+                // window is too short to even have grams) the filter cannot
+                // prune — fall back to the by-char-length window.
+                let degenerate = s_chars < self.q * (k + 1);
+                if degenerate {
+                    let lo = s_chars.saturating_sub(k) as u32;
+                    let hi = (s_chars + k) as u32;
+                    let start = self.by_chars.partition_point(|&v| self.variant_chars[v as usize] < lo);
+                    for &v in &self.by_chars[start..] {
+                        if self.variant_chars[v as usize] > hi {
+                            break;
+                        }
+                        verify(v, &mut best);
+                    }
+                } else {
+                    for (&v, &c) in &counts {
+                        let v_chars = self.variant_chars[v as usize] as usize;
+                        let needed = v_chars.max(s_chars).saturating_sub(self.q - 1).saturating_sub(k * self.q);
+                        if c >= needed.max(1) {
+                            verify(v, &mut best);
+                        }
+                    }
+                }
+            }
+        }
+        let mut out: Vec<EditMatch> = best
+            .into_iter()
+            .map(|((e, p, l), (d, v))| EditMatch {
+                entity: EntityId(e),
+                span: Span { start: p, len: l },
+                distance: d,
+                best_variant: v,
+            })
+            .collect();
+        out.sort_unstable_by_key(|m| (m.span.start, m.span.len, m.entity.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AeetesConfig;
+    use aeetes_rules::RuleSet;
+    use aeetes_text::{Dictionary, Tokenizer};
+
+    fn setup(entries: &[&str], rules: &[(&str, &str)]) -> (Aeetes, Interner, Tokenizer) {
+        let mut int = Interner::new();
+        let tok = Tokenizer::default();
+        let dict = Dictionary::from_strings(entries.iter().copied(), &tok, &mut int);
+        let mut rs = RuleSet::new();
+        for (l, r) in rules {
+            rs.push_str(l, r, &tok, &mut int).unwrap();
+        }
+        let engine = Aeetes::build(dict, &rs, AeetesConfig::default());
+        (engine, int, tok)
+    }
+
+    #[test]
+    fn exact_mention_distance_zero() {
+        let (engine, mut int, tok) = setup(&["university of auckland"], &[]);
+        let index = EditIndex::build(&engine, &int, 2);
+        let doc = Document::parse("the university of auckland campus", &tok, &mut int);
+        let got = index.extract(&engine, &doc, &int, 1);
+        let hit = got.iter().find(|m| m.span == Span::new(1, 3)).expect("exact mention found");
+        assert_eq!(hit.distance, 0);
+    }
+
+    #[test]
+    fn single_typo_found_at_k1() {
+        // The paper's Figure 8 example: "Aukland" vs "Auckland" (ed = 1).
+        let (engine, mut int, tok) = setup(&["university of auckland"], &[]);
+        let index = EditIndex::build(&engine, &int, 2);
+        let doc = Document::parse("the university of aukland campus", &tok, &mut int);
+        let got = index.extract(&engine, &doc, &int, 1);
+        let hit = got.iter().find(|m| m.span == Span::new(1, 3)).expect("typo'd mention found at k=1");
+        assert_eq!(hit.distance, 1);
+        assert!(index.extract(&engine, &doc, &int, 0).iter().all(|m| m.span != Span::new(1, 3)));
+    }
+
+    #[test]
+    fn rules_apply_before_distance() {
+        // ED-AR: the variant produced by the synonym rule matches with
+        // distance ≤ k even though the origin string is far away.
+        let (engine, mut int, tok) = setup(&["UQ AU"], &[("UQ", "University of Queensland"), ("AU", "Australia")]);
+        let index = EditIndex::build(&engine, &int, 2);
+        let doc = Document::parse("at the university of queensland austrelia today", &tok, &mut int);
+        let got = index.extract(&engine, &doc, &int, 1);
+        let hit = got
+            .iter()
+            .find(|m| m.span == Span::new(2, 4))
+            .expect("rule-expanded variant matches the typo'd mention");
+        assert_eq!(hit.distance, 1, "one substitution in 'austrelia'");
+        assert_eq!(hit.entity, EntityId(0));
+    }
+
+    #[test]
+    fn respects_k() {
+        let (engine, mut int, tok) = setup(&["green apple pie"], &[]);
+        let index = EditIndex::build(&engine, &int, 2);
+        let doc = Document::parse("grean appla pie", &tok, &mut int); // 2 substitutions
+        assert!(index.extract(&engine, &doc, &int, 1).is_empty());
+        let got = index.extract(&engine, &doc, &int, 2);
+        assert!(got.iter().any(|m| m.span == Span::new(0, 3) && m.distance == 2));
+    }
+
+    #[test]
+    fn short_strings_use_fallback_path() {
+        // Entities shorter than q still match (count filter degenerates).
+        let (engine, mut int, tok) = setup(&["ab"], &[]);
+        let index = EditIndex::build(&engine, &int, 3);
+        let doc = Document::parse("xx ab yy", &tok, &mut int);
+        let got = index.extract(&engine, &doc, &int, 0);
+        assert!(got.iter().any(|m| m.span == Span::new(1, 1) && m.distance == 0));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (engine, mut int, tok) = setup(&[], &[]);
+        let index = EditIndex::build(&engine, &int, 2);
+        let doc = Document::parse("anything", &tok, &mut int);
+        assert!(index.extract(&engine, &doc, &int, 2).is_empty());
+        let (engine2, mut int2, tok2) = setup(&["a b"], &[]);
+        let index2 = EditIndex::build(&engine2, &int2, 2);
+        let empty = Document::parse("", &tok2, &mut int2);
+        assert!(index2.extract(&engine2, &empty, &int2, 1).is_empty());
+    }
+
+    #[test]
+    fn agrees_with_brute_force() {
+        use aeetes_sim::levenshtein;
+        let (engine, mut int, tok) = setup(
+            &["data base systems", "databse", "machine learning"],
+            &[("data base", "database")],
+        );
+        let index = EditIndex::build(&engine, &int, 2);
+        let doc = Document::parse("old databse systems and machne learning data base", &tok, &mut int);
+        for k in 0..=2usize {
+            let got = index.extract(&engine, &doc, &int, k);
+            // Brute force over the same window range.
+            let dd = engine.derived();
+            let l_hi = dd.iter().map(|(_, d)| d.tokens.len()).max().unwrap() + k;
+            let mut expected: Vec<(u32, u32, u32, usize)> = Vec::new();
+            for p in 0..doc.len() {
+                for l in 1..=l_hi.min(doc.len() - p) {
+                    let s = int.render(doc.slice(Span::new(p, l)));
+                    for e in 0..dd.origins() {
+                        let e = EntityId(e as u32);
+                        let mut min_d = usize::MAX;
+                        for id in dd.variant_range(e) {
+                            let v = int.render(&dd.derived(DerivedId(id)).tokens);
+                            min_d = min_d.min(levenshtein(&v, &s));
+                        }
+                        if min_d <= k {
+                            expected.push((p as u32, l as u32, e.0, min_d));
+                        }
+                    }
+                }
+            }
+            expected.sort_unstable();
+            let got_tuples: Vec<(u32, u32, u32, usize)> =
+                got.iter().map(|m| (m.span.start, m.span.len, m.entity.0, m.distance)).collect();
+            assert_eq!(got_tuples, expected, "k={k}");
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The end-to-end Aeetes engine (paper Algorithm 1, Figure 2).
+
+use crate::config::AeetesConfig;
+use crate::matches::Match;
+use crate::stats::ExtractStats;
+use crate::strategy::{generate, Strategy};
+use crate::verify::verify_candidates;
+use aeetes_index::ClusteredIndex;
+use aeetes_rules::{DerivedDictionary, RuleSet};
+use aeetes_sim::Metric;
+use aeetes_text::{Dictionary, Document};
+
+/// The Aeetes extraction engine.
+///
+/// Owns the off-line artifacts: the origin dictionary, the derived
+/// dictionary (entities expanded under synonym rules) and the clustered
+/// inverted index. Extraction is read-only and can be shared across threads
+/// (`&self` methods; the engine is `Send + Sync`).
+#[derive(Debug)]
+pub struct Aeetes {
+    dict: Dictionary,
+    dd: DerivedDictionary,
+    index: ClusteredIndex,
+    config: AeetesConfig,
+}
+
+impl Aeetes {
+    /// Off-line preprocessing: expands `dict` under `rules` and builds the
+    /// clustered inverted index (Algorithm 1 lines 3–4 / Algorithm 2).
+    pub fn build(dict: Dictionary, rules: &RuleSet, config: AeetesConfig) -> Self {
+        let dd = DerivedDictionary::build(&dict, rules, &config.derive);
+        let index = ClusteredIndex::build(&dd);
+        Self { dict, dd, index, config }
+    }
+
+    /// Assembles an engine from previously built parts (used when loading a
+    /// persisted engine); the clustered index is rebuilt from the derived
+    /// dictionary.
+    pub fn from_parts(dict: Dictionary, dd: DerivedDictionary, config: AeetesConfig) -> Self {
+        let index = ClusteredIndex::build(&dd);
+        Self { dict, dd, index, config }
+    }
+
+    /// The origin dictionary.
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// The derived dictionary.
+    pub fn derived(&self) -> &DerivedDictionary {
+        &self.dd
+    }
+
+    /// The clustered inverted index.
+    pub fn index(&self) -> &ClusteredIndex {
+        &self.index
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &AeetesConfig {
+        &self.config
+    }
+
+    /// Extracts all `(entity, substring)` pairs with `JaccAR ≥ tau` using
+    /// the configured strategy. Results are sorted by `(span, entity)`.
+    ///
+    /// # Panics
+    /// Panics when `tau` is not in `(0, 1]`.
+    pub fn extract(&self, doc: &Document, tau: f64) -> Vec<Match> {
+        self.extract_with(doc, tau, self.config.strategy).0
+    }
+
+    /// Extracts with an explicit strategy, returning the statistics used by
+    /// the paper's ablation figures.
+    pub fn extract_with(&self, doc: &Document, tau: f64, strategy: Strategy) -> (Vec<Match>, ExtractStats) {
+        self.run(doc, tau, strategy, self.config.metric, false)
+    }
+
+    /// Extracts under an explicit token-set metric (paper §2.2 extension):
+    /// `max over variants of metric(variant, substring) ≥ tau`. With
+    /// [`Metric::Jaccard`] this is exactly [`Aeetes::extract`].
+    pub fn extract_with_metric(&self, doc: &Document, tau: f64, metric: Metric) -> (Vec<Match>, ExtractStats) {
+        self.run(doc, tau, self.config.strategy, metric, false)
+    }
+
+    /// Weighted-rule extraction (paper §8 extension): a variant produced by
+    /// rules with weight product `w` contributes `w · Jaccard` instead of
+    /// `Jaccard`. With all-1.0 weights this equals [`Aeetes::extract`].
+    pub fn extract_weighted(&self, doc: &Document, tau: f64) -> (Vec<Match>, ExtractStats) {
+        self.run(doc, tau, self.config.strategy, self.config.metric, true)
+    }
+
+    fn run(
+        &self,
+        doc: &Document,
+        tau: f64,
+        strategy: Strategy,
+        metric: Metric,
+        weighted: bool,
+    ) -> (Vec<Match>, ExtractStats) {
+        assert!(tau > 0.0 && tau <= 1.0, "similarity threshold must be in (0, 1], got {tau}");
+        let mut stats = ExtractStats::default();
+        let pairs = generate(&self.index, doc, tau, metric, strategy, &mut stats);
+        // Weighted scores are ≤ unweighted scores (weights ≤ 1), so the
+        // unweighted candidate filters remain sound for the weighted verify.
+        let mut matches = verify_candidates(&self.index, &self.dd, doc, tau, metric, pairs, &mut stats, weighted);
+        matches.sort_unstable_by_key(Match::sort_key);
+        (matches, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeetes_text::{Interner, Span, Tokenizer};
+
+    struct Fix {
+        int: Interner,
+        tok: Tokenizer,
+        engine: Aeetes,
+    }
+
+    /// The paper's Figure 1 scenario: institutions dictionary + rules.
+    fn figure1() -> Fix {
+        let mut int = Interner::new();
+        let tok = Tokenizer::default();
+        let mut dict = Dictionary::new();
+        dict.push("University of Wisconsin Madison", &tok, &mut int); // e1
+        dict.push("Purdue University USA", &tok, &mut int); // e2
+        dict.push("UQ AU", &tok, &mut int); // e3
+        let mut rules = RuleSet::new();
+        rules.push_str("UQ", "University of Queensland", &tok, &mut int).unwrap(); // r1
+        rules.push_str("USA", "United States", &tok, &mut int).unwrap(); // r2
+        rules.push_str("AU", "Australia", &tok, &mut int).unwrap(); // r3
+        rules.push_str("UW", "University of Wisconsin", &tok, &mut int).unwrap(); // r4
+        let engine = Aeetes::build(dict, &rules, AeetesConfig::default());
+        Fix { int, tok, engine }
+    }
+
+    #[test]
+    fn figure1_extracts_all_four_mentions() {
+        let mut f = figure1();
+        // s1..s4 in one document, in paper order.
+        let doc = Document::parse(
+            "talks by UW Madison faculty then Purdue University United States \
+             then Purdue University USA and finally University of Queensland Australia",
+            &f.tok,
+            &mut f.int,
+        );
+        let matches = f.engine.extract(&doc, 0.9);
+        let spans: Vec<Span> = matches.iter().map(|m| m.span).collect();
+        assert!(spans.contains(&Span::new(2, 2)), "s1: UW Madison via r4 — {spans:?}");
+        assert!(spans.contains(&Span::new(6, 4)), "s2: Purdue University United States via r2");
+        assert!(spans.contains(&Span::new(11, 3)), "s3: exact Purdue University USA");
+        assert!(spans.contains(&Span::new(16, 4)), "s4: University of Queensland Australia via r1+r3");
+        for m in &matches {
+            assert!(m.score >= 0.9);
+        }
+    }
+
+    #[test]
+    fn all_strategies_agree_end_to_end() {
+        let mut f = figure1();
+        let doc = Document::parse(
+            "the university of wisconsin madison sits near purdue university usa \
+             while uq au is far away in australia with the university of queensland",
+            &f.tok,
+            &mut f.int,
+        );
+        for tau in [0.7, 0.75, 0.8, 0.85, 0.9, 1.0] {
+            let baseline = f.engine.extract_with(&doc, tau, Strategy::Simple).0;
+            for strategy in [Strategy::Skip, Strategy::Dynamic, Strategy::Lazy] {
+                let got = f.engine.extract_with(&doc, tau, strategy).0;
+                assert_eq!(baseline, got, "strategy {strategy} at tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_threshold_one_only_exact_or_synonym_equal() {
+        let mut f = figure1();
+        let doc = Document::parse("purdue university usa and purdue university", &f.tok, &mut f.int);
+        let matches = f.engine.extract(&doc, 1.0);
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].span, Span::new(0, 3));
+        assert_eq!(matches[0].score, 1.0);
+    }
+
+    #[test]
+    fn lower_threshold_is_monotone() {
+        let mut f = figure1();
+        let doc = Document::parse(
+            "purdue university usa near the university of queensland australia",
+            &f.tok,
+            &mut f.int,
+        );
+        let hi = f.engine.extract(&doc, 0.9);
+        let lo = f.engine.extract(&doc, 0.7);
+        for m in &hi {
+            assert!(
+                lo.iter().any(|x| x.entity == m.entity && x.span == m.span),
+                "match {m:?} lost at lower threshold"
+            );
+        }
+        assert!(lo.len() >= hi.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "similarity threshold")]
+    fn zero_threshold_panics() {
+        let mut f = figure1();
+        let doc = Document::parse("anything", &f.tok, &mut f.int);
+        let _ = f.engine.extract(&doc, 0.0);
+    }
+
+    #[test]
+    fn stats_populated() {
+        let mut f = figure1();
+        let doc = Document::parse("purdue university usa visits uw madison", &f.tok, &mut f.int);
+        let (matches, stats) = f.engine.extract_with(&doc, 0.8, Strategy::Lazy);
+        assert!(!matches.is_empty());
+        assert!(stats.substrings > 0);
+        assert!(stats.accessed_entries > 0);
+        assert_eq!(stats.matches as usize, matches.len());
+        assert!(stats.candidates >= stats.matches);
+    }
+
+    #[test]
+    fn scores_are_exact_jaccar() {
+        let mut f = figure1();
+        // "purdue university" vs entity "purdue university usa": J = 2/3.
+        let doc = Document::parse("purdue university", &f.tok, &mut f.int);
+        let matches = f.engine.extract(&doc, 0.6);
+        let m = matches
+            .iter()
+            .find(|m| m.span == Span::new(0, 2) && (m.score - 2.0 / 3.0).abs() < 1e-12)
+            .expect("partial match with score 2/3");
+        assert_eq!(f.engine.dictionary().record(m.entity).raw, "Purdue University USA");
+    }
+
+    #[test]
+    fn empty_document_no_matches() {
+        let mut f = figure1();
+        let doc = Document::parse("", &f.tok, &mut f.int);
+        assert!(f.engine.extract(&doc, 0.8).is_empty());
+    }
+
+    #[test]
+    fn engine_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Aeetes>();
+    }
+}

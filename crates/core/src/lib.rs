@@ -1,0 +1,76 @@
+//! Aeetes — the sliding-window approximate entity-extraction engine
+//! (paper §2.3, §4).
+//!
+//! The end-to-end pipeline is:
+//!
+//! 1. **Off-line** ([`Aeetes::build`]): apply synonym rules to every
+//!    dictionary entity ([`aeetes_rules::DerivedDictionary`]), then build the
+//!    clustered inverted index ([`aeetes_index::ClusteredIndex`]).
+//! 2. **On-line** ([`Aeetes::extract`]): slide windows over the document,
+//!    generate candidate `(substring, origin entity)` pairs with one of four
+//!    filtering [`Strategy`]s, then verify each candidate's exact JaccAR
+//!    score.
+//!
+//! The four strategies reproduce the paper's Figure 10/11 ablation:
+//!
+//! | Strategy | Prefix computation | Index scan |
+//! |----------|--------------------|------------|
+//! | [`Strategy::Simple`]  | from scratch per substring | full list, per-entry filters |
+//! | [`Strategy::Skip`]    | from scratch per substring | clustered, batch skips |
+//! | [`Strategy::Dynamic`] | incremental (Window Extend / Migrate) | clustered, batch skips |
+//! | [`Strategy::Lazy`]    | incremental | deferred: each token's list scanned once per document |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use aeetes_text::{Dictionary, Document, Interner, Tokenizer};
+//! use aeetes_rules::RuleSet;
+//! use aeetes_core::{Aeetes, AeetesConfig};
+//!
+//! let mut int = Interner::new();
+//! let tok = Tokenizer::default();
+//! let mut dict = Dictionary::new();
+//! let uq = dict.push("UQ AU", &tok, &mut int);
+//! let mut rules = RuleSet::new();
+//! rules.push_str("UQ", "University of Queensland", &tok, &mut int).unwrap();
+//! rules.push_str("AU", "Australia", &tok, &mut int).unwrap();
+//!
+//! let engine = Aeetes::build(dict, &rules, AeetesConfig::default());
+//! let doc = Document::parse(
+//!     "she studied at the University of Queensland Australia last year",
+//!     &tok, &mut int);
+//! let matches = engine.extract(&doc, 0.9);
+//! assert_eq!(matches[0].entity, uq);
+//! assert_eq!(matches[0].score, 1.0);
+//! ```
+
+mod candidates;
+mod config;
+mod edit_extract;
+mod extractor;
+mod batch;
+mod matches;
+mod nms;
+mod persist;
+mod report;
+mod stats;
+mod strategy;
+mod topk;
+mod typo;
+mod verify;
+mod window;
+
+pub use config::AeetesConfig;
+pub use edit_extract::{EditIndex, EditMatch};
+pub use extractor::Aeetes;
+pub use batch::extract_batch;
+pub use matches::Match;
+pub use nms::suppress_overlaps;
+pub use persist::{load_engine, save_engine, PersistError};
+pub use report::{mention_report, MentionReport};
+pub use stats::ExtractStats;
+pub use strategy::Strategy;
+pub use topk::extract_top_k;
+pub use typo::{extract_fuzzy, FuzzyConfig};
+pub use window::WindowState;
+

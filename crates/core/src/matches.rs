@@ -1,0 +1,36 @@
+//! Extraction results.
+
+use aeetes_rules::DerivedId;
+use aeetes_text::{EntityId, Span};
+
+/// One extracted pair `(e, s)` with `JaccAR(e, s) ≥ τ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Match {
+    /// The origin entity from the dictionary.
+    pub entity: EntityId,
+    /// The matched substring of the document (token span).
+    pub span: Span,
+    /// The exact `JaccAR(entity, substring)` value.
+    pub score: f64,
+    /// The derived variant achieving the maximum in Definition 2.1.
+    pub best_variant: DerivedId,
+}
+
+impl Match {
+    /// Canonical result order: by span start, span length, then entity.
+    pub fn sort_key(&self) -> (u32, u32, u32) {
+        (self.span.start, self.span.len, self.entity.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_key_orders_by_position_first() {
+        let a = Match { entity: EntityId(9), span: Span::new(1, 2), score: 1.0, best_variant: DerivedId(0) };
+        let b = Match { entity: EntityId(0), span: Span::new(2, 2), score: 1.0, best_variant: DerivedId(0) };
+        assert!(a.sort_key() < b.sort_key());
+    }
+}

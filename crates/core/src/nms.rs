@@ -1,0 +1,75 @@
+//! Overlap suppression: reduce raw pair output to the best mention per
+//! document region.
+//!
+//! Thresholded extraction reports *every* `(entity, substring)` pair above
+//! τ, so a strong mention is usually surrounded by slightly-shifted or
+//! truncated pairs that also clear the threshold. Applications that want
+//! one mention per region (e.g. the effectiveness evaluation of the paper's
+//! Table 2) keep only the locally best pair; this is the standard
+//! non-maximum-suppression step.
+
+use crate::matches::Match;
+
+/// Keeps a greedy maximum-score subset of non-overlapping matches.
+///
+/// Matches are considered best-score first (ties: longer span — so a full
+/// mention beats an equal-scoring nested sub-mention — then earlier span,
+/// then smaller entity id); a match is kept iff its span overlaps no
+/// already-kept span. The result is sorted by span.
+pub fn suppress_overlaps(mut matches: Vec<Match>) -> Vec<Match> {
+    matches.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| b.span.len.cmp(&a.span.len))
+            .then_with(|| a.sort_key().cmp(&b.sort_key()))
+    });
+    let mut kept: Vec<Match> = Vec::new();
+    for m in matches {
+        if kept.iter().all(|k| !k.span.overlaps(&m.span)) {
+            kept.push(m);
+        }
+    }
+    kept.sort_unstable_by_key(Match::sort_key);
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeetes_rules::DerivedId;
+    use aeetes_text::{EntityId, Span};
+
+    fn m(e: u32, start: u32, len: u32, score: f64) -> Match {
+        Match { entity: EntityId(e), span: Span { start, len }, score, best_variant: DerivedId(0) }
+    }
+
+    #[test]
+    fn keeps_best_per_region() {
+        let out = suppress_overlaps(vec![m(0, 0, 3, 1.0), m(0, 0, 2, 0.8), m(1, 1, 2, 0.7), m(2, 5, 2, 0.9)]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].span, Span::new(0, 3));
+        assert_eq!(out[1].span, Span::new(5, 2));
+    }
+
+    #[test]
+    fn equal_scores_prefer_longer_span() {
+        // A nested shorter entity that ties must not displace the full
+        // mention.
+        let out = suppress_overlaps(vec![m(0, 0, 2, 1.0), m(1, 0, 4, 1.0)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].span, Span::new(0, 4));
+    }
+
+    #[test]
+    fn non_overlapping_all_kept_in_span_order() {
+        let out = suppress_overlaps(vec![m(2, 6, 2, 0.7), m(0, 0, 2, 0.8), m(1, 3, 2, 0.9)]);
+        assert_eq!(out.len(), 3);
+        assert!(out.windows(2).all(|w| w[0].span.start < w[1].span.start));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(suppress_overlaps(Vec::new()).is_empty());
+    }
+}

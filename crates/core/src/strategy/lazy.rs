@@ -1,0 +1,233 @@
+//! The `Lazy` strategy: lazy candidate generation (paper §4.2, Algorithm 4).
+//!
+//! Pass 1 slides the windows exactly like `Dynamic`, but instead of scanning
+//! posting lists per substring it only records, for every *valid* token `t`,
+//! which substrings carry `t` in their τ-prefix — the paper's substring
+//! inverted index `I[t]` (built from the valid-token sets `Φ` and their
+//! deltas `∆φ`; we materialize the aggregated index directly). Pass 2 then
+//! scans the posting list of each distinct valid token **once**, pairing
+//! every length group with the substrings whose length filter admits it.
+
+use crate::candidates::CandidateSink;
+use crate::stats::ExtractStats;
+use crate::window::WindowState;
+use aeetes_index::{metric_window_bounds, ClusteredIndex, GlobalOrder};
+use aeetes_sim::Metric;
+use aeetes_text::{Document, Span, TokenId};
+use std::collections::HashMap;
+
+/// One substring that carries a given valid token in its prefix, with its
+/// precomputed admissible entity-length interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    span: Span,
+    lo: u32,
+    hi: u32,
+}
+
+pub(crate) fn generate(
+    index: &ClusteredIndex,
+    doc: &Document,
+    tau: f64,
+    metric: Metric,
+    sink: &mut CandidateSink,
+    stats: &mut ExtractStats,
+) {
+    let Some(bounds) = metric_window_bounds(index.min_set_len(), index.max_set_len(), tau, metric) else {
+        return;
+    };
+    let n = doc.len();
+    if n < bounds.min {
+        return;
+    }
+    let order = index.order();
+    let keys: Vec<u64> = doc.tokens().iter().map(|&t| order.key(t)).collect();
+
+    // ---- Pass 1: build the substring inverted index I[t]. ----
+    let mut inv: HashMap<TokenId, Vec<Pending>> = HashMap::new();
+    let mut states: Vec<WindowState> = Vec::new();
+    for p in 0..n {
+        let lmax = bounds.max.min(n - p);
+        if bounds.min > lmax {
+            break;
+        }
+        stats.windows += 1;
+        let fit = lmax - bounds.min + 1;
+        if p == 0 {
+            let mut st = WindowState::from_keys(keys[0..bounds.min].iter().copied());
+            stats.prefix_builds += 1;
+            states.push(st.clone());
+            for l in bounds.min + 1..=lmax {
+                st.add(keys[l - 1]);
+                stats.prefix_updates += 1;
+                states.push(st.clone());
+            }
+        } else {
+            states.truncate(fit);
+            for (i, st) in states.iter_mut().enumerate() {
+                let l = bounds.min + i;
+                st.remove(keys[p - 1]);
+                st.add(keys[p - 1 + l]);
+                stats.prefix_updates += 1;
+            }
+        }
+        for (i, st) in states.iter().enumerate() {
+            let l = bounds.min + i;
+            stats.substrings += 1;
+            let s_len = st.distinct_len();
+            let k = metric.prefix_len(s_len, tau);
+            let (lo, hi) = metric.length_bounds(s_len, tau, u32::MAX as usize);
+            let span = Span::new(p, l);
+            for key in st.prefix(k) {
+                if key >> 32 == 0 {
+                    continue; // invalid token: no postings to visit later
+                }
+                inv.entry(GlobalOrder::token_of(key))
+                    .or_default()
+                    .push(Pending { span, lo: lo as u32, hi: hi as u32 });
+            }
+        }
+    }
+
+    // ---- Pass 2: one scan of L[t] per distinct valid token. ----
+    // Tokens are processed in id order for determinism.
+    let mut tokens: Vec<TokenId> = inv.keys().copied().collect();
+    tokens.sort_unstable();
+    for t in tokens {
+        let mut list = inv.remove(&t).expect("token recorded in pass 1");
+        let Some(tp) = index.postings(t) else { continue };
+        list.sort_unstable_by_key(|pend| pend.lo);
+        let mut next = 0usize; // next pending to activate
+        let mut active: Vec<Pending> = Vec::new();
+        for g in tp.groups() {
+            let len = g.len() as u32;
+            while next < list.len() && list[next].lo <= len {
+                active.push(list[next]);
+                next += 1;
+            }
+            active.retain(|pend| pend.hi >= len);
+            if active.is_empty() {
+                if next >= list.len() {
+                    break; // nothing left to pair with larger groups
+                }
+                continue;
+            }
+            let plen = metric.prefix_len(len as usize, tau);
+            for og in g.origins() {
+                // One pass over the origin group: stop at the first entry
+                // inside the entity prefix.
+                let mut hit = false;
+                for e in og.entries {
+                    stats.accessed_entries += 1;
+                    if (e.pos as usize) < plen {
+                        hit = true;
+                        break;
+                    }
+                }
+                if hit {
+                    for pend in &active {
+                        sink.push(pend.span, og.origin);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{dynamic, naive};
+    use aeetes_rules::{DeriveConfig, DerivedDictionary, RuleSet};
+    use aeetes_text::{Dictionary, EntityId, Interner, Tokenizer};
+
+    fn setup(entries: &[&str], rules: &[(&str, &str)], doc: &str) -> (ClusteredIndex, Document) {
+        let mut int = Interner::new();
+        let tok = Tokenizer::default();
+        let dict = Dictionary::from_strings(entries.iter().copied(), &tok, &mut int);
+        let mut rs = RuleSet::new();
+        for (l, r) in rules {
+            rs.push_str(l, r, &tok, &mut int).unwrap();
+        }
+        let dd = DerivedDictionary::build(&dict, &rs, &DeriveConfig::default());
+        let ix = ClusteredIndex::build(&dd);
+        let d = Document::parse(doc, &tok, &mut int);
+        (ix, d)
+    }
+
+    fn sorted(mut v: Vec<(Span, EntityId)>) -> Vec<(Span, EntityId)> {
+        v.sort_by_key(|(sp, e)| (sp.start, sp.len, e.0));
+        v
+    }
+
+    /// Theorem 4.5 (no false negatives): Lazy finds every candidate that the
+    /// eager strategies find.
+    #[test]
+    fn candidate_superset_of_eager_strategies() {
+        let (ix, doc) = setup(
+            &["purdue university usa", "uq au", "university of wisconsin", "big apple"],
+            &[
+                ("uq", "university of queensland"),
+                ("au", "australia"),
+                ("usa", "united states"),
+                ("big apple", "new york"),
+            ],
+            "alumni of purdue university united states met in new york near the university of queensland australia booth with university of wisconsin madison colleagues",
+        );
+        for tau in [0.7, 0.8, 0.9] {
+            let mut eager = CandidateSink::new();
+            let mut lazy_sink = CandidateSink::new();
+            let mut st = ExtractStats::default();
+            naive::generate(&ix, &doc, tau, Metric::Jaccard, true, &mut eager, &mut st);
+            let mut st2 = ExtractStats::default();
+            generate(&ix, &doc, tau, Metric::Jaccard, &mut lazy_sink, &mut st2);
+            let e = sorted(eager.pairs);
+            let l = sorted(lazy_sink.pairs);
+            for pair in &e {
+                assert!(l.contains(pair), "lazy missed {pair:?} at tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn accesses_fewer_entries_than_dynamic() {
+        // Repetitive document → many substrings share valid tokens, which is
+        // exactly where lazy's scan-once pays off.
+        let (ix, doc) = setup(
+            &["data base systems", "data mining", "system design"],
+            &[("data base", "database")],
+            "data base systems and data mining and data base design of system design for data base systems again data mining data base",
+        );
+        let mut s_dyn = CandidateSink::new();
+        let mut s_lazy = CandidateSink::new();
+        let mut st_dyn = ExtractStats::default();
+        let mut st_lazy = ExtractStats::default();
+        dynamic::generate(&ix, &doc, 0.7, Metric::Jaccard, &mut s_dyn, &mut st_dyn);
+        generate(&ix, &doc, 0.7, Metric::Jaccard, &mut s_lazy, &mut st_lazy);
+        assert!(
+            st_lazy.accessed_entries <= st_dyn.accessed_entries,
+            "lazy {} vs dynamic {}",
+            st_lazy.accessed_entries,
+            st_dyn.accessed_entries
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let (ix, doc) = setup(&["a b"], &[], "");
+        let mut sink = CandidateSink::new();
+        let mut stats = ExtractStats::default();
+        generate(&ix, &doc, 0.8, Metric::Jaccard, &mut sink, &mut stats);
+        assert_eq!(sink.len(), 0);
+    }
+
+    #[test]
+    fn single_token_entities_and_document() {
+        let (ix, doc) = setup(&["rust"], &[], "rust");
+        let mut sink = CandidateSink::new();
+        let mut stats = ExtractStats::default();
+        generate(&ix, &doc, 1.0, Metric::Jaccard, &mut sink, &mut stats);
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink.pairs[0].0, Span::new(0, 1));
+    }
+}

@@ -1,0 +1,81 @@
+//! Candidate-generation strategies (paper §4; ablation of Figure 10/11).
+
+mod dynamic;
+mod lazy;
+mod naive;
+
+use crate::candidates::CandidateSink;
+use crate::stats::ExtractStats;
+use aeetes_index::ClusteredIndex;
+use aeetes_sim::Metric;
+use aeetes_text::{Document, EntityId, Span};
+
+/// Which filtering pipeline generates candidates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Enumerate every substring, compute its prefix from scratch and scan
+    /// the full posting list of each prefix token (per-entry filters only).
+    Simple,
+    /// Like `Simple`, but scans use the clustered index: length groups and
+    /// already-candidate origin groups are skipped in batch (§3.2).
+    Skip,
+    /// Incremental prefix maintenance with Window Extend / Window Migrate
+    /// (§4.1) on top of the clustered scans.
+    Dynamic,
+    /// Incremental prefixes plus lazy candidate generation (§4.2): posting
+    /// lists are scanned once per document, after all valid tokens are
+    /// collected.
+    Lazy,
+}
+
+impl Strategy {
+    /// All strategies, in the paper's ablation order.
+    pub const ALL: [Strategy; 4] = [Strategy::Simple, Strategy::Skip, Strategy::Dynamic, Strategy::Lazy];
+
+    /// Stable lowercase name (used by the experiment harness).
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Simple => "simple",
+            Strategy::Skip => "skip",
+            Strategy::Dynamic => "dynamic",
+            Strategy::Lazy => "lazy",
+        }
+    }
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runs the chosen strategy and returns the candidate pairs.
+pub(crate) fn generate(
+    index: &ClusteredIndex,
+    doc: &Document,
+    tau: f64,
+    metric: Metric,
+    strategy: Strategy,
+    stats: &mut ExtractStats,
+) -> Vec<(Span, EntityId)> {
+    let mut sink = CandidateSink::new();
+    match strategy {
+        Strategy::Simple => naive::generate(index, doc, tau, metric, false, &mut sink, stats),
+        Strategy::Skip => naive::generate(index, doc, tau, metric, true, &mut sink, stats),
+        Strategy::Dynamic => dynamic::generate(index, doc, tau, metric, &mut sink, stats),
+        Strategy::Lazy => lazy::generate(index, doc, tau, metric, &mut sink, stats),
+    }
+    sink.pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = Strategy::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["simple", "skip", "dynamic", "lazy"]);
+        assert_eq!(Strategy::Lazy.to_string(), "lazy");
+    }
+}

@@ -1,0 +1,131 @@
+//! The `Simple` and `Skip` strategies: per-substring prefix computation
+//! from scratch (paper §4, "straightforward solution").
+
+use crate::candidates::{scan_clustered, scan_flat, CandidateSink};
+use crate::stats::ExtractStats;
+use aeetes_index::{metric_window_bounds, ClusteredIndex, GlobalOrder};
+use aeetes_sim::Metric;
+use aeetes_text::{Document, Span};
+
+/// Enumerates every substring `W_p^l`, sorts its tokens by the global order
+/// to obtain the τ-prefix, and scans the posting list of each valid prefix
+/// token. `clustered` toggles the batch-skipping scan (the `Skip` strategy)
+/// versus the full scan (`Simple`).
+pub(crate) fn generate(
+    index: &ClusteredIndex,
+    doc: &Document,
+    tau: f64,
+    metric: Metric,
+    clustered: bool,
+    sink: &mut CandidateSink,
+    stats: &mut ExtractStats,
+) {
+    let Some(bounds) = metric_window_bounds(index.min_set_len(), index.max_set_len(), tau, metric) else {
+        return;
+    };
+    let order = index.order();
+    let n = doc.len();
+    let keys: Vec<u64> = doc.tokens().iter().map(|&t| order.key(t)).collect();
+    let mut buf: Vec<u64> = Vec::with_capacity(bounds.max);
+    for p in 0..n {
+        let lmax = bounds.max.min(n - p);
+        if bounds.min > lmax {
+            break; // remaining windows are too short for any entity
+        }
+        stats.windows += 1;
+        for l in bounds.min..=lmax {
+            stats.substrings += 1;
+            stats.prefix_builds += 1;
+            buf.clear();
+            buf.extend_from_slice(&keys[p..p + l]);
+            buf.sort_unstable();
+            buf.dedup();
+            let s_len = buf.len();
+            let k = metric.prefix_len(s_len, tau);
+            let span = Span::new(p, l);
+            for &key in &buf[..k] {
+                if key >> 32 == 0 {
+                    continue; // invalid token: empty posting list
+                }
+                let t = GlobalOrder::token_of(key);
+                if clustered {
+                    scan_clustered(index, t, span, s_len, tau, metric, sink, stats);
+                } else {
+                    scan_flat(index, t, span, s_len, tau, metric, sink, stats);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeetes_rules::{DeriveConfig, DerivedDictionary, RuleSet};
+    use aeetes_text::{Dictionary, Interner, Tokenizer};
+
+    fn setup(entries: &[&str], doc: &str) -> (ClusteredIndex, Document) {
+        let mut int = Interner::new();
+        let tok = Tokenizer::default();
+        let dict = Dictionary::from_strings(entries.iter().copied(), &tok, &mut int);
+        let dd = DerivedDictionary::build(&dict, &RuleSet::new(), &DeriveConfig::default());
+        let ix = ClusteredIndex::build(&dd);
+        let d = Document::parse(doc, &tok, &mut int);
+        (ix, d)
+    }
+
+    #[test]
+    fn finds_exact_mention() {
+        let (ix, doc) = setup(&["purdue university"], "i visited purdue university yesterday");
+        let mut sink = CandidateSink::new();
+        let mut stats = ExtractStats::default();
+        generate(&ix, &doc, 0.9, Metric::Jaccard, false, &mut sink, &mut stats);
+        assert!(sink.pairs.iter().any(|(sp, _)| *sp == Span::new(2, 2)));
+    }
+
+    #[test]
+    fn simple_accesses_at_least_as_many_entries_as_skip() {
+        let (ix, doc) = setup(
+            &["a b", "a c d", "a e f g", "h i", "a"],
+            "a b c a e f g h i a a b",
+        );
+        let mut s1 = CandidateSink::new();
+        let mut s2 = CandidateSink::new();
+        let mut st1 = ExtractStats::default();
+        let mut st2 = ExtractStats::default();
+        generate(&ix, &doc, 0.7, Metric::Jaccard, false, &mut s1, &mut st1);
+        generate(&ix, &doc, 0.7, Metric::Jaccard, true, &mut s2, &mut st2);
+        assert!(st1.accessed_entries >= st2.accessed_entries);
+        let mut a = s1.pairs;
+        let mut b = s2.pairs;
+        a.sort_by_key(|(sp, e)| (sp.start, sp.len, e.0));
+        b.sort_by_key(|(sp, e)| (sp.start, sp.len, e.0));
+        assert_eq!(a, b, "same candidates either way");
+    }
+
+    #[test]
+    fn empty_doc_and_empty_dict() {
+        let (ix, doc) = setup(&["a b"], "");
+        let mut sink = CandidateSink::new();
+        let mut stats = ExtractStats::default();
+        generate(&ix, &doc, 0.8, Metric::Jaccard, true, &mut sink, &mut stats);
+        assert_eq!(sink.len(), 0);
+        let (ix2, doc2) = setup(&[], "some words here");
+        let mut sink2 = CandidateSink::new();
+        generate(&ix2, &doc2, 0.8, Metric::Jaccard, true, &mut sink2, &mut stats);
+        assert_eq!(sink2.len(), 0);
+    }
+
+    #[test]
+    fn substring_count_matches_window_arithmetic() {
+        let (ix, doc) = setup(&["x y"], "one two three four five");
+        // entity distinct len 2, τ=0.8 → E⊥=1, E⊤=3; n=5.
+        let mut sink = CandidateSink::new();
+        let mut stats = ExtractStats::default();
+        generate(&ix, &doc, 0.8, Metric::Jaccard, true, &mut sink, &mut stats);
+        // p=0..4: lmax = min(3, 5-p) → 3,3,3,2,1 → substrings 3+3+3+2+1 = 12.
+        assert_eq!(stats.windows, 5);
+        assert_eq!(stats.substrings, 12);
+        assert_eq!(stats.prefix_builds, 12);
+    }
+}

@@ -1,0 +1,66 @@
+//! Top-k extraction (extension): the k best-scoring pairs above a floor.
+
+use crate::extractor::Aeetes;
+use crate::matches::Match;
+use aeetes_text::Document;
+
+/// Returns the `k` highest-scoring `(entity, substring)` pairs with
+/// `JaccAR ≥ tau_floor`, ties broken by `(span, entity)` for determinism.
+///
+/// This runs a thresholded extraction at `tau_floor` and keeps the best `k`;
+/// choose the floor as the lowest score you are willing to surface.
+pub fn extract_top_k(engine: &Aeetes, doc: &Document, k: usize, tau_floor: f64) -> Vec<Match> {
+    let mut matches = engine.extract(doc, tau_floor);
+    matches.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.sort_key().cmp(&b.sort_key()))
+    });
+    matches.truncate(k);
+    matches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AeetesConfig;
+    use aeetes_rules::RuleSet;
+    use aeetes_text::{Dictionary, Interner, Tokenizer};
+
+    fn engine() -> (Aeetes, Interner, Tokenizer) {
+        let mut int = Interner::new();
+        let tok = Tokenizer::default();
+        let mut dict = Dictionary::new();
+        dict.push("machine learning systems", &tok, &mut int);
+        dict.push("learning systems", &tok, &mut int);
+        let engine = Aeetes::build(dict, &RuleSet::new(), AeetesConfig::default());
+        (engine, int, tok)
+    }
+
+    #[test]
+    fn returns_at_most_k_best_first() {
+        let (e, mut int, tok) = engine();
+        let doc = Document::parse("machine learning systems conference", &tok, &mut int);
+        let top = extract_top_k(&e, &doc, 2, 0.5);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].score >= top[1].score);
+        assert_eq!(top[0].score, 1.0);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let (e, mut int, tok) = engine();
+        let doc = Document::parse("machine learning systems", &tok, &mut int);
+        assert!(extract_top_k(&e, &doc, 0, 0.5).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_matches_returns_all() {
+        let (e, mut int, tok) = engine();
+        let doc = Document::parse("machine learning systems", &tok, &mut int);
+        let all = e.extract(&doc, 0.5);
+        let top = extract_top_k(&e, &doc, 100, 0.5);
+        assert_eq!(top.len(), all.len());
+    }
+}

@@ -1,0 +1,146 @@
+//! Incremental window state: the multiset of tokens under a sliding
+//! substring, ordered by the global token order (paper §4.1).
+//!
+//! The paper's *Window Extend* (grow the substring by one token) and
+//! *Window Migrate* (shift the substring right by one position) both reduce
+//! to one [`WindowState::add`] and/or [`WindowState::remove`], after which
+//! the τ-prefix is the first `⌊(1−τ)|s|⌋+1` distinct keys — maintained here
+//! by an ordered map instead of re-sorting from scratch.
+
+use std::collections::BTreeMap;
+
+/// Ordered multiset of global-order keys for one substring.
+#[derive(Debug, Clone, Default)]
+pub struct WindowState {
+    counts: BTreeMap<u64, u32>,
+}
+
+impl WindowState {
+    /// Empty state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a state from an iterator of keys.
+    pub fn from_keys<I: IntoIterator<Item = u64>>(keys: I) -> Self {
+        let mut s = Self::new();
+        for k in keys {
+            s.add(k);
+        }
+        s
+    }
+
+    /// Adds one occurrence of `key` (Window Extend / the incoming edge of a
+    /// Window Migrate).
+    pub fn add(&mut self, key: u64) {
+        *self.counts.entry(key).or_insert(0) += 1;
+    }
+
+    /// Removes one occurrence of `key` (the outgoing edge of a Window
+    /// Migrate).
+    ///
+    /// # Panics
+    /// Panics in debug builds when `key` is not present.
+    pub fn remove(&mut self, key: u64) {
+        match self.counts.get_mut(&key) {
+            Some(c) if *c > 1 => *c -= 1,
+            Some(_) => {
+                self.counts.remove(&key);
+            }
+            None => debug_assert!(false, "removing absent key {key}"),
+        }
+    }
+
+    /// Number of distinct tokens (`|s|` under set semantics).
+    pub fn distinct_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total token count including duplicates.
+    pub fn total_len(&self) -> usize {
+        self.counts.values().map(|&c| c as usize).sum()
+    }
+
+    /// The first `k` distinct keys in global order (the τ-prefix when `k` =
+    /// `prefix_len(distinct_len, τ)`).
+    pub fn prefix(&self, k: usize) -> impl Iterator<Item = u64> + '_ {
+        self.counts.keys().copied().take(k)
+    }
+
+    /// All distinct keys in global order (for verification).
+    pub fn distinct_keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.counts.keys().copied()
+    }
+
+    /// Collects the distinct keys into `buf` (cleared first).
+    pub fn fill_distinct(&self, buf: &mut Vec<u64>) {
+        buf.clear();
+        buf.extend(self.counts.keys().copied());
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_round_trip() {
+        let mut w = WindowState::new();
+        w.add(5);
+        w.add(5);
+        w.add(3);
+        assert_eq!(w.distinct_len(), 2);
+        assert_eq!(w.total_len(), 3);
+        w.remove(5);
+        assert_eq!(w.distinct_len(), 2, "one copy of 5 remains");
+        w.remove(5);
+        assert_eq!(w.distinct_len(), 1);
+        assert_eq!(w.prefix(5).collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn prefix_is_smallest_keys() {
+        let w = WindowState::from_keys([9, 1, 7, 3]);
+        assert_eq!(w.prefix(2).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(w.prefix(10).count(), 4);
+    }
+
+    #[test]
+    fn migrate_equals_rebuild() {
+        // Sliding [a b c] -> [b c d] via remove/add matches a fresh build.
+        let keys = [10u64, 20, 30, 40, 20, 10];
+        let l = 3;
+        let mut w = WindowState::from_keys(keys[0..l].iter().copied());
+        for p in 1..=keys.len() - l {
+            w.remove(keys[p - 1]);
+            w.add(keys[p + l - 1]);
+            let fresh = WindowState::from_keys(keys[p..p + l].iter().copied());
+            assert_eq!(
+                w.distinct_keys().collect::<Vec<_>>(),
+                fresh.distinct_keys().collect::<Vec<_>>(),
+                "window at p={p}"
+            );
+        }
+    }
+
+    #[test]
+    fn fill_distinct_reuses_buffer() {
+        let w = WindowState::from_keys([2, 1, 2]);
+        let mut buf = vec![99];
+        w.fill_distinct(&mut buf);
+        assert_eq!(buf, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_state() {
+        let w = WindowState::new();
+        assert!(w.is_empty());
+        assert_eq!(w.distinct_len(), 0);
+        assert_eq!(w.prefix(3).count(), 0);
+    }
+}

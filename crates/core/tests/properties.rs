@@ -1,0 +1,108 @@
+//! Property tests for the extraction engine's supporting machinery:
+//! window maintenance, overlap suppression, batch extraction and
+//! persistence.
+
+use aeetes_core::{extract_batch, load_engine, save_engine, suppress_overlaps, Aeetes, AeetesConfig, WindowState};
+use aeetes_rules::RuleSet;
+use aeetes_text::{Dictionary, Document, Interner, TokenId, Tokenizer};
+use proptest::prelude::*;
+
+proptest! {
+    /// Sliding a window via remove/add matches rebuilding it from scratch,
+    /// for every position and length.
+    #[test]
+    fn window_migrate_equals_rebuild(keys in proptest::collection::vec(0u64..12, 1..30), l in 1usize..6) {
+        prop_assume!(keys.len() >= l);
+        let mut w = WindowState::from_keys(keys[0..l].iter().copied());
+        for p in 1..=keys.len() - l {
+            w.remove(keys[p - 1]);
+            w.add(keys[p + l - 1]);
+            let fresh = WindowState::from_keys(keys[p..p + l].iter().copied());
+            prop_assert_eq!(
+                w.distinct_keys().collect::<Vec<_>>(),
+                fresh.distinct_keys().collect::<Vec<_>>()
+            );
+            prop_assert_eq!(w.total_len(), l);
+        }
+    }
+
+    /// Overlap suppression returns a subset of its input whose spans are
+    /// pairwise disjoint, and every dropped match overlaps a kept match
+    /// with a score at least as high.
+    #[test]
+    fn suppression_invariants(raw in proptest::collection::vec((0u32..20, 1u32..5, 0u32..4, 0u32..100), 0..20)) {
+        use aeetes_core::Match;
+        use aeetes_rules::DerivedId;
+        use aeetes_text::{EntityId, Span};
+        let input: Vec<Match> = raw
+            .iter()
+            .map(|&(start, len, e, score)| Match {
+                entity: EntityId(e),
+                span: Span { start, len },
+                score: score as f64 / 100.0,
+                best_variant: DerivedId(0),
+            })
+            .collect();
+        let kept = suppress_overlaps(input.clone());
+        for k in &kept {
+            prop_assert!(input.iter().any(|m| m == k), "kept match not from input");
+        }
+        for (i, a) in kept.iter().enumerate() {
+            for b in kept.iter().skip(i + 1) {
+                prop_assert!(!a.span.overlaps(&b.span), "kept matches overlap");
+            }
+        }
+        for m in &input {
+            if !kept.iter().any(|k| k == m) {
+                prop_assert!(
+                    kept.iter().any(|k| k.span.overlaps(&m.span) && k.score >= m.score - 1e-12),
+                    "dropped match {m:?} has no dominating overlap in {kept:?}"
+                );
+            }
+        }
+    }
+
+    /// Batch extraction equals per-document extraction for any thread count.
+    #[test]
+    fn batch_matches_serial(doc_tokens in proptest::collection::vec(proptest::collection::vec(0u8..8, 0..20), 0..5),
+                            threads in 1usize..6) {
+        let ids: Vec<TokenId> = (0..8).map(TokenId).collect();
+        let mut dict = Dictionary::new();
+        dict.push_tokens("e0".into(), vec![ids[0], ids[1]]);
+        dict.push_tokens("e1".into(), vec![ids[2], ids[3], ids[4]]);
+        let engine = Aeetes::build(dict, &RuleSet::new(), AeetesConfig::default());
+        let docs: Vec<Document> = doc_tokens
+            .iter()
+            .map(|t| Document::from_tokens(t.iter().map(|&i| ids[i as usize]).collect()))
+            .collect();
+        let serial: Vec<_> = docs.iter().map(|d| engine.extract(d, 0.7)).collect();
+        let batched = extract_batch(&engine, &docs, 0.7, threads);
+        prop_assert_eq!(serial, batched);
+    }
+
+    /// Persistence round-trips arbitrary dictionaries and rules: the loaded
+    /// engine extracts identically on arbitrary documents.
+    #[test]
+    fn persistence_round_trip(entities in proptest::collection::vec("[a-d]( [a-d]){0,3}", 1..5),
+                              rule_pairs in proptest::collection::vec(("[a-d]", "[e-h]( [e-h]){0,2}"), 0..4),
+                              doc_text in "[a-h]( [a-h]){0,25}") {
+        let mut interner = Interner::new();
+        let tokenizer = Tokenizer::default();
+        let mut dict = Dictionary::new();
+        for e in &entities {
+            dict.push(e, &tokenizer, &mut interner);
+        }
+        let mut rules = RuleSet::new();
+        for (l, r) in &rule_pairs {
+            let _ = rules.push_str(l, r, &tokenizer, &mut interner);
+        }
+        let engine = Aeetes::build(dict, &rules, AeetesConfig::default());
+        let bytes = save_engine(&engine, &interner);
+        let (loaded, mut loaded_interner) = load_engine(&bytes).expect("round trip");
+        let doc_a = Document::parse(&doc_text, &tokenizer, &mut interner);
+        let doc_b = Document::parse(&doc_text, &tokenizer, &mut loaded_interner);
+        for tau in [0.7, 0.9, 1.0] {
+            prop_assert_eq!(engine.extract(&doc_a, tau), loaded.extract(&doc_b, tau), "tau={}", tau);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Dataset profiles mirroring the paper's Table 1.
+
+/// Shape parameters for one synthetic dataset.
+///
+/// The three constructors mirror the paper's corpora; [`scaled`] shrinks or
+/// grows the *size* dimensions (documents, entities, rules, vocabulary)
+/// while keeping the per-item statistics (lengths, applicability) fixed,
+/// which is what the paper's Figure 12 scalability sweep varies.
+///
+/// [`scaled`]: DatasetProfile::scaled
+#[derive(Debug, Clone)]
+pub struct DatasetProfile {
+    /// Dataset name (for report rows).
+    pub name: String,
+    /// Number of documents.
+    pub docs: usize,
+    /// Number of dictionary entities.
+    pub entities: usize,
+    /// Number of synonym-rule *groups*: each group shares one lhs and holds
+    /// `alternatives_per_rule` rhs variants on average.
+    pub rule_groups: usize,
+    /// Mean rhs alternatives per rule group (≥ 1).
+    pub alternatives_per_rule: f64,
+    /// Mean document length in tokens (Table 1's `avg |d|`).
+    pub avg_doc_len: usize,
+    /// Mean entity length in tokens (Table 1's `avg |e|`).
+    pub avg_entity_len: f64,
+    /// Cap on entity length.
+    pub max_entity_len: usize,
+    /// Minimum entity length (≥ 2 avoids single-token entities that match
+    /// any stray occurrence of their token at every threshold).
+    pub min_entity_len: usize,
+    /// Vocabulary size for entity tokens.
+    pub entity_vocab: usize,
+    /// Vocabulary size for background (document-only) tokens.
+    pub background_vocab: usize,
+    /// Zipf exponent for entity-token sampling.
+    pub zipf_exponent: f64,
+    /// Mean planted mentions per document.
+    pub mentions_per_doc: f64,
+    /// How strongly rule lhs tokens skew toward frequent tokens (0 =
+    /// uniform over entity occurrences, 1 = heavily biased to the head).
+    pub rule_head_bias: f64,
+    /// Target average applicable rules per entity (Table 1's `avg |A(e)|`).
+    /// Rule generation self-calibrates: it keeps adding rule groups until
+    /// the measured average reaches this target (or a hard group cap).
+    pub target_applicable: f64,
+}
+
+impl DatasetProfile {
+    /// PubMed-like: short entities (avg 3.04 tokens), medium documents
+    /// (avg 188), avg `|A(e)|` ≈ 2.4.
+    pub fn pubmed_like() -> Self {
+        Self {
+            name: "pubmed".into(),
+            docs: 200,
+            entities: 20_000,
+            rule_groups: 1_400,
+            alternatives_per_rule: 1.3,
+            avg_doc_len: 188,
+            avg_entity_len: 3.04,
+            max_entity_len: 8,
+            min_entity_len: 2,
+            entity_vocab: 9_000,
+            background_vocab: 12_000,
+            zipf_exponent: 1.05,
+            mentions_per_doc: 5.0,
+            rule_head_bias: 0.12,
+            target_applicable: 2.42,
+        }
+    }
+
+    /// DBWorld-like: very short entities (avg 2.04), long documents
+    /// (avg 796), avg `|A(e)|` ≈ 3.2.
+    pub fn dbworld_like() -> Self {
+        Self {
+            name: "dbworld".into(),
+            docs: 60,
+            entities: 12_000,
+            rule_groups: 450,
+            alternatives_per_rule: 1.4,
+            avg_doc_len: 796,
+            avg_entity_len: 2.04,
+            max_entity_len: 6,
+            min_entity_len: 2,
+            entity_vocab: 5_000,
+            background_vocab: 10_000,
+            zipf_exponent: 1.05,
+            mentions_per_doc: 8.0,
+            rule_head_bias: 0.4,
+            target_applicable: 3.24,
+        }
+    }
+
+    /// USJob-like: long entities (avg 6.92), medium documents (avg 323),
+    /// very high applicability (avg `|A(e)|` ≈ 22.7) through rule groups
+    /// with many alternatives anchored on frequent tokens.
+    pub fn usjob_like() -> Self {
+        Self {
+            name: "usjob".into(),
+            docs: 120,
+            entities: 30_000,
+            rule_groups: 1_500,
+            alternatives_per_rule: 12.0,
+            avg_doc_len: 323,
+            avg_entity_len: 6.92,
+            max_entity_len: 14,
+            min_entity_len: 2,
+            entity_vocab: 6_000,
+            background_vocab: 10_000,
+            zipf_exponent: 1.1,
+            mentions_per_doc: 6.0,
+            rule_head_bias: 0.05,
+            target_applicable: 22.7,
+        }
+    }
+
+    /// The three paper datasets at default scale.
+    pub fn all() -> Vec<Self> {
+        vec![Self::pubmed_like(), Self::dbworld_like(), Self::usjob_like()]
+    }
+
+    /// Scales the size dimensions by `factor` (≥ 0), keeping per-item
+    /// statistics. Used by the Figure 12 entity sweep and by fast tests.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        let s = |v: usize| ((v as f64 * factor).round() as usize).max(1);
+        self.docs = s(self.docs);
+        self.entities = s(self.entities);
+        self.rule_groups = s(self.rule_groups);
+        // Vocabularies scale with √factor: scaling them linearly would make
+        // token collisions (and thus spurious matches) explode at small
+        // scales and vanish at large ones.
+        let sv = |v: usize| ((v as f64 * factor.sqrt()).round() as usize).max(16);
+        self.entity_vocab = sv(self.entity_vocab);
+        self.background_vocab = sv(self.background_vocab);
+        self
+    }
+
+    /// Overrides the entity count (Figure 12 varies it directly).
+    pub fn with_entities(mut self, entities: usize) -> Self {
+        self.entities = entities.max(1);
+        self
+    }
+
+    /// Overrides the document count.
+    pub fn with_docs(mut self, docs: usize) -> Self {
+        self.docs = docs.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_table1_shape() {
+        let p = DatasetProfile::pubmed_like();
+        assert!((p.avg_entity_len - 3.04).abs() < 1e-9);
+        assert_eq!(p.avg_doc_len, 188);
+        let d = DatasetProfile::dbworld_like();
+        assert!((d.avg_entity_len - 2.04).abs() < 1e-9);
+        assert_eq!(d.avg_doc_len, 796);
+        let u = DatasetProfile::usjob_like();
+        assert!((u.avg_entity_len - 6.92).abs() < 1e-9);
+        assert_eq!(u.avg_doc_len, 323);
+    }
+
+    #[test]
+    fn scaling_shrinks_sizes_not_statistics() {
+        let p = DatasetProfile::pubmed_like().scaled(0.1);
+        assert_eq!(p.entities, 2_000);
+        assert_eq!(p.docs, 20);
+        assert_eq!(p.avg_doc_len, 188, "per-item stats untouched");
+    }
+
+    #[test]
+    fn scaling_never_hits_zero() {
+        let p = DatasetProfile::dbworld_like().scaled(0.000001);
+        assert!(p.entities >= 1 && p.docs >= 1);
+    }
+
+    #[test]
+    fn with_entities_overrides() {
+        let p = DatasetProfile::usjob_like().with_entities(123);
+        assert_eq!(p.entities, 123);
+    }
+}

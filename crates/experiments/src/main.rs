@@ -1,0 +1,80 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§6) on the synthetic calibrated corpora.
+//!
+//! ```text
+//! experiments <command> [--scale F] [--seed N] [--docs N] [--json PATH]
+//!
+//! commands:
+//!   table1     dataset statistics (paper Table 1)
+//!   table2     P/R/F of Jaccard vs Fuzzy Jaccard vs JaccAR (paper Table 2)
+//!   fig8       per-pair case study of the three metrics (paper Figure 8)
+//!   fig9       end-to-end time: Aeetes vs FaerieR (paper Figure 9)
+//!   fig10      filtering ablation: Simple/Skip/Dynamic/Lazy time (Figure 10)
+//!   fig11      accessed inverted-index entries per strategy (Figure 11)
+//!   fig12      scalability in the number of entities (Figure 12)
+//!   indexsize  index memory: Aeetes clustered index vs FaerieR (§6.3)
+//!   ablation   derived-dictionary cap sweep (size/time vs recall)
+//!   weighted   weighted-rule extension: precision under noisy rules
+//!   all        run everything above
+//! ```
+
+mod ablation;
+mod common;
+mod fig10;
+mod fig11;
+mod fig12;
+mod fig8;
+mod fig9;
+mod indexsize;
+mod table1;
+mod weighted;
+mod table2;
+
+use common::Config;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        eprintln!(
+            "usage: experiments <table1|table2|fig8|fig9|fig10|fig11|fig12|indexsize|ablation|weighted|all> \
+             [--scale F] [--seed N] [--docs N] [--json PATH]"
+        );
+        std::process::exit(2);
+    };
+    let config = match Config::parse(&args[1..]) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let run = |name: &str| {
+        println!("\n================ {name} ================");
+        match name {
+            "table1" => table1::run(&config),
+            "table2" => table2::run(&config),
+            "fig8" => fig8::run(&config),
+            "fig9" => fig9::run(&config),
+            "fig10" => fig10::run(&config),
+            "fig11" => fig11::run(&config),
+            "fig12" => fig12::run(&config),
+            "indexsize" => indexsize::run(&config),
+            "ablation" => ablation::run(&config),
+            "weighted" => weighted::run(&config),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    if command == "all" {
+        for name in ["table1", "table2", "fig8", "fig9", "fig10", "fig11", "fig12", "indexsize", "ablation", "weighted"] {
+            run(name);
+        }
+    } else {
+        run(&command);
+    }
+    config.flush_json();
+}

@@ -1,0 +1,59 @@
+//! Table 1: dataset statistics.
+
+use crate::common::Config;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    docs: usize,
+    entities: usize,
+    synonyms: usize,
+    avg_doc_len: f64,
+    avg_entity_len: f64,
+    avg_applicable: f64,
+    paper_avg_doc_len: f64,
+    paper_avg_entity_len: f64,
+    paper_avg_applicable: f64,
+}
+
+/// Paper Table 1 reference values: (avg |d|, avg |e|, avg |A(e)|).
+fn paper_row(name: &str) -> (f64, f64, f64) {
+    match name {
+        "pubmed" => (187.81, 3.04, 2.42),
+        "dbworld" => (795.89, 2.04, 3.24),
+        "usjob" => (322.51, 6.92, 22.7),
+        _ => (0.0, 0.0, 0.0),
+    }
+}
+
+pub fn run(config: &Config) {
+    println!(
+        "{:<10} {:>7} {:>9} {:>9} | {:>9} {:>8} {:>9} | paper: avg|d| avg|e| avg|A(e)|",
+        "dataset", "docs", "entities", "synonyms", "avg|d|", "avg|e|", "avg|A(e)|"
+    );
+    for data in config.datasets() {
+        let s = data.statistics(2_000);
+        let (pd, pe, pa) = paper_row(&s.name);
+        println!(
+            "{:<10} {:>7} {:>9} {:>9} | {:>9.2} {:>8.2} {:>9.2} |        {:>6.1} {:>6.2} {:>9.2}",
+            s.name, s.docs, s.entities, s.synonyms, s.avg_doc_len, s.avg_entity_len, s.avg_applicable, pd, pe, pa
+        );
+        config.record(
+            "table1",
+            &Row {
+                dataset: s.name.clone(),
+                docs: s.docs,
+                entities: s.entities,
+                synonyms: s.synonyms,
+                avg_doc_len: s.avg_doc_len,
+                avg_entity_len: s.avg_entity_len,
+                avg_applicable: s.avg_applicable,
+                paper_avg_doc_len: pd,
+                paper_avg_entity_len: pe,
+                paper_avg_applicable: pa,
+            },
+        );
+    }
+    println!("\n(sizes are scaled by --scale {}; per-item statistics target the paper's values)", config.scale);
+}

@@ -1,0 +1,56 @@
+//! Table 2: effectiveness (P/R/F) of Jaccard vs Fuzzy Jaccard vs JaccAR at
+//! θ ∈ {0.7, 0.8, 0.9}.
+
+use crate::common::{engine_with_rules, engine_without_rules, extract_best, fj_extract, Config, PrfCounts};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    theta: f64,
+    metric: &'static str,
+    precision: f64,
+    recall: f64,
+    f1: f64,
+}
+
+pub fn run(config: &Config) {
+    println!("{:<10} {:>5} | {:>24} | {:>24} | {:>24}", "dataset", "θ", "Jaccard (P/R/F)", "Fuzzy Jaccard (P/R/F)", "JaccAR (P/R/F)");
+    for data in config.datasets() {
+        let with_rules = engine_with_rules(&data);
+        let without_rules = engine_without_rules(&data);
+        let docs = config.measured_docs(&data);
+        for theta in [0.7, 0.8, 0.9] {
+            let mut counts = [PrfCounts::default(); 3]; // jaccard, fj, jaccar
+            for (doc_id, doc) in docs.iter().enumerate() {
+                let gold: Vec<_> = data.gold_for(doc_id).map(|g| (g.entity, g.span)).collect();
+                counts[0].tally(&extract_best(&without_rules, doc, theta), &gold);
+                counts[1].tally(&fj_extract(&without_rules, doc, &data.interner, theta), &gold);
+                counts[2].tally(&extract_best(&with_rules, doc, theta), &gold);
+            }
+            let fmt = |c: &PrfCounts| format!("{:5.2} {:5.2} {:5.2}", c.precision(), c.recall(), c.f1());
+            println!(
+                "{:<10} {:>5.1} | {:>24} | {:>24} | {:>24}",
+                data.name,
+                theta,
+                fmt(&counts[0]),
+                fmt(&counts[1]),
+                fmt(&counts[2])
+            );
+            for (metric, c) in ["jaccard", "fuzzy_jaccard", "jaccar"].iter().zip(&counts) {
+                config.record(
+                    "table2",
+                    &Row {
+                        dataset: data.name.clone(),
+                        theta,
+                        metric,
+                        precision: c.precision(),
+                        recall: c.recall(),
+                        f1: c.f1(),
+                    },
+                );
+            }
+        }
+    }
+    println!("\n(expected shape per the paper: JaccAR dominates F-measure; FJ beats Jaccard on typo'd mentions)");
+}

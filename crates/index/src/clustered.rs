@@ -1,0 +1,451 @@
+//! The clustered inverted index (paper §3.2, Algorithm 2, Figures 3–4).
+//!
+//! For every token `t` the index stores the postings `(derived entity,
+//! position of t in the entity's globally-ordered distinct token set)`.
+//! Postings are clustered twice:
+//!
+//! 1. by derived-entity **length** — so a scan can batch-skip whole groups
+//!    that violate the length filter, and
+//! 2. within a length group by **origin entity** — so once an origin is
+//!    already a candidate for the current substring, the rest of its
+//!    variants' postings can be skipped in batch.
+//!
+//! Storage is flattened: one token's postings live in three parallel
+//! arrays (`groups` → `origins` → `entries`, linked by offset ranges), so a
+//! scan walks contiguous memory and the per-group overhead stays at a few
+//! words — the paper reports its clustered index at roughly 2× the flat
+//! FaerieR index, which nested per-group `Vec`s would far exceed.
+
+use crate::order::GlobalOrder;
+use aeetes_rules::{DerivedDictionary, DerivedId};
+use aeetes_text::{EntityId, TokenId};
+
+/// One posting: a derived entity containing the token, and the token's
+/// position inside the entity's globally-ordered distinct token set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PostingEntry {
+    /// The derived entity.
+    pub derived: DerivedId,
+    /// Position of the token in the ordered entity (0-based); the prefix
+    /// filter discards entries with `pos ≥ prefix_len(len, τ)`.
+    pub pos: u16,
+}
+
+/// Descriptor of one length group: derived-entity length plus the range of
+/// origin groups under it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LengthGroupRef {
+    len: u16,
+    origins_start: u32,
+    origins_end: u32,
+}
+
+/// Descriptor of one origin cluster: the origin entity plus its entry range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OriginGroupRef {
+    origin: EntityId,
+    entries_start: u32,
+    entries_end: u32,
+}
+
+/// The inverted list of one token (the paper's `L[t]`), flattened.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TokenPostings {
+    groups: Vec<LengthGroupRef>,
+    origins: Vec<OriginGroupRef>,
+    entries: Vec<PostingEntry>,
+}
+
+/// Borrowed view of one length group (the paper's `Lₗ[t]`).
+#[derive(Clone, Copy)]
+pub struct LengthGroup<'a> {
+    tp: &'a TokenPostings,
+    group: LengthGroupRef,
+}
+
+impl<'a> LengthGroup<'a> {
+    /// Distinct-token-set size of every derived entity in this group.
+    /// (This is the group's *key*, not a container size — a group always
+    /// holds at least one posting.)
+    #[inline]
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.group.len as usize
+    }
+
+    /// Total postings across the group's origin clusters.
+    pub fn entry_count(&self) -> usize {
+        let s = self.tp.origins[self.group.origins_start as usize].entries_start;
+        let e = self.tp.origins[self.group.origins_end as usize - 1].entries_end;
+        (e - s) as usize
+    }
+
+    /// Iterates the origin clusters, in ascending origin order.
+    pub fn origins(&self) -> impl Iterator<Item = OriginGroup<'a>> + 'a {
+        let tp = self.tp;
+        tp.origins[self.group.origins_start as usize..self.group.origins_end as usize]
+            .iter()
+            .map(move |og| OriginGroup { origin: og.origin, entries: &tp.entries[og.entries_start as usize..og.entries_end as usize] })
+    }
+
+    /// Number of origin clusters in this group.
+    pub fn origin_count(&self) -> usize {
+        (self.group.origins_end - self.group.origins_start) as usize
+    }
+}
+
+/// Borrowed view of one origin cluster (the paper's `Lₑˡ[t]`).
+#[derive(Clone, Copy)]
+pub struct OriginGroup<'a> {
+    /// The origin entity all these derived entities stem from.
+    pub origin: EntityId,
+    /// Postings of this origin's variants with the group's length.
+    pub entries: &'a [PostingEntry],
+}
+
+impl TokenPostings {
+    /// Total number of postings under this token.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Length groups in ascending `len` order.
+    pub fn groups(&self) -> impl Iterator<Item = LengthGroup<'_>> {
+        self.groups.iter().map(move |&group| LengthGroup { tp: self, group })
+    }
+
+    /// Length groups starting from index `i` (see
+    /// [`TokenPostings::first_group_at_least`]).
+    pub fn groups_from(&self, i: usize) -> impl Iterator<Item = LengthGroup<'_>> {
+        self.groups[i.min(self.groups.len())..].iter().map(move |&group| LengthGroup { tp: self, group })
+    }
+
+    /// Number of length groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Index of the first group with `len ≥ lo` (binary search).
+    pub fn first_group_at_least(&self, lo: usize) -> usize {
+        self.groups.partition_point(|g| (g.len as usize) < lo)
+    }
+}
+
+/// The clustered inverted index over a derived dictionary.
+///
+/// Also owns the [`GlobalOrder`] and, for verification, the globally-ordered
+/// distinct token-key set of every derived entity.
+#[derive(Debug, Clone)]
+pub struct ClusteredIndex {
+    order: GlobalOrder,
+    postings: Vec<TokenPostings>,
+    /// Rank-key-sorted distinct token sets of all derived entities,
+    /// flattened into one arena (`set_offsets[i]..set_offsets[i+1]` is the
+    /// set of derived entity `i`). One contiguous allocation keeps the
+    /// verification loop cache-friendly across hundreds of thousands of
+    /// variants.
+    set_data: Vec<u64>,
+    set_offsets: Vec<u32>,
+    /// Derived ids grouped by origin, each group sorted by ascending
+    /// distinct-set length — so verification can binary-search the variants
+    /// admitted by the length filter (paper §8 future-work item (i)).
+    variants_by_len: Vec<DerivedId>,
+    origin_offsets: Vec<u32>,
+    min_len: Option<usize>,
+    max_len: Option<usize>,
+}
+
+impl ClusteredIndex {
+    /// Builds the index (paper Algorithm 2).
+    pub fn build(dd: &DerivedDictionary) -> Self {
+        let order = GlobalOrder::build(dd);
+
+        // Globally-ordered distinct key set per derived entity, flattened.
+        let mut set_data: Vec<u64> = Vec::new();
+        let mut set_offsets: Vec<u32> = Vec::with_capacity(dd.len() + 1);
+        set_offsets.push(0);
+        let mut keys: Vec<u64> = Vec::new();
+        let mut min_len: Option<usize> = None;
+        let mut max_len: Option<usize> = None;
+        for (_, d) in dd.iter() {
+            keys.clear();
+            keys.extend(d.tokens.iter().map(|&t| order.key(t)));
+            keys.sort_unstable();
+            keys.dedup();
+            if !keys.is_empty() {
+                min_len = Some(min_len.map_or(keys.len(), |m| m.min(keys.len())));
+                max_len = Some(max_len.map_or(keys.len(), |m| m.max(keys.len())));
+            }
+            set_data.extend_from_slice(&keys);
+            set_offsets.push(set_data.len() as u32);
+        }
+
+        // Raw postings per token: (len, origin, derived, pos).
+        let num_tokens = dd
+            .iter()
+            .flat_map(|(_, d)| d.tokens.iter())
+            .map(|t| t.idx() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut raw: Vec<Vec<(u16, EntityId, DerivedId, u16)>> = vec![Vec::new(); num_tokens];
+        for (id, d) in dd.iter() {
+            let set = &set_data[set_offsets[id.idx()] as usize..set_offsets[id.idx() + 1] as usize];
+            let len = u16::try_from(set.len()).expect("entity set larger than u16::MAX tokens");
+            for (pos, &key) in set.iter().enumerate() {
+                let t = GlobalOrder::token_of(key);
+                raw[t.idx()].push((len, d.origin, id, pos as u16));
+            }
+        }
+
+        // Cluster: sort by (len, origin, derived), then flatten the group
+        // tree into the three parallel arrays.
+        let mut postings = Vec::with_capacity(num_tokens);
+        for mut raw_entries in raw {
+            raw_entries.sort_unstable_by_key(|&(len, origin, derived, _)| (len, origin, derived));
+            let mut tp = TokenPostings::default();
+            for (len, origin, derived, pos) in raw_entries {
+                let entry_at = tp.entries.len() as u32;
+                let new_group = tp.groups.last().is_none_or(|g| g.len != len);
+                if new_group {
+                    tp.groups.push(LengthGroupRef {
+                        len,
+                        origins_start: tp.origins.len() as u32,
+                        origins_end: tp.origins.len() as u32,
+                    });
+                }
+                let group = tp.groups.last_mut().expect("just ensured");
+                let new_origin = new_group
+                    || tp.origins.get(group.origins_end as usize - 1).is_none_or(|og| og.origin != origin);
+                if new_origin {
+                    tp.origins.push(OriginGroupRef { origin, entries_start: entry_at, entries_end: entry_at });
+                    group.origins_end += 1;
+                }
+                tp.entries.push(PostingEntry { derived, pos });
+                tp.origins.last_mut().expect("just ensured").entries_end += 1;
+            }
+            tp.groups.shrink_to_fit();
+            tp.origins.shrink_to_fit();
+            tp.entries.shrink_to_fit();
+            postings.push(tp);
+        }
+
+        // Per-origin variant ids sorted by set length (stable within equal
+        // lengths, preserving derivation order).
+        let mut variants_by_len: Vec<DerivedId> = Vec::with_capacity(dd.len());
+        let mut origin_offsets: Vec<u32> = Vec::with_capacity(dd.origins() + 1);
+        origin_offsets.push(0);
+        for e in 0..dd.origins() {
+            let range = dd.variant_range(EntityId(e as u32));
+            let start = variants_by_len.len();
+            variants_by_len.extend(range.map(DerivedId));
+            let set_len = |id: &DerivedId| set_offsets[id.idx() + 1] - set_offsets[id.idx()];
+            variants_by_len[start..].sort_by_key(set_len);
+            origin_offsets.push(variants_by_len.len() as u32);
+        }
+
+        Self { order, postings, set_data, set_offsets, variants_by_len, origin_offsets, min_len, max_len }
+    }
+
+    /// The variants of origin `e`, sorted by ascending distinct-set length.
+    /// Together with [`ClusteredIndex::set_len`] this lets verification
+    /// binary-search the window admitted by the length filter instead of
+    /// scanning every variant.
+    pub fn variants_sorted(&self, e: EntityId) -> &[DerivedId] {
+        &self.variants_by_len[self.origin_offsets[e.idx()] as usize..self.origin_offsets[e.idx() + 1] as usize]
+    }
+
+    /// The global token order used by this index.
+    pub fn order(&self) -> &GlobalOrder {
+        &self.order
+    }
+
+    /// The inverted list of `t`, or `None` when `t` occurs in no entity.
+    pub fn postings(&self, t: TokenId) -> Option<&TokenPostings> {
+        self.postings.get(t.idx()).filter(|p| !p.groups.is_empty())
+    }
+
+    /// The globally-ordered distinct key set of a derived entity.
+    #[inline]
+    pub fn derived_set(&self, id: DerivedId) -> &[u64] {
+        &self.set_data[self.set_offsets[id.idx()] as usize..self.set_offsets[id.idx() + 1] as usize]
+    }
+
+    /// Distinct-set size of a derived entity.
+    #[inline]
+    pub fn set_len(&self, id: DerivedId) -> usize {
+        (self.set_offsets[id.idx() + 1] - self.set_offsets[id.idx()]) as usize
+    }
+
+    /// Minimum non-empty distinct-set length over derived entities (`|e|⊥`).
+    pub fn min_set_len(&self) -> Option<usize> {
+        self.min_len
+    }
+
+    /// Maximum distinct-set length over derived entities (`|e|⊤`).
+    pub fn max_set_len(&self) -> Option<usize> {
+        self.max_len
+    }
+
+    /// Total postings across all tokens.
+    pub fn total_entries(&self) -> usize {
+        self.postings.iter().map(TokenPostings::entry_count).sum()
+    }
+
+    /// Approximate heap size of the index in bytes (for the paper's §6.3
+    /// index-size comparison).
+    pub fn size_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut n = self.postings.capacity() * size_of::<TokenPostings>();
+        for tp in &self.postings {
+            n += tp.groups.capacity() * size_of::<LengthGroupRef>();
+            n += tp.origins.capacity() * size_of::<OriginGroupRef>();
+            n += tp.entries.capacity() * size_of::<PostingEntry>();
+        }
+        n += self.set_data.capacity() * size_of::<u64>();
+        n += self.set_offsets.capacity() * size_of::<u32>();
+        n += self.variants_by_len.capacity() * size_of::<DerivedId>();
+        n += self.origin_offsets.capacity() * size_of::<u32>();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeetes_rules::{DeriveConfig, RuleSet};
+    use aeetes_text::{Dictionary, Interner, Tokenizer};
+
+    struct Fixture {
+        int: Interner,
+        dd: DerivedDictionary,
+        index: ClusteredIndex,
+    }
+
+    fn fixture(entries: &[&str], rules: &[(&str, &str)]) -> Fixture {
+        let mut int = Interner::new();
+        let tok = Tokenizer::default();
+        let dict = Dictionary::from_strings(entries.iter().copied(), &tok, &mut int);
+        let mut rs = RuleSet::new();
+        for (l, r) in rules {
+            rs.push_str(l, r, &tok, &mut int).unwrap();
+        }
+        let dd = DerivedDictionary::build(&dict, &rs, &DeriveConfig::default());
+        let index = ClusteredIndex::build(&dd);
+        Fixture { int, dd, index }
+    }
+
+    /// Paper Example 3.2: "University" appears in five derived entities, in
+    /// one length-4 group, clustered by origin into three origin groups.
+    #[test]
+    fn paper_example_3_2_clustering() {
+        let mut f = fixture(
+            &[
+                "Purdue University USA",             // e1
+                "Purdue University in Indiana",      // e2
+                "UQ AU",                             // e3
+                "UW Madison",                        // e4
+            ],
+            &[
+                ("UQ", "University of Queensland"),
+                ("USA", "United States"),
+                ("AU", "Australia"),
+                ("UW", "University of Wisconsin"),
+                ("UW", "University of Washington"),
+            ],
+        );
+        let uni = f.int.intern("university");
+        let tp = f.index.postings(uni).expect("postings for 'university'");
+        let total = tp.entry_count();
+        assert!(total >= 5, "at least five postings, got {total}");
+        // Length-4 group must exist and contain ≥ 2 distinct origins.
+        let g4 = tp.groups().find(|g| g.len() == 4).expect("length-4 group");
+        assert!(g4.origin_count() >= 2);
+        // Origin groups are ordered and non-empty.
+        let origins: Vec<EntityId> = g4.origins().map(|o| o.origin).collect();
+        for w in origins.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(g4.entry_count(), g4.origins().map(|o| o.entries.len()).sum::<usize>());
+    }
+
+    #[test]
+    fn groups_sorted_by_length() {
+        let f = fixture(&["a", "a b", "a b c", "a b c d"], &[]);
+        let mut int2 = f.int.clone();
+        let a = int2.intern("a");
+        let tp = f.index.postings(a).unwrap();
+        let lens: Vec<usize> = tp.groups().map(|g| g.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3, 4]);
+        assert_eq!(tp.first_group_at_least(3), 2);
+        assert_eq!(tp.first_group_at_least(5), 4);
+        assert_eq!(tp.first_group_at_least(0), 0);
+        assert_eq!(tp.groups_from(2).count(), 2);
+        assert_eq!(tp.group_count(), 4);
+    }
+
+    #[test]
+    fn positions_follow_global_order() {
+        // "of" appears in both entities (freq 2), the others once each →
+        // rare tokens come first in the ordered entity.
+        let mut f = fixture(&["university of washington", "school of rock"], &[]);
+        let of = f.int.intern("of");
+        let tp = f.index.postings(of).unwrap();
+        for g in tp.groups() {
+            for og in g.origins() {
+                for e in og.entries {
+                    // "of" is the most frequent token → last position (2 of 0..3).
+                    assert_eq!(e.pos, 2);
+                    // cross-check against the stored set
+                    let set = f.index.derived_set(e.derived);
+                    assert_eq!(GlobalOrder::token_of(set[e.pos as usize]), of);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_tokens_index_once() {
+        let mut f = fixture(&["ny ny ny"], &[]);
+        let ny = f.int.intern("ny");
+        let tp = f.index.postings(ny).unwrap();
+        assert_eq!(tp.entry_count(), 1);
+        assert_eq!(tp.groups().next().unwrap().len(), 1, "distinct-set length is 1");
+    }
+
+    #[test]
+    fn unknown_token_has_no_postings() {
+        let mut f = fixture(&["alpha beta"], &[]);
+        let z = f.int.intern("zzz");
+        assert!(f.index.postings(z).is_none());
+    }
+
+    #[test]
+    fn min_max_set_len() {
+        let f = fixture(&["a", "b c d e f"], &[]);
+        assert_eq!(f.index.min_set_len(), Some(1));
+        assert_eq!(f.index.max_set_len(), Some(5));
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let f = fixture(&[], &[]);
+        assert_eq!(f.index.min_set_len(), None);
+        assert_eq!(f.index.max_set_len(), None);
+        assert_eq!(f.index.total_entries(), 0);
+    }
+
+    #[test]
+    fn total_entries_counts_all_sets() {
+        let f = fixture(&["a b", "c d"], &[]);
+        assert_eq!(f.index.total_entries(), 4);
+        assert_eq!(f.dd.len(), 2);
+    }
+
+    #[test]
+    fn size_bytes_positive_and_grows() {
+        let small = fixture(&["a b"], &[]);
+        let big = fixture(&["a b c d e", "f g h i j", "k l m n o"], &[]);
+        assert!(small.index.size_bytes() > 0);
+        assert!(big.index.size_bytes() > small.index.size_bytes());
+    }
+}

@@ -1,0 +1,19 @@
+//! Indexing substrate for Aeetes (paper §3).
+//!
+//! * [`GlobalOrder`] — the token order `O`: ascending frequency over the
+//!   derived dictionary; document tokens unknown to the dictionary
+//!   ("invalid" tokens) are treated as frequency 0 (§3.2).
+//! * [`prefix_len`] / window bound helpers — the length- and prefix-filter
+//!   arithmetic of §3.1.
+//! * [`ClusteredIndex`] — the clustered inverted index: for each token, the
+//!   postings `(derived entity, position)` grouped first by derived-entity
+//!   length and, inside each length group, by origin entity, enabling the
+//!   batch skips of §3.2.
+
+mod clustered;
+mod filters;
+mod order;
+
+pub use clustered::{ClusteredIndex, LengthGroup, OriginGroup, PostingEntry, TokenPostings};
+pub use filters::{metric_window_bounds, prefix_len, window_bounds, WindowBounds};
+pub use order::GlobalOrder;

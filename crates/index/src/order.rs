@@ -1,0 +1,152 @@
+//! The global token order `O` (paper §3.2).
+
+use aeetes_rules::DerivedDictionary;
+use aeetes_text::TokenId;
+
+/// Ascending-frequency global order over tokens.
+///
+/// A token's *frequency* is the number of derived entities whose distinct
+/// token set contains it. Tokens are compared by `(frequency, token id)`,
+/// packed into a single `u64` key: smaller key ⇒ rarer ⇒ earlier in every
+/// sorted prefix. Tokens that appear in no derived entity (the paper's
+/// *invalid* tokens, including tokens interned after the index was built)
+/// get frequency 0 and therefore sort before all valid tokens — harmless,
+/// because their posting lists are empty.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalOrder {
+    freq: Vec<u32>,
+}
+
+impl GlobalOrder {
+    /// Builds the order from a derived dictionary.
+    pub fn build(dd: &DerivedDictionary) -> Self {
+        let max_id = dd
+            .iter()
+            .flat_map(|(_, d)| d.tokens.iter())
+            .map(|t| t.idx())
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut freq = vec![0u32; max_id];
+        let mut seen: Vec<TokenId> = Vec::new();
+        for (_, d) in dd.iter() {
+            seen.clear();
+            seen.extend_from_slice(&d.tokens);
+            seen.sort_unstable();
+            seen.dedup();
+            for t in &seen {
+                freq[t.idx()] += 1;
+            }
+        }
+        Self { freq }
+    }
+
+    /// The frequency of `t` in the derived dictionary (0 for invalid tokens).
+    #[inline]
+    pub fn freq(&self, t: TokenId) -> u32 {
+        self.freq.get(t.idx()).copied().unwrap_or(0)
+    }
+
+    /// Whether `t` occurs in at least one derived entity.
+    #[inline]
+    pub fn is_valid(&self, t: TokenId) -> bool {
+        self.freq(t) > 0
+    }
+
+    /// The total-order key of `t`: `(frequency, token id)` packed as
+    /// `freq << 32 | id`. Smaller key = rarer token = earlier in prefixes.
+    #[inline]
+    pub fn key(&self, t: TokenId) -> u64 {
+        ((self.freq(t) as u64) << 32) | t.0 as u64
+    }
+
+    /// Recovers the token id from a key produced by [`GlobalOrder::key`].
+    #[inline]
+    pub fn token_of(key: u64) -> TokenId {
+        TokenId(key as u32)
+    }
+
+    /// Sorts `tokens` in place by the global order and removes duplicates.
+    pub fn sort_distinct(&self, tokens: &mut Vec<TokenId>) {
+        tokens.sort_unstable_by_key(|&t| self.key(t));
+        tokens.dedup();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeetes_rules::{DeriveConfig, RuleSet};
+    use aeetes_text::{Dictionary, Interner, Tokenizer};
+
+    fn build(entries: &[&str], rules: &[(&str, &str)]) -> (GlobalOrder, Interner) {
+        let mut int = Interner::new();
+        let tok = Tokenizer::default();
+        let dict = Dictionary::from_strings(entries.iter().copied(), &tok, &mut int);
+        let mut rs = RuleSet::new();
+        for (l, r) in rules {
+            rs.push_str(l, r, &tok, &mut int).unwrap();
+        }
+        let dd = DerivedDictionary::build(&dict, &rs, &DeriveConfig::default());
+        (GlobalOrder::build(&dd), int)
+    }
+
+    #[test]
+    fn frequency_counts_derived_entities() {
+        let (o, mut i) = build(&["university of washington", "university of queensland"], &[]);
+        let uni = i.intern("university");
+        let wash = i.intern("washington");
+        assert_eq!(o.freq(uni), 2);
+        assert_eq!(o.freq(wash), 1);
+    }
+
+    #[test]
+    fn rarer_tokens_have_smaller_keys() {
+        let (o, mut i) = build(&["a b", "a c"], &[]);
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert!(o.key(b) < o.key(a));
+    }
+
+    #[test]
+    fn invalid_tokens_rank_first_with_empty_semantics() {
+        let (o, mut i) = build(&["alpha beta"], &[]);
+        let unknown = i.intern("zzz-unknown");
+        let alpha = i.intern("alpha");
+        assert!(!o.is_valid(unknown));
+        assert!(o.is_valid(alpha));
+        assert!(o.key(unknown) < o.key(alpha));
+    }
+
+    #[test]
+    fn duplicate_tokens_in_one_entity_count_once() {
+        let (o, mut i) = build(&["ny ny ny"], &[]);
+        assert_eq!(o.freq(i.intern("ny")), 1);
+    }
+
+    #[test]
+    fn derived_variants_contribute() {
+        let (o, mut i) = build(&["uq au"], &[("uq", "university of queensland")]);
+        // variants: "uq au", "university of queensland au" → au appears in 2.
+        assert_eq!(o.freq(i.intern("au")), 2);
+        assert_eq!(o.freq(i.intern("university")), 1);
+    }
+
+    #[test]
+    fn sort_distinct_orders_and_dedups() {
+        let (o, mut i) = build(&["a b", "a c", "a d"], &[]);
+        let a = i.intern("a");
+        let b = i.intern("b");
+        let c = i.intern("c");
+        let mut v = vec![a, b, a, c];
+        o.sort_distinct(&mut v);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[2], a, "most frequent token sorts last");
+    }
+
+    #[test]
+    fn key_round_trips_token() {
+        let (o, mut i) = build(&["x y"], &[]);
+        let x = i.intern("x");
+        assert_eq!(GlobalOrder::token_of(o.key(x)), x);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests: the clustered index is a faithful, well-clustered view
+//! of the derived dictionary.
+
+use aeetes_index::{ClusteredIndex, GlobalOrder};
+use aeetes_rules::{DeriveConfig, DerivedDictionary, DerivedId, RuleSet};
+use aeetes_text::{Dictionary, TokenId};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+struct Instance {
+    entities: Vec<Vec<u8>>,
+    rules: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    let tok = 0u8..12;
+    let seq = |lo: usize, hi: usize| proptest::collection::vec(tok.clone(), lo..=hi);
+    (proptest::collection::vec(seq(1, 5), 1..6), proptest::collection::vec((seq(1, 2), seq(1, 3)), 0..4))
+        .prop_map(|(entities, rules)| Instance { entities, rules })
+}
+
+fn build(inst: &Instance) -> (DerivedDictionary, ClusteredIndex) {
+    let ids: Vec<TokenId> = (0..12).map(TokenId).collect();
+    let mut dict = Dictionary::new();
+    for e in &inst.entities {
+        dict.push_tokens(format!("{e:?}"), e.iter().map(|&i| ids[i as usize]).collect());
+    }
+    let mut rules = RuleSet::new();
+    for (l, r) in &inst.rules {
+        let lt: Vec<TokenId> = l.iter().map(|&i| ids[i as usize]).collect();
+        let rt: Vec<TokenId> = r.iter().map(|&i| ids[i as usize]).collect();
+        let _ = rules.push_tokens(lt, rt, 1.0);
+    }
+    let dd = DerivedDictionary::build(&dict, &rules, &DeriveConfig::default());
+    let index = ClusteredIndex::build(&dd);
+    (dd, index)
+}
+
+proptest! {
+    /// Every token of every derived set appears exactly once in the index,
+    /// under the right token, length group and origin group, with the
+    /// position matching the globally-ordered set.
+    #[test]
+    fn postings_cover_derived_sets_exactly(inst in instance()) {
+        let (dd, index) = build(&inst);
+        // Count postings per (token, derived).
+        let mut found: HashMap<(u32, u32), u32> = HashMap::new();
+        let max_token = 64u32;
+        for t in 0..max_token {
+            let Some(tp) = index.postings(TokenId(t)) else { continue };
+            for g in tp.groups() {
+                for og in g.origins() {
+                    for e in og.entries {
+                        *found.entry((t, e.derived.0)).or_insert(0) += 1;
+                        // cross-checks
+                        prop_assert_eq!(index.set_len(e.derived), g.len());
+                        prop_assert_eq!(dd.derived(e.derived).origin, og.origin);
+                        let set = index.derived_set(e.derived);
+                        prop_assert_eq!(GlobalOrder::token_of(set[e.pos as usize]), TokenId(t));
+                    }
+                }
+            }
+        }
+        let mut expected = 0usize;
+        for (id, _) in dd.iter() {
+            let set = index.derived_set(id);
+            expected += set.len();
+            for &key in set {
+                let t = GlobalOrder::token_of(key);
+                prop_assert_eq!(found.get(&(t.0, id.0)).copied(), Some(1),
+                    "token {:?} of derived {:?} indexed wrong number of times", t, id);
+            }
+        }
+        prop_assert_eq!(index.total_entries(), expected);
+    }
+
+    /// Structural invariants: length groups ascending, origins ascending
+    /// within a group, entry counts consistent, derived sets sorted
+    /// strictly ascending by key.
+    #[test]
+    fn index_structure_invariants(inst in instance()) {
+        let (dd, index) = build(&inst);
+        for t in 0..64u32 {
+            let Some(tp) = index.postings(TokenId(t)) else { continue };
+            prop_assert!(tp.group_count() > 0);
+            let lens: Vec<usize> = tp.groups().map(|g| g.len()).collect();
+            for w in lens.windows(2) {
+                prop_assert!(w[0] < w[1], "length groups must strictly ascend");
+            }
+            for g in tp.groups() {
+                prop_assert!(g.entry_count() > 0);
+                let n: usize = g.origins().map(|o| o.entries.len()).sum();
+                prop_assert_eq!(n, g.entry_count());
+                let origins: Vec<_> = g.origins().map(|o| o.origin).collect();
+                for w in origins.windows(2) {
+                    prop_assert!(w[0] < w[1]);
+                }
+                for og in g.origins() {
+                    prop_assert!(!og.entries.is_empty());
+                }
+            }
+            // binary search helper consistency
+            for lo in 0..10usize {
+                let i = tp.first_group_at_least(lo);
+                for (gi, g) in tp.groups().enumerate() {
+                    if gi < i {
+                        prop_assert!(g.len() < lo);
+                    } else {
+                        prop_assert!(g.len() >= lo);
+                    }
+                }
+            }
+        }
+        for (id, _) in dd.iter() {
+            let set = index.derived_set(id);
+            for w in set.windows(2) {
+                prop_assert!(w[0] < w[1], "derived set must be strictly ascending");
+            }
+        }
+    }
+
+    /// The global order really is ascending-frequency with id tie-breaks,
+    /// and `min/max_set_len` bracket every derived set.
+    #[test]
+    fn global_order_and_length_extremes(inst in instance()) {
+        let (dd, index) = build(&inst);
+        let order = index.order();
+        // Frequency = number of derived entities whose set contains t.
+        let mut freq: HashMap<u32, u32> = HashMap::new();
+        for (id, _) in dd.iter() {
+            for &key in index.derived_set(id) {
+                *freq.entry(GlobalOrder::token_of(key).0).or_insert(0) += 1;
+            }
+        }
+        for (&t, &f) in &freq {
+            prop_assert_eq!(order.freq(TokenId(t)), f);
+            prop_assert!(order.is_valid(TokenId(t)));
+        }
+        for (&a, &fa) in &freq {
+            for (&b, &fb) in &freq {
+                if fa < fb || (fa == fb && a < b) {
+                    prop_assert!(order.key(TokenId(a)) < order.key(TokenId(b)));
+                }
+            }
+        }
+        let lens: Vec<usize> = dd.iter().map(|(id, _)| index.set_len(id)).filter(|&l| l > 0).collect();
+        prop_assert_eq!(index.min_set_len(), lens.iter().min().copied());
+        prop_assert_eq!(index.max_set_len(), lens.iter().max().copied());
+        let _ = DerivedId(0);
+    }
+}

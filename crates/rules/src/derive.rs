@@ -1,0 +1,482 @@
+//! Off-line derived-dictionary generation (`E = ⋃_{e ∈ E0} D(e)`).
+
+use crate::apply::{find_applications, select_non_conflict, select_non_conflict_exact, Application};
+use crate::rule::{RuleId, RuleSet};
+use aeetes_text::{Dictionary, EntityId, TokenId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a derived entity in a [`DerivedDictionary`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DerivedId(pub u32);
+
+impl DerivedId {
+    /// The id as a usize, for indexing side tables.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for DerivedId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// One derived entity: an origin entity rewritten by a (possibly empty)
+/// combination of non-conflict rules.
+#[derive(Debug, Clone)]
+pub struct DerivedEntity {
+    /// The origin entity this variant was derived from.
+    pub origin: EntityId,
+    /// Rewritten token sequence, in surface order.
+    pub tokens: Vec<TokenId>,
+    /// Rules applied to produce this variant (empty for the origin itself).
+    pub rules: Vec<RuleId>,
+    /// Product of applied rule weights (`1.0` for unweighted rules).
+    pub weight: f64,
+}
+
+/// Configuration for derived-dictionary generation.
+#[derive(Debug, Clone)]
+pub struct DeriveConfig {
+    /// Cap on `|D(e)|` per entity. The combination count is `O(2^n)` in the
+    /// number of non-conflict rule groups (paper §2.1); enumeration stops
+    /// deterministically once the cap is reached and the truncation is
+    /// recorded in [`DeriveStats::truncated_entities`].
+    pub max_derived: usize,
+    /// Use the exact maximum-weight non-conflict selection instead of the
+    /// paper's greedy approximation. The span-conflict graph is an interval
+    /// graph, so the optimum costs only `O(V log V)` per entity (weighted
+    /// interval scheduling); the default stays greedy to mirror the paper.
+    pub exact_selection: bool,
+}
+
+impl Default for DeriveConfig {
+    fn default() -> Self {
+        Self { max_derived: 256, exact_selection: false }
+    }
+}
+
+/// Aggregate statistics of a derivation run (feeds the paper's Table 1).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeriveStats {
+    /// Number of origin entities processed.
+    pub origins: usize,
+    /// Total derived entities generated (including each origin itself).
+    pub derived: usize,
+    /// Sum over entities of `|Ac(e)|` (all side occurrences found).
+    pub applicable_total: usize,
+    /// Sum over entities of `|A(e)|` (rules surviving non-conflict selection).
+    pub selected_total: usize,
+    /// Entities whose `D(e)` hit [`DeriveConfig::max_derived`].
+    pub truncated_entities: usize,
+    /// Derived variants dropped because their token sequence duplicated an
+    /// earlier variant of the same origin.
+    pub duplicates_dropped: usize,
+}
+
+impl DeriveStats {
+    /// Average `|A(e)|` per entity — the Table 1 `avg |A(e)|` column.
+    pub fn avg_selected(&self) -> f64 {
+        if self.origins == 0 {
+            0.0
+        } else {
+            self.selected_total as f64 / self.origins as f64
+        }
+    }
+
+    /// Average `|Ac(e)|` per entity (before conflict resolution).
+    pub fn avg_applicable(&self) -> f64 {
+        if self.origins == 0 {
+            0.0
+        } else {
+            self.applicable_total as f64 / self.origins as f64
+        }
+    }
+}
+
+/// The derived dictionary: every entity's variants, grouped contiguously by
+/// origin so `D(e)` is a slice.
+#[derive(Debug, Clone, Default)]
+pub struct DerivedDictionary {
+    derived: Vec<DerivedEntity>,
+    /// `by_origin[e] = (first, last+1)` range of `e`'s variants in `derived`.
+    by_origin: Vec<(u32, u32)>,
+    stats: DeriveStats,
+}
+
+impl DerivedDictionary {
+    /// Expands every entity of `dict` under `rules`.
+    ///
+    /// Variants are enumerated in a deterministic order: the unmodified
+    /// origin first, then combinations in mixed-radix order over the
+    /// span groups (leftmost span = least significant digit).
+    pub fn build(dict: &Dictionary, rules: &RuleSet, config: &DeriveConfig) -> Self {
+        let mut out = Self::default();
+        out.by_origin.reserve(dict.len());
+        for (eid, ent) in dict.iter() {
+            let first = out.derived.len() as u32;
+            if !ent.tokens.is_empty() {
+                out.expand_entity(eid, &ent.tokens, rules, config);
+            }
+            out.by_origin.push((first, out.derived.len() as u32));
+            out.stats.origins += 1;
+        }
+        out.stats.derived = out.derived.len();
+        out
+    }
+
+    fn expand_entity(&mut self, eid: EntityId, tokens: &[TokenId], rules: &RuleSet, config: &DeriveConfig) {
+        self.stats.applicable_total += find_applications(tokens, rules).len();
+        let groups = if config.exact_selection {
+            select_non_conflict_exact(tokens, rules)
+        } else {
+            select_non_conflict(tokens, rules)
+        };
+        self.stats.selected_total += groups.iter().map(Vec::len).sum::<usize>();
+
+        // Mixed-radix enumeration: digit g ranges over 0 (skip span) ..= |groups[g]|.
+        let mut digits = vec![0usize; groups.len()];
+        let mut seen: HashMap<Vec<TokenId>, ()> = HashMap::new();
+        let mut produced = 0usize;
+        loop {
+            if produced >= config.max_derived {
+                self.stats.truncated_entities += 1;
+                break;
+            }
+            let chosen: Vec<&Application> = digits
+                .iter()
+                .zip(&groups)
+                .filter_map(|(&d, g)| d.checked_sub(1).map(|i| &g[i]))
+                .collect();
+            let (new_tokens, applied, weight) = rewrite(tokens, &chosen, rules);
+            if seen.insert(new_tokens.clone(), ()).is_none() {
+                self.derived.push(DerivedEntity { origin: eid, tokens: new_tokens, rules: applied, weight });
+                produced += 1;
+            } else {
+                self.stats.duplicates_dropped += 1;
+            }
+            // Increment mixed-radix counter.
+            let mut g = 0;
+            loop {
+                if g == groups.len() {
+                    return; // all combinations enumerated
+                }
+                digits[g] += 1;
+                if digits[g] <= groups[g].len() {
+                    break;
+                }
+                digits[g] = 0;
+                g += 1;
+            }
+        }
+    }
+
+    /// Reassembles a derived dictionary from its parts (deserialization).
+    ///
+    /// `derived` must be grouped contiguously by origin in ascending origin
+    /// order — exactly the layout [`DerivedDictionary::build`] produces and
+    /// [`DerivedDictionary::iter`] yields.
+    ///
+    /// # Errors
+    /// Returns a message when an origin id is out of range or the grouping
+    /// is not contiguous/ascending.
+    pub fn from_parts(derived: Vec<DerivedEntity>, num_origins: usize, stats: DeriveStats) -> Result<Self, String> {
+        let mut by_origin = vec![(0u32, 0u32); num_origins];
+        let mut prev: Option<u32> = None;
+        let mut start = 0u32;
+        for (i, d) in derived.iter().enumerate() {
+            if d.origin.idx() >= num_origins {
+                return Err(format!("derived entity {i} references origin {:?} out of {num_origins}", d.origin));
+            }
+            match prev {
+                Some(p) if p == d.origin.0 => {}
+                Some(p) => {
+                    if d.origin.0 < p {
+                        return Err(format!("derived entities not grouped by ascending origin at index {i}"));
+                    }
+                    by_origin[p as usize] = (start, i as u32);
+                    start = i as u32;
+                    prev = Some(d.origin.0);
+                }
+                None => prev = Some(d.origin.0),
+            }
+        }
+        if let Some(p) = prev {
+            by_origin[p as usize] = (start, derived.len() as u32);
+        }
+        // Origins with no variants keep (0,0)? They must point at an empty
+        // range at the right offset for slicing consistency; (0,0) is an
+        // empty range, which is fine for `variants`/`variant_range`.
+        let mut out = Self { derived, by_origin, stats };
+        out.stats.origins = num_origins;
+        out.stats.derived = out.derived.len();
+        Ok(out)
+    }
+
+    /// The derived entity with id `id`.
+    pub fn derived(&self, id: DerivedId) -> &DerivedEntity {
+        &self.derived[id.idx()]
+    }
+
+    /// All variants of origin entity `e` (includes the unmodified origin).
+    pub fn variants(&self, e: EntityId) -> &[DerivedEntity] {
+        let (a, b) = self.by_origin[e.idx()];
+        &self.derived[a as usize..b as usize]
+    }
+
+    /// The contiguous range of global [`DerivedId`]s holding `e`'s variants.
+    pub fn variant_range(&self, e: EntityId) -> std::ops::Range<u32> {
+        let (a, b) = self.by_origin[e.idx()];
+        a..b
+    }
+
+    /// Total number of derived entities.
+    pub fn len(&self) -> usize {
+        self.derived.len()
+    }
+
+    /// Whether no derived entities exist.
+    pub fn is_empty(&self) -> bool {
+        self.derived.is_empty()
+    }
+
+    /// Number of origin entities.
+    pub fn origins(&self) -> usize {
+        self.by_origin.len()
+    }
+
+    /// Iterates over `(id, derived entity)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (DerivedId, &DerivedEntity)> {
+        self.derived.iter().enumerate().map(|(i, d)| (DerivedId(i as u32), d))
+    }
+
+    /// Generation statistics.
+    pub fn stats(&self) -> &DeriveStats {
+        &self.stats
+    }
+
+    /// Minimum derived-entity token length (`|e|⊥`), or `None` when empty.
+    pub fn min_len(&self) -> Option<usize> {
+        self.derived.iter().map(|d| d.tokens.len()).min()
+    }
+
+    /// Maximum derived-entity token length (`|e|⊤`), or `None` when empty.
+    pub fn max_len(&self) -> Option<usize> {
+        self.derived.iter().map(|d| d.tokens.len()).max()
+    }
+}
+
+/// Applies `chosen` (span-disjoint, any order) to `tokens`, returning the
+/// rewritten sequence, the rule ids applied, and the weight product.
+fn rewrite(tokens: &[TokenId], chosen: &[&Application], rules: &RuleSet) -> (Vec<TokenId>, Vec<RuleId>, f64) {
+    let mut by_start: Vec<&Application> = chosen.to_vec();
+    by_start.sort_by_key(|a| a.start);
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut applied = Vec::with_capacity(by_start.len());
+    let mut weight = 1.0;
+    let mut pos = 0usize;
+    for app in by_start {
+        out.extend_from_slice(&tokens[pos..app.start as usize]);
+        out.extend_from_slice(rules.other_side(app.rule, app.side));
+        applied.push(app.rule);
+        weight *= rules.rule(app.rule).weight;
+        pos = app.end() as usize;
+    }
+    out.extend_from_slice(&tokens[pos..]);
+    (out, applied, weight)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeetes_text::{Interner, Tokenizer};
+
+    struct Ctx {
+        int: Interner,
+        tok: Tokenizer,
+        dict: Dictionary,
+        rules: RuleSet,
+    }
+
+    impl Ctx {
+        fn new() -> Self {
+            Self { int: Interner::new(), tok: Tokenizer::default(), dict: Dictionary::new(), rules: RuleSet::new() }
+        }
+        fn entity(&mut self, s: &str) -> EntityId {
+            self.dict.push(s, &self.tok, &mut self.int)
+        }
+        fn rule(&mut self, l: &str, r: &str) {
+            self.rules.push_str(l, r, &self.tok, &mut self.int).unwrap();
+        }
+        fn build(&self) -> DerivedDictionary {
+            DerivedDictionary::build(&self.dict, &self.rules, &DeriveConfig::default())
+        }
+        fn render(&self, d: &DerivedEntity) -> String {
+            self.int.render(&d.tokens)
+        }
+    }
+
+    /// Paper §2.1: e3 = "UQ AU" with rules UQ⇔University of Queensland and
+    /// AU⇔Australia derives exactly the four listed variants.
+    #[test]
+    fn paper_uq_au_example() {
+        let mut c = Ctx::new();
+        let e = c.entity("UQ AU");
+        c.rule("UQ", "University of Queensland");
+        c.rule("AU", "Australia");
+        let dd = c.build();
+        let got: Vec<String> = dd.variants(e).iter().map(|d| c.render(d)).collect();
+        assert_eq!(dd.len(), 4);
+        assert!(got.contains(&"uq au".to_string()));
+        assert!(got.contains(&"university of queensland au".to_string()));
+        assert!(got.contains(&"uq australia".to_string()));
+        assert!(got.contains(&"university of queensland australia".to_string()));
+    }
+
+    #[test]
+    fn origin_variant_comes_first() {
+        let mut c = Ctx::new();
+        let e = c.entity("UW Madison");
+        c.rule("UW", "University of Wisconsin");
+        let dd = c.build();
+        let v = dd.variants(e);
+        assert_eq!(c.render(&v[0]), "uw madison");
+        assert!(v[0].rules.is_empty());
+        assert_eq!(v[0].weight, 1.0);
+    }
+
+    #[test]
+    fn rhs_occurrence_rewrites_to_lhs() {
+        let mut c = Ctx::new();
+        let e = c.entity("University of Queensland");
+        c.rule("UQ", "University of Queensland");
+        let dd = c.build();
+        let got: Vec<String> = dd.variants(e).iter().map(|d| c.render(d)).collect();
+        assert!(got.contains(&"uq".to_string()));
+    }
+
+    #[test]
+    fn conflicting_rules_never_coapplied() {
+        let mut c = Ctx::new();
+        // "UW" could be Wisconsin or Washington (paper's r4/r5 conflict).
+        let e = c.entity("UW Madison");
+        c.rule("UW", "University of Wisconsin");
+        c.rule("UW", "University of Washington");
+        let dd = c.build();
+        let got: Vec<String> = dd.variants(e).iter().map(|d| c.render(d)).collect();
+        assert_eq!(got.len(), 3); // origin + two alternatives
+        for d in dd.variants(e) {
+            assert!(d.rules.len() <= 1);
+        }
+    }
+
+    #[test]
+    fn empty_entity_has_no_variants() {
+        let mut c = Ctx::new();
+        let e = c.entity("!!!");
+        let dd = c.build();
+        assert!(dd.variants(e).is_empty());
+    }
+
+    #[test]
+    fn cap_truncates_deterministically() {
+        let mut c = Ctx::new();
+        // 8 independent spans, each with one rule → 2^8 = 256 combos.
+        let e = c.entity("a b c d e f g h");
+        for s in ["a", "b", "c", "d", "e", "f", "g", "h"] {
+            c.rule(s, &format!("{s}x"));
+        }
+        let dd1 = DerivedDictionary::build(&c.dict, &c.rules, &DeriveConfig { max_derived: 10, ..DeriveConfig::default() });
+        let dd2 = DerivedDictionary::build(&c.dict, &c.rules, &DeriveConfig { max_derived: 10, ..DeriveConfig::default() });
+        assert_eq!(dd1.variants(e).len(), 10);
+        assert_eq!(dd1.stats().truncated_entities, 1);
+        let t1: Vec<_> = dd1.variants(e).iter().map(|d| d.tokens.clone()).collect();
+        let t2: Vec<_> = dd2.variants(e).iter().map(|d| d.tokens.clone()).collect();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn no_cap_generates_full_product() {
+        let mut c = Ctx::new();
+        let e = c.entity("a b c d e f g h");
+        for s in ["a", "b", "c", "d", "e", "f", "g", "h"] {
+            c.rule(s, &format!("{s}x"));
+        }
+        let dd = c.build();
+        assert_eq!(dd.variants(e).len(), 256);
+        assert_eq!(dd.stats().truncated_entities, 0);
+    }
+
+    #[test]
+    fn duplicate_variants_are_dropped() {
+        let mut c = Ctx::new();
+        let e = c.entity("ny ny");
+        c.rule("ny", "new york");
+        let dd = c.build();
+        // Spans (0,1) and (1,2): combos = 4, all distinct here. Now a rule
+        // pair producing identical output: a⇔b and a⇔b reversed.
+        let _ = e;
+        let e2 = c.entity("a");
+        c.rules.push_str("a", "b", &c.tok.clone(), &mut c.int).unwrap();
+        c.rules.push_str("b", "a", &c.tok.clone(), &mut c.int).unwrap();
+        let dd2 = c.build();
+        // variants of "a": origin "a", rule1→"b", rule2 rhs "a" matched → lhs "b" (dup).
+        let got: Vec<String> = dd2.variants(e2).iter().map(|d| c.render(d)).collect();
+        assert_eq!(got.len(), 2, "duplicate 'b' dropped: {got:?}");
+        assert!(dd2.stats().duplicates_dropped >= 1);
+        drop(dd);
+    }
+
+    #[test]
+    fn weights_multiply() {
+        let mut c = Ctx::new();
+        let e = c.entity("uq au");
+        c.rules.push_weighted_str("uq", "university of queensland", 0.5, &c.tok.clone(), &mut c.int).unwrap();
+        c.rules.push_weighted_str("au", "australia", 0.8, &c.tok.clone(), &mut c.int).unwrap();
+        let dd = c.build();
+        let both = dd
+            .variants(e)
+            .iter()
+            .find(|d| d.rules.len() == 2)
+            .expect("variant with both rules");
+        assert!((both.weight - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_track_counts() {
+        let mut c = Ctx::new();
+        c.entity("UQ AU");
+        c.entity("plain words");
+        c.rule("UQ", "University of Queensland");
+        c.rule("AU", "Australia");
+        let dd = c.build();
+        let s = dd.stats();
+        assert_eq!(s.origins, 2);
+        assert_eq!(s.selected_total, 2);
+        assert_eq!(s.avg_selected(), 1.0);
+        assert_eq!(dd.min_len(), Some(2));
+        assert_eq!(dd.max_len(), Some(4));
+    }
+
+    #[test]
+    fn variants_ranges_are_disjoint_and_ordered() {
+        let mut c = Ctx::new();
+        let a = c.entity("UQ x");
+        let b = c.entity("UQ y");
+        c.rule("UQ", "University of Queensland");
+        let dd = c.build();
+        assert_eq!(dd.variants(a).len(), 2);
+        assert_eq!(dd.variants(b).len(), 2);
+        for d in dd.variants(a) {
+            assert_eq!(d.origin, a);
+        }
+        for d in dd.variants(b) {
+            assert_eq!(d.origin, b);
+        }
+        assert_eq!(dd.len(), 4);
+        assert_eq!(dd.origins(), 2);
+    }
+}

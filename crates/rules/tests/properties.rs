@@ -1,0 +1,145 @@
+//! Property tests for rule application and derivation invariants.
+
+use aeetes_rules::{find_applications, select_non_conflict, DeriveConfig, DerivedDictionary, RuleSet};
+use aeetes_text::{Dictionary, TokenId};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+struct Instance {
+    entities: Vec<Vec<u8>>,
+    rules: Vec<(Vec<u8>, Vec<u8>)>,
+}
+
+fn instance() -> impl Strategy<Value = Instance> {
+    let tok = 0u8..10;
+    let seq = |lo: usize, hi: usize| proptest::collection::vec(tok.clone(), lo..=hi);
+    (proptest::collection::vec(seq(1, 6), 1..5), proptest::collection::vec((seq(1, 3), seq(1, 3)), 0..6))
+        .prop_map(|(entities, rules)| Instance { entities, rules })
+}
+
+fn materialize(inst: &Instance) -> (Dictionary, RuleSet) {
+    let ids: Vec<TokenId> = (0..10).map(TokenId).collect();
+    let mut dict = Dictionary::new();
+    for e in &inst.entities {
+        dict.push_tokens(format!("{e:?}"), e.iter().map(|&i| ids[i as usize]).collect());
+    }
+    let mut rules = RuleSet::new();
+    for (l, r) in &inst.rules {
+        let lt: Vec<TokenId> = l.iter().map(|&i| ids[i as usize]).collect();
+        let rt: Vec<TokenId> = r.iter().map(|&i| ids[i as usize]).collect();
+        let _ = rules.push_tokens(lt, rt, 1.0);
+    }
+    (dict, rules)
+}
+
+proptest! {
+    /// Every application reported by `find_applications` really matches the
+    /// claimed side at the claimed span.
+    #[test]
+    fn applications_are_genuine(inst in instance()) {
+        let (dict, rules) = materialize(&inst);
+        for (_, e) in dict.iter() {
+            for app in find_applications(&e.tokens, &rules) {
+                let side = rules.side_of(app.rule, app.side);
+                let span = &e.tokens[app.start as usize..app.end() as usize];
+                prop_assert_eq!(span, side);
+            }
+        }
+    }
+
+    /// The selected non-conflict groups have pairwise-disjoint spans across
+    /// groups, identical spans within a group, and every application comes
+    /// from the complete applicable set.
+    #[test]
+    fn non_conflict_selection_invariants(inst in instance()) {
+        let (dict, rules) = materialize(&inst);
+        for (_, e) in dict.iter() {
+            let all = find_applications(&e.tokens, &rules);
+            let groups = select_non_conflict(&e.tokens, &rules);
+            for (gi, g) in groups.iter().enumerate() {
+                prop_assert!(!g.is_empty());
+                let span = (g[0].start, g[0].end());
+                for app in g {
+                    prop_assert_eq!((app.start, app.end()), span, "same span within a group");
+                    prop_assert!(all.contains(app), "selected app not in Ac(e)");
+                }
+                for h in groups.iter().skip(gi + 1) {
+                    prop_assert!(
+                        g[0].end() <= h[0].start || h[0].end() <= g[0].start,
+                        "groups overlap: {:?} vs {:?}", g[0], h[0]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Derivation invariants: the origin variant comes first with weight 1
+    /// and no rules; variants are distinct token sequences; every variant
+    /// respects the per-entity cap; `variant_range` and `variants` agree.
+    #[test]
+    fn derivation_invariants(inst in instance()) {
+        let (dict, rules) = materialize(&inst);
+        let config = DeriveConfig { max_derived: 32, ..DeriveConfig::default() };
+        let dd = DerivedDictionary::build(&dict, &rules, &config);
+        for (eid, ent) in dict.iter() {
+            let variants = dd.variants(eid);
+            prop_assert!(variants.len() <= config.max_derived);
+            if !ent.tokens.is_empty() {
+                prop_assert!(!variants.is_empty());
+                prop_assert_eq!(&variants[0].tokens, &ent.tokens, "origin first");
+                prop_assert!(variants[0].rules.is_empty());
+                prop_assert_eq!(variants[0].weight, 1.0);
+            }
+            let mut seen: HashSet<&[TokenId]> = HashSet::new();
+            for v in variants {
+                prop_assert_eq!(v.origin, eid);
+                prop_assert!(seen.insert(&v.tokens), "duplicate variant {:?}", v.tokens);
+                prop_assert!(!v.tokens.is_empty());
+            }
+            let range = dd.variant_range(eid);
+            prop_assert_eq!(range.len(), variants.len());
+        }
+        prop_assert_eq!(dd.origins(), dict.len());
+        prop_assert_eq!(dd.len(), dd.iter().count());
+    }
+
+    /// `from_parts` round-trips `build` exactly.
+    #[test]
+    fn from_parts_round_trip(inst in instance()) {
+        let (dict, rules) = materialize(&inst);
+        let dd = DerivedDictionary::build(&dict, &rules, &DeriveConfig::default());
+        let parts: Vec<_> = dd.iter().map(|(_, d)| d.clone()).collect();
+        let rebuilt = DerivedDictionary::from_parts(parts, dd.origins(), dd.stats().clone())
+            .expect("valid parts");
+        prop_assert_eq!(rebuilt.len(), dd.len());
+        for (eid, _) in dict.iter() {
+            let a: Vec<_> = dd.variants(eid).iter().map(|d| &d.tokens).collect();
+            let b: Vec<_> = rebuilt.variants(eid).iter().map(|d| &d.tokens).collect();
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(rebuilt.stats(), dd.stats());
+    }
+
+    /// Applying a weighted rule chain keeps weights in (0, 1].
+    #[test]
+    fn weights_stay_in_unit_interval(inst in instance(), w in 0.05f64..1.0) {
+        let ids: Vec<TokenId> = (0..10).map(TokenId).collect();
+        let mut dict = Dictionary::new();
+        for e in &inst.entities {
+            dict.push_tokens(format!("{e:?}"), e.iter().map(|&i| ids[i as usize]).collect());
+        }
+        let mut rules = RuleSet::new();
+        for (l, r) in &inst.rules {
+            let lt: Vec<TokenId> = l.iter().map(|&i| ids[i as usize]).collect();
+            let rt: Vec<TokenId> = r.iter().map(|&i| ids[i as usize]).collect();
+            let _ = rules.push_tokens(lt, rt, w);
+        }
+        let dd = DerivedDictionary::build(&dict, &rules, &DeriveConfig::default());
+        for (_, d) in dd.iter() {
+            prop_assert!(d.weight > 0.0 && d.weight <= 1.0);
+            let expected = w.powi(d.rules.len() as i32);
+            prop_assert!((d.weight - expected).abs() < 1e-9);
+        }
+    }
+}

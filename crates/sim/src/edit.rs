@@ -1,0 +1,136 @@
+//! Character-level edit distance (supports the Fuzzy-Jaccard baseline and
+//! the typo-tolerance extension).
+
+/// Levenshtein distance between two strings, O(|a|·|b|) time, O(min) space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut row: Vec<usize> = (0..=short.len()).collect();
+    for (i, &lc) in long.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            let next = (prev_diag + cost).min(row[j] + 1).min(row[j + 1] + 1);
+            prev_diag = row[j + 1];
+            row[j + 1] = next;
+        }
+    }
+    row[short.len()]
+}
+
+/// Banded Levenshtein: returns `Some(d)` if `d ≤ k`, else `None`, in
+/// O(k·max(|a|,|b|)) time. Used when verifying against a known threshold.
+pub fn levenshtein_bounded(a: &str, b: &str, k: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > k {
+        return None;
+    }
+    if a.is_empty() {
+        return (b.len() <= k).then_some(b.len());
+    }
+    if b.is_empty() {
+        return (a.len() <= k).then_some(a.len());
+    }
+    const BIG: usize = usize::MAX / 2;
+    // Classic banded DP over rows of `a`, columns restricted to |i-j| ≤ k.
+    // Cells outside the band hold BIG and never contribute.
+    let mut prev = vec![BIG; b.len() + 1];
+    let mut cur = vec![BIG; b.len() + 1];
+    for (j, p) in prev.iter_mut().enumerate().take(k.min(b.len()) + 1) {
+        *p = j;
+    }
+    for i in 1..=a.len() {
+        let lo = i.saturating_sub(k);
+        let hi = (i + k).min(b.len());
+        cur.fill(BIG);
+        if lo == 0 {
+            cur[0] = i;
+        }
+        for j in lo.max(1)..=hi {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = BIG;
+            if prev[j - 1] < BIG {
+                best = best.min(prev[j - 1] + cost);
+            }
+            if prev[j] < BIG {
+                best = best.min(prev[j] + 1);
+            }
+            if cur[j - 1] < BIG {
+                best = best.min(cur[j - 1] + 1);
+            }
+            cur[j] = best;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        if prev.iter().all(|&v| v > k) {
+            return None;
+        }
+    }
+    let d = prev[b.len()];
+    (d <= k).then_some(d)
+}
+
+/// Normalized edit similarity `1 − ed(a, b) / max(|a|, |b|)` in `[0, 1]`.
+///
+/// Two empty strings have similarity `1.0`.
+pub fn edit_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let m = la.max(lb);
+    if m == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+        assert_eq!(levenshtein("aukland", "auckland"), 1);
+    }
+
+    #[test]
+    fn unicode_chars_count_once() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+    }
+
+    #[test]
+    fn bounded_agrees_with_full() {
+        let words = ["kitten", "sitting", "", "a", "ab", "abc", "abcd", "university", "universe"];
+        for a in words {
+            for b in words {
+                let d = levenshtein(a, b);
+                for k in 0..6 {
+                    let got = levenshtein_bounded(a, b, k);
+                    if d <= k {
+                        assert_eq!(got, Some(d), "a={a} b={b} k={k}");
+                    } else {
+                        assert_eq!(got, None, "a={a} b={b} k={k}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_range_and_values() {
+        assert_eq!(edit_similarity("", ""), 1.0);
+        assert_eq!(edit_similarity("abc", "abc"), 1.0);
+        assert_eq!(edit_similarity("abc", "xyz"), 0.0);
+        let s = edit_similarity("aukland", "auckland");
+        assert!((s - (1.0 - 1.0 / 8.0)).abs() < 1e-12);
+    }
+}

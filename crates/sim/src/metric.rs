@@ -1,0 +1,246 @@
+//! Token-set similarity metrics as a first-class abstraction.
+//!
+//! The paper (§2.2) notes that the framework "can also be easily extended
+//! to other similarity metrics, such as Overlap, Cosine and Dice". This
+//! module carries each metric's *filter arithmetic* — score, length-filter
+//! bounds, prefix length and required overlap — so the extraction engine
+//! can run any of them through the same candidate-generation machinery.
+//!
+//! Derivations (with `o = |a ∩ b|`, set sizes `a`, `b`, threshold τ):
+//!
+//! | metric  | score            | single-side bound    | length bounds for `b` |
+//! |---------|------------------|----------------------|------------------------|
+//! | Jaccard | `o/(a+b−o)`      | `o ≥ τ·a`            | `[τ·a, a/τ]`           |
+//! | Dice    | `2o/(a+b)`       | `o ≥ τ·a/(2−τ)`      | `[τ·a/(2−τ), a(2−τ)/τ]`|
+//! | Cosine  | `o/√(a·b)`       | `o ≥ τ²·a`           | `[τ²·a, a/τ²]`         |
+//! | Overlap | `o/min(a,b)`     | `o ≥ τ·min(a,b)`     | `[1, ∞)` (capped)      |
+//!
+//! The prefix of a set of size `n` is its first `n − ⌈bound(n)⌉ + 1`
+//! globally-ordered tokens; Lemma 3.1 generalizes to every metric whose
+//! single-side bound is monotone, which all four are. Overlap has no upper
+//! length bound, so extraction clamps it with an explicit mention-length
+//! cap (see [`Metric::length_bounds`]).
+
+/// Rounding guard (see `aeetes-index::filters`).
+const EPS: f64 = 1e-9;
+
+/// A token-set similarity metric with its filter arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Metric {
+    /// Jaccard similarity `|a∩b| / |a∪b|` (the paper's default).
+    #[default]
+    Jaccard,
+    /// Dice coefficient `2|a∩b| / (|a|+|b|)`.
+    Dice,
+    /// Cosine similarity `|a∩b| / √(|a|·|b|)`.
+    Cosine,
+    /// Overlap coefficient `|a∩b| / min(|a|,|b|)`.
+    Overlap,
+}
+
+impl Metric {
+    /// All supported metrics.
+    pub const ALL: [Metric; 4] = [Metric::Jaccard, Metric::Dice, Metric::Cosine, Metric::Overlap];
+
+    /// Stable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Jaccard => "jaccard",
+            Metric::Dice => "dice",
+            Metric::Cosine => "cosine",
+            Metric::Overlap => "overlap",
+        }
+    }
+
+    /// The similarity of two sets of sizes `a`, `b` sharing `inter` tokens.
+    ///
+    /// Two empty sets score `1.0`; an empty set against a non-empty one
+    /// scores `0.0`.
+    pub fn score(self, a: usize, b: usize, inter: usize) -> f64 {
+        debug_assert!(inter <= a.min(b));
+        if a == 0 && b == 0 {
+            return 1.0;
+        }
+        if a == 0 || b == 0 {
+            return 0.0;
+        }
+        let (a, b, o) = (a as f64, b as f64, inter as f64);
+        match self {
+            Metric::Jaccard => o / (a + b - o),
+            Metric::Dice => 2.0 * o / (a + b),
+            Metric::Cosine => o / (a * b).sqrt(),
+            Metric::Overlap => o / a.min(b),
+        }
+    }
+
+    /// Sizes a set of size `n` must have to possibly reach `tau` against a
+    /// set of size within the returned `[lo, hi]` (the length filter).
+    /// `cap` bounds the upper end for metrics without one (Overlap).
+    pub fn length_bounds(self, n: usize, tau: f64, cap: usize) -> (usize, usize) {
+        debug_assert!(tau > 0.0 && tau <= 1.0);
+        let nf = n as f64;
+        let (lo, hi) = match self {
+            Metric::Jaccard => (nf * tau, nf / tau),
+            Metric::Dice => (nf * tau / (2.0 - tau), nf * (2.0 - tau) / tau),
+            Metric::Cosine => (nf * tau * tau, nf / (tau * tau)),
+            Metric::Overlap => (1.0, cap as f64),
+        };
+        (((lo + EPS).floor() as usize).max(1), ((hi - EPS).ceil() as usize).min(cap.max(1)))
+    }
+
+    /// Minimum overlap `o` required against *any* partner for a set of size
+    /// `n` (the single-side bound used by the prefix filter).
+    pub fn min_overlap_single(self, n: usize, tau: f64) -> usize {
+        let nf = n as f64;
+        let o = match self {
+            Metric::Jaccard => nf * tau,
+            Metric::Dice => nf * tau / (2.0 - tau),
+            Metric::Cosine => nf * tau * tau,
+            // For Overlap, a partner smaller than n weakens the bound all
+            // the way to o ≥ τ·1; the only universally sound single-side
+            // requirement is one shared token.
+            Metric::Overlap => 1.0,
+        };
+        (o - EPS).ceil().max(1.0) as usize
+    }
+
+    /// τ-prefix length for a set of `n` distinct tokens:
+    /// `n − min_overlap_single(n) + 1` (zero for an empty set).
+    pub fn prefix_len(self, n: usize, tau: f64) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        (n - self.min_overlap_single(n, tau) + 1).min(n)
+    }
+
+    /// Minimum overlap required for sets of sizes `a` and `b` to reach
+    /// `tau` (the pair bound used to early-abort verification merges).
+    pub fn required_overlap(self, a: usize, b: usize, tau: f64) -> usize {
+        let (af, bf) = (a as f64, b as f64);
+        let o = match self {
+            Metric::Jaccard => tau * (af + bf) / (1.0 + tau),
+            Metric::Dice => tau * (af + bf) / 2.0,
+            Metric::Cosine => tau * (af * bf).sqrt(),
+            Metric::Overlap => tau * af.min(bf),
+        };
+        (o - EPS).ceil().max(1.0) as usize
+    }
+}
+
+impl std::fmt::Display for Metric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_match_closed_forms() {
+        // a=3, b=4, o=2
+        assert!((Metric::Jaccard.score(3, 4, 2) - 2.0 / 5.0).abs() < 1e-12);
+        assert!((Metric::Dice.score(3, 4, 2) - 4.0 / 7.0).abs() < 1e-12);
+        assert!((Metric::Cosine.score(3, 4, 2) - 2.0 / 12f64.sqrt()).abs() < 1e-12);
+        assert!((Metric::Overlap.score(3, 4, 2) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set_conventions() {
+        for m in Metric::ALL {
+            assert_eq!(m.score(0, 0, 0), 1.0);
+            assert_eq!(m.score(0, 3, 0), 0.0);
+            assert_eq!(m.score(3, 0, 0), 0.0);
+        }
+    }
+
+    #[test]
+    fn identical_sets_score_one() {
+        for m in Metric::ALL {
+            for n in 1..8 {
+                assert!((m.score(n, n, n) - 1.0).abs() < 1e-12, "{m} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_matches_legacy_arithmetic() {
+        for n in 1..20 {
+            for tau in [0.7, 0.8, 0.9] {
+                let (lo, hi) = Metric::Jaccard.length_bounds(n, tau, usize::MAX);
+                let (llo, lhi) = crate::set::jaccard_length_bounds(n, tau);
+                assert_eq!((lo, hi), (llo, lhi), "n={n} tau={tau}");
+            }
+        }
+    }
+
+    /// Exhaustive soundness: for every (a, b, o) in a grid, if the score
+    /// reaches τ then (1) b is inside a's length bounds, (2) o reaches the
+    /// single-side and pair bounds — i.e. no filter can cause a false
+    /// negative.
+    #[test]
+    fn filter_bounds_are_sound() {
+        for m in Metric::ALL {
+            for tau in [0.5, 0.7, 0.8, 0.9, 1.0] {
+                for a in 1usize..=12 {
+                    for b in 1usize..=12 {
+                        for o in 0..=a.min(b) {
+                            if m.score(a, b, o) >= tau {
+                                let (lo, hi) = m.length_bounds(a, tau, usize::MAX);
+                                assert!(b >= lo && b <= hi, "{m} τ={tau} a={a} b={b} o={o} bounds=({lo},{hi})");
+                                assert!(
+                                    o >= m.min_overlap_single(a, tau),
+                                    "{m} τ={tau} a={a} b={b} o={o} single={}",
+                                    m.min_overlap_single(a, tau)
+                                );
+                                assert!(
+                                    o >= m.required_overlap(a, b, tau),
+                                    "{m} τ={tau} a={a} b={b} o={o} pair={}",
+                                    m.required_overlap(a, b, tau)
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_len_in_range() {
+        for m in Metric::ALL {
+            assert_eq!(m.prefix_len(0, 0.8), 0);
+            for n in 1..20 {
+                for tau in [0.5, 0.7, 0.9, 1.0] {
+                    let p = m.prefix_len(n, tau);
+                    assert!(p >= 1 && p <= n, "{m} n={n} tau={tau} p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_prefix_matches_paper_formula() {
+        // ⌊(1−τ)n⌋+1 — via n − ⌈τ·n⌉ + 1, identical for all n, τ.
+        for n in 1..30 {
+            for tau in [0.7, 0.75, 0.8, 0.85, 0.9] {
+                let via_bound = Metric::Jaccard.prefix_len(n, tau);
+                let paper = ((1.0 - tau) * n as f64 + EPS).floor() as usize + 1;
+                assert_eq!(via_bound, paper.min(n), "n={n} tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_upper_bound_is_the_cap() {
+        assert_eq!(Metric::Overlap.length_bounds(5, 0.8, 40), (1, 40));
+        assert_eq!(Metric::Jaccard.length_bounds(5, 0.8, 6), (4, 6), "cap also clamps bounded metrics");
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(Metric::Dice.to_string(), "dice");
+        assert_eq!(Metric::default(), Metric::Jaccard);
+    }
+}

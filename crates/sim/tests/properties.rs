@@ -1,0 +1,135 @@
+//! Property tests for the similarity metrics.
+
+use aeetes_sim::{
+    edit_similarity, fuzzy_jaccard, intersection_size, jaccard, levenshtein, levenshtein_bounded, sorted_set, Metric,
+};
+use aeetes_text::TokenId;
+use proptest::prelude::*;
+
+fn toks() -> impl Strategy<Value = Vec<TokenId>> {
+    proptest::collection::vec((0u32..40).prop_map(TokenId), 0..15)
+}
+
+proptest! {
+    /// All metric scores live in [0, 1], are symmetric, and reach 1 exactly
+    /// on identical sets (given equal sizes and full overlap).
+    #[test]
+    fn metric_scores_are_normalized_and_symmetric(a in toks(), b in toks()) {
+        let (a, b) = (sorted_set(&a), sorted_set(&b));
+        let inter = intersection_size(&a, &b);
+        for m in Metric::ALL {
+            let s = m.score(a.len(), b.len(), inter);
+            let t = m.score(b.len(), a.len(), inter);
+            prop_assert!((0.0..=1.0).contains(&s), "{m}: {s}");
+            prop_assert!((s - t).abs() < 1e-12, "{m} not symmetric");
+        }
+        let self_inter = intersection_size(&a, &a);
+        prop_assert_eq!(self_inter, a.len());
+        for m in Metric::ALL {
+            prop_assert!((m.score(a.len(), a.len(), self_inter) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    /// Jaccard relates to the other metrics by the known inequalities:
+    /// Jaccard ≤ Dice ≤ Overlap and Jaccard ≤ Cosine ≤ Overlap.
+    #[test]
+    fn metric_ordering_inequalities(a in toks(), b in toks()) {
+        let (a, b) = (sorted_set(&a), sorted_set(&b));
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        let o = intersection_size(&a, &b);
+        let j = Metric::Jaccard.score(a.len(), b.len(), o);
+        let d = Metric::Dice.score(a.len(), b.len(), o);
+        let c = Metric::Cosine.score(a.len(), b.len(), o);
+        let ov = Metric::Overlap.score(a.len(), b.len(), o);
+        prop_assert!(j <= d + 1e-12);
+        prop_assert!(d <= ov + 1e-12);
+        prop_assert!(j <= c + 1e-12);
+        prop_assert!(c <= ov + 1e-12);
+    }
+
+    /// Randomized filter soundness: whenever a pair reaches τ, it passes
+    /// the length, single-side and pair-overlap bounds of its metric.
+    #[test]
+    fn random_filter_soundness(a in toks(), b in toks(), tau_pct in 50u8..=100) {
+        let (a, b) = (sorted_set(&a), sorted_set(&b));
+        prop_assume!(!a.is_empty() && !b.is_empty());
+        let tau = tau_pct as f64 / 100.0;
+        let o = intersection_size(&a, &b);
+        for m in Metric::ALL {
+            if m.score(a.len(), b.len(), o) >= tau {
+                let (lo, hi) = m.length_bounds(a.len(), tau, usize::MAX);
+                prop_assert!(b.len() >= lo && b.len() <= hi, "{m} length filter false negative");
+                prop_assert!(o >= m.min_overlap_single(a.len(), tau));
+                prop_assert!(o >= m.required_overlap(a.len(), b.len(), tau));
+            }
+        }
+    }
+
+    /// Levenshtein is a metric: symmetric, zero iff equal, triangle
+    /// inequality; `levenshtein_bounded` agrees with the full computation.
+    #[test]
+    fn levenshtein_is_a_metric(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
+        let ab = levenshtein(&a, &b);
+        let ba = levenshtein(&b, &a);
+        prop_assert_eq!(ab, ba);
+        prop_assert_eq!(ab == 0, a == b);
+        let ac = levenshtein(&a, &c);
+        let cb = levenshtein(&c, &b);
+        prop_assert!(ab <= ac + cb, "triangle: d({a},{b})={ab} > {ac}+{cb}");
+        for k in 0..=ab {
+            let got = levenshtein_bounded(&a, &b, k);
+            if ab <= k {
+                prop_assert_eq!(got, Some(ab));
+            } else {
+                prop_assert_eq!(got, None);
+            }
+        }
+    }
+
+    /// Edit similarity is in [0,1], 1 iff equal.
+    #[test]
+    fn edit_similarity_normalized(a in "[a-d]{0,10}", b in "[a-d]{0,10}") {
+        let s = edit_similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(s == 1.0, a == b);
+    }
+
+    /// With δ = 1 and duplicate-free inputs, Fuzzy Jaccard equals exact
+    /// set Jaccard.
+    #[test]
+    fn fuzzy_jaccard_delta_one_is_exact(words in proptest::collection::hash_set("[a-c]{1,4}", 0..8),
+                                        other in proptest::collection::hash_set("[a-c]{1,4}", 0..8)) {
+        let a: Vec<&str> = words.iter().map(String::as_str).collect();
+        let b: Vec<&str> = other.iter().map(String::as_str).collect();
+        let fj = fuzzy_jaccard(&a, &b, 1.0);
+        // exact jaccard on the string sets
+        let inter = a.iter().filter(|w| b.contains(w)).count();
+        let exact = if a.is_empty() && b.is_empty() {
+            1.0
+        } else {
+            inter as f64 / (a.len() + b.len() - inter) as f64
+        };
+        prop_assert!((fj - exact).abs() < 1e-9, "fj={fj} exact={exact}");
+    }
+
+    /// Fuzzy Jaccard is monotone in δ: lowering the token threshold can
+    /// only increase the score.
+    #[test]
+    fn fuzzy_jaccard_monotone_in_delta(a in proptest::collection::vec("[a-c]{1,5}", 0..6),
+                                       b in proptest::collection::vec("[a-c]{1,5}", 0..6)) {
+        let av: Vec<&str> = a.iter().map(String::as_str).collect();
+        let bv: Vec<&str> = b.iter().map(String::as_str).collect();
+        let strict = fuzzy_jaccard(&av, &bv, 1.0);
+        let loose = fuzzy_jaccard(&av, &bv, 0.5);
+        prop_assert!(loose >= strict - 1e-9, "loose={loose} strict={strict}");
+    }
+
+    /// `jaccard` on token slices agrees with Metric::Jaccard arithmetic.
+    #[test]
+    fn slice_jaccard_matches_metric(a in toks(), b in toks()) {
+        let (a, b) = (sorted_set(&a), sorted_set(&b));
+        let inter = intersection_size(&a, &b);
+        let expect = Metric::Jaccard.score(a.len(), b.len(), inter);
+        prop_assert!((jaccard(&a, &b) - expect).abs() < 1e-12);
+    }
+}

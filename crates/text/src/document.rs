@@ -1,0 +1,147 @@
+//! Documents and token spans.
+
+use crate::interner::{Interner, TokenId};
+use crate::tokenize::Tokenizer;
+
+/// A half-open token range `[start, start + len)` inside a document.
+///
+/// This is the paper's substring `W_p^l`: start position `p`, length `l`,
+/// both in *tokens* (not bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Span {
+    /// First token position.
+    pub start: u32,
+    /// Number of tokens.
+    pub len: u32,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, len: usize) -> Self {
+        Self { start: start as u32, len: len as u32 }
+    }
+
+    /// One-past-the-end token position.
+    pub fn end(&self) -> usize {
+        (self.start + self.len) as usize
+    }
+
+    /// Whether `self` and `other` overlap in token positions.
+    pub fn overlaps(&self, other: &Span) -> bool {
+        (self.start as usize) < other.end() && (other.start as usize) < self.end()
+    }
+}
+
+/// A tokenized document.
+///
+/// Keeps the raw text and the byte span of every token so extraction results
+/// (token spans) can be rendered back as substrings of the original text.
+#[derive(Debug, Clone, Default)]
+pub struct Document {
+    /// Raw source text (may be empty when constructed from tokens).
+    pub raw: String,
+    tokens: Vec<TokenId>,
+    byte_spans: Vec<(u32, u32)>,
+}
+
+impl Document {
+    /// Tokenizes `text` into a document.
+    pub fn parse(text: &str, tokenizer: &Tokenizer, interner: &mut Interner) -> Self {
+        let (tokens, byte_spans) = tokenizer.tokenize_spanned(text, interner);
+        Self { raw: text.to_string(), tokens, byte_spans }
+    }
+
+    /// Builds a document directly from token ids (used by generators; no raw
+    /// text or byte spans are available in that case).
+    pub fn from_tokens(tokens: Vec<TokenId>) -> Self {
+        Self { raw: String::new(), tokens, byte_spans: Vec::new() }
+    }
+
+    /// The token sequence.
+    pub fn tokens(&self) -> &[TokenId] {
+        &self.tokens
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the document has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The tokens covered by `span`.
+    ///
+    /// # Panics
+    /// Panics if the span is out of bounds.
+    pub fn slice(&self, span: Span) -> &[TokenId] {
+        &self.tokens[span.start as usize..span.end()]
+    }
+
+    /// The raw text covered by `span`, when the document was built with
+    /// [`Document::parse`]. Returns `None` for token-only documents.
+    pub fn text_of(&self, span: Span) -> Option<&str> {
+        if self.byte_spans.is_empty() || span.len == 0 {
+            return None;
+        }
+        let first = self.byte_spans.get(span.start as usize)?;
+        let last = self.byte_spans.get(span.end().checked_sub(1)?)?;
+        self.raw.get(first.0 as usize..last.1 as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(text: &str) -> (Document, Interner) {
+        let mut i = Interner::new();
+        let t = Tokenizer::default();
+        (Document::parse(text, &t, &mut i), i)
+    }
+
+    #[test]
+    fn parse_and_slice() {
+        let (d, i) = doc("the University of Washington is in Seattle");
+        assert_eq!(d.len(), 7);
+        let s = d.slice(Span::new(1, 3));
+        assert_eq!(i.render(s), "university of washington");
+    }
+
+    #[test]
+    fn text_of_recovers_raw_substring() {
+        let (d, _) = doc("PC members: Univ. of Wisconsin, Madison!");
+        let span = Span::new(2, 3); // "Univ of Wisconsin"
+        assert_eq!(d.text_of(span), Some("Univ. of Wisconsin"));
+    }
+
+    #[test]
+    fn text_of_none_for_token_only_docs() {
+        let d = Document::from_tokens(vec![TokenId(0), TokenId(1)]);
+        assert_eq!(d.text_of(Span::new(0, 1)), None);
+    }
+
+    #[test]
+    fn span_overlap_semantics() {
+        let a = Span::new(2, 3); // [2,5)
+        assert!(a.overlaps(&Span::new(4, 1)));
+        assert!(a.overlaps(&Span::new(0, 3)));
+        assert!(!a.overlaps(&Span::new(5, 2)));
+        assert!(!a.overlaps(&Span::new(0, 2)));
+    }
+
+    #[test]
+    fn empty_span_text_is_none() {
+        let (d, _) = doc("a b c");
+        assert_eq!(d.text_of(Span::new(0, 0)), None);
+    }
+
+    #[test]
+    fn empty_document() {
+        let (d, _) = doc("");
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Entities and the reference dictionary.
+
+use crate::interner::{Interner, TokenId};
+use crate::tokenize::Tokenizer;
+use std::fmt;
+
+/// Identifier of an *origin* entity in a [`Dictionary`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityId(pub u32);
+
+impl EntityId {
+    /// The id as a usize, for indexing side tables.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for EntityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// An entity: a non-empty token sequence plus its source string.
+#[derive(Debug, Clone)]
+pub struct Entity {
+    /// Original surface form as it appeared in the reference table.
+    pub raw: String,
+    /// Interned tokens, in surface order.
+    pub tokens: Vec<TokenId>,
+}
+
+impl Entity {
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the entity has no tokens (never true for dictionary entries).
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+}
+
+/// The reference entity table (the paper's dictionary `E0`).
+///
+/// Entities are stored in insertion order; [`EntityId`]s are dense indices.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    entities: Vec<Entity>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tokenizes and appends an entity, returning its id.
+    ///
+    /// Entities that tokenize to nothing (all punctuation) are still stored
+    /// so that ids remain aligned with the caller's input order, but they
+    /// will never match anything.
+    pub fn push(&mut self, raw: &str, tokenizer: &Tokenizer, interner: &mut Interner) -> EntityId {
+        let tokens = tokenizer.tokenize(raw, interner);
+        self.push_tokens(raw.to_string(), tokens)
+    }
+
+    /// Appends a pre-tokenized entity.
+    pub fn push_tokens(&mut self, raw: String, tokens: Vec<TokenId>) -> EntityId {
+        let id = EntityId(u32::try_from(self.entities.len()).expect("dictionary overflow"));
+        self.entities.push(Entity { raw, tokens });
+        id
+    }
+
+    /// The token sequence of entity `id`.
+    pub fn entity(&self, id: EntityId) -> &[TokenId] {
+        &self.entities[id.idx()].tokens
+    }
+
+    /// The full record of entity `id`.
+    pub fn record(&self, id: EntityId) -> &Entity {
+        &self.entities[id.idx()]
+    }
+
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+
+    /// Iterates over `(id, entity)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (EntityId, &Entity)> {
+        self.entities.iter().enumerate().map(|(i, e)| (EntityId(i as u32), e))
+    }
+
+    /// Builds a dictionary from an iterator of raw strings.
+    pub fn from_strings<'a, I>(raws: I, tokenizer: &Tokenizer, interner: &mut Interner) -> Self
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut d = Self::new();
+        for raw in raws {
+            d.push(raw, tokenizer, interner);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_lookup() {
+        let mut i = Interner::new();
+        let t = Tokenizer::default();
+        let mut d = Dictionary::new();
+        let a = d.push("Purdue University USA", &t, &mut i);
+        let b = d.push("UQ AU", &t, &mut i);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.entity(a).len(), 3);
+        assert_eq!(d.entity(b).len(), 2);
+        assert_eq!(d.record(a).raw, "Purdue University USA");
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let mut i = Interner::new();
+        let t = Tokenizer::default();
+        let d = Dictionary::from_strings(["a", "b", "c"], &t, &mut i);
+        let ids: Vec<u32> = d.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn shared_tokens_share_ids() {
+        let mut i = Interner::new();
+        let t = Tokenizer::default();
+        let mut d = Dictionary::new();
+        let a = d.push("University of Washington", &t, &mut i);
+        let b = d.push("University of Queensland", &t, &mut i);
+        assert_eq!(d.entity(a)[0], d.entity(b)[0]);
+        assert_eq!(d.entity(a)[1], d.entity(b)[1]);
+        assert_ne!(d.entity(a)[2], d.entity(b)[2]);
+    }
+
+    #[test]
+    fn empty_entity_is_stored_but_empty() {
+        let mut i = Interner::new();
+        let t = Tokenizer::default();
+        let mut d = Dictionary::new();
+        let e = d.push("!!!", &t, &mut i);
+        assert!(d.record(e).is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! String interning: maps tokens to dense `u32` ids and back.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense identifier for an interned token string.
+///
+/// Ids are assigned in first-seen order starting from zero, so they can be
+/// used directly as indices into side tables (frequencies, ranks, postings).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TokenId(pub u32);
+
+impl TokenId {
+    /// The id as a usize, for indexing side tables.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// An append-only string interner.
+///
+/// Tokens are stored once; lookups in both directions are O(1) (amortized for
+/// the string → id direction). The interner is deliberately append-only:
+/// downstream structures cache `TokenId`s and rely on them never being
+/// invalidated.
+#[derive(Default, Clone)]
+pub struct Interner {
+    map: HashMap<Box<str>, TokenId>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, s: &str) -> TokenId {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = TokenId(u32::try_from(self.strings.len()).expect("interner overflow: more than u32::MAX distinct tokens"));
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, id);
+        id
+    }
+
+    /// Looks up an already-interned string without inserting.
+    pub fn get(&self, s: &str) -> Option<TokenId> {
+        self.map.get(s).copied()
+    }
+
+    /// Returns the string for `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: TokenId) -> &str {
+        &self.strings[id.idx()]
+    }
+
+    /// Number of distinct interned tokens.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether no token has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates all interned strings in id order (id 0 first). Useful for
+    /// serialization: re-interning them in order reproduces identical ids.
+    pub fn iter_strings(&self) -> impl Iterator<Item = &str> {
+        self.strings.iter().map(|s| s.as_ref())
+    }
+
+    /// Renders a token sequence back to a space-joined string (for display
+    /// and debugging; the original inter-token whitespace is not preserved).
+    pub fn render(&self, tokens: &[TokenId]) -> String {
+        let mut out = String::new();
+        for (i, t) in tokens.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(self.resolve(*t));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interner").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("hello");
+        let b = i.intern("hello");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        let c = i.intern("c");
+        assert_eq!((a.0, b.0, c.0), (0, 1, 2));
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let id = i.intern("université");
+        assert_eq!(i.resolve(id), "université");
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = Interner::new();
+        assert!(i.get("x").is_none());
+        assert!(i.is_empty());
+        i.intern("x");
+        assert!(i.get("x").is_some());
+    }
+
+    #[test]
+    fn render_joins_with_spaces() {
+        let mut i = Interner::new();
+        let toks = vec![i.intern("new"), i.intern("york")];
+        assert_eq!(i.render(&toks), "new york");
+        assert_eq!(i.render(&[]), "");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_ids() {
+        let mut i = Interner::new();
+        assert_ne!(i.intern("a"), i.intern("A"));
+    }
+
+    #[test]
+    fn iter_strings_round_trips_ids() {
+        let mut i = Interner::new();
+        for w in ["x", "y", "z"] {
+            i.intern(w);
+        }
+        let mut j = Interner::new();
+        for s in i.iter_strings() {
+            j.intern(s);
+        }
+        assert_eq!(j.len(), i.len());
+        assert_eq!(j.get("y"), i.get("y"));
+    }
+}

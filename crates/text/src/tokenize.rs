@@ -1,0 +1,156 @@
+//! Tokenization of raw text into interned token sequences.
+
+use crate::interner::{Interner, TokenId};
+
+/// Configuration for [`Tokenizer`].
+#[derive(Debug, Clone)]
+pub struct TokenizerConfig {
+    /// Lowercase every token before interning. The paper's datasets are
+    /// case-normalized, so this defaults to `true`.
+    pub lowercase: bool,
+    /// Strip leading/trailing punctuation from each whitespace-separated
+    /// chunk (so `"York,"` and `"York"` intern to the same token).
+    pub strip_punctuation: bool,
+}
+
+impl Default for TokenizerConfig {
+    fn default() -> Self {
+        Self { lowercase: true, strip_punctuation: true }
+    }
+}
+
+/// Splits text into word tokens.
+///
+/// Tokens are maximal runs of alphanumeric characters (plus `'`, `-`, `_`,
+/// and `.` when `strip_punctuation` is off they are kept verbatim). The
+/// tokenizer also reports the byte span of every token so extraction results
+/// can be mapped back onto the raw document.
+#[derive(Debug, Clone, Default)]
+pub struct Tokenizer {
+    config: TokenizerConfig,
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer with the given configuration.
+    pub fn new(config: TokenizerConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &TokenizerConfig {
+        &self.config
+    }
+
+    /// Tokenizes `text`, interning each token, and returns `(ids, spans)`
+    /// where `spans[i]` is the byte range of token `i` in `text`.
+    pub fn tokenize_spanned(&self, text: &str, interner: &mut Interner) -> (Vec<TokenId>, Vec<(u32, u32)>) {
+        let mut ids = Vec::new();
+        let mut spans = Vec::new();
+        let mut lower_buf = String::new();
+        for (start, end) in self.chunk_spans(text) {
+            let raw = &text[start..end];
+            // ASCII fast path; non-ASCII always goes through to_lowercase
+            // (titlecase characters like 'ᾈ' are not `is_uppercase` yet
+            // still have lowercase mappings).
+            let needs_lowering =
+                if raw.is_ascii() { raw.bytes().any(|b| b.is_ascii_uppercase()) } else { true };
+            let tok = if self.config.lowercase && needs_lowering {
+                lower_buf.clear();
+                lower_buf.extend(raw.chars().flat_map(char::to_lowercase));
+                lower_buf.as_str()
+            } else {
+                raw
+            };
+            ids.push(interner.intern(tok));
+            spans.push((start as u32, end as u32));
+        }
+        (ids, spans)
+    }
+
+    /// Tokenizes `text` and returns only the token ids.
+    pub fn tokenize(&self, text: &str, interner: &mut Interner) -> Vec<TokenId> {
+        self.tokenize_spanned(text, interner).0
+    }
+
+    /// Byte spans of the token chunks in `text`, before interning.
+    fn chunk_spans(&self, text: &str) -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        let mut start: Option<usize> = None;
+        for (i, c) in text.char_indices() {
+            let is_word = if self.config.strip_punctuation {
+                c.is_alphanumeric()
+            } else {
+                !c.is_whitespace()
+            };
+            match (is_word, start) {
+                (true, None) => start = Some(i),
+                (false, Some(s)) => {
+                    spans.push((s, i));
+                    start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = start {
+            spans.push((s, text.len()));
+        }
+        spans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(text: &str) -> Vec<String> {
+        let mut i = Interner::new();
+        let t = Tokenizer::default();
+        t.tokenize(text, &mut i).into_iter().map(|id| i.resolve(id).to_string()).collect()
+    }
+
+    #[test]
+    fn splits_on_whitespace_and_punct() {
+        assert_eq!(toks("New York, NY!"), vec!["new", "york", "ny"]);
+    }
+
+    #[test]
+    fn lowercases_by_default() {
+        assert_eq!(toks("MIT"), vec!["mit"]);
+    }
+
+    #[test]
+    fn empty_and_punct_only_yield_nothing() {
+        assert!(toks("").is_empty());
+        assert!(toks("  ... !!! ").is_empty());
+    }
+
+    #[test]
+    fn unicode_tokens_survive() {
+        assert_eq!(toks("café zürich"), vec!["café", "zürich"]);
+    }
+
+    #[test]
+    fn spans_point_at_source_bytes() {
+        let mut i = Interner::new();
+        let t = Tokenizer::default();
+        let text = "Univ. of Queensland";
+        let (ids, spans) = t.tokenize_spanned(text, &mut i);
+        assert_eq!(ids.len(), 3);
+        assert_eq!(&text[spans[0].0 as usize..spans[0].1 as usize], "Univ");
+        assert_eq!(&text[spans[2].0 as usize..spans[2].1 as usize], "Queensland");
+    }
+
+    #[test]
+    fn no_strip_keeps_punctuation_chunks() {
+        let t = Tokenizer::new(TokenizerConfig { lowercase: false, strip_punctuation: false });
+        let mut i = Interner::new();
+        let ids = t.tokenize("a,b c", &mut i);
+        assert_eq!(ids.len(), 2);
+        assert_eq!(i.resolve(ids[0]), "a,b");
+    }
+
+    #[test]
+    fn digits_are_tokens() {
+        assert_eq!(toks("EDBT 2019"), vec!["edbt", "2019"]);
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for tokenization and interning.
+
+use aeetes_text::{Document, Interner, Span, Tokenizer, TokenizerConfig};
+use proptest::prelude::*;
+
+proptest! {
+    /// Token byte spans are in-bounds, non-empty, ascending and disjoint.
+    #[test]
+    fn token_spans_are_well_formed(text in "\\PC{0,120}") {
+        let mut interner = Interner::new();
+        let tokenizer = Tokenizer::default();
+        let (ids, spans) = tokenizer.tokenize_spanned(&text, &mut interner);
+        prop_assert_eq!(ids.len(), spans.len());
+        let mut prev_end = 0usize;
+        for (s, e) in &spans {
+            let (s, e) = (*s as usize, *e as usize);
+            prop_assert!(s < e, "empty span");
+            prop_assert!(e <= text.len());
+            prop_assert!(s >= prev_end, "spans overlap or go backwards");
+            prop_assert!(text.is_char_boundary(s) && text.is_char_boundary(e));
+            prev_end = e;
+        }
+    }
+
+    /// Default config: every produced token is lowercase and alphanumeric.
+    #[test]
+    fn default_tokens_are_normalized(text in "\\PC{0,120}") {
+        let mut interner = Interner::new();
+        let ids = Tokenizer::default().tokenize(&text, &mut interner);
+        for id in ids {
+            let tok = interner.resolve(id);
+            prop_assert!(!tok.is_empty());
+            prop_assert!(tok.chars().all(char::is_alphanumeric), "{tok:?}");
+            // Lowercasing is idempotent (some uppercase-category characters,
+            // e.g. 𝕀, have no lowercase mapping and survive verbatim).
+            let relowered: String = tok.chars().flat_map(char::to_lowercase).collect();
+            prop_assert_eq!(relowered.as_str(), tok);
+        }
+    }
+
+    /// Tokenizing the space-joined render of a token sequence reproduces
+    /// exactly the same ids (render/tokenize round trip).
+    #[test]
+    fn render_tokenize_round_trip(words in proptest::collection::vec("[a-z][a-z0-9]{0,8}", 0..12)) {
+        let mut interner = Interner::new();
+        let tokenizer = Tokenizer::default();
+        let joined = words.join(" ");
+        let ids = tokenizer.tokenize(&joined, &mut interner);
+        let rendered = interner.render(&ids);
+        let again = tokenizer.tokenize(&rendered, &mut interner);
+        prop_assert_eq!(ids, again);
+    }
+
+    /// Interning is idempotent and order-stable.
+    #[test]
+    fn interner_ids_stable(words in proptest::collection::vec("[a-zA-Z]{1,8}", 1..30)) {
+        let mut a = Interner::new();
+        let first: Vec<_> = words.iter().map(|w| a.intern(w)).collect();
+        let second: Vec<_> = words.iter().map(|w| a.intern(w)).collect();
+        prop_assert_eq!(&first, &second);
+        // Rebuilding from iter_strings reproduces the same mapping.
+        let mut b = Interner::new();
+        for s in a.iter_strings() {
+            b.intern(s);
+        }
+        for w in &words {
+            prop_assert_eq!(a.get(w), b.get(w));
+        }
+    }
+
+    /// `Document::text_of` always returns a substring of the raw text that
+    /// itself re-tokenizes to the span's tokens.
+    #[test]
+    fn text_of_is_consistent(words in proptest::collection::vec("[a-z]{1,6}", 1..15), start in 0usize..10, len in 1usize..6) {
+        let mut interner = Interner::new();
+        let tokenizer = Tokenizer::default();
+        let text = words.join(" ");
+        let doc = Document::parse(&text, &tokenizer, &mut interner);
+        prop_assume!(start + len <= doc.len());
+        let span = Span::new(start, len);
+        let sub = doc.text_of(span).expect("span in range");
+        prop_assert!(text.contains(sub));
+        let re = tokenizer.tokenize(sub, &mut interner);
+        prop_assert_eq!(re.as_slice(), doc.slice(span));
+    }
+
+    /// strip_punctuation=false never produces more tokens than whitespace
+    /// splitting, and both configs agree on pure [a-z ] input.
+    #[test]
+    fn config_variants_agree_on_clean_text(words in proptest::collection::vec("[a-z]{1,6}", 0..10)) {
+        let text = words.join(" ");
+        let mut i1 = Interner::new();
+        let mut i2 = Interner::new();
+        let t1 = Tokenizer::default();
+        let t2 = Tokenizer::new(TokenizerConfig { lowercase: true, strip_punctuation: false });
+        let a = t1.tokenize(&text, &mut i1);
+        let b = t2.tokenize(&text, &mut i2);
+        prop_assert_eq!(a.len(), b.len());
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based oracle for the edit-distance extension (future-work ii):
+//! q-gram-filtered extraction must coincide with brute-force
+//! `ED-AR(e, s) = min over variants of ed(variant string, window string)`.
+
+use aeetes::core::EditIndex;
+use aeetes::rules::{DerivedId, RuleSet};
+use aeetes::sim::levenshtein;
+use aeetes::text::{Dictionary, Document, EntityId, Interner, Tokenizer};
+use aeetes::{Aeetes, AeetesConfig};
+use proptest::prelude::*;
+
+/// Short words over a tiny alphabet so typos and overlaps are frequent.
+fn word() -> impl Strategy<Value = String> {
+    "[ab]{1,4}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn edit_extraction_matches_brute_force(
+        entities in proptest::collection::vec(proptest::collection::vec(word(), 1..3), 1..4),
+        rule_pairs in proptest::collection::vec((word(), word()), 0..3),
+        doc_words in proptest::collection::vec(word(), 0..12),
+        k in 0usize..3,
+        q in 2usize..4,
+    ) {
+        let mut interner = Interner::new();
+        let tokenizer = Tokenizer::default();
+        let mut dict = Dictionary::new();
+        for e in &entities {
+            dict.push(&e.join(" "), &tokenizer, &mut interner);
+        }
+        let mut rules = RuleSet::new();
+        for (l, r) in &rule_pairs {
+            let _ = rules.push_str(l, r, &tokenizer, &mut interner);
+        }
+        let engine = Aeetes::build(dict, &rules, AeetesConfig::default());
+        let doc = Document::parse(&doc_words.join(" "), &tokenizer, &mut interner);
+        let index = EditIndex::build(&engine, &interner, q);
+        let got: Vec<(u32, u32, u32, usize)> = index
+            .extract(&engine, &doc, &interner, k)
+            .into_iter()
+            .map(|m| (m.span.start, m.span.len, m.entity.0, m.distance))
+            .collect();
+
+        // Brute force over the same token-window range.
+        let dd = engine.derived();
+        let max_tokens = dd.iter().map(|(_, d)| d.tokens.len()).max().unwrap_or(0);
+        let mut expected: Vec<(u32, u32, u32, usize)> = Vec::new();
+        if max_tokens > 0 {
+            for p in 0..doc.len() {
+                for l in 1..=(max_tokens + k).min(doc.len() - p) {
+                    let s = interner.render(&doc.tokens()[p..p + l]);
+                    for e in 0..dd.origins() {
+                        let e = EntityId(e as u32);
+                        let mut min_d = usize::MAX;
+                        for id in dd.variant_range(e) {
+                            let v = interner.render(&dd.derived(DerivedId(id)).tokens);
+                            min_d = min_d.min(levenshtein(&v, &s));
+                        }
+                        if min_d <= k {
+                            expected.push((p as u32, l as u32, e.0, min_d));
+                        }
+                    }
+                }
+            }
+        }
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected, "k={} q={}", k, q);
+    }
+}
