@@ -62,10 +62,7 @@ mod tests {
 
     #[test]
     fn finds_exact_mentions_only() {
-        let (m, d, _) = setup(
-            &["purdue university usa", "uq au"],
-            "visited purdue university usa not purdue university",
-        );
+        let (m, d, _) = setup(&["purdue university usa", "uq au"], "visited purdue university usa not purdue university");
         let got = m.extract(&d);
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].1, Span::new(1, 3));

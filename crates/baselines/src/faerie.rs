@@ -169,9 +169,7 @@ impl Faerie {
             .into_iter()
             .map(|((e, p, l), score)| FaerieMatch { entity: EntityId(e), span: Span { start: p, len: l }, score })
             .collect();
-        out.sort_unstable_by(|a, b| {
-            (a.span.start, a.span.len, a.entity.0).cmp(&(b.span.start, b.span.len, b.entity.0))
-        });
+        out.sort_unstable_by_key(|a| (a.span.start, a.span.len, a.entity.0));
         stats.matches = out.len() as u64;
         (out, stats)
     }

@@ -15,7 +15,10 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_millis(1200));
     let data = generate(&DatasetProfile::usjob_like().scaled(BENCH_SCALE), BENCH_SEED);
     for cap in [16usize, 64, 256] {
-        let cfg = AeetesConfig { derive: DeriveConfig { max_derived: cap, ..DeriveConfig::default() }, ..AeetesConfig::default() };
+        let cfg = AeetesConfig {
+            derive: DeriveConfig { max_derived: cap, ..DeriveConfig::default() },
+            ..AeetesConfig::default()
+        };
         g.bench_function(format!("build/cap{cap}"), |b| {
             b.iter(|| black_box(Aeetes::build(data.dictionary.clone(), &data.rules, cfg.clone())));
         });

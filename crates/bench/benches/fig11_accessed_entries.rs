@@ -26,12 +26,7 @@ fn bench(c: &mut Criterion) {
                     let (_, stats) = fx.engine.extract_with(doc, tau, strategy);
                     accessed += stats.accessed_entries;
                 }
-                eprintln!(
-                    "fig11/{}/{}/tau{tau}: accessed_entries_per_doc = {}",
-                    fx.data.name,
-                    strategy.name(),
-                    accessed / docs.len() as u64
-                );
+                eprintln!("fig11/{}/{}/tau{tau}: accessed_entries_per_doc = {}", fx.data.name, strategy.name(), accessed / docs.len() as u64);
                 g.bench_function(format!("{}/{}/tau{tau}", fx.data.name, strategy.name()), |b| {
                     b.iter(|| {
                         for doc in docs {

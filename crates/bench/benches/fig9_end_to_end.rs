@@ -1,8 +1,8 @@
 //! Figure 9 bench: end-to-end extraction time per document, Aeetes vs
 //! FaerieR, θ ∈ {0.7, 0.8, 0.9}.
 
-use aeetes_bench::{fixture, profiles, TAUS};
 use aeetes_baselines::Faerie;
+use aeetes_bench::{fixture, profiles, TAUS};
 use aeetes_rules::{DeriveConfig, DerivedDictionary};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;

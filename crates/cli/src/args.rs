@@ -10,8 +10,11 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses `argv`; `bool_flags` names the value-less switches.
-    pub fn parse(argv: &[String], bool_flags: &[&str]) -> Result<Self, String> {
+    /// Parses `argv`; `bool_flags` names the value-less switches and
+    /// `value_flags` the known `--name value` pairs. Anything else is
+    /// rejected, so a typo'd flag fails loudly instead of being silently
+    /// ignored (a missing `--max-candidates` cap is a correctness bug).
+    pub fn parse(argv: &[String], bool_flags: &[&str], value_flags: &[&str]) -> Result<Self, String> {
         let mut out = Self::default();
         let mut it = argv.iter();
         while let Some(flag) = it.next() {
@@ -20,9 +23,13 @@ impl Args {
             };
             if bool_flags.contains(&name) {
                 out.switches.push(name.to_string());
-            } else {
+            } else if value_flags.contains(&name) {
                 let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                 out.values.insert(name.to_string(), value.clone());
+            } else {
+                let mut known: Vec<&str> = value_flags.iter().chain(bool_flags).copied().collect();
+                known.sort_unstable();
+                return Err(format!("unknown flag --{name} (expected one of: --{})", known.join(", --")));
             }
         }
         Ok(out)
@@ -65,7 +72,7 @@ mod tests {
 
     #[test]
     fn parses_values_and_switches() {
-        let a = Args::parse(&argv(&["--tau", "0.8", "--best", "--docs", "d.txt"]), &["best"]).unwrap();
+        let a = Args::parse(&argv(&["--tau", "0.8", "--best", "--docs", "d.txt"]), &["best"], &["tau", "docs"]).unwrap();
         assert_eq!(a.required("tau").unwrap(), "0.8");
         assert_eq!(a.required("docs").unwrap(), "d.txt");
         assert!(a.switch("best"));
@@ -76,20 +83,28 @@ mod tests {
 
     #[test]
     fn missing_value_is_an_error() {
-        assert!(Args::parse(&argv(&["--tau"]), &[]).is_err());
-        assert!(Args::parse(&argv(&["tau", "0.8"]), &[]).is_err());
+        assert!(Args::parse(&argv(&["--tau"]), &[], &["tau"]).is_err());
+        assert!(Args::parse(&argv(&["tau", "0.8"]), &[], &["tau"]).is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error_naming_the_alternatives() {
+        let err = Args::parse(&argv(&["--max-candidate", "5"]), &["best"], &["tau", "max-candidates"]).unwrap_err();
+        assert!(err.contains("unknown flag --max-candidate"), "{err}");
+        assert!(err.contains("--max-candidates"), "{err}");
+        assert!(err.contains("--best"), "{err}");
     }
 
     #[test]
     fn missing_required_flag() {
-        let a = Args::parse(&argv(&[]), &[]).unwrap();
+        let a = Args::parse(&argv(&[]), &[], &[]).unwrap();
         assert!(a.required("dict").is_err());
         assert!(a.optional("dict").is_none());
     }
 
     #[test]
     fn bad_parse_reports_flag_name() {
-        let a = Args::parse(&argv(&["--tau", "xyz"]), &[]).unwrap();
+        let a = Args::parse(&argv(&["--tau", "xyz"]), &[], &["tau"]).unwrap();
         let err = a.parse_or("tau", 0.5f64).unwrap_err();
         assert!(err.contains("--tau"));
     }

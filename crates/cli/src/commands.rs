@@ -1,12 +1,26 @@
-//! The four subcommands.
+//! The subcommands.
+//!
+//! Every command returns `Result<i32, String>`: the `i32` is the process
+//! exit code (`EXIT_OK` for complete results, `EXIT_PARTIAL` when a
+//! resource budget truncated extraction), an `Err` message exits with
+//! `1` (failure).
 
 use crate::args::Args;
-use aeetes_core::{extract_batch, load_engine, save_engine, suppress_overlaps, Aeetes, AeetesConfig, EditIndex, Match};
+use aeetes_core::{
+    extract_batch_with, load_engine, save_engine, suppress_overlaps, Aeetes, AeetesConfig, BatchOptions, EditIndex, ExtractLimits, Match,
+};
 use aeetes_rules::{DeriveConfig, RuleSet};
 use aeetes_sim::Metric;
 use aeetes_text::{Dictionary, Document, Interner, Tokenizer};
 use std::fs;
 use std::io::Write;
+use std::time::Duration;
+
+/// Exit code: command completed with full results.
+pub const EXIT_OK: i32 = 0;
+/// Exit code: extraction succeeded but at least one document's results
+/// were truncated by `--timeout` / `--max-candidates` / `--max-matches`.
+pub const EXIT_PARTIAL: i32 = 2;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -16,6 +30,7 @@ USAGE:
     aeetes build    --dict FILE --rules FILE --out ENGINE [--max-derived N]
     aeetes extract  --engine ENGINE --docs FILE [--tau F] [--metric NAME]
                     [--edit K] [--threads N] [--best] [--format tsv|jsonl]
+                    [--timeout SECS] [--max-candidates N] [--max-matches N]
     aeetes stats    --engine ENGINE
     aeetes generate --out DIR [--profile pubmed|dbworld|usjob] [--scale F] [--seed N]
     aeetes demo
@@ -24,6 +39,12 @@ FILES:
     dictionary  one entity per line
     rules       lhs <TAB> rhs [<TAB> weight-in-(0,1]]
     documents   one document per line
+
+EXIT CODES:
+    0  success, complete results
+    1  failure (bad flags, unreadable/corrupt files, internal error)
+    2  success, but some document hit a --timeout/--max-candidates/
+       --max-matches budget and returned partial (still exact) results
 ";
 
 fn read_lines(path: &str) -> Result<Vec<String>, String> {
@@ -32,8 +53,8 @@ fn read_lines(path: &str) -> Result<Vec<String>, String> {
 }
 
 /// `aeetes build`
-pub fn build(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &[])?;
+pub fn build(argv: &[String]) -> Result<i32, String> {
+    let args = Args::parse(argv, &[], &["dict", "rules", "out", "max-derived"])?;
     let dict_path = args.required("dict")?;
     let rules_path = args.required("rules")?;
     let out_path = args.required("out")?;
@@ -65,10 +86,13 @@ pub fn build(argv: &[String]) -> Result<(), String> {
         eprintln!("note: skipped {skipped} empty or self-referential rule line(s)");
     }
 
-    let config = AeetesConfig { derive: DeriveConfig { max_derived, ..DeriveConfig::default() }, ..AeetesConfig::default() };
+    let config = AeetesConfig {
+        derive: DeriveConfig { max_derived, ..DeriveConfig::default() },
+        ..AeetesConfig::default()
+    };
     let engine = Aeetes::build(dict, &rules, config);
     let bytes = save_engine(&engine, &interner);
-    fs::write(out_path, &bytes).map_err(|e| format!("{out_path}: {e}"))?;
+    atomic_write(out_path, &bytes)?;
     eprintln!(
         "built engine: {} entities, {} rules, {} derived variants, {} index entries → {out_path} ({} bytes)",
         engine.dictionary().len(),
@@ -77,7 +101,19 @@ pub fn build(argv: &[String]) -> Result<(), String> {
         engine.index().total_entries(),
         bytes.len()
     );
-    Ok(())
+    Ok(EXIT_OK)
+}
+
+/// Writes `bytes` to `path` atomically: a crash mid-write can leave a stale
+/// `.tmp` file behind but never a truncated engine under the final name
+/// (rename within one directory is atomic on POSIX).
+fn atomic_write(path: &str, bytes: &[u8]) -> Result<(), String> {
+    let tmp = format!("{path}.tmp.{}", std::process::id());
+    fs::write(&tmp, bytes).map_err(|e| format!("{tmp}: {e}"))?;
+    fs::rename(&tmp, path).map_err(|e| {
+        let _ = fs::remove_file(&tmp);
+        format!("{path}: {e}")
+    })
 }
 
 fn load(path: &str) -> Result<(Aeetes, Interner), String> {
@@ -86,8 +122,23 @@ fn load(path: &str) -> Result<(Aeetes, Interner), String> {
 }
 
 /// `aeetes extract`
-pub fn extract(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["best"])?;
+pub fn extract(argv: &[String]) -> Result<i32, String> {
+    let args = Args::parse(
+        argv,
+        &["best"],
+        &[
+            "engine",
+            "docs",
+            "tau",
+            "threads",
+            "format",
+            "metric",
+            "timeout",
+            "max-candidates",
+            "max-matches",
+            "edit",
+        ],
+    )?;
     let engine_path = args.required("engine")?;
     let docs_path = args.required("docs")?;
     let tau: f64 = args.parse_or("tau", 0.8)?;
@@ -103,11 +154,30 @@ pub fn extract(argv: &[String]) -> Result<(), String> {
     if !(tau > 0.0 && tau <= 1.0) {
         return Err(format!("--tau must be in (0, 1], got {tau}"));
     }
+    let timeout: Option<f64> = match args.optional("timeout") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|e| format!("--timeout: {e}"))?),
+    };
+    if let Some(t) = timeout {
+        if !(t > 0.0 && t.is_finite()) {
+            return Err(format!("--timeout must be a positive number of seconds, got {t}"));
+        }
+    }
+    let limits = ExtractLimits {
+        deadline: timeout.map(Duration::from_secs_f64),
+        max_candidates: match args.optional("max-candidates") {
+            None => None,
+            Some(v) => Some(v.parse().map_err(|e| format!("--max-candidates: {e}"))?),
+        },
+        max_matches: match args.optional("max-matches") {
+            None => None,
+            Some(v) => Some(v.parse().map_err(|e| format!("--max-matches: {e}"))?),
+        },
+    };
 
     let (engine, mut interner) = load(engine_path)?;
     let tokenizer = Tokenizer::default();
-    let docs: Vec<Document> =
-        read_lines(docs_path)?.iter().map(|l| Document::parse(l, &tokenizer, &mut interner)).collect();
+    let docs: Vec<Document> = read_lines(docs_path)?.iter().map(|l| Document::parse(l, &tokenizer, &mut interner)).collect();
 
     // Edit-distance mode (--edit K): character-level ED-AR extraction.
     if let Some(k) = args.optional("edit") {
@@ -126,15 +196,30 @@ pub fn extract(argv: &[String]) -> Result<(), String> {
             }
         }
         eprintln!("{total} match(es) within edit distance {k}");
-        return Ok(());
+        return Ok(EXIT_OK);
     }
 
-    // Metric override re-runs extraction per doc (batch helper is
-    // Jaccard-config driven); with the default metric we use the batch path.
+    // Metric override re-runs extraction per doc (the batch helper is
+    // config-metric driven); with the default metric we use the
+    // fault-isolated batch path. Both paths honour the limits.
+    let mut truncated_docs = 0usize;
     let results: Vec<Vec<Match>> = if metric == Metric::Jaccard {
-        extract_batch(&engine, &docs, tau, threads)
+        let opts = BatchOptions { threads, limits, ..BatchOptions::default() };
+        let mut out = Vec::with_capacity(docs.len());
+        for (i, r) in extract_batch_with(&engine, &docs, tau, &opts).into_iter().enumerate() {
+            let outcome = r.map_err(|e| format!("document {i}: {e}"))?;
+            truncated_docs += outcome.truncated as usize;
+            out.push(outcome.matches);
+        }
+        out
     } else {
-        docs.iter().map(|d| engine.extract_with_metric(d, tau, metric).0).collect()
+        docs.iter()
+            .map(|d| {
+                let outcome = engine.extract_with_limits_metric(d, tau, metric, &limits);
+                truncated_docs += outcome.truncated as usize;
+                outcome.matches
+            })
+            .collect()
     };
 
     let stdout = std::io::stdout();
@@ -160,24 +245,24 @@ pub fn extract(argv: &[String]) -> Result<(), String> {
                     writeln!(out, "{row}").map_err(|e| e.to_string())?;
                 }
                 "tsv" => {
-                    writeln!(
-                        out,
-                        "{doc_id}\t{}\t{}\t{:.4}\t{}\t{}",
-                        m.span.start, m.span.len, m.score, entity_raw, text
-                    )
-                    .map_err(|e| e.to_string())?;
+                    writeln!(out, "{doc_id}\t{}\t{}\t{:.4}\t{}\t{}", m.span.start, m.span.len, m.score, entity_raw, text)
+                        .map_err(|e| e.to_string())?;
                 }
                 other => return Err(format!("unknown format `{other}` (tsv|jsonl)")),
             }
         }
     }
     eprintln!("{total} match(es) at τ = {tau} ({metric})");
-    Ok(())
+    if truncated_docs > 0 {
+        eprintln!("warning: {truncated_docs} document(s) hit a resource budget; results are partial");
+        return Ok(EXIT_PARTIAL);
+    }
+    Ok(EXIT_OK)
 }
 
 /// `aeetes stats`
-pub fn stats(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &[])?;
+pub fn stats(argv: &[String]) -> Result<i32, String> {
+    let args = Args::parse(argv, &[], &["engine"])?;
     let (engine, interner) = load(args.required("engine")?)?;
     let st = engine.derived().stats();
     println!("entities            {}", engine.dictionary().len());
@@ -188,13 +273,13 @@ pub fn stats(argv: &[String]) -> Result<(), String> {
     println!("avg |A(e)|          {:.2}", st.avg_selected());
     println!("truncated entities  {}", st.truncated_entities);
     println!("min/max entity set  {:?} / {:?}", engine.index().min_set_len(), engine.index().max_set_len());
-    Ok(())
+    Ok(EXIT_OK)
 }
 
 /// `aeetes generate`: write a synthetic calibrated corpus as CLI-ready files.
-pub fn generate_cmd(argv: &[String]) -> Result<(), String> {
+pub fn generate_cmd(argv: &[String]) -> Result<i32, String> {
     use aeetes_datagen::{generate, write_files, DatasetProfile};
-    let args = Args::parse(argv, &[])?;
+    let args = Args::parse(argv, &[], &["out", "scale", "seed", "profile"])?;
     let out = args.required("out")?;
     let scale: f64 = args.parse_or("scale", 0.05)?;
     let seed: u64 = args.parse_or("seed", 42)?;
@@ -216,11 +301,11 @@ pub fn generate_cmd(argv: &[String]) -> Result<(), String> {
         data.documents.len(),
         data.gold.len()
     );
-    Ok(())
+    Ok(EXIT_OK)
 }
 
 /// `aeetes demo`: the paper's Figure 1 scenario, no files needed.
-pub fn demo() -> Result<(), String> {
+pub fn demo() -> Result<i32, String> {
     let mut interner = Interner::new();
     let tokenizer = Tokenizer::default();
     let mut dict = Dictionary::new();
@@ -245,12 +330,7 @@ pub fn demo() -> Result<(), String> {
     );
     println!("document: {}\n", doc.raw);
     for m in suppress_overlaps(engine.extract(&doc, 0.9)) {
-        println!(
-            "  {:5.3}  \"{}\"  →  {}",
-            m.score,
-            doc.text_of(m.span).unwrap_or("<span>"),
-            engine.dictionary().record(m.entity).raw
-        );
+        println!("  {:5.3}  \"{}\"  →  {}", m.score, doc.text_of(m.span).unwrap_or("<span>"), engine.dictionary().record(m.entity).raw);
     }
-    Ok(())
+    Ok(EXIT_OK)
 }

@@ -4,6 +4,7 @@
 //! aeetes build   --dict FILE --rules FILE --out ENGINE [--max-derived N]
 //! aeetes extract --engine ENGINE --docs FILE [--tau F] [--metric NAME]
 //!                [--threads N] [--best] [--format tsv|jsonl]
+//!                [--timeout SECS] [--max-candidates N] [--max-matches N]
 //! aeetes stats   --engine ENGINE
 //! aeetes demo
 //! ```
@@ -12,6 +13,9 @@
 //! * dictionary — one entity per line;
 //! * rules — one rule per line: `lhs <TAB> rhs [<TAB> weight]`;
 //! * documents — one document per line.
+//!
+//! Exit codes: `0` complete results, `1` failure, `2` success with
+//! budget-truncated (partial but exact) results.
 
 use aeetes_cli::commands;
 
@@ -28,17 +32,14 @@ fn main() {
             if argv.is_empty() {
                 Err("missing subcommand".into())
             } else {
-                Ok(())
+                Ok(commands::EXIT_OK)
             }
         }
         Some(other) => Err(format!("unknown subcommand `{other}` (try --help)")),
     }
-    .map_or_else(
-        |err: String| {
-            eprintln!("error: {err}");
-            1
-        },
-        |()| 0,
-    );
+    .unwrap_or_else(|err| {
+        eprintln!("error: {err}");
+        1
+    });
     std::process::exit(code);
 }

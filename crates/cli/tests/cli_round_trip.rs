@@ -28,8 +28,7 @@ fn build_stats_extract_round_trip() {
     let docs = dir.join("docs.txt");
     let engine = dir.join("engine.aeet");
     fs::write(&dict, "Purdue University USA\nUQ AU\nMIT\n").unwrap();
-    fs::write(&rules, "UQ\tUniversity of Queensland\nAU\tAustralia\nMIT\tMassachusetts Institute of Technology\t0.95\n")
-        .unwrap();
+    fs::write(&rules, "UQ\tUniversity of Queensland\nAU\tAustralia\nMIT\tMassachusetts Institute of Technology\t0.95\n").unwrap();
     fs::write(&docs, "she visited purdue university usa then mit\nuniversity of queensland australia\n").unwrap();
 
     commands::build(&argv(&[
@@ -127,7 +126,80 @@ fn helpful_errors_for_missing_files_and_flags() {
 
 #[test]
 fn demo_runs() {
-    commands::demo().expect("demo runs");
+    assert_eq!(commands::demo().expect("demo runs"), commands::EXIT_OK);
+}
+
+#[test]
+fn build_is_atomic_and_leaves_no_temp_files() {
+    let dir = workdir("atomic");
+    let dict = dir.join("dict.txt");
+    let rules = dir.join("rules.tsv");
+    let engine = dir.join("engine.aeet");
+    fs::write(&dict, "a b\n").unwrap();
+    fs::write(&rules, "a\talpha\n").unwrap();
+    commands::build(&argv(&[
+        s("--dict"),
+        dict.display().to_string(),
+        s("--rules"),
+        rules.display().to_string(),
+        s("--out"),
+        engine.display().to_string(),
+    ]))
+    .expect("build succeeds");
+    assert!(engine.exists());
+    let leftovers: Vec<_> = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn budget_flags_yield_partial_exit_code() {
+    let dir = workdir("budget");
+    let dict = dir.join("dict.txt");
+    let rules = dir.join("rules.tsv");
+    let docs = dir.join("docs.txt");
+    let engine = dir.join("engine.aeet");
+    fs::write(&dict, "purdue university usa\nuq au\n").unwrap();
+    fs::write(&rules, "uq\tuniversity of queensland\n").unwrap();
+    fs::write(&docs, "purdue university usa and uq au\nuniversity of queensland au\n").unwrap();
+    commands::build(&argv(&[
+        s("--dict"),
+        dict.display().to_string(),
+        s("--rules"),
+        rules.display().to_string(),
+        s("--out"),
+        engine.display().to_string(),
+    ]))
+    .unwrap();
+
+    let base = [s("--engine"), engine.display().to_string(), s("--docs"), docs.display().to_string()];
+    // Unconstrained run: complete results, exit 0.
+    let code = commands::extract(&argv(&base)).expect("extract succeeds");
+    assert_eq!(code, commands::EXIT_OK);
+    // Generous budgets: still complete.
+    let mut generous = base.to_vec();
+    generous.extend([s("--timeout"), s("3600"), s("--max-candidates"), s("1000000")]);
+    assert_eq!(commands::extract(&argv(&generous)).unwrap(), commands::EXIT_OK);
+    // Zero candidate budget: every document truncates → exit 2.
+    let mut strangled = base.to_vec();
+    strangled.extend([s("--max-candidates"), s("0")]);
+    assert_eq!(commands::extract(&argv(&strangled)).unwrap(), commands::EXIT_PARTIAL);
+    // Same through the per-document metric-override path.
+    let mut strangled_dice = base.to_vec();
+    strangled_dice.extend([s("--max-candidates"), s("0"), s("--metric"), s("dice")]);
+    assert_eq!(commands::extract(&argv(&strangled_dice)).unwrap(), commands::EXIT_PARTIAL);
+    // Invalid budget values are failures, not silently ignored.
+    let mut bad = base.to_vec();
+    bad.extend([s("--timeout"), s("-1")]);
+    assert!(commands::extract(&argv(&bad)).unwrap_err().contains("--timeout"));
+    let mut bad = base.to_vec();
+    bad.extend([s("--max-candidates"), s("many")]);
+    assert!(commands::extract(&argv(&bad)).unwrap_err().contains("--max-candidates"));
+    let _ = fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -2,45 +2,176 @@
 //!
 //! The paper's motivating systems "receive many consumer reviews" (§1) —
 //! extraction is embarrassingly parallel across documents because the
-//! engine is immutable after the off-line phase. This helper fans a slice
+//! engine is immutable after the off-line phase. This module fans a slice
 //! of documents out over scoped threads and returns per-document results in
 //! input order.
+//!
+//! Fault isolation: each document runs under [`std::panic::catch_unwind`],
+//! so one poisoned document surfaces as [`DocError::Panicked`] while the
+//! rest of the batch completes. Results travel over an mpsc channel rather
+//! than a shared `Mutex`, so a worker panic can never poison the collector.
+//! A shared [`CancelToken`] is consulted between documents for cooperative
+//! early shutdown.
 
 use crate::extractor::Aeetes;
+use crate::limits::{ExtractLimits, ExtractOutcome};
 use crate::matches::Match;
 use aeetes_text::Document;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// A shared cancellation flag checked between documents.
+///
+/// Clones share the flag; `cancel()` from any clone (e.g. a signal-handler
+/// or watchdog thread) makes every not-yet-started document in the batch
+/// return [`DocError::Cancelled`]. The document currently being extracted
+/// is not interrupted — use [`ExtractLimits::deadline`] to bound a single
+/// document.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a single document in a batch produced no result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DocError {
+    /// Extraction of this document panicked; the payload message is
+    /// preserved. Other documents in the batch are unaffected.
+    Panicked(String),
+    /// The batch's [`CancelToken`] fired before this document started.
+    Cancelled,
+}
+
+impl std::fmt::Display for DocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DocError::Panicked(msg) => write!(f, "extraction panicked: {msg}"),
+            DocError::Cancelled => write!(f, "batch cancelled before this document started"),
+        }
+    }
+}
+
+impl std::error::Error for DocError {}
+
+/// Knobs for [`extract_batch_with`].
+#[derive(Debug, Clone, Default)]
+pub struct BatchOptions {
+    /// Worker threads; `0` or `1` runs inline on the caller's thread.
+    /// Clamped to the number of documents.
+    pub threads: usize,
+    /// Per-document resource limits (default: unlimited).
+    pub limits: ExtractLimits,
+    /// Shared cancellation flag (default: never fires). Keep a clone to
+    /// cancel the batch from another thread.
+    pub cancel: CancelToken,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `f(i)` for every `i < len` on up to `threads` workers, catching
+/// per-item panics and honouring `cancel` between items. Results come back
+/// in input order through an mpsc channel — no lock to poison.
+fn batch_run<R, F>(len: usize, threads: usize, cancel: &CancelToken, f: F) -> Vec<Result<R, DocError>>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let run_one = |i: usize| -> Result<R, DocError> {
+        if cancel.is_cancelled() {
+            return Err(DocError::Cancelled);
+        }
+        // The engine is immutable during extraction (`&self` API), so a
+        // caught panic cannot leave it in a broken state for other
+        // documents: AssertUnwindSafe is sound here.
+        catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| DocError::Panicked(panic_message(payload)))
+    };
+    let threads = threads.clamp(1, len.max(1));
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(run_one).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Result<R, DocError>)>();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let run_one = &run_one;
+            scope.spawn(move || loop {
+                // Atomic work-stealing by document index keeps long
+                // documents from serializing behind a static partition.
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                if tx.send((i, run_one(i))).is_err() {
+                    break; // receiver gone: nothing left to report to
+                }
+            });
+        }
+    });
+    drop(tx);
+    let mut slots: Vec<Option<Result<R, DocError>>> = (0..len).map(|_| None).collect();
+    for (i, r) in rx {
+        slots[i] = Some(r);
+    }
+    // Every index is claimed exactly once, so empty slots are impossible;
+    // map them to Cancelled rather than panicking just in case.
+    slots.into_iter().map(|s| s.unwrap_or(Err(DocError::Cancelled))).collect()
+}
 
 /// Extracts from every document with up to `threads` worker threads,
 /// returning `results[i]` = matches of `docs[i]`.
 ///
 /// `threads == 0` or `1` runs inline; thread count is clamped to the number
-/// of documents.
+/// of documents. If extraction of any document panics, the rest of the
+/// batch still completes and the first panic is then re-raised on the
+/// caller's thread (the pre-fault-isolation contract). Use
+/// [`extract_batch_with`] to receive per-document errors instead.
 pub fn extract_batch(engine: &Aeetes, docs: &[Document], tau: f64, threads: usize) -> Vec<Vec<Match>> {
-    let threads = threads.clamp(1, docs.len().max(1));
-    if threads <= 1 || docs.len() <= 1 {
-        return docs.iter().map(|d| engine.extract(d, tau)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let collected: std::sync::Mutex<Vec<(usize, Vec<Match>)>> =
-        std::sync::Mutex::new(Vec::with_capacity(docs.len()));
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                // Atomic work-stealing by document index keeps long
-                // documents from serializing behind a static partition.
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= docs.len() {
-                    break;
-                }
-                let out = engine.extract(&docs[i], tau);
-                collected.lock().expect("collector lock").push((i, out));
-            });
-        }
-    });
-    let mut collected = collected.into_inner().expect("collector lock");
-    collected.sort_unstable_by_key(|(i, _)| *i);
-    collected.into_iter().map(|(_, out)| out).collect()
+    let cancel = CancelToken::new();
+    let results = batch_run(docs.len(), threads, &cancel, |i| engine.extract(&docs[i], tau));
+    results
+        .into_iter()
+        .map(|r| match r {
+            Ok(matches) => matches,
+            Err(e) => panic!("{e}"),
+        })
+        .collect()
+}
+
+/// Fault-isolated batch extraction: `results[i]` is the outcome of
+/// `docs[i]`, or a [`DocError`] if that document panicked or the batch was
+/// cancelled before it started. Per-document [`ExtractLimits`] come from
+/// `opts.limits`; check [`ExtractOutcome::truncated`] to detect partial
+/// results.
+pub fn extract_batch_with(engine: &Aeetes, docs: &[Document], tau: f64, opts: &BatchOptions) -> Vec<Result<ExtractOutcome, DocError>> {
+    batch_run(docs.len(), opts.threads, &opts.cancel, |i| engine.extract_with_limits(&docs[i], tau, &opts.limits))
 }
 
 #[cfg(test)]
@@ -93,5 +224,88 @@ mod tests {
         let got = extract_batch(&engine, &docs[..1], 0.8, 0);
         assert_eq!(got.len(), 1);
         assert!(!got[0].is_empty());
+    }
+
+    /// Regression test for the old `Mutex` collector: a worker panicking
+    /// mid-batch used to poison the lock, turning one bad document into a
+    /// batch-wide `expect("collector lock")` panic. The channel collector
+    /// must instead report the one failure and finish everything else.
+    #[test]
+    fn one_panicking_item_does_not_poison_the_batch() {
+        for threads in [1, 2, 8] {
+            let results = batch_run(5, threads, &CancelToken::new(), |i| {
+                assert!(i != 2, "injected failure on item 2");
+                i * 10
+            });
+            assert_eq!(results.len(), 5);
+            for (i, r) in results.iter().enumerate() {
+                if i == 2 {
+                    let err = r.as_ref().expect_err("item 2 must fail");
+                    assert!(matches!(err, DocError::Panicked(msg) if msg.contains("injected failure")), "{err:?}");
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(i * 10), "item {i} with {threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extract_batch_with_matches_plain_extract() {
+        let (engine, docs) = setup();
+        let plain = extract_batch(&engine, &docs, 0.8, 2);
+        let opts = BatchOptions { threads: 2, ..BatchOptions::default() };
+        let outcomes = extract_batch_with(&engine, &docs, 0.8, &opts);
+        assert_eq!(outcomes.len(), plain.len());
+        for (o, p) in outcomes.iter().zip(&plain) {
+            let o = o.as_ref().unwrap();
+            assert!(!o.truncated);
+            assert_eq!(&o.matches, p);
+        }
+    }
+
+    #[test]
+    fn cancelled_batch_reports_every_document() {
+        let (engine, docs) = setup();
+        let opts = BatchOptions { threads: 4, ..BatchOptions::default() };
+        opts.cancel.cancel();
+        let results = extract_batch_with(&engine, &docs, 0.8, &opts);
+        assert!(results.iter().all(|r| matches!(r, Err(DocError::Cancelled))));
+    }
+
+    #[test]
+    fn zero_candidate_budget_truncates_every_document() {
+        let (engine, docs) = setup();
+        let opts = BatchOptions {
+            threads: 2,
+            limits: ExtractLimits { max_candidates: Some(0), ..ExtractLimits::UNLIMITED },
+            ..BatchOptions::default()
+        };
+        for r in extract_batch_with(&engine, &docs, 0.8, &opts) {
+            let out = r.unwrap();
+            assert!(out.truncated);
+            assert!(out.matches.is_empty());
+        }
+    }
+
+    #[test]
+    fn panicking_document_surfaces_as_doc_error() {
+        let (engine, docs) = setup();
+        // tau = 0.0 violates the extractor's precondition and panics per
+        // document; the batch must survive and report each one.
+        let opts = BatchOptions { threads: 2, ..BatchOptions::default() };
+        let results = extract_batch_with(&engine, &docs, 0.0, &opts);
+        assert_eq!(results.len(), docs.len());
+        for r in results {
+            assert!(matches!(r, Err(DocError::Panicked(ref m)) if m.contains("similarity threshold")), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn cancel_token_clones_share_state() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
     }
 }

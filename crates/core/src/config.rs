@@ -1,5 +1,6 @@
 //! Engine configuration.
 
+use crate::limits::ExtractLimits;
 use crate::strategy::Strategy;
 use aeetes_rules::DeriveConfig;
 use aeetes_sim::Metric;
@@ -15,11 +16,20 @@ pub struct AeetesConfig {
     /// Token-set similarity metric (paper §2.2 extension; default Jaccard,
     /// giving exactly the paper's JaccAR semantics).
     pub metric: Metric,
+    /// Resource budgets applied to every extraction call. Defaults to
+    /// [`ExtractLimits::UNLIMITED`], which leaves results bit-for-bit
+    /// identical to the unbudgeted engine.
+    pub limits: ExtractLimits,
 }
 
 impl Default for AeetesConfig {
     fn default() -> Self {
-        Self { derive: DeriveConfig::default(), strategy: Strategy::Lazy, metric: Metric::Jaccard }
+        Self {
+            derive: DeriveConfig::default(),
+            strategy: Strategy::Lazy,
+            metric: Metric::Jaccard,
+            limits: ExtractLimits::UNLIMITED,
+        }
     }
 }
 
@@ -31,5 +41,6 @@ mod tests {
     fn default_strategy_is_lazy() {
         assert_eq!(AeetesConfig::default().strategy, Strategy::Lazy);
         assert_eq!(AeetesConfig::default().metric, Metric::Jaccard);
+        assert!(AeetesConfig::default().limits.is_unlimited());
     }
 }

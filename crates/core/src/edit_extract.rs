@@ -113,7 +113,16 @@ impl EditIndex {
         if min_tokens == usize::MAX {
             min_tokens = 0;
         }
-        Self { q, variant_strs, variant_chars, variant_tokens, grams, by_chars, min_tokens, max_tokens }
+        Self {
+            q,
+            variant_strs,
+            variant_chars,
+            variant_tokens,
+            grams,
+            by_chars,
+            min_tokens,
+            max_tokens,
+        }
     }
 
     /// The canonical string of a variant (for reporting).
@@ -311,10 +320,7 @@ mod tests {
     #[test]
     fn agrees_with_brute_force() {
         use aeetes_sim::levenshtein;
-        let (engine, mut int, tok) = setup(
-            &["data base systems", "databse", "machine learning"],
-            &[("data base", "database")],
-        );
+        let (engine, mut int, tok) = setup(&["data base systems", "databse", "machine learning"], &[("data base", "database")]);
         let index = EditIndex::build(&engine, &int, 2);
         let doc = Document::parse("old databse systems and machne learning data base", &tok, &mut int);
         for k in 0..=2usize {
@@ -340,8 +346,7 @@ mod tests {
                 }
             }
             expected.sort_unstable();
-            let got_tuples: Vec<(u32, u32, u32, usize)> =
-                got.iter().map(|m| (m.span.start, m.span.len, m.entity.0, m.distance)).collect();
+            let got_tuples: Vec<(u32, u32, u32, usize)> = got.iter().map(|m| (m.span.start, m.span.len, m.entity.0, m.distance)).collect();
             assert_eq!(got_tuples, expected, "k={k}");
         }
     }

@@ -1,6 +1,7 @@
 //! The end-to-end Aeetes engine (paper Algorithm 1, Figure 2).
 
 use crate::config::AeetesConfig;
+use crate::limits::{Budget, ExtractLimits, ExtractOutcome};
 use crate::matches::Match;
 use crate::stats::ExtractStats;
 use crate::strategy::{generate, Strategy};
@@ -62,7 +63,9 @@ impl Aeetes {
     }
 
     /// Extracts all `(entity, substring)` pairs with `JaccAR ≥ tau` using
-    /// the configured strategy. Results are sorted by `(span, entity)`.
+    /// the configured strategy (and the configured limits; the default
+    /// [`ExtractLimits::UNLIMITED`] never truncates). Results are sorted by
+    /// `(span, entity)`.
     ///
     /// # Panics
     /// Panics when `tau` is not in `(0, 1]`.
@@ -73,39 +76,52 @@ impl Aeetes {
     /// Extracts with an explicit strategy, returning the statistics used by
     /// the paper's ablation figures.
     pub fn extract_with(&self, doc: &Document, tau: f64, strategy: Strategy) -> (Vec<Match>, ExtractStats) {
-        self.run(doc, tau, strategy, self.config.metric, false)
+        let out = self.run(doc, tau, strategy, self.config.metric, false, &self.config.limits);
+        (out.matches, out.stats)
     }
 
     /// Extracts under an explicit token-set metric (paper §2.2 extension):
     /// `max over variants of metric(variant, substring) ≥ tau`. With
     /// [`Metric::Jaccard`] this is exactly [`Aeetes::extract`].
     pub fn extract_with_metric(&self, doc: &Document, tau: f64, metric: Metric) -> (Vec<Match>, ExtractStats) {
-        self.run(doc, tau, self.config.strategy, metric, false)
+        let out = self.run(doc, tau, self.config.strategy, metric, false, &self.config.limits);
+        (out.matches, out.stats)
     }
 
     /// Weighted-rule extraction (paper §8 extension): a variant produced by
     /// rules with weight product `w` contributes `w · Jaccard` instead of
     /// `Jaccard`. With all-1.0 weights this equals [`Aeetes::extract`].
     pub fn extract_weighted(&self, doc: &Document, tau: f64) -> (Vec<Match>, ExtractStats) {
-        self.run(doc, tau, self.config.strategy, self.config.metric, true)
+        let out = self.run(doc, tau, self.config.strategy, self.config.metric, true, &self.config.limits);
+        (out.matches, out.stats)
     }
 
-    fn run(
-        &self,
-        doc: &Document,
-        tau: f64,
-        strategy: Strategy,
-        metric: Metric,
-        weighted: bool,
-    ) -> (Vec<Match>, ExtractStats) {
+    /// Extracts under explicit resource limits (overriding the configured
+    /// ones), reporting whether any budget cut the run short. Every match
+    /// in a truncated outcome is still exact and verified; truncation only
+    /// means the result may be incomplete.
+    ///
+    /// # Panics
+    /// Panics when `tau` is not in `(0, 1]`.
+    pub fn extract_with_limits(&self, doc: &Document, tau: f64, limits: &ExtractLimits) -> ExtractOutcome {
+        self.run(doc, tau, self.config.strategy, self.config.metric, false, limits)
+    }
+
+    /// [`Aeetes::extract_with_limits`] under an explicit token-set metric.
+    pub fn extract_with_limits_metric(&self, doc: &Document, tau: f64, metric: Metric, limits: &ExtractLimits) -> ExtractOutcome {
+        self.run(doc, tau, self.config.strategy, metric, false, limits)
+    }
+
+    fn run(&self, doc: &Document, tau: f64, strategy: Strategy, metric: Metric, weighted: bool, limits: &ExtractLimits) -> ExtractOutcome {
         assert!(tau > 0.0 && tau <= 1.0, "similarity threshold must be in (0, 1], got {tau}");
         let mut stats = ExtractStats::default();
-        let pairs = generate(&self.index, doc, tau, metric, strategy, &mut stats);
+        let mut budget = Budget::start(limits);
+        let pairs = generate(&self.index, doc, tau, metric, strategy, &mut stats, &mut budget);
         // Weighted scores are ≤ unweighted scores (weights ≤ 1), so the
         // unweighted candidate filters remain sound for the weighted verify.
-        let mut matches = verify_candidates(&self.index, &self.dd, doc, tau, metric, pairs, &mut stats, weighted);
+        let mut matches = verify_candidates(&self.index, &self.dd, doc, tau, metric, pairs, &mut stats, weighted, &mut budget);
         matches.sort_unstable_by_key(Match::sort_key);
-        (matches, stats)
+        ExtractOutcome { matches, truncated: budget.truncated(), stats }
     }
 }
 
@@ -189,18 +205,11 @@ mod tests {
     #[test]
     fn lower_threshold_is_monotone() {
         let mut f = figure1();
-        let doc = Document::parse(
-            "purdue university usa near the university of queensland australia",
-            &f.tok,
-            &mut f.int,
-        );
+        let doc = Document::parse("purdue university usa near the university of queensland australia", &f.tok, &mut f.int);
         let hi = f.engine.extract(&doc, 0.9);
         let lo = f.engine.extract(&doc, 0.7);
         for m in &hi {
-            assert!(
-                lo.iter().any(|x| x.entity == m.entity && x.span == m.span),
-                "match {m:?} lost at lower threshold"
-            );
+            assert!(lo.iter().any(|x| x.entity == m.entity && x.span == m.span), "match {m:?} lost at lower threshold");
         }
         assert!(lo.len() >= hi.len());
     }
@@ -249,5 +258,113 @@ mod tests {
     fn engine_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<Aeetes>();
+    }
+
+    #[test]
+    fn unlimited_limits_match_plain_extract() {
+        let mut f = figure1();
+        let doc = Document::parse(
+            "talks by UW Madison faculty then Purdue University United States \
+             then Purdue University USA and finally University of Queensland Australia",
+            &f.tok,
+            &mut f.int,
+        );
+        let plain = f.engine.extract(&doc, 0.8);
+        let out = f.engine.extract_with_limits(&doc, 0.8, &ExtractLimits::UNLIMITED);
+        assert!(!out.truncated);
+        assert_eq!(out.matches, plain);
+        assert_eq!(out.stats.matches as usize, plain.len());
+    }
+
+    #[test]
+    fn zero_candidate_budget_returns_immediately_truncated() {
+        let mut f = figure1();
+        let limits = ExtractLimits { max_candidates: Some(0), ..ExtractLimits::UNLIMITED };
+        for text in ["purdue university usa and uq au", ""] {
+            let doc = Document::parse(text, &f.tok, &mut f.int);
+            let out = f.engine.extract_with_limits(&doc, 0.8, &limits);
+            assert!(out.truncated, "zero budget must report truncation on {text:?}");
+            assert!(out.matches.is_empty());
+        }
+    }
+
+    #[test]
+    fn match_cap_truncates_to_prefix_of_full_result() {
+        let mut f = figure1();
+        let doc = Document::parse("purdue university usa then purdue university usa then uq au then purdue university usa", &f.tok, &mut f.int);
+        let full = f.engine.extract(&doc, 0.8);
+        assert!(full.len() >= 3, "fixture should produce several matches, got {}", full.len());
+        let limits = ExtractLimits { max_matches: Some(1), ..ExtractLimits::UNLIMITED };
+        let out = f.engine.extract_with_limits(&doc, 0.8, &limits);
+        assert!(out.truncated);
+        assert_eq!(out.matches.len(), 1);
+        // The surviving match is exact: it appears verbatim in the full run.
+        assert!(full.contains(&out.matches[0]));
+    }
+
+    #[test]
+    fn expired_deadline_still_returns_well_formed_outcome() {
+        let mut f = figure1();
+        let doc = Document::parse("purdue university usa and uq au", &f.tok, &mut f.int);
+        let limits = ExtractLimits { deadline: Some(std::time::Duration::ZERO), ..ExtractLimits::UNLIMITED };
+        let out = f.engine.extract_with_limits(&doc, 0.8, &limits);
+        assert!(out.truncated);
+        assert!(out.matches.is_empty());
+    }
+
+    #[test]
+    fn generous_limits_do_not_truncate() {
+        let mut f = figure1();
+        let doc = Document::parse("purdue university usa and uq au", &f.tok, &mut f.int);
+        let limits = ExtractLimits {
+            deadline: Some(std::time::Duration::from_secs(3600)),
+            max_candidates: Some(1_000_000),
+            max_matches: Some(1_000_000),
+        };
+        let out = f.engine.extract_with_limits(&doc, 0.8, &limits);
+        assert!(!out.truncated);
+        assert_eq!(out.matches, f.engine.extract(&doc, 0.8));
+    }
+
+    #[test]
+    fn configured_limits_apply_to_plain_extract() {
+        let mut f = figure1();
+        let doc = Document::parse("purdue university usa and uq au", &f.tok, &mut f.int);
+        assert!(!f.engine.extract(&doc, 0.8).is_empty());
+        // Rebuild the engine with a zero candidate budget in its config:
+        // the classic API silently degrades (no truncation flag there).
+        let config = AeetesConfig {
+            limits: ExtractLimits { max_candidates: Some(0), ..ExtractLimits::UNLIMITED },
+            ..AeetesConfig::default()
+        };
+        let mut int = Interner::new();
+        let tok = Tokenizer::default();
+        let mut dict = Dictionary::new();
+        dict.push("purdue university usa", &tok, &mut int);
+        let engine = Aeetes::build(dict, &RuleSet::new(), config);
+        let doc2 = Document::parse("purdue university usa", &tok, &mut int);
+        assert!(engine.extract(&doc2, 0.8).is_empty());
+    }
+
+    #[test]
+    fn budget_truncation_consistent_across_strategies() {
+        let limits = ExtractLimits { max_candidates: Some(2), ..ExtractLimits::UNLIMITED };
+        for strategy in [Strategy::Simple, Strategy::Skip, Strategy::Dynamic, Strategy::Lazy] {
+            let config = AeetesConfig { strategy, ..AeetesConfig::default() };
+            let mut int = Interner::new();
+            let tok = Tokenizer::default();
+            let mut dict = Dictionary::new();
+            dict.push("purdue university usa", &tok, &mut int);
+            dict.push("uq au", &tok, &mut int);
+            let engine = Aeetes::build(dict, &RuleSet::new(), config);
+            let d = Document::parse("purdue university usa then uq au then purdue university usa", &tok, &mut int);
+            let out = engine.extract_with_limits(&d, 0.8, &limits);
+            assert!(out.truncated, "strategy {strategy} must hit the 2-candidate cap");
+            // Partial results stay exact: every match also occurs unbudgeted.
+            let full = engine.extract(&d, 0.8);
+            for m in &out.matches {
+                assert!(full.contains(m), "strategy {strategy} invented {m:?}");
+            }
+        }
     }
 }

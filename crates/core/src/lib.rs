@@ -44,11 +44,12 @@
 //! assert_eq!(matches[0].score, 1.0);
 //! ```
 
+mod batch;
 mod candidates;
 mod config;
 mod edit_extract;
 mod extractor;
-mod batch;
+mod limits;
 mod matches;
 mod nms;
 mod persist;
@@ -60,10 +61,11 @@ mod typo;
 mod verify;
 mod window;
 
+pub use batch::{extract_batch, extract_batch_with, BatchOptions, CancelToken, DocError};
 pub use config::AeetesConfig;
 pub use edit_extract::{EditIndex, EditMatch};
 pub use extractor::Aeetes;
-pub use batch::extract_batch;
+pub use limits::{ExtractLimits, ExtractOutcome};
 pub use matches::Match;
 pub use nms::suppress_overlaps;
 pub use persist::{load_engine, save_engine, PersistError};
@@ -73,4 +75,3 @@ pub use strategy::Strategy;
 pub use topk::extract_top_k;
 pub use typo::{extract_fuzzy, FuzzyConfig};
 pub use window::WindowState;
-

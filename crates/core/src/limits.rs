@@ -1,0 +1,170 @@
+//! Resource governance for extraction: wall-clock and output budgets.
+//!
+//! Extraction cost is input-dependent (documents and dictionaries are often
+//! untrusted), so callers that serve traffic need a way to bound a single
+//! call. [`ExtractLimits`] declares the budget; the engine checks it at
+//! window-advance boundaries inside every strategy and between candidate
+//! verifications, degrading to a *partial, well-formed* result instead of
+//! running away. [`ExtractOutcome`] reports whether truncation happened.
+//!
+//! With no limits set (the default) the checks are branch-only — no clock
+//! reads — and results are bit-for-bit identical to the unbudgeted engine.
+
+use crate::matches::Match;
+use crate::stats::ExtractStats;
+use std::time::{Duration, Instant};
+
+/// Caps applied to one extraction run. `None` fields are unlimited.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExtractLimits {
+    /// Wall-clock budget. Checked at window-advance and verification
+    /// boundaries, so overruns are bounded by the cost of one window /
+    /// one verification, not detected "eventually".
+    pub deadline: Option<Duration>,
+    /// Maximum candidate `(substring, entity)` pairs to generate.
+    pub max_candidates: Option<usize>,
+    /// Maximum matches to return from verification.
+    pub max_matches: Option<usize>,
+}
+
+impl ExtractLimits {
+    /// No limits; extraction behaves exactly like the unbudgeted engine.
+    pub const UNLIMITED: ExtractLimits = ExtractLimits { deadline: None, max_candidates: None, max_matches: None };
+
+    /// Whether every field is unlimited.
+    pub fn is_unlimited(&self) -> bool {
+        *self == Self::UNLIMITED
+    }
+}
+
+/// Result of a budgeted extraction ([`crate::Aeetes::extract_with_limits`]).
+#[derive(Debug, Clone)]
+pub struct ExtractOutcome {
+    /// Matches found before any budget ran out, sorted by `(span, entity)`.
+    /// When `truncated` is set this is a sound prefix of the work done —
+    /// every reported match is exact and verified — but not exhaustive.
+    pub matches: Vec<Match>,
+    /// Whether any budget in [`ExtractLimits`] cut the run short.
+    pub truncated: bool,
+    /// Work counters for the (possibly partial) run.
+    pub stats: ExtractStats,
+}
+
+/// Live budget state threaded through candidate generation and
+/// verification. Constructed once per extraction from [`ExtractLimits`]
+/// (resolving the relative deadline to an absolute [`Instant`]).
+#[derive(Debug, Clone)]
+pub(crate) struct Budget {
+    deadline: Option<Instant>,
+    max_candidates: usize,
+    max_matches: usize,
+    truncated: bool,
+}
+
+impl Budget {
+    /// A budget that never trips (test fixtures only).
+    #[cfg(test)]
+    pub(crate) fn unlimited() -> Self {
+        Self::start(&ExtractLimits::UNLIMITED)
+    }
+
+    /// Starts the clock on `limits` now.
+    pub(crate) fn start(limits: &ExtractLimits) -> Self {
+        Budget {
+            deadline: limits.deadline.map(|d| Instant::now() + d),
+            max_candidates: limits.max_candidates.unwrap_or(usize::MAX),
+            max_matches: limits.max_matches.unwrap_or(usize::MAX),
+            truncated: false,
+        }
+    }
+
+    /// Budget check at a window-advance boundary (or other unit of
+    /// generation work). `produced` is the number of candidates generated
+    /// so far; returns `false` — permanently — once any budget is spent.
+    pub(crate) fn keep_generating(&mut self, produced: usize) -> bool {
+        if self.truncated {
+            return false;
+        }
+        if produced >= self.max_candidates || self.deadline_passed() {
+            self.truncated = true;
+            return false;
+        }
+        true
+    }
+
+    /// Budget check between candidate verifications. `matched` is the
+    /// number of matches emitted so far.
+    pub(crate) fn keep_verifying(&mut self, matched: usize) -> bool {
+        if self.truncated {
+            return false;
+        }
+        if matched >= self.max_matches || self.deadline_passed() {
+            self.truncated = true;
+            return false;
+        }
+        true
+    }
+
+    fn deadline_passed(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Whether any check tripped during this run.
+    pub(crate) fn truncated(&self) -> bool {
+        self.truncated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let mut b = Budget::unlimited();
+        assert!(b.keep_generating(usize::MAX - 1));
+        assert!(b.keep_verifying(usize::MAX - 1));
+        assert!(!b.truncated());
+    }
+
+    #[test]
+    fn candidate_cap_trips_permanently() {
+        let mut b = Budget::start(&ExtractLimits { max_candidates: Some(10), ..Default::default() });
+        assert!(b.keep_generating(9));
+        assert!(!b.keep_generating(10));
+        assert!(b.truncated());
+        // Once tripped, stays tripped even for a smaller count.
+        assert!(!b.keep_generating(0));
+        assert!(!b.keep_verifying(0));
+    }
+
+    #[test]
+    fn zero_candidate_budget_trips_immediately() {
+        let mut b = Budget::start(&ExtractLimits { max_candidates: Some(0), ..Default::default() });
+        assert!(!b.keep_generating(0));
+        assert!(b.truncated());
+    }
+
+    #[test]
+    fn expired_deadline_trips() {
+        let mut b = Budget::start(&ExtractLimits { deadline: Some(Duration::ZERO), ..Default::default() });
+        assert!(!b.keep_generating(0));
+        assert!(b.truncated());
+    }
+
+    #[test]
+    fn match_cap_only_affects_verification() {
+        let mut b = Budget::start(&ExtractLimits { max_matches: Some(3), ..Default::default() });
+        assert!(b.keep_generating(1_000_000));
+        assert!(b.keep_verifying(2));
+        assert!(!b.keep_verifying(3));
+        assert!(b.truncated());
+    }
+
+    #[test]
+    fn unlimited_constant_matches_default() {
+        assert_eq!(ExtractLimits::default(), ExtractLimits::UNLIMITED);
+        assert!(ExtractLimits::default().is_unlimited());
+        assert!(!ExtractLimits { max_matches: Some(1), ..Default::default() }.is_unlimited());
+    }
+}

@@ -29,8 +29,18 @@ mod tests {
 
     #[test]
     fn sort_key_orders_by_position_first() {
-        let a = Match { entity: EntityId(9), span: Span::new(1, 2), score: 1.0, best_variant: DerivedId(0) };
-        let b = Match { entity: EntityId(0), span: Span::new(2, 2), score: 1.0, best_variant: DerivedId(0) };
+        let a = Match {
+            entity: EntityId(9),
+            span: Span::new(1, 2),
+            score: 1.0,
+            best_variant: DerivedId(0),
+        };
+        let b = Match {
+            entity: EntityId(0),
+            span: Span::new(2, 2),
+            score: 1.0,
+            best_variant: DerivedId(0),
+        };
         assert!(a.sort_key() < b.sort_key());
     }
 }

@@ -41,7 +41,12 @@ mod tests {
     use aeetes_text::{EntityId, Span};
 
     fn m(e: u32, start: u32, len: u32, score: f64) -> Match {
-        Match { entity: EntityId(e), span: Span { start, len }, score, best_variant: DerivedId(0) }
+        Match {
+            entity: EntityId(e),
+            span: Span { start, len },
+            score,
+            best_variant: DerivedId(0),
+        }
     }
 
     #[test]

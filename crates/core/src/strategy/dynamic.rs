@@ -14,6 +14,7 @@
 //! Figure 11.
 
 use crate::candidates::{scan_token_origins, CandidateSink};
+use crate::limits::Budget;
 use crate::stats::ExtractStats;
 use crate::window::WindowState;
 use aeetes_index::{metric_window_bounds, ClusteredIndex, GlobalOrder};
@@ -44,6 +45,7 @@ pub(crate) fn generate(
     metric: Metric,
     sink: &mut CandidateSink,
     stats: &mut ExtractStats,
+    budget: &mut Budget,
 ) {
     let Some(bounds) = metric_window_bounds(index.min_set_len(), index.max_set_len(), tau, metric) else {
         return;
@@ -64,6 +66,9 @@ pub(crate) fn generate(
         let lmax = bounds.max.min(n - p);
         if bounds.min > lmax {
             break;
+        }
+        if !budget.keep_generating(sink.len()) {
+            break; // budget spent: degrade to the candidates found so far
         }
         stats.windows += 1;
         let fit = lmax - bounds.min + 1;
@@ -105,9 +110,10 @@ pub(crate) fn generate(
                 if key >> 32 == 0 {
                     continue; // invalid token
                 }
-                let origins = st.cache.entry((key, s_len as u32)).or_insert_with(|| {
-                    scan_token_origins(index, GlobalOrder::token_of(key), s_len, tau, metric, stats)
-                });
+                let origins = st
+                    .cache
+                    .entry((key, s_len as u32))
+                    .or_insert_with(|| scan_token_origins(index, GlobalOrder::token_of(key), s_len, tau, metric, stats));
                 for &origin in origins.iter() {
                     sink.push(span, origin);
                 }
@@ -153,9 +159,9 @@ mod tests {
             let mut s1 = CandidateSink::new();
             let mut s2 = CandidateSink::new();
             let mut st = ExtractStats::default();
-            naive::generate(&ix, &doc, tau, Metric::Jaccard, true, &mut s1, &mut st);
+            naive::generate(&ix, &doc, tau, Metric::Jaccard, true, &mut s1, &mut st, &mut Budget::unlimited());
             let mut st2 = ExtractStats::default();
-            generate(&ix, &doc, tau, Metric::Jaccard, &mut s2, &mut st2);
+            generate(&ix, &doc, tau, Metric::Jaccard, &mut s2, &mut st2, &mut Budget::unlimited());
             assert_eq!(sorted(s1.pairs), sorted(s2.pairs), "tau={tau}");
         }
     }
@@ -173,8 +179,8 @@ mod tests {
         let mut s_dyn = CandidateSink::new();
         let mut st_skip = ExtractStats::default();
         let mut st_dyn = ExtractStats::default();
-        naive::generate(&ix, &doc, 0.7, Metric::Jaccard, true, &mut s_skip, &mut st_skip);
-        generate(&ix, &doc, 0.7, Metric::Jaccard, &mut s_dyn, &mut st_dyn);
+        naive::generate(&ix, &doc, 0.7, Metric::Jaccard, true, &mut s_skip, &mut st_skip, &mut Budget::unlimited());
+        generate(&ix, &doc, 0.7, Metric::Jaccard, &mut s_dyn, &mut st_dyn, &mut Budget::unlimited());
         assert_eq!(sorted(s_skip.pairs), sorted(s_dyn.pairs));
         assert!(
             st_dyn.accessed_entries < st_skip.accessed_entries,
@@ -189,7 +195,7 @@ mod tests {
         let (ix, doc) = setup(&["a b c"], &[], "a b c d e f g h i j");
         let mut sink = CandidateSink::new();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 0.8, Metric::Jaccard, &mut sink, &mut stats);
+        generate(&ix, &doc, 0.8, Metric::Jaccard, &mut sink, &mut stats, &mut Budget::unlimited());
         assert_eq!(stats.prefix_builds, 1, "only the very first state is built");
         assert!(stats.prefix_updates > 0);
     }
@@ -200,7 +206,7 @@ mod tests {
         let (ix, doc) = setup(&["a b c d e"], &[], "a b c d e f");
         let mut sink = CandidateSink::new();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 0.7, Metric::Jaccard, &mut sink, &mut stats);
+        generate(&ix, &doc, 0.7, Metric::Jaccard, &mut sink, &mut stats, &mut Budget::unlimited());
         // must not panic, and still finds the full-entity match
         assert!(sink.pairs.iter().any(|(sp, _)| *sp == Span::new(0, 5)));
     }
@@ -210,7 +216,7 @@ mod tests {
         let (ix, doc) = setup(&["a b c d e f g h i j"], &[], "a b");
         let mut sink = CandidateSink::new();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 0.9, Metric::Jaccard, &mut sink, &mut stats);
+        generate(&ix, &doc, 0.9, Metric::Jaccard, &mut sink, &mut stats, &mut Budget::unlimited());
         assert_eq!(sink.len(), 0);
         assert_eq!(stats.windows, 0);
     }
@@ -221,9 +227,9 @@ mod tests {
         let mut s1 = CandidateSink::new();
         let mut s2 = CandidateSink::new();
         let mut st = ExtractStats::default();
-        naive::generate(&ix, &doc, 0.8, Metric::Jaccard, true, &mut s1, &mut st);
+        naive::generate(&ix, &doc, 0.8, Metric::Jaccard, true, &mut s1, &mut st, &mut Budget::unlimited());
         let mut st2 = ExtractStats::default();
-        generate(&ix, &doc, 0.8, Metric::Jaccard, &mut s2, &mut st2);
+        generate(&ix, &doc, 0.8, Metric::Jaccard, &mut s2, &mut st2, &mut Budget::unlimited());
         assert_eq!(sorted(s1.pairs), sorted(s2.pairs));
     }
 }

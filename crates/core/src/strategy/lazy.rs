@@ -9,6 +9,7 @@
 //! every length group with the substrings whose length filter admits it.
 
 use crate::candidates::CandidateSink;
+use crate::limits::Budget;
 use crate::stats::ExtractStats;
 use crate::window::WindowState;
 use aeetes_index::{metric_window_bounds, ClusteredIndex, GlobalOrder};
@@ -32,6 +33,7 @@ pub(crate) fn generate(
     metric: Metric,
     sink: &mut CandidateSink,
     stats: &mut ExtractStats,
+    budget: &mut Budget,
 ) {
     let Some(bounds) = metric_window_bounds(index.min_set_len(), index.max_set_len(), tau, metric) else {
         return;
@@ -49,6 +51,11 @@ pub(crate) fn generate(
     for p in 0..n {
         let lmax = bounds.max.min(n - p);
         if bounds.min > lmax {
+            break;
+        }
+        // No candidates are produced in this pass, but the deadline (and an
+        // already-zero candidate budget) still applies per window advance.
+        if !budget.keep_generating(sink.len()) {
             break;
         }
         stats.windows += 1;
@@ -94,6 +101,11 @@ pub(crate) fn generate(
     let mut tokens: Vec<TokenId> = inv.keys().copied().collect();
     tokens.sort_unstable();
     for t in tokens {
+        // Candidates accumulate per scanned token, so this pass re-checks
+        // the budget at every token boundary.
+        if !budget.keep_generating(sink.len()) {
+            break;
+        }
         let mut list = inv.remove(&t).expect("token recorded in pass 1");
         let Some(tp) = index.postings(t) else { continue };
         list.sort_unstable_by_key(|pend| pend.lo);
@@ -178,9 +190,9 @@ mod tests {
             let mut eager = CandidateSink::new();
             let mut lazy_sink = CandidateSink::new();
             let mut st = ExtractStats::default();
-            naive::generate(&ix, &doc, tau, Metric::Jaccard, true, &mut eager, &mut st);
+            naive::generate(&ix, &doc, tau, Metric::Jaccard, true, &mut eager, &mut st, &mut Budget::unlimited());
             let mut st2 = ExtractStats::default();
-            generate(&ix, &doc, tau, Metric::Jaccard, &mut lazy_sink, &mut st2);
+            generate(&ix, &doc, tau, Metric::Jaccard, &mut lazy_sink, &mut st2, &mut Budget::unlimited());
             let e = sorted(eager.pairs);
             let l = sorted(lazy_sink.pairs);
             for pair in &e {
@@ -202,8 +214,8 @@ mod tests {
         let mut s_lazy = CandidateSink::new();
         let mut st_dyn = ExtractStats::default();
         let mut st_lazy = ExtractStats::default();
-        dynamic::generate(&ix, &doc, 0.7, Metric::Jaccard, &mut s_dyn, &mut st_dyn);
-        generate(&ix, &doc, 0.7, Metric::Jaccard, &mut s_lazy, &mut st_lazy);
+        dynamic::generate(&ix, &doc, 0.7, Metric::Jaccard, &mut s_dyn, &mut st_dyn, &mut Budget::unlimited());
+        generate(&ix, &doc, 0.7, Metric::Jaccard, &mut s_lazy, &mut st_lazy, &mut Budget::unlimited());
         assert!(
             st_lazy.accessed_entries <= st_dyn.accessed_entries,
             "lazy {} vs dynamic {}",
@@ -217,7 +229,7 @@ mod tests {
         let (ix, doc) = setup(&["a b"], &[], "");
         let mut sink = CandidateSink::new();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 0.8, Metric::Jaccard, &mut sink, &mut stats);
+        generate(&ix, &doc, 0.8, Metric::Jaccard, &mut sink, &mut stats, &mut Budget::unlimited());
         assert_eq!(sink.len(), 0);
     }
 
@@ -226,7 +238,7 @@ mod tests {
         let (ix, doc) = setup(&["rust"], &[], "rust");
         let mut sink = CandidateSink::new();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 1.0, Metric::Jaccard, &mut sink, &mut stats);
+        generate(&ix, &doc, 1.0, Metric::Jaccard, &mut sink, &mut stats, &mut Budget::unlimited());
         assert_eq!(sink.len(), 1);
         assert_eq!(sink.pairs[0].0, Span::new(0, 1));
     }

@@ -5,6 +5,7 @@ mod lazy;
 mod naive;
 
 use crate::candidates::CandidateSink;
+use crate::limits::Budget;
 use crate::stats::ExtractStats;
 use aeetes_index::ClusteredIndex;
 use aeetes_sim::Metric;
@@ -49,7 +50,9 @@ impl std::fmt::Display for Strategy {
     }
 }
 
-/// Runs the chosen strategy and returns the candidate pairs.
+/// Runs the chosen strategy and returns the candidate pairs. The budget is
+/// consulted at every window advance; an exhausted budget stops generation
+/// with whatever candidates were produced so far.
 pub(crate) fn generate(
     index: &ClusteredIndex,
     doc: &Document,
@@ -57,13 +60,20 @@ pub(crate) fn generate(
     metric: Metric,
     strategy: Strategy,
     stats: &mut ExtractStats,
+    budget: &mut Budget,
 ) -> Vec<(Span, EntityId)> {
     let mut sink = CandidateSink::new();
+    // An already-spent budget (e.g. `max_candidates: Some(0)` or an expired
+    // deadline) returns before any window is visited, even on inputs that
+    // produce no windows at all.
+    if !budget.keep_generating(0) {
+        return sink.pairs;
+    }
     match strategy {
-        Strategy::Simple => naive::generate(index, doc, tau, metric, false, &mut sink, stats),
-        Strategy::Skip => naive::generate(index, doc, tau, metric, true, &mut sink, stats),
-        Strategy::Dynamic => dynamic::generate(index, doc, tau, metric, &mut sink, stats),
-        Strategy::Lazy => lazy::generate(index, doc, tau, metric, &mut sink, stats),
+        Strategy::Simple => naive::generate(index, doc, tau, metric, false, &mut sink, stats, budget),
+        Strategy::Skip => naive::generate(index, doc, tau, metric, true, &mut sink, stats, budget),
+        Strategy::Dynamic => dynamic::generate(index, doc, tau, metric, &mut sink, stats, budget),
+        Strategy::Lazy => lazy::generate(index, doc, tau, metric, &mut sink, stats, budget),
     }
     sink.pairs
 }

@@ -2,6 +2,7 @@
 //! from scratch (paper §4, "straightforward solution").
 
 use crate::candidates::{scan_clustered, scan_flat, CandidateSink};
+use crate::limits::Budget;
 use crate::stats::ExtractStats;
 use aeetes_index::{metric_window_bounds, ClusteredIndex, GlobalOrder};
 use aeetes_sim::Metric;
@@ -11,6 +12,7 @@ use aeetes_text::{Document, Span};
 /// to obtain the τ-prefix, and scans the posting list of each valid prefix
 /// token. `clustered` toggles the batch-skipping scan (the `Skip` strategy)
 /// versus the full scan (`Simple`).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn generate(
     index: &ClusteredIndex,
     doc: &Document,
@@ -19,6 +21,7 @@ pub(crate) fn generate(
     clustered: bool,
     sink: &mut CandidateSink,
     stats: &mut ExtractStats,
+    budget: &mut Budget,
 ) {
     let Some(bounds) = metric_window_bounds(index.min_set_len(), index.max_set_len(), tau, metric) else {
         return;
@@ -31,6 +34,9 @@ pub(crate) fn generate(
         let lmax = bounds.max.min(n - p);
         if bounds.min > lmax {
             break; // remaining windows are too short for any entity
+        }
+        if !budget.keep_generating(sink.len()) {
+            break; // budget spent: degrade to the candidates found so far
         }
         stats.windows += 1;
         for l in bounds.min..=lmax {
@@ -79,22 +85,19 @@ mod tests {
         let (ix, doc) = setup(&["purdue university"], "i visited purdue university yesterday");
         let mut sink = CandidateSink::new();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 0.9, Metric::Jaccard, false, &mut sink, &mut stats);
+        generate(&ix, &doc, 0.9, Metric::Jaccard, false, &mut sink, &mut stats, &mut Budget::unlimited());
         assert!(sink.pairs.iter().any(|(sp, _)| *sp == Span::new(2, 2)));
     }
 
     #[test]
     fn simple_accesses_at_least_as_many_entries_as_skip() {
-        let (ix, doc) = setup(
-            &["a b", "a c d", "a e f g", "h i", "a"],
-            "a b c a e f g h i a a b",
-        );
+        let (ix, doc) = setup(&["a b", "a c d", "a e f g", "h i", "a"], "a b c a e f g h i a a b");
         let mut s1 = CandidateSink::new();
         let mut s2 = CandidateSink::new();
         let mut st1 = ExtractStats::default();
         let mut st2 = ExtractStats::default();
-        generate(&ix, &doc, 0.7, Metric::Jaccard, false, &mut s1, &mut st1);
-        generate(&ix, &doc, 0.7, Metric::Jaccard, true, &mut s2, &mut st2);
+        generate(&ix, &doc, 0.7, Metric::Jaccard, false, &mut s1, &mut st1, &mut Budget::unlimited());
+        generate(&ix, &doc, 0.7, Metric::Jaccard, true, &mut s2, &mut st2, &mut Budget::unlimited());
         assert!(st1.accessed_entries >= st2.accessed_entries);
         let mut a = s1.pairs;
         let mut b = s2.pairs;
@@ -108,11 +111,11 @@ mod tests {
         let (ix, doc) = setup(&["a b"], "");
         let mut sink = CandidateSink::new();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 0.8, Metric::Jaccard, true, &mut sink, &mut stats);
+        generate(&ix, &doc, 0.8, Metric::Jaccard, true, &mut sink, &mut stats, &mut Budget::unlimited());
         assert_eq!(sink.len(), 0);
         let (ix2, doc2) = setup(&[], "some words here");
         let mut sink2 = CandidateSink::new();
-        generate(&ix2, &doc2, 0.8, Metric::Jaccard, true, &mut sink2, &mut stats);
+        generate(&ix2, &doc2, 0.8, Metric::Jaccard, true, &mut sink2, &mut stats, &mut Budget::unlimited());
         assert_eq!(sink2.len(), 0);
     }
 
@@ -122,7 +125,7 @@ mod tests {
         // entity distinct len 2, τ=0.8 → E⊥=1, E⊤=3; n=5.
         let mut sink = CandidateSink::new();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 0.8, Metric::Jaccard, true, &mut sink, &mut stats);
+        generate(&ix, &doc, 0.8, Metric::Jaccard, true, &mut sink, &mut stats, &mut Budget::unlimited());
         // p=0..4: lmax = min(3, 5-p) → 3,3,3,2,1 → substrings 3+3+3+2+1 = 12.
         assert_eq!(stats.windows, 5);
         assert_eq!(stats.substrings, 12);

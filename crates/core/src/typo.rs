@@ -46,10 +46,7 @@ pub fn extract_fuzzy(engine: &Aeetes, doc: &Document, interner: &Interner, confi
     let doc_strs: Vec<&str> = doc.tokens().iter().map(|&t| interner.resolve(t)).collect();
 
     // Pre-resolve variant token strings once.
-    let variant_strs: Vec<Vec<&str>> = dd
-        .iter()
-        .map(|(_, d)| d.tokens.iter().map(|&t| interner.resolve(t)).collect())
-        .collect();
+    let variant_strs: Vec<Vec<&str>> = dd.iter().map(|(_, d)| d.tokens.iter().map(|&t| interner.resolve(t)).collect()).collect();
 
     let mut out = Vec::new();
     for p in 0..n {

@@ -1,6 +1,7 @@
 //! Exact JaccAR verification of candidate pairs (paper Algorithm 1, lines
 //! 6–9).
 
+use crate::limits::Budget;
 use crate::matches::Match;
 use crate::stats::ExtractStats;
 use aeetes_index::ClusteredIndex;
@@ -48,7 +49,9 @@ fn prefixes_overlap(a: &[u64], b: &[u64]) -> bool {
 
 /// Verifies each candidate pair and returns the matches with
 /// `JaccAR ≥ τ` (or weighted JaccAR when `weighted` is set), sorted by
-/// `(span, entity)`.
+/// `(span, entity)`. The budget is consulted between candidates: an
+/// exhausted deadline or match cap stops verification with the (exact,
+/// verified) matches found so far.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn verify_candidates(
     index: &ClusteredIndex,
@@ -59,6 +62,7 @@ pub(crate) fn verify_candidates(
     mut pairs: Vec<(Span, EntityId)>,
     stats: &mut ExtractStats,
     weighted: bool,
+    budget: &mut Budget,
 ) -> Vec<Match> {
     // Group by span so the substring key set is built once per span.
     pairs.sort_unstable_by_key(|(sp, e)| (sp.start, sp.len, e.0));
@@ -68,6 +72,9 @@ pub(crate) fn verify_candidates(
     let mut s_prefix = 0usize;
     let mut cur: Option<Span> = None;
     for (span, e) in pairs {
+        if !budget.keep_verifying(out.len()) {
+            break;
+        }
         if cur != Some(span) {
             s_keys.clear();
             s_keys.extend(doc.slice(span).iter().map(|&t| order.key(t)));
@@ -139,7 +146,12 @@ mod tests {
 
     impl Fix {
         fn new() -> Self {
-            Self { int: Interner::new(), tok: Tokenizer::default(), dict: Dictionary::new(), rules: RuleSet::new() }
+            Self {
+                int: Interner::new(),
+                tok: Tokenizer::default(),
+                dict: Dictionary::new(),
+                rules: RuleSet::new(),
+            }
         }
         fn built(&self) -> (DerivedDictionary, ClusteredIndex) {
             let dd = DerivedDictionary::build(&self.dict, &self.rules, &DeriveConfig::default());
@@ -184,7 +196,7 @@ mod tests {
         let good = (Span::new(0, 4), e);
         let bad = (Span::new(4, 3), e);
         let mut stats = ExtractStats::default();
-        let out = verify_candidates(&ix, &dd, &doc, 0.9, Metric::Jaccard, vec![good, bad], &mut stats, false);
+        let out = verify_candidates(&ix, &dd, &doc, 0.9, Metric::Jaccard, vec![good, bad], &mut stats, false, &mut Budget::unlimited());
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].span, Span::new(0, 4));
         assert_eq!(out[0].score, 1.0);
@@ -201,11 +213,11 @@ mod tests {
         let doc = Document::parse("new york city marathon", &f.tok, &mut f.int);
         let pair = vec![(Span::new(0, 4), e)];
         let mut stats = ExtractStats::default();
-        let plain = verify_candidates(&ix, &dd, &doc, 0.9, Metric::Jaccard, pair.clone(), &mut stats, false);
+        let plain = verify_candidates(&ix, &dd, &doc, 0.9, Metric::Jaccard, pair.clone(), &mut stats, false, &mut Budget::unlimited());
         assert_eq!(plain.len(), 1);
-        let weighted = verify_candidates(&ix, &dd, &doc, 0.9, Metric::Jaccard, pair.clone(), &mut stats, true);
+        let weighted = verify_candidates(&ix, &dd, &doc, 0.9, Metric::Jaccard, pair.clone(), &mut stats, true, &mut Budget::unlimited());
         assert!(weighted.is_empty(), "0.5-weighted score falls below 0.9");
-        let weighted_low = verify_candidates(&ix, &dd, &doc, 0.4, Metric::Jaccard, pair, &mut stats, true);
+        let weighted_low = verify_candidates(&ix, &dd, &doc, 0.4, Metric::Jaccard, pair, &mut stats, true, &mut Budget::unlimited());
         assert_eq!(weighted_low.len(), 1);
         assert!((weighted_low[0].score - 0.5).abs() < 1e-12);
     }
@@ -219,7 +231,7 @@ mod tests {
         let doc = Document::parse("alpha beta gamma", &f.tok, &mut f.int);
         let pairs = vec![(Span::new(1, 2), b), (Span::new(0, 2), a)];
         let mut stats = ExtractStats::default();
-        let out = verify_candidates(&ix, &dd, &doc, 0.9, Metric::Jaccard, pairs, &mut stats, false);
+        let out = verify_candidates(&ix, &dd, &doc, 0.9, Metric::Jaccard, pairs, &mut stats, false, &mut Budget::unlimited());
         assert_eq!(out.len(), 2);
         assert!(out[0].sort_key() < out[1].sort_key());
     }
@@ -231,7 +243,7 @@ mod tests {
         let (dd, ix) = f.built();
         let doc = Document::parse("a b", &f.tok, &mut f.int);
         let mut stats = ExtractStats::default();
-        let out = verify_candidates(&ix, &dd, &doc, 0.9, Metric::Jaccard, vec![(Span::new(0, 2), e)], &mut stats, false);
+        let out = verify_candidates(&ix, &dd, &doc, 0.9, Metric::Jaccard, vec![(Span::new(0, 2), e)], &mut stats, false, &mut Budget::unlimited());
         assert!(out.is_empty());
         assert_eq!(stats.verifications, 0, "variant skipped by length filter");
     }

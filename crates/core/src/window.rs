@@ -120,11 +120,7 @@ mod tests {
             w.remove(keys[p - 1]);
             w.add(keys[p + l - 1]);
             let fresh = WindowState::from_keys(keys[p..p + l].iter().copied());
-            assert_eq!(
-                w.distinct_keys().collect::<Vec<_>>(),
-                fresh.distinct_keys().collect::<Vec<_>>(),
-                "window at p={p}"
-            );
+            assert_eq!(w.distinct_keys().collect::<Vec<_>>(), fresh.distinct_keys().collect::<Vec<_>>(), "window at p={p}");
         }
     }
 

@@ -24,13 +24,7 @@ pub fn write_files(dataset: &Dataset, dir: &Path) -> std::io::Result<usize> {
 
     let mut rules = fs::File::create(dir.join("rules.tsv"))?;
     for (_, r) in dataset.rules.iter() {
-        writeln!(
-            rules,
-            "{}\t{}\t{}",
-            dataset.interner.render(&r.lhs),
-            dataset.interner.render(&r.rhs),
-            r.weight
-        )?;
+        writeln!(rules, "{}\t{}\t{}", dataset.interner.render(&r.lhs), dataset.interner.render(&r.rhs), r.weight)?;
     }
 
     let mut docs = fs::File::create(dir.join("docs.txt"))?;
@@ -58,9 +52,12 @@ mod tests {
         let _ = fs::remove_dir_all(&dir);
         let written = write_files(&data, &dir).expect("export");
         assert_eq!(written, 4);
-        for (file, min_lines) in
-            [("dict.txt", data.dictionary.len()), ("rules.tsv", data.rules.len()), ("docs.txt", data.documents.len()), ("gold.tsv", 1)]
-        {
+        for (file, min_lines) in [
+            ("dict.txt", data.dictionary.len()),
+            ("rules.tsv", data.rules.len()),
+            ("docs.txt", data.documents.len()),
+            ("gold.tsv", 1),
+        ] {
             let body = fs::read_to_string(dir.join(file)).unwrap();
             assert!(body.lines().count() >= min_lines, "{file}: too few lines");
         }

@@ -17,16 +17,8 @@ pub fn generate(profile: &DatasetProfile, seed: u64) -> Dataset {
     let mut words = WordFactory::new();
 
     // ---- Vocabularies ----
-    let entity_vocab: Vec<TokenId> = words
-        .words(profile.entity_vocab, &mut rng)
-        .into_iter()
-        .map(|w| interner.intern(&w))
-        .collect();
-    let background_vocab: Vec<TokenId> = words
-        .words(profile.background_vocab, &mut rng)
-        .into_iter()
-        .map(|w| interner.intern(&w))
-        .collect();
+    let entity_vocab: Vec<TokenId> = words.words(profile.entity_vocab, &mut rng).into_iter().map(|w| interner.intern(&w)).collect();
+    let background_vocab: Vec<TokenId> = words.words(profile.background_vocab, &mut rng).into_iter().map(|w| interner.intern(&w)).collect();
     let zipf = ZipfSampler::new(entity_vocab.len(), profile.zipf_exponent);
     let bg_zipf = ZipfSampler::new(background_vocab.len(), 1.0);
 
@@ -36,8 +28,7 @@ pub fn generate(profile: &DatasetProfile, seed: u64) -> Dataset {
     for _ in 0..profile.entities {
         let mut tokens = Vec::new();
         for attempt in 0..20 {
-            let len = sample_len(profile.avg_entity_len, profile.max_entity_len, &mut rng)
-                .max(profile.min_entity_len);
+            let len = sample_len(profile.avg_entity_len, profile.max_entity_len, &mut rng).max(profile.min_entity_len);
             tokens.clear();
             while tokens.len() < len {
                 let t = entity_vocab[zipf.sample(&mut rng)];
@@ -162,9 +153,7 @@ pub fn generate(profile: &DatasetProfile, seed: u64) -> Dataset {
             // planted span's boundaries unambiguous.
             tokens.push(background_vocab[bg_zipf.sample(&mut rng)]);
             let entity = EntityId(ent_sampler.sample(&mut rng) as u32);
-            if let Some((mention, form)) =
-                render_mention(&dictionary, &rules, entity, &background_vocab, &bg_zipf, &mut interner, &mut rng)
-            {
+            if let Some((mention, form)) = render_mention(&dictionary, &rules, entity, &background_vocab, &bg_zipf, &mut interner, &mut rng) {
                 let span = Span::new(tokens.len(), mention.len());
                 tokens.extend_from_slice(&mention);
                 tokens.push(background_vocab[bg_zipf.sample(&mut rng)]);
@@ -175,7 +164,15 @@ pub fn generate(profile: &DatasetProfile, seed: u64) -> Dataset {
         documents.push(Document::from_tokens(tokens));
     }
 
-    Dataset { name: profile.name.clone(), interner, tokenizer, dictionary, rules, documents, gold }
+    Dataset {
+        name: profile.name.clone(),
+        interner,
+        tokenizer,
+        dictionary,
+        rules,
+        documents,
+        gold,
+    }
 }
 
 /// Appends `n` background tokens; ~30% of them are drawn from the entity
@@ -338,11 +335,7 @@ mod tests {
     fn different_seeds_differ() {
         let a = generate(&DatasetProfile::pubmed_like().scaled(0.02), 1);
         let b = generate(&DatasetProfile::pubmed_like().scaled(0.02), 2);
-        assert_ne!(
-            a.documents[0].tokens(),
-            b.documents[0].tokens(),
-            "different seeds should give different corpora"
-        );
+        assert_ne!(a.documents[0].tokens(), b.documents[0].tokens(), "different seeds should give different corpora");
     }
 
     #[test]
@@ -372,7 +365,9 @@ mod tests {
 
     #[test]
     fn noisy_mentions_are_entity_plus_one() {
-        let d = small(DatasetProfile::usjob_like());
+        // Larger sample than `small()`: the noisy band is only ~7% of
+        // mentions, so a dozen mentions can easily contain none.
+        let d = generate(&DatasetProfile::usjob_like().scaled(0.1), 42);
         let mut seen = 0;
         for g in d.gold.iter().filter(|g| g.form == MentionForm::Noisy) {
             seen += 1;

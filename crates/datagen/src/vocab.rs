@@ -12,8 +12,7 @@ pub struct WordFactory {
     produced: usize,
 }
 
-const ONSETS: [&str; 18] =
-    ["b", "c", "d", "f", "g", "h", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "st", "tr"];
+const ONSETS: [&str; 18] = ["b", "c", "d", "f", "g", "h", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "st", "tr"];
 const VOWELS: [&str; 6] = ["a", "e", "i", "o", "u", "ia"];
 const CODAS: [&str; 8] = ["", "", "n", "r", "s", "l", "x", "m"];
 

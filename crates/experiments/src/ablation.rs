@@ -35,7 +35,10 @@ pub fn run(config: &Config) {
         let data = generate(&profile.scaled(config.scale), config.seed);
         let docs = config.measured_docs(&data);
         for cap in CAPS {
-            let cfg = AeetesConfig { derive: DeriveConfig { max_derived: cap, ..DeriveConfig::default() }, ..AeetesConfig::default() };
+            let cfg = AeetesConfig {
+                derive: DeriveConfig { max_derived: cap, ..DeriveConfig::default() },
+                ..AeetesConfig::default()
+            };
             let mut engine: Option<Aeetes> = None;
             let build_ms = time_ms_best(1, || {
                 engine = Some(Aeetes::build(data.dictionary.clone(), &data.rules, cfg.clone()));

@@ -29,9 +29,7 @@ impl Config {
         let mut c = Self { scale: 0.1, seed: 42, docs: 0, json_path: None, rows: Mutex::new(Vec::new()) };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
-            let mut value = |name: &str| {
-                it.next().map(|s| s.to_string()).ok_or_else(|| format!("flag {name} needs a value"))
-            };
+            let mut value = |name: &str| it.next().map(|s| s.to_string()).ok_or_else(|| format!("flag {name} needs a value"));
             match flag.as_str() {
                 "--scale" => c.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
                 "--seed" => c.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
@@ -49,8 +47,7 @@ impl Config {
     /// The three paper datasets at the configured scale, generated in
     /// parallel (generation is deterministic per profile + seed).
     pub fn datasets(&self) -> Vec<Dataset> {
-        let profiles: Vec<DatasetProfile> =
-            DatasetProfile::all().into_iter().map(|p| p.scaled(self.scale)).collect();
+        let profiles: Vec<DatasetProfile> = DatasetProfile::all().into_iter().map(|p| p.scaled(self.scale)).collect();
         let out = Mutex::new(Vec::with_capacity(profiles.len()));
         crossbeam::scope(|s| {
             for (i, p) in profiles.iter().enumerate() {
@@ -70,7 +67,11 @@ impl Config {
 
     /// The documents of `data` to measure (honours `--docs`).
     pub fn measured_docs<'a>(&self, data: &'a Dataset) -> &'a [Document] {
-        let n = if self.docs == 0 { data.documents.len() } else { self.docs.min(data.documents.len()) };
+        let n = if self.docs == 0 {
+            data.documents.len()
+        } else {
+            self.docs.min(data.documents.len())
+        };
         &data.documents[..n]
     }
 
@@ -132,8 +133,7 @@ pub fn fj_extract(engine: &Aeetes, doc: &Document, interner: &Interner, tau: f64
     let candidates = engine.extract(doc, relaxed);
     let mut out = Vec::new();
     for mut m in candidates {
-        let ent: Vec<&str> =
-            engine.dictionary().entity(m.entity).iter().map(|&t| interner.resolve(t)).collect();
+        let ent: Vec<&str> = engine.dictionary().entity(m.entity).iter().map(|&t| interner.resolve(t)).collect();
         let sub: Vec<&str> = doc.slice(m.span).iter().map(|&t| interner.resolve(t)).collect();
         let score = fuzzy_jaccard(&ent, &sub, 0.8);
         if score >= tau {

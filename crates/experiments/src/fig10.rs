@@ -28,18 +28,15 @@ pub fn run(config: &Config) {
                 cells.push(ms);
                 config.record(
                     "fig10",
-                    &Row { dataset: data.name.clone(), tau, strategy: strategy.name().into(), ms_per_doc: ms },
+                    &Row {
+                        dataset: data.name.clone(),
+                        tau,
+                        strategy: strategy.name().into(),
+                        ms_per_doc: ms,
+                    },
                 );
             }
-            println!(
-                "{:<10} {:>5.2} {} {} {} {}",
-                data.name,
-                tau,
-                fmt_ms(cells[0]),
-                fmt_ms(cells[1]),
-                fmt_ms(cells[2]),
-                fmt_ms(cells[3])
-            );
+            println!("{:<10} {:>5.2} {} {} {} {}", data.name, tau, fmt_ms(cells[0]), fmt_ms(cells[1]), fmt_ms(cells[2]), fmt_ms(cells[3]));
         }
     }
     println!("\n(expected shape per the paper: Lazy < Dynamic < Skip < Simple)");

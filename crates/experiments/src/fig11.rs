@@ -37,10 +37,7 @@ pub fn run(config: &Config) {
                     },
                 );
             }
-            println!(
-                "{:<10} {:>5.2} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",
-                data.name, tau, cells[0], cells[1], cells[2], cells[3]
-            );
+            println!("{:<10} {:>5.2} {:>12.0} {:>12.0} {:>12.0} {:>12.0}", data.name, tau, cells[0], cells[1], cells[2], cells[3]);
         }
     }
     println!("\n(expected shape per the paper: Lazy ≪ Dynamic ≪ Skip ≪ Simple — e.g. PubMed θ=0.8: 326631 / 126895 / 16002 / 6120)");

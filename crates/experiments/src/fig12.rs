@@ -19,10 +19,7 @@ const STEPS: [f64; 5] = [0.2, 0.4, 0.6, 0.8, 1.0];
 const TAUS: [f64; 5] = [0.7, 0.75, 0.8, 0.85, 0.9];
 
 pub fn run(config: &Config) {
-    println!(
-        "{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "dataset", "entities", "τ=0.70", "τ=0.75", "τ=0.80", "τ=0.85", "τ=0.90"
-    );
+    println!("{:<10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}", "dataset", "entities", "τ=0.70", "τ=0.75", "τ=0.80", "τ=0.85", "τ=0.90");
     for base in DatasetProfile::all() {
         let base = base.scaled(config.scale);
         for step in STEPS {

@@ -33,14 +33,7 @@ pub fn run(config: &Config) {
                     std::hint::black_box(faerier.extract(doc, tau));
                 }
             }) / docs.len() as f64;
-            println!(
-                "{:<10} {:>5.2} {} {} {:>8.1}x",
-                data.name,
-                tau,
-                fmt_ms(a_ms),
-                fmt_ms(f_ms),
-                f_ms / a_ms.max(1e-9)
-            );
+            println!("{:<10} {:>5.2} {} {} {:>8.1}x", data.name, tau, fmt_ms(a_ms), fmt_ms(f_ms), f_ms / a_ms.max(1e-9));
             config.record(
                 "fig9",
                 &Row {

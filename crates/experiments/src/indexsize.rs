@@ -26,7 +26,12 @@ pub fn run(config: &Config) {
         println!("{:<10} {:>14.2} {:>14.2} {:>6.2}x", data.name, mb(a), mb(f), a as f64 / f.max(1) as f64);
         config.record(
             "indexsize",
-            &Row { dataset: data.name.clone(), aeetes_bytes: a, faerier_bytes: f, ratio: a as f64 / f.max(1) as f64 },
+            &Row {
+                dataset: data.name.clone(),
+                aeetes_bytes: a,
+                faerier_bytes: f,
+                ratio: a as f64 / f.max(1) as f64,
+            },
         );
     }
     println!("\n(the paper reports the clustered index ≈ 2× the FaerieR index; the speed win pays for it)");

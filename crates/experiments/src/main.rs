@@ -27,8 +27,8 @@ mod fig8;
 mod fig9;
 mod indexsize;
 mod table1;
-mod weighted;
 mod table2;
+mod weighted;
 
 use common::Config;
 

@@ -29,14 +29,7 @@ pub fn run(config: &Config) {
                 counts[2].tally(&extract_best(&with_rules, doc, theta), &gold);
             }
             let fmt = |c: &PrfCounts| format!("{:5.2} {:5.2} {:5.2}", c.precision(), c.recall(), c.f1());
-            println!(
-                "{:<10} {:>5.1} | {:>24} | {:>24} | {:>24}",
-                data.name,
-                theta,
-                fmt(&counts[0]),
-                fmt(&counts[1]),
-                fmt(&counts[2])
-            );
+            println!("{:<10} {:>5.1} | {:>24} | {:>24} | {:>24}", data.name, theta, fmt(&counts[0]), fmt(&counts[1]), fmt(&counts[2]));
             for (metric, c) in ["jaccard", "fuzzy_jaccard", "jaccar"].iter().zip(&counts) {
                 config.record(
                     "table2",

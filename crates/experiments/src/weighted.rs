@@ -27,10 +27,7 @@ struct Row {
 }
 
 pub fn run(config: &Config) {
-    println!(
-        "{:<10} {:>7} | {:>26} | {:>26}",
-        "dataset", "bogus", "plain JaccAR (P/R/F)", "weighted JaccAR (P/R/F)"
-    );
+    println!("{:<10} {:>7} | {:>26} | {:>26}", "dataset", "bogus", "plain JaccAR (P/R/F)", "weighted JaccAR (P/R/F)");
     let tau = 0.8;
     for profile in [DatasetProfile::pubmed_like(), DatasetProfile::usjob_like()] {
         let data = generate(&profile.scaled(config.scale), config.seed);
@@ -50,8 +47,7 @@ pub fn run(config: &Config) {
                 let src = EntityId((cursor % data.dictionary.len()) as u32);
                 let dst = EntityId(((cursor * 7 + 13) % data.dictionary.len()) as u32);
                 cursor += 1;
-                let (Some(&head), target) = (data.dictionary.entity(src).first(), data.dictionary.entity(dst))
-                else {
+                let (Some(&head), target) = (data.dictionary.entity(src).first(), data.dictionary.entity(dst)) else {
                     continue;
                 };
                 if target.is_empty() || target.contains(&head) {

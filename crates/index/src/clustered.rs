@@ -85,7 +85,10 @@ impl<'a> LengthGroup<'a> {
         let tp = self.tp;
         tp.origins[self.group.origins_start as usize..self.group.origins_end as usize]
             .iter()
-            .map(move |og| OriginGroup { origin: og.origin, entries: &tp.entries[og.entries_start as usize..og.entries_end as usize] })
+            .map(move |og| OriginGroup {
+                origin: og.origin,
+                entries: &tp.entries[og.entries_start as usize..og.entries_end as usize],
+            })
     }
 
     /// Number of origin clusters in this group.
@@ -181,15 +184,17 @@ impl ClusteredIndex {
         }
 
         // Raw postings per token: (len, origin, derived, pos).
-        let num_tokens = dd
-            .iter()
-            .flat_map(|(_, d)| d.tokens.iter())
-            .map(|t| t.idx() + 1)
-            .max()
-            .unwrap_or(0);
+        let num_tokens = dd.iter().flat_map(|(_, d)| d.tokens.iter()).map(|t| t.idx() + 1).max().unwrap_or(0);
         let mut raw: Vec<Vec<(u16, EntityId, DerivedId, u16)>> = vec![Vec::new(); num_tokens];
         for (id, d) in dd.iter() {
             let set = &set_data[set_offsets[id.idx()] as usize..set_offsets[id.idx() + 1] as usize];
+            // Posting entries address positions with u16, so a variant of
+            // more than 65 535 distinct tokens cannot be indexed. Dictionary
+            // entities are short phrases (the paper's datasets average 2–7
+            // tokens), so this is a build-time assertion on absurd input,
+            // not a runtime error path; engines loaded from disk are
+            // additionally capped by `persist::MAX_VARIANT_TOKENS` before
+            // they reach this code.
             let len = u16::try_from(set.len()).expect("entity set larger than u16::MAX tokens");
             for (pos, &key) in set.iter().enumerate() {
                 let t = GlobalOrder::token_of(key);
@@ -213,14 +218,19 @@ impl ClusteredIndex {
                         origins_end: tp.origins.len() as u32,
                     });
                 }
+                // Unreachable expect: when `new_group` a group was pushed
+                // two lines up; otherwise `is_none_or` returning false
+                // proves `groups.last()` exists.
                 let group = tp.groups.last_mut().expect("just ensured");
-                let new_origin = new_group
-                    || tp.origins.get(group.origins_end as usize - 1).is_none_or(|og| og.origin != origin);
+                let new_origin = new_group || tp.origins.get(group.origins_end as usize - 1).is_none_or(|og| og.origin != origin);
                 if new_origin {
                     tp.origins.push(OriginGroupRef { origin, entries_start: entry_at, entries_end: entry_at });
                     group.origins_end += 1;
                 }
                 tp.entries.push(PostingEntry { derived, pos });
+                // Unreachable expect: `new_origin` is true on the first
+                // iteration (new_group forces it), so an origin group was
+                // pushed before any entry lands here.
                 tp.origins.last_mut().expect("just ensured").entries_end += 1;
             }
             tp.groups.shrink_to_fit();
@@ -243,7 +253,16 @@ impl ClusteredIndex {
             origin_offsets.push(variants_by_len.len() as u32);
         }
 
-        Self { order, postings, set_data, set_offsets, variants_by_len, origin_offsets, min_len, max_len }
+        Self {
+            order,
+            postings,
+            set_data,
+            set_offsets,
+            variants_by_len,
+            origin_offsets,
+            min_len,
+            max_len,
+        }
     }
 
     /// The variants of origin `e`, sorted by ascending distinct-set length.
@@ -340,10 +359,10 @@ mod tests {
     fn paper_example_3_2_clustering() {
         let mut f = fixture(
             &[
-                "Purdue University USA",             // e1
-                "Purdue University in Indiana",      // e2
-                "UQ AU",                             // e3
-                "UW Madison",                        // e4
+                "Purdue University USA",        // e1
+                "Purdue University in Indiana", // e2
+                "UQ AU",                        // e3
+                "UW Madison",                   // e4
             ],
             &[
                 ("UQ", "University of Queensland"),

@@ -40,12 +40,7 @@ pub fn window_bounds(min_entity_len: Option<usize>, max_entity_len: Option<usize
 /// `[|e|⊥, |e|⊤]`. For Overlap (whose admissible partner size is unbounded
 /// above) the range is clamped by the mention-length cap `⌈|e|⊤/τ⌉` — the
 /// same cap every metric's window enumeration uses.
-pub fn metric_window_bounds(
-    min_entity_len: Option<usize>,
-    max_entity_len: Option<usize>,
-    tau: f64,
-    metric: Metric,
-) -> Option<WindowBounds> {
+pub fn metric_window_bounds(min_entity_len: Option<usize>, max_entity_len: Option<usize>, tau: f64, metric: Metric) -> Option<WindowBounds> {
     let lo = min_entity_len?;
     let hi = max_entity_len?;
     debug_assert!(lo <= hi);

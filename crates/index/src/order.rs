@@ -20,12 +20,7 @@ pub struct GlobalOrder {
 impl GlobalOrder {
     /// Builds the order from a derived dictionary.
     pub fn build(dd: &DerivedDictionary) -> Self {
-        let max_id = dd
-            .iter()
-            .flat_map(|(_, d)| d.tokens.iter())
-            .map(|t| t.idx())
-            .max()
-            .map_or(0, |m| m + 1);
+        let max_id = dd.iter().flat_map(|(_, d)| d.tokens.iter()).map(|t| t.idx()).max().map_or(0, |m| m + 1);
         let mut freq = vec![0u32; max_id];
         let mut seen: Vec<TokenId> = Vec::new();
         for (_, d) in dd.iter() {

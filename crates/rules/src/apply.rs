@@ -72,6 +72,10 @@ impl ConflictGraph {
         for i in order {
             let span = (apps[i].start, apps[i].end());
             match spans.last() {
+                // `spans` and `vertices` are pushed in lockstep (the `_`
+                // arm below is the only writer), so `spans.last()` being
+                // `Some` proves `vertices` is non-empty: the expect is
+                // unreachable, not a recoverable condition.
                 Some(&s) if s == span => vertices.last_mut().expect("non-empty").push(i),
                 _ => {
                     spans.push(span);
@@ -169,20 +173,13 @@ pub fn select_non_conflict_exact(entity: &[TokenId], rules: &RuleSet) -> Vec<Vec
     select_with(entity, rules, ConflictGraph::exact_clique)
 }
 
-fn select_with(
-    entity: &[TokenId],
-    rules: &RuleSet,
-    clique: impl Fn(&ConflictGraph) -> Vec<usize>,
-) -> Vec<Vec<Application>> {
+fn select_with(entity: &[TokenId], rules: &RuleSet, clique: impl Fn(&ConflictGraph) -> Vec<usize>) -> Vec<Vec<Application>> {
     let apps = find_applications(entity, rules);
     if apps.is_empty() {
         return Vec::new();
     }
     let graph = ConflictGraph::build(&apps);
-    clique(&graph)
-        .into_iter()
-        .map(|v| graph.vertices[v].iter().map(|&i| apps[i]).collect())
-        .collect()
+    clique(&graph).into_iter().map(|v| graph.vertices[v].iter().map(|&i| apps[i]).collect()).collect()
 }
 
 #[cfg(test)]

@@ -146,11 +146,7 @@ impl DerivedDictionary {
                 self.stats.truncated_entities += 1;
                 break;
             }
-            let chosen: Vec<&Application> = digits
-                .iter()
-                .zip(&groups)
-                .filter_map(|(&d, g)| d.checked_sub(1).map(|i| &g[i]))
-                .collect();
+            let chosen: Vec<&Application> = digits.iter().zip(&groups).filter_map(|(&d, g)| d.checked_sub(1).map(|i| &g[i])).collect();
             let (new_tokens, applied, weight) = rewrite(tokens, &chosen, rules);
             if seen.insert(new_tokens.clone(), ()).is_none() {
                 self.derived.push(DerivedEntity { origin: eid, tokens: new_tokens, rules: applied, weight });
@@ -303,7 +299,12 @@ mod tests {
 
     impl Ctx {
         fn new() -> Self {
-            Self { int: Interner::new(), tok: Tokenizer::default(), dict: Dictionary::new(), rules: RuleSet::new() }
+            Self {
+                int: Interner::new(),
+                tok: Tokenizer::default(),
+                dict: Dictionary::new(),
+                rules: RuleSet::new(),
+            }
         }
         fn entity(&mut self, s: &str) -> EntityId {
             self.dict.push(s, &self.tok, &mut self.int)
@@ -434,14 +435,12 @@ mod tests {
     fn weights_multiply() {
         let mut c = Ctx::new();
         let e = c.entity("uq au");
-        c.rules.push_weighted_str("uq", "university of queensland", 0.5, &c.tok.clone(), &mut c.int).unwrap();
+        c.rules
+            .push_weighted_str("uq", "university of queensland", 0.5, &c.tok.clone(), &mut c.int)
+            .unwrap();
         c.rules.push_weighted_str("au", "australia", 0.8, &c.tok.clone(), &mut c.int).unwrap();
         let dd = c.build();
-        let both = dd
-            .variants(e)
-            .iter()
-            .find(|d| d.rules.len() == 2)
-            .expect("variant with both rules");
+        let both = dd.variants(e).iter().find(|d| d.rules.len() == 2).expect("variant with both rules");
         assert!((both.weight - 0.4).abs() < 1e-12);
     }
 

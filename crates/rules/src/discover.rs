@@ -83,11 +83,7 @@ pub enum DiscoveryKind {
 /// Returns rules sorted by descending support, then by the short token id
 /// for determinism. Rules are *candidates*: pipe them through
 /// [`add_discovered`] (or review them first) to use them.
-pub fn discover_abbreviations(
-    dict: &Dictionary,
-    interner: &Interner,
-    config: &DiscoveryConfig,
-) -> Vec<DiscoveredRule> {
+pub fn discover_abbreviations(dict: &Dictionary, interner: &Interner, config: &DiscoveryConfig) -> Vec<DiscoveredRule> {
     let stop: HashSet<&str> = config.stopwords.iter().map(String::as_str).collect();
 
     // 1. Collect every candidate expansion window (token subsequences of
@@ -99,10 +95,7 @@ pub fn discover_abbreviations(
         for start in 0..n {
             for len in config.min_expansion_tokens..=config.max_expansion_tokens.min(n - start) {
                 let window = &e.tokens[start..start + len];
-                let full: String = window
-                    .iter()
-                    .filter_map(|&t| interner.resolve(t).chars().next())
-                    .collect();
+                let full: String = window.iter().filter_map(|&t| interner.resolve(t).chars().next()).collect();
                 let skipped: String = window
                     .iter()
                     .filter(|&&t| !stop.contains(interner.resolve(t)))
@@ -143,12 +136,7 @@ pub fn discover_abbreviations(
                     if expansion.contains(&t) {
                         continue;
                     }
-                    out.push(DiscoveredRule {
-                        short: t,
-                        expansion: expansion.clone(),
-                        kind: *kind,
-                        support: support.len(),
-                    });
+                    out.push(DiscoveredRule { short: t, expansion: expansion.clone(), kind: *kind, support: support.len() });
                 }
             }
         }
@@ -235,10 +223,7 @@ mod tests {
         let (dict, int) = setup(&["NYU campus", "New York University"]);
         let found = discover_abbreviations(&dict, &int, &DiscoveryConfig::default());
         let nyu = int.get("nyu").unwrap();
-        assert!(
-            found.iter().any(|r| r.short == nyu && int.render(&r.expansion) == "new york university"),
-            "{found:?}"
-        );
+        assert!(found.iter().any(|r| r.short == nyu && int.render(&r.expansion) == "new york university"), "{found:?}");
     }
 
     #[test]
@@ -290,10 +275,7 @@ mod tests {
         // "UQ AU" must now have a variant containing "university of queensland".
         let uq_entity = aeetes_text::EntityId(0);
         let uni = int.get("university").unwrap();
-        assert!(
-            dd.variants(uq_entity).iter().any(|v| v.tokens.contains(&uni)),
-            "discovered rule expands UQ"
-        );
+        assert!(dd.variants(uq_entity).iter().any(|v| v.tokens.contains(&uni)), "discovered rule expands UQ");
     }
 
     #[test]

@@ -86,13 +86,7 @@ impl RuleSet {
     }
 
     /// Adds a rule from raw strings with weight `1.0`.
-    pub fn push_str(
-        &mut self,
-        lhs: &str,
-        rhs: &str,
-        tokenizer: &Tokenizer,
-        interner: &mut Interner,
-    ) -> Result<RuleId, RuleError> {
+    pub fn push_str(&mut self, lhs: &str, rhs: &str, tokenizer: &Tokenizer, interner: &mut Interner) -> Result<RuleId, RuleError> {
         let l = tokenizer.tokenize(lhs, interner);
         let r = tokenizer.tokenize(rhs, interner);
         self.push_tokens(l, r, 1.0)

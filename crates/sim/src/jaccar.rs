@@ -121,7 +121,12 @@ mod tests {
 
     impl Ctx {
         fn new() -> Self {
-            Self { int: Interner::new(), tok: Tokenizer::default(), dict: Dictionary::new(), rules: RuleSet::new() }
+            Self {
+                int: Interner::new(),
+                tok: Tokenizer::default(),
+                dict: Dictionary::new(),
+                rules: RuleSet::new(),
+            }
         }
         fn entity(&mut self, s: &str) -> EntityId {
             self.dict.push(s, &self.tok, &mut self.int)

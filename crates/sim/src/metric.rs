@@ -189,16 +189,8 @@ mod tests {
                             if m.score(a, b, o) >= tau {
                                 let (lo, hi) = m.length_bounds(a, tau, usize::MAX);
                                 assert!(b >= lo && b <= hi, "{m} τ={tau} a={a} b={b} o={o} bounds=({lo},{hi})");
-                                assert!(
-                                    o >= m.min_overlap_single(a, tau),
-                                    "{m} τ={tau} a={a} b={b} o={o} single={}",
-                                    m.min_overlap_single(a, tau)
-                                );
-                                assert!(
-                                    o >= m.required_overlap(a, b, tau),
-                                    "{m} τ={tau} a={a} b={b} o={o} pair={}",
-                                    m.required_overlap(a, b, tau)
-                                );
+                                assert!(o >= m.min_overlap_single(a, tau), "{m} τ={tau} a={a} b={b} o={o} single={}", m.min_overlap_single(a, tau));
+                                assert!(o >= m.required_overlap(a, b, tau), "{m} τ={tau} a={a} b={b} o={o} pair={}", m.required_overlap(a, b, tau));
                             }
                         }
                     }

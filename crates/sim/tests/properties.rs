@@ -1,8 +1,6 @@
 //! Property tests for the similarity metrics.
 
-use aeetes_sim::{
-    edit_similarity, fuzzy_jaccard, intersection_size, jaccard, levenshtein, levenshtein_bounded, sorted_set, Metric,
-};
+use aeetes_sim::{edit_similarity, fuzzy_jaccard, intersection_size, jaccard, levenshtein, levenshtein_bounded, sorted_set, Metric};
 use aeetes_text::TokenId;
 use proptest::prelude::*;
 

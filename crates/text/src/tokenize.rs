@@ -52,11 +52,18 @@ impl Tokenizer {
             // ASCII fast path; non-ASCII always goes through to_lowercase
             // (titlecase characters like 'ᾈ' are not `is_uppercase` yet
             // still have lowercase mappings).
-            let needs_lowering =
-                if raw.is_ascii() { raw.bytes().any(|b| b.is_ascii_uppercase()) } else { true };
+            let needs_lowering = if raw.is_ascii() { raw.bytes().any(|b| b.is_ascii_uppercase()) } else { true };
             let tok = if self.config.lowercase && needs_lowering {
                 lower_buf.clear();
-                lower_buf.extend(raw.chars().flat_map(char::to_lowercase));
+                if self.config.strip_punctuation {
+                    // Lowercasing can *introduce* non-alphanumerics — İ
+                    // (U+0130) maps to "i" + combining dot above — which
+                    // would break the alphanumeric-token invariant of
+                    // stripped chunks; drop such marks.
+                    lower_buf.extend(raw.chars().flat_map(char::to_lowercase).filter(|c| c.is_alphanumeric()));
+                } else {
+                    lower_buf.extend(raw.chars().flat_map(char::to_lowercase));
+                }
                 lower_buf.as_str()
             } else {
                 raw
@@ -152,5 +159,12 @@ mod tests {
     #[test]
     fn digits_are_tokens() {
         assert_eq!(toks("EDBT 2019"), vec!["edbt", "2019"]);
+    }
+
+    #[test]
+    fn expanding_lowercase_stays_alphanumeric() {
+        // İ (U+0130) lowercases to "i" + U+0307 (combining dot above); the
+        // combining mark must not survive into a stripped token.
+        assert_eq!(toks("İstanbul"), vec!["istanbul"]);
     }
 }

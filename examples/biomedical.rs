@@ -53,12 +53,7 @@ fn main() {
     println!("\nrecall of gold mentions at τ = {tau}:");
     println!("  form      with rules   without rules");
     for form in [MentionForm::Exact, MentionForm::Synonym, MentionForm::Noisy] {
-        println!(
-            "  {:8} {:>10.3} {:>14.3}",
-            format!("{form:?}"),
-            recall_with.rate(form),
-            recall_without.rate(form)
-        );
+        println!("  {:8} {:>10.3} {:>14.3}", format!("{form:?}"), recall_with.rate(form), recall_without.rate(form));
     }
     println!("\nfuzzy verification recovered {fuzzy_hits}/{typo_gold} typo'd mentions (first 10 docs)");
 

@@ -62,12 +62,7 @@ fn main() {
     let best = suppress_overlaps(raw);
     println!("\nsynonym-aware AEES → {} mention(s) at τ = {tau} (best per region)", best.len());
     for m in &best {
-        println!(
-            "    {:5.3} \"{}\" = {}",
-            m.score,
-            doc.text_of(m.span).unwrap(),
-            engine.dictionary().record(m.entity).raw
-        );
+        println!("    {:5.3} \"{}\" = {}", m.score, doc.text_of(m.span).unwrap(), engine.dictionary().record(m.entity).raw);
     }
 
     // The paper's Example 1.1 outcome.

@@ -59,12 +59,7 @@ fn main() {
             println!("    (no product mentions)");
         }
         for m in &mentions {
-            println!(
-                "    {:5.3}  \"{}\"  →  {}",
-                m.score,
-                doc.text_of(m.span).unwrap_or("<span>"),
-                engine.dictionary().record(m.entity).raw,
-            );
+            println!("    {:5.3}  \"{}\"  →  {}", m.score, doc.text_of(m.span).unwrap_or("<span>"), engine.dictionary().record(m.entity).raw,);
         }
         total += mentions.len();
         println!();
@@ -72,20 +67,11 @@ fn main() {
     assert!(total >= 5, "expected at least five product mentions, got {total}");
 
     // Top-k: the single most confident mention in a noisy review.
-    let doc = Document::parse(
-        "torn between the galaxy s24 ultra the pixel 8 pro and honestly the macbook pro 14 inch",
-        &tokenizer,
-        &mut interner,
-    );
+    let doc = Document::parse("torn between the galaxy s24 ultra the pixel 8 pro and honestly the macbook pro 14 inch", &tokenizer, &mut interner);
     let top = extract_top_k(&engine, &doc, 3, 0.6);
     println!("top-3 mentions in the comparison review:");
     for m in &top {
-        println!(
-            "    {:5.3}  \"{}\"  →  {}",
-            m.score,
-            doc.text_of(m.span).unwrap_or("<span>"),
-            engine.dictionary().record(m.entity).raw,
-        );
+        println!("    {:5.3}  \"{}\"  →  {}", m.score, doc.text_of(m.span).unwrap_or("<span>"), engine.dictionary().record(m.entity).raw,);
     }
     assert_eq!(top.len(), 3);
 }

@@ -51,12 +51,7 @@ fn main() {
 
     println!("matches at τ = {tau}:");
     for m in &matches {
-        println!(
-            "  {:5.3}  \"{}\"  →  {}",
-            m.score,
-            doc.text_of(m.span).unwrap_or("<span>"),
-            engine.dictionary().record(m.entity).raw,
-        );
+        println!("  {:5.3}  \"{}\"  →  {}", m.score, doc.text_of(m.span).unwrap_or("<span>"), engine.dictionary().record(m.entity).raw,);
     }
     assert!(!matches.is_empty(), "quickstart should find mentions");
 }

@@ -31,21 +31,11 @@ fn main() {
     let discovered = discover_abbreviations(&dict, &interner, &DiscoveryConfig::default());
     println!("discovered {} candidate rule(s):", discovered.len());
     for r in &discovered {
-        println!(
-            "  [{:?}, support {}] {} ⇔ {}",
-            r.kind,
-            r.support,
-            interner.resolve(r.short),
-            interner.render(&r.expansion),
-        );
+        println!("  [{:?}, support {}] {} ⇔ {}", r.kind, r.support, interner.resolve(r.short), interner.render(&r.expansion),);
     }
 
     // Without rules: the abbreviation mention is invisible.
-    let doc = Document::parse(
-        "panel: a speaker from the University of Queensland Australia and one from NYU",
-        &tokenizer,
-        &mut interner,
-    );
+    let doc = Document::parse("panel: a speaker from the University of Queensland Australia and one from NYU", &tokenizer, &mut interner);
     let bare = Aeetes::build(dict.clone(), &RuleSet::new(), AeetesConfig::default());
     let before = bare.extract(&doc, 0.9).len();
 
@@ -60,12 +50,7 @@ fn main() {
     let matches = engine.extract(&doc, 0.9);
     println!("\nmatches at τ = 0.9 with the combined rule set:");
     for m in &matches {
-        println!(
-            "  {:5.3}  \"{}\"  →  {}",
-            m.score,
-            doc.text_of(m.span).unwrap_or("<span>"),
-            engine.dictionary().record(m.entity).raw,
-        );
+        println!("  {:5.3}  \"{}\"  →  {}", m.score, doc.text_of(m.span).unwrap_or("<span>"), engine.dictionary().record(m.entity).raw,);
     }
     assert!(matches.len() > before, "discovered rules must surface extra mentions");
     assert!(

@@ -60,8 +60,8 @@ pub use aeetes_sim as sim;
 pub use aeetes_text as text;
 
 pub use aeetes_core::{
-    extract_batch, extract_fuzzy, extract_top_k, load_engine, mention_report, save_engine, suppress_overlaps, Aeetes,
-    AeetesConfig, EditIndex, EditMatch, ExtractStats, FuzzyConfig, Match, MentionReport, PersistError, Strategy,
+    extract_batch, extract_fuzzy, extract_top_k, load_engine, mention_report, save_engine, suppress_overlaps, Aeetes, AeetesConfig, EditIndex,
+    EditMatch, ExtractStats, FuzzyConfig, Match, MentionReport, PersistError, Strategy,
 };
 pub use aeetes_rules::{DeriveConfig, DerivedDictionary, RuleSet};
 pub use aeetes_sim::Metric;

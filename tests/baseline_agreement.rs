@@ -19,20 +19,11 @@ fn faerier_and_aeetes_return_identical_pairs() {
             for tau in [0.7, 0.8, 0.9] {
                 let (fr, _) = faerier.extract(doc, tau);
                 let am = engine.extract(doc, tau);
-                let f_pairs: Vec<(u32, u32, u32)> =
-                    fr.iter().map(|m| (m.span.start, m.span.len, m.entity.0)).collect();
-                let a_pairs: Vec<(u32, u32, u32)> =
-                    am.iter().map(|m| (m.span.start, m.span.len, m.entity.0)).collect();
+                let f_pairs: Vec<(u32, u32, u32)> = fr.iter().map(|m| (m.span.start, m.span.len, m.entity.0)).collect();
+                let a_pairs: Vec<(u32, u32, u32)> = am.iter().map(|m| (m.span.start, m.span.len, m.entity.0)).collect();
                 assert_eq!(f_pairs, a_pairs, "{}: tau={tau}", data.name);
                 for (f, a) in fr.iter().zip(&am) {
-                    assert!(
-                        (f.score - a.score).abs() < 1e-12,
-                        "{}: score mismatch at {:?}: {} vs {}",
-                        data.name,
-                        f.span,
-                        f.score,
-                        a.score
-                    );
+                    assert!((f.score - a.score).abs() < 1e-12, "{}: score mismatch at {:?}: {} vs {}", data.name, f.span, f.score, a.score);
                 }
             }
         }

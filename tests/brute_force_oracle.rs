@@ -52,20 +52,11 @@ fn materialize(inst: &Instance) -> (Dictionary, RuleSet, Document, f64, Interner
 
 /// Brute force: enumerate every substring whose token length lies in the
 /// engine's window bounds and score it against every entity.
-fn brute_force(
-    dict: &Dictionary,
-    dd: &DerivedDictionary,
-    doc: &Document,
-    tau: f64,
-) -> Vec<(u32, u32, u32, f64)> {
+fn brute_force(dict: &Dictionary, dd: &DerivedDictionary, doc: &Document, tau: f64) -> Vec<(u32, u32, u32, f64)> {
     let verifier = JaccArVerifier::new(dd);
     // Same substring length range as the framework (token count, from the
     // *distinct* set sizes of derived entities).
-    let min_len = dd
-        .iter()
-        .map(|(_, d)| sorted_set(&d.tokens).len())
-        .filter(|&l| l > 0)
-        .min();
+    let min_len = dd.iter().map(|(_, d)| sorted_set(&d.tokens).len()).filter(|&l| l > 0).min();
     let max_len = dd.iter().map(|(_, d)| sorted_set(&d.tokens).len()).max();
     let (Some(lo), Some(hi)) = (min_len, max_len) else { return Vec::new() };
     let w_lo = ((lo as f64 * tau + 1e-9).floor() as usize).max(1);

@@ -1,0 +1,59 @@
+//! Offline shim for the `crossbeam` 0.8 API subset used by this workspace:
+//! `crossbeam::scope`, backed by `std::thread::scope` (which landed in std
+//! after crossbeam popularized the pattern).
+
+use std::any::Any;
+use std::thread;
+
+/// A scope handle passed to the closure of [`scope`]; spawned threads may
+/// borrow from the enclosing stack frame.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope again, like
+    /// crossbeam's `Scope::spawn` (callers conventionally ignore it).
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope in which borrowing scoped threads can be spawned;
+/// joins them all before returning. Returns `Err` with the panic payload
+/// when the closure itself panics (spawned-thread panics propagate on join,
+/// as with crossbeam).
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| thread::scope(|s| f(&Scope { inner: s }))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+        })
+        .expect("no panics");
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn closure_panic_is_reported() {
+        assert!(scope(|_| panic!("boom")).is_err());
+    }
+}

@@ -1,0 +1,585 @@
+//! Offline shim for the `proptest` 1.x API subset used by this workspace:
+//! the [`proptest!`] macro (with optional `#![proptest_config(..)]` header),
+//! `prop_assert*!` / `prop_assume!`, the [`Strategy`] trait with `prop_map`,
+//! numeric-range and regex-lite `&str` strategies, tuple strategies, and
+//! `collection::{vec, hash_set}`.
+//!
+//! Differences from real proptest: no shrinking (a failing case panics with
+//! the assertion message only), and the regex support is the small subset the
+//! test suite draws from — character classes, groups, `{m,n}` quantifiers and
+//! `\PC` (any non-control character). Generation is deterministic per test
+//! (seeded from the test's name), so failures reproduce across runs.
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+use rand::{Rng, SeedableRng};
+
+/// Per-test random source handed to [`Strategy::generate`].
+pub struct TestRng(rand::rngs::SmallRng);
+
+impl TestRng {
+    fn from_name(name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and rustc versions.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(rand::rngs::SmallRng::seed_from_u64(h))
+    }
+}
+
+/// A value generator. The shim's strategies produce values directly instead
+/// of proptest's value trees (which exist to support shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategies!(u8, u16, u32, u64, usize, f64);
+
+macro_rules! tuple_strategies {
+    ($(($($S:ident $idx:tt),+))*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+}
+
+/// `&str` patterns generate matching strings (regex-lite, see module docs).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = pattern::parse(self).unwrap_or_else(|e| panic!("unsupported pattern {self:?} in proptest shim: {e}"));
+        let mut out = String::new();
+        pattern::generate(&atoms, rng, &mut out);
+        out
+    }
+}
+
+mod pattern {
+    use super::TestRng;
+    use rand::Rng;
+
+    pub(crate) struct Quantified {
+        atom: Atom,
+        lo: u32,
+        hi: u32,
+    }
+
+    pub(crate) enum Atom {
+        Lit(char),
+        Class(Vec<char>),
+        /// `\PC`: any character outside the Unicode "Other" (control) category.
+        AnyPrintable,
+        Group(Vec<Quantified>),
+    }
+
+    pub(crate) fn parse(pat: &str) -> Result<Vec<Quantified>, String> {
+        let mut chars = pat.chars().peekable();
+        let seq = parse_seq(&mut chars, false)?;
+        if chars.next().is_some() {
+            return Err("unbalanced ')'".into());
+        }
+        Ok(seq)
+    }
+
+    fn parse_seq(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, in_group: bool) -> Result<Vec<Quantified>, String> {
+        let mut seq = Vec::new();
+        while let Some(&c) = chars.peek() {
+            if c == ')' {
+                if in_group {
+                    return Ok(seq);
+                }
+                break;
+            }
+            chars.next();
+            let atom = match c {
+                '[' => Atom::Class(parse_class(chars)?),
+                '(' => {
+                    let inner = parse_seq(chars, true)?;
+                    if chars.next() != Some(')') {
+                        return Err("unclosed '('".into());
+                    }
+                    Atom::Group(inner)
+                }
+                '\\' => match chars.next() {
+                    Some('P') => match chars.next() {
+                        Some('C') => Atom::AnyPrintable,
+                        other => return Err(format!("unsupported escape \\P{other:?}")),
+                    },
+                    Some(esc @ ('\\' | '(' | ')' | '[' | ']' | '{' | '}' | '.' | '+' | '*' | '?')) => Atom::Lit(esc),
+                    other => return Err(format!("unsupported escape \\{other:?}")),
+                },
+                '{' | '}' | '*' | '+' | '?' => return Err(format!("dangling quantifier {c:?}")),
+                lit => Atom::Lit(lit),
+            };
+            let (lo, hi) = parse_quantifier(chars)?;
+            seq.push(Quantified { atom, lo, hi });
+        }
+        if in_group {
+            return Err("unclosed '('".into());
+        }
+        Ok(seq)
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<Vec<char>, String> {
+        let mut set = Vec::new();
+        loop {
+            let c = chars.next().ok_or("unclosed '['")?;
+            if c == ']' {
+                if set.is_empty() {
+                    return Err("empty character class".into());
+                }
+                return Ok(set);
+            }
+            if chars.peek() == Some(&'-') {
+                chars.next();
+                let end = chars.next().ok_or("unclosed '['")?;
+                if end == ']' {
+                    set.push(c);
+                    set.push('-');
+                    return Ok(set);
+                }
+                if (end as u32) < (c as u32) {
+                    return Err(format!("inverted class range {c}-{end}"));
+                }
+                for cp in (c as u32)..=(end as u32) {
+                    set.extend(char::from_u32(cp));
+                }
+            } else {
+                set.push(c);
+            }
+        }
+    }
+
+    fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<(u32, u32), String> {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(c) => body.push(c),
+                        None => return Err("unclosed '{'".into()),
+                    }
+                }
+                let parse_n = |s: &str| s.trim().parse::<u32>().map_err(|_| format!("bad bound {s:?}"));
+                match body.split_once(',') {
+                    Some((lo, hi)) => Ok((parse_n(lo)?, parse_n(hi)?)),
+                    None => {
+                        let n = parse_n(&body)?;
+                        Ok((n, n))
+                    }
+                }
+            }
+            Some('*') => {
+                chars.next();
+                Ok((0, 8))
+            }
+            Some('+') => {
+                chars.next();
+                Ok((1, 8))
+            }
+            Some('?') => {
+                chars.next();
+                Ok((0, 1))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    pub(crate) fn generate(seq: &[Quantified], rng: &mut TestRng, out: &mut String) {
+        for q in seq {
+            let n = if q.lo >= q.hi { q.lo } else { rng.0.gen_range(q.lo..=q.hi) };
+            for _ in 0..n {
+                match &q.atom {
+                    Atom::Lit(c) => out.push(*c),
+                    Atom::Class(set) => out.push(set[rng.0.gen_range(0..set.len())]),
+                    Atom::AnyPrintable => out.push(any_printable(rng)),
+                    Atom::Group(inner) => generate(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    /// Mostly printable ASCII with a sprinkling of multi-byte characters so
+    /// `\PC` exercises non-ASCII and multi-byte UTF-8 paths.
+    fn any_printable(rng: &mut TestRng) -> char {
+        const EXOTIC: &[char] = &['é', 'ß', 'ñ', 'Ж', 'λ', 'ا', 'あ', '中', '한', '∑', '€', '𝕀', '😀', '\u{00a0}'];
+        match rng.0.gen_range(0u32..10) {
+            0..=7 => char::from(rng.0.gen_range(0x20u8..0x7f)),
+            8 => EXOTIC[rng.0.gen_range(0..EXOTIC.len())],
+            _ => char::from_u32(rng.0.gen_range(0x00a1u32..0x024f)).unwrap_or('¤'),
+        }
+    }
+}
+
+/// Size specification for collection strategies (`Range`/`RangeInclusive`
+/// of `usize`, or an exact `usize`).
+pub trait SizeBounds {
+    /// Draws a size.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeBounds for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        rng.0.gen_range(self.clone())
+    }
+}
+
+impl SizeBounds for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+impl SizeBounds for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+/// Strategies for collections.
+pub mod collection {
+    use super::{SizeBounds, Strategy, TestRng};
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Strategy for `Vec<T>` with a size drawn from `size`.
+    pub fn vec<S: Strategy, R: SizeBounds>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeBounds> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<T>` aiming for a size drawn from `size`
+    /// (may come up short if the element space is small).
+    pub fn hash_set<S, R>(element: S, size: R) -> HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+        R: SizeBounds,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    /// See [`hash_set`].
+    #[derive(Clone, Debug)]
+    pub struct HashSetStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S, R> Strategy for HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+        R: SizeBounds,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+            let n = self.size.pick(rng);
+            let mut set = HashSet::with_capacity(n);
+            // Duplicates don't grow the set; bound the attempts so tiny
+            // element spaces can't loop forever.
+            for _ in 0..n.saturating_mul(10).saturating_add(16) {
+                if set.len() >= n {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+}
+
+/// Runner configuration; only `cases` is honoured by the shim.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps brute-force oracle tests
+        // fast while still exploring a useful slice of the input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a test case did not complete. Only rejection (via `prop_assume!`)
+/// travels through this; assertion failures panic like `assert!`.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` and doesn't count.
+    Reject,
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject => f.write_str("rejected by prop_assume!"),
+        }
+    }
+}
+
+/// Drives one property test: repeatedly draws inputs and runs `case` until
+/// `cfg.cases` cases pass. Not part of proptest's public API; used by the
+/// expansion of [`proptest!`].
+pub fn run_cases<F>(cfg: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    let mut passed = 0u32;
+    let mut rejected = 0u64;
+    let max_rejects = u64::from(cfg.cases) * 16 + 256;
+    while passed < cfg.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(rejected <= max_rejects, "{name}: prop_assume! rejected {rejected} cases (passed only {passed}/{})", cfg.cases);
+            }
+        }
+    }
+}
+
+/// Declares property tests: `fn name(binding in strategy, ...) { body }`.
+/// An optional `#![proptest_config(expr)]` header overrides the config.
+/// Attributes on each `fn` (including `#[test]`) pass through unchanged.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(&$cfg, stringify!($name), |__shim_rng| {
+                $(let $arg = $crate::Strategy::generate(&($strat), __shim_rng);)+
+                // The closure keeps `?` usable inside `$body`, as in real proptest.
+                #[allow(clippy::redundant_closure_call)]
+                let __shim_result: ::std::result::Result<(), $crate::TestCaseError> = (|| { $body Ok(()) })();
+                __shim_result
+            });
+        }
+        $crate::__proptest_fns! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Like `assert!` inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            panic!("prop_assert failed: {}", stringify!($cond));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            panic!($($fmt)+);
+        }
+    };
+}
+
+/// Like `assert_eq!` inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// Like `assert_ne!` inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+);
+    };
+}
+
+/// Rejects the current case (it doesn't count toward the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The usual glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig, Strategy, TestCaseError};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..=7, y in 0usize..5, f in 0.25f64..1.0) {
+            prop_assert!((3..=7).contains(&x));
+            prop_assert!(y < 5);
+            prop_assert!((0.25..1.0).contains(&f), "f={f}");
+        }
+
+        #[test]
+        fn patterns_match_their_own_shape(s in "[a-c]{1,4}", t in "[a-d]( [a-d]){0,3}") {
+            prop_assert!(!s.is_empty() && s.len() <= 4);
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let words: Vec<&str> = t.split(' ').collect();
+            prop_assert!((1..=4).contains(&words.len()));
+            for w in words {
+                prop_assert!(w.len() == 1 && ('a'..='d').contains(&w.chars().next().unwrap()));
+            }
+        }
+
+        #[test]
+        fn printable_class_excludes_controls(s in "\\PC{0,40}") {
+            prop_assert!(s.chars().all(|c| !c.is_control()));
+            prop_assert!(s.chars().count() <= 40);
+        }
+
+        #[test]
+        fn collections_and_maps_compose(
+            v in crate::collection::vec((0u32..40).prop_map(|t| t * 2), 0..15),
+            set in crate::collection::hash_set("[a-c]{1,4}", 0..8),
+        ) {
+            prop_assert!(v.len() < 15);
+            prop_assert!(v.iter().all(|t| t % 2 == 0 && *t < 80));
+            prop_assert!(set.len() < 8);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let strat = "[a-z]{1,6}";
+        let mut a = super::TestRng::from_name("some_test");
+        let mut b = super::TestRng::from_name("some_test");
+        for _ in 0..32 {
+            assert_eq!(Strategy::generate(&strat, &mut a), Strategy::generate(&strat, &mut b));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Offline shim for the `serde` 1.x API subset used by this workspace.
+//!
+//! Instead of serde's visitor-based `Serializer` machinery, serializable
+//! types render themselves into a small self-describing [`Content`] tree
+//! that `serde_json` (the only consumer in this workspace) converts to its
+//! `Value`. `#[derive(Serialize)]` is provided by the sibling
+//! `serde_derive` shim and generates a `Content::Map` of the named fields.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+/// A self-describing serialized value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Null / unit.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// A map with string keys, in insertion order.
+    Map(Vec<(String, Content)>),
+}
+
+/// Types that can serialize themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Renders `self` as content.
+    fn to_content(&self) -> Content;
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(3u32.to_content(), Content::U64(3));
+        assert_eq!((-3i32).to_content(), Content::I64(-3));
+        assert_eq!(0.5f64.to_content(), Content::F64(0.5));
+        assert_eq!("x".to_content(), Content::Str("x".into()));
+        assert_eq!(None::<u8>.to_content(), Content::Null);
+        assert_eq!(vec![1u8, 2].to_content(), Content::Seq(vec![Content::U64(1), Content::U64(2)]));
+    }
+}

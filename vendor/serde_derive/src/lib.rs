@@ -1,0 +1,109 @@
+//! Offline shim for serde's `#[derive(Serialize)]`, hand-rolled on the
+//! compiler's `proc_macro` API (no `syn`/`quote`). Supports exactly what
+//! this workspace derives on: non-generic structs with named fields. The
+//! generated impl renders a `serde::Content::Map` of the fields in
+//! declaration order.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("valid compile_error"),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut name: Option<String> = None;
+    let mut fields_group = None;
+    let mut it = tokens.iter().peekable();
+    while let Some(tt) = it.next() {
+        if let TokenTree::Ident(id) = tt {
+            if id.to_string() == "struct" {
+                match it.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => return Err("expected a struct name after `struct`".into()),
+                }
+                // The next brace group holds the fields (skips nothing in
+                // practice: the derived structs are non-generic).
+                for rest in it.by_ref() {
+                    if let TokenTree::Group(g) = rest {
+                        if g.delimiter() == Delimiter::Brace {
+                            fields_group = Some(g.stream());
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+        }
+    }
+    let name = name.ok_or_else(|| "derive(Serialize) shim supports only structs".to_string())?;
+    let body = fields_group.ok_or_else(|| format!("derive(Serialize) shim supports only named-field structs ({name})"))?;
+
+    let fields = field_names(body)?;
+    let mut entries = String::new();
+    for f in &fields {
+        entries.push_str(&format!("({f:?}.to_string(), serde::Serialize::to_content(&self.{f})),"));
+    }
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> serde::Content {{\n\
+                 serde::Content::Map(vec![{entries}])\n\
+             }}\n\
+         }}"
+    );
+    out.parse().map_err(|e| format!("generated impl failed to parse: {e:?}"))
+}
+
+/// Extracts field names from the brace-group token stream of a struct:
+/// per comma-separated field, the identifier directly before the first
+/// top-level `:` (skipping `#[...]` attributes and visibility).
+fn field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                flush_field(&current, &mut names)?;
+                current.clear();
+            }
+            _ => current.push(tt),
+        }
+    }
+    flush_field(&current, &mut names)?;
+    Ok(names)
+}
+
+fn flush_field(tokens: &[TokenTree], names: &mut Vec<String>) -> Result<(), String> {
+    if tokens.is_empty() {
+        return Ok(());
+    }
+    let mut last_ident: Option<String> = None;
+    for tt in tokens {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' => {
+                return match last_ident {
+                    Some(name) => {
+                        names.push(name);
+                        Ok(())
+                    }
+                    None => Err("field without a name before `:`".into()),
+                };
+            }
+            // Attributes (`#` + bracket group) and visibility groups are
+            // skipped; they never carry the field name.
+            _ => {}
+        }
+    }
+    Err("derive(Serialize) shim supports only named fields (tuple struct?)".into())
+}

@@ -1,0 +1,343 @@
+//! Offline shim for the `serde_json` 1.x API subset used by this
+//! workspace: [`Value`], [`Map`], [`to_value`], [`to_string`],
+//! [`to_string_pretty`] and the [`json!`] macro (object / array / scalar
+//! literals with expression values). Output is spec-compliant JSON with
+//! full string escaping; object keys keep insertion order.
+
+use serde::{Content, Serialize};
+use std::fmt;
+
+/// An order-preserving string-keyed map (stand-in for `serde_json::Map`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl Map<String, Value> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self { entries: Vec::new() }
+    }
+
+    /// Inserts `value` at `key`, replacing and returning any previous value.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// The value at `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// A JSON number: integers stay exact, everything else is `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::U64(v) => write!(f, "{v}"),
+            Number::I64(v) => write!(f, "{v}"),
+            Number::F64(v) if v.is_finite() => write!(f, "{v}"),
+            // serde_json serializes non-finite floats as null.
+            Number::F64(_) => write!(f, "null"),
+        }
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (insertion-ordered).
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    fn from_content(c: &Content) -> Value {
+        match c {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(*b),
+            Content::I64(v) => Value::Number(Number::I64(*v)),
+            Content::U64(v) => Value::Number(Number::U64(*v)),
+            Content::F64(v) => Value::Number(Number::F64(*v)),
+            Content::Str(s) => Value::String(s.clone()),
+            Content::Seq(items) => Value::Array(items.iter().map(Value::from_content).collect()),
+            Content::Map(entries) => {
+                let mut m = Map::new();
+                for (k, v) in entries {
+                    m.insert(k.clone(), Value::from_content(v));
+                }
+                Value::Object(m)
+            }
+        }
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => out.push_str(&n.to_string()),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => write_seq(out, indent, level, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, level + 1);
+            }),
+            Value::Object(map) => write_seq(out, indent, level, '{', '}', map.len(), |out, i| {
+                let (k, v) = &map.entries[i];
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                v.write(out, indent, level + 1);
+            }),
+        }
+    }
+}
+
+fn write_seq(out: &mut String, indent: Option<usize>, level: usize, open: char, close: char, n: usize, mut item: impl FnMut(&mut String, usize)) {
+    out.push(open);
+    for i in 0..n {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (level + 1)));
+        }
+        item(out, i);
+    }
+    if n > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * level));
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `Display` writes compact JSON (matches `serde_json::Value`'s `Display`).
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s, None, 0);
+        f.write_str(&s)
+    }
+}
+
+impl Serialize for Value {
+    fn to_content(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Number(Number::U64(v)) => Content::U64(*v),
+            Value::Number(Number::I64(v)) => Content::I64(*v),
+            Value::Number(Number::F64(v)) => Content::F64(*v),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(items) => Content::Seq(items.iter().map(Serialize::to_content).collect()),
+            Value::Object(map) => Content::Map(map.iter().map(|(k, v)| (k.clone(), v.to_content())).collect()),
+        }
+    }
+}
+
+/// Converts any [`Serialize`] value to a [`Value`]. Infallible in this shim
+/// (kept as `Result` for call-compatibility).
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(Value::from_content(&value.to_content()))
+}
+
+/// Serializes to a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let v = Value::from_content(&value.to_content());
+    let mut s = String::new();
+    v.write(&mut s, None, 0);
+    Ok(s)
+}
+
+/// Serializes to a 2-space-indented JSON string.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let v = Value::from_content(&value.to_content());
+    let mut s = String::new();
+    v.write(&mut s, Some(2), 0);
+    Ok(s)
+}
+
+/// Serialization error (unused by this shim; conversions are infallible).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Builds a [`Value`] from a JSON-shaped literal with expression values.
+///
+/// Values may be `null`, nested `[...]`/`{...}` literals, or arbitrary Rust
+/// expressions (routed through [`to_value`]). Keys must be literals.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($items:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut vec = Vec::<$crate::Value>::new();
+        let sink = &mut vec;
+        $crate::json_arr!(sink, $($items)*);
+        $crate::Value::Array(vec)
+    }};
+    ({ $($entries:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_obj!(map, $($entries)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("infallible to_value")
+    };
+}
+
+/// Array-element muncher for [`json!`]; not public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_arr {
+    ($vec:ident) => {};
+    ($vec:ident,) => {};
+    ($vec:ident, null $(, $($rest:tt)*)?) => {
+        $vec.push($crate::Value::Null);
+        $crate::json_arr!($vec $(, $($rest)*)?);
+    };
+    ($vec:ident, [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!([ $($arr)* ]));
+        $crate::json_arr!($vec $(, $($rest)*)?);
+    };
+    ($vec:ident, { $($obj:tt)* } $(, $($rest:tt)*)?) => {
+        $vec.push($crate::json!({ $($obj)* }));
+        $crate::json_arr!($vec $(, $($rest)*)?);
+    };
+    ($vec:ident, $val:expr , $($rest:tt)*) => {
+        $vec.push($crate::json!($val));
+        $crate::json_arr!($vec, $($rest)*);
+    };
+    ($vec:ident, $val:expr) => {
+        $vec.push($crate::json!($val));
+    };
+}
+
+/// Object-entry muncher for [`json!`]; not public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_obj {
+    ($map:ident) => {};
+    ($map:ident,) => {};
+    ($map:ident, $key:literal : null $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::Value::Null);
+        $crate::json_obj!($map $(, $($rest)*)?);
+    };
+    ($map:ident, $key:literal : [ $($arr:tt)* ] $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::json!([ $($arr)* ]));
+        $crate::json_obj!($map $(, $($rest)*)?);
+    };
+    ($map:ident, $key:literal : { $($obj:tt)* } $(, $($rest:tt)*)?) => {
+        $map.insert(($key).to_string(), $crate::json!({ $($obj)* }));
+        $crate::json_obj!($map $(, $($rest)*)?);
+    };
+    ($map:ident, $key:literal : $val:expr , $($rest:tt)*) => {
+        $map.insert(($key).to_string(), $crate::json!($val));
+        $crate::json_obj!($map, $($rest)*);
+    };
+    ($map:ident, $key:literal : $val:expr) => {
+        $map.insert(($key).to_string(), $crate::json!($val));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact_json() {
+        let v = json!({ "a": 1u32, "b": [true, null], "c": "x\"y" });
+        assert_eq!(v.to_string(), r#"{"a":1,"b":[true,null],"c":"x\"y"}"#);
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let v = json!({ "a": 1u32 });
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn object_mutation_like_experiments_harness() {
+        let mut v = to_value(42u64).unwrap();
+        assert_eq!(v, Value::Number(Number::U64(42)));
+        v = json!({});
+        if let Value::Object(m) = &mut v {
+            m.insert("experiment".into(), Value::String("fig8".into()));
+        }
+        assert_eq!(v.to_string(), r#"{"experiment":"fig8"}"#);
+    }
+
+    #[test]
+    fn numbers_round_cleanly() {
+        assert_eq!(json!(2.5f64).to_string(), "2.5");
+        assert_eq!(json!(-3i32).to_string(), "-3");
+        assert_eq!(json!(f64::NAN).to_string(), "null");
+    }
+}
