@@ -1,4 +1,5 @@
-//! Tiny flag parser: `--name value` pairs and boolean `--name` switches.
+//! Tiny flag parser: `--name value` / `--name=value` pairs and boolean
+//! `--name` switches.
 
 use std::collections::HashMap;
 
@@ -11,9 +12,10 @@ pub struct Args {
 
 impl Args {
     /// Parses `argv`; `bool_flags` names the value-less switches and
-    /// `value_flags` the known `--name value` pairs. Anything else is
-    /// rejected, so a typo'd flag fails loudly instead of being silently
-    /// ignored (a missing `--max-candidates` cap is a correctness bug).
+    /// `value_flags` the known pairs, accepted both as `--name value` and
+    /// `--name=value`. Anything else is rejected, so a typo'd flag fails
+    /// loudly instead of being silently ignored (a missing
+    /// `--max-candidates` cap is a correctness bug).
     pub fn parse(argv: &[String], bool_flags: &[&str], value_flags: &[&str]) -> Result<Self, String> {
         let mut out = Self::default();
         let mut it = argv.iter();
@@ -21,15 +23,24 @@ impl Args {
             let Some(name) = flag.strip_prefix("--") else {
                 return Err(format!("expected a --flag, got `{flag}`"));
             };
+            if let Some((name, value)) = name.split_once('=') {
+                if value_flags.contains(&name) {
+                    out.values.insert(name.to_string(), value.to_string());
+                    continue;
+                }
+                if bool_flags.contains(&name) {
+                    return Err(format!("--{name} is a switch and takes no value (got `--{name}={value}`)"));
+                }
+                // Fall through to the unknown-flag error with the bare name.
+                return Err(unknown_flag(name, bool_flags, value_flags));
+            }
             if bool_flags.contains(&name) {
                 out.switches.push(name.to_string());
             } else if value_flags.contains(&name) {
                 let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
                 out.values.insert(name.to_string(), value.clone());
             } else {
-                let mut known: Vec<&str> = value_flags.iter().chain(bool_flags).copied().collect();
-                known.sort_unstable();
-                return Err(format!("unknown flag --{name} (expected one of: --{})", known.join(", --")));
+                return Err(unknown_flag(name, bool_flags, value_flags));
             }
         }
         Ok(out)
@@ -62,6 +73,12 @@ impl Args {
     }
 }
 
+fn unknown_flag(name: &str, bool_flags: &[&str], value_flags: &[&str]) -> String {
+    let mut known: Vec<&str> = value_flags.iter().chain(bool_flags).copied().collect();
+    known.sort_unstable();
+    format!("unknown flag --{name} (expected one of: --{})", known.join(", --"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,6 +96,34 @@ mod tests {
         assert!(!a.switch("jsonl"));
         assert_eq!(a.parse_or("tau", 0.0).unwrap(), 0.8);
         assert_eq!(a.parse_or("threads", 4usize).unwrap(), 4);
+    }
+
+    #[test]
+    fn equals_form_parses_like_space_form() {
+        let a = Args::parse(&argv(&["--tau=0.8", "--docs=d.txt", "--best"]), &["best"], &["tau", "docs"]).unwrap();
+        assert_eq!(a.parse_or("tau", 0.0).unwrap(), 0.8);
+        assert_eq!(a.required("docs").unwrap(), "d.txt");
+        assert!(a.switch("best"));
+    }
+
+    #[test]
+    fn equals_form_value_may_contain_equals_and_be_empty() {
+        let a = Args::parse(&argv(&["--expr=a=b", "--out="]), &[], &["expr", "out"]).unwrap();
+        assert_eq!(a.required("expr").unwrap(), "a=b");
+        assert_eq!(a.required("out").unwrap(), "");
+    }
+
+    #[test]
+    fn equals_on_a_switch_is_an_error() {
+        let err = Args::parse(&argv(&["--best=true"]), &["best"], &["tau"]).unwrap_err();
+        assert!(err.contains("--best is a switch"), "{err}");
+    }
+
+    #[test]
+    fn equals_form_unknown_flag_names_alternatives() {
+        let err = Args::parse(&argv(&["--tua=0.8"]), &["best"], &["tau"]).unwrap_err();
+        assert!(err.contains("unknown flag --tua"), "{err}");
+        assert!(err.contains("--tau"), "{err}");
     }
 
     #[test]

@@ -31,14 +31,22 @@ USAGE:
     aeetes extract  --engine ENGINE --docs FILE [--tau F] [--metric NAME]
                     [--edit K] [--threads N] [--best] [--format tsv|jsonl]
                     [--timeout SECS] [--max-candidates N] [--max-matches N]
+    aeetes serve    --engine ENGINE [--listen ADDR:PORT] [--workers N]
+                    [--queue N] [--max-doc-bytes N] [--timeout-ceiling SECS]
+                    [--max-matches N] [--max-candidates N] [--drain SECS]
     aeetes stats    --engine ENGINE
     aeetes generate --out DIR [--profile pubmed|dbworld|usjob] [--scale F] [--seed N]
     aeetes demo
+
+Flags take `--name value` or `--name=value`.
 
 FILES:
     dictionary  one entity per line
     rules       lhs <TAB> rhs [<TAB> weight-in-(0,1]]
     documents   one document per line
+
+`serve` answers newline-delimited JSON requests (one per line) on stdin or,
+with --listen, per TCP connection; see README \"Serving\" for the protocol.
 
 EXIT CODES:
     0  success, complete results
@@ -257,6 +265,51 @@ pub fn extract(argv: &[String]) -> Result<i32, String> {
         eprintln!("warning: {truncated_docs} document(s) hit a resource budget; results are partial");
         return Ok(EXIT_PARTIAL);
     }
+    Ok(EXIT_OK)
+}
+
+/// `aeetes serve`: long-lived NDJSON extraction server (see `crate::serve`).
+pub fn serve_cmd(argv: &[String]) -> Result<i32, String> {
+    use crate::protocol::Ceilings;
+    use crate::serve::{serve, ServeOptions};
+    let args = Args::parse(
+        argv,
+        &[],
+        &[
+            "engine",
+            "listen",
+            "workers",
+            "queue",
+            "max-doc-bytes",
+            "timeout-ceiling",
+            "max-matches",
+            "max-candidates",
+            "drain",
+        ],
+    )?;
+    let engine_path = args.required("engine")?;
+    let defaults = ServeOptions::default();
+    let timeout_ceiling: f64 = args.parse_or("timeout-ceiling", defaults.ceilings.max_timeout.as_secs_f64())?;
+    let drain: f64 = args.parse_or("drain", defaults.drain.as_secs_f64())?;
+    for (name, v) in [("timeout-ceiling", timeout_ceiling), ("drain", drain)] {
+        if !(v > 0.0 && v.is_finite()) {
+            return Err(format!("--{name} must be a positive number of seconds, got {v}"));
+        }
+    }
+    let opts = ServeOptions {
+        listen: args.optional("listen").map(str::to_string),
+        workers: args.parse_or("workers", defaults.workers)?,
+        queue: args.parse_or("queue", defaults.queue)?,
+        ceilings: Ceilings {
+            max_doc_bytes: args.parse_or("max-doc-bytes", defaults.ceilings.max_doc_bytes)?,
+            max_timeout: Duration::from_secs_f64(timeout_ceiling),
+            max_matches: args.parse_or("max-matches", defaults.ceilings.max_matches)?,
+            max_candidates: args.parse_or("max-candidates", defaults.ceilings.max_candidates)?,
+        },
+        drain: Duration::from_secs_f64(drain),
+    };
+    let (engine, interner) = load(engine_path)?;
+    serve(engine, interner, &opts)?;
     Ok(EXIT_OK)
 }
 

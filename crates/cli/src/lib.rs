@@ -3,3 +3,5 @@
 
 pub mod args;
 pub mod commands;
+pub mod protocol;
+pub mod serve;

@@ -5,6 +5,8 @@
 //! aeetes extract --engine ENGINE --docs FILE [--tau F] [--metric NAME]
 //!                [--threads N] [--best] [--format tsv|jsonl]
 //!                [--timeout SECS] [--max-candidates N] [--max-matches N]
+//! aeetes serve   --engine ENGINE [--listen ADDR:PORT] [--workers N]
+//!                [--queue N] [--drain SECS] [...ceiling flags]
 //! aeetes stats   --engine ENGINE
 //! aeetes demo
 //! ```
@@ -24,6 +26,7 @@ fn main() {
     let code = match argv.first().map(String::as_str) {
         Some("build") => commands::build(&argv[1..]),
         Some("extract") => commands::extract(&argv[1..]),
+        Some("serve") => commands::serve_cmd(&argv[1..]),
         Some("stats") => commands::stats(&argv[1..]),
         Some("generate") => commands::generate_cmd(&argv[1..]),
         Some("demo") => commands::demo(),

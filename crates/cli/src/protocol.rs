@@ -1,0 +1,337 @@
+//! Wire protocol of `aeetes serve`: newline-delimited JSON requests and
+//! responses.
+//!
+//! One request per line, one response line per request (blank lines are
+//! ignored). Responses echo the request's `id` verbatim (`null` when
+//! absent), so clients may pipeline requests and reconcile out-of-order
+//! responses.
+//!
+//! Request types:
+//!
+//! ```text
+//! {"id": any?, "type": "extract", "doc": "...", "tau": 0.8?, "best": false?,
+//!  "timeout_ms": N?, "max_matches": N?, "max_candidates": N?}
+//! {"id": any?, "type": "health"}
+//! {"id": any?, "type": "stats"}
+//! {"id": any?, "type": "shutdown"}
+//! ```
+//!
+//! Client-requested budgets are *clamped* by the server's [`Ceilings`] —
+//! a client can lower its own budget but never raise it past the
+//! server-enforced ceiling.
+//!
+//! Error taxonomy (the `code` field), so clients can tell retryable from
+//! fatal conditions:
+//!
+//! | code          | meaning                                   | retry? |
+//! |---------------|-------------------------------------------|--------|
+//! | `bad_request` | malformed JSON / unknown type / bad field | no     |
+//! | `too_large`   | document or request line over the ceiling | no     |
+//! | `timeout`     | request expired before a worker ran it    | yes    |
+//! | `shedding`    | queue full or server draining             | yes    |
+//! | `internal`    | extraction panicked (isolated; see logs)  | no     |
+
+use aeetes_core::ExtractLimits;
+use serde_json::{json, Value};
+use std::time::Duration;
+
+/// Structured error classes of the wire protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed JSON, missing/ill-typed fields, unknown request type, or a
+    /// pathological parameter (e.g. τ outside `(0, 1]`). Not retryable.
+    BadRequest,
+    /// The document (or the whole request line) exceeds a server ceiling.
+    /// Not retryable without shrinking the payload.
+    TooLarge,
+    /// The request's deadline expired while it waited in the queue.
+    /// Retryable.
+    Timeout,
+    /// Admission control refused the request: queue full or server
+    /// draining. Retryable (elsewhere or after backoff).
+    Shedding,
+    /// Extraction panicked; the fault was isolated to this request.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling of the code.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::TooLarge => "too_large",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Shedding => "shedding",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Whether a client may retry the identical request and hope for a
+    /// different answer.
+    pub fn retryable(self) -> bool {
+        matches!(self, ErrorCode::Timeout | ErrorCode::Shedding)
+    }
+}
+
+/// Server-enforced request ceilings. Client-requested budgets are clamped
+/// to these; requests exceeding hard size ceilings are rejected.
+#[derive(Debug, Clone, Copy)]
+pub struct Ceilings {
+    /// Hard cap on `doc` length in bytes (`too_large` beyond it).
+    pub max_doc_bytes: usize,
+    /// Upper bound — and default — for the per-request deadline.
+    pub max_timeout: Duration,
+    /// Upper bound — and default — for `max_matches`.
+    pub max_matches: usize,
+    /// Upper bound — and default — for `max_candidates`.
+    pub max_candidates: usize,
+}
+
+impl Default for Ceilings {
+    fn default() -> Self {
+        Ceilings {
+            max_doc_bytes: 1 << 20, // 1 MiB
+            max_timeout: Duration::from_secs(10),
+            max_matches: 10_000,
+            max_candidates: 1_000_000,
+        }
+    }
+}
+
+/// A parsed, validated, ceiling-clamped extraction request.
+#[derive(Debug)]
+pub struct ExtractRequest {
+    /// Client-supplied correlation id, echoed verbatim in the response.
+    pub id: Value,
+    /// Document text to extract from.
+    pub doc: String,
+    /// Similarity threshold, validated to `(0, 1]`.
+    pub tau: f64,
+    /// Whether to suppress overlapping matches (best-match-per-region).
+    pub best: bool,
+    /// Effective budgets after clamping against the server [`Ceilings`].
+    pub limits: ExtractLimits,
+}
+
+/// A parsed request line.
+#[derive(Debug)]
+pub enum Request {
+    /// Run an extraction (queued; subject to admission control).
+    Extract(Box<ExtractRequest>),
+    /// Liveness probe (answered inline, never queued or shed).
+    Health(Value),
+    /// Counter snapshot (answered inline, never queued or shed).
+    Stats(Value),
+    /// Begin graceful drain (answered inline).
+    Shutdown(Value),
+}
+
+/// A request that could not be accepted, carrying everything needed to
+/// build the error response.
+#[derive(Debug)]
+pub struct Reject {
+    /// Echoed id (``null`` when the line was too broken to recover one).
+    pub id: Value,
+    /// Error class.
+    pub code: ErrorCode,
+    /// Human-oriented detail.
+    pub message: String,
+}
+
+impl Reject {
+    fn new(id: Value, code: ErrorCode, message: impl Into<String>) -> Self {
+        Reject { id, code, message: message.into() }
+    }
+}
+
+/// Parses and validates one request line against the server ceilings.
+pub fn parse_request(line: &str, ceilings: &Ceilings) -> Result<Request, Reject> {
+    let value = serde_json::from_str(line).map_err(|e| Reject::new(Value::Null, ErrorCode::BadRequest, format!("invalid JSON: {e}")))?;
+    let id = value.get("id").cloned().unwrap_or(Value::Null);
+    let Some(obj) = value.as_object() else {
+        return Err(Reject::new(id, ErrorCode::BadRequest, "request must be a JSON object"));
+    };
+    let Some(ty) = obj.get("type").and_then(Value::as_str) else {
+        return Err(Reject::new(id, ErrorCode::BadRequest, "missing or non-string `type` field"));
+    };
+    match ty {
+        "health" => Ok(Request::Health(id)),
+        "stats" => Ok(Request::Stats(id)),
+        "shutdown" => Ok(Request::Shutdown(id)),
+        "extract" => parse_extract(id, &value, ceilings),
+        other => Err(Reject::new(id, ErrorCode::BadRequest, format!("unknown request type `{other}` (extract|health|stats|shutdown)"))),
+    }
+}
+
+fn parse_extract(id: Value, value: &Value, ceilings: &Ceilings) -> Result<Request, Reject> {
+    let doc = match value.get("doc") {
+        Some(v) => match v.as_str() {
+            Some(s) => s.to_string(),
+            None => return Err(Reject::new(id, ErrorCode::BadRequest, "`doc` must be a string")),
+        },
+        None => return Err(Reject::new(id, ErrorCode::BadRequest, "missing `doc` field")),
+    };
+    if doc.len() > ceilings.max_doc_bytes {
+        let msg = format!("document is {} bytes; ceiling is {}", doc.len(), ceilings.max_doc_bytes);
+        return Err(Reject::new(id, ErrorCode::TooLarge, msg));
+    }
+    let tau = match value.get("tau") {
+        None => 0.8,
+        Some(v) => match v.as_f64() {
+            // NaN fails `t > 0.0`, infinities fail `t <= 1.0`: every
+            // pathological τ lands here with a structured error instead of
+            // reaching the engine's panic.
+            Some(t) if t > 0.0 && t <= 1.0 => t,
+            Some(t) => return Err(Reject::new(id, ErrorCode::BadRequest, format!("`tau` must be in (0, 1], got {t}"))),
+            None => return Err(Reject::new(id, ErrorCode::BadRequest, "`tau` must be a number")),
+        },
+    };
+    let best = match value.get("best") {
+        None => false,
+        Some(v) => match v.as_bool() {
+            Some(b) => b,
+            None => return Err(Reject::new(id, ErrorCode::BadRequest, "`best` must be a boolean")),
+        },
+    };
+    let timeout_ms = optional_u64(&id, value, "timeout_ms")?;
+    let max_matches = optional_u64(&id, value, "max_matches")?;
+    let max_candidates = optional_u64(&id, value, "max_candidates")?;
+    // Clamp client budgets to the server ceilings: the client may only
+    // tighten, never loosen. Absent fields get the full ceiling.
+    let limits = ExtractLimits {
+        deadline: Some(timeout_ms.map_or(ceilings.max_timeout, |ms| Duration::from_millis(ms).min(ceilings.max_timeout))),
+        max_matches: Some(max_matches.map_or(ceilings.max_matches, |n| (n as usize).min(ceilings.max_matches))),
+        max_candidates: Some(max_candidates.map_or(ceilings.max_candidates, |n| (n as usize).min(ceilings.max_candidates))),
+    };
+    Ok(Request::Extract(Box::new(ExtractRequest { id, doc, tau, best, limits })))
+}
+
+fn optional_u64(id: &Value, value: &Value, field: &str) -> Result<Option<u64>, Reject> {
+    match value.get(field) {
+        None => Ok(None),
+        Some(v) => match v.as_u64() {
+            Some(n) => Ok(Some(n)),
+            None => Err(Reject::new(id.clone(), ErrorCode::BadRequest, format!("`{field}` must be a non-negative integer"))),
+        },
+    }
+}
+
+/// Serializes an error (or shedding) response line. Shedding gets its own
+/// top-level status so naive clients checking only `status` still back off.
+pub fn error_line(reject: &Reject) -> String {
+    let status = if reject.code == ErrorCode::Shedding { "shedding" } else { "error" };
+    json!({
+        "id": reject.id,
+        "status": status,
+        "code": reject.code.as_str(),
+        "retryable": reject.code.retryable(),
+        "message": reject.message,
+    })
+    .to_string()
+}
+
+/// Serializes a successful extraction response line.
+pub fn ok_line(id: &Value, matches: Value, truncated: bool) -> String {
+    json!({
+        "id": id,
+        "status": "ok",
+        "truncated": truncated,
+        "matches": matches,
+    })
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ceilings() -> Ceilings {
+        Ceilings::default()
+    }
+
+    fn parse(line: &str) -> Result<Request, Reject> {
+        parse_request(line, &ceilings())
+    }
+
+    #[test]
+    fn extract_request_round_trips_fields() {
+        let r = parse(r#"{"id": 7, "type": "extract", "doc": "some text", "tau": 0.9, "best": true}"#).unwrap();
+        let Request::Extract(req) = r else { panic!("expected extract") };
+        assert_eq!(req.id.as_u64(), Some(7));
+        assert_eq!(req.doc, "some text");
+        assert_eq!(req.tau, 0.9);
+        assert!(req.best);
+        assert_eq!(req.limits.max_matches, Some(ceilings().max_matches));
+    }
+
+    #[test]
+    fn budgets_clamp_to_ceilings() {
+        let r = parse(r#"{"type":"extract","doc":"x","timeout_ms":999999999,"max_matches":5,"max_candidates":999999999999}"#).unwrap();
+        let Request::Extract(req) = r else { panic!("expected extract") };
+        assert_eq!(req.limits.deadline, Some(ceilings().max_timeout), "timeout clamps down to the ceiling");
+        assert_eq!(req.limits.max_matches, Some(5), "client may tighten");
+        assert_eq!(req.limits.max_candidates, Some(ceilings().max_candidates));
+    }
+
+    #[test]
+    fn malformed_json_is_bad_request_with_null_id() {
+        let e = parse("{not json").unwrap_err();
+        assert_eq!(e.code, ErrorCode::BadRequest);
+        assert!(e.id.is_null());
+    }
+
+    #[test]
+    fn pathological_tau_is_bad_request() {
+        for tau in ["0", "-1", "1.5", "1e308", "null", "\"high\""] {
+            let line = format!(r#"{{"id":"t","type":"extract","doc":"x","tau":{tau}}}"#);
+            let e = parse_request(&line, &ceilings()).unwrap_err();
+            assert_eq!(e.code, ErrorCode::BadRequest, "tau={tau}");
+            assert_eq!(e.id.as_str(), Some("t"), "id survives validation failure");
+        }
+    }
+
+    #[test]
+    fn oversized_doc_is_too_large() {
+        let c = Ceilings { max_doc_bytes: 8, ..Ceilings::default() };
+        let e = parse_request(r#"{"type":"extract","doc":"123456789"}"#, &c).unwrap_err();
+        assert_eq!(e.code, ErrorCode::TooLarge);
+    }
+
+    #[test]
+    fn unknown_type_and_missing_fields_are_bad_requests() {
+        assert_eq!(parse(r#"{"type":"destroy"}"#).unwrap_err().code, ErrorCode::BadRequest);
+        assert_eq!(parse(r#"{"type":"extract"}"#).unwrap_err().code, ErrorCode::BadRequest);
+        assert_eq!(parse(r#"{"doc":"x"}"#).unwrap_err().code, ErrorCode::BadRequest);
+        assert_eq!(parse(r#"[1,2]"#).unwrap_err().code, ErrorCode::BadRequest);
+        assert_eq!(parse(r#""just a string""#).unwrap_err().code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn control_requests_parse() {
+        assert!(matches!(parse(r#"{"type":"health"}"#).unwrap(), Request::Health(_)));
+        assert!(matches!(parse(r#"{"type":"stats","id":1}"#).unwrap(), Request::Stats(_)));
+        assert!(matches!(parse(r#"{"type":"shutdown"}"#).unwrap(), Request::Shutdown(_)));
+    }
+
+    #[test]
+    fn error_line_shape() {
+        let line = error_line(&Reject::new(Value::Null, ErrorCode::Shedding, "queue full"));
+        let v = serde_json::from_str(&line).unwrap();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("shedding"));
+        assert_eq!(v.get("code").and_then(Value::as_str), Some("shedding"));
+        assert_eq!(v.get("retryable").and_then(Value::as_bool), Some(true));
+
+        let line = error_line(&Reject::new(Value::Null, ErrorCode::BadRequest, "nope"));
+        let v = serde_json::from_str(&line).unwrap();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("error"));
+        assert_eq!(v.get("retryable").and_then(Value::as_bool), Some(false));
+    }
+
+    #[test]
+    fn ok_line_echoes_id() {
+        let line = ok_line(&serde_json::from_str("\"abc\"").unwrap(), serde_json::Value::Array(vec![]), true);
+        let v = serde_json::from_str(&line).unwrap();
+        assert_eq!(v.get("id").and_then(Value::as_str), Some("abc"));
+        assert_eq!(v.get("truncated").and_then(Value::as_bool), Some(true));
+    }
+}

@@ -1,0 +1,636 @@
+//! `aeetes serve` — a long-lived extraction server built for graceful
+//! degradation.
+//!
+//! The engine is loaded once; requests arrive as newline-delimited JSON
+//! (see [`crate::protocol`]) either on stdin (responses on stdout) or over
+//! TCP (`--listen addr:port`, one protocol stream per connection).
+//!
+//! Robustness structure:
+//!
+//! * **Admission control** — extraction requests pass through a *bounded*
+//!   queue (`--queue`). When it is full the request is answered immediately
+//!   with `{"status":"shedding"}` instead of queueing unboundedly: memory
+//!   stays flat under overload and clients learn to back off.
+//! * **Per-request budgets** — every request runs under
+//!   [`aeetes_core::ExtractLimits`]; client-requested values are clamped by
+//!   server ceilings. Queue wait counts against the deadline, and a request
+//!   that expires before a worker picks it up fails fast with `timeout`.
+//! * **Panic isolation** — each extraction runs under `catch_unwind` (the
+//!   same pattern as batch extraction), so a poisoned request answers
+//!   `internal` while the server keeps serving.
+//! * **Graceful drain** — `{"type":"shutdown"}` (or stdin EOF) stops
+//!   admission, lets workers finish the queued backlog within the drain
+//!   deadline, then fires a [`CancelToken`] that stops still-running
+//!   extractions mid-document. Unprocessed leftovers are answered
+//!   (`shedding`) rather than dropped, so counters always reconcile:
+//!   every admitted extract line is answered exactly once as
+//!   `served`, `shed`, or `failed`.
+
+use crate::protocol::{error_line, ok_line, parse_request, Ceilings, ErrorCode, ExtractRequest, Reject, Request};
+use aeetes_core::{suppress_overlaps, Aeetes, CancelToken, ExtractLimits, LatencyRing};
+use aeetes_text::{Document, Interner, Tokenizer};
+use serde_json::{json, Value};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of one `serve` run.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// `None`: stdin/stdout mode. `Some(addr)`: TCP listener mode.
+    pub listen: Option<String>,
+    /// Extraction worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity; beyond it requests are shed.
+    pub queue: usize,
+    /// Request ceilings (doc size, deadline, match/candidate caps).
+    pub ceilings: Ceilings,
+    /// How long a drain may take before in-flight work is cancelled.
+    pub drain: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            listen: None,
+            workers: 4,
+            queue: 64,
+            ceilings: Ceilings::default(),
+            drain: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Monotonic counters; every admitted extract line lands in exactly one of
+/// `served` / `shed` / `failed`.
+#[derive(Debug, Default)]
+struct Counters {
+    served: AtomicU64,
+    shed: AtomicU64,
+    failed: AtomicU64,
+    control: AtomicU64,
+    queue_depth: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+/// State shared by acceptor, connection readers, and workers.
+struct Shared {
+    engine: Aeetes,
+    /// Pristine interner snapshot from engine load. Workers parse documents
+    /// against clones of this and periodically reset to it, so a long-lived
+    /// server's interner cannot grow without bound on adversarial vocabulary.
+    interner: Interner,
+    tokenizer: Tokenizer,
+    ceilings: Ceilings,
+    counters: Counters,
+    latency: Mutex<LatencyRing>,
+    start: Instant,
+    /// Set once drain begins: admission refuses new extract work.
+    draining: AtomicBool,
+    /// Fired when the drain deadline passes: stops in-flight extractions
+    /// mid-document (threaded into the engine's budget sentinel).
+    cancel: CancelToken,
+}
+
+impl Shared {
+    fn stats_value(&self) -> Value {
+        let (p50, p99, samples) = {
+            let ring = self.latency.lock().expect("latency lock");
+            (ring.quantile(0.50).unwrap_or(0), ring.quantile(0.99).unwrap_or(0), ring.count())
+        };
+        json!({
+            "uptime_ms": self.start.elapsed().as_millis() as u64,
+            "served": self.counters.served.load(Ordering::Relaxed),
+            "shed": self.counters.shed.load(Ordering::Relaxed),
+            "failed": self.counters.failed.load(Ordering::Relaxed),
+            "control": self.counters.control.load(Ordering::Relaxed),
+            "queue_depth": self.counters.queue_depth.load(Ordering::Relaxed),
+            "in_flight": self.counters.in_flight.load(Ordering::Relaxed),
+            "latency_p50_us": p50,
+            "latency_p99_us": p99,
+            "latency_samples": samples,
+            "draining": self.draining.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Where a response line goes: the requesting connection's write half (or
+/// stdout), serialized by a mutex so concurrent workers never interleave
+/// partial lines.
+type Sink = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// Writes one response line. Write errors are swallowed: the client may
+/// have hung up, which must never take the server down.
+fn respond(sink: &Sink, line: &str) {
+    let mut w = match sink.lock() {
+        Ok(w) => w,
+        Err(poisoned) => poisoned.into_inner(), // a panicked writer still has a usable fd
+    };
+    let _ = w.write_all(line.as_bytes());
+    let _ = w.write_all(b"\n");
+    let _ = w.flush();
+}
+
+/// A queued unit of extraction work.
+struct Job {
+    req: ExtractRequest,
+    /// Absolute expiry (admission time + effective deadline). Checked again
+    /// at dequeue so queue wait counts against the request's budget.
+    expires: Instant,
+    sink: Sink,
+}
+
+/// One worker: pulls jobs until the queue is empty *and* the server is
+/// draining. Uses `recv_timeout` so drain never deadlocks on readers that
+/// still hold queue senders.
+fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
+    // Each worker parses documents against its own interner clone; resets
+    // back to the pristine snapshot keep growth bounded (engine TokenIds
+    // are stable across resets because the snapshot is the load-time state).
+    let growth_cap = shared.interner.len() + 100_000;
+    let mut interner = shared.interner.clone();
+    loop {
+        let job = {
+            let guard = rx.lock().expect("queue receiver lock");
+            guard.recv_timeout(Duration::from_millis(25))
+        };
+        match job {
+            Ok(job) => {
+                shared.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                if interner.len() > growth_cap {
+                    interner = shared.interner.clone();
+                }
+                run_job(shared, &mut interner, job);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.draining.load(Ordering::Relaxed) && shared.counters.queue_depth.load(Ordering::Relaxed) == 0 {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn run_job(shared: &Shared, interner: &mut Interner, job: Job) {
+    let now = Instant::now();
+    if now >= job.expires {
+        let reject = Reject {
+            id: job.req.id,
+            code: ErrorCode::Timeout,
+            message: "deadline expired while queued".into(),
+        };
+        shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+        respond(&job.sink, &error_line(&reject));
+        return;
+    }
+    shared.counters.in_flight.fetch_add(1, Ordering::Relaxed);
+    // Whatever deadline remains after queueing is the extraction budget.
+    let limits = ExtractLimits { deadline: Some(job.expires - now), ..job.req.limits };
+    let started = Instant::now();
+    // The engine is `&self`-immutable and the interner is worker-local, so
+    // a caught panic cannot corrupt state shared with other requests.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let doc = Document::parse(&job.req.doc, &shared.tokenizer, interner);
+        let out = shared.engine.extract_with_limits_cancellable(&doc, job.req.tau, &limits, &shared.cancel);
+        let matches = if job.req.best { suppress_overlaps(out.matches) } else { out.matches };
+        let rendered: Vec<Value> = matches
+            .iter()
+            .map(|m| {
+                json!({
+                    "start": m.span.start,
+                    "len": m.span.len,
+                    "score": m.score,
+                    "entity": m.entity.0,
+                    "entity_text": shared.engine.dictionary().record(m.entity).raw,
+                    "matched_text": doc.text_of(m.span).unwrap_or_default(),
+                })
+            })
+            .collect();
+        (rendered, out.truncated)
+    }));
+    shared.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+    match outcome {
+        Ok((matches, truncated)) => {
+            let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            shared.latency.lock().expect("latency lock").record(micros);
+            shared.counters.served.fetch_add(1, Ordering::Relaxed);
+            respond(&job.sink, &ok_line(&job.req.id, Value::Array(matches), truncated));
+        }
+        Err(_) => {
+            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            let reject = Reject {
+                id: job.req.id,
+                code: ErrorCode::Internal,
+                message: "extraction panicked; fault isolated to this request".into(),
+            };
+            respond(&job.sink, &error_line(&reject));
+        }
+    }
+}
+
+/// Outcome of reading one protocol line from a connection.
+#[derive(Debug)]
+enum LineRead {
+    /// A complete line (without the trailing newline).
+    Line(Vec<u8>),
+    /// A line longer than the cap; the remainder was discarded up to the
+    /// next newline so the stream stays in sync.
+    Oversized,
+    /// End of stream.
+    Eof,
+}
+
+/// Incremental capped line reader. Never buffers more than `cap` bytes, so
+/// a client streaming an endless line cannot balloon server memory, and
+/// keeps partial-line progress across calls — a read timeout mid-line (the
+/// drain poll on TCP connections) resumes exactly where it stopped instead
+/// of corrupting the stream.
+struct LineReader {
+    cap: usize,
+    buf: Vec<u8>,
+    /// Inside an over-cap line, discarding bytes until the next newline.
+    discarding: bool,
+}
+
+impl LineReader {
+    fn new(cap: usize) -> Self {
+        LineReader { cap, buf: Vec::new(), discarding: false }
+    }
+
+    /// Reads the next line. A final unterminated fragment (truncated line
+    /// before EOF) is returned as a line so it still gets a (likely
+    /// `bad_request`) response. `Err(TimedOut | WouldBlock)` is resumable.
+    fn next_line(&mut self, reader: &mut impl BufRead) -> std::io::Result<LineRead> {
+        loop {
+            let buf = reader.fill_buf()?;
+            if buf.is_empty() {
+                if self.discarding {
+                    self.discarding = false;
+                    return Ok(LineRead::Oversized);
+                }
+                return Ok(if self.buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line(std::mem::take(&mut self.buf))
+                });
+            }
+            let newline = buf.iter().position(|&b| b == b'\n');
+            if self.discarding {
+                match newline {
+                    Some(pos) => {
+                        reader.consume(pos + 1);
+                        self.discarding = false;
+                        return Ok(LineRead::Oversized);
+                    }
+                    None => {
+                        let n = buf.len();
+                        reader.consume(n);
+                    }
+                }
+                continue;
+            }
+            match newline {
+                Some(pos) => {
+                    if self.buf.len() + pos <= self.cap {
+                        self.buf.extend_from_slice(&buf[..pos]);
+                        reader.consume(pos + 1);
+                        return Ok(LineRead::Line(std::mem::take(&mut self.buf)));
+                    }
+                    reader.consume(pos + 1);
+                    self.buf.clear();
+                    return Ok(LineRead::Oversized);
+                }
+                None => {
+                    let n = buf.len();
+                    if self.buf.len() + n <= self.cap {
+                        self.buf.extend_from_slice(buf);
+                        reader.consume(n);
+                    } else {
+                        reader.consume(n);
+                        self.buf.clear();
+                        self.discarding = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Serves one protocol stream (a TCP connection or stdin): parses each
+/// line, answers control requests inline, and funnels extract requests
+/// through the bounded queue. Returns `true` when a `shutdown` request
+/// asked the whole server to drain.
+fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink, tx: &SyncSender<Job>) -> bool {
+    // JSON syntax + escaping around the document can roughly double it;
+    // one extra KiB covers the envelope fields.
+    let line_cap = shared.ceilings.max_doc_bytes.saturating_mul(2).saturating_add(1024);
+    let mut lines = LineReader::new(line_cap);
+    loop {
+        let read = match lines.next_line(reader) {
+            Ok(r) => r,
+            // TCP connections carry a read timeout so idle clients cannot
+            // hold up a drain indefinitely: poll the flag and resume.
+            Err(e) if matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock) => {
+                if shared.draining.load(Ordering::Relaxed) {
+                    return false;
+                }
+                continue;
+            }
+            Err(_) => return false, // connection died; nothing to answer
+        };
+        let bytes = match read {
+            LineRead::Eof => return false,
+            LineRead::Oversized => {
+                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                let reject = Reject {
+                    id: Value::Null,
+                    code: ErrorCode::TooLarge,
+                    message: format!("request line exceeds {line_cap} bytes"),
+                };
+                respond(sink, &error_line(&reject));
+                continue;
+            }
+            LineRead::Line(bytes) => bytes,
+        };
+        let Ok(line) = std::str::from_utf8(&bytes) else {
+            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            respond(
+                sink,
+                &error_line(&Reject {
+                    id: Value::Null,
+                    code: ErrorCode::BadRequest,
+                    message: "request line is not valid UTF-8".into(),
+                }),
+            );
+            continue;
+        };
+        if line.trim().is_empty() {
+            continue; // blank lines are NDJSON keep-alive noise, not requests
+        }
+        match parse_request(line, &shared.ceilings) {
+            Err(reject) => {
+                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                respond(sink, &error_line(&reject));
+            }
+            Ok(Request::Health(id)) => {
+                shared.counters.control.fetch_add(1, Ordering::Relaxed);
+                let status = if shared.draining.load(Ordering::Relaxed) { "draining" } else { "ok" };
+                respond(sink, &json!({"id": id, "status": "ok", "health": status}).to_string());
+            }
+            Ok(Request::Stats(id)) => {
+                shared.counters.control.fetch_add(1, Ordering::Relaxed);
+                respond(sink, &json!({"id": id, "status": "ok", "stats": shared.stats_value()}).to_string());
+            }
+            Ok(Request::Shutdown(id)) => {
+                shared.counters.control.fetch_add(1, Ordering::Relaxed);
+                shared.draining.store(true, Ordering::Relaxed);
+                respond(sink, &json!({"id": id, "status": "ok", "draining": true}).to_string());
+                return true;
+            }
+            Ok(Request::Extract(req)) => {
+                if shared.draining.load(Ordering::Relaxed) {
+                    shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    respond(sink, &error_line(&Reject { id: req.id, code: ErrorCode::Shedding, message: "server is draining".into() }));
+                    continue;
+                }
+                let deadline = req.limits.deadline.unwrap_or(shared.ceilings.max_timeout);
+                let job = Job { expires: Instant::now() + deadline, req: *req, sink: Arc::clone(sink) };
+                shared.counters.queue_depth.fetch_add(1, Ordering::Relaxed);
+                match tx.try_send(job) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
+                        shared.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                        respond(
+                            &job.sink,
+                            &error_line(&Reject {
+                                id: job.req.id,
+                                code: ErrorCode::Shedding,
+                                message: "request queue is full".into(),
+                            }),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Runs the server until shutdown/EOF, then drains. Returns the final
+/// (served, shed, failed) counters.
+pub fn serve(engine: Aeetes, interner: Interner, opts: &ServeOptions) -> Result<(u64, u64, u64), String> {
+    let shared = Arc::new(Shared {
+        engine,
+        interner,
+        tokenizer: Tokenizer::default(),
+        ceilings: opts.ceilings,
+        counters: Counters::default(),
+        latency: Mutex::new(LatencyRing::new(1024)),
+        start: Instant::now(),
+        draining: AtomicBool::new(false),
+        cancel: CancelToken::new(),
+    });
+    let (tx, rx) = mpsc::sync_channel::<Job>(opts.queue.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+    let workers: Vec<_> = (0..opts.workers.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            std::thread::spawn(move || worker_loop(&shared, &rx))
+        })
+        .collect();
+
+    match &opts.listen {
+        None => {
+            let stdin = std::io::stdin();
+            let mut reader = BufReader::new(stdin.lock());
+            let sink: Sink = Arc::new(Mutex::new(Box::new(std::io::stdout())));
+            serve_stream(&shared, &mut reader, &sink, &tx);
+            // stdin EOF (or shutdown request) both end the stream: drain.
+            shared.draining.store(true, Ordering::Relaxed);
+        }
+        Some(addr) => {
+            let listener = TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            // Announce the bound address (port 0 resolves here) on stdout so
+            // supervisors and the chaos harness can find the server.
+            println!("listening on {local}");
+            let _ = std::io::stdout().flush();
+            accept_loop(&listener, &shared, &tx);
+        }
+    }
+
+    drain(&shared, workers, &rx, opts.drain);
+    let served = shared.counters.served.load(Ordering::Relaxed);
+    let shed = shared.counters.shed.load(Ordering::Relaxed);
+    let failed = shared.counters.failed.load(Ordering::Relaxed);
+    eprintln!("serve: drained; served={served} shed={shed} failed={failed}");
+    Ok((served, shed, failed))
+}
+
+/// Accepts connections until a `shutdown` request flips the draining flag,
+/// then joins every connection handler (their read timeout guarantees they
+/// notice the drain within one poll interval even when idle).
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, tx: &SyncSender<Job>) {
+    let mut handlers = Vec::new();
+    for conn in listener.incoming() {
+        if shared.draining.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(stream) = conn else { continue }; // transient accept errors (e.g. ECONNABORTED)
+        let shared = Arc::clone(shared);
+        let tx = tx.clone();
+        handlers.push(std::thread::spawn(move || handle_connection(stream, &shared, &tx)));
+        handlers.retain(|h| !h.is_finished()); // reap finished handlers so the vec stays bounded
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+/// Poll interval for the draining flag on otherwise-blocking TCP reads.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, tx: &SyncSender<Job>) {
+    // The timeout turns blocking reads into a drain-flag poll; without it an
+    // idle client would pin this thread (and the drain) forever.
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let sink: Sink = Arc::new(Mutex::new(Box::new(write_half)));
+    if serve_stream(shared, &mut reader, &sink, tx) {
+        // A shutdown request arrived on this connection. The acceptor is
+        // blocked in `accept`; self-connect once so it can observe
+        // `draining` and stop. (The wake-up connection itself is never
+        // served — the acceptor checks the flag before spawning.)
+        if let Ok(addr) = reader.get_ref().local_addr() {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+/// Finishes the backlog within `deadline`, then cancels whatever is still
+/// running and answers any leftover queued jobs as shed.
+fn drain(shared: &Arc<Shared>, workers: Vec<std::thread::JoinHandle<()>>, rx: &Arc<Mutex<Receiver<Job>>>, deadline: Duration) {
+    let cancel = shared.cancel.clone();
+    let watchdog = {
+        let (stop_tx, stop_rx) = mpsc::channel::<()>();
+        let handle = std::thread::spawn(move || {
+            // A plain recv_timeout doubles as an interruptible sleep: the
+            // sender dropping early (workers done) ends the wait.
+            let _ = stop_rx.recv_timeout(deadline);
+            cancel.cancel();
+        });
+        (stop_tx, handle)
+    };
+    for w in workers {
+        let _ = w.join();
+    }
+    drop(watchdog.0);
+    let _ = watchdog.1.join();
+    // Workers exited with the queue believed empty, but an admission racing
+    // the drain flag may have slipped a job in. Answer, never drop.
+    while let Ok(job) = rx.lock().expect("queue receiver lock").try_recv() {
+        shared.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+        respond(
+            &job.sink,
+            &error_line(&Reject {
+                id: job.req.id,
+                code: ErrorCode::Shedding,
+                message: "server drained before this request ran".into(),
+            }),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines_of(bytes: &[u8], cap: usize) -> Vec<String> {
+        let mut reader = BufReader::new(bytes);
+        let mut lr = LineReader::new(cap);
+        let mut out = Vec::new();
+        loop {
+            match lr.next_line(&mut reader).unwrap() {
+                LineRead::Eof => return out,
+                LineRead::Oversized => out.push("<oversized>".into()),
+                LineRead::Line(l) => out.push(String::from_utf8(l).unwrap()),
+            }
+        }
+    }
+
+    #[test]
+    fn capped_line_reader_splits_lines() {
+        assert_eq!(lines_of(b"one\ntwo\n", 100), ["one", "two"]);
+    }
+
+    #[test]
+    fn capped_line_reader_returns_final_unterminated_fragment() {
+        assert_eq!(lines_of(b"complete\ntruncat", 100), ["complete", "truncat"]);
+    }
+
+    #[test]
+    fn capped_line_reader_discards_oversized_and_resyncs() {
+        let mut input = vec![b'x'; 1000];
+        input.push(b'\n');
+        input.extend_from_slice(b"ok\n");
+        assert_eq!(lines_of(&input, 10), ["<oversized>", "ok"]);
+    }
+
+    #[test]
+    fn capped_line_reader_oversized_at_eof_without_newline() {
+        assert_eq!(lines_of(&vec![b'y'; 1000], 10), ["<oversized>"]);
+    }
+
+    #[test]
+    fn capped_line_reader_exact_cap_fits() {
+        assert_eq!(lines_of(b"12345\n", 5), ["12345"]);
+    }
+
+    #[test]
+    fn capped_line_reader_over_cap_by_one_is_oversized() {
+        assert_eq!(lines_of(b"123456\nok\n", 5), ["<oversized>", "ok"]);
+    }
+
+    /// A timeout mid-line must not lose the partial prefix: simulate with a
+    /// reader that errors between two chunks of one line.
+    #[test]
+    fn partial_line_survives_interrupted_read() {
+        struct Interrupting {
+            chunks: Vec<&'static [u8]>,
+            next: usize,
+            erred: bool,
+        }
+        impl std::io::Read for Interrupting {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.next == 1 && !self.erred {
+                    self.erred = true;
+                    return Err(std::io::Error::new(ErrorKind::WouldBlock, "poll"));
+                }
+                if self.next >= self.chunks.len() {
+                    return Ok(0);
+                }
+                let chunk = self.chunks[self.next];
+                self.next += 1;
+                buf[..chunk.len()].copy_from_slice(chunk);
+                Ok(chunk.len())
+            }
+        }
+        let mut reader = BufReader::new(Interrupting { chunks: vec![b"hel", b"lo\n"], next: 0, erred: false });
+        let mut lr = LineReader::new(100);
+        let first = lr.next_line(&mut reader);
+        assert!(matches!(first, Err(ref e) if e.kind() == ErrorKind::WouldBlock), "{first:?}");
+        let second = lr.next_line(&mut reader).unwrap();
+        assert!(matches!(second, LineRead::Line(ref l) if l == b"hello"), "partial prefix must survive the interruption");
+    }
+}

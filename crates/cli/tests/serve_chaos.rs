@@ -1,0 +1,355 @@
+//! Chaos harness for `aeetes serve`: spawns the real binary and fires
+//! malformed JSON, truncated lines, oversized documents, pathological τ
+//! values, and concurrent connections at it, then checks the server (a)
+//! never crashed, (b) still answers well-formed requests correctly, and
+//! (c) reports counters that reconcile exactly with what the harness sent.
+//!
+//! Also exercises overload: with a saturated one-worker/one-slot queue the
+//! server must shed promptly with `{"status":"shedding"}`, and a graceful
+//! drain must answer every outstanding request before exit.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use aeetes_core::{save_engine, Aeetes, AeetesConfig};
+use aeetes_rules::RuleSet;
+use aeetes_text::{Dictionary, Interner, Tokenizer};
+
+/// Builds a small engine file and returns its path (unique per test).
+fn engine_file(tag: &str) -> PathBuf {
+    let mut interner = Interner::new();
+    let tokenizer = Tokenizer::default();
+    let mut dict = Dictionary::new();
+    for entity in ["Purdue University USA", "UQ AU", "University of Wisconsin Madison", "Acme Corporation Inc"] {
+        dict.push(entity, &tokenizer, &mut interner);
+    }
+    let mut rules = RuleSet::new();
+    for (lhs, rhs) in [("uq", "university of queensland"), ("usa", "united states"), ("au", "australia")] {
+        rules.push_str(lhs, rhs, &tokenizer, &mut interner).unwrap();
+    }
+    let engine = Aeetes::build(dict, &rules, AeetesConfig::default());
+    let bytes = save_engine(&engine, &interner);
+    let path = std::env::temp_dir().join(format!("aeetes-serve-chaos-{}-{tag}.bin", std::process::id()));
+    std::fs::write(&path, bytes).expect("write engine file");
+    path
+}
+
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    /// Spawns `aeetes serve --listen 127.0.0.1:0 ...` and parses the bound
+    /// address from its first stdout line.
+    fn spawn(engine: &PathBuf, extra: &[&str]) -> Server {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_aeetes"))
+            .arg("serve")
+            .arg("--engine")
+            .arg(engine)
+            .args(["--listen", "127.0.0.1:0"])
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn server");
+        let mut line = String::new();
+        BufReader::new(child.stdout.take().expect("server stdout"))
+            .read_line(&mut line)
+            .expect("read listen line");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+            .to_string();
+        Server { child, addr }
+    }
+
+    fn connect(&self) -> TcpStream {
+        let stream = TcpStream::connect(&self.addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+        stream
+    }
+
+    /// Sends one request line and returns the one response line.
+    fn round_trip(&self, line: &str) -> String {
+        let mut stream = self.connect();
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("read response");
+        assert!(!resp.is_empty(), "server closed without answering {line:?}");
+        resp
+    }
+
+    /// Waits (bounded) until the child exits, asserting success.
+    fn wait_for_clean_exit(mut self, budget: Duration) {
+        let start = Instant::now();
+        loop {
+            if let Some(status) = self.child.try_wait().expect("try_wait") {
+                assert!(status.success(), "server exited with {status:?}");
+                return;
+            }
+            if start.elapsed() > budget {
+                let _ = self.child.kill();
+                panic!("server did not drain and exit within {budget:?}");
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+}
+
+fn field_u64(json: &str, key: &str) -> u64 {
+    let v = serde_json::from_str(json).unwrap_or_else(|e| panic!("bad JSON response {json:?}: {e}"));
+    fn find(v: &serde_json::Value, key: &str) -> Option<u64> {
+        if let Some(n) = v.get(key).and_then(serde_json::Value::as_u64) {
+            return Some(n);
+        }
+        v.as_object()?.iter().find_map(|(_, child)| find(child, key))
+    }
+    find(&v, key).unwrap_or_else(|| panic!("no `{key}` in {json}"))
+}
+
+fn status_of(json: &str) -> String {
+    let v = serde_json::from_str(json).unwrap_or_else(|e| panic!("bad JSON response {json:?}: {e}"));
+    v.get("status")
+        .and_then(serde_json::Value::as_str)
+        .unwrap_or_else(|| panic!("no status in {json}"))
+        .to_string()
+}
+
+/// The main chaos storm + soak: every abuse vector at once, then exact
+/// counter reconciliation and a correctness probe.
+#[test]
+fn chaos_storm_survives_and_counters_reconcile() {
+    let engine = engine_file("storm");
+    let server = Server::spawn(&engine, &["--workers", "2", "--queue", "64", "--max-doc-bytes", "4096", "--drain", "10"]);
+
+    // Every line below that is not blank and not a control request must be
+    // answered as exactly one of served/shed/failed.
+    let mut countable_sent = 0u64;
+
+    // Phase 1: malformed JSON, wrong shapes, pathological τ, oversized doc.
+    let big_doc = "pad ".repeat(2000); // 8000 B > 4096 B ceiling
+    let abuse: Vec<String> = vec![
+        "not json at all".into(),
+        "{\"type\":".into(),
+        "{}".into(),
+        "[1,2,3]".into(),
+        "\"bare string\"".into(),
+        "{\"type\":\"explode\"}".into(),
+        "{\"type\":\"extract\"}".into(),
+        "{\"type\":\"extract\",\"doc\":42}".into(),
+        "{\"type\":\"extract\",\"doc\":\"x\",\"tau\":0}".into(),
+        "{\"type\":\"extract\",\"doc\":\"x\",\"tau\":-3}".into(),
+        "{\"type\":\"extract\",\"doc\":\"x\",\"tau\":17.5}".into(),
+        "{\"type\":\"extract\",\"doc\":\"x\",\"tau\":\"NaN\"}".into(),
+        "{\"type\":\"extract\",\"doc\":\"x\",\"timeout_ms\":-5}".into(),
+        format!("{{\"type\":\"extract\",\"doc\":\"{big_doc}\"}}"),
+        "\u{0007}\u{0001}binary soup \\xff".into(),
+    ];
+    {
+        let mut stream = server.connect();
+        for line in &abuse {
+            stream.write_all(line.as_bytes()).unwrap();
+            stream.write_all(b"\n").unwrap();
+            countable_sent += 1;
+        }
+        stream.write_all(b"\n\n").unwrap(); // blank lines: ignored, not counted
+        let mut reader = BufReader::new(stream);
+        for line in &abuse {
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            let status = status_of(&resp);
+            assert!(status == "error" || status == "shedding", "abuse line {line:?} got {resp:?}");
+        }
+    }
+
+    // Phase 2: a truncated line — partial JSON, no newline, then hang up.
+    {
+        let mut stream = server.connect();
+        stream.write_all(b"{\"type\":\"extract\",\"doc\":\"cut off mid").unwrap();
+        drop(stream);
+        countable_sent += 1; // the fragment is processed as a (bad) request
+    }
+
+    // Phase 3: an oversized *line* (beyond doc ceiling × 2 + 1 KiB).
+    {
+        let mut stream = server.connect();
+        let huge = vec![b'z'; 64 * 1024];
+        stream.write_all(&huge).unwrap();
+        stream.write_all(b"\n").unwrap();
+        countable_sent += 1;
+        let mut resp = String::new();
+        BufReader::new(stream).read_line(&mut resp).unwrap();
+        assert_eq!(status_of(&resp), "error");
+        assert!(resp.contains("too_large"), "{resp}");
+    }
+
+    // Phase 4: concurrent well-formed connections (the soak).
+    let per_conn = 25u64;
+    let conns = 8u64;
+    let workers: Vec<_> = (0..conns)
+        .map(|c| {
+            let mut stream = server.connect();
+            std::thread::spawn(move || {
+                let mut ok = 0u64;
+                for i in 0..per_conn {
+                    let line =
+                        format!("{{\"id\":\"c{c}-{i}\",\"type\":\"extract\",\"doc\":\"visit purdue university usa and uq au today\",\"tau\":0.8}}\n");
+                    stream.write_all(line.as_bytes()).unwrap();
+                }
+                let mut reader = BufReader::new(stream);
+                for _ in 0..per_conn {
+                    let mut resp = String::new();
+                    reader.read_line(&mut resp).unwrap();
+                    let status = status_of(&resp);
+                    assert!(status == "ok" || status == "shedding", "unexpected response {resp:?}");
+                    if status == "ok" {
+                        // Both entities must be found in the fixed document.
+                        assert!(resp.contains("Purdue University USA"), "{resp}");
+                        assert!(resp.contains("UQ AU"), "{resp}");
+                        ok += 1;
+                    }
+                }
+                ok
+            })
+        })
+        .collect();
+    let ok_served: u64 = workers.into_iter().map(|h| h.join().expect("conn thread")).sum();
+    countable_sent += conns * per_conn;
+    assert!(ok_served > 0, "soak must see at least one successful extraction");
+
+    // Phase 5: after all that abuse the server still answers correctly.
+    let resp = server.round_trip(r#"{"id":"probe","type":"extract","doc":"uq au rocks","tau":0.9}"#);
+    assert_eq!(status_of(&resp), "ok");
+    assert!(resp.contains("\"entity_text\":\"UQ AU\""), "{resp}");
+    countable_sent += 1;
+
+    // Reconciliation: poll stats until the counters absorb the truncated-
+    // line request (its connection closed before the response was written).
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let last = loop {
+        let snapshot = server.round_trip(r#"{"type":"stats"}"#);
+        let total = field_u64(&snapshot, "served") + field_u64(&snapshot, "shed") + field_u64(&snapshot, "failed");
+        if total == countable_sent {
+            break snapshot;
+        }
+        assert!(Instant::now() < deadline, "counters never reconciled: sent {countable_sent}, stats {snapshot}");
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    assert_eq!(field_u64(&last, "served"), ok_served + 1, "served = soak successes + the probe; stats {last}");
+    assert_eq!(field_u64(&last, "queue_depth"), 0, "{last}");
+    assert_eq!(field_u64(&last, "in_flight"), 0, "{last}");
+
+    // Health then graceful shutdown.
+    let health = server.round_trip(r#"{"type":"health"}"#);
+    assert_eq!(status_of(&health), "ok");
+    let bye = server.round_trip(r#"{"type":"shutdown"}"#);
+    assert!(bye.contains("\"draining\":true"), "{bye}");
+    server.wait_for_clean_exit(Duration::from_secs(30));
+    let _ = std::fs::remove_file(&engine);
+}
+
+/// Overload: one worker, one queue slot, a slow document. Excess requests
+/// must shed promptly, and a graceful drain must answer everything that was
+/// admitted (every request gets exactly one response) before exit.
+#[test]
+fn overload_sheds_promptly_and_drain_answers_everything() {
+    let engine = engine_file("overload");
+    let server = Server::spawn(&engine, &["--workers", "1", "--queue", "1", "--drain", "15"]);
+
+    // ~4400 tokens of dictionary-dense text: slow enough (low τ, dense
+    // matches) to pin the single worker while the harness floods the queue.
+    let slow_doc = "purdue university usa uq au ".repeat(880);
+    let burst = 20usize;
+    let mut stream = server.connect();
+    let send_started = Instant::now();
+    for i in 0..burst {
+        let line = format!("{{\"id\":{i},\"type\":\"extract\",\"doc\":\"{slow_doc}\",\"tau\":0.45}}\n");
+        stream.write_all(line.as_bytes()).unwrap();
+    }
+    let sent_in = send_started.elapsed();
+
+    // Shedding responses must come back promptly — while the worker is
+    // still grinding through the first document, not after the backlog.
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut first_shed = None;
+    let mut statuses = Vec::new();
+    for _ in 0..burst {
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("response during overload");
+        let status = status_of(&resp);
+        if status == "shedding" && first_shed.is_none() {
+            first_shed = Some(send_started.elapsed());
+        }
+        statuses.push(status);
+        if statuses.len() >= burst - 2 {
+            break; // leave a couple in flight for the drain to finish
+        }
+    }
+    let first_shed = first_shed.expect("a 20-request burst against queue=1/workers=1 must shed");
+    assert!(
+        first_shed < Duration::from_secs(5),
+        "shedding must be prompt (admission-time), got {first_shed:?} (burst sent in {sent_in:?})"
+    );
+
+    // Graceful drain: whatever was admitted must still be answered.
+    let bye = server.round_trip(r#"{"type":"shutdown"}"#);
+    assert!(bye.contains("\"draining\":true"), "{bye}");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).expect("drain responses");
+    let total_responses = statuses.len() + rest.lines().filter(|l| !l.trim().is_empty()).count();
+    assert_eq!(total_responses, burst, "every admitted request must be answered exactly once across the drain");
+    for line in rest.lines().filter(|l| !l.trim().is_empty()) {
+        let status = status_of(line);
+        assert!(status == "ok" || status == "shedding", "drain answered with {line:?}");
+    }
+    drop(stream);
+    server.wait_for_clean_exit(Duration::from_secs(30));
+    let _ = std::fs::remove_file(&engine);
+}
+
+/// The stdin/stdout transport: requests piped in, EOF triggers the drain,
+/// process exits cleanly with all responses written.
+#[test]
+fn stdin_mode_serves_and_drains_on_eof() {
+    let engine = engine_file("stdin");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_aeetes"))
+        .arg("serve")
+        .arg("--engine")
+        .arg(&engine)
+        .args(["--workers", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn server");
+    {
+        let mut stdin = child.stdin.take().expect("stdin");
+        stdin
+            .write_all(
+                b"{\"id\":1,\"type\":\"extract\",\"doc\":\"acme corporation inc filed papers\"}\n\
+                  garbage line\n\
+                  {\"id\":2,\"type\":\"health\"}\n",
+            )
+            .unwrap();
+        // Dropping stdin sends EOF: the server must drain and exit.
+    }
+    let start = Instant::now();
+    let out = child.wait_with_output().expect("server output");
+    assert!(out.status.success(), "stdin-mode server exited with {:?}", out.status);
+    assert!(start.elapsed() < Duration::from_secs(30), "drain-on-EOF took too long");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert_eq!(lines.len(), 3, "one response per request: {stdout}");
+    assert!(stdout.contains("Acme Corporation Inc") || stdout.contains("acme corporation inc"), "{stdout}");
+    assert!(stdout.contains("bad_request"), "{stdout}");
+    assert!(stdout.contains("\"health\":\"ok\""), "{stdout}");
+    let _ = std::fs::remove_file(&engine);
+}

@@ -10,45 +10,17 @@
 //! so one poisoned document surfaces as [`DocError::Panicked`] while the
 //! rest of the batch completes. Results travel over an mpsc channel rather
 //! than a shared `Mutex`, so a worker panic can never poison the collector.
-//! A shared [`CancelToken`] is consulted between documents for cooperative
-//! early shutdown.
+//! A shared [`CancelToken`] is consulted between documents — and, in
+//! [`extract_batch_with`], at window boundaries *inside* each document —
+//! for cooperative early shutdown.
 
 use crate::extractor::Aeetes;
-use crate::limits::{ExtractLimits, ExtractOutcome};
+use crate::limits::{CancelToken, ExtractLimits, ExtractOutcome};
 use crate::matches::Match;
 use aeetes_text::Document;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc};
-
-/// A shared cancellation flag checked between documents.
-///
-/// Clones share the flag; `cancel()` from any clone (e.g. a signal-handler
-/// or watchdog thread) makes every not-yet-started document in the batch
-/// return [`DocError::Cancelled`]. The document currently being extracted
-/// is not interrupted — use [`ExtractLimits::deadline`] to bound a single
-/// document.
-#[derive(Debug, Clone, Default)]
-pub struct CancelToken {
-    flag: Arc<AtomicBool>,
-}
-
-impl CancelToken {
-    /// A fresh, un-cancelled token.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Requests cancellation. Idempotent; never blocks.
-    pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Relaxed);
-    }
-
-    /// Whether cancellation has been requested.
-    pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed)
-    }
-}
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Why a single document in a batch produced no result.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -169,9 +141,13 @@ pub fn extract_batch(engine: &Aeetes, docs: &[Document], tau: f64, threads: usiz
 /// `docs[i]`, or a [`DocError`] if that document panicked or the batch was
 /// cancelled before it started. Per-document [`ExtractLimits`] come from
 /// `opts.limits`; check [`ExtractOutcome::truncated`] to detect partial
-/// results.
+/// results. `opts.cancel` is honoured *mid-document*: a document in flight
+/// when the token fires stops at the next window boundary and returns a
+/// truncated (partial but exact) outcome.
 pub fn extract_batch_with(engine: &Aeetes, docs: &[Document], tau: f64, opts: &BatchOptions) -> Vec<Result<ExtractOutcome, DocError>> {
-    batch_run(docs.len(), opts.threads, &opts.cancel, |i| engine.extract_with_limits(&docs[i], tau, &opts.limits))
+    batch_run(docs.len(), opts.threads, &opts.cancel, |i| {
+        engine.extract_with_limits_cancellable(&docs[i], tau, &opts.limits, &opts.cancel)
+    })
 }
 
 #[cfg(test)]
@@ -300,12 +276,19 @@ mod tests {
         }
     }
 
+    /// A fired token reaching the cancellable single-document API truncates
+    /// the extraction (partial, well-formed outcome) instead of erroring;
+    /// the batch path still classifies not-yet-started documents as
+    /// `Cancelled`.
     #[test]
-    fn cancel_token_clones_share_state() {
-        let a = CancelToken::new();
-        let b = a.clone();
-        assert!(!b.is_cancelled());
-        a.cancel();
-        assert!(b.is_cancelled());
+    fn fired_token_truncates_single_doc_and_cancels_batch() {
+        let (engine, docs) = setup();
+        let opts = BatchOptions { threads: 1, ..BatchOptions::default() };
+        opts.cancel.cancel();
+        let out = engine.extract_with_limits_cancellable(&docs[0], 0.8, &ExtractLimits::UNLIMITED, &opts.cancel);
+        assert!(out.truncated, "cancelled extraction must report truncation");
+        assert!(out.matches.is_empty());
+        let results = extract_batch_with(&engine, &docs, 0.8, &opts);
+        assert!(results.iter().all(|r| matches!(r, Err(DocError::Cancelled))));
     }
 }

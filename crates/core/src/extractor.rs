@@ -1,7 +1,7 @@
 //! The end-to-end Aeetes engine (paper Algorithm 1, Figure 2).
 
 use crate::config::AeetesConfig;
-use crate::limits::{Budget, ExtractLimits, ExtractOutcome};
+use crate::limits::{Budget, CancelToken, ExtractLimits, ExtractOutcome};
 use crate::matches::Match;
 use crate::stats::ExtractStats;
 use crate::strategy::{generate, Strategy};
@@ -76,7 +76,7 @@ impl Aeetes {
     /// Extracts with an explicit strategy, returning the statistics used by
     /// the paper's ablation figures.
     pub fn extract_with(&self, doc: &Document, tau: f64, strategy: Strategy) -> (Vec<Match>, ExtractStats) {
-        let out = self.run(doc, tau, strategy, self.config.metric, false, &self.config.limits);
+        let out = self.run(doc, tau, strategy, self.config.metric, false, &self.config.limits, None);
         (out.matches, out.stats)
     }
 
@@ -84,7 +84,7 @@ impl Aeetes {
     /// `max over variants of metric(variant, substring) ≥ tau`. With
     /// [`Metric::Jaccard`] this is exactly [`Aeetes::extract`].
     pub fn extract_with_metric(&self, doc: &Document, tau: f64, metric: Metric) -> (Vec<Match>, ExtractStats) {
-        let out = self.run(doc, tau, self.config.strategy, metric, false, &self.config.limits);
+        let out = self.run(doc, tau, self.config.strategy, metric, false, &self.config.limits, None);
         (out.matches, out.stats)
     }
 
@@ -92,7 +92,7 @@ impl Aeetes {
     /// rules with weight product `w` contributes `w · Jaccard` instead of
     /// `Jaccard`. With all-1.0 weights this equals [`Aeetes::extract`].
     pub fn extract_weighted(&self, doc: &Document, tau: f64) -> (Vec<Match>, ExtractStats) {
-        let out = self.run(doc, tau, self.config.strategy, self.config.metric, true, &self.config.limits);
+        let out = self.run(doc, tau, self.config.strategy, self.config.metric, true, &self.config.limits, None);
         (out.matches, out.stats)
     }
 
@@ -104,18 +104,40 @@ impl Aeetes {
     /// # Panics
     /// Panics when `tau` is not in `(0, 1]`.
     pub fn extract_with_limits(&self, doc: &Document, tau: f64, limits: &ExtractLimits) -> ExtractOutcome {
-        self.run(doc, tau, self.config.strategy, self.config.metric, false, limits)
+        self.run(doc, tau, self.config.strategy, self.config.metric, false, limits, None)
     }
 
     /// [`Aeetes::extract_with_limits`] under an explicit token-set metric.
     pub fn extract_with_limits_metric(&self, doc: &Document, tau: f64, metric: Metric, limits: &ExtractLimits) -> ExtractOutcome {
-        self.run(doc, tau, self.config.strategy, metric, false, limits)
+        self.run(doc, tau, self.config.strategy, metric, false, limits, None)
     }
 
-    fn run(&self, doc: &Document, tau: f64, strategy: Strategy, metric: Metric, weighted: bool, limits: &ExtractLimits) -> ExtractOutcome {
+    /// [`Aeetes::extract_with_limits`] that additionally stops — at the
+    /// same window-advance / verification boundaries the deadline uses —
+    /// when `cancel` fires, reporting `truncated = true`. This is what lets
+    /// a draining server or a watchdog stop a long extraction
+    /// *mid-document* rather than waiting it out.
+    pub fn extract_with_limits_cancellable(&self, doc: &Document, tau: f64, limits: &ExtractLimits, cancel: &CancelToken) -> ExtractOutcome {
+        self.run(doc, tau, self.config.strategy, self.config.metric, false, limits, Some(cancel))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run(
+        &self,
+        doc: &Document,
+        tau: f64,
+        strategy: Strategy,
+        metric: Metric,
+        weighted: bool,
+        limits: &ExtractLimits,
+        cancel: Option<&CancelToken>,
+    ) -> ExtractOutcome {
         assert!(tau > 0.0 && tau <= 1.0, "similarity threshold must be in (0, 1], got {tau}");
         let mut stats = ExtractStats::default();
-        let mut budget = Budget::start(limits);
+        let mut budget = match cancel {
+            Some(token) => Budget::start_cancellable(limits, token),
+            None => Budget::start(limits),
+        };
         let pairs = generate(&self.index, doc, tau, metric, strategy, &mut stats, &mut budget);
         // Weighted scores are ≤ unweighted scores (weights ≤ 1), so the
         // unweighted candidate filters remain sound for the weighted verify.
@@ -310,6 +332,54 @@ mod tests {
         let out = f.engine.extract_with_limits(&doc, 0.8, &limits);
         assert!(out.truncated);
         assert!(out.matches.is_empty());
+    }
+
+    #[test]
+    fn zero_match_cap_returns_empty_truncated() {
+        let mut f = figure1();
+        let doc = Document::parse("purdue university usa and uq au", &f.tok, &mut f.int);
+        let limits = ExtractLimits { max_matches: Some(0), ..ExtractLimits::UNLIMITED };
+        let out = f.engine.extract_with_limits(&doc, 0.8, &limits);
+        assert!(out.truncated, "a zero match cap on a matching document must report truncation");
+        assert!(out.matches.is_empty());
+    }
+
+    #[test]
+    fn degenerate_limits_never_panic_across_strategies() {
+        // Every all-zero / zero-ish budget combination, on every strategy,
+        // must come back empty + truncated — never panic, never hang.
+        let degenerate = [
+            ExtractLimits { max_matches: Some(0), ..ExtractLimits::UNLIMITED },
+            ExtractLimits { max_candidates: Some(0), ..ExtractLimits::UNLIMITED },
+            ExtractLimits { deadline: Some(std::time::Duration::ZERO), ..ExtractLimits::UNLIMITED },
+            ExtractLimits {
+                deadline: Some(std::time::Duration::ZERO),
+                max_matches: Some(0),
+                max_candidates: Some(0),
+            },
+        ];
+        for strategy in [Strategy::Simple, Strategy::Skip, Strategy::Dynamic, Strategy::Lazy] {
+            let config = AeetesConfig { strategy, ..AeetesConfig::default() };
+            let mut int = Interner::new();
+            let tok = Tokenizer::default();
+            let mut dict = Dictionary::new();
+            dict.push("purdue university usa", &tok, &mut int);
+            dict.push("uq au", &tok, &mut int);
+            let engine = Aeetes::build(dict, &RuleSet::new(), config);
+            for text in ["purdue university usa and uq au", ""] {
+                let doc = Document::parse(text, &tok, &mut int);
+                for limits in &degenerate {
+                    let out = engine.extract_with_limits(&doc, 0.8, limits);
+                    assert!(out.matches.is_empty(), "strategy {strategy} with {limits:?} on {text:?} produced matches");
+                    // Truncation must be flagged whenever results were
+                    // actually withheld; an empty document legitimately
+                    // completes with nothing to truncate.
+                    if !text.is_empty() {
+                        assert!(out.truncated, "strategy {strategy} with {limits:?} on {text:?} must flag truncation");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -61,16 +61,16 @@ mod typo;
 mod verify;
 mod window;
 
-pub use batch::{extract_batch, extract_batch_with, BatchOptions, CancelToken, DocError};
+pub use batch::{extract_batch, extract_batch_with, BatchOptions, DocError};
 pub use config::AeetesConfig;
 pub use edit_extract::{EditIndex, EditMatch};
 pub use extractor::Aeetes;
-pub use limits::{ExtractLimits, ExtractOutcome};
+pub use limits::{CancelToken, ExtractLimits, ExtractOutcome};
 pub use matches::Match;
 pub use nms::suppress_overlaps;
 pub use persist::{load_engine, save_engine, PersistError};
 pub use report::{mention_report, MentionReport};
-pub use stats::ExtractStats;
+pub use stats::{ExtractStats, LatencyRing};
 pub use strategy::Strategy;
 pub use topk::extract_top_k;
 pub use typo::{extract_fuzzy, FuzzyConfig};

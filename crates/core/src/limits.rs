@@ -12,7 +12,40 @@
 
 use crate::matches::Match;
 use crate::stats::ExtractStats;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A shared cancellation flag.
+///
+/// Clones share the flag; `cancel()` from any clone (e.g. a signal-handler,
+/// watchdog thread, or a draining server) stops cooperating work. Batch
+/// extraction consults it between documents, and a cancellable extraction
+/// ([`crate::Aeetes::extract_with_limits_cancellable`]) additionally checks
+/// it at window-advance and verification boundaries — so cancellation stops
+/// a long extraction *mid-document*, reporting `truncated = true` with the
+/// exact matches found so far.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
 
 /// Caps applied to one extraction run. `None` fields are unlimited.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -58,6 +91,7 @@ pub(crate) struct Budget {
     deadline: Option<Instant>,
     max_candidates: usize,
     max_matches: usize,
+    cancel: Option<CancelToken>,
     truncated: bool,
 }
 
@@ -74,8 +108,16 @@ impl Budget {
             deadline: limits.deadline.map(|d| Instant::now() + d),
             max_candidates: limits.max_candidates.unwrap_or(usize::MAX),
             max_matches: limits.max_matches.unwrap_or(usize::MAX),
+            cancel: None,
             truncated: false,
         }
+    }
+
+    /// Starts the clock on `limits` and additionally trips (permanently, as
+    /// truncation) as soon as `cancel` fires — checked at the same
+    /// window-advance / verification boundaries as the deadline.
+    pub(crate) fn start_cancellable(limits: &ExtractLimits, cancel: &CancelToken) -> Self {
+        Budget { cancel: Some(cancel.clone()), ..Self::start(limits) }
     }
 
     /// Budget check at a window-advance boundary (or other unit of
@@ -85,7 +127,7 @@ impl Budget {
         if self.truncated {
             return false;
         }
-        if produced >= self.max_candidates || self.deadline_passed() {
+        if produced >= self.max_candidates || self.interrupted() {
             self.truncated = true;
             return false;
         }
@@ -98,15 +140,18 @@ impl Budget {
         if self.truncated {
             return false;
         }
-        if matched >= self.max_matches || self.deadline_passed() {
+        if matched >= self.max_matches || self.interrupted() {
             self.truncated = true;
             return false;
         }
         true
     }
 
-    fn deadline_passed(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+    /// Deadline expiry or cancellation — the two asynchronous trip causes.
+    /// The cancellation check is one relaxed atomic load, so cancellable
+    /// extraction costs nothing measurable on the hot path.
+    fn interrupted(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d) || self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
     /// Whether any check tripped during this run.
@@ -159,6 +204,35 @@ mod tests {
         assert!(b.keep_verifying(2));
         assert!(!b.keep_verifying(3));
         assert!(b.truncated());
+    }
+
+    #[test]
+    fn cancellation_trips_mid_run() {
+        let token = CancelToken::new();
+        let mut b = Budget::start_cancellable(&ExtractLimits::UNLIMITED, &token);
+        assert!(b.keep_generating(100));
+        assert!(b.keep_verifying(100));
+        token.cancel();
+        assert!(!b.keep_generating(0), "cancellation must stop generation");
+        assert!(b.truncated(), "cancellation reports as truncation");
+    }
+
+    #[test]
+    fn uncancelled_token_changes_nothing() {
+        let token = CancelToken::new();
+        let mut b = Budget::start_cancellable(&ExtractLimits::UNLIMITED, &token);
+        assert!(b.keep_generating(usize::MAX - 1));
+        assert!(b.keep_verifying(usize::MAX - 1));
+        assert!(!b.truncated());
+    }
+
+    #[test]
+    fn cancel_token_clones_share_state() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Offline shim for the `serde_json` 1.x API subset used by this
 //! workspace: [`Value`], [`Map`], [`to_value`], [`to_string`],
-//! [`to_string_pretty`] and the [`json!`] macro (object / array / scalar
-//! literals with expression values). Output is spec-compliant JSON with
-//! full string escaping; object keys keep insertion order.
+//! [`to_string_pretty`], [`from_str`] and the [`json!`] macro (object /
+//! array / scalar literals with expression values). Output is
+//! spec-compliant JSON with full string escaping; object keys keep
+//! insertion order. The parser is strict (no trailing garbage, no
+//! comments) and depth-limited so adversarial input cannot overflow the
+//! stack.
 
 use serde::{Content, Serialize};
 use std::fmt;
@@ -111,6 +114,71 @@ impl Value {
         }
     }
 
+    /// Object member lookup: `Some(&value)` when `self` is an object with
+    /// the key, `None` otherwise (matches `serde_json::Value::get`).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string content when `self` is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric content as `f64` when `self` is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::F64(v)) => Some(*v),
+            Value::Number(Number::I64(v)) => Some(*v as f64),
+            Value::Number(Number::U64(v)) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The numeric content as `u64` when `self` is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U64(v)) => Some(*v),
+            Value::Number(Number::I64(v)) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The boolean content when `self` is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The entries when `self` is an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The items when `self` is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether `self` is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
     fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
         match self {
             Value::Null => out.push_str("null"),
@@ -216,7 +284,7 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
     Ok(s)
 }
 
-/// Serialization error (unused by this shim; conversions are infallible).
+/// Serialization / parse error.
 #[derive(Debug)]
 pub struct Error(String);
 
@@ -227,6 +295,238 @@ impl fmt::Display for Error {
 }
 
 impl std::error::Error for Error {}
+
+/// Maximum `[`/`{` nesting the parser accepts. Untrusted input like
+/// `[[[[…` must fail with an error, not a stack overflow.
+const MAX_PARSE_DEPTH: usize = 128;
+
+/// Parses a complete JSON document from `s` (strict: exactly one value,
+/// surrounded by optional whitespace, no trailing garbage).
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("invalid literal (expected `{lit}`)")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.err("JSON nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected character `{}`", c as char))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            map.insert(key, value); // duplicate keys: last one wins, as in serde_json
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by `\uDC00..DFFF`; lone surrogates
+                            // become U+FFFD rather than invalid UTF-8.
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if (0xDC00..0xE000).contains(&lo) {
+                                        let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                        char::from_u32(code).unwrap_or('\u{FFFD}')
+                                    } else {
+                                        '\u{FFFD}'
+                                    }
+                                } else {
+                                    '\u{FFFD}'
+                                }
+                            } else {
+                                char::from_u32(hi).unwrap_or('\u{FFFD}')
+                            };
+                            out.push(c);
+                            continue; // hex4 advanced pos already
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("unescaped control character in string")),
+                Some(_) => {
+                    // Consume one full UTF-8 scalar (input is &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("valid UTF-8 slice"));
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self
+            .pos
+            .checked_add(4)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(&self.bytes[self.pos..end]).map_err(|_| self.err("non-ASCII in \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number text");
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U64(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I64(v)));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Value::Number(Number::F64(v))),
+            _ => Err(Error(format!("invalid number `{text}` at byte {start}"))),
+        }
+    }
+}
 
 /// Builds a [`Value`] from a JSON-shaped literal with expression values.
 ///
@@ -339,5 +639,89 @@ mod tests {
         assert_eq!(json!(2.5f64).to_string(), "2.5");
         assert_eq!(json!(-3i32).to_string(), "-3");
         assert_eq!(json!(f64::NAN).to_string(), "null");
+    }
+
+    #[test]
+    fn parse_round_trips_serializer_output() {
+        let v = json!({ "a": 1u32, "b": [true, null, -2i32, 2.5f64], "c": "x\"y\n", "d": { "nested": "значение" } });
+        let parsed = from_str(&v.to_string()).unwrap();
+        assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("42").unwrap(), Value::Number(Number::U64(42)));
+        assert_eq!(from_str("-7").unwrap(), Value::Number(Number::I64(-7)));
+        assert_eq!(from_str("2.5e1").unwrap(), Value::Number(Number::F64(25.0)));
+        assert_eq!(from_str(r#""hi""#).unwrap(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn parse_accessors() {
+        let v = from_str(r#"{"type":"extract","tau":0.8,"n":3,"flag":false}"#).unwrap();
+        assert_eq!(v.get("type").and_then(Value::as_str), Some("extract"));
+        assert_eq!(v.get("tau").and_then(Value::as_f64), Some(0.8));
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("flag").and_then(Value::as_bool), Some(false));
+        assert!(v.get("missing").is_none());
+        assert!(v.as_array().is_none());
+    }
+
+    #[test]
+    fn parse_unicode_escapes_and_surrogates() {
+        assert_eq!(from_str(r#""Aé""#).unwrap(), Value::String("Aé".into()));
+        assert_eq!(from_str(r#""😀""#).unwrap(), Value::String("😀".into()));
+        // Lone surrogate degrades to U+FFFD instead of an error or bad UTF-8.
+        assert_eq!(from_str(r#""\ud800x""#).unwrap(), Value::String("\u{FFFD}x".into()));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "nul",
+            "1 2",
+            "{}{}",
+            "\"unterminated",
+            "\"bad\\q\"",
+            "01a",
+            "--1",
+            "+1",
+            "NaN",
+            "Infinity",
+            "{\"a\":1,}",
+            "[1,]",
+            "'single'",
+            "{a:1}",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+        // Unescaped control characters are invalid JSON.
+        assert!(from_str("\"a\u{0001}b\"").is_err());
+    }
+
+    #[test]
+    fn parse_depth_limit_errors_instead_of_overflowing() {
+        let deep = "[".repeat(100_000) + &"]".repeat(100_000);
+        let err = from_str(&deep).unwrap_err();
+        assert!(err.to_string().contains("nesting too deep"), "{err}");
+        // At or below the limit still parses fine.
+        let ok = "[".repeat(64) + "1" + &"]".repeat(64);
+        assert!(from_str(&ok).is_ok());
+    }
+
+    #[test]
+    fn parse_duplicate_keys_last_wins() {
+        let v = from_str(r#"{"a":1,"a":2}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.as_object().unwrap().len(), 1);
     }
 }
