@@ -301,7 +301,7 @@ mod tests {
         rules.push_str("UW", "University of Wisconsin", &tok, &mut int).unwrap();
         let dd = DerivedDictionary::build(&dict, &rules, &DeriveConfig::default());
         let faerier = Faerie::build_derived(&dd);
-        let engine = Aeetes::build(dict, &rules, AeetesConfig::default());
+        let engine = Aeetes::build(dict, &rules, &int, AeetesConfig::default());
         let doc = Document::parse(
             "talks by UW Madison faculty then Purdue University United States \
              then Purdue University USA and finally University of Queensland Australia",

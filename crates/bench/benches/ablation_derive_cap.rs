@@ -20,9 +20,9 @@ fn bench(c: &mut Criterion) {
             ..AeetesConfig::default()
         };
         g.bench_function(format!("build/cap{cap}"), |b| {
-            b.iter(|| black_box(Aeetes::build(data.dictionary.clone(), &data.rules, cfg.clone())));
+            b.iter(|| black_box(Aeetes::build(data.dictionary.clone(), &data.rules, &data.interner, cfg.clone())));
         });
-        let engine = Aeetes::build(data.dictionary.clone(), &data.rules, cfg);
+        let engine = Aeetes::build(data.dictionary.clone(), &data.rules, &data.interner, cfg);
         let docs = &data.documents[..data.documents.len().min(3)];
         g.bench_function(format!("extract/cap{cap}"), |b| {
             b.iter(|| {

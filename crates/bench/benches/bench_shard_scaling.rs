@@ -1,0 +1,99 @@
+//! Shard scaling bench: build time and extraction throughput of the
+//! sharded engine at 1/2/4/8 shards against the monolithic baseline.
+//!
+//! Besides the criterion groups, a summary of wall-clock measurements is
+//! written to `BENCH_shard.json` in the workspace target directory so CI
+//! (and the experiments pipeline) can track scaling without parsing
+//! criterion's own output format.
+
+use aeetes_bench::{BENCH_SCALE, BENCH_SEED};
+use aeetes_core::{Aeetes, AeetesConfig, ExtractBackend};
+use aeetes_datagen::{generate, DatasetProfile};
+use aeetes_shard::ShardedEngine;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Median wall-clock seconds of `runs` invocations of `f`.
+fn time_median<R>(runs: usize, mut f: impl FnMut() -> R) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
+    samples[samples.len() / 2]
+}
+
+fn bench(c: &mut Criterion) {
+    let data = generate(&DatasetProfile::pubmed_like().scaled(BENCH_SCALE), BENCH_SEED);
+    let docs = &data.documents[..data.documents.len().min(8)];
+    let tau = 0.8;
+    let config = AeetesConfig::default();
+
+    let mut g = c.benchmark_group("shard_scaling");
+    g.sample_size(10);
+    g.warm_up_time(std::time::Duration::from_millis(400));
+    g.measurement_time(std::time::Duration::from_millis(1200));
+
+    let mono = Aeetes::build(data.dictionary.clone(), &data.rules, &data.interner, config.clone());
+    g.bench_function("extract/mono", |b| {
+        b.iter(|| {
+            for doc in docs {
+                black_box(mono.extract(doc, tau));
+            }
+        });
+    });
+
+    let mut rows = Vec::new();
+    for n in SHARD_COUNTS {
+        g.bench_function(format!("build/shards{n}"), |b| {
+            b.iter(|| black_box(ShardedEngine::build(data.dictionary.clone(), &data.rules, &data.interner, config.clone(), n)));
+        });
+        let engine = ShardedEngine::build(data.dictionary.clone(), &data.rules, &data.interner, config.clone(), n);
+        let generation = engine.snapshot();
+        g.bench_function(format!("extract/shards{n}"), |b| {
+            b.iter(|| {
+                for doc in docs {
+                    black_box(generation.extract_all(doc, tau));
+                }
+            });
+        });
+
+        // Wall-clock summary rows for BENCH_shard.json.
+        let build_s = time_median(3, || ShardedEngine::build(data.dictionary.clone(), &data.rules, &data.interner, config.clone(), n));
+        let extract_s = time_median(5, || {
+            for doc in docs {
+                black_box(generation.extract_all(doc, tau));
+            }
+        });
+        rows.push(format!(
+            concat!("{{\"shards\": {}, \"build_s\": {:.6}, \"extract_batch_s\": {:.6}, ", "\"docs_per_s\": {:.2}, \"variants\": {}}}"),
+            n,
+            build_s,
+            extract_s,
+            docs.len() as f64 / extract_s,
+            generation.variants(),
+        ));
+    }
+    g.finish();
+
+    let report = format!(
+        "{{\n  \"bench\": \"shard_scaling\",\n  \"dataset\": \"{}\",\n  \"tau\": {tau},\n  \"docs\": {},\n  \"rows\": [\n    {}\n  ]\n}}\n",
+        data.name,
+        docs.len(),
+        rows.join(",\n    ")
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/BENCH_shard.json");
+    match std::fs::write(&out, &report) {
+        Ok(()) => eprintln!("wrote {}", out.display()),
+        Err(e) => eprintln!("could not write {}: {e}", out.display()),
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -18,7 +18,7 @@ fn bench(c: &mut Criterion) {
             let entities = ((base.entities as f64 * step).round() as usize).max(1);
             let profile = base.clone().with_entities(entities);
             let data = generate(&profile, BENCH_SEED);
-            let engine = Aeetes::build(data.dictionary.clone(), &data.rules, AeetesConfig::default());
+            let engine = Aeetes::build(data.dictionary.clone(), &data.rules, &data.interner, AeetesConfig::default());
             let docs = &data.documents[..data.documents.len().min(3)];
             for tau in [0.7, 0.9] {
                 g.bench_function(format!("{}/entities{entities}/tau{tau}", data.name), |b| {

@@ -27,7 +27,7 @@ pub struct Fixture {
 /// Builds the fixture for one profile at bench scale.
 pub fn fixture(profile: DatasetProfile) -> Fixture {
     let data = generate(&profile.scaled(BENCH_SCALE), BENCH_SEED);
-    let engine = Aeetes::build(data.dictionary.clone(), &data.rules, AeetesConfig::default());
+    let engine = Aeetes::build(data.dictionary.clone(), &data.rules, &data.interner, AeetesConfig::default());
     Fixture { data, engine }
 }
 

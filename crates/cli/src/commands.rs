@@ -7,9 +7,11 @@
 
 use crate::args::Args;
 use aeetes_core::{
-    extract_batch_with, load_engine, save_engine, suppress_overlaps, Aeetes, AeetesConfig, BatchOptions, EditIndex, ExtractLimits, Match,
+    extract_batch_with, load_engine, load_sharded, save_engine, save_sharded, suppress_overlaps, Aeetes, AeetesConfig, BatchOptions, EditIndex,
+    ExtractBackend, ExtractLimits, Match,
 };
 use aeetes_rules::{DeriveConfig, RuleSet};
+use aeetes_shard::ShardedEngine;
 use aeetes_sim::Metric;
 use aeetes_text::{Dictionary, Document, Interner, Tokenizer};
 use std::fs;
@@ -28,12 +30,14 @@ aeetes — approximate entity extraction with synonyms (EDBT 2019)
 
 USAGE:
     aeetes build    --dict FILE --rules FILE --out ENGINE [--max-derived N]
+                    [--shards N]
     aeetes extract  --engine ENGINE --docs FILE [--tau F] [--metric NAME]
                     [--edit K] [--threads N] [--best] [--format tsv|jsonl]
                     [--timeout SECS] [--max-candidates N] [--max-matches N]
-    aeetes serve    --engine ENGINE [--listen ADDR:PORT] [--workers N]
-                    [--queue N] [--max-doc-bytes N] [--timeout-ceiling SECS]
-                    [--max-matches N] [--max-candidates N] [--drain SECS]
+    aeetes serve    --engine ENGINE [--shards N] [--listen ADDR:PORT]
+                    [--workers N] [--queue N] [--max-doc-bytes N]
+                    [--timeout-ceiling SECS] [--max-matches N]
+                    [--max-candidates N] [--drain SECS]
     aeetes stats    --engine ENGINE
     aeetes generate --out DIR [--profile pubmed|dbworld|usjob] [--scale F] [--seed N]
     aeetes demo
@@ -47,6 +51,14 @@ FILES:
 
 `serve` answers newline-delimited JSON requests (one per line) on stdin or,
 with --listen, per TCP connection; see README \"Serving\" for the protocol.
+It always runs the sharded engine: --shards N fans extraction over N shards
+(0 = available parallelism; omitted = the artifact's stored segment count),
+and a `{\"type\":\"reload\"}` request applies a dictionary delta as a new
+generation without dropping in-flight requests.
+
+`build --shards N` writes a format v3 sharded artifact (N = 0 picks the
+machine's available parallelism); without the flag a v2 single-engine
+artifact is written. `serve` loads either.
 
 EXIT CODES:
     0  success, complete results
@@ -62,7 +74,7 @@ fn read_lines(path: &str) -> Result<Vec<String>, String> {
 
 /// `aeetes build`
 pub fn build(argv: &[String]) -> Result<i32, String> {
-    let args = Args::parse(argv, &[], &["dict", "rules", "out", "max-derived"])?;
+    let args = Args::parse(argv, &[], &["dict", "rules", "out", "max-derived", "shards"])?;
     let dict_path = args.required("dict")?;
     let rules_path = args.required("rules")?;
     let out_path = args.required("out")?;
@@ -98,7 +110,27 @@ pub fn build(argv: &[String]) -> Result<i32, String> {
         derive: DeriveConfig { max_derived, ..DeriveConfig::default() },
         ..AeetesConfig::default()
     };
-    let engine = Aeetes::build(dict, &rules, config);
+
+    // --shards: build the sharded engine (per-shard derivation + indexing in
+    // parallel) and persist it as a format v3 segmented artifact.
+    if let Some(sh) = args.optional("shards") {
+        let n: usize = sh.parse().map_err(|e| format!("--shards: {e}"))?;
+        let engine = ShardedEngine::build(dict, &rules, &interner, config, n);
+        let generation = engine.snapshot();
+        let bytes = save_sharded(&engine.to_parts());
+        atomic_write(out_path, &bytes)?;
+        eprintln!(
+            "built sharded engine: {} entities, {} rules, {} derived variants, {} shards → {out_path} ({} bytes)",
+            generation.dictionary().len(),
+            rules.len(),
+            generation.variants(),
+            generation.shard_count(),
+            bytes.len()
+        );
+        return Ok(EXIT_OK);
+    }
+
+    let engine = Aeetes::build(dict, &rules, &interner, config);
     let bytes = save_engine(&engine, &interner);
     atomic_write(out_path, &bytes)?;
     eprintln!(
@@ -277,6 +309,7 @@ pub fn serve_cmd(argv: &[String]) -> Result<i32, String> {
         &[],
         &[
             "engine",
+            "shards",
             "listen",
             "workers",
             "queue",
@@ -288,6 +321,10 @@ pub fn serve_cmd(argv: &[String]) -> Result<i32, String> {
         ],
     )?;
     let engine_path = args.required("engine")?;
+    let shards: Option<usize> = match args.optional("shards") {
+        None => None,
+        Some(v) => Some(v.parse().map_err(|e| format!("--shards: {e}"))?),
+    };
     let defaults = ServeOptions::default();
     let timeout_ceiling: f64 = args.parse_or("timeout-ceiling", defaults.ceilings.max_timeout.as_secs_f64())?;
     let drain: f64 = args.parse_or("drain", defaults.drain.as_secs_f64())?;
@@ -308,15 +345,25 @@ pub fn serve_cmd(argv: &[String]) -> Result<i32, String> {
         },
         drain: Duration::from_secs_f64(drain),
     };
-    let (engine, interner) = load(engine_path)?;
-    serve(engine, interner, &opts)?;
+    let bytes = fs::read(engine_path).map_err(|e| format!("{engine_path}: {e}"))?;
+    let parts = load_sharded(&bytes).map_err(|e| format!("{engine_path}: {e}"))?;
+    let engine = ShardedEngine::from_parts(parts, shards).map_err(|e| format!("{engine_path}: {e}"))?;
+    serve(engine, &opts)?;
     Ok(EXIT_OK)
 }
 
 /// `aeetes stats`
 pub fn stats(argv: &[String]) -> Result<i32, String> {
     let args = Args::parse(argv, &[], &["engine"])?;
-    let (engine, interner) = load(args.required("engine")?)?;
+    let path = args.required("engine")?;
+    let bytes = fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    // v3 artifacts carry segments + tombstones + rules; v1/v2 load as one
+    // segment, so a single code path reports both layouts.
+    let parts = load_sharded(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    let segment_variants: Vec<usize> = parts.segments.iter().map(aeetes_rules::DerivedDictionary::len).collect();
+    let tombstones = parts.removed.len();
+    let persisted_rules = parts.rules.len();
+    let (engine, interner) = parts.into_single().map_err(|e| format!("{path}: {e}"))?;
     let st = engine.derived().stats();
     println!("entities            {}", engine.dictionary().len());
     println!("derived variants    {}", engine.derived().len());
@@ -326,6 +373,9 @@ pub fn stats(argv: &[String]) -> Result<i32, String> {
     println!("avg |A(e)|          {:.2}", st.avg_selected());
     println!("truncated entities  {}", st.truncated_entities);
     println!("min/max entity set  {:?} / {:?}", engine.index().min_set_len(), engine.index().max_set_len());
+    println!("segments            {} {:?}", segment_variants.len(), segment_variants);
+    println!("tombstoned origins  {tombstones}");
+    println!("persisted rules     {persisted_rules}");
     Ok(EXIT_OK)
 }
 
@@ -374,7 +424,7 @@ pub fn demo() -> Result<i32, String> {
     ] {
         rules.push_str(l, r, &tokenizer, &mut interner).expect("valid demo rule");
     }
-    let engine = Aeetes::build(dict, &rules, AeetesConfig::default());
+    let engine = Aeetes::build(dict, &rules, &interner, AeetesConfig::default());
     let doc = Document::parse(
         "PC members: Alice (UW Madison), Bob (Purdue University United States), \
          Carol (Purdue University USA), Dan (University of Queensland Australia).",

@@ -13,6 +13,9 @@
 //!  "timeout_ms": N?, "max_matches": N?, "max_candidates": N?}
 //! {"id": any?, "type": "health"}
 //! {"id": any?, "type": "stats"}
+//! {"id": any?, "type": "reload", "add_entities": ["..."]?,
+//!  "remove_entities": [id, ...]?, "add_rules": [{"lhs": "...", "rhs": "...",
+//!  "weight": 1.0?}, ...]?}
 //! {"id": any?, "type": "shutdown"}
 //! ```
 //!
@@ -113,6 +116,20 @@ pub struct ExtractRequest {
     pub limits: ExtractLimits,
 }
 
+/// A parsed, validated dictionary-reload request (the admin interface to
+/// the sharded engine's generation swap).
+#[derive(Debug)]
+pub struct ReloadRequest {
+    /// Client-supplied correlation id, echoed verbatim in the response.
+    pub id: Value,
+    /// Raw entity strings to append to the dictionary.
+    pub add_entities: Vec<String>,
+    /// Origin entity ids to tombstone.
+    pub remove_entities: Vec<u32>,
+    /// Synonym rules to append, as `(lhs, rhs, weight)`.
+    pub add_rules: Vec<(String, String, f64)>,
+}
+
 /// A parsed request line.
 #[derive(Debug)]
 pub enum Request {
@@ -122,6 +139,10 @@ pub enum Request {
     Health(Value),
     /// Counter snapshot (answered inline, never queued or shed).
     Stats(Value),
+    /// Apply a dictionary delta and swap to a new generation (answered
+    /// inline once the swap completes; in-flight extractions are
+    /// unaffected — they finish on the generation they started on).
+    Reload(Box<ReloadRequest>),
     /// Begin graceful drain (answered inline).
     Shutdown(Value),
 }
@@ -158,9 +179,61 @@ pub fn parse_request(line: &str, ceilings: &Ceilings) -> Result<Request, Reject>
         "health" => Ok(Request::Health(id)),
         "stats" => Ok(Request::Stats(id)),
         "shutdown" => Ok(Request::Shutdown(id)),
+        "reload" => parse_reload(id, &value),
         "extract" => parse_extract(id, &value, ceilings),
-        other => Err(Reject::new(id, ErrorCode::BadRequest, format!("unknown request type `{other}` (extract|health|stats|shutdown)"))),
+        other => Err(Reject::new(id, ErrorCode::BadRequest, format!("unknown request type `{other}` (extract|health|stats|reload|shutdown)"))),
     }
+}
+
+fn parse_reload(id: Value, value: &Value) -> Result<Request, Reject> {
+    let mut req = ReloadRequest {
+        id: id.clone(),
+        add_entities: Vec::new(),
+        remove_entities: Vec::new(),
+        add_rules: Vec::new(),
+    };
+    if let Some(v) = value.get("add_entities") {
+        let Some(arr) = v.as_array() else {
+            return Err(Reject::new(id, ErrorCode::BadRequest, "`add_entities` must be an array of strings"));
+        };
+        for e in arr {
+            match e.as_str() {
+                Some(s) => req.add_entities.push(s.to_string()),
+                None => return Err(Reject::new(id, ErrorCode::BadRequest, "`add_entities` entries must be strings")),
+            }
+        }
+    }
+    if let Some(v) = value.get("remove_entities") {
+        let Some(arr) = v.as_array() else {
+            return Err(Reject::new(id, ErrorCode::BadRequest, "`remove_entities` must be an array of entity ids"));
+        };
+        for e in arr {
+            match e.as_u64().and_then(|n| u32::try_from(n).ok()) {
+                Some(n) => req.remove_entities.push(n),
+                None => return Err(Reject::new(id, ErrorCode::BadRequest, "`remove_entities` entries must be u32 entity ids")),
+            }
+        }
+    }
+    if let Some(v) = value.get("add_rules") {
+        let Some(arr) = v.as_array() else {
+            return Err(Reject::new(id, ErrorCode::BadRequest, "`add_rules` must be an array of {lhs, rhs, weight?} objects"));
+        };
+        for r in arr {
+            let (Some(lhs), Some(rhs)) = (r.get("lhs").and_then(Value::as_str), r.get("rhs").and_then(Value::as_str)) else {
+                return Err(Reject::new(id, ErrorCode::BadRequest, "`add_rules` entries need string `lhs` and `rhs`"));
+            };
+            let weight = match r.get("weight") {
+                None => 1.0,
+                Some(w) => match w.as_f64() {
+                    Some(w) if w > 0.0 && w <= 1.0 => w,
+                    Some(w) => return Err(Reject::new(id, ErrorCode::BadRequest, format!("rule `weight` must be in (0, 1], got {w}"))),
+                    None => return Err(Reject::new(id, ErrorCode::BadRequest, "rule `weight` must be a number")),
+                },
+            };
+            req.add_rules.push((lhs.to_string(), rhs.to_string(), weight));
+        }
+    }
+    Ok(Request::Reload(Box::new(req)))
 }
 
 fn parse_extract(id: Value, value: &Value, ceilings: &Ceilings) -> Result<Request, Reject> {
@@ -311,6 +384,45 @@ mod tests {
         assert!(matches!(parse(r#"{"type":"health"}"#).unwrap(), Request::Health(_)));
         assert!(matches!(parse(r#"{"type":"stats","id":1}"#).unwrap(), Request::Stats(_)));
         assert!(matches!(parse(r#"{"type":"shutdown"}"#).unwrap(), Request::Shutdown(_)));
+    }
+
+    #[test]
+    fn reload_request_parses_delta_fields() {
+        let r = parse(
+            r#"{"id":3,"type":"reload","add_entities":["eth zurich"],"remove_entities":[0,4],
+                "add_rules":[{"lhs":"ch","rhs":"switzerland"},{"lhs":"uni","rhs":"university","weight":0.5}]}"#,
+        )
+        .unwrap();
+        let Request::Reload(req) = r else { panic!("expected reload") };
+        assert_eq!(req.id.as_u64(), Some(3));
+        assert_eq!(req.add_entities, vec!["eth zurich"]);
+        assert_eq!(req.remove_entities, vec![0, 4]);
+        assert_eq!(req.add_rules.len(), 2);
+        assert_eq!(req.add_rules[0], ("ch".into(), "switzerland".into(), 1.0));
+        assert_eq!(req.add_rules[1].2, 0.5);
+    }
+
+    #[test]
+    fn empty_reload_parses_as_noop_delta() {
+        let Request::Reload(req) = parse(r#"{"type":"reload"}"#).unwrap() else {
+            panic!("expected reload")
+        };
+        assert!(req.add_entities.is_empty() && req.remove_entities.is_empty() && req.add_rules.is_empty());
+    }
+
+    #[test]
+    fn malformed_reload_fields_are_bad_requests() {
+        for line in [
+            r#"{"type":"reload","add_entities":"x"}"#,
+            r#"{"type":"reload","add_entities":[1]}"#,
+            r#"{"type":"reload","remove_entities":[-1]}"#,
+            r#"{"type":"reload","remove_entities":[99999999999]}"#,
+            r#"{"type":"reload","add_rules":[{"lhs":"a"}]}"#,
+            r#"{"type":"reload","add_rules":[{"lhs":"a","rhs":"b","weight":0}]}"#,
+            r#"{"type":"reload","add_rules":[{"lhs":"a","rhs":"b","weight":"x"}]}"#,
+        ] {
+            assert_eq!(parse(line).unwrap_err().code, ErrorCode::BadRequest, "{line}");
+        }
     }
 
     #[test]

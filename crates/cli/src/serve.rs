@@ -25,10 +25,16 @@
 //!   (`shedding`) rather than dropped, so counters always reconcile:
 //!   every admitted extract line is answered exactly once as
 //!   `served`, `shed`, or `failed`.
+//! * **Hot reload** — `{"type":"reload"}` applies a dictionary delta
+//!   through [`ShardedEngine::apply_update`]: only affected shards are
+//!   rebuilt and the new generation is swapped in atomically. In-flight
+//!   extractions keep their generation snapshot, so a reload drops zero
+//!   requests; workers pick up the new generation on their next job.
 
 use crate::protocol::{error_line, ok_line, parse_request, Ceilings, ErrorCode, ExtractRequest, Reject, Request};
-use aeetes_core::{suppress_overlaps, Aeetes, CancelToken, ExtractLimits, LatencyRing};
-use aeetes_text::{Document, Interner, Tokenizer};
+use aeetes_core::{suppress_overlaps, CancelToken, ExtractBackend, ExtractLimits, LatencyRing};
+use aeetes_shard::{DictDelta, Generation, RuleDelta, ShardedEngine};
+use aeetes_text::{Document, EntityId, Interner, Tokenizer};
 use serde_json::{json, Value};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
@@ -79,11 +85,10 @@ struct Counters {
 
 /// State shared by acceptor, connection readers, and workers.
 struct Shared {
-    engine: Aeetes,
-    /// Pristine interner snapshot from engine load. Workers parse documents
-    /// against clones of this and periodically reset to it, so a long-lived
-    /// server's interner cannot grow without bound on adversarial vocabulary.
-    interner: Interner,
+    /// The sharded engine. Extraction snapshots a generation per job;
+    /// reload swaps a new generation in behind the epoch pointer without
+    /// touching requests already running against the old one.
+    engine: ShardedEngine,
     tokenizer: Tokenizer,
     ceilings: Ceilings,
     counters: Counters,
@@ -102,8 +107,25 @@ impl Shared {
             let ring = self.latency.lock().expect("latency lock");
             (ring.quantile(0.50).unwrap_or(0), ring.quantile(0.99).unwrap_or(0), ring.count())
         };
+        let generation = self.engine.snapshot();
+        let shards: Vec<Value> = generation
+            .shard_stats()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                json!({
+                    "shard": i,
+                    "entities": s.entities,
+                    "variants": s.variants,
+                    "served": s.served,
+                    "candidates": s.candidates,
+                })
+            })
+            .collect();
         json!({
             "uptime_ms": self.start.elapsed().as_millis() as u64,
+            "generation": generation.id(),
+            "shards": shards,
             "served": self.counters.served.load(Ordering::Relaxed),
             "shed": self.counters.shed.load(Ordering::Relaxed),
             "failed": self.counters.failed.load(Ordering::Relaxed),
@@ -148,11 +170,15 @@ struct Job {
 /// draining. Uses `recv_timeout` so drain never deadlocks on readers that
 /// still hold queue senders.
 fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
-    // Each worker parses documents against its own interner clone; resets
-    // back to the pristine snapshot keep growth bounded (engine TokenIds
-    // are stable across resets because the snapshot is the load-time state).
-    let growth_cap = shared.interner.len() + 100_000;
-    let mut interner = shared.interner.clone();
+    // Each worker parses documents against a clone of the current
+    // generation's interner. The clone is refreshed whenever the generation
+    // changes — a reload interns the delta's tokens, and document tokens
+    // interned locally against the old snapshot would collide with them —
+    // and whenever local growth passes the cap, so a long-lived server's
+    // interner cannot grow without bound on adversarial vocabulary.
+    let mut gen_id = 0u64;
+    let mut growth_cap = 0usize;
+    let mut interner = Interner::new();
     loop {
         let job = {
             let guard = rx.lock().expect("queue receiver lock");
@@ -161,10 +187,13 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
         match job {
             Ok(job) => {
                 shared.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                if interner.len() > growth_cap {
-                    interner = shared.interner.clone();
+                let generation = shared.engine.snapshot();
+                if generation.id() != gen_id || interner.len() > growth_cap {
+                    interner = generation.interner().clone();
+                    growth_cap = interner.len() + 100_000;
+                    gen_id = generation.id();
                 }
-                run_job(shared, &mut interner, job);
+                run_job(shared, &generation, &mut interner, job);
             }
             Err(RecvTimeoutError::Timeout) => {
                 if shared.draining.load(Ordering::Relaxed) && shared.counters.queue_depth.load(Ordering::Relaxed) == 0 {
@@ -176,7 +205,7 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
     }
 }
 
-fn run_job(shared: &Shared, interner: &mut Interner, job: Job) {
+fn run_job(shared: &Shared, generation: &Generation, interner: &mut Interner, job: Job) {
     let now = Instant::now();
     if now >= job.expires {
         let reject = Reject {
@@ -192,11 +221,13 @@ fn run_job(shared: &Shared, interner: &mut Interner, job: Job) {
     // Whatever deadline remains after queueing is the extraction budget.
     let limits = ExtractLimits { deadline: Some(job.expires - now), ..job.req.limits };
     let started = Instant::now();
-    // The engine is `&self`-immutable and the interner is worker-local, so
-    // a caught panic cannot corrupt state shared with other requests.
+    // The generation is immutable and the interner is worker-local, so a
+    // caught panic cannot corrupt state shared with other requests. Holding
+    // the `Arc<Generation>` for the whole job means a concurrent reload
+    // cannot pull the dictionary out from under this extraction.
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let doc = Document::parse(&job.req.doc, &shared.tokenizer, interner);
-        let out = shared.engine.extract_with_limits_cancellable(&doc, job.req.tau, &limits, &shared.cancel);
+        let out = generation.extract_limited(&doc, job.req.tau, &limits, Some(&shared.cancel));
         let matches = if job.req.best { suppress_overlaps(out.matches) } else { out.matches };
         let rendered: Vec<Value> = matches
             .iter()
@@ -206,7 +237,7 @@ fn run_job(shared: &Shared, interner: &mut Interner, job: Job) {
                     "len": m.span.len,
                     "score": m.score,
                     "entity": m.entity.0,
-                    "entity_text": shared.engine.dictionary().record(m.entity).raw,
+                    "entity_text": generation.dictionary().record(m.entity).raw,
                     "matched_text": doc.text_of(m.span).unwrap_or_default(),
                 })
             })
@@ -386,6 +417,43 @@ fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink, tx
                 shared.counters.control.fetch_add(1, Ordering::Relaxed);
                 respond(sink, &json!({"id": id, "status": "ok", "stats": shared.stats_value()}).to_string());
             }
+            Ok(Request::Reload(req)) => {
+                shared.counters.control.fetch_add(1, Ordering::Relaxed);
+                if shared.draining.load(Ordering::Relaxed) {
+                    respond(sink, &error_line(&Reject { id: req.id, code: ErrorCode::Shedding, message: "server is draining".into() }));
+                    continue;
+                }
+                let delta = DictDelta {
+                    add_entities: req.add_entities,
+                    remove_entities: req.remove_entities.into_iter().map(EntityId).collect(),
+                    add_rules: req.add_rules.into_iter().map(|(lhs, rhs, weight)| RuleDelta { lhs, rhs, weight }).collect(),
+                };
+                // The rebuild runs on this connection's reader thread: other
+                // connections keep extracting against the old generation
+                // until the atomic swap inside `apply_update`.
+                match shared.engine.apply_update(&delta, &shared.tokenizer) {
+                    Ok(generation) => {
+                        let line = json!({
+                            "id": req.id,
+                            "status": "ok",
+                            "generation": generation.id(),
+                            "entities": generation.dictionary().len(),
+                            "variants": generation.variants(),
+                        });
+                        respond(sink, &line.to_string());
+                    }
+                    Err(e) => {
+                        respond(
+                            sink,
+                            &error_line(&Reject {
+                                id: req.id,
+                                code: ErrorCode::BadRequest,
+                                message: format!("reload rejected: {e}"),
+                            }),
+                        );
+                    }
+                }
+            }
             Ok(Request::Shutdown(id)) => {
                 shared.counters.control.fetch_add(1, Ordering::Relaxed);
                 shared.draining.store(true, Ordering::Relaxed);
@@ -423,10 +491,9 @@ fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink, tx
 
 /// Runs the server until shutdown/EOF, then drains. Returns the final
 /// (served, shed, failed) counters.
-pub fn serve(engine: Aeetes, interner: Interner, opts: &ServeOptions) -> Result<(u64, u64, u64), String> {
+pub fn serve(engine: ShardedEngine, opts: &ServeOptions) -> Result<(u64, u64, u64), String> {
     let shared = Arc::new(Shared {
         engine,
-        interner,
         tokenizer: Tokenizer::default(),
         ceilings: opts.ceilings,
         counters: Counters::default(),

@@ -30,7 +30,7 @@ fn engine_file(tag: &str) -> PathBuf {
     for (lhs, rhs) in [("uq", "university of queensland"), ("usa", "united states"), ("au", "australia")] {
         rules.push_str(lhs, rhs, &tokenizer, &mut interner).unwrap();
     }
-    let engine = Aeetes::build(dict, &rules, AeetesConfig::default());
+    let engine = Aeetes::build(dict, &rules, &interner, AeetesConfig::default());
     let bytes = save_engine(&engine, &interner);
     let path = std::env::temp_dir().join(format!("aeetes-serve-chaos-{}-{tag}.bin", std::process::id()));
     std::fs::write(&path, bytes).expect("write engine file");
@@ -311,6 +311,127 @@ fn overload_sheds_promptly_and_drain_answers_everything() {
         assert!(status == "ok" || status == "shedding", "drain answered with {line:?}");
     }
     drop(stream);
+    server.wait_for_clean_exit(Duration::from_secs(30));
+    let _ = std::fs::remove_file(&engine);
+}
+
+/// Hot reload under load: several connections flood extracts while a
+/// dictionary delta (add an entity + a rule, tombstone another) lands
+/// mid-flood. Every flooded request must be answered exactly once — the
+/// generation swap may not drop, duplicate, or fail any of them — and each
+/// response must come from a consistent generation: entities present in
+/// both generations always match, and the delta becomes fully visible once
+/// the reload response returns.
+#[test]
+fn reload_under_load_answers_every_request_once() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let engine = engine_file("reload");
+    // --shards 3 re-partitions the single-segment v2 artifact on load, so
+    // the swap exercises real multi-shard rebuilds.
+    let server = Server::spawn(&engine, &["--shards", "3", "--workers", "4", "--queue", "256", "--drain", "15"]);
+
+    // Generation 1 sanity: the entity and rule arriving via reload are
+    // unknown, the one being tombstoned still matches.
+    let mut probes = 0u64;
+    let pre = server.round_trip(r#"{"type":"extract","doc":"eth zurich","tau":0.8}"#);
+    probes += 1;
+    assert_eq!(status_of(&pre), "ok");
+    assert!(!pre.contains("ETH Zurich"), "{pre}");
+    let pre = server.round_trip(r#"{"type":"extract","doc":"acme corporation inc","tau":0.8}"#);
+    probes += 1;
+    assert!(pre.contains("Acme Corporation Inc"), "{pre}");
+
+    // Flooders: round-trip extracts until told to stop. The document is
+    // dictionary-dense so requests are slow enough that the reload lands
+    // while plenty are in flight.
+    let stop = Arc::new(AtomicBool::new(false));
+    let doc = "purdue university usa uq au eth zurich ".repeat(40);
+    let flooders: Vec<_> = (0..4u64)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let mut stream = server.connect();
+            let doc = doc.clone();
+            std::thread::spawn(move || {
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut sent = 0u64;
+                let mut responses = Vec::new();
+                while !stop.load(Ordering::Relaxed) || sent == 0 {
+                    let line = format!("{{\"id\":\"c{c}-{sent}\",\"type\":\"extract\",\"doc\":\"{doc}\",\"tau\":0.6}}\n");
+                    stream.write_all(line.as_bytes()).unwrap();
+                    sent += 1;
+                    let mut resp = String::new();
+                    reader.read_line(&mut resp).expect("flood response");
+                    assert!(!resp.is_empty(), "server hung up mid-flood");
+                    responses.push(resp);
+                }
+                (sent, responses)
+            })
+        })
+        .collect();
+
+    // Let the flood build up, then swap generations underneath it.
+    std::thread::sleep(Duration::from_millis(300));
+    let reload = server.round_trip(concat!(
+        r#"{"id":"swap","type":"reload","add_entities":["ETH Zurich"],"remove_entities":[3],"#,
+        r#""add_rules":[{"lhs":"eth","rhs":"eidgenossische technische hochschule"}]}"#
+    ));
+    assert_eq!(status_of(&reload), "ok", "{reload}");
+    assert_eq!(field_u64(&reload, "generation"), 2, "{reload}");
+
+    // Keep the flood running briefly across the swap, then stop it.
+    std::thread::sleep(Duration::from_millis(300));
+    stop.store(true, Ordering::Relaxed);
+
+    let mut flood_sent = 0u64;
+    for h in flooders {
+        let (sent, responses) = h.join().expect("flooder thread");
+        assert_eq!(responses.len() as u64, sent, "every flooded request must be answered exactly once");
+        flood_sent += sent;
+        for resp in &responses {
+            let status = status_of(resp);
+            assert!(status == "ok" || status == "shedding", "flood answered with {resp:?}");
+            if status == "ok" {
+                // Present in both generations: must match no matter which
+                // side of the swap served the request.
+                assert!(resp.contains("Purdue University USA"), "{resp}");
+                assert!(resp.contains("UQ AU"), "{resp}");
+            }
+        }
+    }
+
+    // Generation 2 is fully visible: the new entity matches directly and
+    // through its new rule, the tombstoned one is gone.
+    let post = server.round_trip(&format!("{{\"type\":\"extract\",\"doc\":\"{doc}\",\"tau\":0.6}}"));
+    probes += 1;
+    assert_eq!(status_of(&post), "ok");
+    assert!(post.contains("ETH Zurich"), "{post}");
+    let post = server.round_trip(r#"{"type":"extract","doc":"eidgenossische technische hochschule zurich","tau":0.9}"#);
+    probes += 1;
+    assert!(post.contains("ETH Zurich"), "new rule must derive post-reload: {post}");
+    let post = server.round_trip(r#"{"type":"extract","doc":"acme corporation inc","tau":0.8}"#);
+    probes += 1;
+    assert!(!post.contains("Acme Corporation Inc"), "tombstoned entity must not match: {post}");
+
+    // Counters reconcile across the swap: nothing dropped, nothing failed,
+    // and stats report the new generation with per-shard activity.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let stats = loop {
+        let snapshot = server.round_trip(r#"{"type":"stats"}"#);
+        let total = field_u64(&snapshot, "served") + field_u64(&snapshot, "shed") + field_u64(&snapshot, "failed");
+        if total == flood_sent + probes {
+            break snapshot;
+        }
+        assert!(Instant::now() < deadline, "counters never reconciled: sent {}, stats {snapshot}", flood_sent + probes);
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    assert_eq!(field_u64(&stats, "failed"), 0, "{stats}");
+    assert_eq!(field_u64(&stats, "generation"), 2, "{stats}");
+    assert!(stats.contains("\"shard\":2"), "expected 3 shard stat rows: {stats}");
+
+    let bye = server.round_trip(r#"{"type":"shutdown"}"#);
+    assert!(bye.contains("\"draining\":true"), "{bye}");
     server.wait_for_clean_exit(Duration::from_secs(30));
     let _ = std::fs::remove_file(&engine);
 }

@@ -1,0 +1,170 @@
+//! The extraction backend abstraction.
+//!
+//! [`extract_segment`] is the single code path that runs the paper's
+//! generate → verify pipeline over one clustered index + derived dictionary
+//! pair. The monolithic [`Aeetes`] engine runs it over its only segment; the
+//! sharded engine (crate `aeetes-shard`) runs it once per shard and merges.
+//! [`ExtractBackend`] is the object-safe surface callers (batch extraction,
+//! the CLI, the server) program against so either engine can sit behind
+//! them.
+
+use crate::config::AeetesConfig;
+use crate::extractor::Aeetes;
+use crate::limits::{Budget, CancelToken, ExtractLimits, ExtractOutcome};
+use crate::matches::Match;
+use crate::stats::ExtractStats;
+use crate::strategy::{generate, Strategy};
+use crate::verify::verify_candidates;
+use aeetes_index::ClusteredIndex;
+use aeetes_rules::DerivedDictionary;
+use aeetes_sim::Metric;
+use aeetes_text::{Dictionary, Document};
+
+/// Runs one generate → verify pass over a single index segment, sorting the
+/// matches into the stable `(span, entity)` order. The budget derived from
+/// `limits`/`cancel` is checked at the same window-advance and verification
+/// boundaries as in the monolithic engine, so deadlines and cancellation
+/// land mid-document within a segment too.
+///
+/// `set_len_bounds` overrides the `(min, max)` distinct-set length range
+/// that bounds window enumeration. A monolithic engine passes `None` (use
+/// the index's own range); a sharded engine passes the dictionary-global
+/// range, because a shard's local range is tighter and would skip window
+/// lengths that other variants of the same dictionary admit — breaking
+/// bit-identity with the single-engine result.
+///
+/// # Panics
+/// Panics when `tau` is not in `(0, 1]`.
+#[allow(clippy::too_many_arguments)]
+pub fn extract_segment(
+    index: &ClusteredIndex,
+    dd: &DerivedDictionary,
+    doc: &Document,
+    tau: f64,
+    strategy: Strategy,
+    metric: Metric,
+    weighted: bool,
+    set_len_bounds: Option<(usize, usize)>,
+    limits: &ExtractLimits,
+    cancel: Option<&CancelToken>,
+) -> ExtractOutcome {
+    assert!(tau > 0.0 && tau <= 1.0, "similarity threshold must be in (0, 1], got {tau}");
+    let set_bounds = match set_len_bounds {
+        Some((lo, hi)) => (Some(lo), Some(hi)),
+        None => (index.min_set_len(), index.max_set_len()),
+    };
+    let mut stats = ExtractStats::default();
+    let mut budget = match cancel {
+        Some(token) => Budget::start_cancellable(limits, token),
+        None => Budget::start(limits),
+    };
+    let pairs = generate(index, doc, tau, metric, strategy, set_bounds, &mut stats, &mut budget);
+    // Weighted scores are ≤ unweighted scores (weights ≤ 1), so the
+    // unweighted candidate filters remain sound for the weighted verify.
+    let mut matches = verify_candidates(index, dd, doc, tau, metric, pairs, &mut stats, weighted, &mut budget);
+    matches.sort_unstable_by_key(Match::sort_key);
+    ExtractOutcome { matches, truncated: budget.truncated(), stats }
+}
+
+/// An extraction engine: something that can answer similarity queries over
+/// a fixed dictionary. Implemented by the monolithic [`Aeetes`] engine and
+/// by the sharded engine's generations.
+pub trait ExtractBackend: Send + Sync {
+    /// The origin dictionary matches refer into.
+    fn dictionary(&self) -> &Dictionary;
+
+    /// The engine configuration.
+    fn config(&self) -> &AeetesConfig;
+
+    /// Extracts under explicit limits and an optional cancellation token,
+    /// with the backend's configured strategy/metric. Matches are sorted by
+    /// `(span, entity)`; `truncated` reports whether any budget (or the
+    /// token) cut the run short.
+    ///
+    /// # Panics
+    /// Panics when `tau` is not in `(0, 1]`.
+    fn extract_limited(&self, doc: &Document, tau: f64, limits: &ExtractLimits, cancel: Option<&CancelToken>) -> ExtractOutcome;
+
+    /// Convenience: unlimited extraction, matches only.
+    fn extract_all(&self, doc: &Document, tau: f64) -> Vec<Match> {
+        self.extract_limited(doc, tau, &ExtractLimits::UNLIMITED, None).matches
+    }
+}
+
+impl ExtractBackend for Aeetes {
+    fn dictionary(&self) -> &Dictionary {
+        Aeetes::dictionary(self)
+    }
+
+    fn config(&self) -> &AeetesConfig {
+        Aeetes::config(self)
+    }
+
+    fn extract_limited(&self, doc: &Document, tau: f64, limits: &ExtractLimits, cancel: Option<&CancelToken>) -> ExtractOutcome {
+        match cancel {
+            Some(token) => self.extract_with_limits_cancellable(doc, tau, limits, token),
+            None => self.extract_with_limits(doc, tau, limits),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeetes_rules::RuleSet;
+    use aeetes_text::{Interner, Tokenizer};
+
+    fn engine() -> (Aeetes, Interner, Tokenizer) {
+        let mut int = Interner::new();
+        let tok = Tokenizer::default();
+        let mut dict = Dictionary::new();
+        dict.push("purdue university usa", &tok, &mut int);
+        dict.push("uq au", &tok, &mut int);
+        let engine = Aeetes::build(dict, &RuleSet::new(), &int, AeetesConfig::default());
+        (engine, int, tok)
+    }
+
+    #[test]
+    fn segment_run_equals_engine_run() {
+        let (engine, mut int, tok) = engine();
+        let doc = Document::parse("purdue university usa then uq au", &tok, &mut int);
+        let via_engine = engine.extract(&doc, 0.8);
+        let via_segment = extract_segment(
+            engine.index(),
+            engine.derived(),
+            &doc,
+            0.8,
+            engine.config().strategy,
+            engine.config().metric,
+            false,
+            None,
+            &ExtractLimits::UNLIMITED,
+            None,
+        );
+        assert_eq!(via_engine, via_segment.matches);
+        assert!(!via_segment.truncated);
+    }
+
+    #[test]
+    fn trait_object_dispatch_works() {
+        let (engine, mut int, tok) = engine();
+        let doc = Document::parse("uq au", &tok, &mut int);
+        let backend: &dyn ExtractBackend = &engine;
+        let got = backend.extract_all(&doc, 0.9);
+        assert_eq!(got, engine.extract(&doc, 0.9));
+        assert_eq!(backend.dictionary().len(), 2);
+        let out = backend.extract_limited(&doc, 0.9, &ExtractLimits::UNLIMITED, None);
+        assert_eq!(out.matches, got);
+    }
+
+    #[test]
+    fn cancelled_token_truncates_via_trait() {
+        let (engine, mut int, tok) = engine();
+        let doc = Document::parse("purdue university usa", &tok, &mut int);
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let out = engine.extract_limited(&doc, 0.8, &ExtractLimits::UNLIMITED, Some(&cancel));
+        assert!(out.truncated);
+        assert!(out.matches.is_empty());
+    }
+}

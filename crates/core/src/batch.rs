@@ -165,7 +165,7 @@ mod tests {
         dict.push("uq au", &tok, &mut int);
         let mut rules = RuleSet::new();
         rules.push_str("uq", "university of queensland", &tok, &mut int).unwrap();
-        let engine = Aeetes::build(dict, &rules, AeetesConfig::default());
+        let engine = Aeetes::build(dict, &rules, &int, AeetesConfig::default());
         let docs: Vec<Document> = [
             "a visit to purdue university usa was nice",
             "nothing relevant here at all",

@@ -166,7 +166,7 @@ mod tests {
         let tok = Tokenizer::default();
         let dict = Dictionary::from_strings(entries.iter().copied(), &tok, &mut int);
         let dd = DerivedDictionary::build(&dict, &RuleSet::new(), &DeriveConfig::default());
-        (ClusteredIndex::build(&dd), int)
+        (ClusteredIndex::build(&dd, &int), int)
     }
 
     #[test]

@@ -243,7 +243,7 @@ mod tests {
         for (l, r) in rules {
             rs.push_str(l, r, &tok, &mut int).unwrap();
         }
-        let engine = Aeetes::build(dict, &rs, AeetesConfig::default());
+        let engine = Aeetes::build(dict, &rs, &int, AeetesConfig::default());
         (engine, int, tok)
     }
 

@@ -1,15 +1,15 @@
 //! The end-to-end Aeetes engine (paper Algorithm 1, Figure 2).
 
+use crate::backend::extract_segment;
 use crate::config::AeetesConfig;
-use crate::limits::{Budget, CancelToken, ExtractLimits, ExtractOutcome};
+use crate::limits::{CancelToken, ExtractLimits, ExtractOutcome};
 use crate::matches::Match;
 use crate::stats::ExtractStats;
-use crate::strategy::{generate, Strategy};
-use crate::verify::verify_candidates;
+use crate::strategy::Strategy;
 use aeetes_index::ClusteredIndex;
 use aeetes_rules::{DerivedDictionary, RuleSet};
 use aeetes_sim::Metric;
-use aeetes_text::{Dictionary, Document};
+use aeetes_text::{Dictionary, Document, Interner};
 
 /// The Aeetes extraction engine.
 ///
@@ -27,18 +27,20 @@ pub struct Aeetes {
 
 impl Aeetes {
     /// Off-line preprocessing: expands `dict` under `rules` and builds the
-    /// clustered inverted index (Algorithm 1 lines 3–4 / Algorithm 2).
-    pub fn build(dict: Dictionary, rules: &RuleSet, config: AeetesConfig) -> Self {
+    /// clustered inverted index (Algorithm 1 lines 3–4 / Algorithm 2). The
+    /// interner must be the one `dict` and `rules` were tokenized with; it
+    /// supplies the strings for the global order's frequency tie-break.
+    pub fn build(dict: Dictionary, rules: &RuleSet, interner: &Interner, config: AeetesConfig) -> Self {
         let dd = DerivedDictionary::build(&dict, rules, &config.derive);
-        let index = ClusteredIndex::build(&dd);
+        let index = ClusteredIndex::build(&dd, interner);
         Self { dict, dd, index, config }
     }
 
     /// Assembles an engine from previously built parts (used when loading a
     /// persisted engine); the clustered index is rebuilt from the derived
     /// dictionary.
-    pub fn from_parts(dict: Dictionary, dd: DerivedDictionary, config: AeetesConfig) -> Self {
-        let index = ClusteredIndex::build(&dd);
+    pub fn from_parts(dict: Dictionary, dd: DerivedDictionary, interner: &Interner, config: AeetesConfig) -> Self {
+        let index = ClusteredIndex::build(&dd, interner);
         Self { dict, dd, index, config }
     }
 
@@ -132,18 +134,7 @@ impl Aeetes {
         limits: &ExtractLimits,
         cancel: Option<&CancelToken>,
     ) -> ExtractOutcome {
-        assert!(tau > 0.0 && tau <= 1.0, "similarity threshold must be in (0, 1], got {tau}");
-        let mut stats = ExtractStats::default();
-        let mut budget = match cancel {
-            Some(token) => Budget::start_cancellable(limits, token),
-            None => Budget::start(limits),
-        };
-        let pairs = generate(&self.index, doc, tau, metric, strategy, &mut stats, &mut budget);
-        // Weighted scores are ≤ unweighted scores (weights ≤ 1), so the
-        // unweighted candidate filters remain sound for the weighted verify.
-        let mut matches = verify_candidates(&self.index, &self.dd, doc, tau, metric, pairs, &mut stats, weighted, &mut budget);
-        matches.sort_unstable_by_key(Match::sort_key);
-        ExtractOutcome { matches, truncated: budget.truncated(), stats }
+        extract_segment(&self.index, &self.dd, doc, tau, strategy, metric, weighted, None, limits, cancel)
     }
 }
 
@@ -171,7 +162,7 @@ mod tests {
         rules.push_str("USA", "United States", &tok, &mut int).unwrap(); // r2
         rules.push_str("AU", "Australia", &tok, &mut int).unwrap(); // r3
         rules.push_str("UW", "University of Wisconsin", &tok, &mut int).unwrap(); // r4
-        let engine = Aeetes::build(dict, &rules, AeetesConfig::default());
+        let engine = Aeetes::build(dict, &rules, &int, AeetesConfig::default());
         Fix { int, tok, engine }
     }
 
@@ -365,7 +356,7 @@ mod tests {
             let mut dict = Dictionary::new();
             dict.push("purdue university usa", &tok, &mut int);
             dict.push("uq au", &tok, &mut int);
-            let engine = Aeetes::build(dict, &RuleSet::new(), config);
+            let engine = Aeetes::build(dict, &RuleSet::new(), &int, config);
             for text in ["purdue university usa and uq au", ""] {
                 let doc = Document::parse(text, &tok, &mut int);
                 for limits in &degenerate {
@@ -411,7 +402,7 @@ mod tests {
         let tok = Tokenizer::default();
         let mut dict = Dictionary::new();
         dict.push("purdue university usa", &tok, &mut int);
-        let engine = Aeetes::build(dict, &RuleSet::new(), config);
+        let engine = Aeetes::build(dict, &RuleSet::new(), &int, config);
         let doc2 = Document::parse("purdue university usa", &tok, &mut int);
         assert!(engine.extract(&doc2, 0.8).is_empty());
     }
@@ -426,7 +417,7 @@ mod tests {
             let mut dict = Dictionary::new();
             dict.push("purdue university usa", &tok, &mut int);
             dict.push("uq au", &tok, &mut int);
-            let engine = Aeetes::build(dict, &RuleSet::new(), config);
+            let engine = Aeetes::build(dict, &RuleSet::new(), &int, config);
             let d = Document::parse("purdue university usa then uq au then purdue university usa", &tok, &mut int);
             let out = engine.extract_with_limits(&d, 0.8, &limits);
             assert!(out.truncated, "strategy {strategy} must hit the 2-candidate cap");

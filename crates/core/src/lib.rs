@@ -35,7 +35,7 @@
 //! rules.push_str("UQ", "University of Queensland", &tok, &mut int).unwrap();
 //! rules.push_str("AU", "Australia", &tok, &mut int).unwrap();
 //!
-//! let engine = Aeetes::build(dict, &rules, AeetesConfig::default());
+//! let engine = Aeetes::build(dict, &rules, &int, AeetesConfig::default());
 //! let doc = Document::parse(
 //!     "she studied at the University of Queensland Australia last year",
 //!     &tok, &mut int);
@@ -44,6 +44,7 @@
 //! assert_eq!(matches[0].score, 1.0);
 //! ```
 
+mod backend;
 mod batch;
 mod candidates;
 mod config;
@@ -61,6 +62,7 @@ mod typo;
 mod verify;
 mod window;
 
+pub use backend::{extract_segment, ExtractBackend};
 pub use batch::{extract_batch, extract_batch_with, BatchOptions, DocError};
 pub use config::AeetesConfig;
 pub use edit_extract::{EditIndex, EditMatch};
@@ -68,7 +70,7 @@ pub use extractor::Aeetes;
 pub use limits::{CancelToken, ExtractLimits, ExtractOutcome};
 pub use matches::Match;
 pub use nms::suppress_overlaps;
-pub use persist::{load_engine, save_engine, PersistError};
+pub use persist::{load_engine, load_sharded, save_engine, save_sharded, PersistError, ShardedParts};
 pub use report::{mention_report, MentionReport};
 pub use stats::{ExtractStats, LatencyRing};
 pub use strategy::Strategy;

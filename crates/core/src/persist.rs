@@ -8,7 +8,7 @@
 //! restores them and rebuilds the clustered index (which is derived state —
 //! rebuilding keeps the format small and version-stable).
 //!
-//! Format (version 2):
+//! Format (version 2, the single-engine layout [`save_engine`] writes):
 //!
 //! ```text
 //! magic  "AEET"            4 bytes
@@ -22,25 +22,47 @@
 //! checksum: u32 CRC-32 (IEEE) of every preceding byte   (version ≥ 2 only)
 //! ```
 //!
-//! Version 1 files are identical minus the checksum footer and still load
-//! (they simply don't get integrity verification). The loader is hardened
-//! against hostile input: the checksum is verified before any field is
-//! parsed, every length field is validated against the bytes actually
-//! remaining before allocation, and all cross-references (token ids,
-//! origins, weights, enum tags) are range-checked. A corrupt or truncated
-//! buffer yields a [`PersistError`], never a panic or an outsized
-//! allocation.
+//! Format version 3 ([`save_sharded`]) carries a sharded engine: the derived
+//! dictionary is split into per-shard *segments*, each independently
+//! CRC-guarded, and the artifact additionally records the synonym rule table
+//! (needed to re-derive affected shards on a dictionary delta) and removal
+//! tombstones:
+//!
+//! ```text
+//! magic "AEET", version u32 = 3
+//! interner, dictionary            (as v2)
+//! removed: u32 count + n×u32 origin-entity ids (tombstones)
+//! rules: u32 count, per rule: u32 l + l×u32 ids, u32 r + r×u32 ids, f64 w
+//! config: u8 strategy, u8 metric, u64 max_derived
+//! segments: u32 count, per segment:
+//!     u32 payload-len, payload (u32 derived count + variants + 6×u64 stats),
+//!     u32 CRC-32 of the payload
+//! checksum: u32 CRC-32 of every preceding byte
+//! ```
+//!
+//! Version 1 files are identical to v2 minus the checksum footer and still
+//! load (they simply don't get integrity verification); [`load_engine`]
+//! accepts v1–v3 (merging v3 segments back into one derived dictionary),
+//! and [`load_sharded`] accepts the same versions (wrapping v1/v2 as one
+//! segment). The loader is hardened against hostile input: the checksum is
+//! verified before any field is parsed, every length field is validated
+//! against the bytes actually remaining before allocation, and all
+//! cross-references (token ids, origins, weights, enum tags) are
+//! range-checked. A corrupt or truncated buffer yields a [`PersistError`],
+//! never a panic or an outsized allocation.
 
 use crate::config::AeetesConfig;
 use crate::extractor::Aeetes;
 use crate::strategy::Strategy;
-use aeetes_rules::{DeriveConfig, DeriveStats, DerivedDictionary, DerivedEntity, RuleId};
+use aeetes_rules::{DeriveConfig, DeriveStats, DerivedDictionary, DerivedEntity, RuleId, RuleSet};
 use aeetes_sim::Metric;
 use aeetes_text::{Dictionary, EntityId, Interner, TokenId};
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"AEET";
 const VERSION: u32 = 2;
+/// Format version of sharded ([`save_sharded`]) artifacts.
+const VERSION_SHARDED: u32 = 3;
 /// Oldest format version [`load_engine`] still accepts.
 const MIN_VERSION: u32 = 1;
 /// A token list longer than this could not be indexed anyway: the clustered
@@ -131,37 +153,35 @@ fn put_ids(buf: &mut Vec<u8>, ids: &[TokenId]) {
     }
 }
 
-/// Serializes `engine` (and the interner its token ids refer to) into a
-/// standalone byte buffer, ending with a CRC-32 integrity footer.
-pub fn save_engine(engine: &Aeetes, interner: &Interner) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(1 << 16);
-    buf.extend_from_slice(MAGIC);
-    put_u32(&mut buf, VERSION);
-
-    put_u32(&mut buf, interner.len() as u32);
+fn put_interner(buf: &mut Vec<u8>, interner: &Interner) {
+    put_u32(buf, interner.len() as u32);
     for s in interner.iter_strings() {
-        put_str(&mut buf, s);
+        put_str(buf, s);
     }
+}
 
-    let dict = engine.dictionary();
-    put_u32(&mut buf, dict.len() as u32);
+fn put_dict(buf: &mut Vec<u8>, dict: &Dictionary) {
+    put_u32(buf, dict.len() as u32);
     for (_, e) in dict.iter() {
-        put_str(&mut buf, &e.raw);
-        put_ids(&mut buf, &e.tokens);
+        put_str(buf, &e.raw);
+        put_ids(buf, &e.tokens);
     }
+}
 
-    let dd = engine.derived();
-    put_u32(&mut buf, dd.len() as u32);
+fn put_variants(buf: &mut Vec<u8>, dd: &DerivedDictionary) {
+    put_u32(buf, dd.len() as u32);
     for (_, d) in dd.iter() {
-        put_u32(&mut buf, d.origin.0);
-        put_ids(&mut buf, &d.tokens);
-        put_u32(&mut buf, d.rules.len() as u32);
+        put_u32(buf, d.origin.0);
+        put_ids(buf, &d.tokens);
+        put_u32(buf, d.rules.len() as u32);
         for r in &d.rules {
-            put_u32(&mut buf, r.0);
+            put_u32(buf, r.0);
         }
         buf.extend_from_slice(&d.weight.to_le_bytes());
     }
-    let st = dd.stats();
+}
+
+fn put_stats(buf: &mut Vec<u8>, st: &DeriveStats) {
     for v in [
         st.origins,
         st.derived,
@@ -170,10 +190,11 @@ pub fn save_engine(engine: &Aeetes, interner: &Interner) -> Vec<u8> {
         st.truncated_entities,
         st.duplicates_dropped,
     ] {
-        put_u64(&mut buf, v as u64);
+        put_u64(buf, v as u64);
     }
+}
 
-    let config = engine.config();
+fn put_config(buf: &mut Vec<u8>, config: &AeetesConfig) {
     buf.push(match config.strategy {
         Strategy::Simple => 0,
         Strategy::Skip => 1,
@@ -186,8 +207,106 @@ pub fn save_engine(engine: &Aeetes, interner: &Interner) -> Vec<u8> {
         Metric::Cosine => 2,
         Metric::Overlap => 3,
     });
-    put_u64(&mut buf, config.derive.max_derived as u64);
+    put_u64(buf, config.derive.max_derived as u64);
+}
 
+/// Serializes `engine` (and the interner its token ids refer to) into a
+/// standalone byte buffer, ending with a CRC-32 integrity footer.
+pub fn save_engine(engine: &Aeetes, interner: &Interner) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(1 << 16);
+    buf.extend_from_slice(MAGIC);
+    put_u32(&mut buf, VERSION);
+    put_interner(&mut buf, interner);
+    put_dict(&mut buf, engine.dictionary());
+    put_variants(&mut buf, engine.derived());
+    put_stats(&mut buf, engine.derived().stats());
+    put_config(&mut buf, engine.config());
+    let checksum = crc32(&buf);
+    put_u32(&mut buf, checksum);
+    buf
+}
+
+/// The engine-neutral contents of a sharded (format v3) artifact: the shared
+/// sections plus one derived-dictionary segment per shard. `aeetes-core`
+/// stays ignorant of shard routing — it only guarantees that every origin's
+/// variants live in exactly one segment, which is what lets
+/// [`ShardedParts::into_single`] merge them back with a stable sort.
+#[derive(Debug, Clone)]
+pub struct ShardedParts {
+    /// Token interner every id in the artifact refers into.
+    pub interner: Interner,
+    /// The origin dictionary, over the *full* entity id space (removed
+    /// entities keep their slot so ids stay stable across generations).
+    pub dict: Dictionary,
+    /// Tombstones: origin ids whose variants have been dropped from every
+    /// segment but whose dictionary slots remain reserved.
+    pub removed: Vec<EntityId>,
+    /// The synonym rule table, persisted so a dictionary delta can re-derive
+    /// affected shards without the original rule source.
+    pub rules: RuleSet,
+    /// Engine configuration (strategy, metric, derive cap).
+    pub config: AeetesConfig,
+    /// One derived dictionary per shard. Each spans the full origin id space
+    /// (non-resident origins have empty variant ranges), and no origin has
+    /// variants in more than one segment.
+    pub segments: Vec<DerivedDictionary>,
+}
+
+impl ShardedParts {
+    /// Merges every segment back into one monolithic engine. Origins are
+    /// disjoint across segments, so a stable sort by origin restores the
+    /// grouped-ascending order `DerivedDictionary` requires while keeping
+    /// each origin's variants in their original relative order.
+    pub fn into_single(self) -> Result<(Aeetes, Interner), PersistError> {
+        let ShardedParts { interner, dict, config, segments, .. } = self;
+        let mut derived: Vec<DerivedEntity> = Vec::new();
+        let mut stats = DeriveStats::default();
+        for dd in &segments {
+            derived.extend(dd.iter().map(|(_, d)| d.clone()));
+            let st = dd.stats();
+            stats.origins += st.origins;
+            stats.derived += st.derived;
+            stats.applicable_total += st.applicable_total;
+            stats.selected_total += st.selected_total;
+            stats.truncated_entities += st.truncated_entities;
+            stats.duplicates_dropped += st.duplicates_dropped;
+        }
+        derived.sort_by_key(|d| d.origin.0);
+        let dd = DerivedDictionary::from_parts(derived, dict.len(), stats).map_err(PersistError::Corrupt)?;
+        Ok((Aeetes::from_parts(dict, dd, &interner, config), interner))
+    }
+}
+
+/// Serializes a sharded engine's parts into a format v3 artifact: shared
+/// sections once, then each shard's derived dictionary as an independently
+/// CRC-guarded segment, then the whole-file CRC-32 footer.
+pub fn save_sharded(parts: &ShardedParts) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(1 << 16);
+    buf.extend_from_slice(MAGIC);
+    put_u32(&mut buf, VERSION_SHARDED);
+    put_interner(&mut buf, &parts.interner);
+    put_dict(&mut buf, &parts.dict);
+    put_u32(&mut buf, parts.removed.len() as u32);
+    for e in &parts.removed {
+        put_u32(&mut buf, e.0);
+    }
+    put_u32(&mut buf, parts.rules.len() as u32);
+    for (_, rule) in parts.rules.iter() {
+        put_ids(&mut buf, &rule.lhs);
+        put_ids(&mut buf, &rule.rhs);
+        buf.extend_from_slice(&rule.weight.to_le_bytes());
+    }
+    put_config(&mut buf, &parts.config);
+    put_u32(&mut buf, parts.segments.len() as u32);
+    let mut payload = Vec::new();
+    for dd in &parts.segments {
+        payload.clear();
+        put_variants(&mut payload, dd);
+        put_stats(&mut payload, dd.stats());
+        put_u32(&mut buf, payload.len() as u32);
+        buf.extend_from_slice(&payload);
+        put_u32(&mut buf, crc32(&payload));
+    }
     let checksum = crc32(&buf);
     put_u32(&mut buf, checksum);
     buf
@@ -261,17 +380,18 @@ impl<'a> Reader<'a> {
     }
 }
 
-/// Restores an engine (and its interner) previously written by
-/// [`save_engine`]. The clustered index is rebuilt from the derived
-/// dictionary. Accepts format versions 1 (no checksum) and 2.
-pub fn load_engine(bytes: &[u8]) -> Result<(Aeetes, Interner), PersistError> {
+/// Parses the header, validates the version against `MIN_VERSION..=`
+/// [`VERSION_SHARDED`], and — for checksummed versions — verifies the
+/// whole-file CRC-32 footer before any field is trusted. Returns the version
+/// and a reader over the payload (header stripped, footer dropped).
+fn open(bytes: &[u8]) -> Result<(u32, Reader<'_>), PersistError> {
     let mut r = Reader { buf: bytes };
     let magic = r.take(4, "magic")?;
     if magic != MAGIC {
         return Err(PersistError::BadMagic);
     }
     let version = r.u32("version")?;
-    if !(MIN_VERSION..=VERSION).contains(&version) {
+    if !(MIN_VERSION..=VERSION_SHARDED).contains(&version) {
         return Err(PersistError::UnsupportedVersion(version));
     }
     if version >= 2 {
@@ -288,7 +408,10 @@ pub fn load_engine(bytes: &[u8]) -> Result<(Aeetes, Interner), PersistError> {
         // Drop the footer from the reader's view of the payload.
         r.buf = &bytes[8..payload_len];
     }
+    Ok((version, r))
+}
 
+fn read_interner(r: &mut Reader<'_>) -> Result<Interner, PersistError> {
     let mut interner = Interner::new();
     let n_tokens = r.u32("interner size")?;
     // Each interned string takes at least its 4-byte length prefix.
@@ -297,7 +420,10 @@ pub fn load_engine(bytes: &[u8]) -> Result<(Aeetes, Interner), PersistError> {
         let s = r.str("interner string")?;
         interner.intern(&s);
     }
+    Ok(interner)
+}
 
+fn read_dict(r: &mut Reader<'_>, n_tokens: u32) -> Result<Dictionary, PersistError> {
     let mut dict = Dictionary::new();
     let n_entities = r.u32("dictionary size")?;
     // Each entity takes at least its two 4-byte length prefixes.
@@ -307,7 +433,13 @@ pub fn load_engine(bytes: &[u8]) -> Result<(Aeetes, Interner), PersistError> {
         let tokens = r.ids(n_tokens, "entity tokens")?;
         dict.push_tokens(raw, tokens);
     }
+    Ok(dict)
+}
 
+/// Reads a variant table. `max_rule` bounds rule-id cross-references when
+/// the artifact carries a rule table (v3); v1/v2 artifacts don't, so their
+/// rule ids are provenance-only and pass through unchecked.
+fn read_variants(r: &mut Reader<'_>, n_tokens: u32, n_entities: u32, max_rule: Option<u32>) -> Result<Vec<DerivedEntity>, PersistError> {
     let n_derived = r.u32("derived size")? as usize;
     r.check_count(n_derived, MIN_VARIANT_BYTES, "derived size")?;
     let mut derived = Vec::with_capacity(n_derived);
@@ -319,26 +451,37 @@ pub fn load_engine(bytes: &[u8]) -> Result<(Aeetes, Interner), PersistError> {
         let tokens = r.ids(n_tokens, "variant tokens")?;
         let n_rules = r.u32("variant rules")? as usize;
         let raw_rules = r.take(n_rules.checked_mul(4).ok_or(PersistError::Truncated("variant rules"))?, "variant rule id")?;
-        let rules = raw_rules
-            .chunks_exact(4)
-            .map(|c| RuleId(u32::from_le_bytes(c.try_into().expect("4-byte chunk"))))
-            .collect();
+        let mut rules = Vec::with_capacity(n_rules);
+        for c in raw_rules.chunks_exact(4) {
+            let id = u32::from_le_bytes(c.try_into().expect("4-byte chunk"));
+            if let Some(max) = max_rule {
+                if id >= max {
+                    return Err(PersistError::Corrupt(format!("variant rule id {id} out of range {max}")));
+                }
+            }
+            rules.push(RuleId(id));
+        }
         let weight = r.f64("variant weight")?;
         if !(weight > 0.0 && weight <= 1.0) {
             return Err(PersistError::Corrupt(format!("variant weight {weight} outside (0, 1]")));
         }
         derived.push(DerivedEntity { origin: EntityId(origin), tokens, rules, weight });
     }
-    let stats = DeriveStats {
+    Ok(derived)
+}
+
+fn read_stats(r: &mut Reader<'_>) -> Result<DeriveStats, PersistError> {
+    Ok(DeriveStats {
         origins: r.u64("stats")? as usize,
         derived: r.u64("stats")? as usize,
         applicable_total: r.u64("stats")? as usize,
         selected_total: r.u64("stats")? as usize,
         truncated_entities: r.u64("stats")? as usize,
         duplicates_dropped: r.u64("stats")? as usize,
-    };
-    let dd = DerivedDictionary::from_parts(derived, n_entities as usize, stats).map_err(PersistError::Corrupt)?;
+    })
+}
 
+fn read_config(r: &mut Reader<'_>) -> Result<AeetesConfig, PersistError> {
     let strategy = match r.u8("strategy")? {
         0 => Strategy::Simple,
         1 => Strategy::Skip,
@@ -354,17 +497,121 @@ pub fn load_engine(bytes: &[u8]) -> Result<(Aeetes, Interner), PersistError> {
         other => return Err(PersistError::Corrupt(format!("unknown metric tag {other}"))),
     };
     let max_derived = r.u64("max_derived")? as usize;
-    if !r.buf.is_empty() {
-        return Err(PersistError::Corrupt(format!("{} trailing bytes after engine data", r.buf.len())));
-    }
-    let config = AeetesConfig {
+    Ok(AeetesConfig {
         derive: DeriveConfig { max_derived, ..DeriveConfig::default() },
         strategy,
         metric,
         ..AeetesConfig::default()
-    };
+    })
+}
 
-    Ok((Aeetes::from_parts(dict, dd, config), interner))
+/// Restores the parts of a persisted engine in shard-segmented form.
+/// Accepts format versions 1–3; v1/v2 single-engine artifacts come back as
+/// one segment with an empty rule table and no tombstones. Every segment's
+/// CRC is verified and each origin is checked to own variants in at most
+/// one segment.
+pub fn load_sharded(bytes: &[u8]) -> Result<ShardedParts, PersistError> {
+    let (version, mut r) = open(bytes)?;
+    let interner = read_interner(&mut r)?;
+    let n_tokens = interner.len() as u32;
+    let dict = read_dict(&mut r, n_tokens)?;
+    let n_entities = dict.len() as u32;
+
+    if version < VERSION_SHARDED {
+        // v1/v2 single-engine layout: derived, stats, config.
+        let derived = read_variants(&mut r, n_tokens, n_entities, None)?;
+        let stats = read_stats(&mut r)?;
+        let config = read_config(&mut r)?;
+        if !r.buf.is_empty() {
+            return Err(PersistError::Corrupt(format!("{} trailing bytes after engine data", r.buf.len())));
+        }
+        let dd = DerivedDictionary::from_parts(derived, dict.len(), stats).map_err(PersistError::Corrupt)?;
+        return Ok(ShardedParts {
+            interner,
+            dict,
+            removed: Vec::new(),
+            rules: RuleSet::new(),
+            config,
+            segments: vec![dd],
+        });
+    }
+
+    let n_removed = r.u32("removed size")? as usize;
+    r.check_count(n_removed, 4, "removed size")?;
+    let mut removed = Vec::with_capacity(n_removed);
+    for _ in 0..n_removed {
+        let id = r.u32("removed id")?;
+        if id >= n_entities {
+            return Err(PersistError::Corrupt(format!("removed id {id} out of range {n_entities}")));
+        }
+        removed.push(EntityId(id));
+    }
+
+    let n_rules = r.u32("rules size")? as usize;
+    // Each rule takes at least two 4-byte counts plus the 8-byte weight.
+    r.check_count(n_rules, 16, "rules size")?;
+    let mut rules = RuleSet::new();
+    for _ in 0..n_rules {
+        let lhs = r.ids(n_tokens, "rule lhs")?;
+        let rhs = r.ids(n_tokens, "rule rhs")?;
+        let weight = r.f64("rule weight")?;
+        rules
+            .push_tokens(lhs, rhs, weight)
+            .map_err(|e| PersistError::Corrupt(format!("invalid persisted rule: {e}")))?;
+    }
+
+    let config = read_config(&mut r)?;
+
+    let n_segments = r.u32("segment count")? as usize;
+    // Each segment takes at least its length prefix, an empty variant
+    // table, the stats block and its CRC.
+    r.check_count(n_segments, 4 + 4 + 48 + 4, "segment count")?;
+    let mut segments = Vec::with_capacity(n_segments);
+    let mut claimed = vec![false; dict.len()];
+    for _ in 0..n_segments {
+        let len = r.u32("segment length")? as usize;
+        let payload = r.take(len, "segment payload")?;
+        let expected = r.u32("segment checksum")?;
+        let actual = crc32(payload);
+        if expected != actual {
+            return Err(PersistError::ChecksumMismatch { expected, actual });
+        }
+        let mut sr = Reader { buf: payload };
+        let derived = read_variants(&mut sr, n_tokens, n_entities, Some(n_rules as u32))?;
+        let stats = read_stats(&mut sr)?;
+        if !sr.buf.is_empty() {
+            return Err(PersistError::Corrupt(format!("{} trailing bytes in segment payload", sr.buf.len())));
+        }
+        let dd = DerivedDictionary::from_parts(derived, dict.len(), stats).map_err(PersistError::Corrupt)?;
+        // `from_parts` guarantees grouped-ascending origins within the
+        // segment; across segments each origin may appear only once, or the
+        // merge in `into_single` would interleave variants of one origin.
+        let mut prev = None;
+        for (_, d) in dd.iter() {
+            if prev == Some(d.origin) {
+                continue;
+            }
+            prev = Some(d.origin);
+            let o = d.origin.0 as usize;
+            if claimed[o] {
+                return Err(PersistError::Corrupt(format!("origin {} has variants in multiple segments", d.origin.0)));
+            }
+            claimed[o] = true;
+        }
+        segments.push(dd);
+    }
+    if !r.buf.is_empty() {
+        return Err(PersistError::Corrupt(format!("{} trailing bytes after engine data", r.buf.len())));
+    }
+    Ok(ShardedParts { interner, dict, removed, rules, config, segments })
+}
+
+/// Restores an engine (and its interner) previously written by
+/// [`save_engine`] or [`save_sharded`]. The clustered index is rebuilt from
+/// the derived dictionary. Accepts format versions 1 (no checksum), 2, and
+/// 3 (whose segments are merged back into one derived dictionary).
+pub fn load_engine(bytes: &[u8]) -> Result<(Aeetes, Interner), PersistError> {
+    load_sharded(bytes)?.into_single()
 }
 
 #[cfg(test)]
@@ -382,7 +629,7 @@ mod tests {
         let mut rules = RuleSet::new();
         rules.push_str("UQ", "University of Queensland", &tok, &mut int).unwrap();
         rules.push_weighted_str("AU", "Australia", 0.9, &tok, &mut int).unwrap();
-        let engine = Aeetes::build(dict, &rules, AeetesConfig::default());
+        let engine = Aeetes::build(dict, &rules, &int, AeetesConfig::default());
         (engine, int, tok)
     }
 
@@ -506,6 +753,122 @@ mod tests {
             b[i..i + 4].copy_from_slice(&u32::MAX.to_le_bytes());
             let _ = load_engine(&b); // must not panic or OOM
         }
+    }
+
+    /// A two-segment sharded fixture: even-id origins in segment 0, odd-id
+    /// origins in segment 1, sharing one interner/dictionary/rule table.
+    fn sample_sharded() -> (ShardedParts, Aeetes, Interner, Tokenizer) {
+        let mut int = Interner::new();
+        let tok = Tokenizer::default();
+        let mut dict = Dictionary::new();
+        dict.push("Purdue University USA", &tok, &mut int);
+        dict.push("UQ AU", &tok, &mut int);
+        dict.push("RMIT AU", &tok, &mut int);
+        let mut rules = RuleSet::new();
+        rules.push_str("UQ", "University of Queensland", &tok, &mut int).unwrap();
+        rules.push_weighted_str("AU", "Australia", 0.9, &tok, &mut int).unwrap();
+        let config = AeetesConfig::default();
+        let engine = Aeetes::build(dict.clone(), &rules, &int, config.clone());
+        let segments = vec![
+            DerivedDictionary::build_filtered(&dict, &rules, &config.derive, |e| e.0 % 2 == 0),
+            DerivedDictionary::build_filtered(&dict, &rules, &config.derive, |e| e.0 % 2 == 1),
+        ];
+        let parts = ShardedParts { interner: int.clone(), dict, removed: vec![], rules, config, segments };
+        (parts, engine, int, tok)
+    }
+
+    #[test]
+    fn sharded_round_trip_preserves_parts() {
+        let (parts, _, _, _) = sample_sharded();
+        let bytes = save_sharded(&parts);
+        let loaded = load_sharded(&bytes).expect("v3 round trip");
+        assert_eq!(loaded.segments.len(), 2);
+        assert_eq!(loaded.dict.len(), parts.dict.len());
+        assert_eq!(loaded.rules.len(), parts.rules.len());
+        assert_eq!(loaded.removed, parts.removed);
+        assert_eq!(loaded.interner.len(), parts.interner.len());
+        for (a, b) in loaded.segments.iter().zip(parts.segments.iter()) {
+            assert_eq!(a.len(), b.len());
+            // `from_parts` renormalizes `origins` to the full id space, so
+            // compare the fields that genuinely round-trip.
+            assert_eq!(a.stats().derived, b.stats().derived);
+            assert_eq!(a.stats().applicable_total, b.stats().applicable_total);
+            assert_eq!(a.stats().selected_total, b.stats().selected_total);
+        }
+        for ((_, a), (_, b)) in loaded.rules.iter().zip(parts.rules.iter()) {
+            assert_eq!(a.lhs, b.lhs);
+            assert_eq!(a.rhs, b.rhs);
+            assert_eq!(a.weight, b.weight);
+        }
+    }
+
+    #[test]
+    fn sharded_artifact_loads_as_single_engine() {
+        let (parts, engine, mut int, tok) = sample_sharded();
+        let bytes = save_sharded(&parts);
+        let (merged, mut loaded_int) = load_engine(&bytes).expect("v3 merges into a single engine");
+        let doc_text = "she left UQ Australia for Purdue University USA near RMIT AU";
+        let doc_a = Document::parse(doc_text, &tok, &mut int);
+        let doc_b = Document::parse(doc_text, &tok, &mut loaded_int);
+        for tau in [0.7, 0.9] {
+            assert_eq!(engine.extract(&doc_a, tau), merged.extract(&doc_b, tau), "tau={tau}");
+        }
+        assert_eq!(merged.derived().len(), engine.derived().len());
+    }
+
+    #[test]
+    fn v2_artifact_loads_as_one_segment() {
+        let (engine, int, _) = sample_engine();
+        let bytes = save_engine(&engine, &int);
+        let parts = load_sharded(&bytes).expect("v2 loads as sharded parts");
+        assert_eq!(parts.segments.len(), 1);
+        assert!(parts.removed.is_empty());
+        assert!(parts.rules.is_empty());
+        assert_eq!(parts.segments[0].len(), engine.derived().len());
+    }
+
+    #[test]
+    fn segment_crc_detects_corruption_behind_a_valid_footer() {
+        let (parts, _, _, _) = sample_sharded();
+        let mut bytes = save_sharded(&parts);
+        // Flip a byte inside the last segment's payload (weights sit right
+        // before the segment CRC + footer), then recompute the whole-file
+        // footer so only the per-segment CRC can catch the damage.
+        let idx = bytes.len() - 20;
+        bytes[idx] ^= 0x01;
+        let len = bytes.len();
+        let footer = crc32(&bytes[..len - 4]);
+        bytes[len - 4..].copy_from_slice(&footer.to_le_bytes());
+        assert!(
+            matches!(load_sharded(&bytes), Err(PersistError::ChecksumMismatch { .. })),
+            "segment corruption must fail the per-segment CRC"
+        );
+    }
+
+    #[test]
+    fn sharded_truncation_and_bitflips_never_panic() {
+        let (parts, _, _, _) = sample_sharded();
+        let bytes = save_sharded(&parts);
+        for cut in 0..bytes.len() {
+            assert!(load_sharded(&bytes[..cut]).is_err(), "prefix of {cut} bytes accepted");
+        }
+        for i in 8..bytes.len() {
+            let mut b = bytes.clone();
+            b[i] ^= 0xFF;
+            let _ = load_sharded(&b); // must not panic
+        }
+    }
+
+    #[test]
+    fn duplicate_origin_across_segments_rejected() {
+        let (mut parts, _, _, _) = sample_sharded();
+        // Both segments carry the full derived dictionary → every origin is
+        // claimed twice.
+        let full = DerivedDictionary::build_filtered(&parts.dict, &parts.rules, &parts.config.derive, |_| true);
+        parts.segments = vec![full.clone(), full];
+        let bytes = save_sharded(&parts);
+        let err = load_sharded(&bytes).expect_err("duplicated origins must be rejected");
+        assert!(err.to_string().contains("multiple segments"), "unexpected error: {err}");
     }
 
     #[test]

@@ -95,7 +95,7 @@ mod tests {
         dict.push("beta two", &tok, &mut int);
         let mut rules = RuleSet::new();
         rules.push_str("alpha one", "a1", &tok, &mut int).unwrap();
-        let engine = Aeetes::build(dict, &rules, AeetesConfig::default());
+        let engine = Aeetes::build(dict, &rules, &int, AeetesConfig::default());
         let docs: Vec<Document> = ["we saw alpha one and later a1 again", "beta two showed up once", "nothing in this one", "alpha one"]
             .iter()
             .map(|t| Document::parse(t, &tok, &mut int))

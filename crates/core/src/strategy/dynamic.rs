@@ -17,7 +17,7 @@ use crate::candidates::{scan_token_origins, CandidateSink};
 use crate::limits::Budget;
 use crate::stats::ExtractStats;
 use crate::window::WindowState;
-use aeetes_index::{metric_window_bounds, ClusteredIndex, GlobalOrder};
+use aeetes_index::{metric_window_bounds, ClusteredIndex};
 use aeetes_sim::Metric;
 use aeetes_text::{Document, EntityId, Span};
 use std::collections::HashMap;
@@ -38,16 +38,18 @@ impl LenState {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn generate(
     index: &ClusteredIndex,
     doc: &Document,
     tau: f64,
     metric: Metric,
+    set_bounds: (Option<usize>, Option<usize>),
     sink: &mut CandidateSink,
     stats: &mut ExtractStats,
     budget: &mut Budget,
 ) {
-    let Some(bounds) = metric_window_bounds(index.min_set_len(), index.max_set_len(), tau, metric) else {
+    let Some(bounds) = metric_window_bounds(set_bounds.0, set_bounds.1, tau, metric) else {
         return;
     };
     let n = doc.len();
@@ -113,7 +115,7 @@ pub(crate) fn generate(
                 let origins = st
                     .cache
                     .entry((key, s_len as u32))
-                    .or_insert_with(|| scan_token_origins(index, GlobalOrder::token_of(key), s_len, tau, metric, stats));
+                    .or_insert_with(|| scan_token_origins(index, index.order().token_of(key), s_len, tau, metric, stats));
                 for &origin in origins.iter() {
                     sink.push(span, origin);
                 }
@@ -138,7 +140,7 @@ mod tests {
             rs.push_str(l, r, &tok, &mut int).unwrap();
         }
         let dd = DerivedDictionary::build(&dict, &rs, &DeriveConfig::default());
-        let ix = ClusteredIndex::build(&dd);
+        let ix = ClusteredIndex::build(&dd, &int);
         let d = Document::parse(doc, &tok, &mut int);
         (ix, d)
     }
@@ -146,6 +148,10 @@ mod tests {
     fn sorted(mut v: Vec<(Span, EntityId)>) -> Vec<(Span, EntityId)> {
         v.sort_by_key(|(sp, e)| (sp.start, sp.len, e.0));
         v
+    }
+
+    fn own(ix: &ClusteredIndex) -> (Option<usize>, Option<usize>) {
+        (ix.min_set_len(), ix.max_set_len())
     }
 
     #[test]
@@ -159,9 +165,9 @@ mod tests {
             let mut s1 = CandidateSink::new();
             let mut s2 = CandidateSink::new();
             let mut st = ExtractStats::default();
-            naive::generate(&ix, &doc, tau, Metric::Jaccard, true, &mut s1, &mut st, &mut Budget::unlimited());
+            naive::generate(&ix, &doc, tau, Metric::Jaccard, own(&ix), true, &mut s1, &mut st, &mut Budget::unlimited());
             let mut st2 = ExtractStats::default();
-            generate(&ix, &doc, tau, Metric::Jaccard, &mut s2, &mut st2, &mut Budget::unlimited());
+            generate(&ix, &doc, tau, Metric::Jaccard, own(&ix), &mut s2, &mut st2, &mut Budget::unlimited());
             assert_eq!(sorted(s1.pairs), sorted(s2.pairs), "tau={tau}");
         }
     }
@@ -179,8 +185,8 @@ mod tests {
         let mut s_dyn = CandidateSink::new();
         let mut st_skip = ExtractStats::default();
         let mut st_dyn = ExtractStats::default();
-        naive::generate(&ix, &doc, 0.7, Metric::Jaccard, true, &mut s_skip, &mut st_skip, &mut Budget::unlimited());
-        generate(&ix, &doc, 0.7, Metric::Jaccard, &mut s_dyn, &mut st_dyn, &mut Budget::unlimited());
+        naive::generate(&ix, &doc, 0.7, Metric::Jaccard, own(&ix), true, &mut s_skip, &mut st_skip, &mut Budget::unlimited());
+        generate(&ix, &doc, 0.7, Metric::Jaccard, own(&ix), &mut s_dyn, &mut st_dyn, &mut Budget::unlimited());
         assert_eq!(sorted(s_skip.pairs), sorted(s_dyn.pairs));
         assert!(
             st_dyn.accessed_entries < st_skip.accessed_entries,
@@ -195,7 +201,7 @@ mod tests {
         let (ix, doc) = setup(&["a b c"], &[], "a b c d e f g h i j");
         let mut sink = CandidateSink::new();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 0.8, Metric::Jaccard, &mut sink, &mut stats, &mut Budget::unlimited());
+        generate(&ix, &doc, 0.8, Metric::Jaccard, own(&ix), &mut sink, &mut stats, &mut Budget::unlimited());
         assert_eq!(stats.prefix_builds, 1, "only the very first state is built");
         assert!(stats.prefix_updates > 0);
     }
@@ -206,7 +212,7 @@ mod tests {
         let (ix, doc) = setup(&["a b c d e"], &[], "a b c d e f");
         let mut sink = CandidateSink::new();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 0.7, Metric::Jaccard, &mut sink, &mut stats, &mut Budget::unlimited());
+        generate(&ix, &doc, 0.7, Metric::Jaccard, own(&ix), &mut sink, &mut stats, &mut Budget::unlimited());
         // must not panic, and still finds the full-entity match
         assert!(sink.pairs.iter().any(|(sp, _)| *sp == Span::new(0, 5)));
     }
@@ -216,7 +222,7 @@ mod tests {
         let (ix, doc) = setup(&["a b c d e f g h i j"], &[], "a b");
         let mut sink = CandidateSink::new();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 0.9, Metric::Jaccard, &mut sink, &mut stats, &mut Budget::unlimited());
+        generate(&ix, &doc, 0.9, Metric::Jaccard, own(&ix), &mut sink, &mut stats, &mut Budget::unlimited());
         assert_eq!(sink.len(), 0);
         assert_eq!(stats.windows, 0);
     }
@@ -227,9 +233,9 @@ mod tests {
         let mut s1 = CandidateSink::new();
         let mut s2 = CandidateSink::new();
         let mut st = ExtractStats::default();
-        naive::generate(&ix, &doc, 0.8, Metric::Jaccard, true, &mut s1, &mut st, &mut Budget::unlimited());
+        naive::generate(&ix, &doc, 0.8, Metric::Jaccard, own(&ix), true, &mut s1, &mut st, &mut Budget::unlimited());
         let mut st2 = ExtractStats::default();
-        generate(&ix, &doc, 0.8, Metric::Jaccard, &mut s2, &mut st2, &mut Budget::unlimited());
+        generate(&ix, &doc, 0.8, Metric::Jaccard, own(&ix), &mut s2, &mut st2, &mut Budget::unlimited());
         assert_eq!(sorted(s1.pairs), sorted(s2.pairs));
     }
 }

@@ -12,7 +12,7 @@ use crate::candidates::CandidateSink;
 use crate::limits::Budget;
 use crate::stats::ExtractStats;
 use crate::window::WindowState;
-use aeetes_index::{metric_window_bounds, ClusteredIndex, GlobalOrder};
+use aeetes_index::{metric_window_bounds, ClusteredIndex};
 use aeetes_sim::Metric;
 use aeetes_text::{Document, Span, TokenId};
 use std::collections::HashMap;
@@ -26,16 +26,18 @@ struct Pending {
     hi: u32,
 }
 
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn generate(
     index: &ClusteredIndex,
     doc: &Document,
     tau: f64,
     metric: Metric,
+    set_bounds: (Option<usize>, Option<usize>),
     sink: &mut CandidateSink,
     stats: &mut ExtractStats,
     budget: &mut Budget,
 ) {
-    let Some(bounds) = metric_window_bounds(index.min_set_len(), index.max_set_len(), tau, metric) else {
+    let Some(bounds) = metric_window_bounds(set_bounds.0, set_bounds.1, tau, metric) else {
         return;
     };
     let n = doc.len();
@@ -89,7 +91,7 @@ pub(crate) fn generate(
                 if key >> 32 == 0 {
                     continue; // invalid token: no postings to visit later
                 }
-                inv.entry(GlobalOrder::token_of(key))
+                inv.entry(index.order().token_of(key))
                     .or_default()
                     .push(Pending { span, lo: lo as u32, hi: hi as u32 });
             }
@@ -162,7 +164,7 @@ mod tests {
             rs.push_str(l, r, &tok, &mut int).unwrap();
         }
         let dd = DerivedDictionary::build(&dict, &rs, &DeriveConfig::default());
-        let ix = ClusteredIndex::build(&dd);
+        let ix = ClusteredIndex::build(&dd, &int);
         let d = Document::parse(doc, &tok, &mut int);
         (ix, d)
     }
@@ -170,6 +172,10 @@ mod tests {
     fn sorted(mut v: Vec<(Span, EntityId)>) -> Vec<(Span, EntityId)> {
         v.sort_by_key(|(sp, e)| (sp.start, sp.len, e.0));
         v
+    }
+
+    fn own(ix: &ClusteredIndex) -> (Option<usize>, Option<usize>) {
+        (ix.min_set_len(), ix.max_set_len())
     }
 
     /// Theorem 4.5 (no false negatives): Lazy finds every candidate that the
@@ -190,9 +196,9 @@ mod tests {
             let mut eager = CandidateSink::new();
             let mut lazy_sink = CandidateSink::new();
             let mut st = ExtractStats::default();
-            naive::generate(&ix, &doc, tau, Metric::Jaccard, true, &mut eager, &mut st, &mut Budget::unlimited());
+            naive::generate(&ix, &doc, tau, Metric::Jaccard, own(&ix), true, &mut eager, &mut st, &mut Budget::unlimited());
             let mut st2 = ExtractStats::default();
-            generate(&ix, &doc, tau, Metric::Jaccard, &mut lazy_sink, &mut st2, &mut Budget::unlimited());
+            generate(&ix, &doc, tau, Metric::Jaccard, own(&ix), &mut lazy_sink, &mut st2, &mut Budget::unlimited());
             let e = sorted(eager.pairs);
             let l = sorted(lazy_sink.pairs);
             for pair in &e {
@@ -214,8 +220,8 @@ mod tests {
         let mut s_lazy = CandidateSink::new();
         let mut st_dyn = ExtractStats::default();
         let mut st_lazy = ExtractStats::default();
-        dynamic::generate(&ix, &doc, 0.7, Metric::Jaccard, &mut s_dyn, &mut st_dyn, &mut Budget::unlimited());
-        generate(&ix, &doc, 0.7, Metric::Jaccard, &mut s_lazy, &mut st_lazy, &mut Budget::unlimited());
+        dynamic::generate(&ix, &doc, 0.7, Metric::Jaccard, own(&ix), &mut s_dyn, &mut st_dyn, &mut Budget::unlimited());
+        generate(&ix, &doc, 0.7, Metric::Jaccard, own(&ix), &mut s_lazy, &mut st_lazy, &mut Budget::unlimited());
         assert!(
             st_lazy.accessed_entries <= st_dyn.accessed_entries,
             "lazy {} vs dynamic {}",
@@ -229,7 +235,7 @@ mod tests {
         let (ix, doc) = setup(&["a b"], &[], "");
         let mut sink = CandidateSink::new();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 0.8, Metric::Jaccard, &mut sink, &mut stats, &mut Budget::unlimited());
+        generate(&ix, &doc, 0.8, Metric::Jaccard, own(&ix), &mut sink, &mut stats, &mut Budget::unlimited());
         assert_eq!(sink.len(), 0);
     }
 
@@ -238,7 +244,7 @@ mod tests {
         let (ix, doc) = setup(&["rust"], &[], "rust");
         let mut sink = CandidateSink::new();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 1.0, Metric::Jaccard, &mut sink, &mut stats, &mut Budget::unlimited());
+        generate(&ix, &doc, 1.0, Metric::Jaccard, own(&ix), &mut sink, &mut stats, &mut Budget::unlimited());
         assert_eq!(sink.len(), 1);
         assert_eq!(sink.pairs[0].0, Span::new(0, 1));
     }

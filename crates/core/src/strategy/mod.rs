@@ -53,12 +53,20 @@ impl std::fmt::Display for Strategy {
 /// Runs the chosen strategy and returns the candidate pairs. The budget is
 /// consulted at every window advance; an exhausted budget stops generation
 /// with whatever candidates were produced so far.
+///
+/// `set_bounds` is the `(min, max)` distinct-set length range used to bound
+/// window enumeration — the index's own range for a monolithic engine, or
+/// the dictionary-global range when the index is one shard of a partition
+/// (a shard's local range is tighter, and would skip windows the whole
+/// dictionary admits).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn generate(
     index: &ClusteredIndex,
     doc: &Document,
     tau: f64,
     metric: Metric,
     strategy: Strategy,
+    set_bounds: (Option<usize>, Option<usize>),
     stats: &mut ExtractStats,
     budget: &mut Budget,
 ) -> Vec<(Span, EntityId)> {
@@ -70,10 +78,10 @@ pub(crate) fn generate(
         return sink.pairs;
     }
     match strategy {
-        Strategy::Simple => naive::generate(index, doc, tau, metric, false, &mut sink, stats, budget),
-        Strategy::Skip => naive::generate(index, doc, tau, metric, true, &mut sink, stats, budget),
-        Strategy::Dynamic => dynamic::generate(index, doc, tau, metric, &mut sink, stats, budget),
-        Strategy::Lazy => lazy::generate(index, doc, tau, metric, &mut sink, stats, budget),
+        Strategy::Simple => naive::generate(index, doc, tau, metric, set_bounds, false, &mut sink, stats, budget),
+        Strategy::Skip => naive::generate(index, doc, tau, metric, set_bounds, true, &mut sink, stats, budget),
+        Strategy::Dynamic => dynamic::generate(index, doc, tau, metric, set_bounds, &mut sink, stats, budget),
+        Strategy::Lazy => lazy::generate(index, doc, tau, metric, set_bounds, &mut sink, stats, budget),
     }
     sink.pairs
 }

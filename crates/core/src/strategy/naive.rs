@@ -4,7 +4,7 @@
 use crate::candidates::{scan_clustered, scan_flat, CandidateSink};
 use crate::limits::Budget;
 use crate::stats::ExtractStats;
-use aeetes_index::{metric_window_bounds, ClusteredIndex, GlobalOrder};
+use aeetes_index::{metric_window_bounds, ClusteredIndex};
 use aeetes_sim::Metric;
 use aeetes_text::{Document, Span};
 
@@ -18,12 +18,13 @@ pub(crate) fn generate(
     doc: &Document,
     tau: f64,
     metric: Metric,
+    set_bounds: (Option<usize>, Option<usize>),
     clustered: bool,
     sink: &mut CandidateSink,
     stats: &mut ExtractStats,
     budget: &mut Budget,
 ) {
-    let Some(bounds) = metric_window_bounds(index.min_set_len(), index.max_set_len(), tau, metric) else {
+    let Some(bounds) = metric_window_bounds(set_bounds.0, set_bounds.1, tau, metric) else {
         return;
     };
     let order = index.order();
@@ -53,7 +54,7 @@ pub(crate) fn generate(
                 if key >> 32 == 0 {
                     continue; // invalid token: empty posting list
                 }
-                let t = GlobalOrder::token_of(key);
+                let t = index.order().token_of(key);
                 if clustered {
                     scan_clustered(index, t, span, s_len, tau, metric, sink, stats);
                 } else {
@@ -75,9 +76,13 @@ mod tests {
         let tok = Tokenizer::default();
         let dict = Dictionary::from_strings(entries.iter().copied(), &tok, &mut int);
         let dd = DerivedDictionary::build(&dict, &RuleSet::new(), &DeriveConfig::default());
-        let ix = ClusteredIndex::build(&dd);
+        let ix = ClusteredIndex::build(&dd, &int);
         let d = Document::parse(doc, &tok, &mut int);
         (ix, d)
+    }
+
+    fn own(ix: &ClusteredIndex) -> (Option<usize>, Option<usize>) {
+        (ix.min_set_len(), ix.max_set_len())
     }
 
     #[test]
@@ -85,7 +90,7 @@ mod tests {
         let (ix, doc) = setup(&["purdue university"], "i visited purdue university yesterday");
         let mut sink = CandidateSink::new();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 0.9, Metric::Jaccard, false, &mut sink, &mut stats, &mut Budget::unlimited());
+        generate(&ix, &doc, 0.9, Metric::Jaccard, own(&ix), false, &mut sink, &mut stats, &mut Budget::unlimited());
         assert!(sink.pairs.iter().any(|(sp, _)| *sp == Span::new(2, 2)));
     }
 
@@ -96,8 +101,8 @@ mod tests {
         let mut s2 = CandidateSink::new();
         let mut st1 = ExtractStats::default();
         let mut st2 = ExtractStats::default();
-        generate(&ix, &doc, 0.7, Metric::Jaccard, false, &mut s1, &mut st1, &mut Budget::unlimited());
-        generate(&ix, &doc, 0.7, Metric::Jaccard, true, &mut s2, &mut st2, &mut Budget::unlimited());
+        generate(&ix, &doc, 0.7, Metric::Jaccard, own(&ix), false, &mut s1, &mut st1, &mut Budget::unlimited());
+        generate(&ix, &doc, 0.7, Metric::Jaccard, own(&ix), true, &mut s2, &mut st2, &mut Budget::unlimited());
         assert!(st1.accessed_entries >= st2.accessed_entries);
         let mut a = s1.pairs;
         let mut b = s2.pairs;
@@ -111,11 +116,11 @@ mod tests {
         let (ix, doc) = setup(&["a b"], "");
         let mut sink = CandidateSink::new();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 0.8, Metric::Jaccard, true, &mut sink, &mut stats, &mut Budget::unlimited());
+        generate(&ix, &doc, 0.8, Metric::Jaccard, own(&ix), true, &mut sink, &mut stats, &mut Budget::unlimited());
         assert_eq!(sink.len(), 0);
         let (ix2, doc2) = setup(&[], "some words here");
         let mut sink2 = CandidateSink::new();
-        generate(&ix2, &doc2, 0.8, Metric::Jaccard, true, &mut sink2, &mut stats, &mut Budget::unlimited());
+        generate(&ix2, &doc2, 0.8, Metric::Jaccard, own(&ix2), true, &mut sink2, &mut stats, &mut Budget::unlimited());
         assert_eq!(sink2.len(), 0);
     }
 
@@ -125,7 +130,7 @@ mod tests {
         // entity distinct len 2, τ=0.8 → E⊥=1, E⊤=3; n=5.
         let mut sink = CandidateSink::new();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 0.8, Metric::Jaccard, true, &mut sink, &mut stats, &mut Budget::unlimited());
+        generate(&ix, &doc, 0.8, Metric::Jaccard, own(&ix), true, &mut sink, &mut stats, &mut Budget::unlimited());
         // p=0..4: lmax = min(3, 5-p) → 3,3,3,2,1 → substrings 3+3+3+2+1 = 12.
         assert_eq!(stats.windows, 5);
         assert_eq!(stats.substrings, 12);

@@ -34,7 +34,7 @@ mod tests {
         let mut dict = Dictionary::new();
         dict.push("machine learning systems", &tok, &mut int);
         dict.push("learning systems", &tok, &mut int);
-        let engine = Aeetes::build(dict, &RuleSet::new(), AeetesConfig::default());
+        let engine = Aeetes::build(dict, &RuleSet::new(), &int, AeetesConfig::default());
         (engine, int, tok)
     }
 

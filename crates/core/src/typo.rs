@@ -96,7 +96,7 @@ mod tests {
         dict.push("University of Auckland New Zealand", &tok, &mut int);
         let mut rules = RuleSet::new();
         rules.push_str("NZ", "New Zealand", &tok, &mut int).unwrap();
-        let engine = Aeetes::build(dict, &rules, AeetesConfig::default());
+        let engine = Aeetes::build(dict, &rules, &int, AeetesConfig::default());
         (engine, int, tok)
     }
 

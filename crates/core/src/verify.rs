@@ -155,7 +155,7 @@ mod tests {
         }
         fn built(&self) -> (DerivedDictionary, ClusteredIndex) {
             let dd = DerivedDictionary::build(&self.dict, &self.rules, &DeriveConfig::default());
-            let ix = ClusteredIndex::build(&dd);
+            let ix = ClusteredIndex::build(&dd, &self.int);
             (dd, ix)
         }
     }

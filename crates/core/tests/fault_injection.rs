@@ -20,7 +20,7 @@ fn sample_engine(config: AeetesConfig) -> (Aeetes, Interner) {
     rules.push_str("uq", "university of queensland", &tok, &mut int).unwrap();
     rules.push_str("usa", "united states", &tok, &mut int).unwrap();
     rules.push_weighted_str("au", "australia", 0.9, &tok, &mut int).unwrap();
-    (Aeetes::build(dict, &rules, config), int)
+    (Aeetes::build(dict, &rules, &int, config), int)
 }
 
 fn saved_bytes() -> Vec<u8> {

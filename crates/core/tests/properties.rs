@@ -66,11 +66,12 @@ proptest! {
     #[test]
     fn batch_matches_serial(doc_tokens in proptest::collection::vec(proptest::collection::vec(0u8..8, 0..20), 0..5),
                             threads in 1usize..6) {
-        let ids: Vec<TokenId> = (0..8).map(TokenId).collect();
+        let mut interner = Interner::new();
+        let ids: Vec<TokenId> = (0..8).map(|i| interner.intern(&format!("tok{i}"))).collect();
         let mut dict = Dictionary::new();
         dict.push_tokens("e0".into(), vec![ids[0], ids[1]]);
         dict.push_tokens("e1".into(), vec![ids[2], ids[3], ids[4]]);
-        let engine = Aeetes::build(dict, &RuleSet::new(), AeetesConfig::default());
+        let engine = Aeetes::build(dict, &RuleSet::new(), &interner, AeetesConfig::default());
         let docs: Vec<Document> = doc_tokens
             .iter()
             .map(|t| Document::from_tokens(t.iter().map(|&i| ids[i as usize]).collect()))
@@ -96,7 +97,7 @@ proptest! {
         for (l, r) in &rule_pairs {
             let _ = rules.push_str(l, r, &tokenizer, &mut interner);
         }
-        let engine = Aeetes::build(dict, &rules, AeetesConfig::default());
+        let engine = Aeetes::build(dict, &rules, &interner, AeetesConfig::default());
         let bytes = save_engine(&engine, &interner);
         let (loaded, mut loaded_interner) = load_engine(&bytes).expect("round trip");
         let doc_a = Document::parse(&doc_text, &tokenizer, &mut interner);

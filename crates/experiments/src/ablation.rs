@@ -41,7 +41,7 @@ pub fn run(config: &Config) {
             };
             let mut engine: Option<Aeetes> = None;
             let build_ms = time_ms_best(1, || {
-                engine = Some(Aeetes::build(data.dictionary.clone(), &data.rules, cfg.clone()));
+                engine = Some(Aeetes::build(data.dictionary.clone(), &data.rules, &data.interner, cfg.clone()));
             });
             let engine = engine.expect("built");
             let tau = 0.8;

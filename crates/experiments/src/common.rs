@@ -116,12 +116,12 @@ pub fn time_ms_best<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 
 /// Builds the synonym-aware engine for a dataset.
 pub fn engine_with_rules(data: &Dataset) -> Aeetes {
-    Aeetes::build(data.dictionary.clone(), &data.rules, AeetesConfig::default())
+    Aeetes::build(data.dictionary.clone(), &data.rules, &data.interner, AeetesConfig::default())
 }
 
 /// Builds the rule-less engine (plain syntactic Jaccard extraction).
 pub fn engine_without_rules(data: &Dataset) -> Aeetes {
-    Aeetes::build(data.dictionary.clone(), &RuleSet::new(), AeetesConfig::default())
+    Aeetes::build(data.dictionary.clone(), &RuleSet::new(), &data.interner, AeetesConfig::default())
 }
 
 /// Fuzzy-Jaccard extraction used by the Table 2 baseline: generate

@@ -57,7 +57,7 @@ pub fn run(config: &Config) {
                     injected += 1;
                 }
             }
-            let engine = Aeetes::build(data.dictionary.clone(), &rules, AeetesConfig::default());
+            let engine = Aeetes::build(data.dictionary.clone(), &rules, &data.interner, AeetesConfig::default());
             let mut plain = PrfCounts::default();
             let mut weighted = PrfCounts::default();
             for (doc_id, doc) in docs.iter().enumerate() {

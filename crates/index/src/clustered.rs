@@ -18,7 +18,8 @@
 
 use crate::order::GlobalOrder;
 use aeetes_rules::{DerivedDictionary, DerivedId};
-use aeetes_text::{EntityId, TokenId};
+use aeetes_text::{EntityId, Interner, TokenId};
+use std::sync::Arc;
 
 /// One posting: a derived entity containing the token, and the token's
 /// position inside the entity's globally-ordered distinct token set.
@@ -140,7 +141,9 @@ impl TokenPostings {
 /// distinct token-key set of every derived entity.
 #[derive(Debug, Clone)]
 pub struct ClusteredIndex {
-    order: GlobalOrder,
+    /// Shared so sharded builds can point every per-shard index at one
+    /// global order (the shared-order invariant, DESIGN.md §10).
+    order: Arc<GlobalOrder>,
     postings: Vec<TokenPostings>,
     /// Rank-key-sorted distinct token sets of all derived entities,
     /// flattened into one arena (`set_offsets[i]..set_offsets[i+1]` is the
@@ -159,10 +162,17 @@ pub struct ClusteredIndex {
 }
 
 impl ClusteredIndex {
-    /// Builds the index (paper Algorithm 2).
-    pub fn build(dd: &DerivedDictionary) -> Self {
-        let order = GlobalOrder::build(dd);
+    /// Builds the index (paper Algorithm 2). The interner supplies the
+    /// strings for the global order's frequency tie-break.
+    pub fn build(dd: &DerivedDictionary, interner: &Interner) -> Self {
+        let order = Arc::new(GlobalOrder::build(dd, interner));
+        Self::build_with_order(dd, order)
+    }
 
+    /// Builds the index against an externally constructed [`GlobalOrder`]
+    /// (the shard build path: one order shared by every shard's index).
+    /// Every token occurring in `dd` must be valid in `order`.
+    pub fn build_with_order(dd: &DerivedDictionary, order: Arc<GlobalOrder>) -> Self {
         // Globally-ordered distinct key set per derived entity, flattened.
         let mut set_data: Vec<u64> = Vec::new();
         let mut set_offsets: Vec<u32> = Vec::with_capacity(dd.len() + 1);
@@ -197,7 +207,7 @@ impl ClusteredIndex {
             // they reach this code.
             let len = u16::try_from(set.len()).expect("entity set larger than u16::MAX tokens");
             for (pos, &key) in set.iter().enumerate() {
-                let t = GlobalOrder::token_of(key);
+                let t = order.token_of(key);
                 raw[t.idx()].push((len, d.origin, id, pos as u16));
             }
         }
@@ -278,6 +288,12 @@ impl ClusteredIndex {
         &self.order
     }
 
+    /// The shared handle to the global order (for building further shard
+    /// indexes against the same order).
+    pub fn shared_order(&self) -> Arc<GlobalOrder> {
+        Arc::clone(&self.order)
+    }
+
     /// The inverted list of `t`, or `None` when `t` occurs in no entity.
     pub fn postings(&self, t: TokenId) -> Option<&TokenPostings> {
         self.postings.get(t.idx()).filter(|p| !p.groups.is_empty())
@@ -349,7 +365,7 @@ mod tests {
             rs.push_str(l, r, &tok, &mut int).unwrap();
         }
         let dd = DerivedDictionary::build(&dict, &rs, &DeriveConfig::default());
-        let index = ClusteredIndex::build(&dd);
+        let index = ClusteredIndex::build(&dd, &int);
         Fixture { int, dd, index }
     }
 
@@ -416,7 +432,7 @@ mod tests {
                     assert_eq!(e.pos, 2);
                     // cross-check against the stored set
                     let set = f.index.derived_set(e.derived);
-                    assert_eq!(GlobalOrder::token_of(set[e.pos as usize]), of);
+                    assert_eq!(f.index.order().token_of(set[e.pos as usize]), of);
                 }
             }
         }

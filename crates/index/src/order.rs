@@ -1,38 +1,125 @@
 //! The global token order `O` (paper §3.2).
 
 use aeetes_rules::DerivedDictionary;
-use aeetes_text::TokenId;
+use aeetes_text::{Interner, TokenId};
 
 /// Ascending-frequency global order over tokens.
 ///
 /// A token's *frequency* is the number of derived entities whose distinct
-/// token set contains it. Tokens are compared by `(frequency, token id)`,
+/// token set contains it. Tokens are compared by `(frequency, token string)`,
 /// packed into a single `u64` key: smaller key ⇒ rarer ⇒ earlier in every
-/// sorted prefix. Tokens that appear in no derived entity (the paper's
-/// *invalid* tokens, including tokens interned after the index was built)
-/// get frequency 0 and therefore sort before all valid tokens — harmless,
-/// because their posting lists are empty.
+/// sorted prefix. Equal-frequency tokens tie-break by their *string* rather
+/// than their interner id, so two builds that intern the same vocabulary in
+/// different insertion orders (e.g. a single-engine build vs. per-shard
+/// builds) still produce identical prefixes. Tokens that appear in no derived
+/// entity (the paper's *invalid* tokens, including tokens interned after the
+/// index was built) get frequency 0 and therefore sort before all valid
+/// tokens — harmless, because their posting lists are empty.
 #[derive(Debug, Clone, Default)]
 pub struct GlobalOrder {
+    /// token idx → number of derived entities containing it (0 = invalid).
     freq: Vec<u32>,
+    /// token idx → rank of the token's string among all valid tokens.
+    /// Only meaningful where `freq > 0`.
+    tie: Vec<u32>,
+    /// string rank → token, inverse of `tie` (valid tokens only).
+    untie: Vec<TokenId>,
 }
 
 impl GlobalOrder {
-    /// Builds the order from a derived dictionary.
-    pub fn build(dd: &DerivedDictionary) -> Self {
-        let max_id = dd.iter().flat_map(|(_, d)| d.tokens.iter()).map(|t| t.idx()).max().map_or(0, |m| m + 1);
+    /// Builds the order from a derived dictionary. The interner must be the
+    /// one the dictionary was tokenized with; it supplies the tie-break
+    /// strings.
+    pub fn build(dd: &DerivedDictionary, interner: &Interner) -> Self {
+        Self::build_many(&[dd], interner)
+    }
+
+    /// Builds one order shared by several derived dictionaries (the shard
+    /// build path): frequencies are summed across all parts, so every part
+    /// sees the same key for the same token regardless of how the entity
+    /// space was partitioned.
+    pub fn build_many(parts: &[&DerivedDictionary], interner: &Interner) -> Self {
+        let max_id = parts
+            .iter()
+            .flat_map(|dd| dd.iter())
+            .flat_map(|(_, d)| d.tokens.iter())
+            .map(|t| t.idx())
+            .max()
+            .map_or(0, |m| m + 1);
         let mut freq = vec![0u32; max_id];
         let mut seen: Vec<TokenId> = Vec::new();
-        for (_, d) in dd.iter() {
-            seen.clear();
-            seen.extend_from_slice(&d.tokens);
-            seen.sort_unstable();
-            seen.dedup();
-            for t in &seen {
-                freq[t.idx()] += 1;
+        for dd in parts {
+            for (_, d) in dd.iter() {
+                seen.clear();
+                seen.extend_from_slice(&d.tokens);
+                seen.sort_unstable();
+                seen.dedup();
+                for t in &seen {
+                    freq[t.idx()] += 1;
+                }
             }
         }
-        Self { freq }
+        let mut order = Self { freq, tie: vec![0; max_id], untie: Vec::new() };
+        let fresh: Vec<TokenId> = (0..max_id as u32).map(TokenId).filter(|t| order.freq[t.idx()] > 0).collect();
+        order.assign_ranks(fresh, interner);
+        order
+    }
+
+    /// Extends the order with tokens that first appear in `parts`, keeping
+    /// every existing key frozen (append-only).
+    ///
+    /// This is the delta path: a generation update must not re-key tokens
+    /// that unaffected shards already indexed, so existing frequencies and
+    /// tie ranks are left untouched and only previously-invalid tokens are
+    /// admitted (with their frequency counted over `parts` and string ranks
+    /// appended after all existing ranks). The resulting order can drift
+    /// from the true corpus frequencies — that affects prefix sizes
+    /// (performance), never correctness; a full rebuild re-keys everything.
+    pub fn extend(&self, parts: &[&DerivedDictionary], interner: &Interner) -> Self {
+        let max_id = parts
+            .iter()
+            .flat_map(|dd| dd.iter())
+            .flat_map(|(_, d)| d.tokens.iter())
+            .map(|t| t.idx())
+            .max()
+            .map_or(0, |m| m + 1)
+            .max(self.freq.len());
+        let mut next = self.clone();
+        next.freq.resize(max_id, 0);
+        next.tie.resize(max_id, 0);
+        let mut delta = vec![0u32; max_id];
+        let mut seen: Vec<TokenId> = Vec::new();
+        for dd in parts {
+            for (_, d) in dd.iter() {
+                seen.clear();
+                seen.extend_from_slice(&d.tokens);
+                seen.sort_unstable();
+                seen.dedup();
+                for t in &seen {
+                    delta[t.idx()] += 1;
+                }
+            }
+        }
+        let mut fresh: Vec<TokenId> = Vec::new();
+        for (i, &d) in delta.iter().enumerate() {
+            if d > 0 && next.freq[i] == 0 {
+                next.freq[i] = d;
+                fresh.push(TokenId(i as u32));
+            }
+        }
+        next.assign_ranks(fresh, interner);
+        next
+    }
+
+    /// Sorts `fresh` tokens by string and appends their tie ranks after all
+    /// existing ones. The interner never stores the same string twice, so
+    /// the string order is total and rank assignment is deterministic.
+    fn assign_ranks(&mut self, mut fresh: Vec<TokenId>, interner: &Interner) {
+        fresh.sort_unstable_by_key(|&t| interner.resolve(t));
+        for t in fresh {
+            self.tie[t.idx()] = self.untie.len() as u32;
+            self.untie.push(t);
+        }
     }
 
     /// The frequency of `t` in the derived dictionary (0 for invalid tokens).
@@ -47,17 +134,28 @@ impl GlobalOrder {
         self.freq(t) > 0
     }
 
-    /// The total-order key of `t`: `(frequency, token id)` packed as
-    /// `freq << 32 | id`. Smaller key = rarer token = earlier in prefixes.
+    /// The total-order key of `t`: `(frequency, string rank)` packed as
+    /// `freq << 32 | rank`. Smaller key = rarer token = earlier in prefixes.
+    /// Invalid tokens key as their raw id below `1 << 32`, i.e. before every
+    /// valid token.
     #[inline]
     pub fn key(&self, t: TokenId) -> u64 {
-        ((self.freq(t) as u64) << 32) | t.0 as u64
+        let f = self.freq(t);
+        if f == 0 {
+            t.0 as u64
+        } else {
+            ((f as u64) << 32) | self.tie[t.idx()] as u64
+        }
     }
 
     /// Recovers the token id from a key produced by [`GlobalOrder::key`].
     #[inline]
-    pub fn token_of(key: u64) -> TokenId {
-        TokenId(key as u32)
+    pub fn token_of(&self, key: u64) -> TokenId {
+        if key >> 32 == 0 {
+            TokenId(key as u32)
+        } else {
+            self.untie[(key & 0xFFFF_FFFF) as usize]
+        }
     }
 
     /// Sorts `tokens` in place by the global order and removes duplicates.
@@ -71,7 +169,7 @@ impl GlobalOrder {
 mod tests {
     use super::*;
     use aeetes_rules::{DeriveConfig, RuleSet};
-    use aeetes_text::{Dictionary, Interner, Tokenizer};
+    use aeetes_text::{Dictionary, Tokenizer};
 
     fn build(entries: &[&str], rules: &[(&str, &str)]) -> (GlobalOrder, Interner) {
         let mut int = Interner::new();
@@ -82,7 +180,7 @@ mod tests {
             rs.push_str(l, r, &tok, &mut int).unwrap();
         }
         let dd = DerivedDictionary::build(&dict, &rs, &DeriveConfig::default());
-        (GlobalOrder::build(&dd), int)
+        (GlobalOrder::build(&dd, &int), int)
     }
 
     #[test]
@@ -142,6 +240,65 @@ mod tests {
     fn key_round_trips_token() {
         let (o, mut i) = build(&["x y"], &[]);
         let x = i.intern("x");
-        assert_eq!(GlobalOrder::token_of(o.key(x)), x);
+        assert_eq!(o.token_of(o.key(x)), x);
+        let unknown = i.intern("unseen");
+        assert_eq!(o.token_of(o.key(unknown)), unknown, "invalid tokens round-trip through raw-id keys");
+    }
+
+    #[test]
+    fn equal_frequency_ties_break_by_string_not_insertion_order() {
+        // Same vocabulary, opposite interner insertion orders.
+        let tok = Tokenizer::default();
+        let mut i1 = Interner::new();
+        let d1 = Dictionary::from_strings(["zebra", "apple"], &tok, &mut i1);
+        let o1 = GlobalOrder::build(&DerivedDictionary::build(&d1, &RuleSet::new(), &DeriveConfig::default()), &i1);
+        let mut i2 = Interner::new();
+        let d2 = Dictionary::from_strings(["apple", "zebra"], &tok, &mut i2);
+        let o2 = GlobalOrder::build(&DerivedDictionary::build(&d2, &RuleSet::new(), &DeriveConfig::default()), &i2);
+        // Both tokens have frequency 1; "apple" must sort before "zebra" in
+        // both builds even though the interner ids are swapped.
+        assert!(o1.key(i1.intern("apple")) < o1.key(i1.intern("zebra")));
+        assert!(o2.key(i2.intern("apple")) < o2.key(i2.intern("zebra")));
+    }
+
+    #[test]
+    fn build_many_matches_union_build() {
+        let tok = Tokenizer::default();
+        let mut int = Interner::new();
+        let dict = Dictionary::from_strings(["a b", "a c", "d e"], &tok, &mut int);
+        let rs = RuleSet::new();
+        let cfg = DeriveConfig::default();
+        let whole = DerivedDictionary::build(&dict, &rs, &cfg);
+        let even = DerivedDictionary::build_filtered(&dict, &rs, &cfg, |e| e.0 % 2 == 0);
+        let odd = DerivedDictionary::build_filtered(&dict, &rs, &cfg, |e| e.0 % 2 == 1);
+        let o_whole = GlobalOrder::build(&whole, &int);
+        let o_parts = GlobalOrder::build_many(&[&even, &odd], &int);
+        for t in 0..int.len() as u32 {
+            assert_eq!(o_whole.key(TokenId(t)), o_parts.key(TokenId(t)), "token {t}");
+        }
+    }
+
+    #[test]
+    fn extend_freezes_existing_keys_and_appends_new_tokens() {
+        let tok = Tokenizer::default();
+        let mut int = Interner::new();
+        let dict = Dictionary::from_strings(["a b", "a c"], &tok, &mut int);
+        let rs = RuleSet::new();
+        let cfg = DeriveConfig::default();
+        let base = GlobalOrder::build(&DerivedDictionary::build(&dict, &rs, &cfg), &int);
+        let a = int.intern("a");
+        let b = int.intern("b");
+        let key_a = base.key(a);
+        let key_b = base.key(b);
+        // Delta introduces "a z": `a` gains real frequency, `z` is new.
+        let mut dict2 = dict.clone();
+        dict2.push_tokens("a z".to_string(), vec![a, int.intern("z")]);
+        let delta = DerivedDictionary::build_filtered(&dict2, &rs, &cfg, |e| e.0 == 2);
+        let ext = base.extend(&[&delta], &int);
+        assert_eq!(ext.key(a), key_a, "existing keys are frozen");
+        assert_eq!(ext.key(b), key_b);
+        let z = int.intern("z");
+        assert!(ext.is_valid(z), "new token becomes valid");
+        assert_eq!(ext.token_of(ext.key(z)), z);
     }
 }

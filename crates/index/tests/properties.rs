@@ -1,9 +1,9 @@
 //! Property tests: the clustered index is a faithful, well-clustered view
 //! of the derived dictionary.
 
-use aeetes_index::{ClusteredIndex, GlobalOrder};
+use aeetes_index::ClusteredIndex;
 use aeetes_rules::{DeriveConfig, DerivedDictionary, DerivedId, RuleSet};
-use aeetes_text::{Dictionary, TokenId};
+use aeetes_text::{Dictionary, Interner, TokenId};
 use proptest::prelude::*;
 use std::collections::HashMap;
 
@@ -21,7 +21,8 @@ fn instance() -> impl Strategy<Value = Instance> {
 }
 
 fn build(inst: &Instance) -> (DerivedDictionary, ClusteredIndex) {
-    let ids: Vec<TokenId> = (0..12).map(TokenId).collect();
+    let mut interner = Interner::new();
+    let ids: Vec<TokenId> = (0..12).map(|i| interner.intern(&format!("tok{i:02}"))).collect();
     let mut dict = Dictionary::new();
     for e in &inst.entities {
         dict.push_tokens(format!("{e:?}"), e.iter().map(|&i| ids[i as usize]).collect());
@@ -33,7 +34,7 @@ fn build(inst: &Instance) -> (DerivedDictionary, ClusteredIndex) {
         let _ = rules.push_tokens(lt, rt, 1.0);
     }
     let dd = DerivedDictionary::build(&dict, &rules, &DeriveConfig::default());
-    let index = ClusteredIndex::build(&dd);
+    let index = ClusteredIndex::build(&dd, &interner);
     (dd, index)
 }
 
@@ -57,7 +58,7 @@ proptest! {
                         prop_assert_eq!(index.set_len(e.derived), g.len());
                         prop_assert_eq!(dd.derived(e.derived).origin, og.origin);
                         let set = index.derived_set(e.derived);
-                        prop_assert_eq!(GlobalOrder::token_of(set[e.pos as usize]), TokenId(t));
+                        prop_assert_eq!(index.order().token_of(set[e.pos as usize]), TokenId(t));
                     }
                 }
             }
@@ -67,7 +68,7 @@ proptest! {
             let set = index.derived_set(id);
             expected += set.len();
             for &key in set {
-                let t = GlobalOrder::token_of(key);
+                let t = index.order().token_of(key);
                 prop_assert_eq!(found.get(&(t.0, id.0)).copied(), Some(1),
                     "token {:?} of derived {:?} indexed wrong number of times", t, id);
             }
@@ -130,7 +131,7 @@ proptest! {
         let mut freq: HashMap<u32, u32> = HashMap::new();
         for (id, _) in dd.iter() {
             for &key in index.derived_set(id) {
-                *freq.entry(GlobalOrder::token_of(key).0).or_insert(0) += 1;
+                *freq.entry(index.order().token_of(key).0).or_insert(0) += 1;
             }
         }
         for (&t, &f) in &freq {

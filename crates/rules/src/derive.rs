@@ -114,15 +114,26 @@ impl DerivedDictionary {
     /// origin first, then combinations in mixed-radix order over the
     /// span groups (leftmost span = least significant digit).
     pub fn build(dict: &Dictionary, rules: &RuleSet, config: &DeriveConfig) -> Self {
+        Self::build_filtered(dict, rules, config, |_| true)
+    }
+
+    /// Expands only the entities selected by `keep`, preserving the *full*
+    /// origin id space: origins outside the filter get empty variant ranges
+    /// but remain addressable, so a shard's derived dictionary keeps global
+    /// [`EntityId`]s. Derivation work (and [`DeriveStats::origins`]) counts
+    /// only kept origins; `build` is `build_filtered(.., |_| true)`.
+    pub fn build_filtered(dict: &Dictionary, rules: &RuleSet, config: &DeriveConfig, keep: impl Fn(EntityId) -> bool) -> Self {
         let mut out = Self::default();
         out.by_origin.reserve(dict.len());
         for (eid, ent) in dict.iter() {
             let first = out.derived.len() as u32;
-            if !ent.tokens.is_empty() {
-                out.expand_entity(eid, &ent.tokens, rules, config);
+            if keep(eid) {
+                if !ent.tokens.is_empty() {
+                    out.expand_entity(eid, &ent.tokens, rules, config);
+                }
+                out.stats.origins += 1;
             }
             out.by_origin.push((first, out.derived.len() as u32));
-            out.stats.origins += 1;
         }
         out.stats.derived = out.derived.len();
         out

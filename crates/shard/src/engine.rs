@@ -1,0 +1,511 @@
+//! The mutable shell around immutable generations: parallel build, delta
+//! updates with affected-shard rebuild, atomic epoch swap, persistence.
+
+use crate::generation::{shard_of, Generation, Shard};
+use aeetes_core::{AeetesConfig, ShardedParts};
+use aeetes_index::GlobalOrder;
+use aeetes_rules::{find_applications, DeriveStats, DerivedDictionary, DerivedEntity, RuleError, RuleSet};
+use aeetes_text::{Dictionary, EntityId, Interner, Tokenizer};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Upper bound on the shard count: the fan-out spawns one thread per shard
+/// per extraction, so an absurd count must not be able to exhaust threads.
+const MAX_SHARDS: usize = 64;
+
+/// A batch of dictionary/rule changes applied as one new generation.
+#[derive(Debug, Clone, Default)]
+pub struct DictDelta {
+    /// Raw entity strings to append (ids continue after the current table).
+    pub add_entities: Vec<String>,
+    /// Origin ids to tombstone: their variants leave the index, their id
+    /// slots stay reserved so surviving ids never shift.
+    pub remove_entities: Vec<EntityId>,
+    /// Synonym rules to append. Existing derivations only change where a
+    /// new rule is applicable (those origins' shards are rebuilt).
+    pub add_rules: Vec<RuleDelta>,
+}
+
+impl DictDelta {
+    /// Whether the delta changes anything.
+    pub fn is_empty(&self) -> bool {
+        self.add_entities.is_empty() && self.remove_entities.is_empty() && self.add_rules.is_empty()
+    }
+}
+
+/// One rule in a [`DictDelta`].
+#[derive(Debug, Clone)]
+pub struct RuleDelta {
+    /// Left-hand side (tokenized on application).
+    pub lhs: String,
+    /// Right-hand side.
+    pub rhs: String,
+    /// Confidence weight in `(0, 1]`; use `1.0` for classic rules.
+    pub weight: f64,
+}
+
+/// Errors applying a [`DictDelta`]. The update is all-or-nothing: on error
+/// the current generation stays in place untouched.
+#[derive(Debug)]
+pub enum UpdateError {
+    /// A removal names an origin id outside the dictionary.
+    UnknownEntity(u32),
+    /// A new rule is invalid (empty side, trivial, bad weight).
+    Rule(RuleError),
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::UnknownEntity(id) => write!(f, "delta removes unknown entity id {id}"),
+            UpdateError::Rule(e) => write!(f, "delta contains an invalid rule: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// The sharded extraction engine: an atomically swappable current
+/// [`Generation`] plus an update lock serializing writers.
+///
+/// Readers call [`ShardedEngine::snapshot`] and extract against the
+/// returned `Arc<Generation>`; they are never blocked by an update (the
+/// epoch pointer swap is the only write they can observe). Updates build
+/// the next generation off to the side — rebuilding only affected shards —
+/// and swap when fully constructed.
+pub struct ShardedEngine {
+    current: RwLock<Arc<Generation>>,
+    /// Serializes `apply_update` calls; never held while readers extract.
+    update_lock: Mutex<()>,
+}
+
+/// Resolves a requested shard count: `0` means the machine's available
+/// parallelism; anything is clamped into `1..=MAX_SHARDS`.
+fn resolve_shards(requested: usize) -> usize {
+    let n = if requested == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        requested
+    };
+    n.clamp(1, MAX_SHARDS)
+}
+
+/// Derives each shard's slice of the dictionary in parallel. `keep` further
+/// filters origins (tombstones); the slices keep the full origin id space.
+fn derive_shards(
+    dict: &Dictionary,
+    rules: &RuleSet,
+    config: &AeetesConfig,
+    n: usize,
+    keep: &(impl Fn(EntityId) -> bool + Sync),
+) -> Vec<DerivedDictionary> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n)
+            .map(|i| s.spawn(move || DerivedDictionary::build_filtered(dict, rules, &config.derive, |e| shard_of(e, n) == i && keep(e))))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("shard derivation panicked")).collect()
+    })
+}
+
+/// Builds clustered indexes for `dds` in parallel against one shared order.
+fn index_shards(dds: Vec<DerivedDictionary>, order: &Arc<GlobalOrder>) -> Vec<Arc<Shard>> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = dds
+            .into_iter()
+            .map(|dd| {
+                let order = Arc::clone(order);
+                s.spawn(move || Arc::new(Shard::build(dd, order)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("shard index build panicked")).collect()
+    })
+}
+
+impl ShardedEngine {
+    /// Builds generation 1 from scratch: per-shard derivation in parallel,
+    /// one global order over the union, per-shard indexes in parallel.
+    /// `shards == 0` uses the machine's available parallelism.
+    pub fn build(dict: Dictionary, rules: &RuleSet, interner: &Interner, config: AeetesConfig, shards: usize) -> Self {
+        let n = resolve_shards(shards);
+        let dds = derive_shards(&dict, rules, &config, n, &|_| true);
+        let refs: Vec<&DerivedDictionary> = dds.iter().collect();
+        let order = Arc::new(GlobalOrder::build_many(&refs, interner));
+        let shards = index_shards(dds, &order);
+        let generation = Generation::assemble(1, interner.clone(), dict, Vec::new(), rules.clone(), config, order, shards);
+        ShardedEngine { current: RwLock::new(Arc::new(generation)), update_lock: Mutex::new(()) }
+    }
+
+    /// The current generation. The returned snapshot stays fully usable
+    /// (and its shards resident) for as long as the caller holds it, even
+    /// across any number of subsequent updates.
+    pub fn snapshot(&self) -> Arc<Generation> {
+        Arc::clone(&self.current.read().unwrap_or_else(|p| p.into_inner()))
+    }
+
+    /// The current generation number.
+    pub fn generation_id(&self) -> u64 {
+        self.snapshot().id()
+    }
+
+    /// The shard count (fixed for the engine's lifetime).
+    pub fn shard_count(&self) -> usize {
+        self.snapshot().shard_count()
+    }
+
+    /// Applies a delta as a new generation and returns it.
+    ///
+    /// Only the shards owning an added, removed, or rule-affected origin
+    /// are re-derived and re-indexed; the rest are reused by reference. The
+    /// global order is extended append-only (existing keys frozen), so the
+    /// reused indexes remain correct next to the rebuilt ones. The swap is
+    /// atomic; concurrent extractions see either the old or the new
+    /// generation, never a mixture.
+    pub fn apply_update(&self, delta: &DictDelta, tokenizer: &Tokenizer) -> Result<Arc<Generation>, UpdateError> {
+        let _guard = self.update_lock.lock().unwrap_or_else(|p| p.into_inner());
+        let cur = self.snapshot();
+        let n = cur.shard_count();
+
+        for e in &delta.remove_entities {
+            if e.idx() >= cur.dict.len() {
+                return Err(UpdateError::UnknownEntity(e.0));
+            }
+        }
+
+        let mut interner = cur.interner.clone();
+        let mut dict = cur.dict.clone();
+        let mut rules = cur.rules.clone();
+        let mut removed: BTreeSet<u32> = cur.removed.iter().map(|e| e.0).collect();
+
+        // New rules go into the full table and (as token copies) into a
+        // fresh table used only to test which existing origins they touch.
+        let mut fresh_rules = RuleSet::new();
+        for r in &delta.add_rules {
+            let id = rules
+                .push_weighted_str(&r.lhs, &r.rhs, r.weight, tokenizer, &mut interner)
+                .map_err(UpdateError::Rule)?;
+            let rule = rules.rule(id);
+            fresh_rules
+                .push_tokens(rule.lhs.clone(), rule.rhs.clone(), rule.weight)
+                .map_err(UpdateError::Rule)?;
+        }
+
+        let first_new = dict.len() as u32;
+        for raw in &delta.add_entities {
+            dict.push(raw, tokenizer, &mut interner);
+        }
+
+        let mut affected = vec![false; n];
+        for e in &delta.remove_entities {
+            if removed.insert(e.0) {
+                affected[shard_of(*e, n)] = true;
+            }
+        }
+        for id in first_new..dict.len() as u32 {
+            affected[shard_of(EntityId(id), n)] = true;
+        }
+        if !fresh_rules.is_empty() {
+            for (e, ent) in dict.iter() {
+                if removed.contains(&e.0) || affected[shard_of(e, n)] {
+                    continue;
+                }
+                if !find_applications(&ent.tokens, &fresh_rules).is_empty() {
+                    affected[shard_of(e, n)] = true;
+                }
+            }
+        }
+
+        let affected_ids: Vec<usize> = (0..n).filter(|&i| affected[i]).collect();
+        let keep = |e: EntityId| !removed.contains(&e.0);
+        let new_dds: Vec<DerivedDictionary> = std::thread::scope(|s| {
+            let dict = &dict;
+            let rules = &rules;
+            let config = &cur.config;
+            let keep = &keep;
+            let handles: Vec<_> = affected_ids
+                .iter()
+                .map(|&i| s.spawn(move || DerivedDictionary::build_filtered(dict, rules, &config.derive, |e| shard_of(e, n) == i && keep(e))))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard derivation panicked")).collect()
+        });
+
+        // Freeze existing token keys; only genuinely new tokens get keys,
+        // placed after every existing one. Unaffected shards' indexes keep
+        // their old `Arc<GlobalOrder>`, which agrees on every key they can
+        // ever look up.
+        let refs: Vec<&DerivedDictionary> = new_dds.iter().collect();
+        let order = Arc::new(cur.order.extend(&refs, &interner));
+
+        let rebuilt = index_shards(new_dds, &order);
+        let mut shards = cur.shards.clone();
+        for (&i, shard) in affected_ids.iter().zip(rebuilt) {
+            shard.inherit_counters(&cur.shards[i]);
+            shards[i] = shard;
+        }
+
+        let removed: Vec<EntityId> = removed.into_iter().map(EntityId).collect();
+        let next = Arc::new(Generation::assemble(cur.id() + 1, interner, dict, removed, rules, cur.config.clone(), order, shards));
+        *self.current.write().unwrap_or_else(|p| p.into_inner()) = Arc::clone(&next);
+        Ok(next)
+    }
+
+    /// Snapshots the current generation into persistable parts
+    /// (`AEET` format v3 via [`aeetes_core::save_sharded`]).
+    pub fn to_parts(&self) -> ShardedParts {
+        let g = self.snapshot();
+        ShardedParts {
+            interner: g.interner.clone(),
+            dict: g.dict.clone(),
+            removed: g.removed.clone(),
+            rules: g.rules.clone(),
+            config: g.config.clone(),
+            segments: g.shards.iter().map(|s| s.dd.clone()).collect(),
+        }
+    }
+
+    /// Reconstructs an engine from persisted parts, as generation 1.
+    ///
+    /// `shards` overrides the shard count (`None` keeps the artifact's
+    /// segment count, `Some(0)` means available parallelism). When the
+    /// stored segments already match this engine's routing they are adopted
+    /// as-is; otherwise the variants are re-partitioned — no re-derivation
+    /// either way, so loading stays cheap.
+    pub fn from_parts(parts: ShardedParts, shards: Option<usize>) -> Result<Self, String> {
+        let ShardedParts { interner, dict, removed, rules, config, segments } = parts;
+        let n = match shards {
+            None => resolve_shards(segments.len()),
+            Some(req) => resolve_shards(req),
+        };
+        let tombstoned: BTreeSet<u32> = removed.iter().map(|e| e.0).collect();
+        let routed = n == segments.len()
+            && segments
+                .iter()
+                .enumerate()
+                .all(|(i, dd)| dd.iter().all(|(_, d)| shard_of(d.origin, n) == i && !tombstoned.contains(&d.origin.0)));
+        let dds: Vec<DerivedDictionary> = if routed {
+            segments
+        } else {
+            // Merge every segment, then split the variant stream along this
+            // engine's routing. Stable sort keeps intra-origin variant order.
+            let mut all: Vec<DerivedEntity> = segments.into_iter().flat_map(|dd| dd.iter().map(|(_, d)| d.clone()).collect::<Vec<_>>()).collect();
+            all.sort_by_key(|d| d.origin.0);
+            let mut buckets: Vec<Vec<DerivedEntity>> = (0..n).map(|_| Vec::new()).collect();
+            for d in all {
+                if tombstoned.contains(&d.origin.0) {
+                    continue;
+                }
+                buckets[shard_of(d.origin, n)].push(d);
+            }
+            buckets
+                .into_iter()
+                .map(|b| DerivedDictionary::from_parts(b, dict.len(), DeriveStats::default()))
+                .collect::<Result<_, _>>()?
+        };
+        let refs: Vec<&DerivedDictionary> = dds.iter().collect();
+        let order = Arc::new(GlobalOrder::build_many(&refs, &interner));
+        let built = index_shards(dds, &order);
+        let generation = Generation::assemble(1, interner, dict, removed, rules, config, order, built);
+        Ok(ShardedEngine { current: RwLock::new(Arc::new(generation)), update_lock: Mutex::new(()) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aeetes_core::{save_sharded, Aeetes, ExtractBackend, ExtractLimits};
+    use aeetes_text::Document;
+
+    fn fixture() -> (Dictionary, RuleSet, Interner, Tokenizer) {
+        let mut int = Interner::new();
+        let tok = Tokenizer::default();
+        let mut dict = Dictionary::new();
+        for raw in ["purdue university usa", "uq au", "university of wisconsin madison", "rmit au", "nyu ny usa"] {
+            dict.push(raw, &tok, &mut int);
+        }
+        let mut rules = RuleSet::new();
+        rules.push_str("uq", "university of queensland", &tok, &mut int).unwrap();
+        rules.push_str("au", "australia", &tok, &mut int).unwrap();
+        rules.push_str("usa", "united states", &tok, &mut int).unwrap();
+        (dict, rules, int, tok)
+    }
+
+    fn docs(int: &mut Interner, tok: &Tokenizer) -> Vec<Document> {
+        [
+            "she left uq australia for purdue university united states",
+            "rmit australia and nyu ny united states",
+            "university of wisconsin madison",
+            "no entities here at all",
+        ]
+        .iter()
+        .map(|t| Document::parse(t, tok, int))
+        .collect()
+    }
+
+    #[test]
+    fn sharded_matches_monolithic_for_all_shard_counts() {
+        let (dict, rules, int, tok) = fixture();
+        let mono = Aeetes::build(dict.clone(), &rules, &int, AeetesConfig::default());
+        for n in [1, 2, 3, 7, 16] {
+            let engine = ShardedEngine::build(dict.clone(), &rules, &int, AeetesConfig::default(), n);
+            assert_eq!(engine.shard_count(), n);
+            let generation = engine.snapshot();
+            let mut int2 = int.clone();
+            for doc in docs(&mut int2, &tok) {
+                for tau in [0.6, 0.8, 1.0] {
+                    assert_eq!(generation.extract_all(&doc, tau), mono.extract(&doc, tau), "n={n} tau={tau}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_resolves_to_available_parallelism() {
+        let (dict, rules, int, _) = fixture();
+        let engine = ShardedEngine::build(dict, &rules, &int, AeetesConfig::default(), 0);
+        assert!(engine.shard_count() >= 1);
+        assert!(engine.shard_count() <= MAX_SHARDS);
+    }
+
+    #[test]
+    fn update_adds_entities_and_rules_incrementally() {
+        let (dict, rules, int, tok) = fixture();
+        let engine = ShardedEngine::build(dict.clone(), &rules, &int, AeetesConfig::default(), 4);
+        assert_eq!(engine.generation_id(), 1);
+        let delta = DictDelta {
+            add_entities: vec!["eth zurich ch".into()],
+            remove_entities: vec![EntityId(1)], // "uq au"
+            add_rules: vec![RuleDelta { lhs: "ch".into(), rhs: "switzerland".into(), weight: 1.0 }],
+        };
+        let generation = engine.apply_update(&delta, &tok).expect("update");
+        assert_eq!(generation.id(), 2);
+        assert_eq!(engine.generation_id(), 2);
+        assert_eq!(generation.removed(), &[EntityId(1)]);
+
+        // The updated engine equals a monolithic engine over the updated
+        // dictionary (removed origin filtered out at derive time).
+        let mut int2 = generation.interner().clone();
+        let mut dict2 = dict;
+        dict2.push("eth zurich ch", &tok, &mut int2);
+        let mut rules2 = rules;
+        rules2.push_str("ch", "switzerland", &tok, &mut int2).unwrap();
+        let dd = DerivedDictionary::build_filtered(&dict2, &rules2, &AeetesConfig::default().derive, |e| e != EntityId(1));
+        let mono = Aeetes::from_parts(dict2, dd, &int2, AeetesConfig::default());
+        for text in ["eth zurich switzerland", "uq australia", "purdue university united states"] {
+            let doc = Document::parse(text, &tok, &mut int2);
+            for tau in [0.6, 0.9] {
+                assert_eq!(generation.extract_all(&doc, tau), mono.extract(&doc, tau), "doc={text} tau={tau}");
+            }
+        }
+        // The tombstoned entity no longer matches anything.
+        let doc = Document::parse("uq au", &tok, &mut int2);
+        assert!(generation.extract_all(&doc, 1.0).iter().all(|m| m.entity != EntityId(1)));
+    }
+
+    #[test]
+    fn update_reuses_unaffected_shards() {
+        let (dict, rules, int, tok) = fixture();
+        let engine = ShardedEngine::build(dict, &rules, &int, AeetesConfig::default(), 8);
+        let before = engine.snapshot();
+        let delta = DictDelta { add_entities: vec!["brand new entity".into()], ..Default::default() };
+        let after = engine.apply_update(&delta, &tok).expect("update");
+        let new_shard = shard_of(EntityId(5), 8);
+        let mut reused = 0;
+        for i in 0..8 {
+            if Arc::ptr_eq(&before.shards[i], &after.shards[i]) {
+                reused += 1;
+            } else {
+                assert_eq!(i, new_shard, "only the shard owning the new entity may rebuild");
+            }
+        }
+        assert_eq!(reused, 7);
+    }
+
+    #[test]
+    fn old_snapshot_survives_update() {
+        let (dict, rules, int, tok) = fixture();
+        let engine = ShardedEngine::build(dict, &rules, &int, AeetesConfig::default(), 2);
+        let old = engine.snapshot();
+        let mut int2 = old.interner().clone();
+        let doc = Document::parse("uq australia", &tok, &mut int2);
+        let before = old.extract_all(&doc, 0.8);
+        engine
+            .apply_update(&DictDelta { remove_entities: vec![EntityId(1)], ..Default::default() }, &tok)
+            .expect("update");
+        // The old epoch still answers identically.
+        assert_eq!(old.extract_all(&doc, 0.8), before);
+        // The new epoch no longer reports the removed entity.
+        assert!(engine.snapshot().extract_all(&doc, 0.8).iter().all(|m| m.entity != EntityId(1)));
+    }
+
+    #[test]
+    fn invalid_delta_is_rejected_and_leaves_generation_unchanged() {
+        let (dict, rules, int, tok) = fixture();
+        let engine = ShardedEngine::build(dict, &rules, &int, AeetesConfig::default(), 2);
+        let bad_remove = DictDelta { remove_entities: vec![EntityId(99)], ..Default::default() };
+        assert!(matches!(engine.apply_update(&bad_remove, &tok), Err(UpdateError::UnknownEntity(99))));
+        let bad_rule = DictDelta {
+            add_rules: vec![RuleDelta { lhs: "x".into(), rhs: "x".into(), weight: 1.0 }],
+            ..Default::default()
+        };
+        assert!(matches!(engine.apply_update(&bad_rule, &tok), Err(UpdateError::Rule(_))));
+        assert_eq!(engine.generation_id(), 1, "failed updates must not consume a generation");
+    }
+
+    #[test]
+    fn persistence_round_trips_through_v3() {
+        let (dict, rules, int, tok) = fixture();
+        let engine = ShardedEngine::build(dict, &rules, &int, AeetesConfig::default(), 3);
+        engine
+            .apply_update(
+                &DictDelta {
+                    add_entities: vec!["eth zurich".into()],
+                    remove_entities: vec![EntityId(0)],
+                    ..Default::default()
+                },
+                &tok,
+            )
+            .expect("update");
+        let bytes = save_sharded(&engine.to_parts());
+        let loaded = aeetes_core::load_sharded(&bytes).expect("load");
+        for &override_n in &[None, Some(1), Some(5)] {
+            let restored = ShardedEngine::from_parts(loaded.clone(), override_n).expect("from_parts");
+            let g1 = engine.snapshot();
+            let g2 = restored.snapshot();
+            assert_eq!(g2.removed(), g1.removed());
+            assert_eq!(g2.variants(), g1.variants());
+            let mut int2 = g1.interner().clone();
+            for text in ["eth zurich", "uq australia", "purdue university usa"] {
+                let doc = Document::parse(text, &tok, &mut int2);
+                assert_eq!(g2.extract_all(&doc, 0.7), g1.extract_all(&doc, 0.7), "shards={override_n:?} doc={text}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_stats_track_serving() {
+        let (dict, rules, int, tok) = fixture();
+        let engine = ShardedEngine::build(dict, &rules, &int, AeetesConfig::default(), 4);
+        let generation = engine.snapshot();
+        let mut int2 = generation.interner().clone();
+        let doc = Document::parse("purdue university united states", &tok, &mut int2);
+        let _ = generation.extract_limited(&doc, 0.8, &ExtractLimits::UNLIMITED, None);
+        let stats = generation.shard_stats();
+        assert_eq!(stats.len(), 4);
+        assert!(stats.iter().all(|s| s.served == 1), "every shard answers every request: {stats:?}");
+        assert_eq!(stats.iter().map(|s| s.entities).sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn counters_survive_shard_rebuilds() {
+        let (dict, rules, int, tok) = fixture();
+        let engine = ShardedEngine::build(dict, &rules, &int, AeetesConfig::default(), 1);
+        let g1 = engine.snapshot();
+        let mut int2 = g1.interner().clone();
+        let doc = Document::parse("uq australia", &tok, &mut int2);
+        let _ = g1.extract_all(&doc, 0.8);
+        let g2 = engine
+            .apply_update(&DictDelta { add_entities: vec!["new one".into()], ..Default::default() }, &tok)
+            .expect("update");
+        assert_eq!(g2.shard_stats()[0].served, 1, "rebuilt shard inherits cumulative counters");
+    }
+}

@@ -1,0 +1,268 @@
+//! Immutable generations: one fully-built sharded engine state.
+
+use aeetes_core::{extract_segment, AeetesConfig, CancelToken, ExtractBackend, ExtractLimits, ExtractOutcome, ExtractStats, Match};
+use aeetes_index::{ClusteredIndex, GlobalOrder};
+use aeetes_rules::{DerivedDictionary, DerivedId, RuleSet};
+use aeetes_text::{Dictionary, Document, EntityId, Interner};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Deterministic origin-entity → shard routing: a bit-mixed hash of the id
+/// modulo the shard count. Mixing (rather than `id % n`) keeps shards
+/// balanced when entity ids carry structure (e.g. sorted-by-source blocks).
+pub fn shard_of(e: EntityId, shards: usize) -> usize {
+    debug_assert!(shards > 0, "shard count must be positive");
+    (splitmix64(u64::from(e.0)) % shards as u64) as usize
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One shard: the derived variants of its resident origins plus their
+/// clustered index, built against the generation's shared global order.
+/// Serving counters are cumulative and carried forward when a generation
+/// update reuses the shard unchanged.
+pub struct Shard {
+    pub(crate) dd: DerivedDictionary,
+    pub(crate) index: ClusteredIndex,
+    /// Resident origins (those with at least one variant here).
+    resident: usize,
+    served: AtomicU64,
+    candidates: AtomicU64,
+}
+
+impl Shard {
+    pub(crate) fn build(dd: DerivedDictionary, order: Arc<GlobalOrder>) -> Self {
+        let index = ClusteredIndex::build_with_order(&dd, order);
+        let mut resident = 0usize;
+        let mut prev = None;
+        for (_, d) in dd.iter() {
+            if prev != Some(d.origin) {
+                resident += 1;
+                prev = Some(d.origin);
+            }
+        }
+        Shard { dd, index, resident, served: AtomicU64::new(0), candidates: AtomicU64::new(0) }
+    }
+
+    /// Carries the cumulative counters of the shard this one replaces, so
+    /// per-shard serving totals survive a rebuild.
+    pub(crate) fn inherit_counters(&self, old: &Shard) {
+        self.served.store(old.served.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.candidates.store(old.candidates.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Number of derived variants resident in this shard.
+    pub fn variants(&self) -> usize {
+        self.dd.len()
+    }
+}
+
+/// Point-in-time serving statistics of one shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Origins with at least one variant in the shard.
+    pub entities: usize,
+    /// Derived variants indexed by the shard.
+    pub variants: usize,
+    /// Extractions this shard has answered (cumulative across generations
+    /// while the shard survives rebuilds).
+    pub served: u64,
+    /// Candidate pairs this shard has generated.
+    pub candidates: u64,
+}
+
+/// One immutable sharded engine state. All shards share a single global
+/// token order (or an append-only extension of it), one interner snapshot,
+/// and the full origin dictionary; extraction fans out to every shard and
+/// merges. Cheap to share: [`crate::ShardedEngine`] hands out
+/// `Arc<Generation>` snapshots.
+pub struct Generation {
+    pub(crate) id: u64,
+    pub(crate) interner: Interner,
+    pub(crate) dict: Dictionary,
+    /// Sorted tombstoned origin ids (slots kept, variants dropped).
+    pub(crate) removed: Vec<EntityId>,
+    pub(crate) rules: RuleSet,
+    pub(crate) config: AeetesConfig,
+    pub(crate) order: Arc<GlobalOrder>,
+    pub(crate) shards: Vec<Arc<Shard>>,
+    /// Per-origin base of the *global* derived-id space: the id a variant
+    /// would have in a monolithic engine over the same dictionary. Used to
+    /// remap per-shard `best_variant` ids during the merge, keeping results
+    /// bit-identical to the single-engine build.
+    global_base: Vec<u32>,
+    /// Dictionary-global `(min, max)` distinct-set length range, passed to
+    /// every shard extraction: a shard's local range is tighter and would
+    /// skip window lengths the whole dictionary admits, breaking
+    /// bit-identity with the monolithic engine.
+    set_len_bounds: Option<(usize, usize)>,
+}
+
+impl Generation {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        id: u64,
+        interner: Interner,
+        dict: Dictionary,
+        removed: Vec<EntityId>,
+        rules: RuleSet,
+        config: AeetesConfig,
+        order: Arc<GlobalOrder>,
+        shards: Vec<Arc<Shard>>,
+    ) -> Self {
+        let n = shards.len();
+        let mut global_base = vec![0u32; dict.len()];
+        let mut cum = 0u32;
+        for (i, base) in global_base.iter_mut().enumerate() {
+            *base = cum;
+            let e = EntityId(i as u32);
+            let shard = &shards[shard_of(e, n)];
+            // A shard predating a dictionary-growing delta covers a shorter
+            // origin space; origins beyond it have no variants there.
+            if i < shard.dd.origins() {
+                let r = shard.dd.variant_range(e);
+                cum += r.end - r.start;
+            }
+        }
+        let mut set_len_bounds: Option<(usize, usize)> = None;
+        for shard in &shards {
+            if let (Some(lo), Some(hi)) = (shard.index.min_set_len(), shard.index.max_set_len()) {
+                set_len_bounds = Some(match set_len_bounds {
+                    Some((a, b)) => (a.min(lo), b.max(hi)),
+                    None => (lo, hi),
+                });
+            }
+        }
+        Generation {
+            id,
+            interner,
+            dict,
+            removed,
+            rules,
+            config,
+            order,
+            shards,
+            global_base,
+            set_len_bounds,
+        }
+    }
+
+    /// Monotonic generation number (1 for a fresh build).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The interner snapshot documents must be tokenized against.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// The rule table this generation was derived with.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Tombstoned origin ids, ascending.
+    pub fn removed(&self) -> &[EntityId] {
+        &self.removed
+    }
+
+    /// The shared global token order.
+    pub fn order(&self) -> &GlobalOrder {
+        &self.order
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total derived variants across all shards.
+    pub fn variants(&self) -> usize {
+        self.shards.iter().map(|s| s.dd.len()).sum()
+    }
+
+    /// Per-shard serving statistics, indexed by shard id.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardStats {
+                entities: s.resident,
+                variants: s.dd.len(),
+                served: s.served.load(Ordering::Relaxed),
+                candidates: s.candidates.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    fn run_shard(&self, shard: &Shard, doc: &Document, tau: f64, limits: &ExtractLimits, cancel: Option<&CancelToken>) -> ExtractOutcome {
+        let out =
+            extract_segment(&shard.index, &shard.dd, doc, tau, self.config.strategy, self.config.metric, false, self.set_len_bounds, limits, cancel);
+        shard.served.fetch_add(1, Ordering::Relaxed);
+        shard.candidates.fetch_add(out.stats.candidates, Ordering::Relaxed);
+        out
+    }
+
+    /// Merges per-shard outcomes: remap variant ids into the global derived
+    /// space, restore the stable `(span, entity)` order, re-apply the match
+    /// cap across the union (each shard only capped its own stream).
+    fn merge(&self, outcomes: Vec<ExtractOutcome>, limits: &ExtractLimits) -> ExtractOutcome {
+        let total = outcomes.iter().map(|o| o.matches.len()).sum();
+        let mut matches: Vec<Match> = Vec::with_capacity(total);
+        let mut truncated = false;
+        let mut stats = ExtractStats::default();
+        for (shard, out) in self.shards.iter().zip(outcomes) {
+            truncated |= out.truncated;
+            stats += out.stats;
+            for mut m in out.matches {
+                let local = shard.dd.variant_range(m.entity).start;
+                m.best_variant = DerivedId(self.global_base[m.entity.idx()] + (m.best_variant.0 - local));
+                matches.push(m);
+            }
+        }
+        // Origins are disjoint across shards, so no deduplication is needed
+        // and sort keys never tie across shards.
+        matches.sort_unstable_by_key(Match::sort_key);
+        if let Some(cap) = limits.max_matches {
+            if matches.len() > cap {
+                matches.truncate(cap);
+                truncated = true;
+            }
+        }
+        stats.matches = matches.len() as u64;
+        ExtractOutcome { matches, truncated, stats }
+    }
+}
+
+impl ExtractBackend for Generation {
+    fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    fn config(&self) -> &AeetesConfig {
+        &self.config
+    }
+
+    fn extract_limited(&self, doc: &Document, tau: f64, limits: &ExtractLimits, cancel: Option<&CancelToken>) -> ExtractOutcome {
+        if self.shards.len() == 1 {
+            // A single shard carries the full derivation: local variant ids
+            // coincide with global ones, so no merge pass is needed.
+            return self.run_shard(&self.shards[0], doc, tau, limits, cancel);
+        }
+        let run = |shard: &Shard| self.run_shard(shard, doc, tau, limits, cancel);
+        let run = &run;
+        let outcomes: Vec<ExtractOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = self.shards[1..].iter().map(|shard| s.spawn(move || run(shard))).collect();
+            let mut outs = Vec::with_capacity(self.shards.len());
+            outs.push(run(&self.shards[0]));
+            outs.extend(handles.into_iter().map(|h| h.join().expect("shard extraction panicked")));
+            outs
+        });
+        self.merge(outcomes, limits)
+    }
+}

@@ -1,0 +1,33 @@
+//! Sharded extraction engine.
+//!
+//! [`ShardedEngine`] partitions the derived-entity dictionary into `N`
+//! shards by a hash of the origin entity id, builds one clustered index per
+//! shard **against a single shared global token order** (so every shard
+//! sorts token sets identically — the invariant that makes per-shard prefix
+//! filtering equivalent to whole-dictionary prefix filtering), and answers
+//! `extract` by fanning the document out to all shards on a scoped thread
+//! pool and merging the per-shard match streams into the engine's stable
+//! `(span, entity)` order.
+//!
+//! Because the entity partition is disjoint, every `(entity, span)` match
+//! is produced by exactly one shard; the merged result is *bit-identical*
+//! to the monolithic [`aeetes_core::Aeetes`] engine over the same
+//! dictionary (per-shard variant ids are remapped back to the global
+//! derived-id space during the merge).
+//!
+//! # Generations
+//!
+//! A fully-built sharded state is an immutable [`Generation`] behind an
+//! epoch pointer. [`ShardedEngine::apply_update`] takes a [`DictDelta`]
+//! (add/remove entities, add rules), rebuilds only the affected shards —
+//! extending the frozen global order append-only, so unaffected shards'
+//! indexes stay valid — and atomically swaps the pointer. Readers that
+//! already hold a [`Generation`] snapshot keep extracting against the old
+//! epoch until they drop it: updates never block or corrupt in-flight
+//! extractions.
+
+mod engine;
+mod generation;
+
+pub use engine::{DictDelta, RuleDelta, ShardedEngine, UpdateError};
+pub use generation::{shard_of, Generation, Shard, ShardStats};

@@ -23,8 +23,8 @@ fn main() {
 
     let tau = 0.8;
     // Synonym-aware engine vs a rule-less engine (pure syntactic Jaccard).
-    let with_rules = Aeetes::build(data.dictionary.clone(), &data.rules, AeetesConfig::default());
-    let without_rules = Aeetes::build(data.dictionary.clone(), &RuleSet::new(), AeetesConfig::default());
+    let with_rules = Aeetes::build(data.dictionary.clone(), &data.rules, &data.interner, AeetesConfig::default());
+    let without_rules = Aeetes::build(data.dictionary.clone(), &RuleSet::new(), &data.interner, AeetesConfig::default());
 
     let mut recall_with = Recall::default();
     let mut recall_without = Recall::default();

@@ -57,7 +57,7 @@ fn main() {
     }
 
     // --- Synonym-aware AEES (Aeetes): finds all of s1..s4. ---
-    let engine = Aeetes::build(dict, &rules, AeetesConfig::default());
+    let engine = Aeetes::build(dict, &rules, &interner, AeetesConfig::default());
     let raw = engine.extract(&doc, tau);
     let best = suppress_overlaps(raw);
     println!("\nsynonym-aware AEES → {} mention(s) at τ = {tau} (best per region)", best.len());

@@ -14,7 +14,7 @@ use std::time::Instant;
 
 fn main() {
     let data = generate(&DatasetProfile::usjob_like().scaled(0.05), 7);
-    let engine = Aeetes::build(data.dictionary.clone(), &data.rules, AeetesConfig::default());
+    let engine = Aeetes::build(data.dictionary.clone(), &data.rules, &data.interner, AeetesConfig::default());
     println!("corpus: {} documents, {} entities, {} synonym rules", data.documents.len(), data.dictionary.len(), data.rules.len());
 
     let tau = 0.85;

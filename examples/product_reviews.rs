@@ -39,7 +39,7 @@ fn main() {
         rules.push_str(lhs, rhs, &tokenizer, &mut interner).expect("valid rule");
     }
 
-    let engine = Aeetes::build(catalog, &rules, AeetesConfig::default());
+    let engine = Aeetes::build(catalog, &rules, &interner, AeetesConfig::default());
 
     let reviews = [
         "Upgraded from my old laptop to the X1C Gen 11 and the keyboard is unreal.",

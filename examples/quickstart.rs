@@ -31,7 +31,7 @@ fn main() {
     }
 
     // 3. Off-line preprocessing: derived dictionary + clustered index.
-    let engine = Aeetes::build(dict, &rules, AeetesConfig::default());
+    let engine = Aeetes::build(dict, &rules, &interner, AeetesConfig::default());
     println!(
         "engine ready: {} entities → {} derived variants, {} index entries\n",
         engine.dictionary().len(),

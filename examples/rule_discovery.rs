@@ -36,7 +36,7 @@ fn main() {
 
     // Without rules: the abbreviation mention is invisible.
     let doc = Document::parse("panel: a speaker from the University of Queensland Australia and one from NYU", &tokenizer, &mut interner);
-    let bare = Aeetes::build(dict.clone(), &RuleSet::new(), AeetesConfig::default());
+    let bare = Aeetes::build(dict.clone(), &RuleSet::new(), &interner, AeetesConfig::default());
     let before = bare.extract(&doc, 0.9).len();
 
     // With discovered rules (plus one hand-written rule the miner cannot
@@ -46,7 +46,7 @@ fn main() {
     let added = add_discovered(&mut rules, &discovered, 1.0);
     rules.push_str("AU", "Australia", &tokenizer, &mut interner).expect("manual rule");
     println!("\nadded {added} discovered rule(s) + 1 manual rule");
-    let engine = Aeetes::build(dict, &rules, AeetesConfig::default());
+    let engine = Aeetes::build(dict, &rules, &interner, AeetesConfig::default());
     let matches = engine.extract(&doc, 0.9);
     println!("\nmatches at τ = 0.9 with the combined rule set:");
     for m in &matches {

@@ -42,7 +42,7 @@
 //!     .unwrap();
 //!
 //! // 3. Off-line preprocessing: derived dictionary + clustered index.
-//! let engine = Aeetes::build(dict, &rules, AeetesConfig::default());
+//! let engine = Aeetes::build(dict, &rules, &interner, AeetesConfig::default());
 //!
 //! // 4. On-line extraction.
 //! let doc = Document::parse("She got her PhD from MIT in 2016.", &tokenizer, &mut interner);
@@ -56,6 +56,7 @@ pub use aeetes_core as core;
 pub use aeetes_datagen as datagen;
 pub use aeetes_index as index;
 pub use aeetes_rules as rules;
+pub use aeetes_shard as shard;
 pub use aeetes_sim as sim;
 pub use aeetes_text as text;
 
@@ -64,6 +65,7 @@ pub use aeetes_core::{
     EditMatch, ExtractStats, FuzzyConfig, Match, MentionReport, PersistError, Strategy,
 };
 pub use aeetes_rules::{DeriveConfig, DerivedDictionary, RuleSet};
+pub use aeetes_shard::{DictDelta, RuleDelta, ShardedEngine};
 pub use aeetes_sim::Metric;
 pub use aeetes_text::{Dictionary, Document, EntityId, Interner, Span, TokenId, Tokenizer};
 

@@ -14,7 +14,7 @@ fn faerier_and_aeetes_return_identical_pairs() {
         let data = generate(&profile.scaled(0.01).with_docs(3), 11);
         let dd = DerivedDictionary::build(&data.dictionary, &data.rules, &DeriveConfig::default());
         let faerier = Faerie::build_derived(&dd);
-        let engine = Aeetes::build(data.dictionary.clone(), &data.rules, AeetesConfig::default());
+        let engine = Aeetes::build(data.dictionary.clone(), &data.rules, &data.interner, AeetesConfig::default());
         for doc in &data.documents {
             for tau in [0.7, 0.8, 0.9] {
                 let (fr, _) = faerier.extract(doc, tau);
@@ -36,7 +36,7 @@ fn plain_faerie_is_a_subset_of_aeetes() {
     // subset of what the synonym-aware engine finds (same syntactic pairs).
     let data = generate(&DatasetProfile::pubmed_like().scaled(0.01).with_docs(3), 3);
     let plain = Faerie::build_plain(&data.dictionary);
-    let engine = Aeetes::build(data.dictionary.clone(), &data.rules, AeetesConfig::default());
+    let engine = Aeetes::build(data.dictionary.clone(), &data.rules, &data.interner, AeetesConfig::default());
     for doc in &data.documents {
         let (fr, _) = plain.extract(doc, 0.8);
         let am = engine.extract(doc, 0.8);

@@ -85,7 +85,7 @@ proptest! {
     fn engine_matches_brute_force(inst in instance()) {
         let (dict, rules, doc, tau, _int) = materialize(&inst);
         let dd = DerivedDictionary::build(&dict, &rules, &DeriveConfig::default());
-        let engine = Aeetes::build(dict.clone(), &rules, AeetesConfig::default());
+        let engine = Aeetes::build(dict.clone(), &rules, &_int, AeetesConfig::default());
         let expected = brute_force(&dict, &dd, &doc, tau);
         for strategy in ExtractStrategy::ALL {
             let got: Vec<(u32, u32, u32, f64)> = engine

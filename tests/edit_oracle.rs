@@ -35,7 +35,7 @@ proptest! {
         for (l, r) in &rule_pairs {
             let _ = rules.push_str(l, r, &tokenizer, &mut interner);
         }
-        let engine = Aeetes::build(dict, &rules, AeetesConfig::default());
+        let engine = Aeetes::build(dict, &rules, &interner, AeetesConfig::default());
         let doc = Document::parse(&doc_words.join(" "), &tokenizer, &mut interner);
         let index = EditIndex::build(&engine, &interner, q);
         let got: Vec<(u32, u32, u32, usize)> = index

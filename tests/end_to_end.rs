@@ -10,7 +10,7 @@ fn engines() -> Vec<(Aeetes, aeetes::datagen::Dataset)> {
         .into_iter()
         .map(|p| {
             let data = generate(&p.scaled(0.01).with_docs(4), 7);
-            let engine = Aeetes::build(data.dictionary.clone(), &data.rules, AeetesConfig::default());
+            let engine = Aeetes::build(data.dictionary.clone(), &data.rules, &data.interner, AeetesConfig::default());
             (engine, data)
         })
         .collect()

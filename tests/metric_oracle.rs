@@ -29,7 +29,7 @@ fn instance() -> impl Strategy<Value = Instance> {
         .prop_map(|(entities, rules, doc, tau_percent)| Instance { entities, rules, doc, tau_percent })
 }
 
-fn materialize(inst: &Instance) -> (Dictionary, RuleSet, Document, f64) {
+fn materialize(inst: &Instance) -> (Dictionary, RuleSet, Document, f64, Interner) {
     let mut interner = Interner::new();
     let ids: Vec<TokenId> = (0..10).map(|i| interner.intern(&format!("tok{i}"))).collect();
     let mut dict = Dictionary::new();
@@ -44,7 +44,7 @@ fn materialize(inst: &Instance) -> (Dictionary, RuleSet, Document, f64) {
         let _ = rules.push_tokens(lt, rt, 1.0);
     }
     let doc = Document::from_tokens(inst.doc.iter().map(|&i| ids[i as usize]).collect());
-    (dict, rules, doc, inst.tau_percent as f64 / 100.0)
+    (dict, rules, doc, inst.tau_percent as f64 / 100.0, interner)
 }
 
 /// Brute-force rule-based metric over the engine's own window-length range.
@@ -88,9 +88,9 @@ proptest! {
 
     #[test]
     fn all_metrics_match_brute_force(inst in instance()) {
-        let (dict, rules, doc, tau) = materialize(&inst);
+        let (dict, rules, doc, tau, _int) = materialize(&inst);
         let dd = DerivedDictionary::build(&dict, &rules, &DeriveConfig::default());
-        let engine = Aeetes::build(dict.clone(), &rules, AeetesConfig::default());
+        let engine = Aeetes::build(dict.clone(), &rules, &_int, AeetesConfig::default());
         for metric in Metric::ALL {
             let expected = brute_force(&dict, &dd, &doc, tau, metric);
             let got: Vec<(u32, u32, u32, f64)> = engine
