@@ -8,7 +8,7 @@
 use crate::args::Args;
 use aeetes_core::{
     extract_batch_with, load_engine, load_sharded, save_engine, save_sharded, suppress_overlaps, Aeetes, AeetesConfig, BatchOptions, EditIndex,
-    ExtractBackend, ExtractLimits, Match,
+    ExtractBackend, ExtractLimits, ExtractScratch, Match,
 };
 use aeetes_rules::{DeriveConfig, RuleSet};
 use aeetes_shard::ShardedEngine;
@@ -253,11 +253,12 @@ pub fn extract(argv: &[String]) -> Result<i32, String> {
         }
         out
     } else {
+        let mut scratch = ExtractScratch::new();
         docs.iter()
             .map(|d| {
-                let outcome = engine.extract_with_limits_metric(d, tau, metric, &limits);
+                let outcome = engine.extract_scratched_metric(d, tau, metric, &limits, None, &mut scratch);
                 truncated_docs += outcome.truncated as usize;
-                outcome.matches
+                outcome.matches.to_vec()
             })
             .collect()
     };

@@ -32,7 +32,7 @@
 //!   requests; workers pick up the new generation on their next job.
 
 use crate::protocol::{error_line, ok_line, parse_request, Ceilings, ErrorCode, ExtractRequest, Reject, Request};
-use aeetes_core::{suppress_overlaps, CancelToken, ExtractBackend, ExtractLimits, LatencyRing};
+use aeetes_core::{suppress_overlaps, CancelToken, ExtractBackend, ExtractLimits, ExtractScratch, LatencyRing, Match};
 use aeetes_shard::{DictDelta, Generation, RuleDelta, ShardedEngine};
 use aeetes_text::{Document, EntityId, Interner, Tokenizer};
 use serde_json::{json, Value};
@@ -179,6 +179,9 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
     let mut gen_id = 0u64;
     let mut growth_cap = 0usize;
     let mut interner = Interner::new();
+    // Worker-owned extraction scratch, reused across jobs: after warmup the
+    // per-request hot path allocates only for parsing and rendering.
+    let mut scratch = ExtractScratch::new();
     loop {
         let job = {
             let guard = rx.lock().expect("queue receiver lock");
@@ -193,7 +196,7 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
                     growth_cap = interner.len() + 100_000;
                     gen_id = generation.id();
                 }
-                run_job(shared, &generation, &mut interner, job);
+                run_job(shared, &generation, &mut interner, &mut scratch, job);
             }
             Err(RecvTimeoutError::Timeout) => {
                 if shared.draining.load(Ordering::Relaxed) && shared.counters.queue_depth.load(Ordering::Relaxed) == 0 {
@@ -205,7 +208,7 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
     }
 }
 
-fn run_job(shared: &Shared, generation: &Generation, interner: &mut Interner, job: Job) {
+fn run_job(shared: &Shared, generation: &Generation, interner: &mut Interner, scratch: &mut ExtractScratch, job: Job) {
     let now = Instant::now();
     if now >= job.expires {
         let reject = Reject {
@@ -221,14 +224,22 @@ fn run_job(shared: &Shared, generation: &Generation, interner: &mut Interner, jo
     // Whatever deadline remains after queueing is the extraction budget.
     let limits = ExtractLimits { deadline: Some(job.expires - now), ..job.req.limits };
     let started = Instant::now();
-    // The generation is immutable and the interner is worker-local, so a
-    // caught panic cannot corrupt state shared with other requests. Holding
-    // the `Arc<Generation>` for the whole job means a concurrent reload
-    // cannot pull the dictionary out from under this extraction.
+    // The generation is immutable and the interner and scratch are
+    // worker-local, so a caught panic cannot corrupt state shared with
+    // other requests (the scratch is reset at the start of every pass).
+    // Holding the `Arc<Generation>` for the whole job means a concurrent
+    // reload cannot pull the dictionary out from under this extraction.
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         let doc = Document::parse(&job.req.doc, &shared.tokenizer, interner);
-        let out = generation.extract_limited(&doc, job.req.tau, &limits, Some(&shared.cancel));
-        let matches = if job.req.best { suppress_overlaps(out.matches) } else { out.matches };
+        let out = generation.extract_scratched(&doc, job.req.tau, &limits, Some(&shared.cancel), scratch);
+        let truncated = out.truncated;
+        let suppressed;
+        let matches: &[Match] = if job.req.best {
+            suppressed = suppress_overlaps(out.matches.to_vec());
+            &suppressed
+        } else {
+            out.matches
+        };
         let rendered: Vec<Value> = matches
             .iter()
             .map(|m| {
@@ -242,7 +253,7 @@ fn run_job(shared: &Shared, generation: &Generation, interner: &mut Interner, jo
                 })
             })
             .collect();
-        (rendered, out.truncated)
+        (rendered, truncated)
     }));
     shared.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
     match outcome {

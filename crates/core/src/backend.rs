@@ -12,6 +12,7 @@ use crate::config::AeetesConfig;
 use crate::extractor::Aeetes;
 use crate::limits::{Budget, CancelToken, ExtractLimits, ExtractOutcome};
 use crate::matches::Match;
+use crate::scratch::{ExtractScratch, ScratchOutcome, SegmentScratch};
 use crate::stats::ExtractStats;
 use crate::strategy::{generate, Strategy};
 use crate::verify::verify_candidates;
@@ -48,6 +49,33 @@ pub fn extract_segment(
     limits: &ExtractLimits,
     cancel: Option<&CancelToken>,
 ) -> ExtractOutcome {
+    let mut seg = SegmentScratch::default();
+    let (truncated, stats) = extract_segment_scratched(index, dd, doc, tau, strategy, metric, weighted, set_len_bounds, limits, cancel, &mut seg);
+    ExtractOutcome { matches: std::mem::take(&mut seg.matches), truncated, stats }
+}
+
+/// [`extract_segment`] running entirely inside `seg`'s reusable buffers:
+/// the sorted matches land in [`SegmentScratch::matches`] and, once the
+/// scratch has reached its high-water capacity, the pass performs no heap
+/// allocation. This is the per-shard unit of the sharded fan-out and the
+/// engine behind every `*_scratched` extraction API.
+///
+/// # Panics
+/// Panics when `tau` is not in `(0, 1]`.
+#[allow(clippy::too_many_arguments)]
+pub fn extract_segment_scratched(
+    index: &ClusteredIndex,
+    dd: &DerivedDictionary,
+    doc: &Document,
+    tau: f64,
+    strategy: Strategy,
+    metric: Metric,
+    weighted: bool,
+    set_len_bounds: Option<(usize, usize)>,
+    limits: &ExtractLimits,
+    cancel: Option<&CancelToken>,
+    seg: &mut SegmentScratch,
+) -> (bool, ExtractStats) {
     assert!(tau > 0.0 && tau <= 1.0, "similarity threshold must be in (0, 1], got {tau}");
     let set_bounds = match set_len_bounds {
         Some((lo, hi)) => (Some(lo), Some(hi)),
@@ -58,12 +86,13 @@ pub fn extract_segment(
         Some(token) => Budget::start_cancellable(limits, token),
         None => Budget::start(limits),
     };
-    let pairs = generate(index, doc, tau, metric, strategy, set_bounds, &mut stats, &mut budget);
+    generate(index, doc, tau, metric, strategy, set_bounds, seg, &mut stats, &mut budget);
     // Weighted scores are ≤ unweighted scores (weights ≤ 1), so the
     // unweighted candidate filters remain sound for the weighted verify.
-    let mut matches = verify_candidates(index, dd, doc, tau, metric, pairs, &mut stats, weighted, &mut budget);
+    let SegmentScratch { sink, s_keys, matches, .. } = seg;
+    verify_candidates(index, dd, doc, tau, metric, &mut sink.pairs, &mut stats, weighted, &mut budget, s_keys, matches);
     matches.sort_unstable_by_key(Match::sort_key);
-    ExtractOutcome { matches, truncated: budget.truncated(), stats }
+    (budget.truncated(), stats)
 }
 
 /// An extraction engine: something that can answer similarity queries over
@@ -89,6 +118,26 @@ pub trait ExtractBackend: Send + Sync {
     fn extract_all(&self, doc: &Document, tau: f64) -> Vec<Match> {
         self.extract_limited(doc, tau, &ExtractLimits::UNLIMITED, None).matches
     }
+
+    /// Like [`ExtractBackend::extract_limited`], but runs inside the
+    /// caller-owned `scratch`, returning matches as a borrowed slice. A
+    /// caller that keeps one scratch per worker and reuses it across
+    /// documents gets a steady-state extraction pass with zero heap
+    /// allocations. The default implementation merely copies the owned
+    /// result into the scratch; real engines override it to run in place.
+    fn extract_scratched<'s>(
+        &self,
+        doc: &Document,
+        tau: f64,
+        limits: &ExtractLimits,
+        cancel: Option<&CancelToken>,
+        scratch: &'s mut ExtractScratch,
+    ) -> ScratchOutcome<'s> {
+        let out = self.extract_limited(doc, tau, limits, cancel);
+        scratch.merged.clear();
+        scratch.merged.extend_from_slice(&out.matches);
+        ScratchOutcome { matches: &scratch.merged, truncated: out.truncated, stats: out.stats }
+    }
 }
 
 impl ExtractBackend for Aeetes {
@@ -105,6 +154,17 @@ impl ExtractBackend for Aeetes {
             Some(token) => self.extract_with_limits_cancellable(doc, tau, limits, token),
             None => self.extract_with_limits(doc, tau, limits),
         }
+    }
+
+    fn extract_scratched<'s>(
+        &self,
+        doc: &Document,
+        tau: f64,
+        limits: &ExtractLimits,
+        cancel: Option<&CancelToken>,
+        scratch: &'s mut ExtractScratch,
+    ) -> ScratchOutcome<'s> {
+        Aeetes::extract_scratched(self, doc, tau, limits, cancel, scratch)
     }
 }
 

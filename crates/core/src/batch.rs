@@ -17,6 +17,7 @@
 use crate::extractor::Aeetes;
 use crate::limits::{CancelToken, ExtractLimits, ExtractOutcome};
 use crate::matches::Match;
+use crate::scratch::ExtractScratch;
 use aeetes_text::Document;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -66,26 +67,32 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Runs `f(i)` for every `i < len` on up to `threads` workers, catching
-/// per-item panics and honouring `cancel` between items. Results come back
-/// in input order through an mpsc channel — no lock to poison.
+/// Runs `f(i, scratch)` for every `i < len` on up to `threads` workers,
+/// catching per-item panics and honouring `cancel` between items. Each
+/// worker owns one [`ExtractScratch`] reused across every document it
+/// claims, so steady-state extraction allocates nothing per document.
+/// Results come back in input order through an mpsc channel — no lock to
+/// poison.
 fn batch_run<R, F>(len: usize, threads: usize, cancel: &CancelToken, f: F) -> Vec<Result<R, DocError>>
 where
     R: Send,
-    F: Fn(usize) -> R + Sync,
+    F: Fn(usize, &mut ExtractScratch) -> R + Sync,
 {
-    let run_one = |i: usize| -> Result<R, DocError> {
+    let run_one = |i: usize, scratch: &mut ExtractScratch| -> Result<R, DocError> {
         if cancel.is_cancelled() {
             return Err(DocError::Cancelled);
         }
         // The engine is immutable during extraction (`&self` API), so a
         // caught panic cannot leave it in a broken state for other
-        // documents: AssertUnwindSafe is sound here.
-        catch_unwind(AssertUnwindSafe(|| f(i))).map_err(|payload| DocError::Panicked(panic_message(payload)))
+        // documents: AssertUnwindSafe is sound here. The scratch is reset
+        // at the start of every pass, so a panic mid-document cannot leak
+        // stale state into the worker's next document either.
+        catch_unwind(AssertUnwindSafe(|| f(i, scratch))).map_err(|payload| DocError::Panicked(panic_message(payload)))
     };
     let threads = threads.clamp(1, len.max(1));
     if threads <= 1 || len <= 1 {
-        return (0..len).map(run_one).collect();
+        let mut scratch = ExtractScratch::new();
+        return (0..len).map(|i| run_one(i, &mut scratch)).collect();
     }
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, Result<R, DocError>)>();
@@ -94,15 +101,18 @@ where
             let tx = tx.clone();
             let next = &next;
             let run_one = &run_one;
-            scope.spawn(move || loop {
-                // Atomic work-stealing by document index keeps long
-                // documents from serializing behind a static partition.
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= len {
-                    break;
-                }
-                if tx.send((i, run_one(i))).is_err() {
-                    break; // receiver gone: nothing left to report to
+            scope.spawn(move || {
+                let mut scratch = ExtractScratch::new();
+                loop {
+                    // Atomic work-stealing by document index keeps long
+                    // documents from serializing behind a static partition.
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= len {
+                        break;
+                    }
+                    if tx.send((i, run_one(i, &mut scratch))).is_err() {
+                        break; // receiver gone: nothing left to report to
+                    }
                 }
             });
         }
@@ -127,7 +137,10 @@ where
 /// [`extract_batch_with`] to receive per-document errors instead.
 pub fn extract_batch(engine: &Aeetes, docs: &[Document], tau: f64, threads: usize) -> Vec<Vec<Match>> {
     let cancel = CancelToken::new();
-    let results = batch_run(docs.len(), threads, &cancel, |i| engine.extract(&docs[i], tau));
+    let limits = engine.config().limits;
+    let results = batch_run(docs.len(), threads, &cancel, |i, scratch| {
+        engine.extract_scratched(&docs[i], tau, &limits, None, scratch).matches.to_vec()
+    });
     results
         .into_iter()
         .map(|r| match r {
@@ -145,8 +158,8 @@ pub fn extract_batch(engine: &Aeetes, docs: &[Document], tau: f64, threads: usiz
 /// when the token fires stops at the next window boundary and returns a
 /// truncated (partial but exact) outcome.
 pub fn extract_batch_with(engine: &Aeetes, docs: &[Document], tau: f64, opts: &BatchOptions) -> Vec<Result<ExtractOutcome, DocError>> {
-    batch_run(docs.len(), opts.threads, &opts.cancel, |i| {
-        engine.extract_with_limits_cancellable(&docs[i], tau, &opts.limits, &opts.cancel)
+    batch_run(docs.len(), opts.threads, &opts.cancel, |i, scratch| {
+        engine.extract_scratched(&docs[i], tau, &opts.limits, Some(&opts.cancel), scratch).to_outcome()
     })
 }
 
@@ -209,7 +222,7 @@ mod tests {
     #[test]
     fn one_panicking_item_does_not_poison_the_batch() {
         for threads in [1, 2, 8] {
-            let results = batch_run(5, threads, &CancelToken::new(), |i| {
+            let results = batch_run(5, threads, &CancelToken::new(), |i, _scratch| {
                 assert!(i != 2, "injected failure on item 2");
                 i * 10
             });

@@ -15,10 +15,6 @@ pub(crate) struct CandidateSink {
 }
 
 impl CandidateSink {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
     /// Whether `(span, e)` is already a candidate (drives the origin-group
     /// batch skip of §3.2).
     pub fn contains(&self, span: Span, e: EntityId) -> bool {
@@ -36,9 +32,14 @@ impl CandidateSink {
     }
 
     /// Number of unique candidates collected (used by tests and stats).
-    #[cfg_attr(not(test), allow(dead_code))]
     pub fn len(&self) -> usize {
         self.pairs.len()
+    }
+
+    /// Forgets all candidates, keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        self.pairs.clear();
+        self.seen.clear();
     }
 }
 
@@ -112,22 +113,27 @@ pub(crate) fn scan_clustered(
     }
 }
 
-/// Scans the posting list of `t` like [`scan_clustered`], but returns the
-/// candidate origins instead of pushing them into a sink. Used by the
-/// `Dynamic` strategy, which caches one scan per surviving prefix token
-/// across Window Migrate steps (the result depends only on
-/// `(t, s_len, tau)`, not on the substring position).
-pub(crate) fn scan_token_origins(
+/// Scans the posting list of `t` like [`scan_clustered`], but appends the
+/// candidate origins to `arena` and returns the appended `(start, end)`
+/// range. Used by the `Dynamic` strategy, which caches one scan per
+/// surviving prefix token across Window Migrate steps (the result depends
+/// only on `(t, s_len, tau)`, not on the substring position). `seen` is
+/// scan-local dedup scratch, cleared here; both buffers retain capacity
+/// across scans.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn scan_token_origins_into(
     index: &ClusteredIndex,
     t: TokenId,
     s_len: usize,
     tau: f64,
     metric: Metric,
     stats: &mut ExtractStats,
-) -> Vec<EntityId> {
-    let mut out = Vec::new();
-    let Some(tp) = index.postings(t) else { return out };
-    let mut seen: HashSet<EntityId> = HashSet::new();
+    arena: &mut Vec<EntityId>,
+    seen: &mut HashSet<EntityId>,
+) -> (u32, u32) {
+    let from = arena.len() as u32;
+    let Some(tp) = index.postings(t) else { return (from, from) };
+    seen.clear();
     let (lo, hi) = metric.length_bounds(s_len, tau, usize::MAX);
     let start = tp.first_group_at_least(lo);
     for g in tp.groups_from(start) {
@@ -146,13 +152,13 @@ pub(crate) fn scan_token_origins(
                 stats.accessed_entries += 1;
                 if (e.pos as usize) < plen {
                     seen.insert(og.origin);
-                    out.push(og.origin);
+                    arena.push(og.origin);
                     break;
                 }
             }
         }
     }
-    out
+    (from, arena.len() as u32)
 }
 
 #[cfg(test)]
@@ -171,7 +177,7 @@ mod tests {
 
     #[test]
     fn sink_dedups() {
-        let mut s = CandidateSink::new();
+        let mut s = CandidateSink::default();
         let sp = Span::new(0, 2);
         assert!(s.push(sp, EntityId(1)));
         assert!(!s.push(sp, EntityId(1)));
@@ -187,7 +193,7 @@ mod tests {
         let (ix, mut int) = index_of(&["a b", "a c d", "a e f g h i j k"]);
         let a = int.intern("a");
         let b = int.intern("b");
-        let mut sink = CandidateSink::new();
+        let mut sink = CandidateSink::default();
         let mut stats = ExtractStats::default();
         // "a" is the most frequent token, so it sits at the END of every
         // ordered entity — the position filter rejects all its postings,
@@ -204,7 +210,7 @@ mod tests {
     fn clustered_scan_skips_length_groups() {
         let (ix, mut int) = index_of(&["a b", "a c d", "a e f g h i j k"]);
         let a = int.intern("a");
-        let mut sink = CandidateSink::new();
+        let mut sink = CandidateSink::default();
         let mut stats = ExtractStats::default();
         // s_len=2, τ=0.9 → admissible entity lengths [1, 3]: the len-2 and
         // len-3 groups are touched (1 entry each), the len-8 group is
@@ -220,7 +226,7 @@ mod tests {
         let a = int.intern("a");
         let b = int.intern("b");
         let span = Span::new(0, 2);
-        let mut sink = CandidateSink::new();
+        let mut sink = CandidateSink::default();
         let mut stats = ExtractStats::default();
         scan_clustered(&ix, a, span, 2, 0.8, Metric::Jaccard, &mut sink, &mut stats);
         let after_first = stats.accessed_entries;
@@ -237,8 +243,8 @@ mod tests {
         let x = int.intern("x");
         for s_len in 1..=5 {
             for tau in [0.7, 0.8, 0.9] {
-                let mut s1 = CandidateSink::new();
-                let mut s2 = CandidateSink::new();
+                let mut s1 = CandidateSink::default();
+                let mut s2 = CandidateSink::default();
                 let mut st = ExtractStats::default();
                 let span = Span::new(0, s_len);
                 scan_flat(&ix, x, span, s_len, tau, Metric::Jaccard, &mut s1, &mut st);
@@ -256,7 +262,7 @@ mod tests {
     fn unknown_token_scans_nothing() {
         let (ix, mut int) = index_of(&["a b"]);
         let z = int.intern("zzz");
-        let mut sink = CandidateSink::new();
+        let mut sink = CandidateSink::default();
         let mut stats = ExtractStats::default();
         scan_flat(&ix, z, Span::new(0, 1), 1, 0.8, Metric::Jaccard, &mut sink, &mut stats);
         scan_clustered(&ix, z, Span::new(0, 1), 1, 0.8, Metric::Jaccard, &mut sink, &mut stats);

@@ -1,9 +1,10 @@
 //! The end-to-end Aeetes engine (paper Algorithm 1, Figure 2).
 
-use crate::backend::extract_segment;
+use crate::backend::{extract_segment, extract_segment_scratched};
 use crate::config::AeetesConfig;
 use crate::limits::{CancelToken, ExtractLimits, ExtractOutcome};
 use crate::matches::Match;
+use crate::scratch::{ExtractScratch, ScratchOutcome};
 use crate::stats::ExtractStats;
 use crate::strategy::Strategy;
 use aeetes_index::ClusteredIndex;
@@ -121,6 +122,42 @@ impl Aeetes {
     /// *mid-document* rather than waiting it out.
     pub fn extract_with_limits_cancellable(&self, doc: &Document, tau: f64, limits: &ExtractLimits, cancel: &CancelToken) -> ExtractOutcome {
         self.run(doc, tau, self.config.strategy, self.config.metric, false, limits, Some(cancel))
+    }
+
+    /// [`Aeetes::extract_with_limits`] running entirely inside the
+    /// caller-owned `scratch`. The matches are returned as a slice borrowing
+    /// the scratch; they stay valid until the scratch is used again. A
+    /// caller that keeps one scratch per worker and feeds it document after
+    /// document gets a steady-state hot path with zero heap allocations
+    /// (every buffer retains its high-water capacity between calls).
+    ///
+    /// # Panics
+    /// Panics when `tau` is not in `(0, 1]`.
+    pub fn extract_scratched<'s>(
+        &self,
+        doc: &Document,
+        tau: f64,
+        limits: &ExtractLimits,
+        cancel: Option<&CancelToken>,
+        scratch: &'s mut ExtractScratch,
+    ) -> ScratchOutcome<'s> {
+        self.extract_scratched_metric(doc, tau, self.config.metric, limits, cancel, scratch)
+    }
+
+    /// [`Aeetes::extract_scratched`] under an explicit token-set metric.
+    pub fn extract_scratched_metric<'s>(
+        &self,
+        doc: &Document,
+        tau: f64,
+        metric: Metric,
+        limits: &ExtractLimits,
+        cancel: Option<&CancelToken>,
+        scratch: &'s mut ExtractScratch,
+    ) -> ScratchOutcome<'s> {
+        let seg = scratch.segment(0);
+        let (truncated, stats) =
+            extract_segment_scratched(&self.index, &self.dd, doc, tau, self.config.strategy, metric, false, None, limits, cancel, seg);
+        ScratchOutcome { matches: seg.matches(), truncated, stats }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -405,6 +442,28 @@ mod tests {
         let engine = Aeetes::build(dict, &RuleSet::new(), &int, config);
         let doc2 = Document::parse("purdue university usa", &tok, &mut int);
         assert!(engine.extract(&doc2, 0.8).is_empty());
+    }
+
+    #[test]
+    fn scratched_extraction_equals_owned_across_documents() {
+        let mut f = figure1();
+        let texts = [
+            "talks by UW Madison faculty then Purdue University United States \
+             then Purdue University USA and finally University of Queensland Australia",
+            "uq au",
+            "",
+            "purdue university usa and uq au and purdue university usa",
+        ];
+        let mut scratch = ExtractScratch::new();
+        for text in texts {
+            let doc = Document::parse(text, &f.tok, &mut f.int);
+            let owned = f.engine.extract_with_limits(&doc, 0.8, &ExtractLimits::UNLIMITED);
+            let scratched = f.engine.extract_scratched(&doc, 0.8, &ExtractLimits::UNLIMITED, None, &mut scratch);
+            assert_eq!(scratched.matches, owned.matches.as_slice(), "on {text:?}");
+            assert_eq!(scratched.truncated, owned.truncated);
+            assert_eq!(scratched.stats, owned.stats);
+            assert_eq!(scratched.to_outcome().matches, owned.matches);
+        }
     }
 
     #[test]

@@ -55,6 +55,7 @@ mod matches;
 mod nms;
 mod persist;
 mod report;
+mod scratch;
 mod stats;
 mod strategy;
 mod topk;
@@ -62,7 +63,7 @@ mod typo;
 mod verify;
 mod window;
 
-pub use backend::{extract_segment, ExtractBackend};
+pub use backend::{extract_segment, extract_segment_scratched, ExtractBackend};
 pub use batch::{extract_batch, extract_batch_with, BatchOptions, DocError};
 pub use config::AeetesConfig;
 pub use edit_extract::{EditIndex, EditMatch};
@@ -72,8 +73,9 @@ pub use matches::Match;
 pub use nms::suppress_overlaps;
 pub use persist::{load_engine, load_sharded, save_engine, save_sharded, PersistError, ShardedParts};
 pub use report::{mention_report, MentionReport};
+pub use scratch::{ExtractScratch, ScratchOutcome, SegmentScratch};
 pub use stats::{ExtractStats, LatencyRing};
-pub use strategy::Strategy;
+pub use strategy::{generate_candidates, Strategy};
 pub use topk::extract_top_k;
 pub use typo::{extract_fuzzy, FuzzyConfig};
-pub use window::WindowState;
+pub use window::{DenseRemap, WindowState};

@@ -1,0 +1,173 @@
+//! Reusable extraction scratch: every buffer the generate → verify hot
+//! path needs, retained across documents.
+//!
+//! One [`ExtractScratch`] per worker thread makes steady-state extraction
+//! allocation-free: all vectors and hash tables are `clear()`ed (keeping
+//! capacity) rather than dropped, window states are pooled per candidate
+//! length and migrated in place, and the per-document [`DenseRemap`] reuses
+//! its staging buffers. After a few documents of warmup every run fits in
+//! previously acquired capacity — the property asserted by the
+//! counting-allocator test `zero_alloc.rs`.
+//!
+//! Invariants callers rely on:
+//! - A scratch may be reused across engines, strategies, taus and metrics;
+//!   nothing semantic persists between runs, only capacity.
+//! - The [`ScratchOutcome`] returned by a scratched extraction borrows the
+//!   scratch-resident match buffer; it is valid until the scratch is used
+//!   again.
+//! - A scratch is not `Sync`: share one per thread, never across threads.
+
+use crate::candidates::CandidateSink;
+use crate::limits::ExtractOutcome;
+use crate::matches::Match;
+use crate::stats::ExtractStats;
+use crate::window::{DenseRemap, WindowState};
+use aeetes_text::{EntityId, Span, TokenId};
+use std::collections::{HashMap, HashSet};
+
+/// One substring that carries a given valid token in its prefix, with its
+/// precomputed admissible entity-length interval `[lo, hi]` (Lazy pass 1).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Pending {
+    pub span: Span,
+    pub lo: u32,
+    pub hi: u32,
+}
+
+/// Scratch of the `Dynamic` strategy's scan cache.
+#[derive(Debug, Default)]
+pub(crate) struct DynScratch {
+    /// Per window-length cache: `(prefix rank, distinct size)` → range of
+    /// `arena` holding that scan's candidate origins.
+    pub caches: Vec<HashMap<(u32, u32), (u32, u32)>>,
+    /// Scan results, appended per cache miss, cleared per document.
+    pub arena: Vec<EntityId>,
+    /// Scan-local origin dedup set.
+    pub seen: HashSet<EntityId>,
+}
+
+/// Scratch of the `Lazy` strategy's two passes.
+#[derive(Debug, Default)]
+pub(crate) struct LazyScratch {
+    /// rank → substrings carrying that token in their prefix (the paper's
+    /// substring inverted index `I[t]`, rank-indexed and pooled: entries
+    /// keep their capacity across documents).
+    pub inv: Vec<Vec<Pending>>,
+    /// Ranks with a nonempty `inv` entry, in discovery order.
+    pub touched: Vec<u32>,
+    /// `(token, rank)` of every touched rank, sorted by token id (pass 2
+    /// processes tokens in id order for determinism).
+    pub tokens: Vec<(TokenId, u32)>,
+    /// Pass-2 per-token machinery: pending indices sorted by `hi` (expiry
+    /// order), expiry tombstones, and the active list.
+    pub hi_order: Vec<u32>,
+    pub expired: Vec<bool>,
+    pub active: Vec<u32>,
+}
+
+/// All buffers one generate → verify pass over a single index segment
+/// needs. The sharded engine holds one per shard.
+#[derive(Debug, Default)]
+pub struct SegmentScratch {
+    pub(crate) remap: DenseRemap,
+    /// Window-state pool, one per candidate length; grown, never shrunk.
+    pub(crate) states: Vec<WindowState>,
+    pub(crate) sink: CandidateSink,
+    pub(crate) dynamic: DynScratch,
+    pub(crate) lazy: LazyScratch,
+    /// Naive per-substring sorted-rank buffer.
+    pub(crate) buf: Vec<u32>,
+    /// Verification: sorted distinct key set of the current span.
+    pub(crate) s_keys: Vec<u64>,
+    /// Sorted matches of the most recent run.
+    pub(crate) matches: Vec<Match>,
+}
+
+impl SegmentScratch {
+    /// Matches of the most recent extraction into this scratch, sorted by
+    /// `(span, entity)`.
+    pub fn matches(&self) -> &[Match] {
+        &self.matches
+    }
+}
+
+/// Per-worker extraction scratch: a pool of [`SegmentScratch`]es (one per
+/// index segment — a monolithic engine uses one, a sharded engine one per
+/// shard) plus a merge buffer for the fan-out path.
+#[derive(Debug, Default)]
+pub struct ExtractScratch {
+    pub(crate) segments: Vec<SegmentScratch>,
+    pub(crate) merged: Vec<Match>,
+}
+
+impl ExtractScratch {
+    /// Empty scratch; buffers grow to their high-water mark on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The per-segment scratch at `i`, growing the pool on demand.
+    pub fn segment(&mut self, i: usize) -> &mut SegmentScratch {
+        if self.segments.len() <= i {
+            self.segments.resize_with(i + 1, SegmentScratch::default);
+        }
+        &mut self.segments[i]
+    }
+
+    /// Splits into `n` per-segment scratches plus the merge buffer — the
+    /// sharded fan-out hands each shard thread its own segment and merges
+    /// the remapped results into the second half.
+    pub fn split(&mut self, n: usize) -> (&mut [SegmentScratch], &mut Vec<Match>) {
+        if self.segments.len() < n {
+            self.segments.resize_with(n, SegmentScratch::default);
+        }
+        (&mut self.segments[..n], &mut self.merged)
+    }
+}
+
+/// A borrowed extraction outcome: the scratched counterpart of
+/// [`ExtractOutcome`], viewing the scratch-resident match buffer instead of
+/// owning a fresh allocation. Valid until the scratch is used again.
+#[derive(Debug)]
+pub struct ScratchOutcome<'a> {
+    /// Matches sorted by `(span, entity)`; a sound (exact, verified) prefix
+    /// of the full result when `truncated` is set.
+    pub matches: &'a [Match],
+    /// Whether any budget cut the run short.
+    pub truncated: bool,
+    /// Work counters for the (possibly partial) run.
+    pub stats: ExtractStats,
+}
+
+impl ScratchOutcome<'_> {
+    /// Copies into an owned [`ExtractOutcome`].
+    pub fn to_outcome(&self) -> ExtractOutcome {
+        ExtractOutcome { matches: self.matches.to_vec(), truncated: self.truncated, stats: self.stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_pool_grows_on_demand() {
+        let mut s = ExtractScratch::new();
+        s.segment(2).buf.push(7);
+        assert_eq!(s.segments.len(), 3);
+        assert_eq!(s.segment(2).buf, vec![7]);
+        let (segs, merged) = s.split(5);
+        assert_eq!(segs.len(), 5);
+        assert!(merged.is_empty());
+        assert_eq!(segs[2].buf, vec![7], "existing segments survive a split");
+    }
+
+    #[test]
+    fn split_is_stable_for_smaller_n() {
+        let mut s = ExtractScratch::new();
+        s.split(4);
+        let (segs, _) = s.split(2);
+        assert_eq!(segs.len(), 2);
+        assert_eq!(s.segments.len(), 4, "pool never shrinks");
+    }
+}

@@ -1,42 +1,28 @@
 //! The `Dynamic` strategy: incremental prefix maintenance via the paper's
 //! Window Extend and Window Migrate operations (§4.1, Algorithm 3).
 //!
-//! One [`WindowState`] is kept per candidate substring length
-//! `l ∈ [E⊥, E⊤]`. Moving the window start from `p−1` to `p` *migrates*
-//! every state (drop `d[p−1]`, take `d[p−1+l]`); the first window is built
-//! once with *extends*. The τ-prefix is read off the ordered state instead
+//! One [`crate::window::WindowState`] is kept per candidate substring
+//! length `l ∈ [E⊥, E⊤]`, pooled in the scratch and migrated in place.
+//! Moving the window start from `p−1` to `p` *migrates* every state (drop
+//! `d[p−1]`, take `d[p−1+l]`); the first window is built once with
+//! *extends*. The τ-prefix is read off the sorted live-rank slice instead
 //! of being re-sorted per substring — and, crucially, the posting-list scan
 //! of a prefix token is **reused across migrations**: a scan's outcome
 //! depends only on `(token, |s|, τ)`, so tokens that stay in the prefix
 //! (and a distinct-size that stays put) keep their cached candidate
 //! origins, and only tokens that *enter* the prefix are scanned. This is
 //! what drops the accessed-entry count below `Skip` in the paper's
-//! Figure 11.
+//! Figure 11. Scan results live in a per-document arena; cache values are
+//! ranges into it, so a cache hit copies nothing and a miss allocates
+//! nothing once the arena has reached its high-water capacity.
 
-use crate::candidates::{scan_token_origins, CandidateSink};
+use crate::candidates::scan_token_origins_into;
 use crate::limits::Budget;
+use crate::scratch::{DynScratch, SegmentScratch};
 use crate::stats::ExtractStats;
-use crate::window::WindowState;
 use aeetes_index::{metric_window_bounds, ClusteredIndex};
 use aeetes_sim::Metric;
-use aeetes_text::{Document, EntityId, Span};
-use std::collections::HashMap;
-
-/// Sliding state for one substring length.
-struct LenState {
-    window: WindowState,
-    /// `(prefix token key, distinct size)` → candidate origins of that
-    /// scan. The distinct size is part of the key because the length-filter
-    /// bounds depend on it; keeping stale sizes around lets a window whose
-    /// distinct size oscillates keep both scans warm.
-    cache: HashMap<(u64, u32), Vec<EntityId>>,
-}
-
-impl LenState {
-    fn new(window: WindowState) -> Self {
-        Self { window, cache: HashMap::new() }
-    }
-}
+use aeetes_text::{Document, Span};
 
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn generate(
@@ -45,7 +31,7 @@ pub(crate) fn generate(
     tau: f64,
     metric: Metric,
     set_bounds: (Option<usize>, Option<usize>),
-    sink: &mut CandidateSink,
+    seg: &mut SegmentScratch,
     stats: &mut ExtractStats,
     budget: &mut Budget,
 ) {
@@ -57,12 +43,30 @@ pub(crate) fn generate(
         return;
     }
     let order = index.order();
-    let keys: Vec<u64> = doc.tokens().iter().map(|&t| order.key(t)).collect();
-    let mut prefix_buf: Vec<u64> = Vec::new();
+    let SegmentScratch { remap, states, sink, dynamic, .. } = seg;
+    remap.build(doc.tokens().iter().map(|&t| order.key(t)));
+    let universe = remap.universe();
+    let ranks = remap.doc_ranks();
 
-    // states[i] tracks the substring of length `bounds.min + i` at the
-    // current start position (only lengths that fit in the document).
-    let mut states: Vec<LenState> = Vec::new();
+    // states[i] / caches[i] track the substring of length `bounds.min + i`
+    // at the current start position; `live` counts the lengths that still
+    // fit in the document (the pool itself is never truncated).
+    let max_fit = bounds.max.min(n) - bounds.min + 1;
+    if states.len() < max_fit {
+        states.resize_with(max_fit, crate::window::WindowState::new);
+    }
+    if dynamic.caches.len() < max_fit {
+        dynamic.caches.resize_with(max_fit, Default::default);
+    }
+    for st in &mut states[..max_fit] {
+        st.reset(universe);
+    }
+    for cache in &mut dynamic.caches[..max_fit] {
+        cache.clear();
+    }
+    dynamic.arena.clear();
+    let DynScratch { caches, arena, seen } = dynamic;
+    let mut live = 0usize;
 
     for p in 0..n {
         let lmax = bounds.max.min(n - p);
@@ -76,47 +80,53 @@ pub(crate) fn generate(
         let fit = lmax - bounds.min + 1;
         if p == 0 {
             // Window Extend chain: build the E⊥ state, then grow one token
-            // at a time, cloning the previous length's multiset.
-            let mut st = WindowState::from_keys(keys[0..bounds.min].iter().copied());
-            stats.prefix_builds += 1;
-            states.push(LenState::new(st.clone()));
-            for l in bounds.min + 1..=lmax {
-                st.add(keys[l - 1]);
-                stats.prefix_updates += 1;
-                states.push(LenState::new(st.clone()));
+            // at a time, copying the previous length's multiset into the
+            // next pooled state.
+            for i in 0..fit {
+                if i == 0 {
+                    for &r in &ranks[0..bounds.min] {
+                        states[0].add(r);
+                    }
+                    stats.prefix_builds += 1;
+                } else {
+                    let (prev, rest) = states.split_at_mut(i);
+                    rest[0].copy_from(&prev[i - 1]);
+                    rest[0].add(ranks[bounds.min + i - 1]);
+                    stats.prefix_updates += 1;
+                }
             }
+            live = fit;
         } else {
-            // Lengths that no longer fit are dropped before migration.
-            states.truncate(fit);
+            // Lengths that no longer fit stop being migrated (their pooled
+            // states stay behind for the next document).
+            live = live.min(fit);
             // Window Migrate per surviving length.
-            for (i, st) in states.iter_mut().enumerate() {
+            for (i, st) in states[..live].iter_mut().enumerate() {
                 let l = bounds.min + i;
-                st.window.remove(keys[p - 1]);
-                st.window.add(keys[p - 1 + l]);
+                st.remove(ranks[p - 1]);
+                st.add(ranks[p - 1 + l]);
                 stats.prefix_updates += 1;
             }
         }
 
-        for (i, st) in states.iter_mut().enumerate() {
+        for (i, (st, cache)) in states[..live].iter().zip(caches.iter_mut()).enumerate() {
             let l = bounds.min + i;
             stats.substrings += 1;
-            let s_len = st.window.distinct_len();
+            let s_len = st.distinct_len();
             let k = metric.prefix_len(s_len, tau);
-            prefix_buf.clear();
-            prefix_buf.extend(st.window.prefix(k));
+            let prefix = st.prefix(k);
             let span = Span::new(p, l);
-            // Drop cache entries for tokens that left the prefix (entries
-            // for other distinct sizes of current tokens are kept warm).
-            st.cache.retain(|(key, _), _| prefix_buf.binary_search(key).is_ok());
-            for &key in &prefix_buf {
-                if key >> 32 == 0 {
+            // Drop cache entries for ranks that left the prefix (entries
+            // for other distinct sizes of current ranks are kept warm).
+            cache.retain(|&(r, _), _| prefix.binary_search(&r).is_ok());
+            for &r in prefix {
+                if !remap.is_valid_rank(r) {
                     continue; // invalid token
                 }
-                let origins = st
-                    .cache
-                    .entry((key, s_len as u32))
-                    .or_insert_with(|| scan_token_origins(index, index.order().token_of(key), s_len, tau, metric, stats));
-                for &origin in origins.iter() {
+                let (from, to) = *cache
+                    .entry((r, s_len as u32))
+                    .or_insert_with(|| scan_token_origins_into(index, order.token_of(remap.key_of(r)), s_len, tau, metric, stats, arena, seen));
+                for &origin in &arena[from as usize..to as usize] {
                     sink.push(span, origin);
                 }
             }
@@ -129,7 +139,7 @@ mod tests {
     use super::*;
     use crate::strategy::naive;
     use aeetes_rules::{DeriveConfig, DerivedDictionary, RuleSet};
-    use aeetes_text::{Dictionary, Interner, Tokenizer};
+    use aeetes_text::{Dictionary, EntityId, Interner, Tokenizer};
 
     fn setup(entries: &[&str], rules: &[(&str, &str)], doc: &str) -> (ClusteredIndex, Document) {
         let mut int = Interner::new();
@@ -154,6 +164,18 @@ mod tests {
         (ix.min_set_len(), ix.max_set_len())
     }
 
+    fn run(ix: &ClusteredIndex, doc: &Document, tau: f64, seg: &mut SegmentScratch, stats: &mut ExtractStats) -> Vec<(Span, EntityId)> {
+        seg.sink.clear();
+        generate(ix, doc, tau, Metric::Jaccard, own(ix), seg, stats, &mut Budget::unlimited());
+        seg.sink.pairs.clone()
+    }
+
+    fn run_naive(ix: &ClusteredIndex, doc: &Document, tau: f64, clustered: bool, stats: &mut ExtractStats) -> Vec<(Span, EntityId)> {
+        let mut seg = SegmentScratch::default();
+        naive::generate(ix, doc, tau, Metric::Jaccard, own(ix), clustered, &mut seg, stats, &mut Budget::unlimited());
+        seg.sink.pairs.clone()
+    }
+
     #[test]
     fn agrees_with_naive_on_mixed_document() {
         let (ix, doc) = setup(
@@ -161,14 +183,13 @@ mod tests {
             &[("uq", "university of queensland"), ("au", "australia"), ("usa", "united states")],
             "pc members include purdue university united states and the university of queensland australia plus university of wisconsin madison folks",
         );
+        let mut seg = SegmentScratch::default();
         for tau in [0.7, 0.8, 0.9] {
-            let mut s1 = CandidateSink::new();
-            let mut s2 = CandidateSink::new();
             let mut st = ExtractStats::default();
-            naive::generate(&ix, &doc, tau, Metric::Jaccard, own(&ix), true, &mut s1, &mut st, &mut Budget::unlimited());
+            let eager = run_naive(&ix, &doc, tau, true, &mut st);
             let mut st2 = ExtractStats::default();
-            generate(&ix, &doc, tau, Metric::Jaccard, own(&ix), &mut s2, &mut st2, &mut Budget::unlimited());
-            assert_eq!(sorted(s1.pairs), sorted(s2.pairs), "tau={tau}");
+            let dynamic = run(&ix, &doc, tau, &mut seg, &mut st2);
+            assert_eq!(sorted(eager), sorted(dynamic), "tau={tau}");
         }
     }
 
@@ -181,13 +202,12 @@ mod tests {
             &[("data base", "database")],
             "data base systems and data mining and data base design of system design for data base systems again data mining data base",
         );
-        let mut s_skip = CandidateSink::new();
-        let mut s_dyn = CandidateSink::new();
         let mut st_skip = ExtractStats::default();
         let mut st_dyn = ExtractStats::default();
-        naive::generate(&ix, &doc, 0.7, Metric::Jaccard, own(&ix), true, &mut s_skip, &mut st_skip, &mut Budget::unlimited());
-        generate(&ix, &doc, 0.7, Metric::Jaccard, own(&ix), &mut s_dyn, &mut st_dyn, &mut Budget::unlimited());
-        assert_eq!(sorted(s_skip.pairs), sorted(s_dyn.pairs));
+        let skip = run_naive(&ix, &doc, 0.7, true, &mut st_skip);
+        let mut seg = SegmentScratch::default();
+        let dynamic = run(&ix, &doc, 0.7, &mut seg, &mut st_dyn);
+        assert_eq!(sorted(skip), sorted(dynamic));
         assert!(
             st_dyn.accessed_entries < st_skip.accessed_entries,
             "dynamic {} vs skip {}",
@@ -199,43 +219,71 @@ mod tests {
     #[test]
     fn uses_incremental_updates_not_rebuilds() {
         let (ix, doc) = setup(&["a b c"], &[], "a b c d e f g h i j");
-        let mut sink = CandidateSink::new();
+        let mut seg = SegmentScratch::default();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 0.8, Metric::Jaccard, own(&ix), &mut sink, &mut stats, &mut Budget::unlimited());
+        run(&ix, &doc, 0.8, &mut seg, &mut stats);
         assert_eq!(stats.prefix_builds, 1, "only the very first state is built");
         assert!(stats.prefix_updates > 0);
     }
 
     #[test]
     fn short_document_tail_lengths_dropped() {
-        // Document shorter than E⊤ forces state truncation near the end.
+        // Document shorter than E⊤ forces live-length shrink near the end.
         let (ix, doc) = setup(&["a b c d e"], &[], "a b c d e f");
-        let mut sink = CandidateSink::new();
+        let mut seg = SegmentScratch::default();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 0.7, Metric::Jaccard, own(&ix), &mut sink, &mut stats, &mut Budget::unlimited());
+        let pairs = run(&ix, &doc, 0.7, &mut seg, &mut stats);
         // must not panic, and still finds the full-entity match
-        assert!(sink.pairs.iter().any(|(sp, _)| *sp == Span::new(0, 5)));
+        assert!(pairs.iter().any(|(sp, _)| *sp == Span::new(0, 5)));
     }
 
     #[test]
     fn document_shorter_than_min_window() {
         let (ix, doc) = setup(&["a b c d e f g h i j"], &[], "a b");
-        let mut sink = CandidateSink::new();
+        let mut seg = SegmentScratch::default();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 0.9, Metric::Jaccard, own(&ix), &mut sink, &mut stats, &mut Budget::unlimited());
-        assert_eq!(sink.len(), 0);
+        let pairs = run(&ix, &doc, 0.9, &mut seg, &mut stats);
+        assert!(pairs.is_empty());
         assert_eq!(stats.windows, 0);
     }
 
     #[test]
     fn repeated_tokens_migrate_correctly() {
         let (ix, doc) = setup(&["ny ny"], &[], "ny ny ny ny ny");
-        let mut s1 = CandidateSink::new();
-        let mut s2 = CandidateSink::new();
         let mut st = ExtractStats::default();
-        naive::generate(&ix, &doc, 0.8, Metric::Jaccard, own(&ix), true, &mut s1, &mut st, &mut Budget::unlimited());
+        let skip = run_naive(&ix, &doc, 0.8, true, &mut st);
+        let mut seg = SegmentScratch::default();
         let mut st2 = ExtractStats::default();
-        generate(&ix, &doc, 0.8, Metric::Jaccard, own(&ix), &mut s2, &mut st2, &mut Budget::unlimited());
-        assert_eq!(sorted(s1.pairs), sorted(s2.pairs));
+        let dynamic = run(&ix, &doc, 0.8, &mut seg, &mut st2);
+        assert_eq!(sorted(skip), sorted(dynamic));
+    }
+
+    #[test]
+    fn scratch_reuse_across_documents_is_bit_identical() {
+        // The same scratch must give the same candidates as a fresh one,
+        // document after document, including after a larger doc grew it.
+        let mut int = Interner::new();
+        let tok = Tokenizer::default();
+        let dict = Dictionary::from_strings(["data base systems", "data mining", "system design"], &tok, &mut int);
+        let mut rs = RuleSet::new();
+        rs.push_str("data base", "database", &tok, &mut int).unwrap();
+        let dd = DerivedDictionary::build(&dict, &rs, &DeriveConfig::default());
+        let ix = ClusteredIndex::build(&dd, &int);
+        let big = Document::parse(
+            "data base systems and data mining and data base design of system design for data base systems again data mining data base",
+            &tok,
+            &mut int,
+        );
+        let small = Document::parse("data mining of system design", &tok, &mut int);
+        let mut reused = SegmentScratch::default();
+        for doc in [&big, &small, &big, &small] {
+            let mut st = ExtractStats::default();
+            let with_reuse = run(&ix, doc, 0.7, &mut reused, &mut st);
+            let mut fresh = SegmentScratch::default();
+            let mut st2 = ExtractStats::default();
+            let baseline = run(&ix, doc, 0.7, &mut fresh, &mut st2);
+            assert_eq!(with_reuse, baseline, "discovery order must survive scratch reuse");
+            assert_eq!(st.accessed_entries, st2.accessed_entries, "work counters must survive scratch reuse");
+        }
     }
 }

@@ -4,27 +4,20 @@
 //! posting lists per substring it only records, for every *valid* token `t`,
 //! which substrings carry `t` in their τ-prefix — the paper's substring
 //! inverted index `I[t]` (built from the valid-token sets `Φ` and their
-//! deltas `∆φ`; we materialize the aggregated index directly). Pass 2 then
-//! scans the posting list of each distinct valid token **once**, pairing
-//! every length group with the substrings whose length filter admits it.
+//! deltas `∆φ`; we materialize the aggregated index directly), stored here
+//! as rank-indexed pooled vectors instead of a hash map. Pass 2 then scans
+//! the posting list of each distinct valid token **once**, pairing every
+//! length group with the substrings whose length filter admits it; expiry
+//! of substrings whose `hi` bound falls below the group length is driven by
+//! a single sort-by-`hi` cursor plus tombstones (compacted amortizedly),
+//! not a per-group rescan of the active list.
 
-use crate::candidates::CandidateSink;
 use crate::limits::Budget;
+use crate::scratch::{Pending, SegmentScratch};
 use crate::stats::ExtractStats;
-use crate::window::WindowState;
 use aeetes_index::{metric_window_bounds, ClusteredIndex};
 use aeetes_sim::Metric;
-use aeetes_text::{Document, Span, TokenId};
-use std::collections::HashMap;
-
-/// One substring that carries a given valid token in its prefix, with its
-/// precomputed admissible entity-length interval `[lo, hi]`.
-#[derive(Debug, Clone, Copy)]
-struct Pending {
-    span: Span,
-    lo: u32,
-    hi: u32,
-}
+use aeetes_text::{Document, Span};
 
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn generate(
@@ -33,7 +26,7 @@ pub(crate) fn generate(
     tau: f64,
     metric: Metric,
     set_bounds: (Option<usize>, Option<usize>),
-    sink: &mut CandidateSink,
+    seg: &mut SegmentScratch,
     stats: &mut ExtractStats,
     budget: &mut Budget,
 ) {
@@ -45,11 +38,26 @@ pub(crate) fn generate(
         return;
     }
     let order = index.order();
-    let keys: Vec<u64> = doc.tokens().iter().map(|&t| order.key(t)).collect();
+    let SegmentScratch { remap, states, sink, lazy, .. } = seg;
+    remap.build(doc.tokens().iter().map(|&t| order.key(t)));
+    let universe = remap.universe();
+    let ranks = remap.doc_ranks();
 
     // ---- Pass 1: build the substring inverted index I[t]. ----
-    let mut inv: HashMap<TokenId, Vec<Pending>> = HashMap::new();
-    let mut states: Vec<WindowState> = Vec::new();
+    // `inv` is indexed by rank; only `touched` entries are non-empty, and
+    // every entry keeps its capacity across documents.
+    if lazy.inv.len() < universe {
+        lazy.inv.resize_with(universe, Vec::new);
+    }
+    lazy.touched.clear();
+    let max_fit = bounds.max.min(n) - bounds.min + 1;
+    if states.len() < max_fit {
+        states.resize_with(max_fit, crate::window::WindowState::new);
+    }
+    for st in &mut states[..max_fit] {
+        st.reset(universe);
+    }
+    let mut live = 0usize;
     for p in 0..n {
         let lmax = bounds.max.min(n - p);
         if bounds.min > lmax {
@@ -63,64 +71,94 @@ pub(crate) fn generate(
         stats.windows += 1;
         let fit = lmax - bounds.min + 1;
         if p == 0 {
-            let mut st = WindowState::from_keys(keys[0..bounds.min].iter().copied());
-            stats.prefix_builds += 1;
-            states.push(st.clone());
-            for l in bounds.min + 1..=lmax {
-                st.add(keys[l - 1]);
-                stats.prefix_updates += 1;
-                states.push(st.clone());
+            for i in 0..fit {
+                if i == 0 {
+                    for &r in &ranks[0..bounds.min] {
+                        states[0].add(r);
+                    }
+                    stats.prefix_builds += 1;
+                } else {
+                    let (prev, rest) = states.split_at_mut(i);
+                    rest[0].copy_from(&prev[i - 1]);
+                    rest[0].add(ranks[bounds.min + i - 1]);
+                    stats.prefix_updates += 1;
+                }
             }
+            live = fit;
         } else {
-            states.truncate(fit);
-            for (i, st) in states.iter_mut().enumerate() {
+            live = live.min(fit);
+            for (i, st) in states[..live].iter_mut().enumerate() {
                 let l = bounds.min + i;
-                st.remove(keys[p - 1]);
-                st.add(keys[p - 1 + l]);
+                st.remove(ranks[p - 1]);
+                st.add(ranks[p - 1 + l]);
                 stats.prefix_updates += 1;
             }
         }
-        for (i, st) in states.iter().enumerate() {
+        for (i, st) in states[..live].iter().enumerate() {
             let l = bounds.min + i;
             stats.substrings += 1;
             let s_len = st.distinct_len();
             let k = metric.prefix_len(s_len, tau);
             let (lo, hi) = metric.length_bounds(s_len, tau, u32::MAX as usize);
             let span = Span::new(p, l);
-            for key in st.prefix(k) {
-                if key >> 32 == 0 {
+            for &r in st.prefix(k) {
+                if !remap.is_valid_rank(r) {
                     continue; // invalid token: no postings to visit later
                 }
-                inv.entry(index.order().token_of(key))
-                    .or_default()
-                    .push(Pending { span, lo: lo as u32, hi: hi as u32 });
+                let list = &mut lazy.inv[r as usize];
+                if list.is_empty() {
+                    lazy.touched.push(r);
+                }
+                list.push(Pending { span, lo: lo as u32, hi: hi as u32 });
             }
         }
     }
 
     // ---- Pass 2: one scan of L[t] per distinct valid token. ----
     // Tokens are processed in id order for determinism.
-    let mut tokens: Vec<TokenId> = inv.keys().copied().collect();
-    tokens.sort_unstable();
-    for t in tokens {
+    lazy.tokens.clear();
+    lazy.tokens.extend(lazy.touched.iter().map(|&r| (order.token_of(remap.key_of(r)), r)));
+    lazy.tokens.sort_unstable_by_key(|&(t, _)| t);
+    for ti in 0..lazy.tokens.len() {
+        let (t, r) = lazy.tokens[ti];
         // Candidates accumulate per scanned token, so this pass re-checks
         // the budget at every token boundary.
         if !budget.keep_generating(sink.len()) {
             break;
         }
-        let mut list = inv.remove(&t).expect("token recorded in pass 1");
+        let list = &mut lazy.inv[r as usize];
         let Some(tp) = index.postings(t) else { continue };
         list.sort_unstable_by_key(|pend| pend.lo);
-        let mut next = 0usize; // next pending to activate
-        let mut active: Vec<Pending> = Vec::new();
+        // Expiry order: pending indices sorted by `hi` once, advanced with
+        // a cursor as group lengths grow — no per-group rescan.
+        lazy.hi_order.clear();
+        lazy.hi_order.extend(0..list.len() as u32);
+        lazy.hi_order.sort_unstable_by_key(|&i| list[i as usize].hi);
+        lazy.expired.clear();
+        lazy.expired.resize(list.len(), false);
+        lazy.active.clear();
+        let mut next = 0usize; // next pending to activate (by lo)
+        let mut expire_cursor = 0usize;
+        let mut dead = 0usize; // tombstones currently in `active`
         for g in tp.groups() {
             let len = g.len() as u32;
             while next < list.len() && list[next].lo <= len {
-                active.push(list[next]);
+                lazy.active.push(next as u32);
                 next += 1;
             }
-            active.retain(|pend| pend.hi >= len);
-            if active.is_empty() {
+            // `hi < len ⇒ lo ≤ hi < len`, so an expiring pending was always
+            // activated above (possibly in this very iteration): tombstone
+            // it in place.
+            while expire_cursor < lazy.hi_order.len() {
+                let idx = lazy.hi_order[expire_cursor] as usize;
+                if list[idx].hi >= len {
+                    break;
+                }
+                lazy.expired[idx] = true;
+                dead += 1;
+                expire_cursor += 1;
+            }
+            if lazy.active.len() == dead {
                 if next >= list.len() {
                     break; // nothing left to pair with larger groups
                 }
@@ -139,12 +177,25 @@ pub(crate) fn generate(
                     }
                 }
                 if hit {
-                    for pend in &active {
-                        sink.push(pend.span, og.origin);
+                    for &ai in lazy.active.iter() {
+                        if !lazy.expired[ai as usize] {
+                            sink.push(list[ai as usize].span, og.origin);
+                        }
                     }
                 }
             }
+            // Amortized compaction keeps the emission loop O(live) overall.
+            if dead > lazy.active.len() / 2 {
+                let expired = &lazy.expired;
+                lazy.active.retain(|&ai| !expired[ai as usize]);
+                dead = 0;
+            }
         }
+    }
+    // Return every touched pool entry (processed or not) to the empty
+    // state; capacities are retained for the next document.
+    for &r in lazy.touched.iter() {
+        lazy.inv[r as usize].clear();
     }
 }
 
@@ -178,6 +229,12 @@ mod tests {
         (ix.min_set_len(), ix.max_set_len())
     }
 
+    fn run(ix: &ClusteredIndex, doc: &Document, tau: f64, stats: &mut ExtractStats) -> Vec<(Span, EntityId)> {
+        let mut seg = SegmentScratch::default();
+        generate(ix, doc, tau, Metric::Jaccard, own(ix), &mut seg, stats, &mut Budget::unlimited());
+        seg.sink.pairs.clone()
+    }
+
     /// Theorem 4.5 (no false negatives): Lazy finds every candidate that the
     /// eager strategies find.
     #[test]
@@ -193,14 +250,12 @@ mod tests {
             "alumni of purdue university united states met in new york near the university of queensland australia booth with university of wisconsin madison colleagues",
         );
         for tau in [0.7, 0.8, 0.9] {
-            let mut eager = CandidateSink::new();
-            let mut lazy_sink = CandidateSink::new();
+            let mut eager_seg = SegmentScratch::default();
             let mut st = ExtractStats::default();
-            naive::generate(&ix, &doc, tau, Metric::Jaccard, own(&ix), true, &mut eager, &mut st, &mut Budget::unlimited());
+            naive::generate(&ix, &doc, tau, Metric::Jaccard, own(&ix), true, &mut eager_seg, &mut st, &mut Budget::unlimited());
             let mut st2 = ExtractStats::default();
-            generate(&ix, &doc, tau, Metric::Jaccard, own(&ix), &mut lazy_sink, &mut st2, &mut Budget::unlimited());
-            let e = sorted(eager.pairs);
-            let l = sorted(lazy_sink.pairs);
+            let l = sorted(run(&ix, &doc, tau, &mut st2));
+            let e = sorted(eager_seg.sink.pairs.clone());
             for pair in &e {
                 assert!(l.contains(pair), "lazy missed {pair:?} at tau={tau}");
             }
@@ -216,12 +271,11 @@ mod tests {
             &[("data base", "database")],
             "data base systems and data mining and data base design of system design for data base systems again data mining data base",
         );
-        let mut s_dyn = CandidateSink::new();
-        let mut s_lazy = CandidateSink::new();
+        let mut seg_dyn = SegmentScratch::default();
         let mut st_dyn = ExtractStats::default();
         let mut st_lazy = ExtractStats::default();
-        dynamic::generate(&ix, &doc, 0.7, Metric::Jaccard, own(&ix), &mut s_dyn, &mut st_dyn, &mut Budget::unlimited());
-        generate(&ix, &doc, 0.7, Metric::Jaccard, own(&ix), &mut s_lazy, &mut st_lazy, &mut Budget::unlimited());
+        dynamic::generate(&ix, &doc, 0.7, Metric::Jaccard, own(&ix), &mut seg_dyn, &mut st_dyn, &mut Budget::unlimited());
+        run(&ix, &doc, 0.7, &mut st_lazy);
         assert!(
             st_lazy.accessed_entries <= st_dyn.accessed_entries,
             "lazy {} vs dynamic {}",
@@ -233,19 +287,40 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let (ix, doc) = setup(&["a b"], &[], "");
-        let mut sink = CandidateSink::new();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 0.8, Metric::Jaccard, own(&ix), &mut sink, &mut stats, &mut Budget::unlimited());
-        assert_eq!(sink.len(), 0);
+        assert!(run(&ix, &doc, 0.8, &mut stats).is_empty());
     }
 
     #[test]
     fn single_token_entities_and_document() {
         let (ix, doc) = setup(&["rust"], &[], "rust");
-        let mut sink = CandidateSink::new();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 1.0, Metric::Jaccard, own(&ix), &mut sink, &mut stats, &mut Budget::unlimited());
-        assert_eq!(sink.len(), 1);
-        assert_eq!(sink.pairs[0].0, Span::new(0, 1));
+        let pairs = run(&ix, &doc, 1.0, &mut stats);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0, Span::new(0, 1));
+    }
+
+    #[test]
+    fn pool_reuse_keeps_candidate_order() {
+        // Re-running on the same scratch must reproduce the exact discovery
+        // order (budget truncation depends on it).
+        let (ix, doc) = setup(
+            &["data base systems", "data mining", "system design"],
+            &[("data base", "database")],
+            "data base systems and data mining for system design data base",
+        );
+        let mut seg = SegmentScratch::default();
+        let mut first = Vec::new();
+        for round in 0..3 {
+            seg.sink.clear();
+            let mut st = ExtractStats::default();
+            generate(&ix, &doc, 0.7, Metric::Jaccard, own(&ix), &mut seg, &mut st, &mut Budget::unlimited());
+            if round == 0 {
+                first = seg.sink.pairs.clone();
+                assert!(!first.is_empty());
+            } else {
+                assert_eq!(seg.sink.pairs, first, "round {round}");
+            }
+        }
     }
 }

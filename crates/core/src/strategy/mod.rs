@@ -4,8 +4,8 @@ mod dynamic;
 mod lazy;
 mod naive;
 
-use crate::candidates::CandidateSink;
-use crate::limits::Budget;
+use crate::limits::{Budget, ExtractLimits};
+use crate::scratch::{ExtractScratch, SegmentScratch};
 use crate::stats::ExtractStats;
 use aeetes_index::ClusteredIndex;
 use aeetes_sim::Metric;
@@ -50,9 +50,10 @@ impl std::fmt::Display for Strategy {
     }
 }
 
-/// Runs the chosen strategy and returns the candidate pairs. The budget is
-/// consulted at every window advance; an exhausted budget stops generation
-/// with whatever candidates were produced so far.
+/// Runs the chosen strategy, filling `seg.sink` with the candidate pairs in
+/// discovery order. The budget is consulted at every window advance; an
+/// exhausted budget stops generation with whatever candidates were produced
+/// so far.
 ///
 /// `set_bounds` is the `(min, max)` distinct-set length range used to bound
 /// window enumeration — the index's own range for a monolithic engine, or
@@ -67,23 +68,47 @@ pub(crate) fn generate(
     metric: Metric,
     strategy: Strategy,
     set_bounds: (Option<usize>, Option<usize>),
+    seg: &mut SegmentScratch,
     stats: &mut ExtractStats,
     budget: &mut Budget,
-) -> Vec<(Span, EntityId)> {
-    let mut sink = CandidateSink::new();
+) {
+    seg.sink.clear();
     // An already-spent budget (e.g. `max_candidates: Some(0)` or an expired
     // deadline) returns before any window is visited, even on inputs that
     // produce no windows at all.
     if !budget.keep_generating(0) {
-        return sink.pairs;
+        return;
     }
     match strategy {
-        Strategy::Simple => naive::generate(index, doc, tau, metric, set_bounds, false, &mut sink, stats, budget),
-        Strategy::Skip => naive::generate(index, doc, tau, metric, set_bounds, true, &mut sink, stats, budget),
-        Strategy::Dynamic => dynamic::generate(index, doc, tau, metric, set_bounds, &mut sink, stats, budget),
-        Strategy::Lazy => lazy::generate(index, doc, tau, metric, set_bounds, &mut sink, stats, budget),
+        Strategy::Simple => naive::generate(index, doc, tau, metric, set_bounds, false, seg, stats, budget),
+        Strategy::Skip => naive::generate(index, doc, tau, metric, set_bounds, true, seg, stats, budget),
+        Strategy::Dynamic => dynamic::generate(index, doc, tau, metric, set_bounds, seg, stats, budget),
+        Strategy::Lazy => lazy::generate(index, doc, tau, metric, set_bounds, seg, stats, budget),
     }
-    sink.pairs
+}
+
+/// Runs candidate generation alone — no verification — into `scratch`,
+/// returning the deduplicated candidate pairs in discovery order plus the
+/// work counters. This is the hot path measured by `bench_hot_path`; the
+/// returned slice borrows the scratch and is valid until its next use.
+///
+/// # Panics
+/// Panics when `tau` is not in `(0, 1]`.
+pub fn generate_candidates<'s>(
+    index: &ClusteredIndex,
+    doc: &Document,
+    tau: f64,
+    metric: Metric,
+    strategy: Strategy,
+    scratch: &'s mut ExtractScratch,
+) -> (&'s [(Span, EntityId)], ExtractStats) {
+    assert!(tau > 0.0 && tau <= 1.0, "similarity threshold must be in (0, 1], got {tau}");
+    let set_bounds = (index.min_set_len(), index.max_set_len());
+    let mut stats = ExtractStats::default();
+    let mut budget = Budget::start(&ExtractLimits::UNLIMITED);
+    let seg = scratch.segment(0);
+    generate(index, doc, tau, metric, strategy, set_bounds, seg, &mut stats, &mut budget);
+    (&seg.sink.pairs, stats)
 }
 
 #[cfg(test)]

@@ -1,17 +1,19 @@
 //! The `Simple` and `Skip` strategies: per-substring prefix computation
 //! from scratch (paper §4, "straightforward solution").
 
-use crate::candidates::{scan_clustered, scan_flat, CandidateSink};
+use crate::candidates::{scan_clustered, scan_flat};
 use crate::limits::Budget;
+use crate::scratch::SegmentScratch;
 use crate::stats::ExtractStats;
 use aeetes_index::{metric_window_bounds, ClusteredIndex};
 use aeetes_sim::Metric;
 use aeetes_text::{Document, Span};
 
 /// Enumerates every substring `W_p^l`, sorts its tokens by the global order
-/// to obtain the τ-prefix, and scans the posting list of each valid prefix
-/// token. `clustered` toggles the batch-skipping scan (the `Skip` strategy)
-/// versus the full scan (`Simple`).
+/// (as dense ranks, which sort identically) to obtain the τ-prefix, and
+/// scans the posting list of each valid prefix token. `clustered` toggles
+/// the batch-skipping scan (the `Skip` strategy) versus the full scan
+/// (`Simple`).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn generate(
     index: &ClusteredIndex,
@@ -20,7 +22,7 @@ pub(crate) fn generate(
     metric: Metric,
     set_bounds: (Option<usize>, Option<usize>),
     clustered: bool,
-    sink: &mut CandidateSink,
+    seg: &mut SegmentScratch,
     stats: &mut ExtractStats,
     budget: &mut Budget,
 ) {
@@ -29,8 +31,9 @@ pub(crate) fn generate(
     };
     let order = index.order();
     let n = doc.len();
-    let keys: Vec<u64> = doc.tokens().iter().map(|&t| order.key(t)).collect();
-    let mut buf: Vec<u64> = Vec::with_capacity(bounds.max);
+    let SegmentScratch { remap, sink, buf, .. } = seg;
+    remap.build(doc.tokens().iter().map(|&t| order.key(t)));
+    let ranks = remap.doc_ranks();
     for p in 0..n {
         let lmax = bounds.max.min(n - p);
         if bounds.min > lmax {
@@ -44,17 +47,17 @@ pub(crate) fn generate(
             stats.substrings += 1;
             stats.prefix_builds += 1;
             buf.clear();
-            buf.extend_from_slice(&keys[p..p + l]);
+            buf.extend_from_slice(&ranks[p..p + l]);
             buf.sort_unstable();
             buf.dedup();
             let s_len = buf.len();
             let k = metric.prefix_len(s_len, tau);
             let span = Span::new(p, l);
-            for &key in &buf[..k] {
-                if key >> 32 == 0 {
+            for &r in &buf[..k] {
+                if !remap.is_valid_rank(r) {
                     continue; // invalid token: empty posting list
                 }
-                let t = index.order().token_of(key);
+                let t = order.token_of(remap.key_of(r));
                 if clustered {
                     scan_clustered(index, t, span, s_len, tau, metric, sink, stats);
                 } else {
@@ -85,27 +88,28 @@ mod tests {
         (ix.min_set_len(), ix.max_set_len())
     }
 
+    fn run(ix: &ClusteredIndex, doc: &Document, tau: f64, clustered: bool, stats: &mut ExtractStats) -> Vec<(Span, aeetes_text::EntityId)> {
+        let mut seg = SegmentScratch::default();
+        generate(ix, doc, tau, Metric::Jaccard, own(ix), clustered, &mut seg, stats, &mut Budget::unlimited());
+        seg.sink.pairs.clone()
+    }
+
     #[test]
     fn finds_exact_mention() {
         let (ix, doc) = setup(&["purdue university"], "i visited purdue university yesterday");
-        let mut sink = CandidateSink::new();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 0.9, Metric::Jaccard, own(&ix), false, &mut sink, &mut stats, &mut Budget::unlimited());
-        assert!(sink.pairs.iter().any(|(sp, _)| *sp == Span::new(2, 2)));
+        let pairs = run(&ix, &doc, 0.9, false, &mut stats);
+        assert!(pairs.iter().any(|(sp, _)| *sp == Span::new(2, 2)));
     }
 
     #[test]
     fn simple_accesses_at_least_as_many_entries_as_skip() {
         let (ix, doc) = setup(&["a b", "a c d", "a e f g", "h i", "a"], "a b c a e f g h i a a b");
-        let mut s1 = CandidateSink::new();
-        let mut s2 = CandidateSink::new();
         let mut st1 = ExtractStats::default();
         let mut st2 = ExtractStats::default();
-        generate(&ix, &doc, 0.7, Metric::Jaccard, own(&ix), false, &mut s1, &mut st1, &mut Budget::unlimited());
-        generate(&ix, &doc, 0.7, Metric::Jaccard, own(&ix), true, &mut s2, &mut st2, &mut Budget::unlimited());
+        let mut a = run(&ix, &doc, 0.7, false, &mut st1);
+        let mut b = run(&ix, &doc, 0.7, true, &mut st2);
         assert!(st1.accessed_entries >= st2.accessed_entries);
-        let mut a = s1.pairs;
-        let mut b = s2.pairs;
         a.sort_by_key(|(sp, e)| (sp.start, sp.len, e.0));
         b.sort_by_key(|(sp, e)| (sp.start, sp.len, e.0));
         assert_eq!(a, b, "same candidates either way");
@@ -114,23 +118,18 @@ mod tests {
     #[test]
     fn empty_doc_and_empty_dict() {
         let (ix, doc) = setup(&["a b"], "");
-        let mut sink = CandidateSink::new();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 0.8, Metric::Jaccard, own(&ix), true, &mut sink, &mut stats, &mut Budget::unlimited());
-        assert_eq!(sink.len(), 0);
+        assert!(run(&ix, &doc, 0.8, true, &mut stats).is_empty());
         let (ix2, doc2) = setup(&[], "some words here");
-        let mut sink2 = CandidateSink::new();
-        generate(&ix2, &doc2, 0.8, Metric::Jaccard, own(&ix2), true, &mut sink2, &mut stats, &mut Budget::unlimited());
-        assert_eq!(sink2.len(), 0);
+        assert!(run(&ix2, &doc2, 0.8, true, &mut stats).is_empty());
     }
 
     #[test]
     fn substring_count_matches_window_arithmetic() {
         let (ix, doc) = setup(&["x y"], "one two three four five");
         // entity distinct len 2, τ=0.8 → E⊥=1, E⊤=3; n=5.
-        let mut sink = CandidateSink::new();
         let mut stats = ExtractStats::default();
-        generate(&ix, &doc, 0.8, Metric::Jaccard, own(&ix), true, &mut sink, &mut stats, &mut Budget::unlimited());
+        run(&ix, &doc, 0.8, true, &mut stats);
         // p=0..4: lmax = min(3, 5-p) → 3,3,3,2,1 → substrings 3+3+3+2+1 = 12.
         assert_eq!(stats.windows, 5);
         assert_eq!(stats.substrings, 12);

@@ -47,11 +47,12 @@ fn prefixes_overlap(a: &[u64], b: &[u64]) -> bool {
     false
 }
 
-/// Verifies each candidate pair and returns the matches with
-/// `JaccAR ≥ τ` (or weighted JaccAR when `weighted` is set), sorted by
-/// `(span, entity)`. The budget is consulted between candidates: an
-/// exhausted deadline or match cap stops verification with the (exact,
-/// verified) matches found so far.
+/// Verifies each candidate pair into `out` (cleared first): the matches
+/// with `JaccAR ≥ τ` (or weighted JaccAR when `weighted` is set), sorted by
+/// `(span, entity)` because `pairs` is sorted in place first. The budget is
+/// consulted between candidates: an exhausted deadline or match cap stops
+/// verification with the (exact, verified) matches found so far. `s_keys`
+/// is span-local scratch; both buffers retain capacity across calls.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn verify_candidates(
     index: &ClusteredIndex,
@@ -59,19 +60,23 @@ pub(crate) fn verify_candidates(
     doc: &Document,
     tau: f64,
     metric: Metric,
-    mut pairs: Vec<(Span, EntityId)>,
+    pairs: &mut [(Span, EntityId)],
     stats: &mut ExtractStats,
     weighted: bool,
     budget: &mut Budget,
-) -> Vec<Match> {
-    // Group by span so the substring key set is built once per span.
+    s_keys: &mut Vec<u64>,
+    out: &mut Vec<Match>,
+) {
+    out.clear();
+    // Group by span so the substring key set — and the length bounds that
+    // depend only on it — are built once per span.
     pairs.sort_unstable_by_key(|(sp, e)| (sp.start, sp.len, e.0));
     let order = index.order();
-    let mut out = Vec::new();
-    let mut s_keys: Vec<u64> = Vec::new();
     let mut s_prefix = 0usize;
+    let mut lo = 0usize;
+    let mut hi = 0usize;
     let mut cur: Option<Span> = None;
-    for (span, e) in pairs {
+    for &(span, e) in pairs.iter() {
         if !budget.keep_verifying(out.len()) {
             break;
         }
@@ -81,10 +86,10 @@ pub(crate) fn verify_candidates(
             s_keys.sort_unstable();
             s_keys.dedup();
             s_prefix = metric.prefix_len(s_keys.len(), tau);
+            (lo, hi) = metric.length_bounds(s_keys.len(), tau, usize::MAX);
             cur = Some(span);
         }
         stats.candidates += 1;
-        let (lo, hi) = metric.length_bounds(s_keys.len(), tau, usize::MAX);
         let mut best_score = 0.0f64;
         let mut best_variant: Option<DerivedId> = None;
         // Variants are pre-sorted by set length: binary-search to the first
@@ -106,7 +111,7 @@ pub(crate) fn verify_candidates(
             // Only variants that can reach τ matter for the output; the
             // merge aborts once the required overlap is unreachable.
             let required = metric.required_overlap(set.len(), s_keys.len(), tau);
-            let Some(inter) = intersect_keys_at_least(set, &s_keys, required) else {
+            let Some(inter) = intersect_keys_at_least(set, s_keys, required) else {
                 continue;
             };
             let mut score = metric.score(set.len(), s_keys.len(), inter);
@@ -128,7 +133,6 @@ pub(crate) fn verify_candidates(
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -158,6 +162,25 @@ mod tests {
             let ix = ClusteredIndex::build(&dd, &self.int);
             (dd, ix)
         }
+    }
+
+    /// Owned-result wrapper over the buffer-reusing signature.
+    #[allow(clippy::too_many_arguments)]
+    fn run_verify(
+        index: &ClusteredIndex,
+        dd: &DerivedDictionary,
+        doc: &Document,
+        tau: f64,
+        metric: Metric,
+        mut pairs: Vec<(Span, EntityId)>,
+        stats: &mut ExtractStats,
+        weighted: bool,
+        budget: &mut Budget,
+    ) -> Vec<Match> {
+        let mut s_keys = Vec::new();
+        let mut out = Vec::new();
+        verify_candidates(index, dd, doc, tau, metric, &mut pairs, stats, weighted, budget, &mut s_keys, &mut out);
+        out
     }
 
     #[test]
@@ -196,7 +219,7 @@ mod tests {
         let good = (Span::new(0, 4), e);
         let bad = (Span::new(4, 3), e);
         let mut stats = ExtractStats::default();
-        let out = verify_candidates(&ix, &dd, &doc, 0.9, Metric::Jaccard, vec![good, bad], &mut stats, false, &mut Budget::unlimited());
+        let out = run_verify(&ix, &dd, &doc, 0.9, Metric::Jaccard, vec![good, bad], &mut stats, false, &mut Budget::unlimited());
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].span, Span::new(0, 4));
         assert_eq!(out[0].score, 1.0);
@@ -213,11 +236,11 @@ mod tests {
         let doc = Document::parse("new york city marathon", &f.tok, &mut f.int);
         let pair = vec![(Span::new(0, 4), e)];
         let mut stats = ExtractStats::default();
-        let plain = verify_candidates(&ix, &dd, &doc, 0.9, Metric::Jaccard, pair.clone(), &mut stats, false, &mut Budget::unlimited());
+        let plain = run_verify(&ix, &dd, &doc, 0.9, Metric::Jaccard, pair.clone(), &mut stats, false, &mut Budget::unlimited());
         assert_eq!(plain.len(), 1);
-        let weighted = verify_candidates(&ix, &dd, &doc, 0.9, Metric::Jaccard, pair.clone(), &mut stats, true, &mut Budget::unlimited());
+        let weighted = run_verify(&ix, &dd, &doc, 0.9, Metric::Jaccard, pair.clone(), &mut stats, true, &mut Budget::unlimited());
         assert!(weighted.is_empty(), "0.5-weighted score falls below 0.9");
-        let weighted_low = verify_candidates(&ix, &dd, &doc, 0.4, Metric::Jaccard, pair, &mut stats, true, &mut Budget::unlimited());
+        let weighted_low = run_verify(&ix, &dd, &doc, 0.4, Metric::Jaccard, pair, &mut stats, true, &mut Budget::unlimited());
         assert_eq!(weighted_low.len(), 1);
         assert!((weighted_low[0].score - 0.5).abs() < 1e-12);
     }
@@ -231,7 +254,7 @@ mod tests {
         let doc = Document::parse("alpha beta gamma", &f.tok, &mut f.int);
         let pairs = vec![(Span::new(1, 2), b), (Span::new(0, 2), a)];
         let mut stats = ExtractStats::default();
-        let out = verify_candidates(&ix, &dd, &doc, 0.9, Metric::Jaccard, pairs, &mut stats, false, &mut Budget::unlimited());
+        let out = run_verify(&ix, &dd, &doc, 0.9, Metric::Jaccard, pairs, &mut stats, false, &mut Budget::unlimited());
         assert_eq!(out.len(), 2);
         assert!(out[0].sort_key() < out[1].sort_key());
     }
@@ -243,7 +266,7 @@ mod tests {
         let (dd, ix) = f.built();
         let doc = Document::parse("a b", &f.tok, &mut f.int);
         let mut stats = ExtractStats::default();
-        let out = verify_candidates(&ix, &dd, &doc, 0.9, Metric::Jaccard, vec![(Span::new(0, 2), e)], &mut stats, false, &mut Budget::unlimited());
+        let out = run_verify(&ix, &dd, &doc, 0.9, Metric::Jaccard, vec![(Span::new(0, 2), e)], &mut stats, false, &mut Budget::unlimited());
         assert!(out.is_empty());
         assert_eq!(stats.verifications, 0, "variant skipped by length filter");
     }

@@ -1,86 +1,178 @@
-//! Incremental window state: the multiset of tokens under a sliding
-//! substring, ordered by the global token order (paper §4.1).
+//! Incremental window state over a per-document dense token remap
+//! (paper §4.1).
 //!
-//! The paper's *Window Extend* (grow the substring by one token) and
-//! *Window Migrate* (shift the substring right by one position) both reduce
-//! to one [`WindowState::add`] and/or [`WindowState::remove`], after which
-//! the τ-prefix is the first `⌊(1−τ)|s|⌋+1` distinct keys — maintained here
-//! by an ordered map instead of re-sorting from scratch.
+//! [`DenseRemap`] collects a document's distinct global-order keys once,
+//! sorts them, and assigns each a dense rank in `0..universe`. Rank order
+//! equals global order, so the τ-prefix of a substring is simply its first
+//! `k` live ranks. [`WindowState`] then tracks the multiset of ranks under
+//! a sliding substring with a flat count array indexed by rank plus an
+//! incrementally maintained sorted vector of live ranks — the paper's
+//! *Window Extend* (grow the substring by one token) and *Window Migrate*
+//! (shift the substring right by one position) both reduce to one
+//! [`WindowState::add`] and/or [`WindowState::remove`], each an O(window)
+//! vector edit with no per-operation heap allocation.
+//!
+//! Both structures retain their buffers across documents: after a few
+//! documents of warmup every rebuild runs inside previously acquired
+//! capacity.
 
-use std::collections::BTreeMap;
-
-/// Ordered multiset of global-order keys for one substring.
+/// Per-document dense remap of global-order keys onto ranks `0..universe`.
 #[derive(Debug, Clone, Default)]
-pub struct WindowState {
-    counts: BTreeMap<u64, u32>,
+pub struct DenseRemap {
+    /// Sorted distinct keys of the document; the index of a key is its rank.
+    ranks: Vec<u64>,
+    /// Document position → rank of the token at that position.
+    doc_ranks: Vec<u32>,
+    /// Keys in position order (build-time staging, kept for capacity reuse).
+    key_buf: Vec<u64>,
+    /// Ranks below this carry invalid tokens (zero-frequency keys, which
+    /// have no postings and sort before every valid key).
+    first_valid: u32,
 }
 
-impl WindowState {
-    /// Empty state.
+impl DenseRemap {
+    /// Empty remap.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Builds a state from an iterator of keys.
-    pub fn from_keys<I: IntoIterator<Item = u64>>(keys: I) -> Self {
+    /// Rebuilds the remap from the document's global-order key sequence (in
+    /// position order). Previously acquired capacity is reused.
+    pub fn build<I: IntoIterator<Item = u64>>(&mut self, keys: I) {
+        self.key_buf.clear();
+        self.key_buf.extend(keys);
+        self.ranks.clear();
+        self.ranks.extend_from_slice(&self.key_buf);
+        self.ranks.sort_unstable();
+        self.ranks.dedup();
+        self.first_valid = self.ranks.partition_point(|&k| k >> 32 == 0) as u32;
+        self.doc_ranks.clear();
+        let ranks = &self.ranks;
+        self.doc_ranks
+            .extend(self.key_buf.iter().map(|k| ranks.binary_search(k).expect("key was collected above") as u32));
+    }
+
+    /// Number of distinct keys (the rank space size).
+    pub fn universe(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Document tokens as ranks, in position order.
+    pub fn doc_ranks(&self) -> &[u32] {
+        &self.doc_ranks
+    }
+
+    /// The global-order key a rank stands for.
+    pub fn key_of(&self, rank: u32) -> u64 {
+        self.ranks[rank as usize]
+    }
+
+    /// Whether `rank` carries a valid (indexed) token.
+    pub fn is_valid_rank(&self, rank: u32) -> bool {
+        rank >= self.first_valid
+    }
+}
+
+/// Multiset of dense ranks under one sliding substring, with the live ranks
+/// kept sorted so the τ-prefix is a slice.
+#[derive(Debug, Clone, Default)]
+pub struct WindowState {
+    /// rank → multiplicity under the window; length is the remap universe.
+    counts: Vec<u32>,
+    /// Ranks with multiplicity > 0, sorted ascending. Rank order equals
+    /// global order, so `&live[..k]` *is* the τ-prefix.
+    live: Vec<u32>,
+    /// Total token count including duplicates.
+    total: usize,
+}
+
+impl WindowState {
+    /// Empty state (over an empty universe; call [`WindowState::reset`]
+    /// before use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empties the window and sizes the count array for `universe` ranks.
+    pub fn reset(&mut self, universe: usize) {
+        self.counts.clear();
+        self.counts.resize(universe, 0);
+        self.live.clear();
+        self.total = 0;
+    }
+
+    /// Builds a state over `universe` ranks from an iterator of ranks.
+    pub fn from_ranks<I: IntoIterator<Item = u32>>(universe: usize, ranks: I) -> Self {
         let mut s = Self::new();
-        for k in keys {
-            s.add(k);
+        s.reset(universe);
+        for r in ranks {
+            s.add(r);
         }
         s
     }
 
-    /// Adds one occurrence of `key` (Window Extend / the incoming edge of a
-    /// Window Migrate).
-    pub fn add(&mut self, key: u64) {
-        *self.counts.entry(key).or_insert(0) += 1;
+    /// Becomes a copy of `other`, reusing this state's buffers.
+    pub fn copy_from(&mut self, other: &WindowState) {
+        self.counts.clone_from(&other.counts);
+        self.live.clone_from(&other.live);
+        self.total = other.total;
     }
 
-    /// Removes one occurrence of `key` (the outgoing edge of a Window
+    /// Adds one occurrence of `rank` (Window Extend / the incoming edge of
+    /// a Window Migrate).
+    pub fn add(&mut self, rank: u32) {
+        let c = &mut self.counts[rank as usize];
+        if *c == 0 {
+            let pos = self.live.partition_point(|&r| r < rank);
+            self.live.insert(pos, rank);
+        }
+        *c += 1;
+        self.total += 1;
+    }
+
+    /// Removes one occurrence of `rank` (the outgoing edge of a Window
     /// Migrate).
     ///
     /// # Panics
-    /// Panics in debug builds when `key` is not present.
-    pub fn remove(&mut self, key: u64) {
-        match self.counts.get_mut(&key) {
-            Some(c) if *c > 1 => *c -= 1,
-            Some(_) => {
-                self.counts.remove(&key);
-            }
-            None => debug_assert!(false, "removing absent key {key}"),
+    /// Panics in debug builds when `rank` is not present.
+    pub fn remove(&mut self, rank: u32) {
+        let c = &mut self.counts[rank as usize];
+        if *c == 0 {
+            debug_assert!(false, "removing absent rank {rank}");
+            return;
+        }
+        *c -= 1;
+        self.total -= 1;
+        if *c == 0 {
+            let pos = self.live.partition_point(|&r| r < rank);
+            self.live.remove(pos);
         }
     }
 
     /// Number of distinct tokens (`|s|` under set semantics).
     pub fn distinct_len(&self) -> usize {
-        self.counts.len()
+        self.live.len()
     }
 
-    /// Total token count including duplicates.
+    /// Total token count including duplicates (tracked, not recomputed).
     pub fn total_len(&self) -> usize {
-        self.counts.values().map(|&c| c as usize).sum()
+        self.total
     }
 
-    /// The first `k` distinct keys in global order (the τ-prefix when `k` =
-    /// `prefix_len(distinct_len, τ)`).
-    pub fn prefix(&self, k: usize) -> impl Iterator<Item = u64> + '_ {
-        self.counts.keys().copied().take(k)
+    /// The first `k` distinct ranks in global order (the τ-prefix when `k`
+    /// = `prefix_len(distinct_len, τ)`); clamped to the live count.
+    pub fn prefix(&self, k: usize) -> &[u32] {
+        &self.live[..k.min(self.live.len())]
     }
 
-    /// All distinct keys in global order (for verification).
-    pub fn distinct_keys(&self) -> impl Iterator<Item = u64> + '_ {
-        self.counts.keys().copied()
-    }
-
-    /// Collects the distinct keys into `buf` (cleared first).
-    pub fn fill_distinct(&self, buf: &mut Vec<u64>) {
-        buf.clear();
-        buf.extend(self.counts.keys().copied());
+    /// All live ranks in global order (for verification and tests).
+    pub fn live_ranks(&self) -> &[u32] {
+        &self.live
     }
 
     /// Whether the window is empty.
     pub fn is_empty(&self) -> bool {
-        self.counts.is_empty()
+        self.live.is_empty()
     }
 }
 
@@ -91,6 +183,7 @@ mod tests {
     #[test]
     fn add_remove_round_trip() {
         let mut w = WindowState::new();
+        w.reset(8);
         w.add(5);
         w.add(5);
         w.add(3);
@@ -98,38 +191,52 @@ mod tests {
         assert_eq!(w.total_len(), 3);
         w.remove(5);
         assert_eq!(w.distinct_len(), 2, "one copy of 5 remains");
+        assert_eq!(w.total_len(), 2);
         w.remove(5);
         assert_eq!(w.distinct_len(), 1);
-        assert_eq!(w.prefix(5).collect::<Vec<_>>(), vec![3]);
+        assert_eq!(w.prefix(5), &[3]);
     }
 
     #[test]
-    fn prefix_is_smallest_keys() {
-        let w = WindowState::from_keys([9, 1, 7, 3]);
-        assert_eq!(w.prefix(2).collect::<Vec<_>>(), vec![1, 3]);
-        assert_eq!(w.prefix(10).count(), 4);
+    fn prefix_is_smallest_ranks() {
+        let w = WindowState::from_ranks(10, [9, 1, 7, 3]);
+        assert_eq!(w.prefix(2), &[1, 3]);
+        assert_eq!(w.prefix(10).len(), 4);
     }
 
     #[test]
     fn migrate_equals_rebuild() {
         // Sliding [a b c] -> [b c d] via remove/add matches a fresh build.
-        let keys = [10u64, 20, 30, 40, 20, 10];
+        let ranks = [1u32, 2, 3, 4, 2, 1];
         let l = 3;
-        let mut w = WindowState::from_keys(keys[0..l].iter().copied());
-        for p in 1..=keys.len() - l {
-            w.remove(keys[p - 1]);
-            w.add(keys[p + l - 1]);
-            let fresh = WindowState::from_keys(keys[p..p + l].iter().copied());
-            assert_eq!(w.distinct_keys().collect::<Vec<_>>(), fresh.distinct_keys().collect::<Vec<_>>(), "window at p={p}");
+        let mut w = WindowState::from_ranks(5, ranks[0..l].iter().copied());
+        for p in 1..=ranks.len() - l {
+            w.remove(ranks[p - 1]);
+            w.add(ranks[p + l - 1]);
+            let fresh = WindowState::from_ranks(5, ranks[p..p + l].iter().copied());
+            assert_eq!(w.live_ranks(), fresh.live_ranks(), "window at p={p}");
+            assert_eq!(w.total_len(), fresh.total_len(), "total at p={p}");
         }
     }
 
     #[test]
-    fn fill_distinct_reuses_buffer() {
-        let w = WindowState::from_keys([2, 1, 2]);
-        let mut buf = vec![99];
-        w.fill_distinct(&mut buf);
-        assert_eq!(buf, vec![1, 2]);
+    fn copy_from_reuses_buffers() {
+        let src = WindowState::from_ranks(6, [2, 4, 4]);
+        let mut dst = WindowState::from_ranks(6, [0, 1, 2, 3]);
+        dst.copy_from(&src);
+        assert_eq!(dst.live_ranks(), src.live_ranks());
+        assert_eq!(dst.total_len(), 3);
+    }
+
+    #[test]
+    fn reset_clears_previous_contents() {
+        let mut w = WindowState::from_ranks(4, [0, 1, 2]);
+        w.reset(6);
+        assert!(w.is_empty());
+        assert_eq!(w.distinct_len(), 0);
+        assert_eq!(w.total_len(), 0);
+        w.add(5);
+        assert_eq!(w.prefix(3), &[5]);
     }
 
     #[test]
@@ -137,6 +244,36 @@ mod tests {
         let w = WindowState::new();
         assert!(w.is_empty());
         assert_eq!(w.distinct_len(), 0);
-        assert_eq!(w.prefix(3).count(), 0);
+        assert_eq!(w.total_len(), 0);
+        assert_eq!(w.prefix(3).len(), 0);
+    }
+
+    #[test]
+    fn remap_assigns_dense_sorted_ranks() {
+        let mut r = DenseRemap::new();
+        // Two invalid keys (< 1<<32) and three valid ones, with repeats.
+        let k = |f: u64, s: u64| (f << 32) | s;
+        r.build([k(2, 7), 5, k(1, 3), 9, k(2, 7), 5]);
+        assert_eq!(r.universe(), 4);
+        // Sorted order: 5, 9 (invalid), then k(1,3), k(2,7).
+        assert_eq!(r.doc_ranks(), &[3, 0, 2, 1, 3, 0]);
+        assert!(!r.is_valid_rank(0));
+        assert!(!r.is_valid_rank(1));
+        assert!(r.is_valid_rank(2));
+        assert!(r.is_valid_rank(3));
+        assert_eq!(r.key_of(2), k(1, 3));
+        // Rebuild with different content reuses the buffers.
+        r.build([k(4, 1), k(4, 1)]);
+        assert_eq!(r.universe(), 1);
+        assert_eq!(r.doc_ranks(), &[0, 0]);
+        assert!(r.is_valid_rank(0));
+    }
+
+    #[test]
+    fn remap_of_empty_document() {
+        let mut r = DenseRemap::new();
+        r.build([]);
+        assert_eq!(r.universe(), 0);
+        assert!(r.doc_ranks().is_empty());
     }
 }

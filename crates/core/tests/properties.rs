@@ -11,18 +11,52 @@ proptest! {
     /// Sliding a window via remove/add matches rebuilding it from scratch,
     /// for every position and length.
     #[test]
-    fn window_migrate_equals_rebuild(keys in proptest::collection::vec(0u64..12, 1..30), l in 1usize..6) {
-        prop_assume!(keys.len() >= l);
-        let mut w = WindowState::from_keys(keys[0..l].iter().copied());
-        for p in 1..=keys.len() - l {
-            w.remove(keys[p - 1]);
-            w.add(keys[p + l - 1]);
-            let fresh = WindowState::from_keys(keys[p..p + l].iter().copied());
-            prop_assert_eq!(
-                w.distinct_keys().collect::<Vec<_>>(),
-                fresh.distinct_keys().collect::<Vec<_>>()
-            );
+    fn window_migrate_equals_rebuild(ranks in proptest::collection::vec(0u32..12, 1..30), l in 1usize..6) {
+        prop_assume!(ranks.len() >= l);
+        const UNIVERSE: usize = 12;
+        let mut w = WindowState::from_ranks(UNIVERSE, ranks[0..l].iter().copied());
+        for p in 1..=ranks.len() - l {
+            w.remove(ranks[p - 1]);
+            w.add(ranks[p + l - 1]);
+            let fresh = WindowState::from_ranks(UNIVERSE, ranks[p..p + l].iter().copied());
+            prop_assert_eq!(w.live_ranks(), fresh.live_ranks());
             prop_assert_eq!(w.total_len(), l);
+        }
+    }
+
+    /// The flat count-array window state agrees with a `BTreeMap<rank,
+    /// count>` reference model (the pre-dense-remap representation) on any
+    /// randomized add/remove/prefix sequence.
+    #[test]
+    fn window_state_matches_btreemap_model(ops in proptest::collection::vec((0u8..2, 0u32..16, 0usize..20), 0..200)) {
+        use std::collections::BTreeMap;
+        const UNIVERSE: usize = 16;
+        let mut w = WindowState::new();
+        w.reset(UNIVERSE);
+        let mut model: BTreeMap<u32, u32> = BTreeMap::new();
+        let mut total = 0usize;
+        for &(op, rank, k) in &ops {
+            if op == 1 {
+                w.add(rank);
+                *model.entry(rank).or_insert(0) += 1;
+                total += 1;
+            } else if model.contains_key(&rank) {
+                // Only remove what the model holds: WindowState::remove on
+                // an absent rank is a contract violation, not a no-op.
+                w.remove(rank);
+                let c = model.get_mut(&rank).unwrap();
+                *c -= 1;
+                if *c == 0 {
+                    model.remove(&rank);
+                }
+                total -= 1;
+            }
+            let distinct: Vec<u32> = model.keys().copied().collect();
+            prop_assert_eq!(w.live_ranks(), distinct.as_slice());
+            prop_assert_eq!(w.distinct_len(), distinct.len());
+            prop_assert_eq!(w.total_len(), total);
+            prop_assert_eq!(w.is_empty(), total == 0);
+            prop_assert_eq!(w.prefix(k), &distinct[..k.min(distinct.len())]);
         }
     }
 

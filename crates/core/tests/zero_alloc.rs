@@ -1,0 +1,94 @@
+//! Proves the zero-allocation hot-path claim: once an [`ExtractScratch`]
+//! has warmed up to its high-water capacity, repeat extraction over the
+//! same document mix performs **zero** heap allocations per document, for
+//! both incremental strategies (`Dynamic` and `Lazy`).
+//!
+//! The proof is a counting `#[global_allocator]`: every `alloc` /
+//! `realloc` / `alloc_zeroed` bumps an atomic counter, and the steady-state
+//! rounds assert the counter does not move. This file holds exactly one
+//! test so no concurrent test can perturb the counter.
+
+use aeetes_core::{Aeetes, AeetesConfig, ExtractLimits, ExtractScratch, Strategy};
+use aeetes_rules::RuleSet;
+use aeetes_text::{Dictionary, Document, Interner, Tokenizer};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System` unchanged; the counter is
+// a side effect only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_extraction_allocates_nothing() {
+    for strategy in [Strategy::Dynamic, Strategy::Lazy] {
+        let mut int = Interner::new();
+        let tok = Tokenizer::default();
+        let mut dict = Dictionary::new();
+        dict.push("purdue university usa", &tok, &mut int);
+        dict.push("uq au", &tok, &mut int);
+        dict.push("university of wisconsin madison", &tok, &mut int);
+        let mut rules = RuleSet::new();
+        rules.push_str("uq", "university of queensland", &tok, &mut int).unwrap();
+        rules.push_str("usa", "united states", &tok, &mut int).unwrap();
+        let config = AeetesConfig { strategy, ..AeetesConfig::default() };
+        let engine = Aeetes::build(dict, &rules, &int, config);
+        // A mix of matching, partially-matching and irrelevant documents of
+        // different lengths, parsed up front (parsing may intern).
+        let docs: Vec<Document> = [
+            "a visit to purdue university usa was scheduled after the university of queensland au talks",
+            "nothing relevant in this one at all just plain words",
+            "purdue university united states and the university of wisconsin madison and uq au",
+            "uq au",
+            "",
+        ]
+        .iter()
+        .map(|t| Document::parse(t, &tok, &mut int))
+        .collect();
+        let mut scratch = ExtractScratch::new();
+        let mut warm_matches = 0usize;
+        for _ in 0..3 {
+            warm_matches = 0;
+            for doc in &docs {
+                warm_matches += engine.extract_scratched(doc, 0.8, &ExtractLimits::UNLIMITED, None, &mut scratch).matches.len();
+            }
+        }
+        assert!(warm_matches > 0, "fixture must produce matches for the test to mean anything");
+        let before = ALLOCS.load(Ordering::Relaxed);
+        let mut steady_matches = 0usize;
+        for _ in 0..5 {
+            steady_matches = 0;
+            for doc in &docs {
+                steady_matches += engine.extract_scratched(doc, 0.8, &ExtractLimits::UNLIMITED, None, &mut scratch).matches.len();
+            }
+        }
+        let delta = ALLOCS.load(Ordering::Relaxed) - before;
+        assert_eq!(steady_matches, warm_matches, "steady-state rounds must reproduce the warmed-up result");
+        assert_eq!(delta, 0, "strategy {strategy} allocated {delta} time(s) across 5 steady-state rounds");
+    }
+}

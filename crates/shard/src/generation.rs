@@ -1,6 +1,9 @@
 //! Immutable generations: one fully-built sharded engine state.
 
-use aeetes_core::{extract_segment, AeetesConfig, CancelToken, ExtractBackend, ExtractLimits, ExtractOutcome, ExtractStats, Match};
+use aeetes_core::{
+    extract_segment_scratched, AeetesConfig, CancelToken, ExtractBackend, ExtractLimits, ExtractOutcome, ExtractScratch, ExtractStats, Match,
+    ScratchOutcome, SegmentScratch,
+};
 use aeetes_index::{ClusteredIndex, GlobalOrder};
 use aeetes_rules::{DerivedDictionary, DerivedId, RuleSet};
 use aeetes_text::{Dictionary, Document, EntityId, Interner};
@@ -200,42 +203,31 @@ impl Generation {
             .collect()
     }
 
-    fn run_shard(&self, shard: &Shard, doc: &Document, tau: f64, limits: &ExtractLimits, cancel: Option<&CancelToken>) -> ExtractOutcome {
-        let out =
-            extract_segment(&shard.index, &shard.dd, doc, tau, self.config.strategy, self.config.metric, false, self.set_len_bounds, limits, cancel);
+    fn run_shard_into(
+        &self,
+        shard: &Shard,
+        doc: &Document,
+        tau: f64,
+        limits: &ExtractLimits,
+        cancel: Option<&CancelToken>,
+        seg: &mut SegmentScratch,
+    ) -> (bool, ExtractStats) {
+        let (truncated, stats) = extract_segment_scratched(
+            &shard.index,
+            &shard.dd,
+            doc,
+            tau,
+            self.config.strategy,
+            self.config.metric,
+            false,
+            self.set_len_bounds,
+            limits,
+            cancel,
+            seg,
+        );
         shard.served.fetch_add(1, Ordering::Relaxed);
-        shard.candidates.fetch_add(out.stats.candidates, Ordering::Relaxed);
-        out
-    }
-
-    /// Merges per-shard outcomes: remap variant ids into the global derived
-    /// space, restore the stable `(span, entity)` order, re-apply the match
-    /// cap across the union (each shard only capped its own stream).
-    fn merge(&self, outcomes: Vec<ExtractOutcome>, limits: &ExtractLimits) -> ExtractOutcome {
-        let total = outcomes.iter().map(|o| o.matches.len()).sum();
-        let mut matches: Vec<Match> = Vec::with_capacity(total);
-        let mut truncated = false;
-        let mut stats = ExtractStats::default();
-        for (shard, out) in self.shards.iter().zip(outcomes) {
-            truncated |= out.truncated;
-            stats += out.stats;
-            for mut m in out.matches {
-                let local = shard.dd.variant_range(m.entity).start;
-                m.best_variant = DerivedId(self.global_base[m.entity.idx()] + (m.best_variant.0 - local));
-                matches.push(m);
-            }
-        }
-        // Origins are disjoint across shards, so no deduplication is needed
-        // and sort keys never tie across shards.
-        matches.sort_unstable_by_key(Match::sort_key);
-        if let Some(cap) = limits.max_matches {
-            if matches.len() > cap {
-                matches.truncate(cap);
-                truncated = true;
-            }
-        }
-        stats.matches = matches.len() as u64;
-        ExtractOutcome { matches, truncated, stats }
+        shard.candidates.fetch_add(stats.candidates, Ordering::Relaxed);
+        (truncated, stats)
     }
 }
 
@@ -249,20 +241,65 @@ impl ExtractBackend for Generation {
     }
 
     fn extract_limited(&self, doc: &Document, tau: f64, limits: &ExtractLimits, cancel: Option<&CancelToken>) -> ExtractOutcome {
+        self.extract_scratched(doc, tau, limits, cancel, &mut ExtractScratch::new()).to_outcome()
+    }
+
+    fn extract_scratched<'s>(
+        &self,
+        doc: &Document,
+        tau: f64,
+        limits: &ExtractLimits,
+        cancel: Option<&CancelToken>,
+        scratch: &'s mut ExtractScratch,
+    ) -> ScratchOutcome<'s> {
         if self.shards.len() == 1 {
             // A single shard carries the full derivation: local variant ids
             // coincide with global ones, so no merge pass is needed.
-            return self.run_shard(&self.shards[0], doc, tau, limits, cancel);
+            let seg = scratch.segment(0);
+            let (truncated, stats) = self.run_shard_into(&self.shards[0], doc, tau, limits, cancel, seg);
+            return ScratchOutcome { matches: seg.matches(), truncated, stats };
         }
-        let run = |shard: &Shard| self.run_shard(shard, doc, tau, limits, cancel);
-        let run = &run;
-        let outcomes: Vec<ExtractOutcome> = std::thread::scope(|s| {
-            let handles: Vec<_> = self.shards[1..].iter().map(|shard| s.spawn(move || run(shard))).collect();
-            let mut outs = Vec::with_capacity(self.shards.len());
-            outs.push(run(&self.shards[0]));
-            outs.extend(handles.into_iter().map(|h| h.join().expect("shard extraction panicked")));
-            outs
-        });
-        self.merge(outcomes, limits)
+        let (segs, merged) = scratch.split(self.shards.len());
+        let results: Vec<(bool, ExtractStats)> = {
+            let (seg0, rest) = segs.split_at_mut(1);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = self.shards[1..]
+                    .iter()
+                    .zip(rest.iter_mut())
+                    .map(|(shard, seg)| s.spawn(move || self.run_shard_into(shard, doc, tau, limits, cancel, seg)))
+                    .collect();
+                let mut outs = Vec::with_capacity(self.shards.len());
+                outs.push(self.run_shard_into(&self.shards[0], doc, tau, limits, cancel, &mut seg0[0]));
+                outs.extend(handles.into_iter().map(|h| h.join().expect("shard extraction panicked")));
+                outs
+            })
+        };
+        // Merge per-shard results: remap variant ids into the global derived
+        // space, restore the stable `(span, entity)` order, re-apply the
+        // match cap across the union (each shard only capped its own
+        // stream). Origins are disjoint across shards, so no deduplication
+        // is needed and sort keys never tie across shards.
+        merged.clear();
+        let mut truncated = false;
+        let mut stats = ExtractStats::default();
+        for ((shard, seg), (trunc, st)) in self.shards.iter().zip(segs.iter()).zip(results) {
+            truncated |= trunc;
+            stats += st;
+            for &m in seg.matches() {
+                let local = shard.dd.variant_range(m.entity).start;
+                let mut m = m;
+                m.best_variant = DerivedId(self.global_base[m.entity.idx()] + (m.best_variant.0 - local));
+                merged.push(m);
+            }
+        }
+        merged.sort_unstable_by_key(Match::sort_key);
+        if let Some(cap) = limits.max_matches {
+            if merged.len() > cap {
+                merged.truncate(cap);
+                truncated = true;
+            }
+        }
+        stats.matches = merged.len() as u64;
+        ScratchOutcome { matches: merged, truncated, stats }
     }
 }
