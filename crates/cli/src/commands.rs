@@ -7,8 +7,8 @@
 
 use crate::args::Args;
 use aeetes_core::{
-    extract_batch_with, load_engine, load_sharded, save_engine, save_sharded, suppress_overlaps, Aeetes, AeetesConfig, BatchOptions, EditIndex,
-    ExtractBackend, ExtractLimits, ExtractScratch, Match,
+    extract_batch_with, extract_segment_scratched, load_engine, load_sharded, save_engine, save_sharded, suppress_overlaps, Aeetes, AeetesConfig,
+    BatchOptions, EditIndex, ExtractBackend, ExtractLimits, ExtractScratch, ExtractStats, Match, Stage, StageSlots, Strategy,
 };
 use aeetes_rules::{DeriveConfig, RuleSet};
 use aeetes_shard::ShardedEngine;
@@ -35,9 +35,12 @@ USAGE:
                     [--edit K] [--threads N] [--best] [--format tsv|jsonl]
                     [--timeout SECS] [--max-candidates N] [--max-matches N]
     aeetes serve    --engine ENGINE [--shards N] [--listen ADDR:PORT]
-                    [--workers N] [--queue N] [--max-doc-bytes N]
-                    [--timeout-ceiling SECS] [--max-matches N]
-                    [--max-candidates N] [--drain SECS]
+                    [--metrics-listen ADDR:PORT] [--workers N] [--queue N]
+                    [--max-doc-bytes N] [--timeout-ceiling SECS]
+                    [--max-matches N] [--max-candidates N] [--drain SECS]
+    aeetes profile  (--engine ENGINE --doc FILE |
+                     [--profile pubmed|dbworld|usjob] [--scale F] [--seed N])
+                    [--tau F] [--runs N] [--warmup N] [--docs N]
     aeetes stats    --engine ENGINE
     aeetes generate --out DIR [--profile pubmed|dbworld|usjob] [--scale F] [--seed N]
     aeetes demo
@@ -59,6 +62,17 @@ generation without dropping in-flight requests.
 `build --shards N` writes a format v3 sharded artifact (N = 0 picks the
 machine's available parallelism); without the flag a v2 single-engine
 artifact is written. `serve` loads either.
+
+`serve --metrics-listen` exposes the metric registry over HTTP: `/metrics`
+in Prometheus text format, `/metrics.json` as JSON. The same snapshot is
+available on the protocol stream via `{\"type\":\"metrics\"}`.
+
+`profile` runs all four candidate-generation strategies over the same
+documents and prints a per-stage timing table (tokenize, remap,
+prefix_build, prefix_update, window_slide, candidate_gen, verify) plus
+work counters. With --engine/--doc it profiles your engine on your
+documents; without, it builds a synthetic corpus (--profile/--scale,
+deterministic under --seed) so runs are reproducible.
 
 EXIT CODES:
     0  success, complete results
@@ -312,6 +326,7 @@ pub fn serve_cmd(argv: &[String]) -> Result<i32, String> {
             "engine",
             "shards",
             "listen",
+            "metrics-listen",
             "workers",
             "queue",
             "max-doc-bytes",
@@ -336,6 +351,7 @@ pub fn serve_cmd(argv: &[String]) -> Result<i32, String> {
     }
     let opts = ServeOptions {
         listen: args.optional("listen").map(str::to_string),
+        metrics_listen: args.optional("metrics-listen").map(str::to_string),
         workers: args.parse_or("workers", defaults.workers)?,
         queue: args.parse_or("queue", defaults.queue)?,
         ceilings: Ceilings {
@@ -405,6 +421,161 @@ pub fn generate_cmd(argv: &[String]) -> Result<i32, String> {
         data.documents.len(),
         data.gold.len()
     );
+    Ok(EXIT_OK)
+}
+
+/// Human-scale duration for the profile table.
+fn fmt_nanos(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.2}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.1}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+/// `aeetes profile`: runs every candidate-generation strategy over the same
+/// documents and prints the per-stage timing breakdown recorded in the
+/// extraction scratch, plus the work counters — the ablation view of the
+/// paper's Figure 10/11, on your own engine and documents (or on a
+/// deterministic synthetic corpus when no engine is given).
+pub fn profile_cmd(argv: &[String]) -> Result<i32, String> {
+    let args = Args::parse(argv, &[], &["engine", "doc", "profile", "scale", "seed", "tau", "runs", "warmup", "docs"])?;
+    let tau: f64 = args.parse_or("tau", 0.8)?;
+    if !(tau > 0.0 && tau <= 1.0) {
+        return Err(format!("--tau must be in (0, 1], got {tau}"));
+    }
+    let runs: usize = args.parse_or("runs", 5)?;
+    let warmup: usize = args.parse_or("warmup", 2)?;
+    let max_docs: usize = args.parse_or("docs", 4)?;
+    if runs == 0 || max_docs == 0 {
+        return Err("--runs and --docs must be positive".into());
+    }
+
+    let tokenizer = Tokenizer::default();
+    let (engine, mut interner, doc_texts, source) = match args.optional("engine") {
+        // A built artifact plus a document file (one document per line).
+        Some(engine_path) => {
+            let doc_path = args.required("doc")?;
+            let bytes = fs::read(engine_path).map_err(|e| format!("{engine_path}: {e}"))?;
+            let parts = load_sharded(&bytes).map_err(|e| format!("{engine_path}: {e}"))?;
+            let (engine, interner) = parts.into_single().map_err(|e| format!("{engine_path}: {e}"))?;
+            (engine, interner, read_lines(doc_path)?, format!("{engine_path} on {doc_path}"))
+        }
+        // No engine: a synthetic corpus, deterministic under --seed, so the
+        // same invocation profiles the same workload run after run.
+        None => {
+            use aeetes_datagen::{generate, DatasetProfile};
+            let scale: f64 = args.parse_or("scale", 0.02)?;
+            let seed: u64 = args.parse_or("seed", 42)?;
+            let profile_name = args.optional("profile").unwrap_or("pubmed");
+            let profile = match profile_name {
+                "pubmed" => DatasetProfile::pubmed_like(),
+                "dbworld" => DatasetProfile::dbworld_like(),
+                "usjob" => DatasetProfile::usjob_like(),
+                other => return Err(format!("unknown profile `{other}` (pubmed|dbworld|usjob)")),
+            };
+            if scale <= 0.0 {
+                return Err("--scale must be positive".into());
+            }
+            let data = generate(&profile.scaled(scale), seed);
+            // Synthetic documents carry interned tokens, not raw text;
+            // render them back so the tokenize stage has real work to time.
+            let texts: Vec<String> = data.documents.iter().map(|d| data.interner.render(d.tokens())).collect();
+            let engine = Aeetes::build(data.dictionary, &data.rules, &data.interner, AeetesConfig::default());
+            (engine, data.interner, texts, format!("synthetic {profile_name} (scale {scale}, seed {seed})"))
+        }
+    };
+    let texts: Vec<&String> = doc_texts.iter().take(max_docs).collect();
+    if texts.is_empty() {
+        return Err("no documents to profile".into());
+    }
+
+    let limits = ExtractLimits::UNLIMITED;
+    let mut scratch = ExtractScratch::new();
+    let mut table: Vec<(Strategy, StageSlots, u64, ExtractStats)> = Vec::new();
+    for strategy in Strategy::ALL {
+        let mut agg = StageSlots::default();
+        let mut totals = ExtractStats::default();
+        let mut wall_nanos = 0u64;
+        for run in 0..warmup + runs {
+            let measured = run >= warmup;
+            for text in &texts {
+                let started = std::time::Instant::now();
+                let doc = Document::parse(text, &tokenizer, &mut interner);
+                let tokenize_nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let seg = scratch.segment(0);
+                let (_truncated, stats) = extract_segment_scratched(
+                    engine.index(),
+                    engine.derived(),
+                    &doc,
+                    tau,
+                    strategy,
+                    Metric::Jaccard,
+                    false,
+                    None,
+                    &limits,
+                    None,
+                    seg,
+                );
+                if measured {
+                    // The engine clears the scratch slots per document, so
+                    // tokenize (timed out here, around the parse) and the
+                    // engine-recorded slots merge into a command-local
+                    // aggregate instead.
+                    agg.merge(seg.stages());
+                    agg.record(Stage::Tokenize, tokenize_nanos);
+                    wall_nanos += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    totals += stats;
+                }
+            }
+        }
+        table.push((strategy, agg, wall_nanos, totals));
+    }
+
+    // Per-document averages over the measured runs.
+    let per = (runs * texts.len()) as u64;
+    println!("profile: {source}");
+    println!("{} document(s) x {runs} run(s) (+{warmup} warmup), tau {tau}", texts.len());
+    println!();
+    print!("{:<15}", "stage");
+    for (strategy, ..) in &table {
+        print!("{:>12}", strategy.name());
+    }
+    println!();
+    for stage in Stage::ALL {
+        print!("{:<15}", stage.name());
+        for (_, agg, ..) in &table {
+            print!("{:>12}", fmt_nanos(agg.estimated_nanos(stage) / per));
+        }
+        println!();
+    }
+    print!("{:<15}", "wall");
+    for (_, _, wall, _) in &table {
+        print!("{:>12}", fmt_nanos(wall / per));
+    }
+    println!("\n");
+    type StatField = fn(&ExtractStats) -> u64;
+    let counters: [(&str, StatField); 4] = [
+        ("accessed", |s| s.accessed_entries),
+        ("candidates", |s| s.candidates),
+        ("verifications", |s| s.verifications),
+        ("matches", |s| s.matches),
+    ];
+    for (label, get) in counters {
+        print!("{:<15}", label);
+        for (_, _, _, totals) in &table {
+            print!("{:>12}", get(totals) / runs as u64);
+        }
+        println!();
+    }
+    println!();
+    println!("stage times are per-document estimates from sampled window positions;");
+    println!("window_slide includes its per-position sub-stages (prefix_build,");
+    println!("prefix_update, candidate_gen); wall is the measured end-to-end time.");
     Ok(EXIT_OK)
 }
 

@@ -6,7 +6,10 @@
 //!                [--threads N] [--best] [--format tsv|jsonl]
 //!                [--timeout SECS] [--max-candidates N] [--max-matches N]
 //! aeetes serve   --engine ENGINE [--listen ADDR:PORT] [--workers N]
-//!                [--queue N] [--drain SECS] [...ceiling flags]
+//!                [--queue N] [--drain SECS] [--metrics-listen ADDR:PORT]
+//!                [...ceiling flags]
+//! aeetes profile (--engine ENGINE --doc FILE | [--profile NAME] [--seed N])
+//!                [--tau F] [--runs N] [--warmup N] [--docs N]
 //! aeetes stats   --engine ENGINE
 //! aeetes demo
 //! ```
@@ -27,6 +30,7 @@ fn main() {
         Some("build") => commands::build(&argv[1..]),
         Some("extract") => commands::extract(&argv[1..]),
         Some("serve") => commands::serve_cmd(&argv[1..]),
+        Some("profile") => commands::profile_cmd(&argv[1..]),
         Some("stats") => commands::stats(&argv[1..]),
         Some("generate") => commands::generate_cmd(&argv[1..]),
         Some("demo") => commands::demo(),

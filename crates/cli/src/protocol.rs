@@ -13,6 +13,7 @@
 //!  "timeout_ms": N?, "max_matches": N?, "max_candidates": N?}
 //! {"id": any?, "type": "health"}
 //! {"id": any?, "type": "stats"}
+//! {"id": any?, "type": "metrics"}
 //! {"id": any?, "type": "reload", "add_entities": ["..."]?,
 //!  "remove_entities": [id, ...]?, "add_rules": [{"lhs": "...", "rhs": "...",
 //!  "weight": 1.0?}, ...]?}
@@ -139,6 +140,10 @@ pub enum Request {
     Health(Value),
     /// Counter snapshot (answered inline, never queued or shed).
     Stats(Value),
+    /// Full metric-registry snapshot in the JSON export shape (answered
+    /// inline, never queued or shed). Same data the `--metrics-listen`
+    /// endpoint scrapes, embedded in one response line.
+    Metrics(Value),
     /// Apply a dictionary delta and swap to a new generation (answered
     /// inline once the swap completes; in-flight extractions are
     /// unaffected — they finish on the generation they started on).
@@ -178,10 +183,15 @@ pub fn parse_request(line: &str, ceilings: &Ceilings) -> Result<Request, Reject>
     match ty {
         "health" => Ok(Request::Health(id)),
         "stats" => Ok(Request::Stats(id)),
+        "metrics" => Ok(Request::Metrics(id)),
         "shutdown" => Ok(Request::Shutdown(id)),
         "reload" => parse_reload(id, &value),
         "extract" => parse_extract(id, &value, ceilings),
-        other => Err(Reject::new(id, ErrorCode::BadRequest, format!("unknown request type `{other}` (extract|health|stats|reload|shutdown)"))),
+        other => Err(Reject::new(
+            id,
+            ErrorCode::BadRequest,
+            format!("unknown request type `{other}` (extract|health|stats|metrics|reload|shutdown)"),
+        )),
     }
 }
 
@@ -383,6 +393,7 @@ mod tests {
     fn control_requests_parse() {
         assert!(matches!(parse(r#"{"type":"health"}"#).unwrap(), Request::Health(_)));
         assert!(matches!(parse(r#"{"type":"stats","id":1}"#).unwrap(), Request::Stats(_)));
+        assert!(matches!(parse(r#"{"type":"metrics","id":2}"#).unwrap(), Request::Metrics(_)));
         assert!(matches!(parse(r#"{"type":"shutdown"}"#).unwrap(), Request::Shutdown(_)));
     }
 

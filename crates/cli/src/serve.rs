@@ -30,16 +30,24 @@
 //!   rebuilt and the new generation is swapped in atomically. In-flight
 //!   extractions keep their generation snapshot, so a reload drops zero
 //!   requests; workers pick up the new generation on their next job.
+//! * **Observability** — every request flushes its scratch-resident stage
+//!   timings and work counters into a striped [`MetricRegistry`]; the
+//!   registry is scraped via `{"type":"metrics"}` on the protocol stream or
+//!   over plain HTTP from the `--metrics-listen` endpoint (`/metrics` in
+//!   Prometheus text format, `/metrics.json` as JSON). Recording touches
+//!   only per-thread-striped atomics, so telemetry adds no contention to
+//!   the hot path.
 
 use crate::protocol::{error_line, ok_line, parse_request, Ceilings, ErrorCode, ExtractRequest, Reject, Request};
-use aeetes_core::{suppress_overlaps, CancelToken, ExtractBackend, ExtractLimits, ExtractScratch, LatencyRing, Match};
+use aeetes_core::{suppress_overlaps, CancelToken, ExtractBackend, ExtractLimits, ExtractScratch, Match, Stage};
+use aeetes_obs::{Counter, ExtractCounts, ExtractMetrics, Gauge, Histogram, MetricRegistry};
 use aeetes_shard::{DictDelta, Generation, RuleDelta, ShardedEngine};
 use aeetes_text::{Document, EntityId, Interner, Tokenizer};
-use serde_json::{json, Value};
+use serde_json::{json, Number, Value};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -49,6 +57,9 @@ use std::time::{Duration, Instant};
 pub struct ServeOptions {
     /// `None`: stdin/stdout mode. `Some(addr)`: TCP listener mode.
     pub listen: Option<String>,
+    /// `Some(addr)`: serve `/metrics` (Prometheus text) and `/metrics.json`
+    /// over HTTP on this address, in either transport mode.
+    pub metrics_listen: Option<String>,
     /// Extraction worker threads.
     pub workers: usize,
     /// Bounded queue capacity; beyond it requests are shed.
@@ -63,6 +74,7 @@ impl Default for ServeOptions {
     fn default() -> Self {
         ServeOptions {
             listen: None,
+            metrics_listen: None,
             workers: 4,
             queue: 64,
             ceilings: Ceilings::default(),
@@ -71,16 +83,54 @@ impl Default for ServeOptions {
     }
 }
 
-/// Monotonic counters; every admitted extract line lands in exactly one of
-/// `served` / `shed` / `failed`.
-#[derive(Debug, Default)]
-struct Counters {
-    served: AtomicU64,
-    shed: AtomicU64,
-    failed: AtomicU64,
-    control: AtomicU64,
-    queue_depth: AtomicU64,
-    in_flight: AtomicU64,
+/// Every metric handle the server records into, pre-registered in one
+/// [`MetricRegistry`] so the request path never touches the registry lock.
+/// The served/shed/failed/control counters partition request outcomes the
+/// same way the old atomic counters did: every admitted extract line lands
+/// in exactly one of `served` / `shed` / `failed`.
+struct ServeMetrics {
+    registry: Arc<MetricRegistry>,
+    /// Per-stage duration histograms + extraction work counters.
+    extract: ExtractMetrics,
+    /// `aeetes_request_duration_seconds`: end-to-end served-extract latency
+    /// (replaces the old `LatencyRing`; the stats reply quantiles come from
+    /// its merged buckets).
+    request_duration: Arc<Histogram>,
+    served: Arc<Counter>,
+    shed: Arc<Counter>,
+    failed: Arc<Counter>,
+    control: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    in_flight: Arc<Gauge>,
+    generation: Arc<Gauge>,
+    generation_swaps: Arc<Counter>,
+    uptime: Arc<Gauge>,
+    /// Shard-counter values already pushed into the per-shard counter
+    /// families, so a scrape increments each by its delta (the engine's
+    /// shard counters are cumulative; obs counters only go up).
+    shard_last: Mutex<Vec<[u64; 3]>>,
+}
+
+impl ServeMetrics {
+    fn register() -> Self {
+        let registry = Arc::new(MetricRegistry::new());
+        let outcome = |o| registry.counter_with("aeetes_requests_total", "Protocol requests by outcome", &[("outcome", o)]);
+        ServeMetrics {
+            extract: ExtractMetrics::register(&registry),
+            request_duration: registry.histogram("aeetes_request_duration_seconds", "End-to-end latency of served extract requests"),
+            served: outcome("served"),
+            shed: outcome("shed"),
+            failed: outcome("failed"),
+            control: outcome("control"),
+            queue_depth: registry.gauge("aeetes_queue_depth", "Extract requests waiting in the admission queue"),
+            in_flight: registry.gauge("aeetes_in_flight", "Extractions currently running"),
+            generation: registry.gauge("aeetes_generation_id", "Engine generation currently serving"),
+            generation_swaps: registry.counter("aeetes_generation_swaps_total", "Successful hot-reload generation swaps"),
+            uptime: registry.gauge("aeetes_uptime_seconds", "Seconds since the server started"),
+            shard_last: Mutex::new(Vec::new()),
+            registry,
+        }
+    }
 }
 
 /// State shared by acceptor, connection readers, and workers.
@@ -91,8 +141,7 @@ struct Shared {
     engine: ShardedEngine,
     tokenizer: Tokenizer,
     ceilings: Ceilings,
-    counters: Counters,
-    latency: Mutex<LatencyRing>,
+    metrics: ServeMetrics,
     start: Instant,
     /// Set once drain begins: admission refuses new extract work.
     draining: AtomicBool,
@@ -103,9 +152,16 @@ struct Shared {
 
 impl Shared {
     fn stats_value(&self) -> Value {
-        let (p50, p99, samples) = {
-            let ring = self.latency.lock().expect("latency lock");
-            (ring.quantile(0.50).unwrap_or(0), ring.quantile(0.99).unwrap_or(0), ring.count())
+        let m = &self.metrics;
+        let samples = m.request_duration.count();
+        // Fewer than two samples is not a distribution: report `null`, not
+        // a misleading 0 (a client averaging quantiles must skip it).
+        let quantile = |q| {
+            if samples < 2 {
+                Value::Null
+            } else {
+                m.request_duration.quantile_nanos(q).map_or(Value::Null, |n| Value::Number(Number::U64(n / 1_000)))
+            }
         };
         let generation = self.engine.snapshot();
         let shards: Vec<Value> = generation
@@ -119,6 +175,8 @@ impl Shared {
                     "variants": s.variants,
                     "served": s.served,
                     "candidates": s.candidates,
+                    "build_us": s.build_nanos / 1_000,
+                    "extract_us": s.extract_nanos / 1_000,
                 })
             })
             .collect();
@@ -126,17 +184,65 @@ impl Shared {
             "uptime_ms": self.start.elapsed().as_millis() as u64,
             "generation": generation.id(),
             "shards": shards,
-            "served": self.counters.served.load(Ordering::Relaxed),
-            "shed": self.counters.shed.load(Ordering::Relaxed),
-            "failed": self.counters.failed.load(Ordering::Relaxed),
-            "control": self.counters.control.load(Ordering::Relaxed),
-            "queue_depth": self.counters.queue_depth.load(Ordering::Relaxed),
-            "in_flight": self.counters.in_flight.load(Ordering::Relaxed),
-            "latency_p50_us": p50,
-            "latency_p99_us": p99,
+            "served": m.served.value(),
+            "shed": m.shed.value(),
+            "failed": m.failed.value(),
+            "control": m.control.value(),
+            "queue_depth": m.queue_depth.value(),
+            "in_flight": m.in_flight.value(),
+            "latency_p50_us": quantile(0.50),
+            "latency_p99_us": quantile(0.99),
             "latency_samples": samples,
             "draining": self.draining.load(Ordering::Relaxed),
         })
+    }
+
+    /// Refreshes scrape-time metrics: uptime, generation id, and the
+    /// per-shard labeled families (registered lazily per shard id, advanced
+    /// by the delta since the previous scrape). Runs on the scrape path
+    /// only — the request hot path never calls this.
+    fn refresh_scrape_metrics(&self) {
+        let m = &self.metrics;
+        m.uptime.set(self.start.elapsed().as_secs().min(i64::MAX as u64) as i64);
+        let generation = self.engine.snapshot();
+        m.generation.set(generation.id().min(i64::MAX as u64) as i64);
+        let stats = generation.shard_stats();
+        let mut last = m.shard_last.lock().expect("shard metric state");
+        if last.len() != stats.len() {
+            last.clear();
+            last.resize(stats.len(), [0; 3]);
+        }
+        for (i, s) in stats.iter().enumerate() {
+            let shard_id = i.to_string();
+            let labels = [("shard", shard_id.as_str())];
+            let cur = [s.served, s.candidates, s.extract_nanos];
+            let handles = [
+                m.registry.counter_with("aeetes_shard_served_total", "Extractions answered, per shard", &labels),
+                m.registry
+                    .counter_with("aeetes_shard_candidates_total", "Candidate pairs generated, per shard", &labels),
+                m.registry
+                    .counter_with("aeetes_shard_extract_nanos_total", "Cumulative extraction wall time in nanoseconds, per shard", &labels),
+            ];
+            for (handle, (cur, prev)) in handles.iter().zip(cur.iter().zip(last[i].iter())) {
+                handle.inc(cur.saturating_sub(*prev));
+            }
+            last[i] = cur;
+            m.registry
+                .gauge_with("aeetes_shard_build_nanos", "Index build wall time of the shard's current generation", &labels)
+                .set(s.build_nanos.min(i64::MAX as u64) as i64);
+        }
+    }
+
+    /// Renders the full registry (after a scrape refresh) as Prometheus
+    /// text or the JSON export.
+    fn metrics_body(&self, as_json: bool) -> String {
+        self.refresh_scrape_metrics();
+        let snapshot = self.metrics.registry.snapshot();
+        if as_json {
+            aeetes_obs::json(&snapshot)
+        } else {
+            aeetes_obs::prometheus_text(&snapshot)
+        }
     }
 }
 
@@ -189,7 +295,7 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
         };
         match job {
             Ok(job) => {
-                shared.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                shared.metrics.queue_depth.add(-1);
                 let generation = shared.engine.snapshot();
                 if generation.id() != gen_id || interner.len() > growth_cap {
                     interner = generation.interner().clone();
@@ -199,7 +305,7 @@ fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
                 run_job(shared, &generation, &mut interner, &mut scratch, job);
             }
             Err(RecvTimeoutError::Timeout) => {
-                if shared.draining.load(Ordering::Relaxed) && shared.counters.queue_depth.load(Ordering::Relaxed) == 0 {
+                if shared.draining.load(Ordering::Relaxed) && shared.metrics.queue_depth.value() == 0 {
                     return;
                 }
             }
@@ -216,11 +322,11 @@ fn run_job(shared: &Shared, generation: &Generation, interner: &mut Interner, sc
             code: ErrorCode::Timeout,
             message: "deadline expired while queued".into(),
         };
-        shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.failed.inc(1);
         respond(&job.sink, &error_line(&reject));
         return;
     }
-    shared.counters.in_flight.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.in_flight.add(1);
     // Whatever deadline remains after queueing is the extraction budget.
     let limits = ExtractLimits { deadline: Some(job.expires - now), ..job.req.limits };
     let started = Instant::now();
@@ -230,9 +336,16 @@ fn run_job(shared: &Shared, generation: &Generation, interner: &mut Interner, sc
     // Holding the `Arc<Generation>` for the whole job means a concurrent
     // reload cannot pull the dictionary out from under this extraction.
     let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let parse_started = Instant::now();
         let doc = Document::parse(&job.req.doc, &shared.tokenizer, interner);
+        let tokenize_nanos = u64::try_from(parse_started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let out = generation.extract_scratched(&doc, job.req.tau, &limits, Some(&shared.cancel), scratch);
         let truncated = out.truncated;
+        let stats = out.stats;
+        // Tokenization happens outside the engine, so its stage is recorded
+        // here, next to the engine-resident slots the extraction filled.
+        let mut stages = out.stages;
+        stages.record(Stage::Tokenize, tokenize_nanos);
         let suppressed;
         let matches: &[Match] = if job.req.best {
             suppressed = suppress_overlaps(out.matches.to_vec());
@@ -253,18 +366,25 @@ fn run_job(shared: &Shared, generation: &Generation, interner: &mut Interner, sc
                 })
             })
             .collect();
-        (rendered, truncated)
+        (rendered, truncated, stats, stages)
     }));
-    shared.counters.in_flight.fetch_sub(1, Ordering::Relaxed);
+    shared.metrics.in_flight.add(-1);
     match outcome {
-        Ok((matches, truncated)) => {
-            let micros = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
-            shared.latency.lock().expect("latency lock").record(micros);
-            shared.counters.served.fetch_add(1, Ordering::Relaxed);
+        Ok((matches, truncated, stats, stages)) => {
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            shared.metrics.request_duration.observe_nanos(nanos);
+            let counts = ExtractCounts {
+                accessed_entries: stats.accessed_entries,
+                candidates: stats.candidates,
+                verifications: stats.verifications,
+                matches: stats.matches,
+            };
+            shared.metrics.extract.observe(&stages, &counts, truncated);
+            shared.metrics.served.inc(1);
             respond(&job.sink, &ok_line(&job.req.id, Value::Array(matches), truncated));
         }
         Err(_) => {
-            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.failed.inc(1);
             let reject = Reject {
                 id: job.req.id,
                 code: ErrorCode::Internal,
@@ -388,7 +508,7 @@ fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink, tx
         let bytes = match read {
             LineRead::Eof => return false,
             LineRead::Oversized => {
-                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.failed.inc(1);
                 let reject = Reject {
                     id: Value::Null,
                     code: ErrorCode::TooLarge,
@@ -400,7 +520,7 @@ fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink, tx
             LineRead::Line(bytes) => bytes,
         };
         let Ok(line) = std::str::from_utf8(&bytes) else {
-            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.failed.inc(1);
             respond(
                 sink,
                 &error_line(&Reject {
@@ -416,20 +536,28 @@ fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink, tx
         }
         match parse_request(line, &shared.ceilings) {
             Err(reject) => {
-                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.failed.inc(1);
                 respond(sink, &error_line(&reject));
             }
             Ok(Request::Health(id)) => {
-                shared.counters.control.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.control.inc(1);
                 let status = if shared.draining.load(Ordering::Relaxed) { "draining" } else { "ok" };
                 respond(sink, &json!({"id": id, "status": "ok", "health": status}).to_string());
             }
             Ok(Request::Stats(id)) => {
-                shared.counters.control.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.control.inc(1);
                 respond(sink, &json!({"id": id, "status": "ok", "stats": shared.stats_value()}).to_string());
             }
+            Ok(Request::Metrics(id)) => {
+                shared.metrics.control.inc(1);
+                // The JSON export is rendered then re-parsed so it embeds as
+                // a structured value, not a string (scrapes are rare; the
+                // double pass is irrelevant).
+                let metrics: Value = serde_json::from_str(&shared.metrics_body(true)).unwrap_or(Value::Null);
+                respond(sink, &json!({"id": id, "status": "ok", "metrics": metrics}).to_string());
+            }
             Ok(Request::Reload(req)) => {
-                shared.counters.control.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.control.inc(1);
                 if shared.draining.load(Ordering::Relaxed) {
                     respond(sink, &error_line(&Reject { id: req.id, code: ErrorCode::Shedding, message: "server is draining".into() }));
                     continue;
@@ -444,6 +572,8 @@ fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink, tx
                 // until the atomic swap inside `apply_update`.
                 match shared.engine.apply_update(&delta, &shared.tokenizer) {
                     Ok(generation) => {
+                        shared.metrics.generation_swaps.inc(1);
+                        shared.metrics.generation.set(generation.id().min(i64::MAX as u64) as i64);
                         let line = json!({
                             "id": req.id,
                             "status": "ok",
@@ -466,25 +596,25 @@ fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink, tx
                 }
             }
             Ok(Request::Shutdown(id)) => {
-                shared.counters.control.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.control.inc(1);
                 shared.draining.store(true, Ordering::Relaxed);
                 respond(sink, &json!({"id": id, "status": "ok", "draining": true}).to_string());
                 return true;
             }
             Ok(Request::Extract(req)) => {
                 if shared.draining.load(Ordering::Relaxed) {
-                    shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.shed.inc(1);
                     respond(sink, &error_line(&Reject { id: req.id, code: ErrorCode::Shedding, message: "server is draining".into() }));
                     continue;
                 }
                 let deadline = req.limits.deadline.unwrap_or(shared.ceilings.max_timeout);
                 let job = Job { expires: Instant::now() + deadline, req: *req, sink: Arc::clone(sink) };
-                shared.counters.queue_depth.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.queue_depth.add(1);
                 match tx.try_send(job) {
                     Ok(()) => {}
                     Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
-                        shared.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                        shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.queue_depth.add(-1);
+                        shared.metrics.shed.inc(1);
                         respond(
                             &job.sink,
                             &error_line(&Reject {
@@ -507,12 +637,18 @@ pub fn serve(engine: ShardedEngine, opts: &ServeOptions) -> Result<(u64, u64, u6
         engine,
         tokenizer: Tokenizer::default(),
         ceilings: opts.ceilings,
-        counters: Counters::default(),
-        latency: Mutex::new(LatencyRing::new(1024)),
+        metrics: ServeMetrics::register(),
         start: Instant::now(),
         draining: AtomicBool::new(false),
         cancel: CancelToken::new(),
     });
+    shared.metrics.generation.set(shared.engine.snapshot().id().min(i64::MAX as u64) as i64);
+    // Bind before entering either transport loop so a bad address fails the
+    // command instead of being discovered mid-serve.
+    let metrics_listener = match &opts.metrics_listen {
+        None => None,
+        Some(addr) => Some(TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?),
+    };
     let (tx, rx) = mpsc::sync_channel::<Job>(opts.queue.max(1));
     let rx = Arc::new(Mutex::new(rx));
     let workers: Vec<_> = (0..opts.workers.max(1))
@@ -525,6 +661,13 @@ pub fn serve(engine: ShardedEngine, opts: &ServeOptions) -> Result<(u64, u64, u6
 
     match &opts.listen {
         None => {
+            if let Some(listener) = metrics_listener {
+                // stdout carries the NDJSON responses in stdin mode, so the
+                // metrics banner goes to stderr.
+                let maddr = listener.local_addr().map_err(|e| e.to_string())?;
+                eprintln!("metrics listening on {maddr}");
+                spawn_metrics_server(listener, Arc::clone(&shared));
+            }
             let stdin = std::io::stdin();
             let mut reader = BufReader::new(stdin.lock());
             let sink: Sink = Arc::new(Mutex::new(Box::new(std::io::stdout())));
@@ -536,19 +679,69 @@ pub fn serve(engine: ShardedEngine, opts: &ServeOptions) -> Result<(u64, u64, u6
             let listener = TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
             let local = listener.local_addr().map_err(|e| e.to_string())?;
             // Announce the bound address (port 0 resolves here) on stdout so
-            // supervisors and the chaos harness can find the server.
+            // supervisors and the chaos harness can find the server. The
+            // metrics banner comes second: harnesses parse the first line as
+            // the protocol address unconditionally.
             println!("listening on {local}");
+            if let Some(metrics) = &metrics_listener {
+                let maddr = metrics.local_addr().map_err(|e| e.to_string())?;
+                println!("metrics listening on {maddr}");
+            }
             let _ = std::io::stdout().flush();
+            if let Some(listener) = metrics_listener {
+                spawn_metrics_server(listener, Arc::clone(&shared));
+            }
             accept_loop(&listener, &shared, &tx);
         }
     }
 
     drain(&shared, workers, &rx, opts.drain);
-    let served = shared.counters.served.load(Ordering::Relaxed);
-    let shed = shared.counters.shed.load(Ordering::Relaxed);
-    let failed = shared.counters.failed.load(Ordering::Relaxed);
+    let served = shared.metrics.served.value();
+    let shed = shared.metrics.shed.value();
+    let failed = shared.metrics.failed.value();
     eprintln!("serve: drained; served={served} shed={shed} failed={failed}");
     Ok((served, shed, failed))
+}
+
+/// Serves `/metrics` (Prometheus text exposition) and `/metrics.json` over
+/// minimal HTTP/1.0, one connection at a time, on a detached thread.
+/// Scrapes are rare and the bodies are small, so a single sequential loop
+/// is enough; the thread dies with the process after the drain. A scraper
+/// that sends garbage gets a 404 and a closed connection — it can never
+/// reach the extraction path.
+fn spawn_metrics_server(listener: TcpListener, shared: Arc<Shared>) {
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(mut stream) = conn else { continue };
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+            let Ok(read_half) = stream.try_clone() else { continue };
+            let mut reader = BufReader::new(read_half);
+            let mut request_line = String::new();
+            if reader.read_line(&mut request_line).is_err() {
+                continue;
+            }
+            // Drain the header block so well-behaved HTTP/1.1 clients see a
+            // response to the request they finished sending.
+            loop {
+                let mut header = String::new();
+                match reader.read_line(&mut header) {
+                    Ok(n) if n > 0 && !header.trim_end().is_empty() => {}
+                    _ => break,
+                }
+            }
+            let path = request_line.split_whitespace().nth(1).unwrap_or("");
+            let (status, content_type, body) = if path == "/metrics.json" {
+                ("200 OK", "application/json", shared.metrics_body(true))
+            } else if path == "/metrics" || path.starts_with("/metrics?") {
+                ("200 OK", "text/plain; version=0.0.4; charset=utf-8", shared.metrics_body(false))
+            } else {
+                ("404 Not Found", "text/plain; charset=utf-8", "not found; try /metrics or /metrics.json\n".to_string())
+            };
+            let response =
+                format!("HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}", body.len());
+            let _ = stream.write_all(response.as_bytes());
+        }
+    });
 }
 
 /// Accepts connections until a `shutdown` request flips the draining flag,
@@ -617,8 +810,8 @@ fn drain(shared: &Arc<Shared>, workers: Vec<std::thread::JoinHandle<()>>, rx: &A
     // Workers exited with the queue believed empty, but an admission racing
     // the drain flag may have slipped a job in. Answer, never drop.
     while let Ok(job) = rx.lock().expect("queue receiver lock").try_recv() {
-        shared.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
-        shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+        shared.metrics.queue_depth.add(-1);
+        shared.metrics.shed.inc(1);
         respond(
             &job.sink,
             &error_line(&Reject {

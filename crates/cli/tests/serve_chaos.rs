@@ -69,6 +69,39 @@ impl Server {
         Server { child, addr }
     }
 
+    /// Like [`Server::spawn`] but with `--metrics-listen 127.0.0.1:0`; the
+    /// server prints a second banner line with the bound metrics address,
+    /// returned alongside the server handle.
+    fn spawn_with_metrics(engine: &PathBuf, extra: &[&str]) -> (Server, String) {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_aeetes"))
+            .arg("serve")
+            .arg("--engine")
+            .arg(engine)
+            .args(["--listen", "127.0.0.1:0", "--metrics-listen", "127.0.0.1:0"])
+            .args(extra)
+            .stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn server");
+        let mut reader = BufReader::new(child.stdout.take().expect("server stdout"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read listen line");
+        let addr = line
+            .trim()
+            .strip_prefix("listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+            .to_string();
+        let mut mline = String::new();
+        reader.read_line(&mut mline).expect("read metrics listen line");
+        let maddr = mline
+            .trim()
+            .strip_prefix("metrics listening on ")
+            .unwrap_or_else(|| panic!("unexpected metrics banner {mline:?}"))
+            .to_string();
+        (Server { child, addr }, maddr)
+    }
+
     fn connect(&self) -> TcpStream {
         let stream = TcpStream::connect(&self.addr).expect("connect");
         stream.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
@@ -102,6 +135,18 @@ impl Server {
             std::thread::sleep(Duration::from_millis(50));
         }
     }
+}
+
+/// One HTTP/1.0 GET against the metrics endpoint; returns the status line
+/// and the body.
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect metrics endpoint");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    BufReader::new(stream).read_to_string(&mut raw).expect("read http response");
+    let (head, body) = raw.split_once("\r\n\r\n").unwrap_or_else(|| panic!("no header/body split in {raw:?}"));
+    (head.lines().next().unwrap_or_default().to_string(), body.to_string())
 }
 
 fn field_u64(json: &str, key: &str) -> u64 {
@@ -429,6 +474,101 @@ fn reload_under_load_answers_every_request_once() {
     assert_eq!(field_u64(&stats, "failed"), 0, "{stats}");
     assert_eq!(field_u64(&stats, "generation"), 2, "{stats}");
     assert!(stats.contains("\"shard\":2"), "expected 3 shard stat rows: {stats}");
+
+    let bye = server.round_trip(r#"{"type":"shutdown"}"#);
+    assert!(bye.contains("\"draining\":true"), "{bye}");
+    server.wait_for_clean_exit(Duration::from_secs(30));
+    let _ = std::fs::remove_file(&engine);
+}
+
+/// With fewer than two latency samples a quantile estimate is meaningless,
+/// so the stats reply must report `null` — not a misleading `0` — for
+/// p50/p99 until the second served request lands.
+#[test]
+fn stats_latency_quantiles_are_null_until_two_samples() {
+    let engine = engine_file("quantiles");
+    let server = Server::spawn(&engine, &["--workers", "1"]);
+
+    // Zero samples: both quantiles are null.
+    let stats = server.round_trip(r#"{"type":"stats"}"#);
+    assert_eq!(field_u64(&stats, "latency_samples"), 0, "{stats}");
+    assert!(stats.contains("\"latency_p50_us\":null"), "{stats}");
+    assert!(stats.contains("\"latency_p99_us\":null"), "{stats}");
+
+    // One sample: still null. The latency histogram is recorded before the
+    // extract response is written, so no polling is needed.
+    let resp = server.round_trip(r#"{"id":1,"type":"extract","doc":"uq au visit","tau":0.8}"#);
+    assert_eq!(status_of(&resp), "ok");
+    let stats = server.round_trip(r#"{"type":"stats"}"#);
+    assert_eq!(field_u64(&stats, "latency_samples"), 1, "{stats}");
+    assert!(stats.contains("\"latency_p50_us\":null"), "{stats}");
+    assert!(stats.contains("\"latency_p99_us\":null"), "{stats}");
+
+    // Two samples: real numbers appear.
+    let resp = server.round_trip(r#"{"id":2,"type":"extract","doc":"uq au again","tau":0.8}"#);
+    assert_eq!(status_of(&resp), "ok");
+    let stats = server.round_trip(r#"{"type":"stats"}"#);
+    assert_eq!(field_u64(&stats, "latency_samples"), 2, "{stats}");
+    assert!(!stats.contains("\"latency_p50_us\":null"), "{stats}");
+    assert!(!stats.contains("\"latency_p99_us\":null"), "{stats}");
+
+    let bye = server.round_trip(r#"{"type":"shutdown"}"#);
+    assert!(bye.contains("\"draining\":true"), "{bye}");
+    server.wait_for_clean_exit(Duration::from_secs(30));
+    let _ = std::fs::remove_file(&engine);
+}
+
+/// The observability surface end to end: the Prometheus scrape exposes the
+/// full family catalog, counters advance in lock-step with served traffic,
+/// the JSON flavor parses, unknown paths 404, and the inline
+/// `{"type":"metrics"}` protocol request mirrors the scrape.
+#[test]
+fn metrics_endpoints_expose_families_and_track_requests() {
+    let engine = engine_file("metrics");
+    let (server, maddr) = Server::spawn_with_metrics(&engine, &["--workers", "1"]);
+
+    // Cold scrape: the whole catalog is pre-registered, not lazily created
+    // on first use, so dashboards see every family from second zero.
+    let (status, body) = http_get(&maddr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    let families = body.lines().filter(|l| l.starts_with("# TYPE ")).count();
+    assert!(families >= 12, "expected >= 12 metric families, got {families}:\n{body}");
+    assert!(body.contains("aeetes_requests_total{outcome=\"served\"} 0"), "{body}");
+
+    // One served extract advances the pipeline counters. Metrics are
+    // recorded before the response line is written, so the next scrape
+    // must already see them.
+    let resp = server.round_trip(r#"{"id":1,"type":"extract","doc":"visit purdue university usa today","tau":0.8}"#);
+    assert_eq!(status_of(&resp), "ok");
+    assert!(resp.contains("Purdue University USA"), "{resp}");
+    let (_, body) = http_get(&maddr, "/metrics");
+    assert!(body.contains("aeetes_docs_total 1"), "{body}");
+    assert!(body.contains("aeetes_requests_total{outcome=\"served\"} 1"), "{body}");
+    assert!(body.contains("aeetes_matches_total 1"), "{body}");
+    assert!(body.contains("aeetes_request_duration_seconds_count 1"), "{body}");
+    assert!(body.contains("aeetes_shard_served_total{shard=\"0\"} 1"), "{body}");
+
+    // JSON flavor: parses, same counter values.
+    let (status, body) = http_get(&maddr, "/metrics.json");
+    assert!(status.contains("200"), "{status}");
+    let v: serde_json::Value = serde_json::from_str(&body).unwrap_or_else(|e| panic!("bad /metrics.json body: {e}\n{body}"));
+    let docs_total = v
+        .as_array()
+        .expect("json export is an array")
+        .iter()
+        .find(|m| m.get("name").and_then(serde_json::Value::as_str) == Some("aeetes_docs_total"))
+        .unwrap_or_else(|| panic!("no aeetes_docs_total in {body}"));
+    assert_eq!(docs_total.get("value").and_then(serde_json::Value::as_u64), Some(1), "{body}");
+
+    // Unknown paths are 404s, not scrapes.
+    let (status, _) = http_get(&maddr, "/other");
+    assert!(status.contains("404"), "{status}");
+
+    // The inline protocol request embeds the same snapshot.
+    let resp = server.round_trip(r#"{"id":7,"type":"metrics"}"#);
+    assert_eq!(status_of(&resp), "ok");
+    assert!(resp.contains("aeetes_docs_total"), "{resp}");
+    assert!(resp.contains("aeetes_stage_duration_seconds"), "{resp}");
 
     let bye = server.round_trip(r#"{"type":"shutdown"}"#);
     assert!(bye.contains("\"draining\":true"), "{bye}");

@@ -13,6 +13,7 @@ use crate::extractor::Aeetes;
 use crate::limits::{Budget, CancelToken, ExtractLimits, ExtractOutcome};
 use crate::matches::Match;
 use crate::scratch::{ExtractScratch, ScratchOutcome, SegmentScratch};
+use crate::stage::{SpanClock, Stage};
 use crate::stats::ExtractStats;
 use crate::strategy::{generate, Strategy};
 use crate::verify::verify_candidates;
@@ -51,7 +52,7 @@ pub fn extract_segment(
 ) -> ExtractOutcome {
     let mut seg = SegmentScratch::default();
     let (truncated, stats) = extract_segment_scratched(index, dd, doc, tau, strategy, metric, weighted, set_len_bounds, limits, cancel, &mut seg);
-    ExtractOutcome { matches: std::mem::take(&mut seg.matches), truncated, stats }
+    ExtractOutcome { matches: std::mem::take(&mut seg.matches), truncated, stats, stages: seg.stages }
 }
 
 /// [`extract_segment`] running entirely inside `seg`'s reusable buffers:
@@ -89,9 +90,11 @@ pub fn extract_segment_scratched(
     generate(index, doc, tau, metric, strategy, set_bounds, seg, &mut stats, &mut budget);
     // Weighted scores are ≤ unweighted scores (weights ≤ 1), so the
     // unweighted candidate filters remain sound for the weighted verify.
-    let SegmentScratch { sink, s_keys, matches, .. } = seg;
+    let SegmentScratch { sink, s_keys, matches, stages, .. } = seg;
+    let clk = SpanClock::always();
     verify_candidates(index, dd, doc, tau, metric, &mut sink.pairs, &mut stats, weighted, &mut budget, s_keys, matches);
     matches.sort_unstable_by_key(Match::sort_key);
+    clk.stop(Stage::Verify, stages);
     (budget.truncated(), stats)
 }
 
@@ -136,7 +139,12 @@ pub trait ExtractBackend: Send + Sync {
         let out = self.extract_limited(doc, tau, limits, cancel);
         scratch.merged.clear();
         scratch.merged.extend_from_slice(&out.matches);
-        ScratchOutcome { matches: &scratch.merged, truncated: out.truncated, stats: out.stats }
+        ScratchOutcome {
+            matches: &scratch.merged,
+            truncated: out.truncated,
+            stats: out.stats,
+            stages: out.stages,
+        }
     }
 }
 

@@ -157,7 +157,7 @@ impl Aeetes {
         let seg = scratch.segment(0);
         let (truncated, stats) =
             extract_segment_scratched(&self.index, &self.dd, doc, tau, self.config.strategy, metric, false, None, limits, cancel, seg);
-        ScratchOutcome { matches: seg.matches(), truncated, stats }
+        ScratchOutcome { matches: seg.matches(), truncated, stats, stages: seg.stages }
     }
 
     #[allow(clippy::too_many_arguments)]

@@ -56,6 +56,7 @@ mod nms;
 mod persist;
 mod report;
 mod scratch;
+mod stage;
 mod stats;
 mod strategy;
 mod topk;
@@ -74,6 +75,7 @@ pub use nms::suppress_overlaps;
 pub use persist::{load_engine, load_sharded, save_engine, save_sharded, PersistError, ShardedParts};
 pub use report::{mention_report, MentionReport};
 pub use scratch::{ExtractScratch, ScratchOutcome, SegmentScratch};
+pub use stage::{Stage, StageSlots, SAMPLE_MASK};
 pub use stats::{ExtractStats, LatencyRing};
 pub use strategy::{generate_candidates, Strategy};
 pub use topk::extract_top_k;

@@ -81,6 +81,9 @@ pub struct ExtractOutcome {
     pub truncated: bool,
     /// Work counters for the (possibly partial) run.
     pub stats: ExtractStats,
+    /// Per-stage timing slots of the run (all-zero without the `obs`
+    /// feature).
+    pub stages: crate::stage::StageSlots,
 }
 
 /// Live budget state threaded through candidate generation and

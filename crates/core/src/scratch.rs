@@ -20,6 +20,7 @@
 use crate::candidates::CandidateSink;
 use crate::limits::ExtractOutcome;
 use crate::matches::Match;
+use crate::stage::StageSlots;
 use crate::stats::ExtractStats;
 use crate::window::{DenseRemap, WindowState};
 use aeetes_text::{EntityId, Span, TokenId};
@@ -81,6 +82,10 @@ pub struct SegmentScratch {
     pub(crate) s_keys: Vec<u64>,
     /// Sorted matches of the most recent run.
     pub(crate) matches: Vec<Match>,
+    /// Per-stage timing slots of the most recent run: scratch-resident so
+    /// recording stays allocation-free (zero-sized without the `obs`
+    /// feature).
+    pub(crate) stages: StageSlots,
 }
 
 impl SegmentScratch {
@@ -88,6 +93,11 @@ impl SegmentScratch {
     /// `(span, entity)`.
     pub fn matches(&self) -> &[Match] {
         &self.matches
+    }
+
+    /// Stage timing slots of the most recent extraction into this scratch.
+    pub fn stages(&self) -> &StageSlots {
+        &self.stages
     }
 }
 
@@ -137,12 +147,20 @@ pub struct ScratchOutcome<'a> {
     pub truncated: bool,
     /// Work counters for the (possibly partial) run.
     pub stats: ExtractStats,
+    /// Per-stage timing slots (merged across shards on the fan-out path;
+    /// all-zero without the `obs` feature).
+    pub stages: StageSlots,
 }
 
 impl ScratchOutcome<'_> {
     /// Copies into an owned [`ExtractOutcome`].
     pub fn to_outcome(&self) -> ExtractOutcome {
-        ExtractOutcome { matches: self.matches.to_vec(), truncated: self.truncated, stats: self.stats }
+        ExtractOutcome {
+            matches: self.matches.to_vec(),
+            truncated: self.truncated,
+            stats: self.stats,
+            stages: self.stages,
+        }
     }
 }
 

@@ -19,6 +19,7 @@
 use crate::candidates::scan_token_origins_into;
 use crate::limits::Budget;
 use crate::scratch::{DynScratch, SegmentScratch};
+use crate::stage::{SpanClock, Stage};
 use crate::stats::ExtractStats;
 use aeetes_index::{metric_window_bounds, ClusteredIndex};
 use aeetes_sim::Metric;
@@ -43,10 +44,12 @@ pub(crate) fn generate(
         return;
     }
     let order = index.order();
-    let SegmentScratch { remap, states, sink, dynamic, .. } = seg;
+    let SegmentScratch { remap, states, sink, dynamic, stages, .. } = seg;
+    let remap_clk = SpanClock::always();
     remap.build(doc.tokens().iter().map(|&t| order.key(t)));
     let universe = remap.universe();
     let ranks = remap.doc_ranks();
+    remap_clk.stop(Stage::Remap, stages);
 
     // states[i] / caches[i] track the substring of length `bounds.min + i`
     // at the current start position; `live` counts the lengths that still
@@ -68,6 +71,8 @@ pub(crate) fn generate(
     let DynScratch { caches, arena, seen } = dynamic;
     let mut live = 0usize;
 
+    let slide_clk = SpanClock::always();
+    let windows_before = stats.windows;
     for p in 0..n {
         let lmax = bounds.max.min(n - p);
         if bounds.min > lmax {
@@ -77,6 +82,10 @@ pub(crate) fn generate(
             break; // budget spent: degrade to the candidates found so far
         }
         stats.windows += 1;
+        // Sampled sub-stage timing: position 0 (always on the grid) times
+        // the extend chain as `PrefixBuild`; later grid positions time the
+        // migrate block as `PrefixUpdate` and the scans as `CandidateGen`.
+        let mut clk = SpanClock::sampled(p);
         let fit = lmax - bounds.min + 1;
         if p == 0 {
             // Window Extend chain: build the E⊥ state, then grow one token
@@ -96,6 +105,7 @@ pub(crate) fn generate(
                 }
             }
             live = fit;
+            clk.lap(Stage::PrefixBuild, stages);
         } else {
             // Lengths that no longer fit stop being migrated (their pooled
             // states stay behind for the next document).
@@ -107,6 +117,7 @@ pub(crate) fn generate(
                 st.add(ranks[p - 1 + l]);
                 stats.prefix_updates += 1;
             }
+            clk.lap(Stage::PrefixUpdate, stages);
         }
 
         for (i, (st, cache)) in states[..live].iter().zip(caches.iter_mut()).enumerate() {
@@ -131,7 +142,14 @@ pub(crate) fn generate(
                 }
             }
         }
+        clk.lap(Stage::CandidateGen, stages);
     }
+    // Sampled-out laps record nothing; span totals are accounted in bulk:
+    // one migrate per position after the first, one scan block per position.
+    let windows = stats.windows - windows_before;
+    stages.account_spans(Stage::PrefixUpdate, windows.saturating_sub(1));
+    stages.account_spans(Stage::CandidateGen, windows);
+    slide_clk.stop(Stage::WindowSlide, stages);
 }
 
 #[cfg(test)]

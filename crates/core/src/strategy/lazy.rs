@@ -14,6 +14,7 @@
 
 use crate::limits::Budget;
 use crate::scratch::{Pending, SegmentScratch};
+use crate::stage::{SpanClock, Stage};
 use crate::stats::ExtractStats;
 use aeetes_index::{metric_window_bounds, ClusteredIndex};
 use aeetes_sim::Metric;
@@ -38,10 +39,12 @@ pub(crate) fn generate(
         return;
     }
     let order = index.order();
-    let SegmentScratch { remap, states, sink, lazy, .. } = seg;
+    let SegmentScratch { remap, states, sink, lazy, stages, .. } = seg;
+    let remap_clk = SpanClock::always();
     remap.build(doc.tokens().iter().map(|&t| order.key(t)));
     let universe = remap.universe();
     let ranks = remap.doc_ranks();
+    remap_clk.stop(Stage::Remap, stages);
 
     // ---- Pass 1: build the substring inverted index I[t]. ----
     // `inv` is indexed by rank; only `touched` entries are non-empty, and
@@ -58,6 +61,8 @@ pub(crate) fn generate(
         st.reset(universe);
     }
     let mut live = 0usize;
+    let slide_clk = SpanClock::always();
+    let windows_before = stats.windows;
     for p in 0..n {
         let lmax = bounds.max.min(n - p);
         if bounds.min > lmax {
@@ -69,6 +74,9 @@ pub(crate) fn generate(
             break;
         }
         stats.windows += 1;
+        // Sampled sub-stage timing, as in `Dynamic`: the p=0 extend chain is
+        // `PrefixBuild`, later grid positions time migrates as `PrefixUpdate`.
+        let mut clk = SpanClock::sampled(p);
         let fit = lmax - bounds.min + 1;
         if p == 0 {
             for i in 0..fit {
@@ -85,6 +93,7 @@ pub(crate) fn generate(
                 }
             }
             live = fit;
+            clk.lap(Stage::PrefixBuild, stages);
         } else {
             live = live.min(fit);
             for (i, st) in states[..live].iter_mut().enumerate() {
@@ -93,6 +102,7 @@ pub(crate) fn generate(
                 st.add(ranks[p - 1 + l]);
                 stats.prefix_updates += 1;
             }
+            clk.lap(Stage::PrefixUpdate, stages);
         }
         for (i, st) in states[..live].iter().enumerate() {
             let l = bounds.min + i;
@@ -113,9 +123,16 @@ pub(crate) fn generate(
             }
         }
     }
+    // Sampled-out laps record nothing; one migrate span per position after
+    // the first, accounted in bulk.
+    let windows = stats.windows - windows_before;
+    stages.account_spans(Stage::PrefixUpdate, windows.saturating_sub(1));
+    slide_clk.stop(Stage::WindowSlide, stages);
 
     // ---- Pass 2: one scan of L[t] per distinct valid token. ----
-    // Tokens are processed in id order for determinism.
+    // Tokens are processed in id order for determinism. The whole pass is
+    // this strategy's candidate generation, timed exactly (once per doc).
+    let gen_clk = SpanClock::always();
     lazy.tokens.clear();
     lazy.tokens.extend(lazy.touched.iter().map(|&r| (order.token_of(remap.key_of(r)), r)));
     lazy.tokens.sort_unstable_by_key(|&(t, _)| t);
@@ -197,6 +214,7 @@ pub(crate) fn generate(
     for &r in lazy.touched.iter() {
         lazy.inv[r as usize].clear();
     }
+    gen_clk.stop(Stage::CandidateGen, stages);
 }
 
 #[cfg(test)]

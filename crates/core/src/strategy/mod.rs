@@ -73,6 +73,7 @@ pub(crate) fn generate(
     budget: &mut Budget,
 ) {
     seg.sink.clear();
+    seg.stages.clear();
     // An already-spent budget (e.g. `max_candidates: Some(0)` or an expired
     // deadline) returns before any window is visited, even on inputs that
     // produce no windows at all.

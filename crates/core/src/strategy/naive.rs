@@ -4,6 +4,7 @@
 use crate::candidates::{scan_clustered, scan_flat};
 use crate::limits::Budget;
 use crate::scratch::SegmentScratch;
+use crate::stage::{SpanClock, Stage};
 use crate::stats::ExtractStats;
 use aeetes_index::{metric_window_bounds, ClusteredIndex};
 use aeetes_sim::Metric;
@@ -31,9 +32,13 @@ pub(crate) fn generate(
     };
     let order = index.order();
     let n = doc.len();
-    let SegmentScratch { remap, sink, buf, .. } = seg;
+    let SegmentScratch { remap, sink, buf, stages, .. } = seg;
+    let remap_clk = SpanClock::always();
     remap.build(doc.tokens().iter().map(|&t| order.key(t)));
     let ranks = remap.doc_ranks();
+    remap_clk.stop(Stage::Remap, stages);
+    let slide_clk = SpanClock::always();
+    let substrings_before = stats.substrings;
     for p in 0..n {
         let lmax = bounds.max.min(n - p);
         if bounds.min > lmax {
@@ -43,6 +48,8 @@ pub(crate) fn generate(
             break; // budget spent: degrade to the candidates found so far
         }
         stats.windows += 1;
+        // One position in SAMPLE_MASK + 1 gets its substrings timed.
+        let mut clk = SpanClock::sampled(p);
         for l in bounds.min..=lmax {
             stats.substrings += 1;
             stats.prefix_builds += 1;
@@ -53,6 +60,7 @@ pub(crate) fn generate(
             let s_len = buf.len();
             let k = metric.prefix_len(s_len, tau);
             let span = Span::new(p, l);
+            clk.lap(Stage::PrefixBuild, stages);
             for &r in &buf[..k] {
                 if !remap.is_valid_rank(r) {
                     continue; // invalid token: empty posting list
@@ -64,8 +72,15 @@ pub(crate) fn generate(
                     scan_flat(index, t, span, s_len, tau, metric, sink, stats);
                 }
             }
+            clk.lap(Stage::CandidateGen, stages);
         }
     }
+    // Sampled-out laps above record nothing; both sub-stages saw one span
+    // per substring, accounted here in bulk.
+    let substrings = stats.substrings - substrings_before;
+    stages.account_spans(Stage::PrefixBuild, substrings);
+    stages.account_spans(Stage::CandidateGen, substrings);
+    slide_clk.stop(Stage::WindowSlide, stages);
 }
 
 #[cfg(test)]

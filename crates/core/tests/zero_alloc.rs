@@ -7,6 +7,13 @@
 //! `realloc` / `alloc_zeroed` bumps an atomic counter, and the steady-state
 //! rounds assert the counter does not move. This file holds exactly one
 //! test so no concurrent test can perturb the counter.
+//!
+//! With the `obs` feature on (the default), every steady-state outcome is
+//! additionally flushed into a registered [`aeetes_obs::ExtractMetrics`]
+//! bundle — stage histograms and work counters — proving the observability
+//! layer rides the hot path without adding a single allocation. Handle
+//! registration happens before the warm-up, exactly like a long-running
+//! server does it.
 
 use aeetes_core::{Aeetes, AeetesConfig, ExtractLimits, ExtractScratch, Strategy};
 use aeetes_rules::RuleSet;
@@ -44,8 +51,25 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
+/// Flushes an outcome's stats and stage slots into the metric bundle the
+/// way serve/batch workers do; must stay allocation-free.
+#[cfg(feature = "obs")]
+fn flush_obs(metrics: &aeetes_obs::ExtractMetrics, out: &aeetes_core::ScratchOutcome<'_>) {
+    let counts = aeetes_obs::ExtractCounts {
+        accessed_entries: out.stats.accessed_entries,
+        candidates: out.stats.candidates,
+        verifications: out.stats.verifications,
+        matches: out.stats.matches,
+    };
+    metrics.observe(&out.stages, &counts, out.truncated);
+}
+
 #[test]
 fn steady_state_extraction_allocates_nothing() {
+    #[cfg(feature = "obs")]
+    let registry = aeetes_obs::MetricRegistry::new();
+    #[cfg(feature = "obs")]
+    let metrics = aeetes_obs::ExtractMetrics::register(&registry);
     for strategy in [Strategy::Dynamic, Strategy::Lazy] {
         let mut int = Interner::new();
         let tok = Tokenizer::default();
@@ -75,7 +99,10 @@ fn steady_state_extraction_allocates_nothing() {
         for _ in 0..3 {
             warm_matches = 0;
             for doc in &docs {
-                warm_matches += engine.extract_scratched(doc, 0.8, &ExtractLimits::UNLIMITED, None, &mut scratch).matches.len();
+                let out = engine.extract_scratched(doc, 0.8, &ExtractLimits::UNLIMITED, None, &mut scratch);
+                warm_matches += out.matches.len();
+                #[cfg(feature = "obs")]
+                flush_obs(&metrics, &out);
             }
         }
         assert!(warm_matches > 0, "fixture must produce matches for the test to mean anything");
@@ -84,7 +111,10 @@ fn steady_state_extraction_allocates_nothing() {
         for _ in 0..5 {
             steady_matches = 0;
             for doc in &docs {
-                steady_matches += engine.extract_scratched(doc, 0.8, &ExtractLimits::UNLIMITED, None, &mut scratch).matches.len();
+                let out = engine.extract_scratched(doc, 0.8, &ExtractLimits::UNLIMITED, None, &mut scratch);
+                steady_matches += out.matches.len();
+                #[cfg(feature = "obs")]
+                flush_obs(&metrics, &out);
             }
         }
         let delta = ALLOCS.load(Ordering::Relaxed) - before;

@@ -36,10 +36,15 @@ pub struct Shard {
     resident: usize,
     served: AtomicU64,
     candidates: AtomicU64,
+    /// Wall time this shard's index build took (set once at build).
+    build_nanos: u64,
+    /// Cumulative wall time spent extracting in this shard.
+    extract_nanos: AtomicU64,
 }
 
 impl Shard {
     pub(crate) fn build(dd: DerivedDictionary, order: Arc<GlobalOrder>) -> Self {
+        let start = std::time::Instant::now();
         let index = ClusteredIndex::build_with_order(&dd, order);
         let mut resident = 0usize;
         let mut prev = None;
@@ -49,14 +54,24 @@ impl Shard {
                 prev = Some(d.origin);
             }
         }
-        Shard { dd, index, resident, served: AtomicU64::new(0), candidates: AtomicU64::new(0) }
+        Shard {
+            dd,
+            index,
+            resident,
+            served: AtomicU64::new(0),
+            candidates: AtomicU64::new(0),
+            build_nanos: start.elapsed().as_nanos() as u64,
+            extract_nanos: AtomicU64::new(0),
+        }
     }
 
     /// Carries the cumulative counters of the shard this one replaces, so
-    /// per-shard serving totals survive a rebuild.
+    /// per-shard serving totals survive a rebuild. The build time is not
+    /// inherited: it describes this shard's own build.
     pub(crate) fn inherit_counters(&self, old: &Shard) {
         self.served.store(old.served.load(Ordering::Relaxed), Ordering::Relaxed);
         self.candidates.store(old.candidates.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.extract_nanos.store(old.extract_nanos.load(Ordering::Relaxed), Ordering::Relaxed);
     }
 
     /// Number of derived variants resident in this shard.
@@ -77,6 +92,12 @@ pub struct ShardStats {
     pub served: u64,
     /// Candidate pairs this shard has generated.
     pub candidates: u64,
+    /// Wall time the shard's index build took, in nanoseconds (per build —
+    /// not carried across rebuilds).
+    pub build_nanos: u64,
+    /// Cumulative wall time spent extracting in this shard, in nanoseconds
+    /// (carried across rebuilds like `served`).
+    pub extract_nanos: u64,
 }
 
 /// One immutable sharded engine state. All shards share a single global
@@ -199,6 +220,8 @@ impl Generation {
                 variants: s.dd.len(),
                 served: s.served.load(Ordering::Relaxed),
                 candidates: s.candidates.load(Ordering::Relaxed),
+                build_nanos: s.build_nanos,
+                extract_nanos: s.extract_nanos.load(Ordering::Relaxed),
             })
             .collect()
     }
@@ -212,6 +235,7 @@ impl Generation {
         cancel: Option<&CancelToken>,
         seg: &mut SegmentScratch,
     ) -> (bool, ExtractStats) {
+        let start = std::time::Instant::now();
         let (truncated, stats) = extract_segment_scratched(
             &shard.index,
             &shard.dd,
@@ -225,6 +249,7 @@ impl Generation {
             cancel,
             seg,
         );
+        shard.extract_nanos.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
         shard.served.fetch_add(1, Ordering::Relaxed);
         shard.candidates.fetch_add(stats.candidates, Ordering::Relaxed);
         (truncated, stats)
@@ -257,7 +282,7 @@ impl ExtractBackend for Generation {
             // coincide with global ones, so no merge pass is needed.
             let seg = scratch.segment(0);
             let (truncated, stats) = self.run_shard_into(&self.shards[0], doc, tau, limits, cancel, seg);
-            return ScratchOutcome { matches: seg.matches(), truncated, stats };
+            return ScratchOutcome { matches: seg.matches(), truncated, stats, stages: *seg.stages() };
         }
         let (segs, merged) = scratch.split(self.shards.len());
         let results: Vec<(bool, ExtractStats)> = {
@@ -282,9 +307,11 @@ impl ExtractBackend for Generation {
         merged.clear();
         let mut truncated = false;
         let mut stats = ExtractStats::default();
+        let mut stages = aeetes_core::StageSlots::default();
         for ((shard, seg), (trunc, st)) in self.shards.iter().zip(segs.iter()).zip(results) {
             truncated |= trunc;
             stats += st;
+            stages.merge(seg.stages());
             for &m in seg.matches() {
                 let local = shard.dd.variant_range(m.entity).start;
                 let mut m = m;
@@ -300,6 +327,6 @@ impl ExtractBackend for Generation {
             }
         }
         stats.matches = merged.len() as u64;
-        ScratchOutcome { matches: merged, truncated, stats }
+        ScratchOutcome { matches: merged, truncated, stats, stages }
     }
 }

@@ -19,6 +19,7 @@
 //! | [`sim`] | Jaccard family, edit distance, Fuzzy Jaccard, JaccAR verify |
 //! | [`index`] | global token order, filters, clustered inverted index |
 //! | [`core`] | the extraction engine and its four filtering strategies |
+//! | [`obs`] | metric registry, stage timing, Prometheus/JSON exporters |
 //! | [`baselines`] | exact matching, Faerie, FaerieR |
 //! | [`datagen`] | synthetic corpora calibrated to the paper's datasets |
 //!
@@ -55,6 +56,7 @@ pub use aeetes_baselines as baselines;
 pub use aeetes_core as core;
 pub use aeetes_datagen as datagen;
 pub use aeetes_index as index;
+pub use aeetes_obs as obs;
 pub use aeetes_rules as rules;
 pub use aeetes_shard as shard;
 pub use aeetes_sim as sim;
