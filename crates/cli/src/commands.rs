@@ -38,6 +38,10 @@ USAGE:
                     [--metrics-listen ADDR:PORT] [--workers N] [--queue N]
                     [--max-doc-bytes N] [--timeout-ceiling SECS]
                     [--max-matches N] [--max-candidates N] [--drain SECS]
+                    [--idle-timeout SECS] [--max-conns N]
+    aeetes fleet    --engine ENGINE [--replicas N | --replica ADDR:PORT ...]
+                    [--listen ADDR:PORT] [--retries N] [--health-interval SECS]
+                    (plus any serve flag, forwarded to spawned replicas)
     aeetes profile  (--engine ENGINE --doc FILE |
                      [--profile pubmed|dbworld|usjob] [--scale F] [--seed N])
                     [--tau F] [--runs N] [--warmup N] [--docs N]
@@ -66,6 +70,12 @@ artifact is written. `serve` loads either.
 `serve --metrics-listen` exposes the metric registry over HTTP: `/metrics`
 in Prometheus text format, `/metrics.json` as JSON. The same snapshot is
 available on the protocol stream via `{\"type\":\"metrics\"}`.
+
+`fleet` runs a fault-tolerant coordinator over N serve replicas: it speaks
+the same protocol, load-balances extracts, retries retryable failures on a
+different replica, respawns crashed replicas, and ships `reload` deltas
+two-phase so the fleet never serves mixed generations; see README
+\"Cluster\".
 
 `profile` runs all four candidate-generation strategies over the same
 documents and prints a per-stage timing table (tokenize, remap,
@@ -334,6 +344,8 @@ pub fn serve_cmd(argv: &[String]) -> Result<i32, String> {
             "max-matches",
             "max-candidates",
             "drain",
+            "idle-timeout",
+            "max-conns",
         ],
     )?;
     let engine_path = args.required("engine")?;
@@ -349,6 +361,12 @@ pub fn serve_cmd(argv: &[String]) -> Result<i32, String> {
             return Err(format!("--{name} must be a positive number of seconds, got {v}"));
         }
     }
+    // --idle-timeout 0 disables the idle close (a coordinator's long-lived
+    // control connections want that), so zero is valid here.
+    let idle_timeout: f64 = args.parse_or("idle-timeout", defaults.idle_timeout.as_secs_f64())?;
+    if !(idle_timeout >= 0.0 && idle_timeout.is_finite()) {
+        return Err(format!("--idle-timeout must be a non-negative number of seconds, got {idle_timeout}"));
+    }
     let opts = ServeOptions {
         listen: args.optional("listen").map(str::to_string),
         metrics_listen: args.optional("metrics-listen").map(str::to_string),
@@ -361,11 +379,112 @@ pub fn serve_cmd(argv: &[String]) -> Result<i32, String> {
             max_candidates: args.parse_or("max-candidates", defaults.ceilings.max_candidates)?,
         },
         drain: Duration::from_secs_f64(drain),
+        idle_timeout: Duration::from_secs_f64(idle_timeout),
+        max_conns: args.parse_or("max-conns", defaults.max_conns)?,
     };
     let bytes = fs::read(engine_path).map_err(|e| format!("{engine_path}: {e}"))?;
     let parts = load_sharded(&bytes).map_err(|e| format!("{engine_path}: {e}"))?;
     let engine = ShardedEngine::from_parts(parts, shards).map_err(|e| format!("{engine_path}: {e}"))?;
     serve(engine, &opts)?;
+    Ok(EXIT_OK)
+}
+
+/// `aeetes fleet`: coordinator over a replicated serve fleet.
+pub fn fleet_cmd(argv: &[String]) -> Result<i32, String> {
+    use aeetes_cluster::{run_fleet, FleetOptions, ReplicaSpec};
+    let args = Args::parse(
+        argv,
+        &[],
+        &[
+            // Coordinator flags.
+            "engine",
+            "replicas",
+            "replica",
+            "listen",
+            "retries",
+            "request-timeout",
+            "health-interval",
+            "probe-timeout",
+            "reload-timeout",
+            "drain",
+            // Serve flags forwarded verbatim to spawned replicas.
+            "shards",
+            "workers",
+            "queue",
+            "max-doc-bytes",
+            "timeout-ceiling",
+            "max-matches",
+            "max-candidates",
+            "max-conns",
+        ],
+    )?;
+    let defaults = FleetOptions::default();
+    let mut replicas: Vec<ReplicaSpec> = Vec::new();
+    // --replica addr[,addr...] names externally managed serve processes.
+    if let Some(list) = args.optional("replica") {
+        for addr in list.split(',').map(str::trim).filter(|a| !a.is_empty()) {
+            replicas.push(ReplicaSpec::Remote { addr: addr.to_string() });
+        }
+    }
+    // --replicas N spawns N children (default 3 when nothing remote given).
+    let spawn_default = if replicas.is_empty() { 3 } else { 0 };
+    let spawn_count: usize = args.parse_or("replicas", spawn_default)?;
+    if spawn_count > 0 {
+        let engine = args.required("engine")?; // children need the artifact
+        let program = std::env::current_exe().map_err(|e| format!("locating own binary: {e}"))?;
+        let mut child_args = vec![
+            "--engine".to_string(),
+            engine.to_string(),
+            // The OS picks each child's port; the banner reports it.
+            "--listen".to_string(),
+            "127.0.0.1:0".to_string(),
+            // The coordinator's data connection is idle between bursts and
+            // must never be closed under it.
+            "--idle-timeout".to_string(),
+            "0".to_string(),
+        ];
+        for flag in [
+            "shards",
+            "workers",
+            "queue",
+            "max-doc-bytes",
+            "timeout-ceiling",
+            "max-matches",
+            "max-candidates",
+            "max-conns",
+        ] {
+            if let Some(v) = args.optional(flag) {
+                child_args.push(format!("--{flag}"));
+                child_args.push(v.to_string());
+            }
+        }
+        for _ in 0..spawn_count {
+            replicas.push(ReplicaSpec::Spawn { program: program.clone(), args: child_args.clone() });
+        }
+    }
+    if replicas.is_empty() {
+        return Err("a fleet needs at least one replica: pass --replicas N and/or --replica ADDR".into());
+    }
+    let secs = |name: &str, default: Duration| -> Result<Duration, String> {
+        let v: f64 = args.parse_or(name, default.as_secs_f64())?;
+        if !(v > 0.0 && v.is_finite()) {
+            return Err(format!("--{name} must be a positive number of seconds, got {v}"));
+        }
+        Ok(Duration::from_secs_f64(v))
+    };
+    let opts = FleetOptions {
+        listen: args.optional("listen").unwrap_or("127.0.0.1:0").to_string(),
+        replicas,
+        // 0 = one attempt per replica (the coordinator's default).
+        max_attempts: args.parse_or("retries", 0u32)?,
+        request_timeout: secs("request-timeout", defaults.request_timeout)?,
+        backoff: defaults.backoff,
+        health_interval: secs("health-interval", defaults.health_interval)?,
+        probe_timeout: secs("probe-timeout", defaults.probe_timeout)?,
+        reload_timeout: secs("reload-timeout", defaults.reload_timeout)?,
+        drain: secs("drain", defaults.drain)?,
+    };
+    run_fleet(opts)?;
     Ok(EXIT_OK)
 }
 

@@ -30,6 +30,7 @@ fn main() {
         Some("build") => commands::build(&argv[1..]),
         Some("extract") => commands::extract(&argv[1..]),
         Some("serve") => commands::serve_cmd(&argv[1..]),
+        Some("fleet") => commands::fleet_cmd(&argv[1..]),
         Some("profile") => commands::profile_cmd(&argv[1..]),
         Some("stats") => commands::stats(&argv[1..]),
         Some("generate") => commands::generate_cmd(&argv[1..]),

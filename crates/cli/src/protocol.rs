@@ -17,8 +17,18 @@
 //! {"id": any?, "type": "reload", "add_entities": ["..."]?,
 //!  "remove_entities": [id, ...]?, "add_rules": [{"lhs": "...", "rhs": "...",
 //!  "weight": 1.0?}, ...]?}
+//! {"id": any?, "type": "prepare", ...same delta fields as reload...}
+//! {"id": any?, "type": "activate", "generation": N}
 //! {"id": any?, "type": "shutdown"}
 //! ```
+//!
+//! `prepare`/`activate` split a reload in two for fleet coordinators:
+//! `prepare` builds the delta's generation off to the side and answers
+//! `{"status":"ok","prepared_generation":N}` without serving it; `activate`
+//! commits a previously prepared generation by id. A coordinator prepares
+//! on every replica, then activates everywhere, so a fleet never serves a
+//! mixture of generations. An `activate` whose id does not match the
+//! prepared generation fails with code `conflict`.
 //!
 //! Client-requested budgets are *clamped* by the server's [`Ceilings`] —
 //! a client can lower its own budget but never raise it past the
@@ -34,6 +44,7 @@
 //! | `timeout`     | request expired before a worker ran it    | yes    |
 //! | `shedding`    | queue full or server draining             | yes    |
 //! | `internal`    | extraction panicked (isolated; see logs)  | no     |
+//! | `conflict`    | activate id ≠ prepared generation id      | no     |
 
 use aeetes_core::ExtractLimits;
 use serde_json::{json, Value};
@@ -56,9 +67,23 @@ pub enum ErrorCode {
     Shedding,
     /// Extraction panicked; the fault was isolated to this request.
     Internal,
+    /// Two-phase state mismatch: an `activate` named a generation that is
+    /// not the one prepared (or nothing is prepared). Not retryable — the
+    /// identical request will keep failing; the caller must re-prepare.
+    Conflict,
 }
 
 impl ErrorCode {
+    /// Every variant, for exhaustive table-driven tests and docs.
+    pub const ALL: [ErrorCode; 6] = [
+        ErrorCode::BadRequest,
+        ErrorCode::TooLarge,
+        ErrorCode::Timeout,
+        ErrorCode::Shedding,
+        ErrorCode::Internal,
+        ErrorCode::Conflict,
+    ];
+
     /// The wire spelling of the code.
     pub fn as_str(self) -> &'static str {
         match self {
@@ -67,13 +92,44 @@ impl ErrorCode {
             ErrorCode::Timeout => "timeout",
             ErrorCode::Shedding => "shedding",
             ErrorCode::Internal => "internal",
+            ErrorCode::Conflict => "conflict",
         }
+    }
+
+    /// Parses the wire spelling back into a code (`None` for unknown
+    /// spellings — a coordinator talking to a newer replica treats those
+    /// as fatal rather than guessing retryability).
+    pub fn parse_wire(s: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL.iter().copied().find(|c| c.as_str() == s)
     }
 
     /// Whether a client may retry the identical request and hope for a
     /// different answer.
+    ///
+    /// The mapping is deliberately an exhaustive `match` (no `_` arm): a
+    /// new error code cannot compile without an explicit, reviewed
+    /// retryability decision — coordinators build failover on top of this.
     pub fn retryable(self) -> bool {
-        matches!(self, ErrorCode::Timeout | ErrorCode::Shedding)
+        match self {
+            // The request itself is defective; an identical retry cannot
+            // succeed anywhere.
+            ErrorCode::BadRequest => false,
+            // The payload exceeds a server ceiling; retrying without
+            // shrinking it fails identically.
+            ErrorCode::TooLarge => false,
+            // The deadline expired while queued: another (less loaded)
+            // server, or the same one a moment later, may answer in time.
+            ErrorCode::Timeout => true,
+            // Admission control refused: queue full or draining. Elsewhere
+            // or after backoff the same request is fine.
+            ErrorCode::Shedding => true,
+            // Extraction panicked on this input; the same input will very
+            // likely panic again on any replica of the same build.
+            ErrorCode::Internal => false,
+            // Two-phase state mismatch; the caller must change the request
+            // (re-prepare), not repeat it.
+            ErrorCode::Conflict => false,
+        }
     }
 }
 
@@ -148,6 +204,17 @@ pub enum Request {
     /// inline once the swap completes; in-flight extractions are
     /// unaffected — they finish on the generation they started on).
     Reload(Box<ReloadRequest>),
+    /// Phase one of a two-phase reload: build the delta's generation but
+    /// do not serve it (answered inline with `prepared_generation`).
+    Prepare(Box<ReloadRequest>),
+    /// Phase two: swap in the generation previously built by `prepare`,
+    /// named by id (answered inline; `conflict` on id mismatch).
+    Activate {
+        /// Echoed correlation id.
+        id: Value,
+        /// Generation id that must match the prepared generation.
+        generation: u64,
+    },
     /// Begin graceful drain (answered inline).
     Shutdown(Value),
 }
@@ -185,17 +252,22 @@ pub fn parse_request(line: &str, ceilings: &Ceilings) -> Result<Request, Reject>
         "stats" => Ok(Request::Stats(id)),
         "metrics" => Ok(Request::Metrics(id)),
         "shutdown" => Ok(Request::Shutdown(id)),
-        "reload" => parse_reload(id, &value),
+        "reload" => parse_reload(id, &value, false),
+        "prepare" => parse_reload(id, &value, true),
+        "activate" => match value.get("generation").and_then(Value::as_u64) {
+            Some(generation) => Ok(Request::Activate { id, generation }),
+            None => Err(Reject::new(id, ErrorCode::BadRequest, "`activate` needs a numeric `generation` field")),
+        },
         "extract" => parse_extract(id, &value, ceilings),
         other => Err(Reject::new(
             id,
             ErrorCode::BadRequest,
-            format!("unknown request type `{other}` (extract|health|stats|metrics|reload|shutdown)"),
+            format!("unknown request type `{other}` (extract|health|stats|metrics|reload|prepare|activate|shutdown)"),
         )),
     }
 }
 
-fn parse_reload(id: Value, value: &Value) -> Result<Request, Reject> {
+fn parse_reload(id: Value, value: &Value, prepare: bool) -> Result<Request, Reject> {
     let mut req = ReloadRequest {
         id: id.clone(),
         add_entities: Vec::new(),
@@ -243,7 +315,11 @@ fn parse_reload(id: Value, value: &Value) -> Result<Request, Reject> {
             req.add_rules.push((lhs.to_string(), rhs.to_string(), weight));
         }
     }
-    Ok(Request::Reload(Box::new(req)))
+    Ok(if prepare {
+        Request::Prepare(Box::new(req))
+    } else {
+        Request::Reload(Box::new(req))
+    })
 }
 
 fn parse_extract(id: Value, value: &Value, ceilings: &Ceilings) -> Result<Request, Reject> {
@@ -411,6 +487,83 @@ mod tests {
         assert_eq!(req.add_rules.len(), 2);
         assert_eq!(req.add_rules[0], ("ch".into(), "switzerland".into(), 1.0));
         assert_eq!(req.add_rules[1].2, 0.5);
+    }
+
+    /// The documented retryability contract, written as its own exhaustive
+    /// `match`: adding an `ErrorCode` variant fails to compile here (and in
+    /// `retryable()` itself) until someone makes — and documents — an
+    /// explicit retry decision for it. Coordinator failover is built on
+    /// this mapping, so it must never change by accident or by default.
+    #[test]
+    fn every_error_code_has_an_explicit_retryable_mapping() {
+        fn documented(code: ErrorCode) -> (bool, &'static str) {
+            match code {
+                ErrorCode::BadRequest => (false, "bad_request"),
+                ErrorCode::TooLarge => (false, "too_large"),
+                ErrorCode::Timeout => (true, "timeout"),
+                ErrorCode::Shedding => (true, "shedding"),
+                ErrorCode::Internal => (false, "internal"),
+                ErrorCode::Conflict => (false, "conflict"),
+            }
+        }
+        assert_eq!(ErrorCode::ALL.len(), 6, "ALL must enumerate every variant");
+        for code in ErrorCode::ALL {
+            let (retry, wire) = documented(code);
+            assert_eq!(code.retryable(), retry, "{wire}: retryable() diverged from the documented contract");
+            assert_eq!(code.as_str(), wire, "wire spelling diverged");
+            assert_eq!(ErrorCode::parse_wire(wire), Some(code), "parse_wire must round-trip {wire}");
+            // The serialized error line must agree with the enum, so wire
+            // clients (the fleet coordinator) see the same contract.
+            let line = error_line(&Reject::new(Value::Null, code, "x"));
+            let v: Value = serde_json::from_str(&line).unwrap();
+            assert_eq!(v.get("retryable").and_then(Value::as_bool), Some(retry), "{wire}");
+            assert_eq!(v.get("code").and_then(Value::as_str), Some(wire));
+        }
+        assert_eq!(ErrorCode::parse_wire("no_such_code"), None);
+    }
+
+    /// The coordinator cannot depend on this crate (the dependency points
+    /// the other way), so it carries its own copy of the retryability
+    /// predicate keyed on wire spellings. Pin the two against each other:
+    /// if either side changes, this fails before a fleet misroutes.
+    #[test]
+    fn cluster_retryability_matches_protocol() {
+        for code in ErrorCode::ALL {
+            assert_eq!(
+                aeetes_cluster::retryable_code(code.as_str()),
+                code.retryable(),
+                "{}: aeetes_cluster::retryable_code diverged from ErrorCode::retryable",
+                code.as_str()
+            );
+        }
+    }
+
+    #[test]
+    fn prepare_parses_like_reload() {
+        let r = parse(r#"{"id":9,"type":"prepare","add_entities":["eth zurich"]}"#).unwrap();
+        let Request::Prepare(req) = r else { panic!("expected prepare") };
+        assert_eq!(req.id.as_u64(), Some(9));
+        assert_eq!(req.add_entities, vec!["eth zurich"]);
+        // The same malformed fields are rejected identically.
+        assert_eq!(parse(r#"{"type":"prepare","add_entities":[1]}"#).unwrap_err().code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn activate_requires_numeric_generation() {
+        let r = parse(r#"{"id":"a","type":"activate","generation":4}"#).unwrap();
+        let Request::Activate { id, generation } = r else {
+            panic!("expected activate")
+        };
+        assert_eq!(id.as_str(), Some("a"));
+        assert_eq!(generation, 4);
+        for line in [
+            r#"{"type":"activate"}"#,
+            r#"{"type":"activate","generation":"two"}"#,
+            r#"{"type":"activate","generation":-1}"#,
+            r#"{"type":"activate","generation":1.5}"#,
+        ] {
+            assert_eq!(parse(line).unwrap_err().code, ErrorCode::BadRequest, "{line}");
+        }
     }
 
     #[test]

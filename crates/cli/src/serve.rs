@@ -38,7 +38,7 @@
 //!   only per-thread-striped atomics, so telemetry adds no contention to
 //!   the hot path.
 
-use crate::protocol::{error_line, ok_line, parse_request, Ceilings, ErrorCode, ExtractRequest, Reject, Request};
+use crate::protocol::{error_line, ok_line, parse_request, Ceilings, ErrorCode, ExtractRequest, Reject, ReloadRequest, Request};
 use aeetes_core::{suppress_overlaps, CancelToken, ExtractBackend, ExtractLimits, ExtractScratch, Match, Stage};
 use aeetes_obs::{Counter, ExtractCounts, ExtractMetrics, Gauge, Histogram, MetricRegistry};
 use aeetes_shard::{DictDelta, Generation, RuleDelta, ShardedEngine};
@@ -68,6 +68,17 @@ pub struct ServeOptions {
     pub ceilings: Ceilings,
     /// How long a drain may take before in-flight work is cancelled.
     pub drain: Duration,
+    /// Per-connection idle read timeout (TCP mode): a connection that
+    /// completes no request line for this long is closed, so a silent peer
+    /// cannot pin a handler thread forever. `Duration::ZERO` disables.
+    /// Slow-trickle (slowloris) peers idle out too: only *complete* lines
+    /// reset the clock.
+    pub idle_timeout: Duration,
+    /// Cap on concurrently open protocol connections (TCP mode). A
+    /// connection over the cap is answered with one `shedding` error line
+    /// and closed — bounded handler threads, flat memory under a connection
+    /// flood. `0` means 1.
+    pub max_conns: usize,
 }
 
 impl Default for ServeOptions {
@@ -79,6 +90,8 @@ impl Default for ServeOptions {
             queue: 64,
             ceilings: Ceilings::default(),
             drain: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(300),
+            max_conns: 1024,
         }
     }
 }
@@ -105,6 +118,9 @@ struct ServeMetrics {
     generation: Arc<Gauge>,
     generation_swaps: Arc<Counter>,
     uptime: Arc<Gauge>,
+    conns: Arc<Gauge>,
+    conns_rejected: Arc<Counter>,
+    idle_closed: Arc<Counter>,
     /// Shard-counter values already pushed into the per-shard counter
     /// families, so a scrape increments each by its delta (the engine's
     /// shard counters are cumulative; obs counters only go up).
@@ -127,6 +143,9 @@ impl ServeMetrics {
             generation: registry.gauge("aeetes_generation_id", "Engine generation currently serving"),
             generation_swaps: registry.counter("aeetes_generation_swaps_total", "Successful hot-reload generation swaps"),
             uptime: registry.gauge("aeetes_uptime_seconds", "Seconds since the server started"),
+            conns: registry.gauge("aeetes_connections", "Protocol connections currently open"),
+            conns_rejected: registry.counter("aeetes_conns_rejected_total", "Connections refused by the --max-conns cap"),
+            idle_closed: registry.counter("aeetes_idle_closed_total", "Connections closed by the per-connection idle read timeout"),
             shard_last: Mutex::new(Vec::new()),
             registry,
         }
@@ -141,6 +160,10 @@ struct Shared {
     engine: ShardedEngine,
     tokenizer: Tokenizer,
     ceilings: Ceilings,
+    /// See [`ServeOptions::idle_timeout`]; `ZERO` disables.
+    idle_timeout: Duration,
+    /// See [`ServeOptions::max_conns`].
+    max_conns: usize,
     metrics: ServeMetrics,
     start: Instant,
     /// Set once drain begins: admission refuses new extract work.
@@ -183,7 +206,9 @@ impl Shared {
         json!({
             "uptime_ms": self.start.elapsed().as_millis() as u64,
             "generation": generation.id(),
+            "pending_generation": self.engine.pending_generation(),
             "shards": shards,
+            "connections": self.metrics.conns.value(),
             "served": m.served.value(),
             "shed": m.shed.value(),
             "failed": m.failed.value(),
@@ -395,6 +420,17 @@ fn run_job(shared: &Shared, generation: &Generation, interner: &mut Interner, sc
     }
 }
 
+/// Lowers a reload/prepare request into the engine's delta type, keeping
+/// the correlation id for the response.
+fn delta_of(req: ReloadRequest) -> (Value, DictDelta) {
+    let delta = DictDelta {
+        add_entities: req.add_entities,
+        remove_entities: req.remove_entities.into_iter().map(EntityId).collect(),
+        add_rules: req.add_rules.into_iter().map(|(lhs, rhs, weight)| RuleDelta { lhs, rhs, weight }).collect(),
+    };
+    (req.id, delta)
+}
+
 /// Outcome of reading one protocol line from a connection.
 #[derive(Debug)]
 enum LineRead {
@@ -492,6 +528,9 @@ fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink, tx
     // one extra KiB covers the envelope fields.
     let line_cap = shared.ceilings.max_doc_bytes.saturating_mul(2).saturating_add(1024);
     let mut lines = LineReader::new(line_cap);
+    // Only completed reads reset this clock, so a peer trickling one byte
+    // per poll interval still idles out (see `ServeOptions::idle_timeout`).
+    let mut last_activity = Instant::now();
     loop {
         let read = match lines.next_line(reader) {
             Ok(r) => r,
@@ -501,10 +540,15 @@ fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink, tx
                 if shared.draining.load(Ordering::Relaxed) {
                     return false;
                 }
+                if shared.idle_timeout > Duration::ZERO && last_activity.elapsed() >= shared.idle_timeout {
+                    shared.metrics.idle_closed.inc(1);
+                    return false;
+                }
                 continue;
             }
             Err(_) => return false, // connection died; nothing to answer
         };
+        last_activity = Instant::now();
         let bytes = match read {
             LineRead::Eof => return false,
             LineRead::Oversized => {
@@ -541,8 +585,19 @@ fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink, tx
             }
             Ok(Request::Health(id)) => {
                 shared.metrics.control.inc(1);
-                let status = if shared.draining.load(Ordering::Relaxed) { "draining" } else { "ok" };
-                respond(sink, &json!({"id": id, "status": "ok", "health": status}).to_string());
+                let draining = shared.draining.load(Ordering::Relaxed);
+                let status = if draining { "draining" } else { "ok" };
+                // Generation + draining ride along so a coordinator (or a
+                // human) can tell "slow" from "going away" and "current"
+                // from "behind the fleet" with one cheap probe.
+                let line = json!({
+                    "id": id,
+                    "status": "ok",
+                    "health": status,
+                    "draining": draining,
+                    "generation": shared.engine.generation_id(),
+                });
+                respond(sink, &line.to_string());
             }
             Ok(Request::Stats(id)) => {
                 shared.metrics.control.inc(1);
@@ -562,11 +617,7 @@ fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink, tx
                     respond(sink, &error_line(&Reject { id: req.id, code: ErrorCode::Shedding, message: "server is draining".into() }));
                     continue;
                 }
-                let delta = DictDelta {
-                    add_entities: req.add_entities,
-                    remove_entities: req.remove_entities.into_iter().map(EntityId).collect(),
-                    add_rules: req.add_rules.into_iter().map(|(lhs, rhs, weight)| RuleDelta { lhs, rhs, weight }).collect(),
-                };
+                let (id, delta) = delta_of(*req);
                 // The rebuild runs on this connection's reader thread: other
                 // connections keep extracting against the old generation
                 // until the atomic swap inside `apply_update`.
@@ -575,7 +626,7 @@ fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink, tx
                         shared.metrics.generation_swaps.inc(1);
                         shared.metrics.generation.set(generation.id().min(i64::MAX as u64) as i64);
                         let line = json!({
-                            "id": req.id,
+                            "id": id,
                             "status": "ok",
                             "generation": generation.id(),
                             "entities": generation.dictionary().len(),
@@ -584,14 +635,48 @@ fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink, tx
                         respond(sink, &line.to_string());
                     }
                     Err(e) => {
-                        respond(
-                            sink,
-                            &error_line(&Reject {
-                                id: req.id,
-                                code: ErrorCode::BadRequest,
-                                message: format!("reload rejected: {e}"),
-                            }),
-                        );
+                        respond(sink, &error_line(&Reject { id, code: ErrorCode::BadRequest, message: format!("reload rejected: {e}") }));
+                    }
+                }
+            }
+            Ok(Request::Prepare(req)) => {
+                shared.metrics.control.inc(1);
+                if shared.draining.load(Ordering::Relaxed) {
+                    respond(sink, &error_line(&Reject { id: req.id, code: ErrorCode::Shedding, message: "server is draining".into() }));
+                    continue;
+                }
+                let (id, delta) = delta_of(*req);
+                // Builds the next generation but keeps serving the current
+                // one; the swap happens when `activate` names the id.
+                match shared.engine.prepare_update(&delta, &shared.tokenizer) {
+                    Ok(generation) => {
+                        let line = json!({
+                            "id": id,
+                            "status": "ok",
+                            "prepared_generation": generation.id(),
+                            "entities": generation.dictionary().len(),
+                            "variants": generation.variants(),
+                        });
+                        respond(sink, &line.to_string());
+                    }
+                    Err(e) => {
+                        respond(sink, &error_line(&Reject { id, code: ErrorCode::BadRequest, message: format!("prepare rejected: {e}") }));
+                    }
+                }
+            }
+            Ok(Request::Activate { id, generation }) => {
+                shared.metrics.control.inc(1);
+                match shared.engine.activate(generation) {
+                    Ok(generation) => {
+                        shared.metrics.generation_swaps.inc(1);
+                        shared.metrics.generation.set(generation.id().min(i64::MAX as u64) as i64);
+                        respond(sink, &json!({"id": id, "status": "ok", "generation": generation.id()}).to_string());
+                    }
+                    Err(e) => {
+                        // The id names a generation this replica has not
+                        // prepared: a coordinator treats this as the replica
+                        // being out of step and resyncs it.
+                        respond(sink, &error_line(&Reject { id, code: ErrorCode::Conflict, message: e.to_string() }));
                     }
                 }
             }
@@ -637,6 +722,8 @@ pub fn serve(engine: ShardedEngine, opts: &ServeOptions) -> Result<(u64, u64, u6
         engine,
         tokenizer: Tokenizer::default(),
         ceilings: opts.ceilings,
+        idle_timeout: opts.idle_timeout,
+        max_conns: opts.max_conns.max(1),
         metrics: ServeMetrics::register(),
         start: Instant::now(),
         draining: AtomicBool::new(false),
@@ -753,10 +840,28 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, tx: &SyncSender<Job
         if shared.draining.load(Ordering::Relaxed) {
             break;
         }
-        let Ok(stream) = conn else { continue }; // transient accept errors (e.g. ECONNABORTED)
+        let Ok(mut stream) = conn else { continue }; // transient accept errors (e.g. ECONNABORTED)
+                                                     // The conns gauge is the live handler count: incremented here (not
+                                                     // in the handler, which would race the next accept past the cap)
+                                                     // and decremented when `handle_connection` returns.
+        if shared.metrics.conns.value() >= shared.max_conns as i64 {
+            shared.metrics.conns_rejected.inc(1);
+            let reject = Reject {
+                id: Value::Null,
+                code: ErrorCode::Shedding,
+                message: format!("connection limit ({}) reached", shared.max_conns),
+            };
+            let _ = stream.write_all(error_line(&reject).as_bytes());
+            let _ = stream.write_all(b"\n");
+            continue; // dropping the stream closes it
+        }
+        shared.metrics.conns.add(1);
         let shared = Arc::clone(shared);
         let tx = tx.clone();
-        handlers.push(std::thread::spawn(move || handle_connection(stream, &shared, &tx)));
+        handlers.push(std::thread::spawn(move || {
+            handle_connection(stream, &shared, &tx);
+            shared.metrics.conns.add(-1);
+        }));
         handlers.retain(|h| !h.is_finished()); // reap finished handlers so the vec stays bounded
     }
     for h in handlers {

@@ -614,3 +614,141 @@ fn stdin_mode_serves_and_drains_on_eof() {
     assert!(stdout.contains("\"health\":\"ok\""), "{stdout}");
     let _ = std::fs::remove_file(&engine);
 }
+
+/// A connection that sends nothing is closed once the idle timeout
+/// elapses; a connection that keeps talking is not. A partial line does
+/// not count as activity (slowloris does not hold a slot open).
+#[test]
+fn idle_connections_are_closed_and_active_ones_are_not() {
+    let engine = engine_file("idle");
+    let server = Server::spawn(&engine, &["--idle-timeout", "1"]);
+
+    // Idle: the server must close within the timeout plus slack.
+    let idle = server.connect();
+    let start = Instant::now();
+    let mut buf = String::new();
+    let n = BufReader::new(idle).read_line(&mut buf).expect("read on idle conn");
+    assert_eq!(n, 0, "idle connection must see EOF, got {buf:?}");
+    let waited = start.elapsed();
+    assert!(waited >= Duration::from_millis(900), "closed too early: {waited:?}");
+    assert!(waited < Duration::from_secs(10), "closed too late: {waited:?}");
+
+    // Slowloris: a byte trickle that never completes a line must not
+    // reset the idle clock.
+    let mut slow = server.connect();
+    let start = Instant::now();
+    let mut reader = BufReader::new(slow.try_clone().unwrap());
+    let closed = loop {
+        if slow.write_all(b"x").is_err() {
+            break true; // write failed: server already closed
+        }
+        let mut buf = String::new();
+        match reader.read_line(&mut buf) {
+            Ok(0) => break true,
+            Ok(_) => break false, // a response to an incomplete line?!
+            Err(_) => {}
+        }
+        if start.elapsed() > Duration::from_secs(10) {
+            break false;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    };
+    assert!(closed, "a never-completing line must not hold the connection open");
+
+    // Active: requests spaced under the timeout keep the connection alive
+    // well past several idle windows.
+    let mut active = server.connect();
+    let mut reader = BufReader::new(active.try_clone().unwrap());
+    for _ in 0..5 {
+        std::thread::sleep(Duration::from_millis(400));
+        active.write_all(b"{\"type\":\"health\",\"id\":1}\n").unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("read on active conn");
+        assert!(resp.contains("\"health\":\"ok\""), "active connection died: {resp:?}");
+    }
+
+    server.round_trip(r#"{"type":"shutdown"}"#);
+    server.wait_for_clean_exit(Duration::from_secs(20));
+    let _ = std::fs::remove_file(&engine);
+}
+
+/// Past --max-conns, new connections get one shedding error line and are
+/// closed; slots freed by disconnects become usable again.
+#[test]
+fn connection_cap_sheds_and_recovers() {
+    let engine = engine_file("conncap");
+    let server = Server::spawn(&engine, &["--max-conns", "2"]);
+
+    let held: Vec<TcpStream> = (0..2).map(|_| server.connect()).collect();
+    // Give the acceptor a moment to register both holds.
+    std::thread::sleep(Duration::from_millis(200));
+
+    // The third connection is rejected with a parseable shedding line.
+    let over = server.connect();
+    let mut resp = String::new();
+    BufReader::new(over).read_line(&mut resp).expect("read rejection");
+    assert!(resp.contains("\"shedding\""), "over-cap connection must be shed: {resp:?}");
+    assert!(resp.contains("connection limit"), "{resp:?}");
+
+    // Freeing a slot readmits new connections.
+    drop(held);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut conn = server.connect();
+        conn.write_all(b"{\"type\":\"health\",\"id\":1}\n").unwrap();
+        let mut resp = String::new();
+        BufReader::new(conn).read_line(&mut resp).expect("read after release");
+        if resp.contains("\"health\":\"ok\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "slot never freed: {resp:?}");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    server.round_trip(r#"{"type":"shutdown"}"#);
+    server.wait_for_clean_exit(Duration::from_secs(20));
+    let _ = std::fs::remove_file(&engine);
+}
+
+/// The two-phase wire protocol on a single replica: prepare parks the next
+/// generation without serving it, activate swaps it in, and activating a
+/// generation that is not the parked one is a conflict.
+#[test]
+fn prepare_activate_round_trip_and_conflicts() {
+    let engine = engine_file("twophase");
+    let server = Server::spawn(&engine, &[]);
+
+    // Nothing prepared: activate is a conflict.
+    let premature = server.round_trip(r#"{"type":"activate","id":1,"generation":2}"#);
+    assert_eq!(status_of(&premature), "error");
+    assert!(premature.contains("\"conflict\""), "{premature}");
+
+    // Prepare generation 2; the entity must NOT serve yet.
+    let prepared = server.round_trip(r#"{"type":"prepare","id":2,"add_entities":["eth zurich"]}"#);
+    assert_eq!(status_of(&prepared), "ok");
+    assert_eq!(field_u64(&prepared, "prepared_generation"), 2, "{prepared}");
+    let v = server.round_trip(r#"{"type":"extract","id":3,"doc":"eth zurich","tau":0.8}"#);
+    assert!(!v.contains("eth zurich\","), "prepared-but-inactive generation must not serve: {v}");
+    let stats = server.round_trip(r#"{"type":"stats","id":4}"#);
+    assert_eq!(field_u64(&stats, "pending_generation"), 2, "{stats}");
+    assert_eq!(field_u64(&stats, "generation"), 1, "{stats}");
+
+    // Activating the wrong id is a conflict and must not swap.
+    let wrong = server.round_trip(r#"{"type":"activate","id":5,"generation":7}"#);
+    assert!(wrong.contains("\"conflict\""), "{wrong}");
+    assert_eq!(field_u64(&server.round_trip(r#"{"type":"stats","id":6}"#), "generation"), 1);
+
+    // Activating the parked id swaps; the entity serves afterwards.
+    let swapped = server.round_trip(r#"{"type":"activate","id":7,"generation":2}"#);
+    assert_eq!(status_of(&swapped), "ok");
+    assert_eq!(field_u64(&swapped, "generation"), 2, "{swapped}");
+    let v = server.round_trip(r#"{"type":"extract","id":8,"doc":"eth zurich","tau":0.8}"#);
+    assert!(v.contains("eth zurich"), "activated generation must serve: {v}");
+    // Health reports the new generation (the fleet handshake reads it).
+    let h = server.round_trip(r#"{"type":"health","id":9}"#);
+    assert_eq!(field_u64(&h, "generation"), 2, "{h}");
+
+    server.round_trip(r#"{"type":"shutdown"}"#);
+    server.wait_for_clean_exit(Duration::from_secs(20));
+    let _ = std::fs::remove_file(&engine);
+}

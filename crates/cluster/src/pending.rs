@@ -1,0 +1,222 @@
+//! The coordinator's exactly-once ledger.
+//!
+//! Every admitted client request gets a coordinator-assigned request id
+//! (*rid*) and one [`PendingTable`] entry. The entry leaves the table by
+//! exactly one of three doors — [`PendingTable::take`] (a response is
+//! forwarded), [`FailOutcome::Exhausted`] (retries used up), or
+//! [`PendingTable::drain`] (final shutdown sweep) — and each door removes
+//! it, so a request can never be answered twice no matter how responses,
+//! resets, and timeouts interleave. A late duplicate response simply finds
+//! no entry.
+//!
+//! At-most-once extraction per replica: [`PendingTable::dispatch`] records
+//! the replica slot in the entry's `tried` list and refuses a slot that is
+//! already there, so a rid is never resent to a replica that may already
+//! be extracting it — a retry always fails over to a different slot.
+//!
+//! The table is deliberately clock-free (expiry is the dispatcher's job),
+//! which is what makes the proptest in `tests/pending_proptest.rs` able to
+//! drive arbitrary interleavings.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+struct Entry<T> {
+    deliver: T,
+    /// The request line with the wire id rewritten to the rid; resent
+    /// verbatim on every attempt.
+    line: String,
+    /// Replica slots this rid has been dispatched to, in order.
+    tried: Vec<usize>,
+    /// Failed attempts recorded so far.
+    failures: u32,
+    /// The last error response observed, kept so an exhausted request is
+    /// answered with the real reason instead of a generic failure.
+    last_error: Option<String>,
+}
+
+/// Outcome of recording a failed attempt.
+#[derive(Debug)]
+pub enum FailOutcome<T> {
+    /// Another attempt is allowed; the entry stays. `failures` is the
+    /// total recorded so far (use it to scale the backoff).
+    Retry { failures: u32 },
+    /// The attempt budget is spent: the entry is removed and must be
+    /// answered now, exactly once, by the caller.
+    Exhausted { deliver: T, last_error: Option<String> },
+    /// The rid was already answered (or never admitted): do nothing.
+    AlreadyAnswered,
+}
+
+/// See the module docs. `T` is the delivery payload (client id + sink in
+/// the coordinator; a plain marker in tests).
+pub struct PendingTable<T> {
+    max_attempts: u32,
+    next_rid: AtomicU64,
+    inner: Mutex<HashMap<u64, Entry<T>>>,
+}
+
+impl<T> PendingTable<T> {
+    /// `max_attempts` is the total number of dispatches a request may
+    /// consume before it is answered as exhausted (min 1).
+    pub fn new(max_attempts: u32) -> Self {
+        PendingTable {
+            max_attempts: max_attempts.max(1),
+            next_rid: AtomicU64::new(1),
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Entry<T>>> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Admits a request, returning its rid. `line` must already carry the
+    /// rid as its wire id.
+    pub fn admit_with_rid(&self, deliver: T, line: String, rid: u64) -> u64 {
+        let entry = Entry { deliver, line, tried: Vec::new(), failures: 0, last_error: None };
+        self.lock().insert(rid, entry);
+        rid
+    }
+
+    /// Reserves the next rid. Split from admission so the caller can embed
+    /// the rid into the wire line before inserting the entry.
+    pub fn next_rid(&self) -> u64 {
+        self.next_rid.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Requests currently awaiting an answer.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Marks an attempt on `replica` and returns the line to send. `None`
+    /// when the rid is gone (already answered — skip the dispatch) or when
+    /// `replica` was already tried (the at-most-once-per-replica guard; a
+    /// correct router never hits it, an incorrect one is stopped here).
+    pub fn dispatch(&self, rid: u64, replica: usize) -> Option<String> {
+        let mut map = self.lock();
+        let entry = map.get_mut(&rid)?;
+        if entry.tried.contains(&replica) {
+            return None;
+        }
+        entry.tried.push(replica);
+        Some(entry.line.clone())
+    }
+
+    /// The replica slots this rid has been dispatched to (empty when the
+    /// rid is gone). The router picks a slot not in this list.
+    pub fn tried(&self, rid: u64) -> Vec<usize> {
+        self.lock().get(&rid).map(|e| e.tried.clone()).unwrap_or_default()
+    }
+
+    /// Takes the entry for answering. The first caller wins; every later
+    /// response for the same rid gets `None` (count it as a duplicate).
+    pub fn take(&self, rid: u64) -> Option<T> {
+        self.lock().remove(&rid).map(|e| e.deliver)
+    }
+
+    /// Reads the payload without removing it (routing decisions: expiry,
+    /// internal-vs-client). `None` when already answered. A decision based
+    /// on the result may race a concurrent `take` — callers must treat a
+    /// later `take` returning `None` as "someone else answered", which the
+    /// exactly-once contract already requires.
+    pub fn peek<R>(&self, rid: u64, f: impl FnOnce(&T) -> R) -> Option<R> {
+        self.lock().get(&rid).map(|e| f(&e.deliver))
+    }
+
+    /// Records a failed attempt (retryable error response, connection
+    /// reset, probe-timeout requeue). `error_line` is the replica's error
+    /// response when there was one.
+    pub fn fail(&self, rid: u64, error_line: Option<String>) -> FailOutcome<T> {
+        let mut map = self.lock();
+        let Some(entry) = map.get_mut(&rid) else {
+            return FailOutcome::AlreadyAnswered;
+        };
+        entry.failures += 1;
+        if error_line.is_some() {
+            entry.last_error = error_line;
+        }
+        if entry.failures >= self.max_attempts {
+            let entry = map.remove(&rid).expect("entry present under the same lock");
+            return FailOutcome::Exhausted { deliver: entry.deliver, last_error: entry.last_error };
+        }
+        FailOutcome::Retry { failures: entry.failures }
+    }
+
+    /// Removes and returns every remaining entry (the shutdown sweep: the
+    /// caller answers each as shed so counters reconcile).
+    pub fn drain(&self) -> Vec<(u64, T)> {
+        self.lock().drain().map(|(rid, e)| (rid, e.deliver)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn admit(table: &PendingTable<&'static str>, payload: &'static str) -> u64 {
+        let rid = table.next_rid();
+        table.admit_with_rid(payload, format!("line-{rid}"), rid)
+    }
+
+    #[test]
+    fn take_is_exactly_once() {
+        let t = PendingTable::new(3);
+        let rid = admit(&t, "a");
+        assert_eq!(t.take(rid), Some("a"));
+        assert_eq!(t.take(rid), None, "second take must observe the first");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn dispatch_refuses_a_replica_already_tried() {
+        let t = PendingTable::new(3);
+        let rid = admit(&t, "a");
+        assert_eq!(t.dispatch(rid, 0).as_deref(), Some("line-1"));
+        assert_eq!(t.dispatch(rid, 0), None, "same slot twice would risk double extraction");
+        assert_eq!(t.dispatch(rid, 1).as_deref(), Some("line-1"));
+        assert_eq!(t.tried(rid), vec![0, 1]);
+    }
+
+    #[test]
+    fn fail_exhausts_after_max_attempts_and_keeps_last_error() {
+        let t = PendingTable::new(2);
+        let rid = admit(&t, "a");
+        match t.fail(rid, Some("err-1".into())) {
+            FailOutcome::Retry { failures: 1 } => {}
+            other => panic!("expected first Retry, got {other:?}"),
+        }
+        match t.fail(rid, None) {
+            FailOutcome::Exhausted { deliver: "a", last_error: Some(e) } => assert_eq!(e, "err-1"),
+            other => panic!("expected Exhausted keeping the error, got {other:?}"),
+        }
+        assert!(matches!(t.fail(rid, None), FailOutcome::AlreadyAnswered));
+        assert_eq!(t.take(rid), None, "exhaustion already delivered the entry");
+    }
+
+    #[test]
+    fn drain_removes_everything_once() {
+        let t = PendingTable::new(3);
+        let a = admit(&t, "a");
+        let _b = admit(&t, "b");
+        assert_eq!(t.take(a), Some("a"));
+        let drained = t.drain();
+        assert_eq!(drained.len(), 1, "only the unanswered entry remains");
+        assert_eq!(drained[0].1, "b");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn rids_are_unique_and_monotonic() {
+        let t: PendingTable<()> = PendingTable::new(1);
+        let a = t.next_rid();
+        let b = t.next_rid();
+        assert!(b > a);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property test for the coordinator's exactly-once ledger.
+//!
+//! Drives a [`PendingTable`] through arbitrary interleavings of the events
+//! the coordinator generates — dispatches, replica responses (including
+//! late duplicates), injected connection resets and retryable failures —
+//! and checks the two invariants the cluster is built on:
+//!
+//! 1. every admitted request is delivered exactly once (counting the final
+//!    drain sweep), no matter how the events interleave;
+//! 2. no replica slot is ever handed the same request twice.
+
+use aeetes_cluster::{FailOutcome, PendingTable};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+const RIDS: usize = 5;
+const REPLICAS: usize = 3;
+
+/// One injected event: `(kind, rid index, replica)`.
+type Op = (u8, usize, usize);
+
+fn apply(table: &PendingTable<usize>, rids: &[u64], op: Op, delivered: &mut HashMap<u64, u32>, dispatched: &mut HashSet<(u64, usize)>) {
+    let (kind, rid_idx, replica) = op;
+    let rid = rids[rid_idx];
+    match kind % 4 {
+        // A routing decision: the router picks a replica not yet tried.
+        // Feeding it arbitrary (possibly repeated) replicas exercises the
+        // table's own at-most-once-per-replica guard.
+        0 => {
+            if table.dispatch(rid, replica).is_some() {
+                assert!(dispatched.insert((rid, replica)), "rid {rid} dispatched to replica {replica} twice");
+            }
+        }
+        // A replica response arrives — possibly long after the request was
+        // answered through another door (the duplicate case).
+        1 => {
+            if table.take(rid).is_some() {
+                *delivered.entry(rid).or_insert(0) += 1;
+            }
+        }
+        // An injected reset / retryable error response: a failed attempt.
+        // Exhaustion is itself a delivery (the caller answers the client).
+        2 => {
+            let error = if replica == 0 { None } else { Some(format!("err-{replica}")) };
+            if let FailOutcome::Exhausted { .. } = table.fail(rid, error) {
+                *delivered.entry(rid).or_insert(0) += 1;
+            }
+        }
+        // A reset racing a response: failure then a late duplicate. If the
+        // failure exhausts the budget, the duplicate must find nothing.
+        _ => {
+            if let FailOutcome::Exhausted { .. } = table.fail(rid, None) {
+                *delivered.entry(rid).or_insert(0) += 1;
+                assert!(table.take(rid).is_none(), "a response racing an exhaustion must lose");
+            } else if table.take(rid).is_some() {
+                *delivered.entry(rid).or_insert(0) += 1;
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Exactly-once delivery and at-most-once-per-replica dispatch hold
+    /// for every interleaving of responses, resets, and retries.
+    #[test]
+    fn no_interleaving_double_delivers(
+        max_attempts in 1u32..5,
+        ops in proptest::collection::vec((0u8..4, 0usize..RIDS, 0usize..REPLICAS), 0..120),
+    ) {
+        let table: PendingTable<usize> = PendingTable::new(max_attempts);
+        let rids: Vec<u64> = (0..RIDS)
+            .map(|i| {
+                let rid = table.next_rid();
+                table.admit_with_rid(i, format!("line-{rid}"), rid)
+            })
+            .collect();
+        let mut delivered: HashMap<u64, u32> = HashMap::new();
+        let mut dispatched: HashSet<(u64, usize)> = HashSet::new();
+
+        for op in ops {
+            apply(&table, &rids, op, &mut delivered, &mut dispatched);
+        }
+
+        // The shutdown sweep is the last delivery door.
+        for (rid, _) in table.drain() {
+            *delivered.entry(rid).or_insert(0) += 1;
+        }
+
+        for rid in &rids {
+            prop_assert_eq!(
+                delivered.get(rid).copied().unwrap_or(0),
+                1,
+                "rid {} must be delivered exactly once across responses, exhaustion, and drain",
+                rid
+            );
+        }
+        prop_assert!(table.is_empty(), "nothing may survive the drain");
+    }
+}

@@ -1,0 +1,145 @@
+//! The coordinator's fleet metric bundle.
+//!
+//! The cluster coordinator (`crates/cluster`) records its routing and
+//! failure-handling decisions here: how many requests were routed, retried
+//! after a retryable failure, failed over to another replica, and how many
+//! replicas were resynced after crashing mid-generation-swap. Per-replica
+//! families are labeled by replica id so a scrape shows which member of
+//! the fleet is absorbing retries.
+//!
+//! Like [`crate::ExtractMetrics`] this is a bundle of pre-registered `Arc`
+//! handles: recording touches only striped atomics, never the registry.
+
+use crate::{Counter, Gauge, MetricRegistry};
+use std::sync::Arc;
+
+/// Fleet-wide (unlabeled) coordinator metrics. Per-replica views are
+/// acquired per replica via [`FleetMetrics::replica`].
+pub struct FleetMetrics {
+    /// `aeetes_fleet_routed_total`: extract requests dispatched to a replica
+    /// (counted per attempt, so retries route again).
+    pub routed: Arc<Counter>,
+    /// `aeetes_fleet_retried_total`: attempts re-dispatched after a
+    /// retryable failure (shedding/timeout/connection reset).
+    pub retried: Arc<Counter>,
+    /// `aeetes_fleet_failed_over_total`: retries that moved to a *different*
+    /// replica (a subset of `retried`).
+    pub failed_over: Arc<Counter>,
+    /// `aeetes_fleet_resyncs_total`: replicas brought back to the fleet
+    /// generation after a crash or a missed swap.
+    pub resyncs: Arc<Counter>,
+    /// `aeetes_fleet_answered_total{outcome=...}`: admitted client requests
+    /// answered, by final outcome. `served + shed + failed` reconciles with
+    /// admissions — the exactly-once ledger.
+    pub answered_served: Arc<Counter>,
+    pub answered_shed: Arc<Counter>,
+    pub answered_failed: Arc<Counter>,
+    /// `aeetes_fleet_duplicates_total`: replica responses discarded because
+    /// the request was already answered (late arrival after a failover won
+    /// the race). Nonzero is fine; each one is a duplicate the pending
+    /// table suppressed.
+    pub duplicates: Arc<Counter>,
+    /// `aeetes_fleet_replicas_up`: replicas currently routable.
+    pub replicas_up: Arc<Gauge>,
+    /// `aeetes_fleet_pending`: admitted requests not yet answered.
+    pub pending: Arc<Gauge>,
+    /// `aeetes_fleet_generation_id`: the generation the fleet has converged
+    /// on (the coordinator's view).
+    pub generation: Arc<Gauge>,
+    /// `aeetes_fleet_reloads_total`: two-phase fleet reloads completed.
+    pub reloads: Arc<Counter>,
+    registry: Arc<MetricRegistry>,
+}
+
+/// Per-replica labeled handles, acquired once per replica at spawn/attach
+/// time so the routing path does no registry lookups.
+pub struct ReplicaMetrics {
+    /// `aeetes_fleet_replica_routed_total{replica=...}`.
+    pub routed: Arc<Counter>,
+    /// `aeetes_fleet_replica_failures_total{replica=...}`: attempts this
+    /// replica failed (error response with a retryable code, reset, or
+    /// probe timeout).
+    pub failures: Arc<Counter>,
+    /// `aeetes_fleet_replica_restarts_total{replica=...}`: times the
+    /// supervisor respawned this replica slot.
+    pub restarts: Arc<Counter>,
+    /// `aeetes_fleet_replica_up{replica=...}`: 1 when routable.
+    pub up: Arc<Gauge>,
+}
+
+impl FleetMetrics {
+    /// Registers (or re-acquires) the coordinator families in `registry`.
+    pub fn register(registry: &Arc<MetricRegistry>) -> Self {
+        let outcome = |o| registry.counter_with("aeetes_fleet_answered_total", "Admitted client requests answered, by outcome", &[("outcome", o)]);
+        FleetMetrics {
+            routed: registry.counter("aeetes_fleet_routed_total", "Extract attempts dispatched to a replica"),
+            retried: registry.counter("aeetes_fleet_retried_total", "Attempts re-dispatched after a retryable failure"),
+            failed_over: registry.counter("aeetes_fleet_failed_over_total", "Retries that moved to a different replica"),
+            resyncs: registry.counter("aeetes_fleet_resyncs_total", "Replicas resynced to the fleet generation after rejoin"),
+            answered_served: outcome("served"),
+            answered_shed: outcome("shed"),
+            answered_failed: outcome("failed"),
+            duplicates: registry.counter("aeetes_fleet_duplicates_total", "Late replica responses discarded as already answered"),
+            replicas_up: registry.gauge("aeetes_fleet_replicas_up", "Replicas currently routable"),
+            pending: registry.gauge("aeetes_fleet_pending", "Admitted requests awaiting an answer"),
+            generation: registry.gauge("aeetes_fleet_generation_id", "Generation the fleet has converged on"),
+            reloads: registry.counter("aeetes_fleet_reloads_total", "Two-phase fleet reloads completed"),
+            registry: Arc::clone(registry),
+        }
+    }
+
+    /// Acquires the labeled per-replica handles for `replica_id`.
+    pub fn replica(&self, replica_id: usize) -> ReplicaMetrics {
+        let id = replica_id.to_string();
+        let labels = [("replica", id.as_str())];
+        ReplicaMetrics {
+            routed: self
+                .registry
+                .counter_with("aeetes_fleet_replica_routed_total", "Extract attempts dispatched, per replica", &labels),
+            failures: self.registry.counter_with(
+                "aeetes_fleet_replica_failures_total",
+                "Failed attempts (retryable error, reset, probe timeout), per replica",
+                &labels,
+            ),
+            restarts: self
+                .registry
+                .counter_with("aeetes_fleet_replica_restarts_total", "Supervisor respawns of this replica slot", &labels),
+            up: self.registry.gauge_with("aeetes_fleet_replica_up", "1 when the replica is routable", &labels),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_register_is_idempotent_and_replica_handles_are_labeled() {
+        let reg = Arc::new(MetricRegistry::new());
+        let a = FleetMetrics::register(&reg);
+        let b = FleetMetrics::register(&reg);
+        a.routed.inc(2);
+        b.routed.inc(3);
+        assert_eq!(a.routed.value(), 5, "same family must resolve to the same instance");
+
+        let r0 = a.replica(0);
+        let r1 = a.replica(1);
+        r0.failures.inc(1);
+        assert_eq!(r0.failures.value(), 1);
+        assert_eq!(r1.failures.value(), 0, "labels must separate replica series");
+        let r0_again = b.replica(0);
+        assert_eq!(r0_again.failures.value(), 1, "re-acquiring the same label must share the series");
+    }
+
+    #[test]
+    fn answered_outcomes_are_distinct_series() {
+        let reg = Arc::new(MetricRegistry::new());
+        let m = FleetMetrics::register(&reg);
+        m.answered_served.inc(4);
+        m.answered_shed.inc(2);
+        m.answered_failed.inc(1);
+        assert_eq!(m.answered_served.value(), 4);
+        assert_eq!(m.answered_shed.value(), 2);
+        assert_eq!(m.answered_failed.value(), 1);
+    }
+}

@@ -18,10 +18,12 @@
 //! [`ExtractCounts`]).
 
 mod export;
+mod fleet;
 mod registry;
 mod stage;
 
 pub use export::{json, prometheus_text};
+pub use fleet::{FleetMetrics, ReplicaMetrics};
 pub use registry::{Counter, Gauge, Histogram, MetricRegistry, MetricSnapshot, MetricValue};
 pub use stage::{Stage, StageSlots, StageTimer, SAMPLE_MASK};
 

@@ -66,6 +66,35 @@ impl fmt::Display for UpdateError {
 
 impl std::error::Error for UpdateError {}
 
+/// Errors activating a prepared generation (the commit half of the
+/// two-phase delta protocol used by fleet coordinators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivateError {
+    /// No generation is prepared (never prepared, already activated, or
+    /// invalidated by a direct [`ShardedEngine::apply_update`]).
+    NothingPrepared,
+    /// A generation is prepared, but under a different id than requested.
+    WrongGeneration {
+        /// Id of the generation currently prepared.
+        prepared: u64,
+        /// Id the caller asked to activate.
+        requested: u64,
+    },
+}
+
+impl fmt::Display for ActivateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActivateError::NothingPrepared => write!(f, "no prepared generation to activate"),
+            ActivateError::WrongGeneration { prepared, requested } => {
+                write!(f, "prepared generation is {prepared}, not {requested}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ActivateError {}
+
 /// The sharded extraction engine: an atomically swappable current
 /// [`Generation`] plus an update lock serializing writers.
 ///
@@ -74,10 +103,21 @@ impl std::error::Error for UpdateError {}
 /// epoch pointer swap is the only write they can observe). Updates build
 /// the next generation off to the side — rebuilding only affected shards —
 /// and swap when fully constructed.
+///
+/// Updates come in two flavors: [`ShardedEngine::apply_update`] builds and
+/// swaps in one step, and the [`ShardedEngine::prepare_update`] /
+/// [`ShardedEngine::activate`] pair splits build from swap so a fleet
+/// coordinator can prepare a delta on every replica before any of them
+/// starts serving it (no mixed-generation window across a fleet).
 pub struct ShardedEngine {
     current: RwLock<Arc<Generation>>,
-    /// Serializes `apply_update` calls; never held while readers extract.
+    /// Serializes `apply_update`/`prepare_update`/`activate` calls; never
+    /// held while readers extract.
     update_lock: Mutex<()>,
+    /// A generation built by `prepare_update` awaiting `activate`. Always
+    /// exactly one ahead of `current` when present: a direct `apply_update`
+    /// clears it, so a prepared generation can never go stale silently.
+    pending: Mutex<Option<Arc<Generation>>>,
 }
 
 /// Resolves a requested shard count: `0` means the machine's available
@@ -133,7 +173,11 @@ impl ShardedEngine {
         let order = Arc::new(GlobalOrder::build_many(&refs, interner));
         let shards = index_shards(dds, &order);
         let generation = Generation::assemble(1, interner.clone(), dict, Vec::new(), rules.clone(), config, order, shards);
-        ShardedEngine { current: RwLock::new(Arc::new(generation)), update_lock: Mutex::new(()) }
+        ShardedEngine {
+            current: RwLock::new(Arc::new(generation)),
+            update_lock: Mutex::new(()),
+            pending: Mutex::new(None),
+        }
     }
 
     /// The current generation. The returned snapshot stays fully usable
@@ -164,89 +208,59 @@ impl ShardedEngine {
     pub fn apply_update(&self, delta: &DictDelta, tokenizer: &Tokenizer) -> Result<Arc<Generation>, UpdateError> {
         let _guard = self.update_lock.lock().unwrap_or_else(|p| p.into_inner());
         let cur = self.snapshot();
-        let n = cur.shard_count();
-
-        for e in &delta.remove_entities {
-            if e.idx() >= cur.dict.len() {
-                return Err(UpdateError::UnknownEntity(e.0));
-            }
-        }
-
-        let mut interner = cur.interner.clone();
-        let mut dict = cur.dict.clone();
-        let mut rules = cur.rules.clone();
-        let mut removed: BTreeSet<u32> = cur.removed.iter().map(|e| e.0).collect();
-
-        // New rules go into the full table and (as token copies) into a
-        // fresh table used only to test which existing origins they touch.
-        let mut fresh_rules = RuleSet::new();
-        for r in &delta.add_rules {
-            let id = rules
-                .push_weighted_str(&r.lhs, &r.rhs, r.weight, tokenizer, &mut interner)
-                .map_err(UpdateError::Rule)?;
-            let rule = rules.rule(id);
-            fresh_rules
-                .push_tokens(rule.lhs.clone(), rule.rhs.clone(), rule.weight)
-                .map_err(UpdateError::Rule)?;
-        }
-
-        let first_new = dict.len() as u32;
-        for raw in &delta.add_entities {
-            dict.push(raw, tokenizer, &mut interner);
-        }
-
-        let mut affected = vec![false; n];
-        for e in &delta.remove_entities {
-            if removed.insert(e.0) {
-                affected[shard_of(*e, n)] = true;
-            }
-        }
-        for id in first_new..dict.len() as u32 {
-            affected[shard_of(EntityId(id), n)] = true;
-        }
-        if !fresh_rules.is_empty() {
-            for (e, ent) in dict.iter() {
-                if removed.contains(&e.0) || affected[shard_of(e, n)] {
-                    continue;
-                }
-                if !find_applications(&ent.tokens, &fresh_rules).is_empty() {
-                    affected[shard_of(e, n)] = true;
-                }
-            }
-        }
-
-        let affected_ids: Vec<usize> = (0..n).filter(|&i| affected[i]).collect();
-        let keep = |e: EntityId| !removed.contains(&e.0);
-        let new_dds: Vec<DerivedDictionary> = std::thread::scope(|s| {
-            let dict = &dict;
-            let rules = &rules;
-            let config = &cur.config;
-            let keep = &keep;
-            let handles: Vec<_> = affected_ids
-                .iter()
-                .map(|&i| s.spawn(move || DerivedDictionary::build_filtered(dict, rules, &config.derive, |e| shard_of(e, n) == i && keep(e))))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("shard derivation panicked")).collect()
-        });
-
-        // Freeze existing token keys; only genuinely new tokens get keys,
-        // placed after every existing one. Unaffected shards' indexes keep
-        // their old `Arc<GlobalOrder>`, which agrees on every key they can
-        // ever look up.
-        let refs: Vec<&DerivedDictionary> = new_dds.iter().collect();
-        let order = Arc::new(cur.order.extend(&refs, &interner));
-
-        let rebuilt = index_shards(new_dds, &order);
-        let mut shards = cur.shards.clone();
-        for (&i, shard) in affected_ids.iter().zip(rebuilt) {
-            shard.inherit_counters(&cur.shards[i]);
-            shards[i] = shard;
-        }
-
-        let removed: Vec<EntityId> = removed.into_iter().map(EntityId).collect();
-        let next = Arc::new(Generation::assemble(cur.id() + 1, interner, dict, removed, rules, cur.config.clone(), order, shards));
+        let next = build_next(&cur, delta, tokenizer)?;
+        // A direct apply invalidates any prepared-but-unactivated generation:
+        // it was built against a current that no longer exists.
+        *self.pending.lock().unwrap_or_else(|p| p.into_inner()) = None;
         *self.current.write().unwrap_or_else(|p| p.into_inner()) = Arc::clone(&next);
         Ok(next)
+    }
+
+    /// Builds the next generation from `delta` without swapping it in
+    /// (phase one of two-phase delta shipping). The prepared generation is
+    /// returned and retained until [`ShardedEngine::activate`] commits it,
+    /// a later `prepare_update` replaces it, or [`ShardedEngine::apply_update`]
+    /// invalidates it. Serving is untouched: readers keep extracting the
+    /// current generation.
+    pub fn prepare_update(&self, delta: &DictDelta, tokenizer: &Tokenizer) -> Result<Arc<Generation>, UpdateError> {
+        let _guard = self.update_lock.lock().unwrap_or_else(|p| p.into_inner());
+        let cur = self.snapshot();
+        let next = build_next(&cur, delta, tokenizer)?;
+        *self.pending.lock().unwrap_or_else(|p| p.into_inner()) = Some(Arc::clone(&next));
+        Ok(next)
+    }
+
+    /// Swaps in the generation previously built by
+    /// [`ShardedEngine::prepare_update`] (phase two). `generation_id` must
+    /// name the prepared generation exactly — a coordinator that prepared
+    /// id `N` on every replica activates `N` everywhere, and a replica
+    /// whose prepared id diverged fails loudly instead of serving a
+    /// mismatched dictionary.
+    pub fn activate(&self, generation_id: u64) -> Result<Arc<Generation>, ActivateError> {
+        let _guard = self.update_lock.lock().unwrap_or_else(|p| p.into_inner());
+        let mut pending = self.pending.lock().unwrap_or_else(|p| p.into_inner());
+        match pending.as_ref() {
+            None => Err(ActivateError::NothingPrepared),
+            Some(next) if next.id() != generation_id => Err(ActivateError::WrongGeneration { prepared: next.id(), requested: generation_id }),
+            Some(next) => {
+                let next = Arc::clone(next);
+                *pending = None;
+                *self.current.write().unwrap_or_else(|p| p.into_inner()) = Arc::clone(&next);
+                Ok(next)
+            }
+        }
+    }
+
+    /// Id of the prepared-but-unactivated generation, if any.
+    pub fn pending_generation(&self) -> Option<u64> {
+        self.pending.lock().unwrap_or_else(|p| p.into_inner()).as_ref().map(|g| g.id())
+    }
+
+    /// Discards a prepared generation without activating it. Returns the
+    /// discarded id, or `None` when nothing was prepared.
+    pub fn abort_prepare(&self) -> Option<u64> {
+        let _guard = self.update_lock.lock().unwrap_or_else(|p| p.into_inner());
+        self.pending.lock().unwrap_or_else(|p| p.into_inner()).take().map(|g| g.id())
     }
 
     /// Snapshots the current generation into persistable parts
@@ -262,7 +276,99 @@ impl ShardedEngine {
             segments: g.shards.iter().map(|s| s.dd.clone()).collect(),
         }
     }
+}
 
+/// Builds `cur + delta` as a fully-assembled next generation, rebuilding
+/// only the shards owning an added, removed, or rule-affected origin; the
+/// rest are reused by reference. The global order is extended append-only
+/// (existing keys frozen), so the reused indexes remain correct next to
+/// the rebuilt ones. Pure with respect to the engine: callers decide
+/// whether (and when) the result becomes current.
+fn build_next(cur: &Generation, delta: &DictDelta, tokenizer: &Tokenizer) -> Result<Arc<Generation>, UpdateError> {
+    let n = cur.shard_count();
+
+    for e in &delta.remove_entities {
+        if e.idx() >= cur.dict.len() {
+            return Err(UpdateError::UnknownEntity(e.0));
+        }
+    }
+
+    let mut interner = cur.interner.clone();
+    let mut dict = cur.dict.clone();
+    let mut rules = cur.rules.clone();
+    let mut removed: BTreeSet<u32> = cur.removed.iter().map(|e| e.0).collect();
+
+    // New rules go into the full table and (as token copies) into a
+    // fresh table used only to test which existing origins they touch.
+    let mut fresh_rules = RuleSet::new();
+    for r in &delta.add_rules {
+        let id = rules
+            .push_weighted_str(&r.lhs, &r.rhs, r.weight, tokenizer, &mut interner)
+            .map_err(UpdateError::Rule)?;
+        let rule = rules.rule(id);
+        fresh_rules
+            .push_tokens(rule.lhs.clone(), rule.rhs.clone(), rule.weight)
+            .map_err(UpdateError::Rule)?;
+    }
+
+    let first_new = dict.len() as u32;
+    for raw in &delta.add_entities {
+        dict.push(raw, tokenizer, &mut interner);
+    }
+
+    let mut affected = vec![false; n];
+    for e in &delta.remove_entities {
+        if removed.insert(e.0) {
+            affected[shard_of(*e, n)] = true;
+        }
+    }
+    for id in first_new..dict.len() as u32 {
+        affected[shard_of(EntityId(id), n)] = true;
+    }
+    if !fresh_rules.is_empty() {
+        for (e, ent) in dict.iter() {
+            if removed.contains(&e.0) || affected[shard_of(e, n)] {
+                continue;
+            }
+            if !find_applications(&ent.tokens, &fresh_rules).is_empty() {
+                affected[shard_of(e, n)] = true;
+            }
+        }
+    }
+
+    let affected_ids: Vec<usize> = (0..n).filter(|&i| affected[i]).collect();
+    let keep = |e: EntityId| !removed.contains(&e.0);
+    let new_dds: Vec<DerivedDictionary> = std::thread::scope(|s| {
+        let dict = &dict;
+        let rules = &rules;
+        let config = &cur.config;
+        let keep = &keep;
+        let handles: Vec<_> = affected_ids
+            .iter()
+            .map(|&i| s.spawn(move || DerivedDictionary::build_filtered(dict, rules, &config.derive, |e| shard_of(e, n) == i && keep(e))))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("shard derivation panicked")).collect()
+    });
+
+    // Freeze existing token keys; only genuinely new tokens get keys,
+    // placed after every existing one. Unaffected shards' indexes keep
+    // their old `Arc<GlobalOrder>`, which agrees on every key they can
+    // ever look up.
+    let refs: Vec<&DerivedDictionary> = new_dds.iter().collect();
+    let order = Arc::new(cur.order.extend(&refs, &interner));
+
+    let rebuilt = index_shards(new_dds, &order);
+    let mut shards = cur.shards.clone();
+    for (&i, shard) in affected_ids.iter().zip(rebuilt) {
+        shard.inherit_counters(&cur.shards[i]);
+        shards[i] = shard;
+    }
+
+    let removed: Vec<EntityId> = removed.into_iter().map(EntityId).collect();
+    Ok(Arc::new(Generation::assemble(cur.id() + 1, interner, dict, removed, rules, cur.config.clone(), order, shards)))
+}
+
+impl ShardedEngine {
     /// Reconstructs an engine from persisted parts, as generation 1.
     ///
     /// `shards` overrides the shard count (`None` keeps the artifact's
@@ -305,7 +411,11 @@ impl ShardedEngine {
         let order = Arc::new(GlobalOrder::build_many(&refs, &interner));
         let built = index_shards(dds, &order);
         let generation = Generation::assemble(1, interner, dict, removed, rules, config, order, built);
-        Ok(ShardedEngine { current: RwLock::new(Arc::new(generation)), update_lock: Mutex::new(()) })
+        Ok(ShardedEngine {
+            current: RwLock::new(Arc::new(generation)),
+            update_lock: Mutex::new(()),
+            pending: Mutex::new(None),
+        })
     }
 }
 
@@ -493,6 +603,100 @@ mod tests {
         assert_eq!(stats.len(), 4);
         assert!(stats.iter().all(|s| s.served == 1), "every shard answers every request: {stats:?}");
         assert_eq!(stats.iter().map(|s| s.entities).sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn prepare_then_activate_equals_direct_apply() {
+        let (dict, rules, int, tok) = fixture();
+        let delta = DictDelta {
+            add_entities: vec!["eth zurich ch".into()],
+            remove_entities: vec![EntityId(1)],
+            add_rules: vec![RuleDelta { lhs: "ch".into(), rhs: "switzerland".into(), weight: 1.0 }],
+        };
+        let direct = ShardedEngine::build(dict.clone(), &rules, &int, AeetesConfig::default(), 4);
+        direct.apply_update(&delta, &tok).expect("direct update");
+
+        let two_phase = ShardedEngine::build(dict, &rules, &int, AeetesConfig::default(), 4);
+        let prepared = two_phase.prepare_update(&delta, &tok).expect("prepare");
+        assert_eq!(prepared.id(), 2);
+        assert_eq!(two_phase.pending_generation(), Some(2));
+        // Prepared but not activated: serving still answers generation 1.
+        assert_eq!(two_phase.generation_id(), 1);
+        let mut int2 = prepared.interner().clone();
+        let doc = Document::parse("eth zurich switzerland", &tok, &mut int2);
+        assert!(two_phase.snapshot().extract_all(&doc, 0.7).is_empty(), "new entity invisible before activate");
+
+        let activated = two_phase.activate(2).expect("activate");
+        assert_eq!(activated.id(), 2);
+        assert_eq!(two_phase.generation_id(), 2);
+        assert_eq!(two_phase.pending_generation(), None);
+        for text in ["eth zurich switzerland", "purdue university united states", "uq au"] {
+            let doc = Document::parse(text, &tok, &mut int2);
+            for tau in [0.6, 0.9] {
+                assert_eq!(
+                    two_phase.snapshot().extract_all(&doc, tau),
+                    direct.snapshot().extract_all(&doc, tau),
+                    "two-phase must serve exactly what a direct apply serves: doc={text} tau={tau}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn activate_without_or_with_wrong_prepare_fails() {
+        let (dict, rules, int, tok) = fixture();
+        let engine = ShardedEngine::build(dict, &rules, &int, AeetesConfig::default(), 2);
+        assert_eq!(engine.activate(2).err(), Some(ActivateError::NothingPrepared));
+        engine
+            .prepare_update(&DictDelta { add_entities: vec!["x y z".into()], ..Default::default() }, &tok)
+            .expect("prepare");
+        assert_eq!(engine.activate(7).err(), Some(ActivateError::WrongGeneration { prepared: 2, requested: 7 }));
+        assert_eq!(engine.generation_id(), 1, "failed activations must not swap");
+        assert_eq!(engine.activate(2).expect("activate").id(), 2);
+        assert_eq!(engine.activate(2).err(), Some(ActivateError::NothingPrepared), "activation is one-shot");
+    }
+
+    #[test]
+    fn direct_apply_invalidates_prepared_generation() {
+        let (dict, rules, int, tok) = fixture();
+        let engine = ShardedEngine::build(dict, &rules, &int, AeetesConfig::default(), 2);
+        engine
+            .prepare_update(&DictDelta { add_entities: vec!["stale pending".into()], ..Default::default() }, &tok)
+            .expect("prepare");
+        engine
+            .apply_update(&DictDelta { add_entities: vec!["direct".into()], ..Default::default() }, &tok)
+            .expect("apply");
+        assert_eq!(engine.pending_generation(), None, "apply_update must clear a stale prepare");
+        assert_eq!(engine.activate(2).err(), Some(ActivateError::NothingPrepared));
+        assert_eq!(engine.generation_id(), 2);
+    }
+
+    #[test]
+    fn reprepare_replaces_and_abort_discards() {
+        let (dict, rules, int, tok) = fixture();
+        let engine = ShardedEngine::build(dict, &rules, &int, AeetesConfig::default(), 2);
+        assert_eq!(engine.abort_prepare(), None);
+        engine
+            .prepare_update(&DictDelta { add_entities: vec!["first".into()], ..Default::default() }, &tok)
+            .expect("prepare");
+        let second = engine
+            .prepare_update(&DictDelta { add_entities: vec!["second".into()], ..Default::default() }, &tok)
+            .expect("re-prepare");
+        assert_eq!(second.id(), 2, "both prepares build against generation 1");
+        assert_eq!(engine.abort_prepare(), Some(2));
+        assert_eq!(engine.pending_generation(), None);
+        assert_eq!(engine.generation_id(), 1);
+        // The second prepare's content is what was parked: re-prepare and
+        // activate to confirm the replacement delta (not the first) wins.
+        engine
+            .prepare_update(&DictDelta { add_entities: vec!["second".into()], ..Default::default() }, &tok)
+            .expect("prepare again");
+        let generation = engine.activate(2).expect("activate");
+        let mut int2 = generation.interner().clone();
+        let doc = Document::parse("second", &tok, &mut int2);
+        assert!(!generation.extract_all(&doc, 1.0).is_empty());
+        let doc = Document::parse("first", &tok, &mut int2);
+        assert!(generation.extract_all(&doc, 1.0).is_empty());
     }
 
     #[test]

@@ -25,9 +25,16 @@
 //! already hold a [`Generation`] snapshot keep extracting against the old
 //! epoch until they drop it: updates never block or corrupt in-flight
 //! extractions.
+//!
+//! For fleet-wide dictionary swaps the update splits into two phases:
+//! [`ShardedEngine::prepare_update`] builds the next generation off to the
+//! side and parks it, [`ShardedEngine::activate`] commits it by id. A
+//! coordinator prepares a delta on every replica first and only then
+//! activates everywhere, so no replica ever serves a generation its peers
+//! have not at least finished building.
 
 mod engine;
 mod generation;
 
-pub use engine::{DictDelta, RuleDelta, ShardedEngine, UpdateError};
+pub use engine::{ActivateError, DictDelta, RuleDelta, ShardedEngine, UpdateError};
 pub use generation::{shard_of, Generation, Shard, ShardStats};

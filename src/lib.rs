@@ -53,6 +53,7 @@
 //! ```
 
 pub use aeetes_baselines as baselines;
+pub use aeetes_cluster as cluster;
 pub use aeetes_core as core;
 pub use aeetes_datagen as datagen;
 pub use aeetes_index as index;
@@ -62,12 +63,13 @@ pub use aeetes_shard as shard;
 pub use aeetes_sim as sim;
 pub use aeetes_text as text;
 
+pub use aeetes_cluster::{run_fleet, FleetOptions, FleetSummary, ReplicaSpec};
 pub use aeetes_core::{
     extract_batch, extract_fuzzy, extract_top_k, load_engine, mention_report, save_engine, suppress_overlaps, Aeetes, AeetesConfig, EditIndex,
     EditMatch, ExtractStats, FuzzyConfig, Match, MentionReport, PersistError, Strategy,
 };
 pub use aeetes_rules::{DeriveConfig, DerivedDictionary, RuleSet};
-pub use aeetes_shard::{DictDelta, RuleDelta, ShardedEngine};
+pub use aeetes_shard::{ActivateError, DictDelta, RuleDelta, ShardedEngine};
 pub use aeetes_sim::Metric;
 pub use aeetes_text::{Dictionary, Document, EntityId, Interner, Span, TokenId, Tokenizer};
 
