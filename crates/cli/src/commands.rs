@@ -38,10 +38,13 @@ USAGE:
                     [--metrics-listen ADDR:PORT] [--workers N] [--queue N]
                     [--max-doc-bytes N] [--timeout-ceiling SECS]
                     [--max-matches N] [--max-candidates N] [--drain SECS]
-                    [--idle-timeout SECS] [--max-conns N]
+                    [--idle-timeout SECS] [--max-conns N] [--wal FILE]
     aeetes fleet    --engine ENGINE [--replicas N | --replica ADDR:PORT ...]
                     [--listen ADDR:PORT] [--retries N] [--health-interval SECS]
+                    [--wal FILE] [--compact-threshold N]
                     (plus any serve flag, forwarded to spawned replicas)
+    aeetes wal      (inspect | compact) --wal FILE [--records] [--json]
+                    [--engine ENGINE]
     aeetes profile  (--engine ENGINE --doc FILE |
                      [--profile pubmed|dbworld|usjob] [--scale F] [--seed N])
                     [--tau F] [--runs N] [--warmup N] [--docs N]
@@ -76,6 +79,16 @@ the same protocol, load-balances extracts, retries retryable failures on a
 different replica, respawns crashed replicas, and ships `reload` deltas
 two-phase so the fleet never serves mixed generations; see README
 \"Cluster\".
+
+`--wal FILE` (serve and fleet) makes reloads crash-safe: every activated
+delta is appended to a write-ahead log and fsynced *before* the ok ack,
+and a restart replays the log's committed suffix over the engine artifact
+— an acknowledged generation survives even SIGKILL or power loss. A fleet
+coordinator additionally compacts the log into a fresh artifact every
+--compact-threshold deltas (needs --engine). `aeetes wal inspect` reports
+a log's committed state (repairing any torn tail, exactly as recovery
+would); `aeetes wal compact --wal FILE --engine ENGINE` folds the log into
+the artifact offline and resets it. See README \"Durability\".
 
 `profile` runs all four candidate-generation strategies over the same
 documents and prints a per-stage timing table (tokenize, remap,
@@ -168,16 +181,12 @@ pub fn build(argv: &[String]) -> Result<i32, String> {
     Ok(EXIT_OK)
 }
 
-/// Writes `bytes` to `path` atomically: a crash mid-write can leave a stale
-/// `.tmp` file behind but never a truncated engine under the final name
-/// (rename within one directory is atomic on POSIX).
+/// Writes `bytes` to `path` atomically *and durably*: the temp file is
+/// fsynced before the rename and the parent directory after it, so a crash
+/// (or power loss) at any point leaves either the old contents or the
+/// complete new ones — never a truncated engine under the final name.
 fn atomic_write(path: &str, bytes: &[u8]) -> Result<(), String> {
-    let tmp = format!("{path}.tmp.{}", std::process::id());
-    fs::write(&tmp, bytes).map_err(|e| format!("{tmp}: {e}"))?;
-    fs::rename(&tmp, path).map_err(|e| {
-        let _ = fs::remove_file(&tmp);
-        format!("{path}: {e}")
-    })
+    aeetes_core::atomic_replace(std::path::Path::new(path), bytes).map_err(|e| format!("{path}: {e}"))
 }
 
 fn load(path: &str) -> Result<(Aeetes, Interner), String> {
@@ -346,6 +355,7 @@ pub fn serve_cmd(argv: &[String]) -> Result<i32, String> {
             "drain",
             "idle-timeout",
             "max-conns",
+            "wal",
         ],
     )?;
     let engine_path = args.required("engine")?;
@@ -381,6 +391,7 @@ pub fn serve_cmd(argv: &[String]) -> Result<i32, String> {
         drain: Duration::from_secs_f64(drain),
         idle_timeout: Duration::from_secs_f64(idle_timeout),
         max_conns: args.parse_or("max-conns", defaults.max_conns)?,
+        wal: args.optional("wal").map(std::path::PathBuf::from),
     };
     let bytes = fs::read(engine_path).map_err(|e| format!("{engine_path}: {e}"))?;
     let parts = load_sharded(&bytes).map_err(|e| format!("{engine_path}: {e}"))?;
@@ -407,6 +418,8 @@ pub fn fleet_cmd(argv: &[String]) -> Result<i32, String> {
             "probe-timeout",
             "reload-timeout",
             "drain",
+            "wal",
+            "compact-threshold",
             // Serve flags forwarded verbatim to spawned replicas.
             "shards",
             "workers",
@@ -421,8 +434,24 @@ pub fn fleet_cmd(argv: &[String]) -> Result<i32, String> {
     let defaults = FleetOptions::default();
     let mut replicas: Vec<ReplicaSpec> = Vec::new();
     // --replica addr[,addr...] names externally managed serve processes.
+    // Addresses are validated here, at parse time: a typo'd or duplicated
+    // endpoint fails the command immediately instead of surfacing later as
+    // an endless revive loop against a dead (or doubly-routed) slot.
     if let Some(list) = args.optional("replica") {
+        let mut seen = std::collections::HashSet::new();
         for addr in list.split(',').map(str::trim).filter(|a| !a.is_empty()) {
+            use std::net::ToSocketAddrs;
+            match addr.to_socket_addrs() {
+                Ok(mut resolved) => {
+                    if resolved.next().is_none() {
+                        return Err(format!("--replica {addr}: resolves to no address"));
+                    }
+                }
+                Err(e) => return Err(format!("--replica {addr}: not a usable ADDR:PORT ({e})")),
+            }
+            if !seen.insert(addr.to_string()) {
+                return Err(format!("--replica {addr}: duplicate address; each replica endpoint must be listed once"));
+            }
             replicas.push(ReplicaSpec::Remote { addr: addr.to_string() });
         }
     }
@@ -472,6 +501,19 @@ pub fn fleet_cmd(argv: &[String]) -> Result<i32, String> {
         }
         Ok(Duration::from_secs_f64(v))
     };
+    let wal = args.optional("wal").map(std::path::PathBuf::from);
+    // Compaction rewrites the replicas' engine artifact, so it needs the
+    // artifact path; with remote-only replicas and no --engine the log
+    // still makes reloads durable, it just never compacts.
+    let compactor: Option<aeetes_cluster::Compactor> = match (&wal, args.optional("engine")) {
+        (Some(_), Some(engine_path)) => {
+            let path = engine_path.to_string();
+            Some(std::sync::Arc::new(move |deltas: &[serde_json::Value], base: u64, target: u64| {
+                compact_artifact(&path, deltas, base, target)
+            }))
+        }
+        _ => None,
+    };
     let opts = FleetOptions {
         listen: args.optional("listen").unwrap_or("127.0.0.1:0").to_string(),
         replicas,
@@ -483,8 +525,149 @@ pub fn fleet_cmd(argv: &[String]) -> Result<i32, String> {
         probe_timeout: secs("probe-timeout", defaults.probe_timeout)?,
         reload_timeout: secs("reload-timeout", defaults.reload_timeout)?,
         drain: secs("drain", defaults.drain)?,
+        wal,
+        compact_threshold: args.parse_or("compact-threshold", defaults.compact_threshold)?,
+        compactor,
     };
     run_fleet(opts)?;
+    Ok(EXIT_OK)
+}
+
+/// Folds logged deltas into the engine artifact: load, apply the suffix the
+/// artifact has not yet seen, save at `target`, and atomically (and
+/// durably) replace the file. Used by the fleet coordinator's compaction
+/// and by `aeetes wal compact`. Delta `i` of `deltas` takes generation
+/// `base + i` to `base + i + 1`.
+fn compact_artifact(engine_path: &str, deltas: &[serde_json::Value], base: u64, target: u64) -> Result<(), String> {
+    let bytes = fs::read(engine_path).map_err(|e| format!("{engine_path}: {e}"))?;
+    let parts = load_sharded(&bytes).map_err(|e| format!("{engine_path}: {e}"))?;
+    let engine = ShardedEngine::from_parts(parts, None).map_err(|e| format!("{engine_path}: {e}"))?;
+    let tokenizer = Tokenizer::default();
+    let artifact_gen = engine.generation_id();
+    if artifact_gen < base || artifact_gen > target {
+        return Err(format!(
+            "{engine_path}: artifact is at generation {artifact_gen}, outside the log's [{base}, {target}] — wrong artifact?"
+        ));
+    }
+    for (i, delta) in deltas.iter().enumerate().skip((artifact_gen - base) as usize) {
+        let delta = crate::protocol::parse_delta(delta).map_err(|e| format!("{engine_path}: logged delta {i}: {e}"))?;
+        let generation = engine
+            .apply_update(&delta, &tokenizer)
+            .map_err(|e| format!("{engine_path}: applying logged delta {i}: {e}"))?;
+        let expected = base + i as u64 + 1;
+        if generation.id() != expected {
+            return Err(format!("{engine_path}: logged delta {i} rebuilt generation {}, expected {expected}", generation.id()));
+        }
+    }
+    if engine.generation_id() != target {
+        return Err(format!("{engine_path}: compaction ended at generation {}, wanted {target}", engine.generation_id()));
+    }
+    atomic_write(engine_path, &save_sharded(&engine.to_parts()))
+}
+
+/// `aeetes wal`: inspect or compact a delta write-ahead log offline.
+pub fn wal_cmd(argv: &[String]) -> Result<i32, String> {
+    match argv.first().map(String::as_str) {
+        Some("inspect") => wal_inspect(&argv[1..]),
+        Some("compact") => wal_compact(&argv[1..]),
+        Some(other) => Err(format!("unknown wal action `{other}` (inspect|compact)")),
+        None => Err("usage: aeetes wal (inspect | compact) --wal FILE ...".into()),
+    }
+}
+
+/// `aeetes wal inspect`: report the log's committed state. Opening performs
+/// the same torn-tail repair recovery would (the discarded bytes were never
+/// acknowledged), and reports how many bytes it dropped.
+fn wal_inspect(argv: &[String]) -> Result<i32, String> {
+    let args = Args::parse(argv, &["json", "records"], &["wal"])?;
+    let path = args.required("wal")?;
+    let (wal, replay) = aeetes_core::Wal::open(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    let records: Vec<serde_json::Value> = replay
+        .records
+        .iter()
+        .map(|r| {
+            // Payloads are canonical delta JSON; a non-JSON payload is
+            // reported as opaque rather than failing the inspection.
+            let delta: serde_json::Value = std::str::from_utf8(&r.payload)
+                .ok()
+                .and_then(|text| serde_json::from_str(text).ok())
+                .unwrap_or(serde_json::Value::Null);
+            let count = |field: &str| delta.get(field).and_then(serde_json::Value::as_array).map_or(0, Vec::len);
+            serde_json::json!({
+                "generation": r.generation,
+                "payload_bytes": r.payload.len(),
+                "add_entities": count("add_entities"),
+                "remove_entities": count("remove_entities"),
+                "add_rules": count("add_rules"),
+            })
+        })
+        .collect();
+    if args.switch("json") {
+        let out = serde_json::json!({
+            "path": path,
+            "base_generation": wal.base_generation(),
+            "last_generation": wal.last_generation(),
+            "records": wal.record_count(),
+            "committed_bytes": wal.len_bytes(),
+            "torn_bytes_truncated": replay.truncated_bytes,
+            "record_details": records,
+        });
+        println!("{out}");
+        return Ok(EXIT_OK);
+    }
+    println!("wal                  {path}");
+    println!("base generation      {}", wal.base_generation());
+    println!("last generation      {}", wal.last_generation());
+    println!("committed records    {}", wal.record_count());
+    println!("committed bytes      {}", wal.len_bytes());
+    println!("torn bytes truncated {}", replay.truncated_bytes);
+    if args.switch("records") {
+        let field = |r: &serde_json::Value, name: &str| r.get(name).and_then(serde_json::Value::as_u64).unwrap_or(0);
+        for r in &records {
+            println!(
+                "  generation {:>6}  {:>8} bytes  +{} entities  -{} entities  +{} rules",
+                field(r, "generation"),
+                field(r, "payload_bytes"),
+                field(r, "add_entities"),
+                field(r, "remove_entities"),
+                field(r, "add_rules")
+            );
+        }
+    }
+    Ok(EXIT_OK)
+}
+
+/// `aeetes wal compact`: fold the log's deltas into the engine artifact
+/// (rewritten durably at the log's last generation), then reset the log to
+/// a fresh header at that generation. Restarting a server afterwards loads
+/// the compacted artifact and replays nothing.
+fn wal_compact(argv: &[String]) -> Result<i32, String> {
+    let args = Args::parse(argv, &[], &["wal", "engine"])?;
+    let path = args.required("wal")?;
+    let engine_path = args.required("engine")?;
+    let (mut wal, replay) = aeetes_core::Wal::open(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    if replay.records.is_empty() {
+        eprintln!("{path}: no committed records; nothing to compact");
+        return Ok(EXIT_OK);
+    }
+    let deltas: Vec<serde_json::Value> = replay
+        .records
+        .iter()
+        .map(|r| {
+            std::str::from_utf8(&r.payload)
+                .map_err(|e| format!("{path}: generation {} record: payload is not UTF-8: {e}", r.generation))
+                .and_then(|text| {
+                    serde_json::from_str(text).map_err(|e| format!("{path}: generation {} record: payload is not JSON: {e}", r.generation))
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    let (base, target) = (wal.base_generation(), wal.last_generation());
+    compact_artifact(engine_path, &deltas, base, target)?;
+    // The artifact now carries every logged delta; reset the log *after*
+    // the artifact is durable. A crash between the two steps is safe:
+    // recovery skips records at or below the artifact's generation.
+    wal.reset(target).map_err(|e| format!("{path}: resetting after compaction: {e}"))?;
+    eprintln!("compacted {} delta(s) into {engine_path} at generation {target}; {path} reset", deltas.len());
     Ok(EXIT_OK)
 }
 

@@ -7,7 +7,8 @@
 //!                [--timeout SECS] [--max-candidates N] [--max-matches N]
 //! aeetes serve   --engine ENGINE [--listen ADDR:PORT] [--workers N]
 //!                [--queue N] [--drain SECS] [--metrics-listen ADDR:PORT]
-//!                [...ceiling flags]
+//!                [--wal FILE] [...ceiling flags]
+//! aeetes wal     (inspect | compact) --wal FILE [--engine ENGINE]
 //! aeetes profile (--engine ENGINE --doc FILE | [--profile NAME] [--seed N])
 //!                [--tau F] [--runs N] [--warmup N] [--docs N]
 //! aeetes stats   --engine ENGINE
@@ -32,6 +33,7 @@ fn main() {
         Some("serve") => commands::serve_cmd(&argv[1..]),
         Some("fleet") => commands::fleet_cmd(&argv[1..]),
         Some("profile") => commands::profile_cmd(&argv[1..]),
+        Some("wal") => commands::wal_cmd(&argv[1..]),
         Some("stats") => commands::stats(&argv[1..]),
         Some("generate") => commands::generate_cmd(&argv[1..]),
         Some("demo") => commands::demo(),

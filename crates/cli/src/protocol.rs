@@ -47,6 +47,8 @@
 //! | `conflict`    | activate id ≠ prepared generation id      | no     |
 
 use aeetes_core::ExtractLimits;
+use aeetes_shard::{DictDelta, RuleDelta};
+use aeetes_text::EntityId;
 use serde_json::{json, Value};
 use std::time::Duration;
 
@@ -365,6 +367,39 @@ fn parse_extract(id: Value, value: &Value, ceilings: &Ceilings) -> Result<Reques
     Ok(Request::Extract(Box::new(ExtractRequest { id, doc, tau, best, limits })))
 }
 
+/// Parses a bare delta body (the reload fields without the `type`/`id`
+/// envelope) into the engine's [`DictDelta`]. This is the decoder for WAL
+/// payloads: the server logs each activated delta as canonical JSON (see
+/// [`delta_value`]) and replays it through here on restart, and the fleet
+/// coordinator's compactor folds logged deltas into a fresh artifact with
+/// the same code path. Validation is identical to a live `reload` request.
+pub fn parse_delta(value: &Value) -> Result<DictDelta, String> {
+    match parse_reload(Value::Null, value, false) {
+        Ok(Request::Reload(req)) => Ok(DictDelta {
+            add_entities: req.add_entities,
+            remove_entities: req.remove_entities.into_iter().map(EntityId).collect(),
+            add_rules: req.add_rules.into_iter().map(|(lhs, rhs, weight)| RuleDelta { lhs, rhs, weight }).collect(),
+        }),
+        Ok(_) => unreachable!("parse_reload(prepare=false) only returns Reload"),
+        Err(reject) => Err(reject.message),
+    }
+}
+
+/// Canonical JSON body of a delta — the exact shape [`parse_delta`]
+/// accepts, used as the WAL record payload. Round-trips losslessly:
+/// `parse_delta(&delta_value(&d)) == d`.
+pub fn delta_value(delta: &DictDelta) -> Value {
+    json!({
+        "add_entities": delta.add_entities,
+        "remove_entities": delta.remove_entities.iter().map(|e| e.0).collect::<Vec<u32>>(),
+        "add_rules": delta
+            .add_rules
+            .iter()
+            .map(|r| json!({"lhs": r.lhs, "rhs": r.rhs, "weight": r.weight}))
+            .collect::<Vec<Value>>(),
+    })
+}
+
 fn optional_u64(id: &Value, value: &Value, field: &str) -> Result<Option<u64>, Reject> {
     match value.get(field) {
         None => Ok(None),
@@ -587,6 +622,29 @@ mod tests {
         ] {
             assert_eq!(parse(line).unwrap_err().code, ErrorCode::BadRequest, "{line}");
         }
+    }
+
+    #[test]
+    fn delta_payload_round_trips() {
+        let delta = DictDelta {
+            add_entities: vec!["eth zurich".into(), "uq au".into()],
+            remove_entities: vec![EntityId(3), EntityId(9)],
+            add_rules: vec![RuleDelta { lhs: "uq".into(), rhs: "university of queensland".into(), weight: 0.75 }],
+        };
+        let v = delta_value(&delta);
+        let back = parse_delta(&v).unwrap();
+        assert_eq!(back.add_entities, delta.add_entities);
+        assert_eq!(back.remove_entities, delta.remove_entities);
+        assert_eq!(back.add_rules.len(), 1);
+        assert_eq!(back.add_rules[0].lhs, "uq");
+        assert_eq!(back.add_rules[0].weight, 0.75);
+        // And through actual bytes, as the WAL stores it.
+        let bytes = v.to_string().into_bytes();
+        let reparsed: Value = serde_json::from_str(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        assert_eq!(parse_delta(&reparsed).unwrap().add_entities, delta.add_entities);
+        // Malformed payloads surface as errors, never panics.
+        assert!(parse_delta(&json!({"add_entities": [1]})).is_err());
+        assert!(parse_delta(&json!({"add_rules": [{"lhs": "a"}]})).is_err());
     }
 
     #[test]

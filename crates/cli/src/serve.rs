@@ -38,15 +38,18 @@
 //!   only per-thread-striped atomics, so telemetry adds no contention to
 //!   the hot path.
 
-use crate::protocol::{error_line, ok_line, parse_request, Ceilings, ErrorCode, ExtractRequest, Reject, ReloadRequest, Request};
-use aeetes_core::{suppress_overlaps, CancelToken, ExtractBackend, ExtractLimits, ExtractScratch, Match, Stage};
-use aeetes_obs::{Counter, ExtractCounts, ExtractMetrics, Gauge, Histogram, MetricRegistry};
+use crate::protocol::{
+    delta_value, error_line, ok_line, parse_delta, parse_request, Ceilings, ErrorCode, ExtractRequest, Reject, ReloadRequest, Request,
+};
+use aeetes_core::{suppress_overlaps, CancelToken, ExtractBackend, ExtractLimits, ExtractScratch, Match, Stage, Wal};
+use aeetes_obs::{Counter, ExtractCounts, ExtractMetrics, Gauge, Histogram, MetricRegistry, WalMetrics};
 use aeetes_shard::{DictDelta, Generation, RuleDelta, ShardedEngine};
 use aeetes_text::{Document, EntityId, Interner, Tokenizer};
 use serde_json::{json, Number, Value};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, Mutex};
@@ -79,6 +82,12 @@ pub struct ServeOptions {
     /// and closed — bounded handler threads, flat memory under a connection
     /// flood. `0` means 1.
     pub max_conns: usize,
+    /// `Some(path)`: write-ahead log for dictionary deltas. Every activated
+    /// delta is appended and fsynced *before* its `ok` ack, and on startup
+    /// the log's committed suffix is replayed over the loaded artifact, so
+    /// a crash (even SIGKILL mid-reload) never loses an acknowledged
+    /// generation. `None`: reloads are memory-only, as before.
+    pub wal: Option<PathBuf>,
 }
 
 impl Default for ServeOptions {
@@ -92,6 +101,7 @@ impl Default for ServeOptions {
             drain: Duration::from_secs(5),
             idle_timeout: Duration::from_secs(300),
             max_conns: 1024,
+            wal: None,
         }
     }
 }
@@ -121,6 +131,9 @@ struct ServeMetrics {
     conns: Arc<Gauge>,
     conns_rejected: Arc<Counter>,
     idle_closed: Arc<Counter>,
+    /// The `aeetes_wal_*` family (registered even without `--wal`, so the
+    /// scrape shape is stable; all zeros when no log is attached).
+    wal: WalMetrics,
     /// Shard-counter values already pushed into the per-shard counter
     /// families, so a scrape increments each by its delta (the engine's
     /// shard counters are cumulative; obs counters only go up).
@@ -146,6 +159,7 @@ impl ServeMetrics {
             conns: registry.gauge("aeetes_connections", "Protocol connections currently open"),
             conns_rejected: registry.counter("aeetes_conns_rejected_total", "Connections refused by the --max-conns cap"),
             idle_closed: registry.counter("aeetes_idle_closed_total", "Connections closed by the per-connection idle read timeout"),
+            wal: WalMetrics::register(&registry),
             shard_last: Mutex::new(Vec::new()),
             registry,
         }
@@ -171,6 +185,23 @@ struct Shared {
     /// Fired when the drain deadline passes: stops in-flight extractions
     /// mid-document (threaded into the engine's budget sentinel).
     cancel: CancelToken,
+    /// The delta write-ahead log (`--wal`). The mutex serializes appends;
+    /// ordering against the engine's generation counter is provided by
+    /// `reload_serial`, which every reload-family request holds end to end.
+    wal: Option<Mutex<Wal>>,
+    /// Latched on the first failed append/sync: further reload-family
+    /// requests are rejected with a structured error (durability can no
+    /// longer be promised) while extraction continues unaffected.
+    wal_failed: AtomicBool,
+    /// The delta body of the most recent successful `prepare`, keyed by its
+    /// prepared generation id, stashed so `activate` can log it — the WAL
+    /// records *activated* deltas, and activation is when the two-phase
+    /// path commits.
+    prepared_delta: Mutex<Option<(u64, Vec<u8>)>>,
+    /// Serializes reload/prepare/activate across connections so WAL record
+    /// generations are appended in the same order the engine assigns them.
+    /// Control-plane only; the extract path never touches it.
+    reload_serial: Mutex<()>,
 }
 
 impl Shared {
@@ -256,6 +287,45 @@ impl Shared {
                 .gauge_with("aeetes_shard_build_nanos", "Index build wall time of the shard's current generation", &labels)
                 .set(s.build_nanos.min(i64::MAX as u64) as i64);
         }
+    }
+
+    /// Commits one activated delta to the WAL: append, then fsync, then —
+    /// and only then — may the caller ack. A failure latches `wal_failed`
+    /// (the delta stays applied in memory but is reported as *not*
+    /// acknowledged, so a restart legitimately comes back without it).
+    /// No-op without `--wal`.
+    fn wal_commit(&self, generation: u64, payload: &[u8]) -> Result<(), String> {
+        let Some(wal) = &self.wal else { return Ok(()) };
+        let m = &self.metrics.wal;
+        let mut wal = wal.lock().unwrap_or_else(|p| p.into_inner());
+        let result = (|| {
+            wal.append(generation, payload)?;
+            let sync_started = Instant::now();
+            wal.sync()?;
+            m.fsync_nanos.observe_nanos(u64::try_from(sync_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            Ok::<(), aeetes_core::WalError>(())
+        })();
+        match result {
+            Ok(()) => {
+                m.appends.inc(1);
+                m.append_bytes.inc(payload.len() as u64);
+                m.records.set(wal.record_count().min(i64::MAX as u64) as i64);
+                m.bytes.set(wal.len_bytes().min(i64::MAX as u64) as i64);
+                Ok(())
+            }
+            Err(e) => {
+                m.append_failures.inc(1);
+                self.wal_failed.store(true, Ordering::Relaxed);
+                Err(format!("wal append for generation {generation} failed: {e}"))
+            }
+        }
+    }
+
+    /// The structured rejection for reload-family requests once the WAL has
+    /// failed: durability can no longer be promised, so no further delta is
+    /// accepted, while extraction continues on the current generation.
+    fn wal_poisoned(&self) -> bool {
+        self.wal.is_some() && self.wal_failed.load(Ordering::Relaxed)
     }
 
     /// Renders the full registry (after a scrape refresh) as Prometheus
@@ -419,6 +489,12 @@ fn run_job(shared: &Shared, generation: &Generation, interner: &mut Interner, sc
         }
     }
 }
+
+/// Rejection message once the WAL has latched failed: the server keeps
+/// extracting on its current generation but accepts no further deltas it
+/// could not make durable.
+const WAL_POISONED_MSG: &str =
+    "write-ahead log failed on an earlier commit; reloads are disabled (extraction continues; restart with a healthy --wal path)";
 
 /// Lowers a reload/prepare request into the engine's delta type, keeping
 /// the correlation id for the response.
@@ -618,11 +694,27 @@ fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink, tx
                     continue;
                 }
                 let (id, delta) = delta_of(*req);
+                if shared.wal_poisoned() {
+                    respond(sink, &error_line(&Reject { id, code: ErrorCode::Internal, message: WAL_POISONED_MSG.into() }));
+                    continue;
+                }
                 // The rebuild runs on this connection's reader thread: other
                 // connections keep extracting against the old generation
-                // until the atomic swap inside `apply_update`.
+                // until the atomic swap inside `apply_update`. The serial
+                // lock orders concurrent reloads so WAL records are appended
+                // in generation order.
+                let _serial = shared.reload_serial.lock().unwrap_or_else(|p| p.into_inner());
                 match shared.engine.apply_update(&delta, &shared.tokenizer) {
                     Ok(generation) => {
+                        // Durability before acknowledgement: the delta is
+                        // fsynced into the WAL, and only then acked. On WAL
+                        // failure the client gets an error — the new
+                        // generation serves until the process dies, but a
+                        // restart (correctly) comes back without it.
+                        if let Err(e) = shared.wal_commit(generation.id(), delta_value(&delta).to_string().as_bytes()) {
+                            respond(sink, &error_line(&Reject { id, code: ErrorCode::Internal, message: e }));
+                            continue;
+                        }
                         shared.metrics.generation_swaps.inc(1);
                         shared.metrics.generation.set(generation.id().min(i64::MAX as u64) as i64);
                         let line = json!({
@@ -646,10 +738,21 @@ fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink, tx
                     continue;
                 }
                 let (id, delta) = delta_of(*req);
+                if shared.wal_poisoned() {
+                    respond(sink, &error_line(&Reject { id, code: ErrorCode::Internal, message: WAL_POISONED_MSG.into() }));
+                    continue;
+                }
                 // Builds the next generation but keeps serving the current
                 // one; the swap happens when `activate` names the id.
+                let _serial = shared.reload_serial.lock().unwrap_or_else(|p| p.into_inner());
                 match shared.engine.prepare_update(&delta, &shared.tokenizer) {
                     Ok(generation) => {
+                        // Stash the delta body for activate-time WAL commit:
+                        // the log records *activated* deltas only, and a
+                        // parked preparation that never activates must not
+                        // be replayed after a restart.
+                        *shared.prepared_delta.lock().unwrap_or_else(|p| p.into_inner()) =
+                            Some((generation.id(), delta_value(&delta).to_string().into_bytes()));
                         let line = json!({
                             "id": id,
                             "status": "ok",
@@ -666,8 +769,31 @@ fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink, tx
             }
             Ok(Request::Activate { id, generation }) => {
                 shared.metrics.control.inc(1);
+                if shared.wal_poisoned() {
+                    respond(sink, &error_line(&Reject { id, code: ErrorCode::Internal, message: WAL_POISONED_MSG.into() }));
+                    continue;
+                }
+                let _serial = shared.reload_serial.lock().unwrap_or_else(|p| p.into_inner());
                 match shared.engine.activate(generation) {
                     Ok(generation) => {
+                        // Activation is the two-phase commit point: log the
+                        // stashed prepare body before acking. A missing or
+                        // mismatched stash cannot happen while the serial
+                        // lock orders prepare/activate, but is handled as a
+                        // commit failure rather than a panic.
+                        let stashed = shared.prepared_delta.lock().unwrap_or_else(|p| p.into_inner()).take();
+                        let commit = match stashed {
+                            Some((gen, payload)) if gen == generation.id() => shared.wal_commit(generation.id(), &payload),
+                            _ if shared.wal.is_some() => {
+                                shared.wal_failed.store(true, Ordering::Relaxed);
+                                Err(format!("activated generation {} has no stashed prepare body to log", generation.id()))
+                            }
+                            _ => Ok(()),
+                        };
+                        if let Err(e) = commit {
+                            respond(sink, &error_line(&Reject { id, code: ErrorCode::Internal, message: e }));
+                            continue;
+                        }
                         shared.metrics.generation_swaps.inc(1);
                         shared.metrics.generation.set(generation.id().min(i64::MAX as u64) as i64);
                         respond(sink, &json!({"id": id, "status": "ok", "generation": generation.id()}).to_string());
@@ -715,19 +841,91 @@ fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink, tx
     }
 }
 
+/// Opens (or creates) the delta WAL at `path` and replays its committed
+/// suffix over the freshly loaded artifact, bringing the engine to the
+/// last *acknowledged* generation. The log may legitimately begin before
+/// the artifact's generation (a compaction that crashed between rewriting
+/// the artifact and resetting the log): already-folded records are
+/// skipped. A log that starts *after* the artifact is a hard error — the
+/// deltas needed to bridge the gap are gone.
+fn recover_wal(engine: &ShardedEngine, tokenizer: &Tokenizer, path: &Path, metrics: &WalMetrics) -> Result<Wal, String> {
+    let started = Instant::now();
+    let artifact_gen = engine.generation_id();
+    let (wal, replay) = Wal::open_or_create(path, artifact_gen).map_err(|e| format!("{}: {e}", path.display()))?;
+    if wal.base_generation() > artifact_gen {
+        return Err(format!(
+            "{}: log starts at generation {} but the engine artifact is at {artifact_gen}; \
+             the artifact predates the log (restore the matching artifact or remove the log)",
+            path.display(),
+            wal.base_generation()
+        ));
+    }
+    let mut replayed = 0u64;
+    for record in &replay.records {
+        if record.generation <= artifact_gen {
+            continue; // already folded into the artifact by a compaction
+        }
+        let text = std::str::from_utf8(&record.payload)
+            .map_err(|e| format!("{}: generation {} record: payload is not UTF-8: {e}", path.display(), record.generation))?;
+        let body: Value = serde_json::from_str(text)
+            .map_err(|e| format!("{}: generation {} record: payload is not JSON: {e}", path.display(), record.generation))?;
+        let delta = parse_delta(&body).map_err(|e| format!("{}: generation {} record: {e}", path.display(), record.generation))?;
+        let generation = engine
+            .apply_update(&delta, tokenizer)
+            .map_err(|e| format!("{}: replaying the delta for generation {} failed: {e}", path.display(), record.generation))?;
+        if generation.id() != record.generation {
+            return Err(format!(
+                "{}: replay drift: the record for generation {} rebuilt generation {}",
+                path.display(),
+                record.generation,
+                generation.id()
+            ));
+        }
+        replayed += 1;
+    }
+    metrics.replayed_records.inc(replayed);
+    metrics.truncated_bytes.inc(replay.truncated_bytes);
+    metrics
+        .recovery_nanos
+        .set(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX).min(i64::MAX as u64) as i64);
+    metrics.records.set(wal.record_count().min(i64::MAX as u64) as i64);
+    metrics.bytes.set(wal.len_bytes().min(i64::MAX as u64) as i64);
+    if replayed > 0 || replay.truncated_bytes > 0 {
+        eprintln!(
+            "wal: recovered to generation {} ({} delta(s) replayed, {} torn byte(s) truncated)",
+            engine.generation_id(),
+            replayed,
+            replay.truncated_bytes
+        );
+    }
+    Ok(wal)
+}
+
 /// Runs the server until shutdown/EOF, then drains. Returns the final
 /// (served, shed, failed) counters.
 pub fn serve(engine: ShardedEngine, opts: &ServeOptions) -> Result<(u64, u64, u64), String> {
+    let tokenizer = Tokenizer::default();
+    let metrics = ServeMetrics::register();
+    // WAL-over-snapshot recovery runs before any request is admitted: the
+    // first extraction already sees the last acknowledged generation.
+    let wal = match &opts.wal {
+        None => None,
+        Some(path) => Some(Mutex::new(recover_wal(&engine, &tokenizer, path, &metrics.wal)?)),
+    };
     let shared = Arc::new(Shared {
         engine,
-        tokenizer: Tokenizer::default(),
+        tokenizer,
         ceilings: opts.ceilings,
         idle_timeout: opts.idle_timeout,
         max_conns: opts.max_conns.max(1),
-        metrics: ServeMetrics::register(),
+        metrics,
         start: Instant::now(),
         draining: AtomicBool::new(false),
         cancel: CancelToken::new(),
+        wal,
+        wal_failed: AtomicBool::new(false),
+        prepared_delta: Mutex::new(None),
+        reload_serial: Mutex::new(()),
     });
     shared.metrics.generation.set(shared.engine.snapshot().id().min(i64::MAX as u64) as i64);
     // Bind before entering either transport loop so a bad address fails the

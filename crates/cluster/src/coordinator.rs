@@ -38,18 +38,30 @@ use crate::backoff::Backoff;
 use crate::pending::{FailOutcome, PendingTable};
 use crate::replica::{sync_request, Handshake, Replica, ReplicaSpec};
 use crate::retryable_code;
-use aeetes_obs::{FleetMetrics, MetricRegistry, ReplicaMetrics};
+use aeetes_core::{Wal, WalError};
+use aeetes_obs::{FleetMetrics, MetricRegistry, ReplicaMetrics, WalMetrics};
 use serde_json::{json, Map, Value};
 use std::collections::BinaryHeap;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// Folds logged deltas into a fresh engine artifact. Called by the
+/// coordinator when the delta log passes the compaction threshold, with
+/// `(deltas, base, target)`: the full log, the generation the log starts
+/// at, and the generation the rewritten artifact must load as. The
+/// implementation lives with the embedder (the CLI) because the cluster
+/// crate speaks only the wire protocol and cannot rebuild engines itself.
+/// It must write the artifact durably (fsync + atomic rename); only after
+/// it returns `Ok` does the coordinator reset its log.
+pub type Compactor = Arc<dyn Fn(&[Value], u64, u64) -> Result<(), String> + Send + Sync>;
+
 /// Tuning knobs of one fleet run.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct FleetOptions {
     /// Client-facing listener address (`:0` lets the OS pick).
     pub listen: String,
@@ -72,6 +84,18 @@ pub struct FleetOptions {
     pub reload_timeout: Duration,
     /// How long the final drain may wait for in-flight work.
     pub drain: Duration,
+    /// `Some(path)`: durable delta log. Every fleet-wide activated delta
+    /// is appended and fsynced before the client's ack, and a restarted
+    /// coordinator restores its generation math and resync log from disk
+    /// instead of refusing rejoining replicas it no longer remembers.
+    pub wal: Option<PathBuf>,
+    /// Compact the log into a fresh artifact (via `compactor`) once it
+    /// holds this many deltas, bounding both the log file and the
+    /// in-memory delta log. `0` disables compaction.
+    pub compact_threshold: usize,
+    /// Artifact rewriter used by compaction; `None` disables compaction
+    /// even when the threshold is set.
+    pub compactor: Option<Compactor>,
 }
 
 impl Default for FleetOptions {
@@ -86,6 +110,9 @@ impl Default for FleetOptions {
             probe_timeout: Duration::from_secs(2),
             reload_timeout: Duration::from_secs(30),
             drain: Duration::from_secs(5),
+            wal: None,
+            compact_threshold: 64,
+            compactor: None,
         }
     }
 }
@@ -136,6 +163,15 @@ struct Fleet {
     /// Serializes fleet reloads and supervisor resyncs: a replica is never
     /// resynced mid-two-phase, and generation math sees a stable log.
     reload_lock: Mutex<()>,
+    /// The durable delta log (`--wal`). `None` inside the mutex until the
+    /// base generation is known: restored from disk at startup, or created
+    /// at the first replica handshake.
+    wal: Mutex<Option<Wal>>,
+    /// Latched on the first failed append/sync/reset: further reloads are
+    /// refused (their durability could not be promised) while extraction
+    /// routing continues unaffected.
+    wal_failed: AtomicBool,
+    wmetrics: WalMetrics,
     opts: FleetOptions,
     start: Instant,
     round_robin: AtomicUsize,
@@ -144,6 +180,97 @@ struct Fleet {
 impl Fleet {
     fn up_count(&self) -> i64 {
         self.replicas.iter().filter(|r| r.is_up()).count() as i64
+    }
+
+    /// Creates the delta WAL at `base` if `--wal` was given and no log is
+    /// open yet (the base generation is only known once the first replica
+    /// handshakes, unless a log was restored from disk at startup).
+    fn ensure_wal(&self, base: u64) -> Result<(), String> {
+        let Some(path) = &self.opts.wal else { return Ok(()) };
+        let mut slot = self.wal.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_some() {
+            return Ok(());
+        }
+        let (wal, _replay) = Wal::open_or_create(path, base).map_err(|e| format!("{}: {e}", path.display()))?;
+        self.wmetrics.records.set(wal.record_count().min(i64::MAX as u64) as i64);
+        self.wmetrics.bytes.set(wal.len_bytes().min(i64::MAX as u64) as i64);
+        *slot = Some(wal);
+        Ok(())
+    }
+
+    /// Appends + fsyncs one fleet-wide activated delta; only after this
+    /// returns `Ok` may the client be acked. A failure latches
+    /// `wal_failed`: the fleet *has* activated the delta (in-memory state
+    /// and the replicas are consistent) but a coordinator restart may not
+    /// remember it, so the client is told and further reloads are refused.
+    fn wal_commit(&self, generation: u64, delta: &Value) -> Result<(), String> {
+        let mut slot = self.wal.lock().unwrap_or_else(|p| p.into_inner());
+        let Some(wal) = slot.as_mut() else { return Ok(()) };
+        let payload = delta.to_string();
+        let result = (|| {
+            wal.append(generation, payload.as_bytes())?;
+            let sync_started = Instant::now();
+            wal.sync()?;
+            self.wmetrics
+                .fsync_nanos
+                .observe_nanos(u64::try_from(sync_started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            Ok::<(), WalError>(())
+        })();
+        match result {
+            Ok(()) => {
+                self.wmetrics.appends.inc(1);
+                self.wmetrics.append_bytes.inc(payload.len() as u64);
+                self.wmetrics.records.set(wal.record_count().min(i64::MAX as u64) as i64);
+                self.wmetrics.bytes.set(wal.len_bytes().min(i64::MAX as u64) as i64);
+                Ok(())
+            }
+            Err(e) => {
+                self.wmetrics.append_failures.inc(1);
+                self.wal_failed.store(true, Ordering::Relaxed);
+                Err(format!("delta log append for generation {generation} failed: {e}"))
+            }
+        }
+    }
+
+    /// Runs under the reload lock after a successful fleet reload: once the
+    /// log passes the threshold, fold it into a fresh artifact via the
+    /// embedder's compactor, then reset log + base. Compaction failure is
+    /// reported but non-fatal — the log simply keeps growing until a later
+    /// attempt succeeds; a *reset* failure after the artifact was already
+    /// rewritten latches `wal_failed` (recovery remains correct: replay of
+    /// already-folded records is skipped by generation number).
+    fn maybe_compact(&self) {
+        let threshold = self.opts.compact_threshold;
+        let Some(compactor) = &self.opts.compactor else { return };
+        if threshold == 0 {
+            return;
+        }
+        let log_len = self.delta_log.lock().unwrap_or_else(|p| p.into_inner()).len();
+        if log_len < threshold {
+            return;
+        }
+        let deltas = self.delta_log.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        let base = self.base_generation.load(Ordering::Relaxed);
+        let target = self.generation.load(Ordering::Relaxed);
+        if let Err(e) = compactor(&deltas, base, target) {
+            eprintln!("fleet: compaction to generation {target} failed (log kept): {e}");
+            return;
+        }
+        let mut slot = self.wal.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(wal) = slot.as_mut() {
+            if let Err(e) = wal.reset(target) {
+                eprintln!("fleet: delta log reset after compaction failed: {e}");
+                self.wal_failed.store(true, Ordering::Relaxed);
+                return;
+            }
+            self.wmetrics.records.set(0);
+            self.wmetrics.bytes.set(0);
+        }
+        drop(slot);
+        self.delta_log.lock().unwrap_or_else(|p| p.into_inner()).clear();
+        self.base_generation.store(target, Ordering::Relaxed);
+        self.wmetrics.compactions.inc(1);
+        eprintln!("fleet: compacted {log_len} delta(s) into the artifact at generation {target}");
     }
 }
 
@@ -488,7 +615,9 @@ fn revive(fleet: &Arc<Fleet>, replica: &Arc<Replica>) -> Result<(), String> {
     // delta log cannot shift mid-replay, and a two-phase swap never runs
     // concurrently with a half-synced replica joining.
     let _guard = fleet.reload_lock.lock().unwrap_or_else(|p| p.into_inner());
-    // The first replica ever seen defines the artifact's base generation.
+    // The first replica ever seen defines the artifact's base generation
+    // (unless a durable delta log already restored it at startup, in which
+    // case the exchange fails and the disk-derived base stands).
     if fleet
         .base_generation
         .compare_exchange(0, hs.generation, Ordering::Relaxed, Ordering::Relaxed)
@@ -496,6 +625,10 @@ fn revive(fleet: &Arc<Fleet>, replica: &Arc<Replica>) -> Result<(), String> {
     {
         let _ = fleet.generation.compare_exchange(0, hs.generation, Ordering::Relaxed, Ordering::Relaxed);
     }
+    // The base is known from here on: open (or create) the delta log. A
+    // coordinator that cannot make its log durable refuses the replica —
+    // and, at bring-up, refuses to run.
+    fleet.ensure_wal(fleet.base_generation.load(Ordering::Relaxed))?;
     let base = fleet.base_generation.load(Ordering::Relaxed);
     let fleet_gen = fleet.generation.load(Ordering::Relaxed);
     let mut gen = hs.generation;
@@ -656,6 +789,15 @@ fn fleet_reload(fleet: &Arc<Fleet>, client_id: Value, request: &Value, sink: &Si
         respond_control(fleet, sink, error_value("shedding", "fleet is draining"), client_id);
         return;
     }
+    if fleet.wal_failed.load(Ordering::Relaxed) {
+        respond_control(
+            fleet,
+            sink,
+            error_value("internal", "delta log failed on an earlier commit; fleet reloads are disabled (extraction continues)"),
+            client_id,
+        );
+        return;
+    }
     let ups: Vec<Arc<Replica>> = fleet.replicas.iter().filter(|r| r.is_up()).cloned().collect();
     if ups.is_empty() {
         respond_control(fleet, sink, error_value("internal", "no replicas are up"), client_id);
@@ -734,9 +876,20 @@ fn fleet_reload(fleet: &Arc<Fleet>, client_id: Value, request: &Value, sink: &Si
         return;
     }
     fleet.generation.store(target, Ordering::Relaxed);
-    fleet.delta_log.lock().unwrap_or_else(|p| p.into_inner()).push(delta);
+    // The in-memory log and generation always reflect what the replicas
+    // actually serve (they are at `target` now, WAL or not); durability is
+    // settled before the ack.
+    fleet.delta_log.lock().unwrap_or_else(|p| p.into_inner()).push(delta.clone());
     fleet.metrics.reloads.inc(1);
     fleet.metrics.generation.set(target.min(i64::MAX as u64) as i64);
+    if let Err(e) = fleet.wal_commit(target, &delta) {
+        // The fleet converged on `target` but the log did not: tell the
+        // client the reload is NOT durable (a coordinator restart may
+        // forget it) instead of acking a promise the disk cannot keep.
+        respond_control(fleet, sink, error_value("internal", &format!("reload activated fleet-wide but is not durable: {e}")), client_id);
+        return;
+    }
+    fleet.maybe_compact();
     let ok = json!({
         "status": "ok",
         "generation": target,
@@ -913,6 +1066,52 @@ pub fn run_fleet(opts: FleetOptions) -> Result<FleetSummary, String> {
     }
     let registry = Arc::new(MetricRegistry::new());
     let metrics = FleetMetrics::register(&registry);
+    let wmetrics = WalMetrics::register(&registry);
+    // Restore the durable delta log, if one survives on disk: the restarted
+    // coordinator recovers its base generation, fleet generation, and the
+    // resync log, so rejoining replicas are brought forward from disk state
+    // instead of being refused by a coordinator with amnesia.
+    let mut restored_wal: Option<Wal> = None;
+    let mut restored_base = 0u64;
+    let mut restored_log: Vec<Value> = Vec::new();
+    if let Some(path) = opts.wal.as_ref().filter(|p| p.exists()) {
+        let started = Instant::now();
+        match Wal::open(path) {
+            Ok((wal, replay)) => {
+                restored_base = wal.base_generation();
+                for record in &replay.records {
+                    let text = std::str::from_utf8(&record.payload)
+                        .map_err(|e| format!("{}: generation {} record: payload is not UTF-8: {e}", path.display(), record.generation))?;
+                    let v: Value = serde_json::from_str(text)
+                        .map_err(|e| format!("{}: generation {} record: payload is not JSON: {e}", path.display(), record.generation))?;
+                    restored_log.push(v);
+                }
+                wmetrics.replayed_records.inc(replay.records.len() as u64);
+                wmetrics.truncated_bytes.inc(replay.truncated_bytes);
+                wmetrics.records.set(wal.record_count().min(i64::MAX as u64) as i64);
+                wmetrics.bytes.set(wal.len_bytes().min(i64::MAX as u64) as i64);
+                if !restored_log.is_empty() || replay.truncated_bytes > 0 {
+                    eprintln!(
+                        "fleet: restored {} delta(s) from {} (base generation {restored_base}, {} torn byte(s) truncated)",
+                        restored_log.len(),
+                        path.display(),
+                        replay.truncated_bytes
+                    );
+                }
+                restored_wal = Some(wal);
+            }
+            // Crash-while-creating debris (shorter than one fsynced header)
+            // carries no committed record; it is recreated at the first
+            // handshake. Anything else is real corruption: refuse to run
+            // rather than silently forget acknowledged deltas.
+            Err(WalError::HeaderTorn) => {}
+            Err(e) => return Err(format!("{}: {e}", path.display())),
+        }
+        wmetrics
+            .recovery_nanos
+            .set(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX).min(i64::MAX as u64) as i64);
+    }
+    let restored_gen = restored_base + restored_log.len() as u64;
     let replicas: Vec<Arc<Replica>> = opts.replicas.iter().cloned().enumerate().map(|(i, spec)| Arc::new(Replica::new(i, spec))).collect();
     let rmetrics: Vec<ReplicaMetrics> = replicas.iter().map(|r| metrics.replica(r.id)).collect();
     let (dispatch_tx, dispatch_rx) = mpsc::channel::<DispatchMsg>();
@@ -925,10 +1124,13 @@ pub fn run_fleet(opts: FleetOptions) -> Result<FleetSummary, String> {
         registry,
         dispatch_tx,
         draining: AtomicBool::new(false),
-        base_generation: AtomicU64::new(0),
-        generation: AtomicU64::new(0),
-        delta_log: Mutex::new(Vec::new()),
+        base_generation: AtomicU64::new(restored_base),
+        generation: AtomicU64::new(restored_gen),
+        delta_log: Mutex::new(restored_log),
         reload_lock: Mutex::new(()),
+        wal: Mutex::new(restored_wal),
+        wal_failed: AtomicBool::new(false),
+        wmetrics,
         opts,
         start: Instant::now(),
         round_robin: AtomicUsize::new(0),

@@ -21,7 +21,12 @@
 //!   resynced from the coordinator's delta log when they rejoin;
 //! - **supervision**: spawned replicas are respawned when they die,
 //!   remote replicas are re-dialed, and hung replicas are detected by
-//!   health-probe timeouts and cut loose.
+//!   health-probe timeouts and cut loose;
+//! - **durable deltas** ([`FleetOptions::wal`]): activated deltas are
+//!   appended to a write-ahead log and fsynced before the client's ack, a
+//!   restarted coordinator restores its generation math and resync log
+//!   from disk, and a [`Compactor`] folds a grown log into a fresh engine
+//!   artifact so both the log and the in-memory delta list stay bounded.
 //!
 //! The crate intentionally does not depend on `aeetes-cli`: it speaks the
 //! wire protocol directly (the CLI depends on this crate for the `fleet`
@@ -36,7 +41,7 @@ mod pending;
 mod replica;
 
 pub use backoff::Backoff;
-pub use coordinator::{run_fleet, FleetOptions, FleetSummary};
+pub use coordinator::{run_fleet, Compactor, FleetOptions, FleetSummary};
 pub use pending::{FailOutcome, PendingTable};
 pub use replica::{Replica, ReplicaSpec};
 

@@ -48,8 +48,10 @@ mod backend;
 mod batch;
 mod candidates;
 mod config;
+pub mod durable;
 mod edit_extract;
 mod extractor;
+pub mod failpoint;
 mod limits;
 mod matches;
 mod nms;
@@ -62,17 +64,19 @@ mod strategy;
 mod topk;
 mod typo;
 mod verify;
+pub mod wal;
 mod window;
 
 pub use backend::{extract_segment, extract_segment_scratched, ExtractBackend};
 pub use batch::{extract_batch, extract_batch_with, BatchOptions, DocError};
 pub use config::AeetesConfig;
+pub use durable::{atomic_replace, fsync_dir};
 pub use edit_extract::{EditIndex, EditMatch};
 pub use extractor::Aeetes;
 pub use limits::{CancelToken, ExtractLimits, ExtractOutcome};
 pub use matches::Match;
 pub use nms::suppress_overlaps;
-pub use persist::{load_engine, load_sharded, save_engine, save_sharded, PersistError, ShardedParts};
+pub use persist::{load_engine, load_sharded, peek_generation, save_engine, save_sharded, PersistError, ShardedParts};
 pub use report::{mention_report, MentionReport};
 pub use scratch::{ExtractScratch, ScratchOutcome, SegmentScratch};
 pub use stage::{Stage, StageSlots, SAMPLE_MASK};
@@ -80,4 +84,5 @@ pub use stats::{ExtractStats, LatencyRing};
 pub use strategy::{generate_candidates, Strategy};
 pub use topk::extract_top_k;
 pub use typo::{extract_fuzzy, FuzzyConfig};
+pub use wal::{Wal, WalError, WalRecord, WalReplay};
 pub use window::{DenseRemap, WindowState};

@@ -40,11 +40,23 @@
 //! checksum: u32 CRC-32 of every preceding byte
 //! ```
 //!
+//! Format version 4 is v3 plus one field: the engine's generation number,
+//! a `u64` immediately after the version word. Persisting it lets a
+//! restarted server (or a WAL compaction) resume the generation sequence
+//! exactly where the saved engine left off instead of renumbering from 1:
+//!
+//! ```text
+//! magic "AEET", version u32 = 4
+//! generation u64                  (the saved engine's generation id)
+//! ...rest identical to v3...
+//! ```
+//!
 //! Version 1 files are identical to v2 minus the checksum footer and still
 //! load (they simply don't get integrity verification); [`load_engine`]
-//! accepts v1–v3 (merging v3 segments back into one derived dictionary),
+//! accepts v1–v4 (merging v3/v4 segments back into one derived dictionary),
 //! and [`load_sharded`] accepts the same versions (wrapping v1/v2 as one
-//! segment). The loader is hardened against hostile input: the checksum is
+//! segment with generation 1). The loader is hardened against hostile
+//! input: the checksum is
 //! verified before any field is parsed, every length field is validated
 //! against the bytes actually remaining before allocation, and all
 //! cross-references (token ids, origins, weights, enum tags) are
@@ -61,8 +73,10 @@ use std::fmt;
 
 const MAGIC: &[u8; 4] = b"AEET";
 const VERSION: u32 = 2;
-/// Format version of sharded ([`save_sharded`]) artifacts.
+/// First sharded format version (no generation field).
 const VERSION_SHARDED: u32 = 3;
+/// Current sharded format version ([`save_sharded`]): v3 + generation id.
+const VERSION_SHARDED_GEN: u32 = 4;
 /// Oldest format version [`load_engine`] still accepts.
 const MIN_VERSION: u32 = 1;
 /// A token list longer than this could not be indexed anyway: the clustered
@@ -250,6 +264,10 @@ pub struct ShardedParts {
     /// (non-resident origins have empty variant ranges), and no origin has
     /// variants in more than one segment.
     pub segments: Vec<DerivedDictionary>,
+    /// The saved engine's generation number (v4; 1 for older artifacts).
+    /// A loader resuming from this artifact continues numbering from here,
+    /// which is what keeps WAL record generations aligned across restarts.
+    pub generation: u64,
 }
 
 impl ShardedParts {
@@ -277,13 +295,25 @@ impl ShardedParts {
     }
 }
 
-/// Serializes a sharded engine's parts into a format v3 artifact: shared
-/// sections once, then each shard's derived dictionary as an independently
-/// CRC-guarded segment, then the whole-file CRC-32 footer.
+/// Serializes a sharded engine's parts into a format v4 artifact: the
+/// generation number, shared sections once, then each shard's derived
+/// dictionary as an independently CRC-guarded segment, then the whole-file
+/// CRC-32 footer.
 pub fn save_sharded(parts: &ShardedParts) -> Vec<u8> {
+    save_sharded_versioned(parts, VERSION_SHARDED_GEN)
+}
+
+/// Writer parameterized on format version (v3 drops the generation field);
+/// kept internal so the version-compatibility tests can produce genuine
+/// old-format fixtures with the same encoder.
+fn save_sharded_versioned(parts: &ShardedParts, version: u32) -> Vec<u8> {
+    debug_assert!((VERSION_SHARDED..=VERSION_SHARDED_GEN).contains(&version));
     let mut buf = Vec::with_capacity(1 << 16);
     buf.extend_from_slice(MAGIC);
-    put_u32(&mut buf, VERSION_SHARDED);
+    put_u32(&mut buf, version);
+    if version >= VERSION_SHARDED_GEN {
+        put_u64(&mut buf, parts.generation);
+    }
     put_interner(&mut buf, &parts.interner);
     put_dict(&mut buf, &parts.dict);
     put_u32(&mut buf, parts.removed.len() as u32);
@@ -381,7 +411,7 @@ impl<'a> Reader<'a> {
 }
 
 /// Parses the header, validates the version against `MIN_VERSION..=`
-/// [`VERSION_SHARDED`], and — for checksummed versions — verifies the
+/// [`VERSION_SHARDED_GEN`], and — for checksummed versions — verifies the
 /// whole-file CRC-32 footer before any field is trusted. Returns the version
 /// and a reader over the payload (header stripped, footer dropped).
 fn open(bytes: &[u8]) -> Result<(u32, Reader<'_>), PersistError> {
@@ -391,7 +421,7 @@ fn open(bytes: &[u8]) -> Result<(u32, Reader<'_>), PersistError> {
         return Err(PersistError::BadMagic);
     }
     let version = r.u32("version")?;
-    if !(MIN_VERSION..=VERSION_SHARDED).contains(&version) {
+    if !(MIN_VERSION..=VERSION_SHARDED_GEN).contains(&version) {
         return Err(PersistError::UnsupportedVersion(version));
     }
     if version >= 2 {
@@ -512,6 +542,15 @@ fn read_config(r: &mut Reader<'_>) -> Result<AeetesConfig, PersistError> {
 /// one segment.
 pub fn load_sharded(bytes: &[u8]) -> Result<ShardedParts, PersistError> {
     let (version, mut r) = open(bytes)?;
+    let generation = if version >= VERSION_SHARDED_GEN {
+        let g = r.u64("generation")?;
+        if g == 0 {
+            return Err(PersistError::Corrupt("generation 0 is invalid (generations start at 1)".into()));
+        }
+        g
+    } else {
+        1
+    };
     let interner = read_interner(&mut r)?;
     let n_tokens = interner.len() as u32;
     let dict = read_dict(&mut r, n_tokens)?;
@@ -533,6 +572,7 @@ pub fn load_sharded(bytes: &[u8]) -> Result<ShardedParts, PersistError> {
             rules: RuleSet::new(),
             config,
             segments: vec![dd],
+            generation,
         });
     }
 
@@ -603,7 +643,32 @@ pub fn load_sharded(bytes: &[u8]) -> Result<ShardedParts, PersistError> {
     if !r.buf.is_empty() {
         return Err(PersistError::Corrupt(format!("{} trailing bytes after engine data", r.buf.len())));
     }
-    Ok(ShardedParts { interner, dict, removed, rules, config, segments })
+    Ok(ShardedParts { interner, dict, removed, rules, config, segments, generation })
+}
+
+/// Reads just enough of an artifact header to report its generation number
+/// without parsing (or integrity-checking) the body: v4 stores it after the
+/// version word; older versions are generation 1 by definition. Used by the
+/// fleet coordinator to align its WAL base with an artifact cheaply.
+pub fn peek_generation(bytes: &[u8]) -> Result<u64, PersistError> {
+    let mut r = Reader { buf: bytes };
+    let magic = r.take(4, "magic")?;
+    if magic != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = r.u32("version")?;
+    if !(MIN_VERSION..=VERSION_SHARDED_GEN).contains(&version) {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    if version >= VERSION_SHARDED_GEN {
+        let g = r.u64("generation")?;
+        if g == 0 {
+            return Err(PersistError::Corrupt("generation 0 is invalid (generations start at 1)".into()));
+        }
+        Ok(g)
+    } else {
+        Ok(1)
+    }
 }
 
 /// Restores an engine (and its interner) previously written by
@@ -773,7 +838,15 @@ mod tests {
             DerivedDictionary::build_filtered(&dict, &rules, &config.derive, |e| e.0 % 2 == 0),
             DerivedDictionary::build_filtered(&dict, &rules, &config.derive, |e| e.0 % 2 == 1),
         ];
-        let parts = ShardedParts { interner: int.clone(), dict, removed: vec![], rules, config, segments };
+        let parts = ShardedParts {
+            interner: int.clone(),
+            dict,
+            removed: vec![],
+            rules,
+            config,
+            segments,
+            generation: 5,
+        };
         (parts, engine, int, tok)
     }
 
@@ -781,7 +854,8 @@ mod tests {
     fn sharded_round_trip_preserves_parts() {
         let (parts, _, _, _) = sample_sharded();
         let bytes = save_sharded(&parts);
-        let loaded = load_sharded(&bytes).expect("v3 round trip");
+        let loaded = load_sharded(&bytes).expect("v4 round trip");
+        assert_eq!(loaded.generation, parts.generation);
         assert_eq!(loaded.segments.len(), 2);
         assert_eq!(loaded.dict.len(), parts.dict.len());
         assert_eq!(loaded.rules.len(), parts.rules.len());
@@ -869,6 +943,83 @@ mod tests {
         let bytes = save_sharded(&parts);
         let err = load_sharded(&bytes).expect_err("duplicated origins must be rejected");
         assert!(err.to_string().contains("multiple segments"), "unexpected error: {err}");
+    }
+
+    /// One fixture per supported format version, produced by the real
+    /// encoders (v1 is the v2 payload with the version word rewritten and
+    /// the footer dropped — byte-identical to what pre-checksum builds
+    /// wrote; v3 comes from the versioned writer without the generation
+    /// field).
+    fn version_fixtures() -> Vec<(u32, Vec<u8>)> {
+        let (engine, int, _) = sample_engine();
+        let v2 = save_engine(&engine, &int);
+        let mut v1 = v2.clone();
+        v1.truncate(v1.len() - 4);
+        v1[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let (parts, _, _, _) = sample_sharded();
+        let v3 = save_sharded_versioned(&parts, VERSION_SHARDED);
+        let v4 = save_sharded_versioned(&parts, VERSION_SHARDED_GEN);
+        vec![(1, v1), (2, v2), (3, v3), (4, v4)]
+    }
+
+    #[test]
+    fn version_matrix_loads_every_supported_format() {
+        for (version, bytes) in version_fixtures() {
+            let parts = load_sharded(&bytes).unwrap_or_else(|e| panic!("v{version} fixture must load: {e}"));
+            assert_eq!(parts.generation, if version >= 4 { 5 } else { 1 }, "v{version} generation");
+            assert_eq!(peek_generation(&bytes).unwrap(), parts.generation, "v{version} peek");
+            let (engine, _) = load_engine(&bytes).unwrap_or_else(|e| panic!("v{version} must merge to a single engine: {e}"));
+            assert!(!engine.derived().is_empty(), "v{version} produced an empty engine");
+        }
+    }
+
+    #[test]
+    fn version_matrix_truncation_never_panics() {
+        // Every strict prefix of every version — including each cut through
+        // the footer and (for v4) the generation field — must fail with a
+        // structured error, never a panic. v1 has no checksum, so a prefix
+        // may parse if it happens to be self-consistent; it must still
+        // never panic.
+        for (version, bytes) in version_fixtures() {
+            for cut in 0..bytes.len() {
+                let r = load_sharded(&bytes[..cut]);
+                if version >= 2 {
+                    assert!(r.is_err(), "v{version} prefix of {cut} bytes accepted");
+                }
+                let _ = peek_generation(&bytes[..cut]); // must not panic either
+            }
+        }
+    }
+
+    #[test]
+    fn version_matrix_bitflips_never_panic() {
+        for (_version, bytes) in version_fixtures() {
+            for i in (0..bytes.len()).step_by(3) {
+                let mut b = bytes.clone();
+                b[i] ^= 0xFF;
+                let _ = load_sharded(&b); // structured error or consistent load, never a panic
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_future_version_rejected() {
+        let (parts, _, _, _) = sample_sharded();
+        let mut bytes = save_sharded(&parts);
+        bytes[4..8].copy_from_slice(&5u32.to_le_bytes());
+        let len = bytes.len();
+        let footer = crc32(&bytes[..len - 4]);
+        bytes[len - 4..].copy_from_slice(&footer.to_le_bytes());
+        assert!(matches!(load_sharded(&bytes), Err(PersistError::UnsupportedVersion(5))));
+        assert!(matches!(peek_generation(&bytes), Err(PersistError::UnsupportedVersion(5))));
+    }
+
+    #[test]
+    fn zero_generation_rejected() {
+        let (mut parts, _, _, _) = sample_sharded();
+        parts.generation = 0;
+        let bytes = save_sharded(&parts);
+        assert!(matches!(load_sharded(&bytes), Err(PersistError::Corrupt(_))));
     }
 
     #[test]

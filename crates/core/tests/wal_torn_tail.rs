@@ -1,0 +1,199 @@
+//! Torn-tail recovery, exhaustively: a WAL truncated at *every* byte
+//! offset — simulating a crash at any point during an append — must never
+//! panic, and must always recover exactly the longest committed record
+//! prefix. This is the acceptance criterion for the durability layer: the
+//! set of acknowledged deltas (those whose full record made it to disk
+//! before the crash) is recovered bit-identically, and nothing else.
+
+use aeetes_core::{Wal, WalError};
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+
+fn tmp_path(tag: &str) -> PathBuf {
+    static N: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = N.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    std::env::temp_dir().join(format!("aeetes-torn-{tag}-{}-{n}.wal", std::process::id()))
+}
+
+const HEADER_LEN: u64 = 20;
+const RECORD_HEADER_LEN: u64 = 16;
+
+/// Builds a log with the given payloads (record i carries generation
+/// base+i+1) and returns its full on-disk bytes plus the end offset of
+/// each committed record.
+fn build_log(tag: &str, base: u64, payloads: &[&[u8]]) -> (Vec<u8>, Vec<u64>) {
+    let path = tmp_path(tag);
+    let mut wal = Wal::create(&path, base).unwrap();
+    let mut ends = Vec::with_capacity(payloads.len());
+    for (i, p) in payloads.iter().enumerate() {
+        wal.append(base + i as u64 + 1, p).unwrap();
+        ends.push(wal.len_bytes());
+    }
+    wal.sync().unwrap();
+    drop(wal);
+    let bytes = fs::read(&path).unwrap();
+    fs::remove_file(&path).unwrap();
+    (bytes, ends)
+}
+
+/// How many full records fit in a `len`-byte prefix of the log.
+fn committed_in_prefix(ends: &[u64], len: u64) -> usize {
+    ends.iter().take_while(|&&e| e <= len).count()
+}
+
+/// Crash-at-every-byte: for each strict prefix of a multi-record log,
+/// opening the truncated file either reports a torn create (prefix shorter
+/// than one header) or recovers exactly the records whose bytes fully fit.
+#[test]
+fn truncation_at_every_byte_recovers_longest_committed_prefix() {
+    let payloads: [&[u8]; 4] = [b"alpha", b"", b"a longer third payload with some girth", b"d"];
+    let (bytes, ends) = build_log("everybyte", 3, &payloads);
+    for len in 0..=bytes.len() {
+        let path = tmp_path("cut");
+        fs::write(&path, &bytes[..len]).unwrap();
+        match Wal::open(&path) {
+            Ok((wal, replay)) => {
+                assert!(len as u64 >= HEADER_LEN, "prefix of {len} bytes has no complete header");
+                let expect = committed_in_prefix(&ends, len as u64);
+                assert_eq!(replay.records.len(), expect, "prefix of {len}/{} bytes", bytes.len());
+                assert_eq!(wal.base_generation(), 3);
+                assert_eq!(wal.last_generation(), 3 + expect as u64);
+                for (i, r) in replay.records.iter().enumerate() {
+                    assert_eq!(r.generation, 3 + i as u64 + 1);
+                    assert_eq!(r.payload, payloads[i], "record {i} must survive bit-identically");
+                }
+                // The torn tail is physically gone: a second open is clean.
+                let expected_end = if expect == 0 { HEADER_LEN } else { ends[expect - 1] };
+                assert_eq!(fs::metadata(&path).unwrap().len(), expected_end);
+                let (_, again) = Wal::open(&path).unwrap();
+                assert_eq!(again.truncated_bytes, 0, "prefix of {len} bytes: recovery must be idempotent");
+            }
+            Err(WalError::HeaderTorn) => {
+                assert!((len as u64) < HEADER_LEN, "prefix of {len} bytes holds a full header; must not report HeaderTorn");
+            }
+            Err(e) => panic!("prefix of {len} bytes: unexpected error {e}"),
+        }
+        fs::remove_file(&path).unwrap();
+    }
+}
+
+/// Recovery is still appendable: after truncating mid-record, the reopened
+/// log accepts the next generation and a further replay sees old + new.
+#[test]
+fn recovered_log_accepts_the_next_generation() {
+    let payloads: [&[u8]; 2] = [b"first", b"second"];
+    let (bytes, ends) = build_log("appendable", 0, &payloads);
+    // Cut inside the second record: one byte short of its end.
+    let cut = (ends[1] - 1) as usize;
+    let path = tmp_path("appendcut");
+    fs::write(&path, &bytes[..cut]).unwrap();
+    let (mut wal, replay) = Wal::open(&path).unwrap();
+    assert_eq!(replay.records.len(), 1);
+    assert_eq!(wal.last_generation(), 1);
+    wal.append(2, b"replacement-second").unwrap();
+    wal.sync().unwrap();
+    drop(wal);
+    let (_, replay) = Wal::open(&path).unwrap();
+    let got: Vec<(u64, Vec<u8>)> = replay.records.iter().map(|r| (r.generation, r.payload.clone())).collect();
+    assert_eq!(got, vec![(1, b"first".to_vec()), (2, b"replacement-second".to_vec())]);
+    fs::remove_file(&path).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random logs (random base, record count, payload sizes) truncated at
+    /// a random offset never panic and always recover exactly the records
+    /// that fully fit in the surviving prefix.
+    #[test]
+    fn random_log_random_cut_never_panics(
+        base in 0u64..1000,
+        sizes in proptest::collection::vec(0usize..200, 0..8),
+        cut_seed in 0u64..u64::MAX,
+    ) {
+        let payloads: Vec<Vec<u8>> = sizes.iter().enumerate().map(|(i, &n)| vec![(i as u8).wrapping_mul(37); n]).collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(Vec::as_slice).collect();
+        let (bytes, ends) = build_log("prop", base, &refs);
+        let cut = (cut_seed % (bytes.len() as u64 + 1)) as usize;
+        let path = tmp_path("propcut");
+        fs::write(&path, &bytes[..cut]).unwrap();
+        match Wal::open(&path) {
+            Ok((wal, replay)) => {
+                let expect = committed_in_prefix(&ends, cut as u64);
+                prop_assert_eq!(replay.records.len(), expect);
+                prop_assert_eq!(wal.last_generation(), base + expect as u64);
+                for (i, r) in replay.records.iter().enumerate() {
+                    prop_assert_eq!(&r.payload, &payloads[i]);
+                }
+            }
+            Err(WalError::HeaderTorn) => prop_assert!((cut as u64) < HEADER_LEN),
+            Err(e) => prop_assert!(false, "cut {cut}: unexpected error {e}"),
+        }
+        fs::remove_file(&path).unwrap();
+    }
+
+    /// Arbitrary garbage appended after the committed prefix (not just
+    /// zero-truncation) is detected and truncated away — record CRCs and
+    /// the monotonic generation check leave no window for tail soup to be
+    /// accepted as a record.
+    #[test]
+    fn tail_garbage_never_yields_extra_records(
+        garbage in proptest::collection::vec(0u8..=255, 1..256),
+    ) {
+        let payloads: [&[u8]; 2] = [b"one", b"two"];
+        let (bytes, ends) = build_log("soup", 10, &payloads);
+        let mut soup = bytes.clone();
+        soup.extend_from_slice(&garbage);
+        let path = tmp_path("soupcut");
+        fs::write(&path, &soup).unwrap();
+        let (wal, replay) = Wal::open(&path).unwrap();
+        // A garbage tail can *only* masquerade as committed records if it
+        // forges a valid length, CRC, and the exact next generation — the
+        // CRC makes that a 2^-32 event per record; anything else truncates.
+        if replay.records.len() > 2 {
+            for extra in &replay.records[2..] {
+                prop_assert_eq!(crc_of(&extra.payload), extra_crc(&soup, &ends, extra), "forged record must carry a valid CRC");
+            }
+        } else {
+            prop_assert_eq!(replay.records.len(), 2);
+            prop_assert_eq!(wal.last_generation(), 12);
+            prop_assert_eq!(fs::metadata(&path).unwrap().len(), ends[1]);
+        }
+        fs::remove_file(&path).unwrap();
+    }
+}
+
+// Helpers for the (astronomically unlikely) forged-record branch above:
+// recompute the CRC the record claims so the assertion documents what a
+// "valid forgery" would have required.
+fn crc_of(payload: &[u8]) -> u32 {
+    // CRC-32 (IEEE), matching the WAL's record checksum.
+    let mut table = [0u32; 256];
+    for (i, t) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+        }
+        *t = c;
+    }
+    let mut c = !0u32;
+    for &b in payload {
+        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+fn extra_crc(soup: &[u8], ends: &[u64], record: &aeetes_core::WalRecord) -> u32 {
+    // Walk the raw bytes to the forged record and read its stored CRC.
+    let mut pos = *ends.last().unwrap() as usize;
+    loop {
+        let len = u32::from_le_bytes(soup[pos..pos + 4].try_into().unwrap()) as usize;
+        let gen = u64::from_le_bytes(soup[pos + 4..pos + 12].try_into().unwrap());
+        let crc = u32::from_le_bytes(soup[pos + 12..pos + 16].try_into().unwrap());
+        if gen == record.generation {
+            return crc;
+        }
+        pos += RECORD_HEADER_LEN as usize + len;
+    }
+}

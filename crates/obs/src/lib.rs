@@ -21,11 +21,13 @@ mod export;
 mod fleet;
 mod registry;
 mod stage;
+mod wal;
 
 pub use export::{json, prometheus_text};
 pub use fleet::{FleetMetrics, ReplicaMetrics};
 pub use registry::{Counter, Gauge, Histogram, MetricRegistry, MetricSnapshot, MetricValue};
 pub use stage::{Stage, StageSlots, StageTimer, SAMPLE_MASK};
+pub use wal::WalMetrics;
 
 /// Work counters of one extraction, mirrored as plain integers so engine
 /// crates can flush their stats into an [`ExtractMetrics`] bundle without

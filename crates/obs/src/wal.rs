@@ -1,0 +1,79 @@
+//! The durability layer's WAL metric bundle.
+//!
+//! Both a serving node (`aeetes serve --wal`) and the fleet coordinator
+//! (`aeetes fleet --wal`) record their write-ahead-log activity here:
+//! appends and the fsync latency paid per commit, how many records a
+//! restart replayed (and how long recovery took), and how often the log
+//! was compacted into a fresh snapshot. Like [`crate::ExtractMetrics`]
+//! this is a bundle of pre-registered `Arc` handles: recording touches
+//! only striped atomics, never the registry.
+
+use crate::{Counter, Gauge, Histogram, MetricRegistry};
+use std::sync::Arc;
+
+/// WAL activity metrics, one family set shared by serve and fleet.
+pub struct WalMetrics {
+    /// `aeetes_wal_appends_total`: delta records appended (before ack).
+    pub appends: Arc<Counter>,
+    /// `aeetes_wal_append_bytes_total`: payload bytes appended.
+    pub append_bytes: Arc<Counter>,
+    /// `aeetes_wal_fsync_nanos`: latency of each commit fsync.
+    pub fsync_nanos: Arc<Histogram>,
+    /// `aeetes_wal_append_failures_total`: appends or syncs that failed;
+    /// the delta was NOT acknowledged.
+    pub append_failures: Arc<Counter>,
+    /// `aeetes_wal_replayed_records_total`: records replayed over the
+    /// snapshot during startup recovery.
+    pub replayed_records: Arc<Counter>,
+    /// `aeetes_wal_truncated_bytes_total`: torn-tail bytes discarded
+    /// during recovery (all unacknowledged by construction).
+    pub truncated_bytes: Arc<Counter>,
+    /// `aeetes_wal_recovery_nanos`: wall time of the last WAL-over-snapshot
+    /// recovery (open + replay + rebuild).
+    pub recovery_nanos: Arc<Gauge>,
+    /// `aeetes_wal_compactions_total`: times the log was folded into a
+    /// fresh AEET snapshot and reset.
+    pub compactions: Arc<Counter>,
+    /// `aeetes_wal_records`: committed records currently in the log.
+    pub records: Arc<Gauge>,
+    /// `aeetes_wal_bytes`: committed bytes currently in the log.
+    pub bytes: Arc<Gauge>,
+}
+
+impl WalMetrics {
+    /// Registers (or re-acquires) the WAL families in `registry`.
+    pub fn register(registry: &Arc<MetricRegistry>) -> Self {
+        WalMetrics {
+            appends: registry.counter("aeetes_wal_appends_total", "Delta records appended to the WAL"),
+            append_bytes: registry.counter("aeetes_wal_append_bytes_total", "Payload bytes appended to the WAL"),
+            fsync_nanos: registry.histogram("aeetes_wal_fsync_nanos", "Latency of each WAL commit fsync"),
+            append_failures: registry.counter("aeetes_wal_append_failures_total", "WAL appends/syncs that failed (delta not acked)"),
+            replayed_records: registry.counter("aeetes_wal_replayed_records_total", "Records replayed over the snapshot at startup"),
+            truncated_bytes: registry.counter("aeetes_wal_truncated_bytes_total", "Torn-tail bytes discarded during recovery"),
+            recovery_nanos: registry.gauge("aeetes_wal_recovery_nanos", "Wall time of the last WAL recovery"),
+            compactions: registry.counter("aeetes_wal_compactions_total", "WAL compactions into a fresh snapshot"),
+            records: registry.gauge("aeetes_wal_records", "Committed records currently in the WAL"),
+            bytes: registry.gauge("aeetes_wal_bytes", "Committed bytes currently in the WAL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wal_register_is_idempotent() {
+        let reg = Arc::new(MetricRegistry::new());
+        let a = WalMetrics::register(&reg);
+        let b = WalMetrics::register(&reg);
+        a.appends.inc(2);
+        b.appends.inc(3);
+        assert_eq!(a.appends.value(), 5, "same family must resolve to the same instance");
+        a.fsync_nanos.observe_nanos(1_000);
+        a.records.set(4);
+        assert_eq!(b.records.value(), 4);
+        let text = crate::prometheus_text(&reg.snapshot());
+        assert!(text.contains("aeetes_wal_appends_total"), "scrape must carry the wal family:\n{text}");
+    }
+}

@@ -264,7 +264,9 @@ impl ShardedEngine {
     }
 
     /// Snapshots the current generation into persistable parts
-    /// (`AEET` format v3 via [`aeetes_core::save_sharded`]).
+    /// (`AEET` format v4 via [`aeetes_core::save_sharded`]). The snapshot
+    /// carries the generation number, so an engine restored from it (or a
+    /// WAL replayed over it) continues the same generation sequence.
     pub fn to_parts(&self) -> ShardedParts {
         let g = self.snapshot();
         ShardedParts {
@@ -274,6 +276,7 @@ impl ShardedEngine {
             rules: g.rules.clone(),
             config: g.config.clone(),
             segments: g.shards.iter().map(|s| s.dd.clone()).collect(),
+            generation: g.id(),
         }
     }
 }
@@ -369,7 +372,8 @@ fn build_next(cur: &Generation, delta: &DictDelta, tokenizer: &Tokenizer) -> Res
 }
 
 impl ShardedEngine {
-    /// Reconstructs an engine from persisted parts, as generation 1.
+    /// Reconstructs an engine from persisted parts, resuming at the
+    /// artifact's recorded generation number (1 for pre-v4 artifacts).
     ///
     /// `shards` overrides the shard count (`None` keeps the artifact's
     /// segment count, `Some(0)` means available parallelism). When the
@@ -377,7 +381,8 @@ impl ShardedEngine {
     /// as-is; otherwise the variants are re-partitioned — no re-derivation
     /// either way, so loading stays cheap.
     pub fn from_parts(parts: ShardedParts, shards: Option<usize>) -> Result<Self, String> {
-        let ShardedParts { interner, dict, removed, rules, config, segments } = parts;
+        let ShardedParts { interner, dict, removed, rules, config, segments, generation } = parts;
+        let generation = generation.max(1);
         let n = match shards {
             None => resolve_shards(segments.len()),
             Some(req) => resolve_shards(req),
@@ -410,7 +415,7 @@ impl ShardedEngine {
         let refs: Vec<&DerivedDictionary> = dds.iter().collect();
         let order = Arc::new(GlobalOrder::build_many(&refs, &interner));
         let built = index_shards(dds, &order);
-        let generation = Generation::assemble(1, interner, dict, removed, rules, config, order, built);
+        let generation = Generation::assemble(generation, interner, dict, removed, rules, config, order, built);
         Ok(ShardedEngine {
             current: RwLock::new(Arc::new(generation)),
             update_lock: Mutex::new(()),
