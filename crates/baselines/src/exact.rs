@@ -24,7 +24,7 @@ impl ExactMatcher {
             if let Some(&first) = e.tokens.first() {
                 heads.entry(first).or_default().push(id);
             }
-            entities.push(e.tokens.clone());
+            entities.push(e.tokens.to_vec());
         }
         Self { heads, entities }
     }

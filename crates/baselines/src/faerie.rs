@@ -67,13 +67,13 @@ pub struct Faerie {
 impl Faerie {
     /// Plain Faerie over the origin dictionary (syntactic AEE, no synonyms).
     pub fn build_plain(dict: &Dictionary) -> Self {
-        Self::build(dict.iter().map(|(id, e)| (id, e.tokens.as_slice())))
+        Self::build(dict.iter().map(|(id, e)| (id, e.tokens)))
     }
 
     /// FaerieR: Faerie over the derived dictionary, mapping every derived
     /// entry back to its origin entity.
     pub fn build_derived(dd: &DerivedDictionary) -> Self {
-        Self::build(dd.iter().map(|(_, d)| (d.origin, d.tokens.as_slice())))
+        Self::build(dd.iter().map(|(_, d)| (d.origin, d.tokens)))
     }
 
     fn build<'a, I>(entries: I) -> Self

@@ -12,6 +12,7 @@
 //! aeetes profile (--engine ENGINE --doc FILE | [--profile NAME] [--seed N])
 //!                [--tau F] [--runs N] [--warmup N] [--docs N]
 //! aeetes stats   --engine ENGINE
+//! aeetes dict    info FILE [--json]
 //! aeetes demo
 //! ```
 //!
@@ -35,6 +36,7 @@ fn main() {
         Some("profile") => commands::profile_cmd(&argv[1..]),
         Some("wal") => commands::wal_cmd(&argv[1..]),
         Some("stats") => commands::stats(&argv[1..]),
+        Some("dict") => commands::dict_cmd(&argv[1..]),
         Some("generate") => commands::generate_cmd(&argv[1..]),
         Some("demo") => commands::demo(),
         Some("--help" | "-h" | "help") | None => {

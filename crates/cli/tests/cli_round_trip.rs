@@ -221,3 +221,106 @@ fn malformed_rules_file_reports_line() {
     assert!(err.contains(":1:"), "line number in: {err}");
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// Format version from an artifact's 8-byte header prefix.
+fn artifact_version(path: &PathBuf) -> u32 {
+    let bytes = fs::read(path).unwrap();
+    assert_eq!(&bytes[..4], b"AEET");
+    u32::from_le_bytes(bytes[4..8].try_into().unwrap())
+}
+
+#[test]
+fn frozen_build_info_extract_and_compaction_round_trip() {
+    let dir = workdir("frozen");
+    let dict = dir.join("dict.txt");
+    let rules = dir.join("rules.tsv");
+    let docs = dir.join("docs.txt");
+    let engine = dir.join("engine.aeet");
+    fs::write(&dict, "Purdue University USA\nUQ AU\nMIT\n").unwrap();
+    fs::write(&rules, "UQ\tUniversity of Queensland\nAU\tAustralia\nMIT\tMassachusetts Institute of Technology\t0.95\n").unwrap();
+    fs::write(&docs, "she visited purdue university usa then mit\nuniversity of queensland australia\n").unwrap();
+
+    // build --frozen writes a v5 artifact.
+    commands::build(&argv(&[
+        s("--dict"),
+        dict.display().to_string(),
+        s("--rules"),
+        rules.display().to_string(),
+        s("--out"),
+        engine.display().to_string(),
+        s("--shards"),
+        s("2"),
+        s("--frozen"),
+    ]))
+    .expect("frozen build succeeds");
+    assert_eq!(artifact_version(&engine), 5);
+
+    // dict info reads it from the header (both renderings).
+    commands::dict_cmd(&argv(&[s("info"), engine.display().to_string()])).expect("dict info succeeds");
+    commands::dict_cmd(&argv(&[s("info"), engine.display().to_string(), s("--json")])).expect("dict info --json succeeds");
+
+    // stats and extract auto-detect the frozen format.
+    commands::stats(&argv(&[s("--engine"), engine.display().to_string()])).expect("stats over frozen succeeds");
+    let code = commands::extract(&argv(&[
+        s("--engine"),
+        engine.display().to_string(),
+        s("--docs"),
+        docs.display().to_string(),
+        s("--tau"),
+        s("0.8"),
+    ]))
+    .expect("extract over frozen succeeds");
+    assert_eq!(code, commands::EXIT_OK);
+
+    // WAL compaction over a frozen source rewrites the artifact *frozen*
+    // at the log's last generation, then resets the log.
+    let wal = dir.join("deltas.wal");
+    let mut log = aeetes_core::Wal::create(&wal, 1).expect("create wal");
+    let delta = aeetes_cli::protocol::delta_value(&aeetes_shard::DictDelta {
+        add_entities: vec!["University of Queensland Brisbane".into()],
+        remove_entities: vec![],
+        add_rules: vec![],
+    });
+    log.append(2, delta.to_string().as_bytes()).expect("append delta");
+    log.sync().expect("sync wal");
+    drop(log);
+
+    commands::wal_cmd(&argv(&[s("compact"), s("--wal"), wal.display().to_string(), s("--engine"), engine.display().to_string()]))
+        .expect("wal compact over frozen succeeds");
+    assert_eq!(artifact_version(&engine), 5, "compaction must preserve the frozen format");
+    let bytes = fs::read(&engine).unwrap();
+    let generation = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    assert_eq!(generation, 2, "compacted artifact must carry the log's last generation");
+
+    // The compacted frozen artifact still serves extraction.
+    assert_eq!(
+        commands::extract(&argv(&[s("--engine"), engine.display().to_string(), s("--docs"), docs.display().to_string(),]))
+            .expect("extract over compacted frozen artifact"),
+        commands::EXIT_OK
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_frozen_flag_rejects_legacy_artifacts() {
+    let dir = workdir("frozen-flag");
+    let dict = dir.join("dict.txt");
+    let rules = dir.join("rules.tsv");
+    let engine = dir.join("engine.aeet");
+    fs::write(&dict, "a b\n").unwrap();
+    fs::write(&rules, "a\talpha\n").unwrap();
+    commands::build(&argv(&[
+        s("--dict"),
+        dict.display().to_string(),
+        s("--rules"),
+        rules.display().to_string(),
+        s("--out"),
+        engine.display().to_string(),
+    ]))
+    .unwrap();
+    assert_eq!(artifact_version(&engine), 2);
+    let err =
+        commands::serve_cmd(&argv(&[s("--engine"), engine.display().to_string(), s("--frozen")])).expect_err("--frozen must reject a v2 artifact");
+    assert!(err.contains("v5") && err.contains("v2"), "error names both versions: {err}");
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -96,7 +96,7 @@ impl EditIndex {
         let mut min_tokens = usize::MAX;
         let mut max_tokens = 0usize;
         for (id, d) in dd.iter() {
-            let s = interner.render(&d.tokens);
+            let s = interner.render(d.tokens);
             for g in grams_of(&s, q, true) {
                 grams.entry(g).or_default().push(id.0);
             }
@@ -336,7 +336,7 @@ mod tests {
                         let e = EntityId(e as u32);
                         let mut min_d = usize::MAX;
                         for id in dd.variant_range(e) {
-                            let v = int.render(&dd.derived(DerivedId(id)).tokens);
+                            let v = int.render(dd.derived(DerivedId(id)).tokens);
                             min_d = min_d.min(levenshtein(&v, &s));
                         }
                         if min_d <= k {

@@ -1,0 +1,1102 @@
+//! Frozen AEET v5: a flat, mmap-able immutable engine image.
+//!
+//! Formats v1–v4 ([`crate::persist`]) deserialize the artifact into heap
+//! structures and then *rebuild the clustered index from scratch* — cheap to
+//! encode, but an engine restart pays seconds of CPU and every serve process
+//! holds its own copy of the index. The v5 layout trades encoder simplicity
+//! for zero-copy starts: every large structure (interner string table,
+//! global order, derived dictionary, clustered index) is laid out as flat
+//! little-endian arrays at 16-byte-aligned offsets, so an engine can
+//! `mmap` the file, validate it, and serve its first request in
+//! milliseconds — and N serve processes on one host share a single page
+//! cache image instead of N private heaps.
+//!
+//! ## Layout
+//!
+//! ```text
+//! [ 0.. 4)  magic "AEET"
+//! [ 4.. 8)  version u32 = 5
+//! [ 8..16)  generation u64            (same offset as v4's, so
+//!                                      `peek_generation` is format-blind)
+//! [16..20)  section count S (u32)
+//! [20..24)  reserved (0)
+//! [24..24+S·24)  section table: per section
+//!                { kind u32, seg u32 (0xFFFF_FFFF = global), off u64, len u64 }
+//! ... sections, each starting at a 16-byte-aligned offset, zero-padded ...
+//! [len-4..len)  CRC-32 (IEEE) of every preceding byte
+//! ```
+//!
+//! All integers are little-endian; the in-memory structures reinterpret the
+//! mapped bytes directly, so v5 artifacts are only opened on little-endian
+//! hosts (the opener refuses elsewhere rather than misread).
+//!
+//! Section *kinds* are fixed small integers (see the `SEC_*` constants):
+//! the global sections carry the META blob (rules, config, counts — small,
+//! decoded once), the origin dictionary's four arenas, the interner's
+//! string arena/offsets/hash table and the global order's three arrays;
+//! each shard segment carries the seven flat arrays of its derived
+//! dictionary and the ten of its clustered index. Offsets are validated
+//! against the file bounds and the 16-byte alignment rule, every prefix
+//! array is re-validated structurally on open
+//! ([`Dictionary::from_raw_arenas`], [`DerivedDictionary::from_raw_arenas`],
+//! [`ClusteredIndex::from_raw_parts`], [`GlobalOrder::from_raw_parts`],
+//! `FrozenStrings::new`), and the whole-file CRC is checked first — a
+//! truncated or bit-flipped artifact yields a clean [`PersistError`],
+//! never a panic or an out-of-bounds read.
+//!
+//! ## Mmap vs heap fallback
+//!
+//! [`open_frozen`] maps the file read-only when the platform allows and
+//! falls back to reading it into an 8-byte-aligned heap buffer otherwise
+//! (or when injected via the `frozen.open.mmap` failpoint). Both paths
+//! produce the same [`FrozenParts`] backed by the same validation — lookups
+//! are bit-identical either way; only residency behavior differs.
+
+use crate::config::AeetesConfig;
+use crate::failpoint;
+use crate::persist::{self, crc32, PersistError, Reader};
+use aeetes_frozen::{FrozenBuf, FrozenSlice, Pod};
+use aeetes_index::{ClusteredIndex, GlobalOrder, IndexArenas};
+use aeetes_rules::{DeriveStats, DerivedDictionary, DerivedId, RuleId, RuleSet};
+use aeetes_text::{Dictionary, EntityId, FrozenStrings, Interner, TokenId};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Fixed header bytes before the section table.
+const HEADER_FIXED: usize = 24;
+/// Bytes per section-table entry.
+const ENTRY_BYTES: usize = 24;
+/// Every section starts at a multiple of this (covers every element type's
+/// natural alignment with room to spare).
+const SECTION_ALIGN: usize = 16;
+/// `seg` value marking a global (non-per-segment) section.
+const GLOBAL_SEG: u32 = u32::MAX;
+/// Backstop against forged section counts (a real artifact has
+/// `11 + 17 × shards` sections and shards are capped at 64).
+const MAX_SECTIONS: usize = 1 << 16;
+
+// Global section kinds.
+const SEC_META: u32 = 0;
+const SEC_ORD_FREQ: u32 = 1;
+const SEC_ORD_TIE: u32 = 2;
+const SEC_ORD_UNTIE: u32 = 3;
+const SEC_STR_BYTES: u32 = 4;
+const SEC_STR_OFF: u32 = 5;
+const SEC_STR_TABLE: u32 = 6;
+// Origin-dictionary arenas (global; mirror `Dictionary::raw_arenas`).
+const SEC_DICT_RAWS: u32 = 30;
+const SEC_DICT_RAWOFF: u32 = 31;
+const SEC_DICT_TOKENS: u32 = 32;
+const SEC_DICT_TOKOFF: u32 = 33;
+// Per-segment derived-dictionary sections.
+const SEC_DD_ORIGIN: u32 = 10;
+const SEC_DD_WEIGHT: u32 = 11;
+const SEC_DD_TOKENS: u32 = 12;
+const SEC_DD_TOKOFF: u32 = 13;
+const SEC_DD_RULES: u32 = 14;
+const SEC_DD_RULEOFF: u32 = 15;
+const SEC_DD_BYORIGIN: u32 = 16;
+// Per-segment clustered-index sections.
+const SEC_IX_TOKGROUPS: u32 = 20;
+const SEC_IX_GROUPLEN: u32 = 21;
+const SEC_IX_GROUPORIG: u32 = 22;
+const SEC_IX_ORIGENT: u32 = 23;
+const SEC_IX_ORIGENTRIES: u32 = 24;
+const SEC_IX_ENTRIES: u32 = 25;
+const SEC_IX_SETDATA: u32 = 26;
+const SEC_IX_SETOFF: u32 = 27;
+const SEC_IX_VARBYLEN: u32 = 28;
+const SEC_IX_ORIGOFF: u32 = 29;
+
+const GLOBAL_KINDS: [u32; 11] = [
+    SEC_META,
+    SEC_ORD_FREQ,
+    SEC_ORD_TIE,
+    SEC_ORD_UNTIE,
+    SEC_STR_BYTES,
+    SEC_STR_OFF,
+    SEC_STR_TABLE,
+    SEC_DICT_RAWS,
+    SEC_DICT_RAWOFF,
+    SEC_DICT_TOKENS,
+    SEC_DICT_TOKOFF,
+];
+const SEGMENT_KINDS: [u32; 17] = [
+    SEC_DD_ORIGIN,
+    SEC_DD_WEIGHT,
+    SEC_DD_TOKENS,
+    SEC_DD_TOKOFF,
+    SEC_DD_RULES,
+    SEC_DD_RULEOFF,
+    SEC_DD_BYORIGIN,
+    SEC_IX_TOKGROUPS,
+    SEC_IX_GROUPLEN,
+    SEC_IX_GROUPORIG,
+    SEC_IX_ORIGENT,
+    SEC_IX_ORIGENTRIES,
+    SEC_IX_ENTRIES,
+    SEC_IX_SETDATA,
+    SEC_IX_SETOFF,
+    SEC_IX_VARBYLEN,
+    SEC_IX_ORIGOFF,
+];
+
+/// Human-readable name of a section kind (for `aeetes dict info`).
+pub fn section_kind_name(kind: u32) -> &'static str {
+    match kind {
+        SEC_META => "meta",
+        SEC_ORD_FREQ => "order.freq",
+        SEC_ORD_TIE => "order.tie",
+        SEC_ORD_UNTIE => "order.untie",
+        SEC_STR_BYTES => "strings.bytes",
+        SEC_STR_OFF => "strings.offsets",
+        SEC_STR_TABLE => "strings.table",
+        SEC_DICT_RAWS => "dict.raws",
+        SEC_DICT_RAWOFF => "dict.raw_off",
+        SEC_DICT_TOKENS => "dict.tokens",
+        SEC_DICT_TOKOFF => "dict.tok_off",
+        SEC_DD_ORIGIN => "dd.origin",
+        SEC_DD_WEIGHT => "dd.weight",
+        SEC_DD_TOKENS => "dd.tokens",
+        SEC_DD_TOKOFF => "dd.tok_off",
+        SEC_DD_RULES => "dd.rules",
+        SEC_DD_RULEOFF => "dd.rule_off",
+        SEC_DD_BYORIGIN => "dd.by_origin",
+        SEC_IX_TOKGROUPS => "ix.tok_groups",
+        SEC_IX_GROUPLEN => "ix.group_len",
+        SEC_IX_GROUPORIG => "ix.group_origins",
+        SEC_IX_ORIGENT => "ix.origin_entity",
+        SEC_IX_ORIGENTRIES => "ix.origin_entries",
+        SEC_IX_ENTRIES => "ix.entries",
+        SEC_IX_SETDATA => "ix.set_data",
+        SEC_IX_SETOFF => "ix.set_offsets",
+        SEC_IX_VARBYLEN => "ix.variants_by_len",
+        SEC_IX_ORIGOFF => "ix.origin_offsets",
+        _ => "unknown",
+    }
+}
+
+/// One shard segment to freeze: its derived dictionary and index (built
+/// against the [`FreezeSource::order`]).
+pub struct FreezeSegment<'a> {
+    /// The segment's derived dictionary.
+    pub dd: &'a DerivedDictionary,
+    /// The segment's clustered index.
+    pub index: &'a ClusteredIndex,
+}
+
+/// Everything the v5 writer serializes. Borrowed: freezing never mutates or
+/// copies the engine it snapshots (beyond the output buffer).
+pub struct FreezeSource<'a> {
+    /// The interner every token id refers into.
+    pub interner: &'a Interner,
+    /// The origin dictionary over the full entity id space.
+    pub dict: &'a Dictionary,
+    /// Tombstoned origin ids.
+    pub removed: &'a [EntityId],
+    /// The synonym rule table.
+    pub rules: &'a RuleSet,
+    /// Engine configuration.
+    pub config: &'a AeetesConfig,
+    /// Generation number stamped into the header.
+    pub generation: u64,
+    /// The shared global token order.
+    pub order: &'a GlobalOrder,
+    /// One entry per shard segment.
+    pub segments: Vec<FreezeSegment<'a>>,
+}
+
+/// One decoded shard segment of an opened artifact: the derived dictionary
+/// and clustered index, their arenas borrowing the file image.
+pub struct FrozenSegmentParts {
+    /// The segment's derived dictionary (frozen arenas).
+    pub dd: DerivedDictionary,
+    /// The segment's clustered index (frozen arenas).
+    pub index: ClusteredIndex,
+}
+
+/// A validated, opened v5 artifact. The heavy structures borrow the mapped
+/// (or heap-loaded) file image through their arenas; only the small META
+/// structures (dictionary, rules, config) are decoded onto the heap.
+pub struct FrozenParts {
+    /// Interner whose base resolves from the frozen string table; newly
+    /// interned tokens (document vocabulary) overlay it on the heap.
+    pub interner: Interner,
+    /// The origin dictionary (decoded from META).
+    pub dict: Dictionary,
+    /// Tombstoned origin ids.
+    pub removed: Vec<EntityId>,
+    /// The synonym rule table (decoded from META).
+    pub rules: RuleSet,
+    /// Engine configuration.
+    pub config: AeetesConfig,
+    /// Generation number from the header.
+    pub generation: u64,
+    /// The shared global order (frozen arenas).
+    pub order: Arc<GlobalOrder>,
+    /// One entry per shard segment, in shard order.
+    pub segments: Vec<FrozenSegmentParts>,
+    /// Whether the backing storage is an mmap (false: heap fallback).
+    pub mmapped: bool,
+}
+
+// ---------------------------------------------------------------- writer --
+
+struct SectionWriter {
+    sections: Vec<(u32, u32, Vec<u8>)>,
+}
+
+impl SectionWriter {
+    fn push(&mut self, kind: u32, seg: u32, bytes: Vec<u8>) {
+        self.sections.push((kind, seg, bytes));
+    }
+
+    fn push_u32s(&mut self, kind: u32, seg: u32, it: impl Iterator<Item = u32>) {
+        let mut out = Vec::new();
+        for v in it {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        self.push(kind, seg, out);
+    }
+
+    fn push_u64s(&mut self, kind: u32, seg: u32, it: impl Iterator<Item = u64>) {
+        let mut out = Vec::new();
+        for v in it {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        self.push(kind, seg, out);
+    }
+
+    fn push_f64s(&mut self, kind: u32, seg: u32, it: impl Iterator<Item = f64>) {
+        let mut out = Vec::new();
+        for v in it {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        self.push(kind, seg, out);
+    }
+}
+
+/// Serializes `src` into a standalone v5 byte buffer (see the module docs
+/// for the layout). The inverse of [`open_frozen_bytes`].
+pub fn freeze_to_bytes(src: &FreezeSource<'_>) -> Vec<u8> {
+    let mut w = SectionWriter { sections: Vec::new() };
+
+    // META: the small decoded-on-open blob. Leading counts let
+    // `peek_frozen_info` report an artifact without decoding the rest.
+    let mut meta = Vec::new();
+    persist::put_u32(&mut meta, src.segments.len() as u32);
+    persist::put_u32(&mut meta, src.dict.len() as u32);
+    persist::put_u32(&mut meta, src.rules.len() as u32);
+    persist::put_u32(&mut meta, src.removed.len() as u32);
+    for e in src.removed {
+        persist::put_u32(&mut meta, e.0);
+    }
+    for (_, rule) in src.rules.iter() {
+        persist::put_ids(&mut meta, &rule.lhs);
+        persist::put_ids(&mut meta, &rule.rhs);
+        meta.extend_from_slice(&rule.weight.to_le_bytes());
+    }
+    persist::put_config(&mut meta, src.config);
+    for seg in &src.segments {
+        persist::put_stats(&mut meta, seg.dd.stats());
+    }
+    w.push(SEC_META, GLOBAL_SEG, meta);
+
+    // Origin dictionary: its four arenas verbatim, so the opener can
+    // validate them with linear scans and adopt them with four copies
+    // instead of a per-entity parse.
+    let (raws, raw_off, ent_tokens, ent_tok_off) = src.dict.raw_arenas();
+    w.push(SEC_DICT_RAWS, GLOBAL_SEG, raws.as_bytes().to_vec());
+    w.push_u32s(SEC_DICT_RAWOFF, GLOBAL_SEG, raw_off.iter().copied());
+    w.push_u32s(SEC_DICT_TOKENS, GLOBAL_SEG, ent_tokens.iter().map(|t| t.0));
+    w.push_u32s(SEC_DICT_TOKOFF, GLOBAL_SEG, ent_tok_off.iter().copied());
+
+    // Interner: canonical frozen string table over the full id space.
+    let strings = FrozenStrings::from_strings(src.interner.iter_strings());
+    w.push(SEC_STR_BYTES, GLOBAL_SEG, strings.raw_bytes().to_vec());
+    w.push_u32s(SEC_STR_OFF, GLOBAL_SEG, strings.raw_offsets().iter().copied());
+    w.push_u32s(SEC_STR_TABLE, GLOBAL_SEG, strings.raw_table().iter().copied());
+
+    // Global order.
+    let (freq, tie, untie) = src.order.raw_parts();
+    w.push_u32s(SEC_ORD_FREQ, GLOBAL_SEG, freq.iter().copied());
+    w.push_u32s(SEC_ORD_TIE, GLOBAL_SEG, tie.iter().copied());
+    w.push_u32s(SEC_ORD_UNTIE, GLOBAL_SEG, untie.iter().map(|t| t.0));
+
+    for (i, seg) in src.segments.iter().enumerate() {
+        let s = i as u32;
+        let (origin, weight, tokens, tok_off, rules, rule_off, by_origin) = seg.dd.raw_arenas();
+        w.push_u32s(SEC_DD_ORIGIN, s, origin.iter().map(|e| e.0));
+        w.push_f64s(SEC_DD_WEIGHT, s, weight.iter().copied());
+        w.push_u32s(SEC_DD_TOKENS, s, tokens.iter().map(|t| t.0));
+        w.push_u32s(SEC_DD_TOKOFF, s, tok_off.iter().copied());
+        let n_rules = src.rules.len() as u32;
+        if rules.iter().all(|r| r.0 < n_rules) {
+            w.push_u32s(SEC_DD_RULES, s, rules.iter().map(|r| r.0));
+            w.push_u32s(SEC_DD_RULEOFF, s, rule_off.iter().copied());
+        } else {
+            // Engines loaded from v2 artifacts carry rule provenance ids
+            // without a rule table (v2 never persisted one). A frozen
+            // artifact must be self-consistent — the opener rejects
+            // dangling cross-references — so unresolvable ids are dropped
+            // here. They were already unresolvable in memory.
+            let mut kept: Vec<u32> = Vec::with_capacity(rules.len());
+            let mut offs: Vec<u32> = Vec::with_capacity(rule_off.len());
+            offs.push(0);
+            for win in rule_off.windows(2) {
+                let (a, b) = (win[0] as usize, win[1] as usize);
+                kept.extend(rules[a..b].iter().map(|r| r.0).filter(|&r| r < n_rules));
+                offs.push(kept.len() as u32);
+            }
+            w.push_u32s(SEC_DD_RULES, s, kept.into_iter());
+            w.push_u32s(SEC_DD_RULEOFF, s, offs.into_iter());
+        }
+        w.push_u32s(SEC_DD_BYORIGIN, s, by_origin.iter().copied());
+
+        let ix = seg.index.raw_parts();
+        w.push_u32s(SEC_IX_TOKGROUPS, s, ix.tok_groups.iter().copied());
+        // u16 group lengths: written raw, padded to the element count.
+        let mut gl = Vec::with_capacity(ix.group_len.len() * 2);
+        for &l in ix.group_len {
+            gl.extend_from_slice(&l.to_le_bytes());
+        }
+        w.push(SEC_IX_GROUPLEN, s, gl);
+        w.push_u32s(SEC_IX_GROUPORIG, s, ix.group_origins.iter().copied());
+        w.push_u32s(SEC_IX_ORIGENT, s, ix.origin_entity.iter().map(|e| e.0));
+        w.push_u32s(SEC_IX_ORIGENTRIES, s, ix.origin_entries.iter().copied());
+        // Posting entries: fields + explicit zero padding (never a memcpy of
+        // the in-memory struct, whose padding bytes are unspecified).
+        let mut en = Vec::with_capacity(ix.entries.len() * 8);
+        for e in ix.entries {
+            en.extend_from_slice(&e.derived.0.to_le_bytes());
+            en.extend_from_slice(&e.pos.to_le_bytes());
+            en.extend_from_slice(&[0u8; 2]);
+        }
+        w.push(SEC_IX_ENTRIES, s, en);
+        w.push_u64s(SEC_IX_SETDATA, s, ix.set_data.iter().copied());
+        w.push_u32s(SEC_IX_SETOFF, s, ix.set_offsets.iter().copied());
+        w.push_u32s(SEC_IX_VARBYLEN, s, ix.variants_by_len.iter().map(|d| d.0));
+        w.push_u32s(SEC_IX_ORIGOFF, s, ix.origin_offsets.iter().copied());
+    }
+
+    // Lay out: header, table, aligned sections, CRC footer.
+    let s_count = w.sections.len();
+    let table_end = HEADER_FIXED + s_count * ENTRY_BYTES;
+    let mut buf = Vec::with_capacity(table_end + w.sections.iter().map(|(_, _, b)| b.len() + SECTION_ALIGN).sum::<usize>() + 4);
+    buf.extend_from_slice(persist::MAGIC);
+    persist::put_u32(&mut buf, persist::VERSION_FROZEN);
+    persist::put_u64(&mut buf, src.generation);
+    persist::put_u32(&mut buf, s_count as u32);
+    persist::put_u32(&mut buf, 0); // reserved
+                                   // Placeholder table, patched below once offsets are known.
+    buf.resize(table_end, 0);
+    let mut offsets = Vec::with_capacity(s_count);
+    for (_, _, bytes) in &w.sections {
+        let pad = (SECTION_ALIGN - buf.len() % SECTION_ALIGN) % SECTION_ALIGN;
+        buf.resize(buf.len() + pad, 0);
+        offsets.push((buf.len() as u64, bytes.len() as u64));
+        buf.extend_from_slice(bytes);
+    }
+    for (i, ((kind, seg, _), (off, len))) in w.sections.iter().zip(offsets).enumerate() {
+        let at = HEADER_FIXED + i * ENTRY_BYTES;
+        buf[at..at + 4].copy_from_slice(&kind.to_le_bytes());
+        buf[at + 4..at + 8].copy_from_slice(&seg.to_le_bytes());
+        buf[at + 8..at + 16].copy_from_slice(&off.to_le_bytes());
+        buf[at + 16..at + 24].copy_from_slice(&len.to_le_bytes());
+    }
+    let footer = crc32(&buf);
+    persist::put_u32(&mut buf, footer);
+    buf
+}
+
+// ---------------------------------------------------------------- opener --
+
+struct SectionTable {
+    entries: HashMap<(u32, u32), (usize, usize)>,
+    segments: usize,
+}
+
+fn corrupt(msg: impl Into<String>) -> PersistError {
+    PersistError::Corrupt(msg.into())
+}
+
+/// Parses and bounds-checks the header and section table of `bytes`
+/// (which must already be CRC-verified). Rejects out-of-bounds, overlappingly
+/// duplicated, or misaligned sections and missing kinds.
+fn parse_table(bytes: &[u8]) -> Result<SectionTable, PersistError> {
+    let mut r = Reader { buf: bytes };
+    let magic = r.take(4, "magic")?;
+    if magic != persist::MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = r.u32("version")?;
+    if version != persist::VERSION_FROZEN {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let generation = r.u64("generation")?;
+    if generation == 0 {
+        return Err(corrupt("generation 0 is invalid (generations start at 1)"));
+    }
+    let s_count = r.u32("section count")? as usize;
+    let _reserved = r.u32("reserved")?;
+    if s_count > MAX_SECTIONS {
+        return Err(corrupt(format!("section count {s_count} exceeds the limit of {MAX_SECTIONS}")));
+    }
+    let table_end = HEADER_FIXED + s_count * ENTRY_BYTES;
+    let payload_end = bytes.len() - 4; // CRC footer, length pre-checked
+    if table_end > payload_end {
+        return Err(PersistError::Truncated("section table"));
+    }
+    let mut entries = HashMap::with_capacity(s_count);
+    let mut max_seg: Option<u32> = None;
+    for i in 0..s_count {
+        let kind = r.u32("section kind")?;
+        let seg = r.u32("section segment")?;
+        let off = r.u64("section offset")? as usize;
+        let len = r.u64("section length")? as usize;
+        if !off.is_multiple_of(SECTION_ALIGN) {
+            return Err(corrupt(format!("section {i} offset {off} is not {SECTION_ALIGN}-byte aligned")));
+        }
+        let end = off.checked_add(len).ok_or_else(|| corrupt(format!("section {i} range overflows")))?;
+        if off < table_end || end > payload_end {
+            return Err(corrupt(format!("section {i} [{off}, {end}) outside payload [{table_end}, {payload_end})")));
+        }
+        if entries.insert((kind, seg), (off, len)).is_some() {
+            return Err(corrupt(format!("duplicate section kind {kind} segment {seg}")));
+        }
+        if seg != GLOBAL_SEG && SEGMENT_KINDS.contains(&kind) {
+            max_seg = Some(max_seg.map_or(seg, |m| m.max(seg)));
+        }
+    }
+    for kind in GLOBAL_KINDS {
+        if !entries.contains_key(&(kind, GLOBAL_SEG)) {
+            return Err(corrupt(format!("missing global section {}", section_kind_name(kind))));
+        }
+    }
+    let segments = max_seg.map_or(0, |m| m as usize + 1);
+    for seg in 0..segments as u32 {
+        for kind in SEGMENT_KINDS {
+            if !entries.contains_key(&(kind, seg)) {
+                return Err(corrupt(format!("segment {seg} is missing section {}", section_kind_name(kind))));
+            }
+        }
+    }
+    Ok(SectionTable { entries, segments })
+}
+
+impl SectionTable {
+    fn slice<T: Pod>(&self, buf: &Arc<FrozenBuf>, kind: u32, seg: u32) -> Result<FrozenSlice<T>, PersistError> {
+        let &(off, len) = self
+            .entries
+            .get(&(kind, seg))
+            .ok_or_else(|| corrupt(format!("missing section {} segment {seg}", section_kind_name(kind))))?;
+        FrozenSlice::new(Arc::clone(buf), off, len).map_err(|e| corrupt(format!("section {}: {e}", section_kind_name(kind))))
+    }
+
+    fn bytes<'a>(&self, buf: &'a FrozenBuf, kind: u32, seg: u32) -> Result<&'a [u8], PersistError> {
+        let &(off, len) = self
+            .entries
+            .get(&(kind, seg))
+            .ok_or_else(|| corrupt(format!("missing section {} segment {seg}", section_kind_name(kind))))?;
+        Ok(&buf.as_bytes()[off..off + len])
+    }
+}
+
+/// Opens a v5 artifact file, preferring a read-only memory map and falling
+/// back to a heap read when mapping is unavailable. See [`open_frozen_bytes`]
+/// for the byte-buffer variant; validation and results are identical.
+pub fn open_frozen(path: &Path) -> Result<FrozenParts, PersistError> {
+    if failpoint::hit("frozen.open.read").is_some() {
+        return Err(PersistError::Io(std::io::Error::other("failpoint frozen.open.read")));
+    }
+    let file = std::fs::File::open(path).map_err(PersistError::Io)?;
+    let buf = if failpoint::hit("frozen.open.mmap").is_some() {
+        // Injected mmap failure: exercise the heap fallback path.
+        let bytes = std::fs::read(path).map_err(PersistError::Io)?;
+        FrozenBuf::heap_from_bytes(&bytes)
+    } else {
+        match FrozenBuf::mmap_file(&file) {
+            Ok(m) => m,
+            Err(_) => {
+                let bytes = std::fs::read(path).map_err(PersistError::Io)?;
+                FrozenBuf::heap_from_bytes(&bytes)
+            }
+        }
+    };
+    open_frozen_buf(Arc::new(buf))
+}
+
+/// Opens a v5 artifact from an in-memory byte buffer (the bytes are copied
+/// into an aligned heap arena; no mapping is involved).
+pub fn open_frozen_bytes(bytes: &[u8]) -> Result<FrozenParts, PersistError> {
+    open_frozen_buf(Arc::new(FrozenBuf::heap_from_bytes(bytes)))
+}
+
+fn open_frozen_buf(buf: Arc<FrozenBuf>) -> Result<FrozenParts, PersistError> {
+    if cfg!(target_endian = "big") {
+        return Err(corrupt("frozen v5 artifacts require a little-endian host"));
+    }
+    let bytes = buf.as_bytes();
+    if bytes.len() < HEADER_FIXED + 4 {
+        return Err(PersistError::Truncated("frozen header"));
+    }
+    // Integrity first: nothing in the body is trusted before the CRC holds.
+    let payload_end = bytes.len() - 4;
+    let expected = u32::from_le_bytes(bytes[payload_end..].try_into().expect("4-byte footer"));
+    let actual = crc32(&bytes[..payload_end]);
+    if expected != actual {
+        return Err(PersistError::ChecksumMismatch { expected, actual });
+    }
+    if failpoint::hit("frozen.open.validate").is_some() {
+        return Err(corrupt("failpoint frozen.open.validate"));
+    }
+    let table = parse_table(bytes)?;
+    let generation = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte generation"));
+
+    // Interner: validate the frozen string table, then overlay.
+    let strings = FrozenStrings::new(
+        table.slice::<u8>(&buf, SEC_STR_BYTES, GLOBAL_SEG)?.into(),
+        table.slice::<u32>(&buf, SEC_STR_OFF, GLOBAL_SEG)?.into(),
+        table.slice::<u32>(&buf, SEC_STR_TABLE, GLOBAL_SEG)?.into(),
+    )
+    .map_err(|e| corrupt(format!("string table: {e}")))?;
+    let interner = Interner::with_base(Arc::new(strings));
+    let n_tokens = interner.len() as u32;
+
+    // Global order.
+    let order = GlobalOrder::from_raw_parts(
+        table.slice::<u32>(&buf, SEC_ORD_FREQ, GLOBAL_SEG)?.into(),
+        table.slice::<u32>(&buf, SEC_ORD_TIE, GLOBAL_SEG)?.into(),
+        table.slice::<TokenId>(&buf, SEC_ORD_UNTIE, GLOBAL_SEG)?.into(),
+    )
+    .map_err(|e| corrupt(format!("global order: {e}")))?;
+    let (freq, _, _) = order.raw_parts();
+    if freq.len() > n_tokens as usize {
+        return Err(corrupt(format!("global order covers {} tokens, interner holds {n_tokens}", freq.len())));
+    }
+    let order = Arc::new(order);
+
+    // META: the small decoded structures.
+    let meta = table.bytes(&buf, SEC_META, GLOBAL_SEG)?;
+    let mut r = Reader { buf: meta };
+    let meta_segments = r.u32("meta segment count")? as usize;
+    if meta_segments != table.segments {
+        return Err(corrupt(format!("meta names {meta_segments} segments, section table holds {}", table.segments)));
+    }
+    let meta_entities = r.u32("meta entity count")? as usize;
+    let meta_rules = r.u32("meta rule count")? as usize;
+    let dict = Dictionary::from_raw_arenas(
+        table.bytes(&buf, SEC_DICT_RAWS, GLOBAL_SEG)?.to_vec(),
+        table.slice::<u32>(&buf, SEC_DICT_RAWOFF, GLOBAL_SEG)?.to_vec(),
+        table.slice::<TokenId>(&buf, SEC_DICT_TOKENS, GLOBAL_SEG)?.to_vec(),
+        table.slice::<u32>(&buf, SEC_DICT_TOKOFF, GLOBAL_SEG)?.to_vec(),
+        n_tokens,
+    )
+    .map_err(|e| corrupt(format!("dictionary: {e}")))?;
+    if dict.len() != meta_entities {
+        return Err(corrupt(format!("meta claims {meta_entities} entities, dictionary holds {}", dict.len())));
+    }
+    let n_removed = r.u32("removed size")? as usize;
+    r.check_count(n_removed, 4, "removed size")?;
+    let mut removed = Vec::with_capacity(n_removed);
+    for _ in 0..n_removed {
+        let id = r.u32("removed id")?;
+        if id as usize >= dict.len() {
+            return Err(corrupt(format!("removed id {id} out of range {}", dict.len())));
+        }
+        removed.push(EntityId(id));
+    }
+    r.check_count(meta_rules, 16, "rules size")?;
+    let mut rules = RuleSet::new();
+    rules.reserve(meta_rules);
+    for _ in 0..meta_rules {
+        let lhs = r.ids(n_tokens, "rule lhs")?;
+        let rhs = r.ids(n_tokens, "rule rhs")?;
+        let weight = r.f64("rule weight")?;
+        rules.push_tokens(lhs, rhs, weight).map_err(|e| corrupt(format!("invalid persisted rule: {e}")))?;
+    }
+    let config = persist::read_config(&mut r)?;
+    let mut stats = Vec::with_capacity(table.segments);
+    for _ in 0..table.segments {
+        stats.push(persist::read_stats(&mut r)?);
+    }
+    if !r.buf.is_empty() {
+        return Err(corrupt(format!("{} trailing bytes in meta section", r.buf.len())));
+    }
+
+    // Segments: reassemble each derived dictionary + index from its arenas,
+    // with full structural validation, then cross-check the pieces agree.
+    // Segments are independent, and the validation scans are the bulk of a
+    // large artifact's open cost, so they run on scoped threads; errors are
+    // surfaced in segment order to keep failures deterministic.
+    let n_rules = rules.len() as u32;
+    let dict_len = dict.len();
+    let parallel = table.segments > 1 && std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) > 1;
+    let seg_results: Vec<Result<FrozenSegmentParts, PersistError>> = if parallel {
+        std::thread::scope(|sc| {
+            let handles: Vec<_> = stats
+                .into_iter()
+                .enumerate()
+                .map(|(s, st)| {
+                    let (buf, table, order) = (&buf, &table, &order);
+                    sc.spawn(move || open_segment(buf, table, order, s as u32, st, n_tokens, dict_len, n_rules))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("segment validation worker")).collect()
+        })
+    } else {
+        stats
+            .into_iter()
+            .enumerate()
+            .map(|(s, st)| open_segment(&buf, &table, &order, s as u32, st, n_tokens, dict_len, n_rules))
+            .collect()
+    };
+    let mut segments = Vec::with_capacity(table.segments);
+    for r in seg_results {
+        segments.push(r?);
+    }
+
+    let mmapped = buf.is_mmap();
+    Ok(FrozenParts { interner, dict, removed, rules, config, generation, order, segments, mmapped })
+}
+
+/// Reassembles and validates one frozen segment (see [`open_frozen_buf`]).
+#[allow(clippy::too_many_arguments)]
+fn open_segment(
+    buf: &Arc<FrozenBuf>,
+    table: &SectionTable,
+    order: &Arc<GlobalOrder>,
+    s: u32,
+    st: DeriveStats,
+    n_tokens: u32,
+    dict_len: usize,
+    n_rules: u32,
+) -> Result<FrozenSegmentParts, PersistError> {
+    let dd = DerivedDictionary::from_raw_arenas(
+        table.slice::<EntityId>(buf, SEC_DD_ORIGIN, s)?.into(),
+        table.slice::<f64>(buf, SEC_DD_WEIGHT, s)?.into(),
+        table.slice::<TokenId>(buf, SEC_DD_TOKENS, s)?.into(),
+        table.slice::<u32>(buf, SEC_DD_TOKOFF, s)?.into(),
+        table.slice::<RuleId>(buf, SEC_DD_RULES, s)?.into(),
+        table.slice::<u32>(buf, SEC_DD_RULEOFF, s)?.into(),
+        table.slice::<u32>(buf, SEC_DD_BYORIGIN, s)?.into(),
+        st,
+    )
+    .map_err(|e| corrupt(format!("segment {s} derived dictionary: {e}")))?;
+    // A segment predating a dictionary-growing delta legitimately spans
+    // a shorter origin space (origins beyond it have no variants there);
+    // spanning more origins than the dictionary is always corruption.
+    if dd.origins() > dict_len {
+        return Err(corrupt(format!("segment {s} spans {} origins, dictionary holds only {dict_len}", dd.origins())));
+    }
+    // Range checks over the large arenas run branchless (fold, then one
+    // test) so they vectorize; the offending element is only hunted down
+    // on the already-failed path.
+    let (_, weights, tokens, _, rule_ids, _, _) = dd.raw_arenas();
+    if tokens.iter().map(|t| t.0).max().is_some_and(|m| m >= n_tokens) {
+        let t = tokens.iter().map(|t| t.0).find(|&t| t >= n_tokens).expect("max out of range");
+        return Err(corrupt(format!("segment {s} references token {t} outside the interner ({n_tokens})")));
+    }
+    if !weights.iter().fold(true, |ok, &w| ok & (w > 0.0) & (w <= 1.0)) {
+        let (i, w) = weights.iter().enumerate().find(|(_, &w)| !(w > 0.0 && w <= 1.0)).expect("weight out of range");
+        return Err(corrupt(format!("segment {s} variant {i} weight {w} outside (0, 1]")));
+    }
+    if rule_ids.iter().map(|r| r.0).max().is_some_and(|m| m >= n_rules) {
+        let r = rule_ids.iter().map(|r| r.0).find(|&r| r >= n_rules).expect("max out of range");
+        return Err(corrupt(format!("segment {s} references rule {r} outside the rule table ({n_rules})")));
+    }
+    let index = ClusteredIndex::from_raw_parts(
+        Arc::clone(order),
+        IndexArenas {
+            tok_groups: table.slice::<u32>(buf, SEC_IX_TOKGROUPS, s)?.into(),
+            group_len: table.slice::<u16>(buf, SEC_IX_GROUPLEN, s)?.into(),
+            group_origins: table.slice::<u32>(buf, SEC_IX_GROUPORIG, s)?.into(),
+            origin_entity: table.slice::<EntityId>(buf, SEC_IX_ORIGENT, s)?.into(),
+            origin_entries: table.slice::<u32>(buf, SEC_IX_ORIGENTRIES, s)?.into(),
+            entries: table.slice::<aeetes_index::PostingEntry>(buf, SEC_IX_ENTRIES, s)?.into(),
+            set_data: table.slice::<u64>(buf, SEC_IX_SETDATA, s)?.into(),
+            set_offsets: table.slice::<u32>(buf, SEC_IX_SETOFF, s)?.into(),
+            variants_by_len: table.slice::<DerivedId>(buf, SEC_IX_VARBYLEN, s)?.into(),
+            origin_offsets: table.slice::<u32>(buf, SEC_IX_ORIGOFF, s)?.into(),
+        },
+    )
+    .map_err(|e| corrupt(format!("segment {s} index: {e}")))?;
+    // Cross-structure agreement: the index must describe exactly this
+    // segment's derived space and the dictionary's origin space.
+    if index.raw_parts().set_offsets.len() != dd.len() + 1 {
+        return Err(corrupt(format!(
+            "segment {s} index covers {} derived entities, dictionary holds {}",
+            index.raw_parts().set_offsets.len().saturating_sub(1),
+            dd.len()
+        )));
+    }
+    if index.raw_parts().origin_offsets.len() != dd.origins() + 1 {
+        return Err(corrupt(format!(
+            "segment {s} variant table covers {} origins, its dictionary segment spans {}",
+            index.raw_parts().origin_offsets.len().saturating_sub(1),
+            dd.origins()
+        )));
+    }
+    Ok(FrozenSegmentParts { dd, index })
+}
+
+// ------------------------------------------------------------- peek info --
+
+/// Summary of an artifact's header, readable without loading (or fully
+/// validating) the body. See [`peek_info`].
+#[derive(Debug, Clone)]
+pub struct ArtifactInfo {
+    /// Format version (1–5).
+    pub version: u32,
+    /// Generation number (1 for pre-v4 artifacts).
+    pub generation: u64,
+    /// Origin entity count.
+    pub entities: usize,
+    /// Synonym rule count (0 for v1/v2, which don't persist rules).
+    pub rules: usize,
+    /// Interned token count.
+    pub tokens: usize,
+    /// Shard segment count (1 for v1/v2).
+    pub segments: usize,
+    /// Total artifact size in bytes.
+    pub file_len: usize,
+    /// Per-section sizes (v5 only; empty for older formats).
+    pub sections: Vec<SectionInfo>,
+}
+
+/// One v5 section's identity and size.
+#[derive(Debug, Clone)]
+pub struct SectionInfo {
+    /// Section kind name (see [`section_kind_name`]).
+    pub kind: &'static str,
+    /// Owning segment (`None` for global sections).
+    pub seg: Option<u32>,
+    /// Section payload bytes.
+    pub len: usize,
+}
+
+/// Reads an artifact's headline facts — version, generation, entity/rule/
+/// token counts, section sizes — without building an engine: v5 artifacts
+/// are answered from the header, section table and the META counts; v1–v4
+/// artifacts are skip-scanned (lengths walked, nothing decoded). No CRC is
+/// verified — this is a diagnostic peek, not a load.
+pub fn peek_info(bytes: &[u8]) -> Result<ArtifactInfo, PersistError> {
+    let mut r = Reader { buf: bytes };
+    let magic = r.take(4, "magic")?;
+    if magic != persist::MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = r.u32("version")?;
+    match version {
+        persist::VERSION_FROZEN => peek_info_v5(bytes),
+        1..=4 => peek_info_legacy(bytes, version),
+        other => Err(PersistError::UnsupportedVersion(other)),
+    }
+}
+
+fn peek_info_v5(bytes: &[u8]) -> Result<ArtifactInfo, PersistError> {
+    if bytes.len() < HEADER_FIXED + 4 {
+        return Err(PersistError::Truncated("frozen header"));
+    }
+    let table = parse_table(bytes)?;
+    let generation = u64::from_le_bytes(bytes[8..16].try_into().expect("8-byte generation"));
+    // Leading META counts (segments, entities, rules).
+    let &(off, len) = table.entries.get(&(SEC_META, GLOBAL_SEG)).expect("parse_table guarantees META");
+    let mut r = Reader { buf: &bytes[off..off + len] };
+    let _segments = r.u32("meta segment count")? as usize;
+    let entities = r.u32("meta entity count")? as usize;
+    let rules = r.u32("meta rule count")? as usize;
+    // Token count: the string offset array holds n + 1 entries.
+    let &(_, off_len) = table.entries.get(&(SEC_STR_OFF, GLOBAL_SEG)).expect("parse_table guarantees STR_OFF");
+    let tokens = (off_len / 4).saturating_sub(1);
+    let mut sections: Vec<SectionInfo> = table
+        .entries
+        .iter()
+        .map(|(&(kind, seg), &(_, len))| SectionInfo { kind: section_kind_name(kind), seg: (seg != GLOBAL_SEG).then_some(seg), len })
+        .collect();
+    sections.sort_by_key(|s| (s.seg, s.kind));
+    Ok(ArtifactInfo {
+        version: persist::VERSION_FROZEN,
+        generation,
+        entities,
+        rules,
+        tokens,
+        segments: table.segments,
+        file_len: bytes.len(),
+        sections,
+    })
+}
+
+/// Skip-scans a v1–v4 artifact: every variable-length field is walked by
+/// its length prefix; strings, variants and segments are never decoded.
+fn peek_info_legacy(bytes: &[u8], version: u32) -> Result<ArtifactInfo, PersistError> {
+    let mut r = Reader { buf: &bytes[8..] };
+    let generation = if version >= 4 { r.u64("generation")? } else { 1 };
+    let tokens = r.u32("interner size")? as usize;
+    r.check_count(tokens, 4, "interner size")?;
+    for _ in 0..tokens {
+        let n = r.u32("interner string")? as usize;
+        r.take(n, "interner string")?;
+    }
+    let entities = r.u32("dictionary size")? as usize;
+    r.check_count(entities, 8, "dictionary size")?;
+    for _ in 0..entities {
+        let n = r.u32("entity raw")? as usize;
+        r.take(n, "entity raw")?;
+        let t = r.u32("entity tokens")? as usize;
+        r.take(t.checked_mul(4).ok_or(PersistError::Truncated("entity tokens"))?, "entity tokens")?;
+    }
+    let (rules, segments) = if version >= 3 {
+        let n_removed = r.u32("removed size")? as usize;
+        r.take(n_removed.checked_mul(4).ok_or(PersistError::Truncated("removed ids"))?, "removed ids")?;
+        let n_rules = r.u32("rules size")? as usize;
+        r.check_count(n_rules, 16, "rules size")?;
+        for _ in 0..n_rules {
+            for side in ["rule lhs", "rule rhs"] {
+                let n = r.u32(side)? as usize;
+                r.take(n.checked_mul(4).ok_or(PersistError::Truncated("rule side"))?, side)?;
+            }
+            r.take(8, "rule weight")?;
+        }
+        r.take(10, "config")?; // u8 strategy + u8 metric + u64 max_derived
+        (n_rules, r.u32("segment count")? as usize)
+    } else {
+        (0, 1)
+    };
+    Ok(ArtifactInfo {
+        version,
+        generation,
+        entities,
+        rules,
+        tokens,
+        segments,
+        file_len: bytes.len(),
+        sections: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::extract_segment;
+    use crate::limits::ExtractLimits;
+    use aeetes_rules::DerivedEntity;
+    use aeetes_text::{Document, Tokenizer};
+
+    fn sample() -> (crate::Aeetes, Interner, Tokenizer, RuleSet) {
+        let mut int = Interner::new();
+        let tok = Tokenizer::default();
+        let mut dict = Dictionary::new();
+        dict.push("Purdue University USA", &tok, &mut int);
+        dict.push("UQ AU", &tok, &mut int);
+        dict.push("University of Wisconsin Madison", &tok, &mut int);
+        let mut rules = RuleSet::new();
+        rules.push_str("UQ", "University of Queensland", &tok, &mut int).unwrap();
+        rules.push_weighted_str("AU", "Australia", 0.9, &tok, &mut int).unwrap();
+        rules.push_str("USA", "United States", &tok, &mut int).unwrap();
+        let engine = crate::Aeetes::build(dict, &rules, &int, AeetesConfig::default());
+        (engine, int, tok, rules)
+    }
+
+    fn freeze_sample(engine: &crate::Aeetes, int: &Interner, rules: &RuleSet, generation: u64) -> Vec<u8> {
+        freeze_to_bytes(&FreezeSource {
+            interner: int,
+            dict: engine.dictionary(),
+            removed: &[],
+            rules,
+            config: engine.config(),
+            generation,
+            order: engine.index().order(),
+            segments: vec![FreezeSegment { dd: engine.derived(), index: engine.index() }],
+        })
+    }
+
+    fn extract_frozen(parts: &FrozenParts, doc: &Document, tau: f64) -> Vec<crate::Match> {
+        let seg = &parts.segments[0];
+        extract_segment(&seg.index, &seg.dd, doc, tau, parts.config.strategy, parts.config.metric, false, None, &ExtractLimits::UNLIMITED, None)
+            .matches
+    }
+
+    #[test]
+    fn round_trip_heap_is_bit_identical() {
+        let (engine, mut int, tok, rules) = sample();
+        let bytes = freeze_sample(&engine, &int, &rules, 3);
+        let parts = open_frozen_bytes(&bytes).expect("open");
+        assert_eq!(parts.generation, 3);
+        assert!(!parts.mmapped);
+        assert_eq!(parts.interner.len(), int.len());
+        assert_eq!(parts.dict.len(), engine.dictionary().len());
+        assert_eq!(parts.rules.len(), rules.len());
+        assert!(parts.segments[0].dd.is_frozen());
+        assert!(parts.segments[0].index.is_frozen());
+        let text = "she left UQ Australia for Purdue University United States near University of Wisconsin Madison";
+        let doc_a = Document::parse(text, &tok, &mut int);
+        let mut frozen_int = parts.interner.clone();
+        let doc_b = Document::parse(text, &tok, &mut frozen_int);
+        for tau in [0.6, 0.8, 1.0] {
+            assert_eq!(extract_frozen(&parts, &doc_b, tau), engine.extract(&doc_a, tau), "tau={tau}");
+        }
+    }
+
+    #[test]
+    fn round_trip_mmap_matches_heap() {
+        let (engine, int, tok, rules) = sample();
+        let bytes = freeze_sample(&engine, &int, &rules, 1);
+        let path = std::env::temp_dir().join(format!("aeetes-frozen-rt-{}.aeet", std::process::id()));
+        std::fs::write(&path, &bytes).unwrap();
+        let mapped = open_frozen(&path).expect("open mmap");
+        let heaped = open_frozen_bytes(&bytes).expect("open heap");
+        #[cfg(unix)]
+        assert!(mapped.mmapped, "unix opens must map");
+        let mut int_a = mapped.interner.clone();
+        let mut int_b = heaped.interner.clone();
+        let doc_a = Document::parse("purdue university united states and uq australia", &tok, &mut int_a);
+        let doc_b = Document::parse("purdue university united states and uq australia", &tok, &mut int_b);
+        assert_eq!(extract_frozen(&mapped, &doc_a, 0.7), extract_frozen(&heaped, &doc_b, 0.7));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_and_bitflips_never_panic() {
+        let (engine, int, _, rules) = sample();
+        let bytes = freeze_sample(&engine, &int, &rules, 2);
+        for cut in 0..bytes.len() {
+            assert!(open_frozen_bytes(&bytes[..cut]).is_err(), "prefix of {cut} bytes accepted");
+        }
+        for i in (0..bytes.len()).step_by(7) {
+            let mut b = bytes.clone();
+            b[i] ^= 0xFF;
+            assert!(open_frozen_bytes(&b).is_err(), "bit flip at {i} accepted (CRC must catch everything)");
+        }
+    }
+
+    #[test]
+    fn misaligned_section_offset_rejected() {
+        let (engine, int, _, rules) = sample();
+        let mut bytes = freeze_sample(&engine, &int, &rules, 2);
+        // Nudge the first section's offset off alignment, re-CRC.
+        let at = HEADER_FIXED + 8;
+        let off = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        bytes[at..at + 8].copy_from_slice(&(off + 1).to_le_bytes());
+        let len = bytes.len();
+        let footer = crc32(&bytes[..len - 4]);
+        bytes[len - 4..].copy_from_slice(&footer.to_le_bytes());
+        let err = match open_frozen_bytes(&bytes) {
+            Ok(_) => panic!("misaligned offset must be rejected"),
+            Err(e) => e,
+        };
+        assert!(err.to_string().contains("aligned"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn sharded_segments_round_trip() {
+        // Two segments splitting the origin space; both span the full origin
+        // id range with disjoint resident origins.
+        let (engine, int, tok, rules) = sample();
+        let dict = engine.dictionary();
+        let config = engine.config();
+        let even = DerivedDictionary::build_filtered(dict, &rules, &config.derive, |e| e.0 % 2 == 0);
+        let odd = DerivedDictionary::build_filtered(dict, &rules, &config.derive, |e| e.0 % 2 == 1);
+        let order = engine.index().shared_order();
+        let ix_even = ClusteredIndex::build_with_order(&even, Arc::clone(&order));
+        let ix_odd = ClusteredIndex::build_with_order(&odd, Arc::clone(&order));
+        let bytes = freeze_to_bytes(&FreezeSource {
+            interner: &int,
+            dict,
+            removed: &[],
+            rules: &rules,
+            config,
+            generation: 7,
+            order: order.as_ref(),
+            segments: vec![FreezeSegment { dd: &even, index: &ix_even }, FreezeSegment { dd: &odd, index: &ix_odd }],
+        });
+        let parts = open_frozen_bytes(&bytes).expect("open two segments");
+        assert_eq!(parts.segments.len(), 2);
+        assert_eq!(parts.generation, 7);
+        assert_eq!(parts.segments[0].dd.len(), even.len());
+        assert_eq!(parts.segments[1].dd.len(), odd.len());
+        // Each frozen segment extracts identically to its source.
+        let mut fi = parts.interner.clone();
+        let doc = Document::parse("purdue university united states and uq australia", &tok, &mut fi);
+        for (seg, (src_dd, src_ix)) in parts.segments.iter().zip([(&even, &ix_even), (&odd, &ix_odd)]) {
+            let a = extract_segment(&seg.index, &seg.dd, &doc, 0.7, config.strategy, config.metric, false, None, &ExtractLimits::UNLIMITED, None);
+            let b = extract_segment(src_ix, src_dd, &doc, 0.7, config.strategy, config.metric, false, None, &ExtractLimits::UNLIMITED, None);
+            assert_eq!(a.matches, b.matches);
+        }
+    }
+
+    #[test]
+    fn refreeze_of_opened_parts_is_stable() {
+        // freeze → open → freeze again must produce identical bytes: the
+        // opened arenas describe exactly what was written.
+        let (engine, int, _, rules) = sample();
+        let bytes = freeze_sample(&engine, &int, &rules, 4);
+        let parts = open_frozen_bytes(&bytes).expect("open");
+        let again = freeze_to_bytes(&FreezeSource {
+            interner: &parts.interner,
+            dict: &parts.dict,
+            removed: &parts.removed,
+            rules: &parts.rules,
+            config: &parts.config,
+            generation: parts.generation,
+            order: parts.order.as_ref(),
+            segments: parts.segments.iter().map(|s| FreezeSegment { dd: &s.dd, index: &s.index }).collect(),
+        });
+        assert_eq!(bytes, again, "refreeze must be byte-identical");
+    }
+
+    #[test]
+    fn peek_info_reports_v5_and_legacy() {
+        let (engine, int, _, rules) = sample();
+        let v5 = freeze_sample(&engine, &int, &rules, 9);
+        let info = peek_info(&v5).expect("peek v5");
+        assert_eq!(info.version, 5);
+        assert_eq!(info.generation, 9);
+        assert_eq!(info.entities, 3);
+        assert_eq!(info.rules, 3);
+        assert_eq!(info.tokens, int.len());
+        assert_eq!(info.segments, 1);
+        assert_eq!(info.file_len, v5.len());
+        assert!(!info.sections.is_empty());
+        assert!(info.sections.iter().any(|s| s.kind == "ix.entries"));
+
+        let v2 = crate::save_engine(&engine, &int);
+        let info = peek_info(&v2).expect("peek v2");
+        assert_eq!(info.version, 2);
+        assert_eq!(info.generation, 1);
+        assert_eq!(info.entities, 3);
+        assert_eq!(info.rules, 0, "v2 doesn't persist rules");
+        assert_eq!(info.tokens, int.len());
+        assert_eq!(info.segments, 1);
+        assert!(info.sections.is_empty());
+    }
+
+    #[test]
+    fn peek_generation_reads_v5_header() {
+        let (engine, int, _, rules) = sample();
+        let bytes = freeze_sample(&engine, &int, &rules, 42);
+        assert_eq!(crate::peek_generation(&bytes).unwrap(), 42);
+    }
+
+    #[test]
+    fn load_sharded_rejects_v5() {
+        let (engine, int, _, rules) = sample();
+        let bytes = freeze_sample(&engine, &int, &rules, 1);
+        assert!(matches!(crate::load_sharded(&bytes), Err(PersistError::UnsupportedVersion(5))));
+    }
+
+    #[test]
+    fn updates_over_frozen_parts_copy_on_write() {
+        // The derived dictionary's owned conversion is the COW seam a
+        // delta path uses; a frozen dd must convert cleanly.
+        let (engine, int, _, rules) = sample();
+        let bytes = freeze_sample(&engine, &int, &rules, 1);
+        let parts = open_frozen_bytes(&bytes).expect("open");
+        let seg = &parts.segments[0];
+        let owned: Vec<DerivedEntity> = seg.dd.iter().map(|(_, d)| d.to_owned()).collect();
+        let rebuilt = DerivedDictionary::from_parts(owned, parts.dict.len(), seg.dd.stats().clone()).expect("rebuild");
+        assert_eq!(rebuilt.len(), seg.dd.len());
+        assert!(!rebuilt.is_frozen());
+    }
+}

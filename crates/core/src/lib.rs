@@ -52,6 +52,7 @@ pub mod durable;
 mod edit_extract;
 mod extractor;
 pub mod failpoint;
+pub mod frozen;
 mod limits;
 mod matches;
 mod nms;
@@ -73,6 +74,10 @@ pub use config::AeetesConfig;
 pub use durable::{atomic_replace, fsync_dir};
 pub use edit_extract::{EditIndex, EditMatch};
 pub use extractor::Aeetes;
+pub use frozen::{
+    freeze_to_bytes, open_frozen, open_frozen_bytes, peek_info, ArtifactInfo, FreezeSegment, FreezeSource, FrozenParts, FrozenSegmentParts,
+    SectionInfo,
+};
 pub use limits::{CancelToken, ExtractLimits, ExtractOutcome};
 pub use matches::Match;
 pub use nms::suppress_overlaps;

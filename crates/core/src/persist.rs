@@ -71,12 +71,16 @@ use aeetes_sim::Metric;
 use aeetes_text::{Dictionary, EntityId, Interner, TokenId};
 use std::fmt;
 
-const MAGIC: &[u8; 4] = b"AEET";
+pub(crate) const MAGIC: &[u8; 4] = b"AEET";
 const VERSION: u32 = 2;
 /// First sharded format version (no generation field).
 const VERSION_SHARDED: u32 = 3;
 /// Current sharded format version ([`save_sharded`]): v3 + generation id.
 const VERSION_SHARDED_GEN: u32 = 4;
+/// The flat, mmap-able frozen format ([`crate::frozen`]). Not a
+/// [`load_sharded`] format: the v5 layout is opened zero-copy by
+/// [`crate::frozen::open_frozen`] instead of deserialized here.
+pub(crate) const VERSION_FROZEN: u32 = 5;
 /// Oldest format version [`load_engine`] still accepts.
 const MIN_VERSION: u32 = 1;
 /// A token list longer than this could not be indexed anyway: the clustered
@@ -104,6 +108,8 @@ pub enum PersistError {
     Truncated(&'static str),
     /// A cross-reference (token, origin, rule id) is out of range.
     Corrupt(String),
+    /// An I/O error while reading or mapping an artifact file.
+    Io(std::io::Error),
 }
 
 impl fmt::Display for PersistError {
@@ -116,6 +122,7 @@ impl fmt::Display for PersistError {
             }
             PersistError::Truncated(what) => write!(f, "truncated engine file while reading {what}"),
             PersistError::Corrupt(msg) => write!(f, "corrupt engine file: {msg}"),
+            PersistError::Io(e) => write!(f, "engine file I/O error: {e}"),
         }
     }
 }
@@ -123,9 +130,190 @@ impl fmt::Display for PersistError {
 impl std::error::Error for PersistError {}
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected), the same checksum as gzip.
+///
+/// The frozen (v5) open path checksums the whole artifact before trusting
+/// a single offset, which puts this function on the cold-start critical
+/// path for multi-megabyte indexes. Large inputs are therefore split
+/// across threads and the per-chunk CRCs merged with the standard GF(2)
+/// combine — bit-identical to the serial computation.
 pub(crate) fn crc32(data: &[u8]) -> u32 {
-    const fn make_table() -> [u32; 256] {
-        let mut table = [0u32; 256];
+    // Below this size thread spawns cost more than they save.
+    const PARALLEL_THRESHOLD: usize = 1 << 21;
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(8);
+    if data.len() < PARALLEL_THRESHOLD || threads < 2 {
+        return crc32_serial(data);
+    }
+    let chunk = data.len().div_ceil(threads);
+    let crcs: Vec<(u32, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = data.chunks(chunk).map(|c| s.spawn(move || (crc32_serial(c), c.len() as u64))).collect();
+        handles.into_iter().map(|h| h.join().expect("crc worker")).collect()
+    });
+    let mut iter = crcs.into_iter();
+    let (mut acc, _) = iter.next().expect("at least one chunk");
+    for (crc, len) in iter {
+        acc = crc32_combine(acc, crc, len);
+    }
+    acc
+}
+
+/// `crc32(a ++ b)` from `crc32(a)`, `crc32(b)` and `b`'s length, by
+/// advancing `crc1` through `len2` zero bytes with GF(2) matrix powers
+/// (zlib's `crc32_combine`): O(log len2), no data access.
+fn crc32_combine(crc1: u32, crc2: u32, len2: u64) -> u32 {
+    fn times(mat: &[u32; 32], mut vec: u32) -> u32 {
+        let mut sum = 0;
+        let mut i = 0;
+        while vec != 0 {
+            if vec & 1 != 0 {
+                sum ^= mat[i];
+            }
+            vec >>= 1;
+            i += 1;
+        }
+        sum
+    }
+    fn square(out: &mut [u32; 32], mat: &[u32; 32]) {
+        for n in 0..32 {
+            out[n] = times(mat, mat[n]);
+        }
+    }
+    if len2 == 0 {
+        return crc1;
+    }
+    // odd = the one-zero-bit operator, then repeatedly square.
+    let mut odd = [0u32; 32];
+    odd[0] = 0xEDB8_8320;
+    let mut row = 1u32;
+    for entry in odd.iter_mut().skip(1) {
+        *entry = row;
+        row <<= 1;
+    }
+    let mut even = [0u32; 32];
+    square(&mut even, &odd);
+    square(&mut odd, &even);
+    let mut crc1 = crc1;
+    let mut len2 = len2;
+    loop {
+        square(&mut even, &odd);
+        if len2 & 1 != 0 {
+            crc1 = times(&even, crc1);
+        }
+        len2 >>= 1;
+        if len2 == 0 {
+            break;
+        }
+        square(&mut odd, &even);
+        if len2 & 1 != 0 {
+            crc1 = times(&odd, crc1);
+        }
+        len2 >>= 1;
+        if len2 == 0 {
+            break;
+        }
+    }
+    crc1 ^ crc2
+}
+
+/// One thread's worth of CRC: the carry-less-multiply kernel where the
+/// CPU has it (x86-64 `pclmulqdq`, ~an order of magnitude faster), the
+/// slice-by-16 table loop everywhere else. Results are identical.
+fn crc32_serial(data: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    if data.len() >= 64 && clmul::supported() {
+        let head = data.len() & !15;
+        // SAFETY: feature support was just checked; `head` is a multiple
+        // of 16 and at least 64.
+        let crc = unsafe { clmul::crc32(&data[..head]) };
+        return !crc32_table_update(!crc, &data[head..]);
+    }
+    !crc32_table_update(!0, data)
+}
+
+/// Carry-less-multiply CRC-32 kernel, the 4-lane folding scheme of Gopal
+/// et al., "Fast CRC Computation for Generic Polynomials Using PCLMULQDQ
+/// Instruction" (Intel, 2009) for the reflected polynomial.
+#[cfg(target_arch = "x86_64")]
+mod clmul {
+    use std::arch::x86_64::*;
+
+    // Folding constants for reflected CRC-32 (poly 0x104C11DB7):
+    // K1 = x^(4·128+64) mod P, K2 = x^(4·128), K3 = x^(128+64),
+    // K4 = x^128, K5 = x^96 (all bit-reflected), P' and µ' for the final
+    // Barrett reduction.
+    const K1: i64 = 0x1_5444_2bd4;
+    const K2: i64 = 0x1_c6e4_1596;
+    const K3: i64 = 0x1_7519_97d0;
+    const K4: i64 = 0x0_ccaa_009e;
+    const K5: i64 = 0x1_63cd_6124;
+    const P_X: i64 = 0x1_DB71_0641;
+    const U_PRIME: i64 = 0x1_F701_1641;
+
+    pub fn supported() -> bool {
+        std::arch::is_x86_feature_detected!("pclmulqdq") && std::arch::is_x86_feature_detected!("sse4.1")
+    }
+
+    /// Folds 16-byte lane `a` down onto `b` under `keys`.
+    #[inline]
+    #[target_feature(enable = "pclmulqdq", enable = "sse2")]
+    unsafe fn fold16(a: __m128i, b: __m128i, keys: __m128i) -> __m128i {
+        let lo = _mm_clmulepi64_si128(a, keys, 0x00);
+        let hi = _mm_clmulepi64_si128(a, keys, 0x11);
+        _mm_xor_si128(_mm_xor_si128(b, lo), hi)
+    }
+
+    /// Whole-buffer CRC-32 (standard init/final-xor conventions).
+    ///
+    /// # Safety
+    /// Requires `pclmulqdq` + `sse4.1`; `data.len()` must be a multiple of
+    /// 16 and at least 64.
+    #[target_feature(enable = "pclmulqdq", enable = "sse2", enable = "sse4.1")]
+    pub unsafe fn crc32(data: &[u8]) -> u32 {
+        debug_assert!(data.len() >= 64 && data.len().is_multiple_of(16));
+        let mut ptr = data.as_ptr() as *const __m128i;
+        let mut rest = data.len() - 64;
+        let mut x3 = _mm_loadu_si128(ptr);
+        let mut x2 = _mm_loadu_si128(ptr.add(1));
+        let mut x1 = _mm_loadu_si128(ptr.add(2));
+        let mut x0 = _mm_loadu_si128(ptr.add(3));
+        ptr = ptr.add(4);
+        // Fold the CRC init value (!0) into the first lane.
+        x3 = _mm_xor_si128(x3, _mm_cvtsi32_si128(!0i32));
+        let k1k2 = _mm_set_epi64x(K2, K1);
+        while rest >= 64 {
+            x3 = fold16(x3, _mm_loadu_si128(ptr), k1k2);
+            x2 = fold16(x2, _mm_loadu_si128(ptr.add(1)), k1k2);
+            x1 = fold16(x1, _mm_loadu_si128(ptr.add(2)), k1k2);
+            x0 = fold16(x0, _mm_loadu_si128(ptr.add(3)), k1k2);
+            ptr = ptr.add(4);
+            rest -= 64;
+        }
+        let k3k4 = _mm_set_epi64x(K4, K3);
+        let mut x = fold16(x3, x2, k3k4);
+        x = fold16(x, x1, k3k4);
+        x = fold16(x, x0, k3k4);
+        while rest >= 16 {
+            x = fold16(x, _mm_loadu_si128(ptr), k3k4);
+            ptr = ptr.add(1);
+            rest -= 16;
+        }
+        // Reduce 128 → 64 bits, then Barrett-reduce 64 → 32.
+        let x = _mm_xor_si128(_mm_clmulepi64_si128(x, k3k4, 0x10), _mm_srli_si128(x, 8));
+        let mask32 = _mm_set_epi32(0, 0, 0, !0);
+        let x = _mm_xor_si128(_mm_clmulepi64_si128(_mm_and_si128(x, mask32), _mm_set_epi64x(0, K5), 0x00), _mm_srli_si128(x, 4));
+        let pu = _mm_set_epi64x(U_PRIME, P_X);
+        let t1 = _mm_clmulepi64_si128(_mm_and_si128(x, mask32), pu, 0x10);
+        let t2 = _mm_xor_si128(_mm_clmulepi64_si128(_mm_and_si128(t1, mask32), pu, 0x00), x);
+        !(_mm_extract_epi32(t2, 1) as u32)
+    }
+}
+
+/// Slice-by-16 table fallback: sixteen lookup tables let each iteration
+/// fold 16 input bytes with independent loads, so the update chain is 16×
+/// shorter than the classic one-byte Sarwate loop. Takes and returns the
+/// raw (pre-inversion) CRC register so the SIMD kernel can hand over tails.
+fn crc32_table_update(state: u32, data: &[u8]) -> u32 {
+    const fn make_tables() -> [[u32; 256]; 16] {
+        let mut tables = [[0u32; 256]; 16];
         let mut i = 0;
         while i < 256 {
             let mut c = i as u32;
@@ -134,33 +322,66 @@ pub(crate) fn crc32(data: &[u8]) -> u32 {
                 c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
                 k += 1;
             }
-            table[i] = c;
+            tables[0][i] = c;
             i += 1;
         }
-        table
+        let mut t = 1;
+        while t < 16 {
+            let mut i = 0;
+            while i < 256 {
+                let prev = tables[t - 1][i];
+                tables[t][i] = tables[0][(prev & 0xFF) as usize] ^ (prev >> 8);
+                i += 1;
+            }
+            t += 1;
+        }
+        tables
     }
-    static TABLE: [u32; 256] = make_table();
-    let mut c = !0u32;
-    for &b in data {
-        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    static TABLES: [[u32; 256]; 16] = make_tables();
+    let mut c = state;
+    let mut chunks = data.chunks_exact(16);
+    for chunk in &mut chunks {
+        c ^= u32::from_le_bytes(chunk[..4].try_into().expect("4-byte word"));
+        let mid = u32::from_le_bytes(chunk[4..8].try_into().expect("4-byte word"));
+        let hi = u32::from_le_bytes(chunk[8..12].try_into().expect("4-byte word"));
+        let top = u32::from_le_bytes(chunk[12..16].try_into().expect("4-byte word"));
+        c = TABLES[15][(c & 0xFF) as usize]
+            ^ TABLES[14][((c >> 8) & 0xFF) as usize]
+            ^ TABLES[13][((c >> 16) & 0xFF) as usize]
+            ^ TABLES[12][(c >> 24) as usize]
+            ^ TABLES[11][(mid & 0xFF) as usize]
+            ^ TABLES[10][((mid >> 8) & 0xFF) as usize]
+            ^ TABLES[9][((mid >> 16) & 0xFF) as usize]
+            ^ TABLES[8][(mid >> 24) as usize]
+            ^ TABLES[7][(hi & 0xFF) as usize]
+            ^ TABLES[6][((hi >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((hi >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(hi >> 24) as usize]
+            ^ TABLES[3][(top & 0xFF) as usize]
+            ^ TABLES[2][((top >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((top >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(top >> 24) as usize];
     }
-    !c
+    for &b in chunks.remainder() {
+        c = TABLES[0][((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
 }
 
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(buf: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
     put_u32(buf, s.len() as u32);
     buf.extend_from_slice(s.as_bytes());
 }
 
-fn put_ids(buf: &mut Vec<u8>, ids: &[TokenId]) {
+pub(crate) fn put_ids(buf: &mut Vec<u8>, ids: &[TokenId]) {
     put_u32(buf, ids.len() as u32);
     for t in ids {
         put_u32(buf, t.0);
@@ -174,11 +395,11 @@ fn put_interner(buf: &mut Vec<u8>, interner: &Interner) {
     }
 }
 
-fn put_dict(buf: &mut Vec<u8>, dict: &Dictionary) {
+pub(crate) fn put_dict(buf: &mut Vec<u8>, dict: &Dictionary) {
     put_u32(buf, dict.len() as u32);
     for (_, e) in dict.iter() {
-        put_str(buf, &e.raw);
-        put_ids(buf, &e.tokens);
+        put_str(buf, e.raw);
+        put_ids(buf, e.tokens);
     }
 }
 
@@ -186,16 +407,16 @@ fn put_variants(buf: &mut Vec<u8>, dd: &DerivedDictionary) {
     put_u32(buf, dd.len() as u32);
     for (_, d) in dd.iter() {
         put_u32(buf, d.origin.0);
-        put_ids(buf, &d.tokens);
+        put_ids(buf, d.tokens);
         put_u32(buf, d.rules.len() as u32);
-        for r in &d.rules {
+        for r in d.rules {
             put_u32(buf, r.0);
         }
         buf.extend_from_slice(&d.weight.to_le_bytes());
     }
 }
 
-fn put_stats(buf: &mut Vec<u8>, st: &DeriveStats) {
+pub(crate) fn put_stats(buf: &mut Vec<u8>, st: &DeriveStats) {
     for v in [
         st.origins,
         st.derived,
@@ -208,7 +429,7 @@ fn put_stats(buf: &mut Vec<u8>, st: &DeriveStats) {
     }
 }
 
-fn put_config(buf: &mut Vec<u8>, config: &AeetesConfig) {
+pub(crate) fn put_config(buf: &mut Vec<u8>, config: &AeetesConfig) {
     buf.push(match config.strategy {
         Strategy::Simple => 0,
         Strategy::Skip => 1,
@@ -280,7 +501,7 @@ impl ShardedParts {
         let mut derived: Vec<DerivedEntity> = Vec::new();
         let mut stats = DeriveStats::default();
         for dd in &segments {
-            derived.extend(dd.iter().map(|(_, d)| d.clone()));
+            derived.extend(dd.iter().map(|(_, d)| d.to_owned()));
             let st = dd.stats();
             stats.origins += st.origins;
             stats.derived += st.derived;
@@ -306,7 +527,8 @@ pub fn save_sharded(parts: &ShardedParts) -> Vec<u8> {
 /// Writer parameterized on format version (v3 drops the generation field);
 /// kept internal so the version-compatibility tests can produce genuine
 /// old-format fixtures with the same encoder.
-fn save_sharded_versioned(parts: &ShardedParts, version: u32) -> Vec<u8> {
+#[doc(hidden)]
+pub fn save_sharded_versioned(parts: &ShardedParts, version: u32) -> Vec<u8> {
     debug_assert!((VERSION_SHARDED..=VERSION_SHARDED_GEN).contains(&version));
     let mut buf = Vec::with_capacity(1 << 16);
     buf.extend_from_slice(MAGIC);
@@ -342,19 +564,19 @@ fn save_sharded_versioned(parts: &ShardedParts, version: u32) -> Vec<u8> {
     buf
 }
 
-struct Reader<'a> {
-    buf: &'a [u8],
+pub(crate) struct Reader<'a> {
+    pub(crate) buf: &'a [u8],
 }
 
 impl<'a> Reader<'a> {
-    fn need(&self, n: usize, what: &'static str) -> Result<(), PersistError> {
+    pub(crate) fn need(&self, n: usize, what: &'static str) -> Result<(), PersistError> {
         if self.buf.len() < n {
             Err(PersistError::Truncated(what))
         } else {
             Ok(())
         }
     }
-    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], PersistError> {
+    pub(crate) fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], PersistError> {
         self.need(n, what)?;
         let (head, tail) = self.buf.split_at(n);
         self.buf = tail;
@@ -363,36 +585,39 @@ impl<'a> Reader<'a> {
     /// Rejects a count field whose elements (at `min_size` bytes each)
     /// could not possibly fit in the remaining buffer. Called before any
     /// `with_capacity` so forged counts can't drive huge allocations.
-    fn check_count(&self, n: usize, min_size: usize, what: &'static str) -> Result<(), PersistError> {
+    pub(crate) fn check_count(&self, n: usize, min_size: usize, what: &'static str) -> Result<(), PersistError> {
         match n.checked_mul(min_size) {
             Some(total) if total <= self.buf.len() => Ok(()),
             _ => Err(PersistError::Truncated(what)),
         }
     }
-    fn u8(&mut self, what: &'static str) -> Result<u8, PersistError> {
+    pub(crate) fn u8(&mut self, what: &'static str) -> Result<u8, PersistError> {
         Ok(self.take(1, what)?[0])
     }
-    fn u32(&mut self, what: &'static str) -> Result<u32, PersistError> {
+    pub(crate) fn u32(&mut self, what: &'static str) -> Result<u32, PersistError> {
         Ok(u32::from_le_bytes(self.take(4, what)?.try_into().expect("4-byte slice")))
     }
-    fn u64(&mut self, what: &'static str) -> Result<u64, PersistError> {
+    pub(crate) fn u64(&mut self, what: &'static str) -> Result<u64, PersistError> {
         Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8-byte slice")))
     }
-    fn f64(&mut self, what: &'static str) -> Result<f64, PersistError> {
+    pub(crate) fn f64(&mut self, what: &'static str) -> Result<f64, PersistError> {
         Ok(f64::from_le_bytes(self.take(8, what)?.try_into().expect("8-byte slice")))
     }
-    fn str(&mut self, what: &'static str) -> Result<String, PersistError> {
+    pub(crate) fn str(&mut self, what: &'static str) -> Result<String, PersistError> {
+        Ok(self.str_ref(what)?.to_string())
+    }
+    /// Borrowed form of [`Reader::str`] — no allocation; the `&str` views
+    /// the underlying buffer.
+    pub(crate) fn str_ref(&mut self, what: &'static str) -> Result<&'a str, PersistError> {
         let n = self.u32(what)? as usize;
         let raw = self.take(n, what)?;
-        Ok(std::str::from_utf8(raw)
-            .map_err(|_| PersistError::Corrupt(format!("invalid UTF-8 in {what}")))?
-            .to_string())
+        std::str::from_utf8(raw).map_err(|_| PersistError::Corrupt(format!("invalid UTF-8 in {what}")))
     }
     /// Reads a `u32` count followed by that many range-checked token ids.
     /// The count is validated against the remaining bytes (4 per id) before
     /// any allocation, so a forged length can't trigger an outsized
     /// `Vec::with_capacity`.
-    fn ids(&mut self, max: u32, what: &'static str) -> Result<Vec<TokenId>, PersistError> {
+    pub(crate) fn ids(&mut self, max: u32, what: &'static str) -> Result<Vec<TokenId>, PersistError> {
         let n = self.u32(what)? as usize;
         if n > MAX_VARIANT_TOKENS {
             return Err(PersistError::Corrupt(format!("{what}: token list of {n} exceeds the index limit of {MAX_VARIANT_TOKENS}")));
@@ -407,6 +632,21 @@ impl<'a> Reader<'a> {
             out.push(TokenId(id));
         }
         Ok(out)
+    }
+    /// Like [`Reader::ids`], but yields a validated borrowed iterator
+    /// instead of allocating a `Vec` — the dictionary bulk-load path calls
+    /// this once per entity, so per-call allocations add up.
+    pub(crate) fn ids_ref(&mut self, max: u32, what: &'static str) -> Result<impl ExactSizeIterator<Item = TokenId> + 'a, PersistError> {
+        let n = self.u32(what)? as usize;
+        if n > MAX_VARIANT_TOKENS {
+            return Err(PersistError::Corrupt(format!("{what}: token list of {n} exceeds the index limit of {MAX_VARIANT_TOKENS}")));
+        }
+        let raw = self.take(n.checked_mul(4).ok_or(PersistError::Truncated(what))?, what)?;
+        let decode = |c: &[u8]| u32::from_le_bytes(c.try_into().expect("4-byte chunk"));
+        if let Some(id) = raw.chunks_exact(4).map(decode).find(|&id| id >= max) {
+            return Err(PersistError::Corrupt(format!("token id {id} out of range {max} in {what}")));
+        }
+        Ok(raw.chunks_exact(4).map(move |c| TokenId(decode(c))))
     }
 }
 
@@ -453,15 +693,16 @@ fn read_interner(r: &mut Reader<'_>) -> Result<Interner, PersistError> {
     Ok(interner)
 }
 
-fn read_dict(r: &mut Reader<'_>, n_tokens: u32) -> Result<Dictionary, PersistError> {
+pub(crate) fn read_dict(r: &mut Reader<'_>, n_tokens: u32) -> Result<Dictionary, PersistError> {
     let mut dict = Dictionary::new();
     let n_entities = r.u32("dictionary size")?;
     // Each entity takes at least its two 4-byte length prefixes.
     r.check_count(n_entities as usize, 8, "dictionary size")?;
+    dict.reserve(n_entities as usize, 4, 24);
     for _ in 0..n_entities {
-        let raw = r.str("entity raw")?;
-        let tokens = r.ids(n_tokens, "entity tokens")?;
-        dict.push_tokens(raw, tokens);
+        let raw = r.str_ref("entity raw")?;
+        let tokens = r.ids_ref(n_tokens, "entity tokens")?;
+        dict.push_from(raw, tokens);
     }
     Ok(dict)
 }
@@ -500,7 +741,7 @@ fn read_variants(r: &mut Reader<'_>, n_tokens: u32, n_entities: u32, max_rule: O
     Ok(derived)
 }
 
-fn read_stats(r: &mut Reader<'_>) -> Result<DeriveStats, PersistError> {
+pub(crate) fn read_stats(r: &mut Reader<'_>) -> Result<DeriveStats, PersistError> {
     Ok(DeriveStats {
         origins: r.u64("stats")? as usize,
         derived: r.u64("stats")? as usize,
@@ -511,7 +752,7 @@ fn read_stats(r: &mut Reader<'_>) -> Result<DeriveStats, PersistError> {
     })
 }
 
-fn read_config(r: &mut Reader<'_>) -> Result<AeetesConfig, PersistError> {
+pub(crate) fn read_config(r: &mut Reader<'_>) -> Result<AeetesConfig, PersistError> {
     let strategy = match r.u8("strategy")? {
         0 => Strategy::Simple,
         1 => Strategy::Skip,
@@ -591,6 +832,7 @@ pub fn load_sharded(bytes: &[u8]) -> Result<ShardedParts, PersistError> {
     // Each rule takes at least two 4-byte counts plus the 8-byte weight.
     r.check_count(n_rules, 16, "rules size")?;
     let mut rules = RuleSet::new();
+    rules.reserve(n_rules);
     for _ in 0..n_rules {
         let lhs = r.ids(n_tokens, "rule lhs")?;
         let rhs = r.ids(n_tokens, "rule rhs")?;
@@ -647,9 +889,10 @@ pub fn load_sharded(bytes: &[u8]) -> Result<ShardedParts, PersistError> {
 }
 
 /// Reads just enough of an artifact header to report its generation number
-/// without parsing (or integrity-checking) the body: v4 stores it after the
-/// version word; older versions are generation 1 by definition. Used by the
-/// fleet coordinator to align its WAL base with an artifact cheaply.
+/// without parsing (or integrity-checking) the body: v4 and the frozen v5
+/// format both store it right after the version word; older versions are
+/// generation 1 by definition. Used by the fleet coordinator to align its
+/// WAL base with an artifact cheaply.
 pub fn peek_generation(bytes: &[u8]) -> Result<u64, PersistError> {
     let mut r = Reader { buf: bytes };
     let magic = r.take(4, "magic")?;
@@ -657,7 +900,7 @@ pub fn peek_generation(bytes: &[u8]) -> Result<u64, PersistError> {
         return Err(PersistError::BadMagic);
     }
     let version = r.u32("version")?;
-    if !(MIN_VERSION..=VERSION_SHARDED_GEN).contains(&version) {
+    if !(MIN_VERSION..=VERSION_FROZEN).contains(&version) {
         return Err(PersistError::UnsupportedVersion(version));
     }
     if version >= VERSION_SHARDED_GEN {
@@ -1005,13 +1248,22 @@ mod tests {
     #[test]
     fn unsupported_future_version_rejected() {
         let (parts, _, _, _) = sample_sharded();
+        // v5 names the frozen layout: `load_sharded` must refuse it (it is
+        // opened by the frozen module), while `peek_generation` can read its
+        // header (the generation sits at the same offset as v4's).
         let mut bytes = save_sharded(&parts);
         bytes[4..8].copy_from_slice(&5u32.to_le_bytes());
         let len = bytes.len();
         let footer = crc32(&bytes[..len - 4]);
         bytes[len - 4..].copy_from_slice(&footer.to_le_bytes());
         assert!(matches!(load_sharded(&bytes), Err(PersistError::UnsupportedVersion(5))));
-        assert!(matches!(peek_generation(&bytes), Err(PersistError::UnsupportedVersion(5))));
+        assert_eq!(peek_generation(&bytes).unwrap(), parts.generation);
+        // A genuinely unknown future version is rejected by both.
+        bytes[4..8].copy_from_slice(&6u32.to_le_bytes());
+        let footer = crc32(&bytes[..len - 4]);
+        bytes[len - 4..].copy_from_slice(&footer.to_le_bytes());
+        assert!(matches!(load_sharded(&bytes), Err(PersistError::UnsupportedVersion(6))));
+        assert!(matches!(peek_generation(&bytes), Err(PersistError::UnsupportedVersion(6))));
     }
 
     #[test]
@@ -1027,6 +1279,52 @@ mod tests {
         // Standard test vector for CRC-32/ISO-HDLC.
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_simd_matches_table_at_every_length() {
+        // Exercises every dispatcher branch: below the SIMD minimum, the
+        // 4-lane loop, the single-lane loop, and 0..15-byte tails.
+        let mut state = 0x0123_4567_89AB_CDEFu64;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state as u8
+            })
+            .collect();
+        for len in (0..256).chain((256..4096).step_by(97)) {
+            let d = &data[..len];
+            assert_eq!(crc32_serial(d), !crc32_table_update(!0, d), "len={len}");
+        }
+    }
+
+    #[test]
+    fn crc32_parallel_matches_serial() {
+        // Crosses the parallel threshold with an uneven tail so every
+        // chunking/combine path runs; xorshift keeps the data incompressible.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let data: Vec<u8> = (0..(5 << 21) + 12345)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state as u8
+            })
+            .collect();
+        assert_eq!(crc32(&data), crc32_serial(&data));
+    }
+
+    #[test]
+    fn crc32_combine_matches_concatenation() {
+        let a = b"an approximate entity extraction engine".as_slice();
+        let b = b"with synonym rules and a sliding window".as_slice();
+        let whole = [a, b].concat();
+        for split in [0, 1, 7, a.len()] {
+            let (x, y) = (&a[..split], &[&a[split..], b].concat()[..]);
+            assert_eq!(crc32_combine(crc32(x), crc32(y), y.len() as u64), crc32(&whole), "split={split}");
+        }
     }
 
     #[test]

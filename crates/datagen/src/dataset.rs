@@ -86,8 +86,8 @@ impl Dataset {
         let mut applicable = 0usize;
         let mut selected = 0usize;
         for (_, e) in self.dictionary.iter().take(take) {
-            applicable += find_applications(&e.tokens, &self.rules).len();
-            selected += select_non_conflict(&e.tokens, &self.rules).iter().map(Vec::len).sum::<usize>();
+            applicable += find_applications(e.tokens, &self.rules).len();
+            selected += select_non_conflict(e.tokens, &self.rules).iter().map(Vec::len).sum::<usize>();
         }
         let denom = take.max(1) as f64;
         DatasetStatistics {

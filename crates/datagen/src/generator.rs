@@ -70,7 +70,7 @@ pub fn generate(profile: &DatasetProfile, seed: u64) -> Dataset {
         let mut tok_freq: std::collections::HashMap<TokenId, u64> = std::collections::HashMap::new();
         let mut pair_freq: std::collections::HashMap<(TokenId, TokenId), u64> = std::collections::HashMap::new();
         for (_, e) in dictionary.iter() {
-            for &t in &e.tokens {
+            for &t in e.tokens {
                 *tok_freq.entry(t).or_insert(0) += 1; // tokens are distinct per entity
             }
             for w in e.tokens.windows(2) {

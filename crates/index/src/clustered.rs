@@ -10,19 +10,26 @@
 //!    already a candidate for the current substring, the rest of its
 //!    variants' postings can be skipped in batch.
 //!
-//! Storage is flattened: one token's postings live in three parallel
-//! arrays (`groups` → `origins` → `entries`, linked by offset ranges), so a
-//! scan walks contiguous memory and the per-group overhead stays at a few
-//! words — the paper reports its clustered index at roughly 2× the flat
-//! FaerieR index, which nested per-group `Vec`s would far exceed.
+//! Storage is *globally* flattened (PR 8): because tokens are laid out one
+//! after another, their length groups tile the group arrays and the groups'
+//! origin clusters tile the origin arrays, so the whole index is six flat
+//! prefix-linked arrays (`tok_groups → group_* → origin_* → entries`) held
+//! in [`Arena`]s. Built in memory they are plain vectors; opened from a
+//! frozen v5 artifact they are zero-copy windows into the file image, and
+//! every lookup below works identically on both.
 
 use crate::order::GlobalOrder;
+use aeetes_frozen::Arena;
 use aeetes_rules::{DerivedDictionary, DerivedId};
 use aeetes_text::{EntityId, Interner, TokenId};
 use std::sync::Arc;
 
 /// One posting: a derived entity containing the token, and the token's
 /// position inside the entity's globally-ordered distinct token set.
+///
+/// `repr(C)` pins the serialized layout: `derived` at byte 0, `pos` at
+/// byte 4, two trailing padding bytes (zeroed by the v5 writer).
+#[repr(C)]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PostingEntry {
     /// The derived entity.
@@ -32,70 +39,26 @@ pub struct PostingEntry {
     pub pos: u16,
 }
 
-/// Descriptor of one length group: derived-entity length plus the range of
-/// origin groups under it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct LengthGroupRef {
-    len: u16,
-    origins_start: u32,
-    origins_end: u32,
-}
+// SAFETY: repr(C) with Pod fields; every bit pattern is valid and the
+// trailing padding is never read as typed data.
+unsafe impl aeetes_frozen::Pod for PostingEntry {}
 
-/// Descriptor of one origin cluster: the origin entity plus its entry range.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct OriginGroupRef {
-    origin: EntityId,
-    entries_start: u32,
-    entries_end: u32,
-}
-
-/// The inverted list of one token (the paper's `L[t]`), flattened.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct TokenPostings {
-    groups: Vec<LengthGroupRef>,
-    origins: Vec<OriginGroupRef>,
-    entries: Vec<PostingEntry>,
+/// The inverted list of one token (the paper's `L[t]`): a borrowed window
+/// over the index's group range for that token.
+#[derive(Clone, Copy)]
+pub struct TokenPostings<'a> {
+    ix: &'a ClusteredIndex,
+    /// Global group-index range `[gs, ge)` of this token's length groups.
+    gs: u32,
+    ge: u32,
 }
 
 /// Borrowed view of one length group (the paper's `Lₗ[t]`).
 #[derive(Clone, Copy)]
 pub struct LengthGroup<'a> {
-    tp: &'a TokenPostings,
-    group: LengthGroupRef,
-}
-
-impl<'a> LengthGroup<'a> {
-    /// Distinct-token-set size of every derived entity in this group.
-    /// (This is the group's *key*, not a container size — a group always
-    /// holds at least one posting.)
-    #[inline]
-    #[allow(clippy::len_without_is_empty)]
-    pub fn len(&self) -> usize {
-        self.group.len as usize
-    }
-
-    /// Total postings across the group's origin clusters.
-    pub fn entry_count(&self) -> usize {
-        let s = self.tp.origins[self.group.origins_start as usize].entries_start;
-        let e = self.tp.origins[self.group.origins_end as usize - 1].entries_end;
-        (e - s) as usize
-    }
-
-    /// Iterates the origin clusters, in ascending origin order.
-    pub fn origins(&self) -> impl Iterator<Item = OriginGroup<'a>> + 'a {
-        let tp = self.tp;
-        tp.origins[self.group.origins_start as usize..self.group.origins_end as usize]
-            .iter()
-            .map(move |og| OriginGroup {
-                origin: og.origin,
-                entries: &tp.entries[og.entries_start as usize..og.entries_end as usize],
-            })
-    }
-
-    /// Number of origin clusters in this group.
-    pub fn origin_count(&self) -> usize {
-        (self.group.origins_end - self.group.origins_start) as usize
-    }
+    ix: &'a ClusteredIndex,
+    /// Global group index.
+    g: u32,
 }
 
 /// Borrowed view of one origin cluster (the paper's `Lₑˡ[t]`).
@@ -107,32 +70,113 @@ pub struct OriginGroup<'a> {
     pub entries: &'a [PostingEntry],
 }
 
-impl TokenPostings {
+impl<'a> TokenPostings<'a> {
     /// Total number of postings under this token.
     pub fn entry_count(&self) -> usize {
-        self.entries.len()
+        let os = self.ix.group_origins[self.gs as usize] as usize;
+        let oe = self.ix.group_origins[self.ge as usize] as usize;
+        (self.ix.origin_entries[oe] - self.ix.origin_entries[os]) as usize
     }
 
     /// Length groups in ascending `len` order.
-    pub fn groups(&self) -> impl Iterator<Item = LengthGroup<'_>> {
-        self.groups.iter().map(move |&group| LengthGroup { tp: self, group })
+    pub fn groups(&self) -> impl Iterator<Item = LengthGroup<'a>> + 'a {
+        let ix = self.ix;
+        (self.gs..self.ge).map(move |g| LengthGroup { ix, g })
     }
 
     /// Length groups starting from index `i` (see
     /// [`TokenPostings::first_group_at_least`]).
-    pub fn groups_from(&self, i: usize) -> impl Iterator<Item = LengthGroup<'_>> {
-        self.groups[i.min(self.groups.len())..].iter().map(move |&group| LengthGroup { tp: self, group })
+    pub fn groups_from(&self, i: usize) -> impl Iterator<Item = LengthGroup<'a>> + 'a {
+        let ix = self.ix;
+        let start = (self.gs as usize + i).min(self.ge as usize) as u32;
+        (start..self.ge).map(move |g| LengthGroup { ix, g })
     }
 
     /// Number of length groups.
     pub fn group_count(&self) -> usize {
-        self.groups.len()
+        (self.ge - self.gs) as usize
     }
 
-    /// Index of the first group with `len ≥ lo` (binary search).
+    /// Index of the first group with `len ≥ lo` (binary search), relative
+    /// to this token's first group.
     pub fn first_group_at_least(&self, lo: usize) -> usize {
-        self.groups.partition_point(|g| (g.len as usize) < lo)
+        self.ix.group_len[self.gs as usize..self.ge as usize].partition_point(|&len| (len as usize) < lo)
     }
+}
+
+impl<'a> LengthGroup<'a> {
+    /// Distinct-token-set size of every derived entity in this group.
+    /// (This is the group's *key*, not a container size — a group always
+    /// holds at least one posting.)
+    #[inline]
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.ix.group_len[self.g as usize] as usize
+    }
+
+    /// Total postings across the group's origin clusters.
+    pub fn entry_count(&self) -> usize {
+        let os = self.ix.group_origins[self.g as usize] as usize;
+        let oe = self.ix.group_origins[self.g as usize + 1] as usize;
+        (self.ix.origin_entries[oe] - self.ix.origin_entries[os]) as usize
+    }
+
+    /// Iterates the origin clusters, in ascending origin order.
+    pub fn origins(&self) -> impl Iterator<Item = OriginGroup<'a>> + 'a {
+        let ix = self.ix;
+        let os = ix.group_origins[self.g as usize];
+        let oe = ix.group_origins[self.g as usize + 1];
+        (os..oe).map(move |o| OriginGroup {
+            origin: ix.origin_entity[o as usize],
+            entries: &ix.entries[ix.origin_entries[o as usize] as usize..ix.origin_entries[o as usize + 1] as usize],
+        })
+    }
+
+    /// Number of origin clusters in this group.
+    pub fn origin_count(&self) -> usize {
+        (self.ix.group_origins[self.g as usize + 1] - self.ix.group_origins[self.g as usize]) as usize
+    }
+}
+
+/// The raw flat arrays of a [`ClusteredIndex`], for the v5 writer.
+#[derive(Debug, Clone, Copy)]
+pub struct IndexArenasRef<'a> {
+    /// Token → first global group index (`T+1` prefix entries).
+    pub tok_groups: &'a [u32],
+    /// Group → distinct-set length (`G` entries).
+    pub group_len: &'a [u16],
+    /// Group → first global origin-cluster index (`G+1` prefix entries).
+    pub group_origins: &'a [u32],
+    /// Origin cluster → origin entity (`O` entries).
+    pub origin_entity: &'a [EntityId],
+    /// Origin cluster → first entry index (`O+1` prefix entries).
+    pub origin_entries: &'a [u32],
+    /// All postings (`E` entries).
+    pub entries: &'a [PostingEntry],
+    /// Rank-key arena of all derived entities' distinct sets.
+    pub set_data: &'a [u64],
+    /// Derived entity → set range (`D+1` prefix entries).
+    pub set_offsets: &'a [u32],
+    /// Derived ids grouped by origin, sorted by ascending set length.
+    pub variants_by_len: &'a [DerivedId],
+    /// Origin → variants range (`origins+1` prefix entries).
+    pub origin_offsets: &'a [u32],
+}
+
+/// Owned (or frozen) arenas to reassemble a [`ClusteredIndex`] from; see
+/// [`IndexArenasRef`] for field semantics.
+#[derive(Debug, Clone, Default)]
+pub struct IndexArenas {
+    pub tok_groups: Arena<u32>,
+    pub group_len: Arena<u16>,
+    pub group_origins: Arena<u32>,
+    pub origin_entity: Arena<EntityId>,
+    pub origin_entries: Arena<u32>,
+    pub entries: Arena<PostingEntry>,
+    pub set_data: Arena<u64>,
+    pub set_offsets: Arena<u32>,
+    pub variants_by_len: Arena<DerivedId>,
+    pub origin_offsets: Arena<u32>,
 }
 
 /// The clustered inverted index over a derived dictionary.
@@ -144,19 +188,25 @@ pub struct ClusteredIndex {
     /// Shared so sharded builds can point every per-shard index at one
     /// global order (the shared-order invariant, DESIGN.md §10).
     order: Arc<GlobalOrder>,
-    postings: Vec<TokenPostings>,
+    /// `tok_groups[t]..tok_groups[t+1]` is token `t`'s group range.
+    tok_groups: Arena<u32>,
+    group_len: Arena<u16>,
+    group_origins: Arena<u32>,
+    origin_entity: Arena<EntityId>,
+    origin_entries: Arena<u32>,
+    entries: Arena<PostingEntry>,
     /// Rank-key-sorted distinct token sets of all derived entities,
     /// flattened into one arena (`set_offsets[i]..set_offsets[i+1]` is the
     /// set of derived entity `i`). One contiguous allocation keeps the
     /// verification loop cache-friendly across hundreds of thousands of
     /// variants.
-    set_data: Vec<u64>,
-    set_offsets: Vec<u32>,
+    set_data: Arena<u64>,
+    set_offsets: Arena<u32>,
     /// Derived ids grouped by origin, each group sorted by ascending
     /// distinct-set length — so verification can binary-search the variants
     /// admitted by the length filter (paper §8 future-work item (i)).
-    variants_by_len: Vec<DerivedId>,
-    origin_offsets: Vec<u32>,
+    variants_by_len: Arena<DerivedId>,
+    origin_offsets: Arena<u32>,
     min_len: Option<usize>,
     max_len: Option<usize>,
 }
@@ -212,42 +262,40 @@ impl ClusteredIndex {
             }
         }
 
-        // Cluster: sort by (len, origin, derived), then flatten the group
-        // tree into the three parallel arrays.
-        let mut postings = Vec::with_capacity(num_tokens);
+        // Cluster: sort each token's postings by (len, origin, derived),
+        // then flatten the whole forest into the global prefix-linked
+        // arrays — tokens tile the group arrays, groups tile the origin
+        // arrays, origins tile the entry arena.
+        let mut tok_groups: Vec<u32> = Vec::with_capacity(num_tokens + 1);
+        let mut group_len: Vec<u16> = Vec::new();
+        let mut group_origins: Vec<u32> = Vec::new();
+        let mut origin_entity: Vec<EntityId> = Vec::new();
+        let mut origin_entries: Vec<u32> = Vec::new();
+        let mut entries: Vec<PostingEntry> = Vec::new();
         for mut raw_entries in raw {
             raw_entries.sort_unstable_by_key(|&(len, origin, derived, _)| (len, origin, derived));
-            let mut tp = TokenPostings::default();
+            tok_groups.push(group_len.len() as u32);
+            let mut cur_len: Option<u16> = None;
+            let mut cur_origin: Option<EntityId> = None;
             for (len, origin, derived, pos) in raw_entries {
-                let entry_at = tp.entries.len() as u32;
-                let new_group = tp.groups.last().is_none_or(|g| g.len != len);
-                if new_group {
-                    tp.groups.push(LengthGroupRef {
-                        len,
-                        origins_start: tp.origins.len() as u32,
-                        origins_end: tp.origins.len() as u32,
-                    });
+                if cur_len != Some(len) {
+                    group_len.push(len);
+                    group_origins.push(origin_entity.len() as u32);
+                    cur_len = Some(len);
+                    cur_origin = None;
                 }
-                // Unreachable expect: when `new_group` a group was pushed
-                // two lines up; otherwise `is_none_or` returning false
-                // proves `groups.last()` exists.
-                let group = tp.groups.last_mut().expect("just ensured");
-                let new_origin = new_group || tp.origins.get(group.origins_end as usize - 1).is_none_or(|og| og.origin != origin);
-                if new_origin {
-                    tp.origins.push(OriginGroupRef { origin, entries_start: entry_at, entries_end: entry_at });
-                    group.origins_end += 1;
+                if cur_origin != Some(origin) {
+                    origin_entity.push(origin);
+                    origin_entries.push(entries.len() as u32);
+                    cur_origin = Some(origin);
                 }
-                tp.entries.push(PostingEntry { derived, pos });
-                // Unreachable expect: `new_origin` is true on the first
-                // iteration (new_group forces it), so an origin group was
-                // pushed before any entry lands here.
-                tp.origins.last_mut().expect("just ensured").entries_end += 1;
+                entries.push(PostingEntry { derived, pos });
             }
-            tp.groups.shrink_to_fit();
-            tp.origins.shrink_to_fit();
-            tp.entries.shrink_to_fit();
-            postings.push(tp);
         }
+        // Close the prefix arrays with their final sentinels.
+        tok_groups.push(group_len.len() as u32);
+        group_origins.push(origin_entity.len() as u32);
+        origin_entries.push(entries.len() as u32);
 
         // Per-origin variant ids sorted by set length (stable within equal
         // lengths, preserving derivation order).
@@ -265,14 +313,183 @@ impl ClusteredIndex {
 
         Self {
             order,
-            postings,
-            set_data,
-            set_offsets,
-            variants_by_len,
-            origin_offsets,
+            tok_groups: tok_groups.into(),
+            group_len: group_len.into(),
+            group_origins: group_origins.into(),
+            origin_entity: origin_entity.into(),
+            origin_entries: origin_entries.into(),
+            entries: entries.into(),
+            set_data: set_data.into(),
+            set_offsets: set_offsets.into(),
+            variants_by_len: variants_by_len.into(),
+            origin_offsets: origin_offsets.into(),
             min_len,
             max_len,
         }
+    }
+
+    /// Reassembles an index from raw (possibly frozen) arenas, validating
+    /// every structural invariant so corrupted artifacts are rejected with
+    /// a clean error and no later lookup can read out of bounds:
+    ///
+    /// - all prefix arrays start at 0, are monotonic and end at their
+    ///   target arena's length;
+    /// - group lengths are strictly ascending within each token and origin
+    ///   entities strictly ascending within each group (the batch-skip
+    ///   scans rely on both);
+    /// - every posting references an in-range derived id with an in-range
+    ///   set position; every variant id in the by-length table is in range
+    ///   and sorted by ascending set length within its origin.
+    pub fn from_raw_parts(order: Arc<GlobalOrder>, a: IndexArenas) -> Result<Self, String> {
+        let groups = a.group_len.len();
+        let origins = a.origin_entity.len();
+        check_prefix("token group offsets", &a.tok_groups, groups)?;
+        if a.group_origins.len() != groups + 1 {
+            return Err(format!("group origin offsets hold {} entries, expected {}", a.group_origins.len(), groups + 1));
+        }
+        check_prefix("group origin offsets", &a.group_origins, origins)?;
+        if a.origin_entries.len() != origins + 1 {
+            return Err(format!("origin entry offsets hold {} entries, expected {}", a.origin_entries.len(), origins + 1));
+        }
+        check_prefix("origin entry offsets", &a.origin_entries, a.entries.len())?;
+        check_prefix("set offsets", &a.set_offsets, a.set_data.len())?;
+        let num_derived = a.set_offsets.len() - 1;
+        check_prefix("variant offsets", &a.origin_offsets, a.variants_by_len.len())?;
+        if a.variants_by_len.len() != num_derived {
+            return Err(format!("variants-by-length table holds {} ids for {} derived entities", a.variants_by_len.len(), num_derived));
+        }
+        // These scans run on the frozen-open critical path, so hoist plain
+        // slices out of the arenas (an Arena deref is a match plus a
+        // pointer rebuild) and derive the per-entity set lengths once.
+        let tok_groups: &[u32] = &a.tok_groups;
+        let group_len: &[u16] = &a.group_len;
+        let group_origins: &[u32] = &a.group_origins;
+        let origin_entity: &[EntityId] = &a.origin_entity;
+        let entries: &[PostingEntry] = &a.entries;
+        let set_offsets: &[u32] = &a.set_offsets;
+        let variants_by_len: &[DerivedId] = &a.variants_by_len;
+        let origin_offsets: &[u32] = &a.origin_offsets;
+        // Both "strictly ascending within each range" checks run as one
+        // sequential pass over the value array with a boundary bitmap
+        // (range starts come from the prefix array) — slicing per range
+        // costs more than the comparisons for tens of thousands of tiny
+        // ranges. The offending range is only hunted down on failure.
+        fn ascending_within(mut values_ok: impl FnMut(usize) -> bool, starts: &[u32], len: usize) -> bool {
+            let mut boundary = vec![false; len];
+            for &b in starts {
+                if (b as usize) < len {
+                    boundary[b as usize] = true;
+                }
+            }
+            (1..len).fold(true, |ok, i| ok & (boundary[i] | values_ok(i)))
+        }
+        if !ascending_within(|i| group_len[i - 1] < group_len[i], tok_groups, groups) {
+            let t = (0..tok_groups.len() - 1)
+                .find(|&t| group_len[tok_groups[t] as usize..tok_groups[t + 1] as usize].windows(2).any(|w| w[0] >= w[1]))
+                .expect("pass found a non-ascending group range");
+            return Err(format!("token {t}'s group lengths are not strictly ascending"));
+        }
+        if !ascending_within(|i| origin_entity[i - 1] < origin_entity[i], group_origins, origins) {
+            let g = (0..groups)
+                .find(|&g| {
+                    origin_entity[group_origins[g] as usize..group_origins[g + 1] as usize]
+                        .windows(2)
+                        .any(|w| w[0] >= w[1])
+                })
+                .expect("pass found a non-ascending origin range");
+            return Err(format!("group {g}'s origin clusters are not strictly ascending"));
+        }
+        // `set_len` is kept as u32 (not usize) so the posting and variant
+        // scans below gather from a table half the size — these two loops
+        // are the hottest part of a frozen open.
+        let mut set_len: Vec<u32> = Vec::with_capacity(num_derived);
+        let mut min_len: Option<usize> = None;
+        let mut max_len: Option<usize> = None;
+        for w in set_offsets.windows(2) {
+            let l = w[1] - w[0];
+            if l > 0 {
+                let l = l as usize;
+                min_len = Some(min_len.map_or(l, |m| m.min(l)));
+                max_len = Some(max_len.map_or(l, |m| m.max(l)));
+            }
+            set_len.push(l);
+        }
+        let posting_ok = |e: &PostingEntry| set_len.get(e.derived.idx()).is_some_and(|&l| (e.pos as u32) < l);
+        if !entries.iter().fold(true, |ok, e| ok & posting_ok(e)) {
+            let (i, e) = entries.iter().enumerate().find(|(_, e)| !posting_ok(e)).expect("fold found a bad posting");
+            if e.derived.idx() >= num_derived {
+                return Err(format!("posting {i} references derived id {:?} out of {num_derived}", e.derived));
+            }
+            return Err(format!("posting {i} position {} outside its entity's set of {}", e.pos, set_len[e.derived.idx()]));
+        }
+        if variants_by_len.iter().map(|d| d.idx()).max().is_some_and(|m| m >= num_derived) {
+            let id = variants_by_len.iter().find(|d| d.idx() >= num_derived).expect("max out of range");
+            return Err(format!("variant table references derived id {id:?} out of {num_derived}"));
+        }
+        // Per-origin sortedness by set length, as one sequential pass with
+        // a boundary bitmap: each variant's length is gathered exactly once
+        // and compared to its predecessor unless an origin starts here.
+        let sorted_by_len = {
+            let n = variants_by_len.len();
+            let mut boundary = vec![false; n];
+            for &b in origin_offsets {
+                if (b as usize) < n {
+                    boundary[b as usize] = true;
+                }
+            }
+            let mut prev = 0u32;
+            (0..n).fold(true, |ok, i| {
+                let l = set_len[variants_by_len[i].idx()];
+                let ok = ok & (boundary[i] | (prev <= l));
+                prev = l;
+                ok
+            })
+        };
+        if !sorted_by_len {
+            let e = (0..origin_offsets.len() - 1)
+                .find(|&e| {
+                    let ids = &variants_by_len[origin_offsets[e] as usize..origin_offsets[e + 1] as usize];
+                    ids.windows(2).any(|w| set_len[w[0].idx()] > set_len[w[1].idx()])
+                })
+                .expect("pass found an unsorted origin");
+            return Err(format!("origin {e}'s variants are not sorted by set length"));
+        }
+        Ok(Self {
+            order,
+            tok_groups: a.tok_groups,
+            group_len: a.group_len,
+            group_origins: a.group_origins,
+            origin_entity: a.origin_entity,
+            origin_entries: a.origin_entries,
+            entries: a.entries,
+            set_data: a.set_data,
+            set_offsets: a.set_offsets,
+            variants_by_len: a.variants_by_len,
+            origin_offsets: a.origin_offsets,
+            min_len,
+            max_len,
+        })
+    }
+
+    /// Raw views of the flat arrays (the v5 writer serializes these).
+    pub fn raw_parts(&self) -> IndexArenasRef<'_> {
+        IndexArenasRef {
+            tok_groups: &self.tok_groups,
+            group_len: &self.group_len,
+            group_origins: &self.group_origins,
+            origin_entity: &self.origin_entity,
+            origin_entries: &self.origin_entries,
+            entries: &self.entries,
+            set_data: &self.set_data,
+            set_offsets: &self.set_offsets,
+            variants_by_len: &self.variants_by_len,
+            origin_offsets: &self.origin_offsets,
+        }
+    }
+
+    /// Whether the storage borrows a frozen artifact (zero-copy).
+    pub fn is_frozen(&self) -> bool {
+        self.entries.is_frozen()
     }
 
     /// The variants of origin `e`, sorted by ascending distinct-set length.
@@ -295,8 +512,16 @@ impl ClusteredIndex {
     }
 
     /// The inverted list of `t`, or `None` when `t` occurs in no entity.
-    pub fn postings(&self, t: TokenId) -> Option<&TokenPostings> {
-        self.postings.get(t.idx()).filter(|p| !p.groups.is_empty())
+    pub fn postings(&self, t: TokenId) -> Option<TokenPostings<'_>> {
+        let i = t.idx();
+        if i + 1 >= self.tok_groups.len() {
+            return None;
+        }
+        let (gs, ge) = (self.tok_groups[i], self.tok_groups[i + 1]);
+        if gs == ge {
+            return None;
+        }
+        Some(TokenPostings { ix: self, gs, ge })
     }
 
     /// The globally-ordered distinct key set of a derived entity.
@@ -323,25 +548,45 @@ impl ClusteredIndex {
 
     /// Total postings across all tokens.
     pub fn total_entries(&self) -> usize {
-        self.postings.iter().map(TokenPostings::entry_count).sum()
+        self.entries.len()
     }
 
-    /// Approximate heap size of the index in bytes (for the paper's §6.3
-    /// index-size comparison).
+    /// Approximate size of the index in bytes (for the paper's §6.3
+    /// index-size comparison). For a frozen index this is the footprint of
+    /// the borrowed file sections, not per-process heap.
     pub fn size_bytes(&self) -> usize {
         use std::mem::size_of;
-        let mut n = self.postings.capacity() * size_of::<TokenPostings>();
-        for tp in &self.postings {
-            n += tp.groups.capacity() * size_of::<LengthGroupRef>();
-            n += tp.origins.capacity() * size_of::<OriginGroupRef>();
-            n += tp.entries.capacity() * size_of::<PostingEntry>();
-        }
-        n += self.set_data.capacity() * size_of::<u64>();
-        n += self.set_offsets.capacity() * size_of::<u32>();
-        n += self.variants_by_len.capacity() * size_of::<DerivedId>();
-        n += self.origin_offsets.capacity() * size_of::<u32>();
-        n
+        self.tok_groups.len() * size_of::<u32>()
+            + self.group_len.len() * size_of::<u16>()
+            + self.group_origins.len() * size_of::<u32>()
+            + self.origin_entity.len() * size_of::<EntityId>()
+            + self.origin_entries.len() * size_of::<u32>()
+            + self.entries.len() * size_of::<PostingEntry>()
+            + self.set_data.len() * size_of::<u64>()
+            + self.set_offsets.len() * size_of::<u32>()
+            + self.variants_by_len.len() * size_of::<DerivedId>()
+            + self.origin_offsets.len() * size_of::<u32>()
     }
+}
+
+/// Validates a prefix array: non-empty, starts at 0, monotonic, ends at
+/// `total`.
+fn check_prefix(what: &str, off: &[u32], total: usize) -> Result<(), String> {
+    if off.is_empty() {
+        return Err(format!("{what} empty"));
+    }
+    if off[0] != 0 {
+        return Err(format!("{what} does not start at 0"));
+    }
+    // Branchless fold so the monotonicity scan vectorizes (this runs on
+    // the frozen-open critical path).
+    if !off.windows(2).fold(true, |ok, w| ok & (w[0] <= w[1])) {
+        return Err(format!("{what} not monotonic"));
+    }
+    if off[off.len() - 1] as usize != total {
+        return Err(format!("{what} ends at {} but the target holds {total}", off[off.len() - 1]));
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -482,5 +727,84 @@ mod tests {
         let big = fixture(&["a b c d e", "f g h i j", "k l m n o"], &[]);
         assert!(small.index.size_bytes() > 0);
         assert!(big.index.size_bytes() > small.index.size_bytes());
+    }
+
+    fn owned_arenas(ix: &ClusteredIndex) -> IndexArenas {
+        let r = ix.raw_parts();
+        IndexArenas {
+            tok_groups: r.tok_groups.to_vec().into(),
+            group_len: r.group_len.to_vec().into(),
+            group_origins: r.group_origins.to_vec().into(),
+            origin_entity: r.origin_entity.to_vec().into(),
+            origin_entries: r.origin_entries.to_vec().into(),
+            entries: r.entries.to_vec().into(),
+            set_data: r.set_data.to_vec().into(),
+            set_offsets: r.set_offsets.to_vec().into(),
+            variants_by_len: r.variants_by_len.to_vec().into(),
+            origin_offsets: r.origin_offsets.to_vec().into(),
+        }
+    }
+
+    #[test]
+    fn raw_round_trip_preserves_lookups() {
+        let mut f = fixture(
+            &["Purdue University USA", "UQ AU", "UW Madison"],
+            &[("UQ", "University of Queensland"), ("UW", "University of Wisconsin")],
+        );
+        let re = ClusteredIndex::from_raw_parts(f.index.shared_order(), owned_arenas(&f.index)).unwrap();
+        assert_eq!(re.min_set_len(), f.index.min_set_len());
+        assert_eq!(re.max_set_len(), f.index.max_set_len());
+        assert_eq!(re.total_entries(), f.index.total_entries());
+        for t in 0..f.int.len() as u32 {
+            let t = TokenId(t);
+            match (f.index.postings(t), re.postings(t)) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.entry_count(), b.entry_count());
+                    assert_eq!(a.group_count(), b.group_count());
+                    for (ga, gb) in a.groups().zip(b.groups()) {
+                        assert_eq!(ga.len(), gb.len());
+                        let oa: Vec<_> = ga.origins().map(|o| (o.origin, o.entries.to_vec())).collect();
+                        let ob: Vec<_> = gb.origins().map(|o| (o.origin, o.entries.to_vec())).collect();
+                        assert_eq!(oa, ob);
+                    }
+                }
+                (a, b) => panic!("postings presence diverged for {t:?}: {:?} vs {:?}", a.is_some(), b.is_some()),
+            }
+        }
+        let _ = f.int.intern("anything");
+    }
+
+    #[test]
+    fn raw_validation_rejects_corruption() {
+        let f = fixture(&["a b c", "a d"], &[]);
+        let ok = owned_arenas(&f.index);
+        assert!(ClusteredIndex::from_raw_parts(f.index.shared_order(), ok.clone()).is_ok());
+
+        let mut bad = ok.clone();
+        bad.tok_groups.as_mut_vec()[0] = 7;
+        assert!(ClusteredIndex::from_raw_parts(f.index.shared_order(), bad).is_err(), "prefix not starting at 0");
+
+        let mut bad = ok.clone();
+        let n = bad.origin_entries.len();
+        bad.origin_entries.as_mut_vec()[n - 1] += 1;
+        assert!(ClusteredIndex::from_raw_parts(f.index.shared_order(), bad).is_err(), "prefix past arena");
+
+        let mut bad = ok.clone();
+        if let Some(e) = bad.entries.as_mut_vec().first_mut() {
+            e.derived = DerivedId(u32::MAX);
+        }
+        assert!(ClusteredIndex::from_raw_parts(f.index.shared_order(), bad).is_err(), "derived id out of range");
+
+        let mut bad = ok.clone();
+        if let Some(e) = bad.entries.as_mut_vec().first_mut() {
+            e.pos = u16::MAX;
+        }
+        assert!(ClusteredIndex::from_raw_parts(f.index.shared_order(), bad).is_err(), "position outside set");
+
+        let mut bad = ok.clone();
+        // Token "a" occurs in both entities → its two groups sit first.
+        bad.group_len.as_mut_vec().swap(0, 1);
+        assert!(ClusteredIndex::from_raw_parts(f.index.shared_order(), bad).is_err(), "group lengths unsorted");
     }
 }

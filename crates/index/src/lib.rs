@@ -14,6 +14,6 @@ mod clustered;
 mod filters;
 mod order;
 
-pub use clustered::{ClusteredIndex, LengthGroup, OriginGroup, PostingEntry, TokenPostings};
+pub use clustered::{ClusteredIndex, IndexArenas, IndexArenasRef, LengthGroup, OriginGroup, PostingEntry, TokenPostings};
 pub use filters::{metric_window_bounds, prefix_len, window_bounds, WindowBounds};
 pub use order::GlobalOrder;

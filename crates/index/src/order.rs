@@ -1,5 +1,6 @@
 //! The global token order `O` (paper §3.2).
 
+use aeetes_frozen::Arena;
 use aeetes_rules::DerivedDictionary;
 use aeetes_text::{Interner, TokenId};
 
@@ -15,15 +16,18 @@ use aeetes_text::{Interner, TokenId};
 /// entity (the paper's *invalid* tokens, including tokens interned after the
 /// index was built) get frequency 0 and therefore sort before all valid
 /// tokens — harmless, because their posting lists are empty.
+///
+/// The three arrays live in [`Arena`]s: heap vectors when built in memory,
+/// zero-copy windows into the file image when opened from a frozen artifact.
 #[derive(Debug, Clone, Default)]
 pub struct GlobalOrder {
     /// token idx → number of derived entities containing it (0 = invalid).
-    freq: Vec<u32>,
+    freq: Arena<u32>,
     /// token idx → rank of the token's string among all valid tokens.
     /// Only meaningful where `freq > 0`.
-    tie: Vec<u32>,
+    tie: Arena<u32>,
     /// string rank → token, inverse of `tie` (valid tokens only).
-    untie: Vec<TokenId>,
+    untie: Arena<TokenId>,
 }
 
 impl GlobalOrder {
@@ -51,7 +55,7 @@ impl GlobalOrder {
         for dd in parts {
             for (_, d) in dd.iter() {
                 seen.clear();
-                seen.extend_from_slice(&d.tokens);
+                seen.extend_from_slice(d.tokens);
                 seen.sort_unstable();
                 seen.dedup();
                 for t in &seen {
@@ -59,10 +63,11 @@ impl GlobalOrder {
                 }
             }
         }
-        let mut order = Self { freq, tie: vec![0; max_id], untie: Vec::new() };
-        let fresh: Vec<TokenId> = (0..max_id as u32).map(TokenId).filter(|t| order.freq[t.idx()] > 0).collect();
-        order.assign_ranks(fresh, interner);
-        order
+        let fresh: Vec<TokenId> = (0..max_id as u32).map(TokenId).filter(|t| freq[t.idx()] > 0).collect();
+        let mut tie = vec![0u32; max_id];
+        let mut untie = Vec::new();
+        assign_ranks(&mut tie, &mut untie, fresh, interner);
+        Self { freq: freq.into(), tie: tie.into(), untie: untie.into() }
     }
 
     /// Extends the order with tokens that first appear in `parts`, keeping
@@ -75,6 +80,8 @@ impl GlobalOrder {
     /// appended after all existing ranks). The resulting order can drift
     /// from the true corpus frequencies — that affects prefix sizes
     /// (performance), never correctness; a full rebuild re-keys everything.
+    /// The result is always heap-owned, even when `self` is frozen —
+    /// this is the copy-on-write step of a frozen deployment's update path.
     pub fn extend(&self, parts: &[&DerivedDictionary], interner: &Interner) -> Self {
         let max_id = parts
             .iter()
@@ -84,15 +91,17 @@ impl GlobalOrder {
             .max()
             .map_or(0, |m| m + 1)
             .max(self.freq.len());
-        let mut next = self.clone();
-        next.freq.resize(max_id, 0);
-        next.tie.resize(max_id, 0);
+        let mut freq = self.freq.to_vec();
+        let mut tie = self.tie.to_vec();
+        let mut untie = self.untie.to_vec();
+        freq.resize(max_id, 0);
+        tie.resize(max_id, 0);
         let mut delta = vec![0u32; max_id];
         let mut seen: Vec<TokenId> = Vec::new();
         for dd in parts {
             for (_, d) in dd.iter() {
                 seen.clear();
-                seen.extend_from_slice(&d.tokens);
+                seen.extend_from_slice(d.tokens);
                 seen.sort_unstable();
                 seen.dedup();
                 for t in &seen {
@@ -102,24 +111,47 @@ impl GlobalOrder {
         }
         let mut fresh: Vec<TokenId> = Vec::new();
         for (i, &d) in delta.iter().enumerate() {
-            if d > 0 && next.freq[i] == 0 {
-                next.freq[i] = d;
+            if d > 0 && freq[i] == 0 {
+                freq[i] = d;
                 fresh.push(TokenId(i as u32));
             }
         }
-        next.assign_ranks(fresh, interner);
-        next
+        assign_ranks(&mut tie, &mut untie, fresh, interner);
+        Self { freq: freq.into(), tie: tie.into(), untie: untie.into() }
     }
 
-    /// Sorts `fresh` tokens by string and appends their tie ranks after all
-    /// existing ones. The interner never stores the same string twice, so
-    /// the string order is total and rank assignment is deterministic.
-    fn assign_ranks(&mut self, mut fresh: Vec<TokenId>, interner: &Interner) {
-        fresh.sort_unstable_by_key(|&t| interner.resolve(t));
-        for t in fresh {
-            self.tie[t.idx()] = self.untie.len() as u32;
-            self.untie.push(t);
+    /// Reassembles an order from raw (possibly frozen) arenas, validating
+    /// the rank permutation: `untie` must hold exactly the valid tokens,
+    /// each in range, with `tie` as its inverse.
+    ///
+    /// # Errors
+    /// Returns a message describing the first violated invariant.
+    pub fn from_raw_parts(freq: Arena<u32>, tie: Arena<u32>, untie: Arena<TokenId>) -> Result<Self, String> {
+        if tie.len() != freq.len() {
+            return Err(format!("tie array holds {} entries, freq holds {}", tie.len(), freq.len()));
         }
+        let valid = freq.iter().filter(|&&f| f > 0).count();
+        if untie.len() != valid {
+            return Err(format!("untie array holds {} ranks but {} tokens are valid", untie.len(), valid));
+        }
+        for (rank, &t) in untie.iter().enumerate() {
+            if t.idx() >= freq.len() {
+                return Err(format!("untie rank {rank} names token {t:?} out of range {}", freq.len()));
+            }
+            if freq[t.idx()] == 0 {
+                return Err(format!("untie rank {rank} names invalid token {t:?}"));
+            }
+            if tie[t.idx()] as usize != rank {
+                return Err(format!("tie/untie disagree at rank {rank}: tie[{t:?}] = {}", tie[t.idx()]));
+            }
+        }
+        Ok(Self { freq, tie, untie })
+    }
+
+    /// Raw arena views in [`GlobalOrder::from_raw_parts`] order (the v5
+    /// writer serializes exactly these three arrays).
+    pub fn raw_parts(&self) -> (&[u32], &[u32], &[TokenId]) {
+        (&self.freq, &self.tie, &self.untie)
     }
 
     /// The frequency of `t` in the derived dictionary (0 for invalid tokens).
@@ -162,6 +194,17 @@ impl GlobalOrder {
     pub fn sort_distinct(&self, tokens: &mut Vec<TokenId>) {
         tokens.sort_unstable_by_key(|&t| self.key(t));
         tokens.dedup();
+    }
+}
+
+/// Sorts `fresh` tokens by string and appends their tie ranks after all
+/// existing ones. The interner never stores the same string twice, so
+/// the string order is total and rank assignment is deterministic.
+fn assign_ranks(tie: &mut [u32], untie: &mut Vec<TokenId>, mut fresh: Vec<TokenId>, interner: &Interner) {
+    fresh.sort_unstable_by_key(|&t| interner.resolve(t));
+    for t in fresh {
+        tie[t.idx()] = untie.len() as u32;
+        untie.push(t);
     }
 }
 
@@ -300,5 +343,32 @@ mod tests {
         let z = int.intern("z");
         assert!(ext.is_valid(z), "new token becomes valid");
         assert_eq!(ext.token_of(ext.key(z)), z);
+    }
+
+    #[test]
+    fn raw_round_trip_and_validation() {
+        let (o, _) = build(&["university of washington", "school of rock"], &[]);
+        let (freq, tie, untie) = o.raw_parts();
+        let re = GlobalOrder::from_raw_parts(freq.to_vec().into(), tie.to_vec().into(), untie.to_vec().into()).unwrap();
+        for t in 0..freq.len() as u32 {
+            assert_eq!(re.key(TokenId(t)), o.key(TokenId(t)));
+        }
+        // Corruptions must be rejected.
+        assert!(
+            GlobalOrder::from_raw_parts(freq.to_vec().into(), tie[1..].to_vec().into(), untie.to_vec().into()).is_err(),
+            "length mismatch"
+        );
+        assert!(
+            GlobalOrder::from_raw_parts(freq.to_vec().into(), tie.to_vec().into(), untie[1..].to_vec().into()).is_err(),
+            "missing rank"
+        );
+        let mut bad = untie.to_vec();
+        bad[0] = TokenId(u32::MAX);
+        assert!(GlobalOrder::from_raw_parts(freq.to_vec().into(), tie.to_vec().into(), bad.into()).is_err(), "rank out of range");
+        let mut bad_tie = tie.to_vec();
+        if let Some(&t) = untie.first() {
+            bad_tie[t.idx()] ^= 1;
+            assert!(GlobalOrder::from_raw_parts(freq.to_vec().into(), bad_tie.into(), untie.to_vec().into()).is_err(), "inverse broken");
+        }
     }
 }

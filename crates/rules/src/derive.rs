@@ -2,13 +2,18 @@
 
 use crate::apply::{find_applications, select_non_conflict, select_non_conflict_exact, Application};
 use crate::rule::{RuleId, RuleSet};
+use aeetes_frozen::Arena;
 use aeetes_text::{Dictionary, EntityId, TokenId};
 use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a derived entity in a [`DerivedDictionary`].
+#[repr(transparent)]
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DerivedId(pub u32);
+
+// SAFETY: repr(transparent) over u32 — fixed layout, any bit pattern valid.
+unsafe impl aeetes_frozen::Pod for DerivedId {}
 
 impl DerivedId {
     /// The id as a usize, for indexing side tables.
@@ -24,8 +29,13 @@ impl fmt::Debug for DerivedId {
     }
 }
 
-/// One derived entity: an origin entity rewritten by a (possibly empty)
-/// combination of non-conflict rules.
+/// One derived entity in owned form: an origin entity rewritten by a
+/// (possibly empty) combination of non-conflict rules.
+///
+/// This is the *transfer* representation — deserialization and cross-shard
+/// repartitioning pass `DerivedEntity` values around. Inside a
+/// [`DerivedDictionary`] the same data lives in flat arenas and is read
+/// through the borrowed [`DerivedRef`] view.
 #[derive(Debug, Clone)]
 pub struct DerivedEntity {
     /// The origin entity this variant was derived from.
@@ -36,6 +46,80 @@ pub struct DerivedEntity {
     pub rules: Vec<RuleId>,
     /// Product of applied rule weights (`1.0` for unweighted rules).
     pub weight: f64,
+}
+
+/// Borrowed view of one derived entity inside a [`DerivedDictionary`].
+#[derive(Debug, Clone, Copy)]
+pub struct DerivedRef<'a> {
+    /// The origin entity this variant was derived from.
+    pub origin: EntityId,
+    /// Rewritten token sequence, in surface order.
+    pub tokens: &'a [TokenId],
+    /// Rules applied to produce this variant (empty for the origin itself).
+    pub rules: &'a [RuleId],
+    /// Product of applied rule weights (`1.0` for unweighted rules).
+    pub weight: f64,
+}
+
+impl DerivedRef<'_> {
+    /// Copies the view into an owned [`DerivedEntity`].
+    pub fn to_owned(&self) -> DerivedEntity {
+        DerivedEntity {
+            origin: self.origin,
+            tokens: self.tokens.to_vec(),
+            rules: self.rules.to_vec(),
+            weight: self.weight,
+        }
+    }
+}
+
+/// The variants of one origin entity (borrowed view over the arenas).
+#[derive(Clone, Copy)]
+pub struct Variants<'a> {
+    dd: &'a DerivedDictionary,
+    start: u32,
+    end: u32,
+}
+
+impl<'a> Variants<'a> {
+    /// Number of variants.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the origin has no variants.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The `i`-th variant, if in range.
+    pub fn get(&self, i: usize) -> Option<DerivedRef<'a>> {
+        if i < self.len() {
+            Some(self.dd.derived(DerivedId(self.start + i as u32)))
+        } else {
+            None
+        }
+    }
+
+    /// Iterates the variants in derivation order.
+    pub fn iter(&self) -> impl Iterator<Item = DerivedRef<'a>> + 'a {
+        let dd = self.dd;
+        (self.start..self.end).map(move |i| dd.derived(DerivedId(i)))
+    }
+}
+
+impl<'a> IntoIterator for Variants<'a> {
+    type Item = DerivedRef<'a>;
+    type IntoIter = Box<dyn Iterator<Item = DerivedRef<'a>> + 'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
+    }
+}
+
+impl fmt::Debug for Variants<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
 }
 
 /// Configuration for derived-dictionary generation.
@@ -98,13 +182,44 @@ impl DeriveStats {
 }
 
 /// The derived dictionary: every entity's variants, grouped contiguously by
-/// origin so `D(e)` is a slice.
-#[derive(Debug, Clone, Default)]
+/// origin so `D(e)` is a contiguous id range.
+///
+/// Storage is fully flat (PR 8): per-variant scalars plus prefix-offset
+/// arrays into shared token/rule arenas, each held in an
+/// [`Arena`] so a frozen artifact can back the whole structure zero-copy.
+#[derive(Debug, Clone)]
 pub struct DerivedDictionary {
-    derived: Vec<DerivedEntity>,
-    /// `by_origin[e] = (first, last+1)` range of `e`'s variants in `derived`.
-    by_origin: Vec<(u32, u32)>,
+    /// Variant → origin entity (`D` entries).
+    origin: Arena<EntityId>,
+    /// Variant → weight product (`D` entries).
+    weight: Arena<f64>,
+    /// All variants' tokens, back to back.
+    tokens: Arena<TokenId>,
+    /// `tok_off[i]..tok_off[i+1]` is variant `i`'s token range (`D+1`).
+    tok_off: Arena<u32>,
+    /// All variants' applied rules, back to back.
+    rules: Arena<RuleId>,
+    /// `rule_off[i]..rule_off[i+1]` is variant `i`'s rule range (`D+1`).
+    rule_off: Arena<u32>,
+    /// `by_origin[e]..by_origin[e+1]` is origin `e`'s variant id range
+    /// (`origins + 1` entries, a prefix-sum over the origin id space).
+    by_origin: Arena<u32>,
     stats: DeriveStats,
+}
+
+impl Default for DerivedDictionary {
+    fn default() -> Self {
+        Self {
+            origin: Arena::new(),
+            weight: Arena::new(),
+            tokens: Arena::new(),
+            tok_off: vec![0].into(),
+            rules: Arena::new(),
+            rule_off: vec![0].into(),
+            by_origin: vec![0].into(),
+            stats: DeriveStats::default(),
+        }
+    }
 }
 
 impl DerivedDictionary {
@@ -124,19 +239,31 @@ impl DerivedDictionary {
     /// only kept origins; `build` is `build_filtered(.., |_| true)`.
     pub fn build_filtered(dict: &Dictionary, rules: &RuleSet, config: &DeriveConfig, keep: impl Fn(EntityId) -> bool) -> Self {
         let mut out = Self::default();
-        out.by_origin.reserve(dict.len());
+        out.by_origin.as_mut_vec().reserve(dict.len());
         for (eid, ent) in dict.iter() {
-            let first = out.derived.len() as u32;
             if keep(eid) {
                 if !ent.tokens.is_empty() {
-                    out.expand_entity(eid, &ent.tokens, rules, config);
+                    out.expand_entity(eid, ent.tokens, rules, config);
                 }
                 out.stats.origins += 1;
             }
-            out.by_origin.push((first, out.derived.len() as u32));
+            let end = out.origin.len() as u32;
+            out.by_origin.as_mut_vec().push(end);
         }
-        out.stats.derived = out.derived.len();
+        out.stats.derived = out.origin.len();
         out
+    }
+
+    /// Appends one variant's flat records (build/deserialize path only).
+    fn push_variant(&mut self, origin: EntityId, tokens: &[TokenId], rules: &[RuleId], weight: f64) {
+        self.origin.as_mut_vec().push(origin);
+        self.weight.as_mut_vec().push(weight);
+        self.tokens.as_mut_vec().extend_from_slice(tokens);
+        let t_end = u32::try_from(self.tokens.len()).expect("derived token arena overflows u32 offsets");
+        self.tok_off.as_mut_vec().push(t_end);
+        self.rules.as_mut_vec().extend_from_slice(rules);
+        let r_end = u32::try_from(self.rules.len()).expect("derived rule arena overflows u32 offsets");
+        self.rule_off.as_mut_vec().push(r_end);
     }
 
     fn expand_entity(&mut self, eid: EntityId, tokens: &[TokenId], rules: &RuleSet, config: &DeriveConfig) {
@@ -160,7 +287,7 @@ impl DerivedDictionary {
             let chosen: Vec<&Application> = digits.iter().zip(&groups).filter_map(|(&d, g)| d.checked_sub(1).map(|i| &g[i])).collect();
             let (new_tokens, applied, weight) = rewrite(tokens, &chosen, rules);
             if seen.insert(new_tokens.clone(), ()).is_none() {
-                self.derived.push(DerivedEntity { origin: eid, tokens: new_tokens, rules: applied, weight });
+                self.push_variant(eid, &new_tokens, &applied, weight);
                 produced += 1;
             } else {
                 self.stats.duplicates_dropped += 1;
@@ -191,73 +318,127 @@ impl DerivedDictionary {
     /// Returns a message when an origin id is out of range or the grouping
     /// is not contiguous/ascending.
     pub fn from_parts(derived: Vec<DerivedEntity>, num_origins: usize, stats: DeriveStats) -> Result<Self, String> {
-        let mut by_origin = vec![(0u32, 0u32); num_origins];
+        let mut out = Self { stats, ..Self::default() };
         let mut prev: Option<u32> = None;
-        let mut start = 0u32;
         for (i, d) in derived.iter().enumerate() {
             if d.origin.idx() >= num_origins {
                 return Err(format!("derived entity {i} references origin {:?} out of {num_origins}", d.origin));
             }
-            match prev {
-                Some(p) if p == d.origin.0 => {}
-                Some(p) => {
-                    if d.origin.0 < p {
-                        return Err(format!("derived entities not grouped by ascending origin at index {i}"));
-                    }
-                    by_origin[p as usize] = (start, i as u32);
-                    start = i as u32;
-                    prev = Some(d.origin.0);
+            if let Some(p) = prev {
+                if d.origin.0 < p {
+                    return Err(format!("derived entities not grouped by ascending origin at index {i}"));
                 }
-                None => prev = Some(d.origin.0),
             }
+            prev = Some(d.origin.0);
+            out.push_variant(d.origin, &d.tokens, &d.rules, d.weight);
         }
-        if let Some(p) = prev {
-            by_origin[p as usize] = (start, derived.len() as u32);
+        // Rebuild the origin prefix over the full id space.
+        let by_origin = out.by_origin.as_mut_vec();
+        by_origin.clear();
+        by_origin.push(0);
+        let mut i = 0usize;
+        for e in 0..num_origins as u32 {
+            while i < derived.len() && derived[i].origin.0 == e {
+                i += 1;
+            }
+            by_origin.push(i as u32);
         }
-        // Origins with no variants keep (0,0)? They must point at an empty
-        // range at the right offset for slicing consistency; (0,0) is an
-        // empty range, which is fine for `variants`/`variant_range`.
-        let mut out = Self { derived, by_origin, stats };
         out.stats.origins = num_origins;
-        out.stats.derived = out.derived.len();
+        out.stats.derived = derived.len();
         Ok(out)
     }
 
-    /// The derived entity with id `id`.
-    pub fn derived(&self, id: DerivedId) -> &DerivedEntity {
-        &self.derived[id.idx()]
+    /// Reassembles a derived dictionary directly from raw (possibly frozen)
+    /// arenas, validating every structural invariant: array lengths agree,
+    /// prefix-offset arrays are monotonic and end at their arena lengths,
+    /// and each origin's variant range really holds variants of that origin.
+    ///
+    /// # Errors
+    /// Returns a message describing the first violated invariant; a
+    /// corrupted artifact yields a clean error here, never a panic later.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_raw_arenas(
+        origin: Arena<EntityId>,
+        weight: Arena<f64>,
+        tokens: Arena<TokenId>,
+        tok_off: Arena<u32>,
+        rules: Arena<RuleId>,
+        rule_off: Arena<u32>,
+        by_origin: Arena<u32>,
+        stats: DeriveStats,
+    ) -> Result<Self, String> {
+        let d = origin.len();
+        if weight.len() != d {
+            return Err(format!("derived weight array holds {} entries, expected {d}", weight.len()));
+        }
+        check_prefix("derived token offsets", &tok_off, d, tokens.len())?;
+        check_prefix("derived rule offsets", &rule_off, d, rules.len())?;
+        let o = by_origin.len().checked_sub(1).ok_or("origin prefix array empty")?;
+        check_prefix("origin prefix", &by_origin, o, d)?;
+        // Hoist plain slices: an Arena access is a match plus a pointer
+        // rebuild, which matters over every variant on the open path.
+        let by_origin_s: &[u32] = &by_origin;
+        let origin_s: &[EntityId] = &origin;
+        for e in 0..o {
+            let (lo, hi) = (by_origin_s[e] as usize, by_origin_s[e + 1] as usize);
+            if let Some(j) = origin_s[lo..hi].iter().position(|org| org.idx() != e) {
+                let i = lo + j;
+                return Err(format!("variant {i} claims origin {:?} but sits in origin {e}'s range", origin_s[i]));
+            }
+        }
+        let mut stats = stats;
+        stats.origins = o;
+        stats.derived = d;
+        Ok(Self { origin, weight, tokens, tok_off, rules, rule_off, by_origin, stats })
+    }
+
+    /// The derived entity with id `id` (borrowed view).
+    #[inline]
+    pub fn derived(&self, id: DerivedId) -> DerivedRef<'_> {
+        let i = id.idx();
+        DerivedRef {
+            origin: self.origin[i],
+            tokens: &self.tokens[self.tok_off[i] as usize..self.tok_off[i + 1] as usize],
+            rules: &self.rules[self.rule_off[i] as usize..self.rule_off[i + 1] as usize],
+            weight: self.weight[i],
+        }
+    }
+
+    /// The weight of variant `id` without materializing the full view
+    /// (the verification hot path reads only this field).
+    #[inline]
+    pub fn weight_of(&self, id: DerivedId) -> f64 {
+        self.weight[id.idx()]
     }
 
     /// All variants of origin entity `e` (includes the unmodified origin).
-    pub fn variants(&self, e: EntityId) -> &[DerivedEntity] {
-        let (a, b) = self.by_origin[e.idx()];
-        &self.derived[a as usize..b as usize]
+    pub fn variants(&self, e: EntityId) -> Variants<'_> {
+        Variants { dd: self, start: self.by_origin[e.idx()], end: self.by_origin[e.idx() + 1] }
     }
 
     /// The contiguous range of global [`DerivedId`]s holding `e`'s variants.
     pub fn variant_range(&self, e: EntityId) -> std::ops::Range<u32> {
-        let (a, b) = self.by_origin[e.idx()];
-        a..b
+        self.by_origin[e.idx()]..self.by_origin[e.idx() + 1]
     }
 
     /// Total number of derived entities.
     pub fn len(&self) -> usize {
-        self.derived.len()
+        self.origin.len()
     }
 
     /// Whether no derived entities exist.
     pub fn is_empty(&self) -> bool {
-        self.derived.is_empty()
+        self.origin.is_empty()
     }
 
     /// Number of origin entities.
     pub fn origins(&self) -> usize {
-        self.by_origin.len()
+        self.by_origin.len() - 1
     }
 
     /// Iterates over `(id, derived entity)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (DerivedId, &DerivedEntity)> {
-        self.derived.iter().enumerate().map(|(i, d)| (DerivedId(i as u32), d))
+    pub fn iter(&self) -> impl Iterator<Item = (DerivedId, DerivedRef<'_>)> {
+        (0..self.origin.len() as u32).map(move |i| (DerivedId(i), self.derived(DerivedId(i))))
     }
 
     /// Generation statistics.
@@ -267,13 +448,46 @@ impl DerivedDictionary {
 
     /// Minimum derived-entity token length (`|e|⊥`), or `None` when empty.
     pub fn min_len(&self) -> Option<usize> {
-        self.derived.iter().map(|d| d.tokens.len()).min()
+        self.tok_off.windows(2).map(|w| (w[1] - w[0]) as usize).min()
     }
 
     /// Maximum derived-entity token length (`|e|⊤`), or `None` when empty.
     pub fn max_len(&self) -> Option<usize> {
-        self.derived.iter().map(|d| d.tokens.len()).max()
+        self.tok_off.windows(2).map(|w| (w[1] - w[0]) as usize).max()
     }
+
+    /// Whether the storage borrows a frozen artifact (zero-copy) rather
+    /// than owning heap arrays.
+    pub fn is_frozen(&self) -> bool {
+        self.origin.is_frozen()
+    }
+
+    /// Raw arena views, in [`DerivedDictionary::from_raw_arenas`] order —
+    /// the v5 writer serializes exactly these seven arrays.
+    #[allow(clippy::type_complexity)]
+    pub fn raw_arenas(&self) -> (&[EntityId], &[f64], &[TokenId], &[u32], &[RuleId], &[u32], &[u32]) {
+        (&self.origin, &self.weight, &self.tokens, &self.tok_off, &self.rules, &self.rule_off, &self.by_origin)
+    }
+}
+
+/// Validates a prefix-offset array: `n + 1` entries, starts at 0, is
+/// monotonic and ends exactly at `total`.
+fn check_prefix(what: &str, off: &[u32], n: usize, total: usize) -> Result<(), String> {
+    if off.len() != n + 1 {
+        return Err(format!("{what} holds {} entries, expected {}", off.len(), n + 1));
+    }
+    if off[0] != 0 {
+        return Err(format!("{what} does not start at 0"));
+    }
+    // Branchless fold so the monotonicity scan vectorizes (this runs on
+    // the frozen-open critical path).
+    if !off.windows(2).fold(true, |ok, w| ok & (w[0] <= w[1])) {
+        return Err(format!("{what} not monotonic"));
+    }
+    if off[n] as usize != total {
+        return Err(format!("{what} ends at {} but the arena holds {total}", off[n]));
+    }
+    Ok(())
 }
 
 /// Applies `chosen` (span-disjoint, any order) to `tokens`, returning the
@@ -326,8 +540,8 @@ mod tests {
         fn build(&self) -> DerivedDictionary {
             DerivedDictionary::build(&self.dict, &self.rules, &DeriveConfig::default())
         }
-        fn render(&self, d: &DerivedEntity) -> String {
-            self.int.render(&d.tokens)
+        fn render(&self, d: DerivedRef<'_>) -> String {
+            self.int.render(d.tokens)
         }
     }
 
@@ -355,9 +569,10 @@ mod tests {
         c.rule("UW", "University of Wisconsin");
         let dd = c.build();
         let v = dd.variants(e);
-        assert_eq!(c.render(&v[0]), "uw madison");
-        assert!(v[0].rules.is_empty());
-        assert_eq!(v[0].weight, 1.0);
+        let first = v.get(0).unwrap();
+        assert_eq!(c.render(first), "uw madison");
+        assert!(first.rules.is_empty());
+        assert_eq!(first.weight, 1.0);
     }
 
     #[test]
@@ -405,8 +620,8 @@ mod tests {
         let dd2 = DerivedDictionary::build(&c.dict, &c.rules, &DeriveConfig { max_derived: 10, ..DeriveConfig::default() });
         assert_eq!(dd1.variants(e).len(), 10);
         assert_eq!(dd1.stats().truncated_entities, 1);
-        let t1: Vec<_> = dd1.variants(e).iter().map(|d| d.tokens.clone()).collect();
-        let t2: Vec<_> = dd2.variants(e).iter().map(|d| d.tokens.clone()).collect();
+        let t1: Vec<Vec<TokenId>> = dd1.variants(e).iter().map(|d| d.tokens.to_vec()).collect();
+        let t2: Vec<Vec<TokenId>> = dd2.variants(e).iter().map(|d| d.tokens.to_vec()).collect();
         assert_eq!(t1, t2);
     }
 
@@ -453,6 +668,8 @@ mod tests {
         let dd = c.build();
         let both = dd.variants(e).iter().find(|d| d.rules.len() == 2).expect("variant with both rules");
         assert!((both.weight - 0.4).abs() < 1e-12);
+        let id = DerivedId(dd.variant_range(e).start + dd.variants(e).iter().position(|d| d.rules.len() == 2).unwrap() as u32);
+        assert_eq!(dd.weight_of(id), both.weight);
     }
 
     #[test]
@@ -488,5 +705,66 @@ mod tests {
         }
         assert_eq!(dd.len(), 4);
         assert_eq!(dd.origins(), 2);
+    }
+
+    #[test]
+    fn from_parts_round_trips_build() {
+        let mut c = Ctx::new();
+        c.entity("UQ AU");
+        c.entity("!!!"); // empty origin in the middle of the id space
+        c.entity("plain words");
+        c.rule("UQ", "University of Queensland");
+        let dd = c.build();
+        let owned: Vec<DerivedEntity> = dd.iter().map(|(_, d)| d.to_owned()).collect();
+        let re = DerivedDictionary::from_parts(owned, dd.origins(), dd.stats().clone()).unwrap();
+        assert_eq!(re.len(), dd.len());
+        assert_eq!(re.origins(), dd.origins());
+        for (id, d) in dd.iter() {
+            let r = re.derived(id);
+            assert_eq!(r.origin, d.origin);
+            assert_eq!(r.tokens, d.tokens);
+            assert_eq!(r.rules, d.rules);
+            assert_eq!(r.weight, d.weight);
+        }
+        for e in 0..dd.origins() as u32 {
+            assert_eq!(re.variant_range(EntityId(e)), dd.variant_range(EntityId(e)), "origin {e}");
+        }
+    }
+
+    #[test]
+    fn raw_arena_round_trip_and_validation() {
+        let mut c = Ctx::new();
+        c.entity("UQ AU");
+        c.entity("plain words");
+        c.rule("UQ", "University of Queensland");
+        let dd = c.build();
+        let (origin, weight, tokens, tok_off, rules, rule_off, by_origin) = dd.raw_arenas();
+        let rebuild = |f: &dyn Fn(&mut Vec<u32>)| {
+            let mut t = tok_off.to_vec();
+            f(&mut t);
+            DerivedDictionary::from_raw_arenas(
+                origin.to_vec().into(),
+                weight.to_vec().into(),
+                tokens.to_vec().into(),
+                t.into(),
+                rules.to_vec().into(),
+                rule_off.to_vec().into(),
+                by_origin.to_vec().into(),
+                DeriveStats::default(),
+            )
+        };
+        let ok = rebuild(&|_| {}).unwrap();
+        assert_eq!(ok.len(), dd.len());
+        assert_eq!(ok.variants(EntityId(0)).len(), dd.variants(EntityId(0)).len());
+        assert!(rebuild(&|t| t[0] = 1).is_err(), "offset not starting at 0");
+        assert!(rebuild(&|t| t.swap(1, 2)).is_err(), "non-monotonic offsets");
+        assert!(rebuild(&|t| *t.last_mut().unwrap() += 1).is_err(), "offsets past arena");
+        assert!(
+            rebuild(&|t| {
+                t.pop();
+            })
+            .is_err(),
+            "wrong offset count"
+        );
     }
 }

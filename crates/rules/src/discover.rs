@@ -122,7 +122,7 @@ pub fn discover_abbreviations(dict: &Dictionary, interner: &Interner, config: &D
     let mut out = Vec::new();
     let mut seen_tokens: HashSet<TokenId> = HashSet::new();
     for (_, e) in dict.iter() {
-        for &t in &e.tokens {
+        for &t in e.tokens {
             if !seen_tokens.insert(t) {
                 continue;
             }
@@ -151,7 +151,7 @@ pub fn discover_abbreviations(dict: &Dictionary, interner: &Interner, config: &D
         // token frequency over entities, as support
         let mut tok_support: HashMap<TokenId, usize> = HashMap::new();
         for (_, e) in dict.iter() {
-            let mut distinct: Vec<TokenId> = e.tokens.clone();
+            let mut distinct: Vec<TokenId> = e.tokens.to_vec();
             distinct.sort_unstable();
             distinct.dedup();
             for t in distinct {

@@ -39,6 +39,6 @@ mod discover;
 mod rule;
 
 pub use apply::{find_applications, select_non_conflict, select_non_conflict_exact, Application, ConflictGraph};
-pub use derive::{DeriveConfig, DeriveStats, DerivedDictionary, DerivedEntity, DerivedId};
+pub use derive::{DeriveConfig, DeriveStats, DerivedDictionary, DerivedEntity, DerivedId, DerivedRef, Variants};
 pub use discover::{add_discovered, discover_abbreviations, DiscoveredRule, DiscoveryConfig, DiscoveryKind};
 pub use rule::{Rule, RuleError, RuleId, RuleSet, Side};

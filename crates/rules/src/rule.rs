@@ -5,8 +5,12 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a rule in a [`RuleSet`].
+#[repr(transparent)]
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RuleId(pub u32);
+
+// SAFETY: repr(transparent) over u32 — fixed layout, any bit pattern valid.
+unsafe impl aeetes_frozen::Pod for RuleId {}
 
 impl RuleId {
     /// The id as a usize, for indexing side tables.
@@ -69,7 +73,30 @@ impl std::error::Error for RuleError {}
 pub struct RuleSet {
     rules: Vec<Rule>,
     /// first token of a side → (rule, which side starts there)
-    heads: HashMap<TokenId, Vec<(RuleId, Side)>>,
+    heads: HashMap<TokenId, Vec<(RuleId, Side)>, std::hash::BuildHasherDefault<TokenIdHasher>>,
+}
+
+/// Mixes the single `u32` of a [`TokenId`] key (splitmix64 finalizer) —
+/// SipHash shows up in rule-set reassembly on the frozen open path, and
+/// `heads` never hashes anything but token ids.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TokenIdHasher(u64);
+
+impl std::hash::Hasher for TokenIdHasher {
+    fn finish(&self) -> u64 {
+        let mut z = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 << 8) | b as u64;
+        }
+    }
+    fn write_u32(&mut self, i: u32) {
+        self.0 = i as u64;
+    }
 }
 
 /// Which side of a rule matched inside an entity.
@@ -83,6 +110,12 @@ impl RuleSet {
     /// Creates an empty rule set.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Pre-allocates for `n` more rules (a deserializer's bulk-load hint).
+    pub fn reserve(&mut self, n: usize) {
+        self.rules.reserve(n);
+        self.heads.reserve(n);
     }
 
     /// Adds a rule from raw strings with weight `1.0`.

@@ -40,7 +40,7 @@ proptest! {
     fn applications_are_genuine(inst in instance()) {
         let (dict, rules) = materialize(&inst);
         for (_, e) in dict.iter() {
-            for app in find_applications(&e.tokens, &rules) {
+            for app in find_applications(e.tokens, &rules) {
                 let side = rules.side_of(app.rule, app.side);
                 let span = &e.tokens[app.start as usize..app.end() as usize];
                 prop_assert_eq!(span, side);
@@ -55,8 +55,8 @@ proptest! {
     fn non_conflict_selection_invariants(inst in instance()) {
         let (dict, rules) = materialize(&inst);
         for (_, e) in dict.iter() {
-            let all = find_applications(&e.tokens, &rules);
-            let groups = select_non_conflict(&e.tokens, &rules);
+            let all = find_applications(e.tokens, &rules);
+            let groups = select_non_conflict(e.tokens, &rules);
             for (gi, g) in groups.iter().enumerate() {
                 prop_assert!(!g.is_empty());
                 let span = (g[0].start, g[0].end());
@@ -87,14 +87,15 @@ proptest! {
             prop_assert!(variants.len() <= config.max_derived);
             if !ent.tokens.is_empty() {
                 prop_assert!(!variants.is_empty());
-                prop_assert_eq!(&variants[0].tokens, &ent.tokens, "origin first");
-                prop_assert!(variants[0].rules.is_empty());
-                prop_assert_eq!(variants[0].weight, 1.0);
+                let first = variants.get(0).unwrap();
+                prop_assert_eq!(first.tokens, ent.tokens, "origin first");
+                prop_assert!(first.rules.is_empty());
+                prop_assert_eq!(first.weight, 1.0);
             }
             let mut seen: HashSet<&[TokenId]> = HashSet::new();
             for v in variants {
                 prop_assert_eq!(v.origin, eid);
-                prop_assert!(seen.insert(&v.tokens), "duplicate variant {:?}", v.tokens);
+                prop_assert!(seen.insert(v.tokens), "duplicate variant {:?}", v.tokens);
                 prop_assert!(!v.tokens.is_empty());
             }
             let range = dd.variant_range(eid);
@@ -109,13 +110,13 @@ proptest! {
     fn from_parts_round_trip(inst in instance()) {
         let (dict, rules) = materialize(&inst);
         let dd = DerivedDictionary::build(&dict, &rules, &DeriveConfig::default());
-        let parts: Vec<_> = dd.iter().map(|(_, d)| d.clone()).collect();
+        let parts: Vec<_> = dd.iter().map(|(_, d)| d.to_owned()).collect();
         let rebuilt = DerivedDictionary::from_parts(parts, dd.origins(), dd.stats().clone())
             .expect("valid parts");
         prop_assert_eq!(rebuilt.len(), dd.len());
         for (eid, _) in dict.iter() {
-            let a: Vec<_> = dd.variants(eid).iter().map(|d| &d.tokens).collect();
-            let b: Vec<_> = rebuilt.variants(eid).iter().map(|d| &d.tokens).collect();
+            let a: Vec<_> = dd.variants(eid).iter().map(|d| d.tokens).collect();
+            let b: Vec<_> = rebuilt.variants(eid).iter().map(|d| d.tokens).collect();
             prop_assert_eq!(a, b);
         }
         prop_assert_eq!(rebuilt.stats(), dd.stats());

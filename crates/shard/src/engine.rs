@@ -279,6 +279,15 @@ impl ShardedEngine {
             generation: g.id(),
         }
     }
+
+    /// Serializes the current generation as a frozen (format v5) artifact —
+    /// see [`Generation::freeze`]. Unlike [`ShardedEngine::to_parts`] +
+    /// `save_sharded` (v4), the artifact carries the built indexes, so an
+    /// engine opened from it ([`ShardedEngine::from_frozen`]) serves without
+    /// any derive or index work.
+    pub fn freeze(&self) -> Vec<u8> {
+        self.snapshot().freeze()
+    }
 }
 
 /// Builds `cur + delta` as a fully-assembled next generation, rebuilding
@@ -333,7 +342,7 @@ fn build_next(cur: &Generation, delta: &DictDelta, tokenizer: &Tokenizer) -> Res
             if removed.contains(&e.0) || affected[shard_of(e, n)] {
                 continue;
             }
-            if !find_applications(&ent.tokens, &fresh_rules).is_empty() {
+            if !find_applications(ent.tokens, &fresh_rules).is_empty() {
                 affected[shard_of(e, n)] = true;
             }
         }
@@ -398,7 +407,10 @@ impl ShardedEngine {
         } else {
             // Merge every segment, then split the variant stream along this
             // engine's routing. Stable sort keeps intra-origin variant order.
-            let mut all: Vec<DerivedEntity> = segments.into_iter().flat_map(|dd| dd.iter().map(|(_, d)| d.clone()).collect::<Vec<_>>()).collect();
+            let mut all: Vec<DerivedEntity> = segments
+                .into_iter()
+                .flat_map(|dd| dd.iter().map(|(_, d)| d.to_owned()).collect::<Vec<_>>())
+                .collect();
             all.sort_by_key(|d| d.origin.0);
             let mut buckets: Vec<Vec<DerivedEntity>> = (0..n).map(|_| Vec::new()).collect();
             for d in all {
@@ -421,6 +433,65 @@ impl ShardedEngine {
             update_lock: Mutex::new(()),
             pending: Mutex::new(None),
         })
+    }
+
+    /// Builds an engine from an opened frozen (v5) artifact.
+    ///
+    /// The fast path — `shards` is `None` or names the artifact's own
+    /// segment count, and every segment's origins route to its slot under
+    /// this engine's hashing — adopts the frozen derived dictionaries and
+    /// indexes as-is: zero derive work, zero index builds, arenas still
+    /// backed by the mapped file. Any mismatch (shard-count override,
+    /// foreign routing, un-dropped tombstones) falls back to re-bucketing
+    /// the variants onto the heap and rebuilding the indexes — correct for
+    /// any artifact, just not zero-copy.
+    ///
+    /// Later updates copy-on-write: `apply_update` rebuilds only the
+    /// affected shards, onto the heap, while untouched shards keep serving
+    /// straight from the mapping.
+    pub fn from_frozen(parts: aeetes_core::FrozenParts, shards: Option<usize>) -> Result<Self, String> {
+        let aeetes_core::FrozenParts { interner, dict, removed, rules, config, generation, order, segments, .. } = parts;
+        let generation = generation.max(1);
+        let n = match shards {
+            None => segments.len().clamp(1, MAX_SHARDS),
+            Some(req) => resolve_shards(req),
+        };
+        let tombstoned: BTreeSet<u32> = removed.iter().map(|e| e.0).collect();
+        // The `by_origin` prefix array alone decides adoptability: frozen
+        // validation already proved every variant sits in its origin's
+        // bucket, so it suffices to check each *populated* bucket's entity —
+        // one hash per origin rather than one per variant.
+        let adoptable = n == segments.len()
+            && segments.iter().enumerate().all(|(i, s)| {
+                let (_, _, _, _, _, _, by_origin) = s.dd.raw_arenas();
+                by_origin
+                    .windows(2)
+                    .enumerate()
+                    .all(|(e, w)| w[0] == w[1] || (shard_of(EntityId(e as u32), n) == i && !tombstoned.contains(&(e as u32))))
+            });
+        if adoptable {
+            let built: Vec<Arc<Shard>> = segments.into_iter().map(|s| Arc::new(Shard::from_prebuilt(s.dd, s.index))).collect();
+            let generation = Generation::assemble(generation, interner, dict, removed, rules, config, order, built);
+            return Ok(ShardedEngine {
+                current: RwLock::new(Arc::new(generation)),
+                update_lock: Mutex::new(()),
+                pending: Mutex::new(None),
+            });
+        }
+        // Re-bucket through the ShardedParts path: the frozen derived
+        // dictionaries are merged (copied to the heap) and indexes rebuilt.
+        Self::from_parts(
+            ShardedParts {
+                interner,
+                dict,
+                removed,
+                rules,
+                config,
+                segments: segments.into_iter().map(|s| s.dd).collect(),
+                generation,
+            },
+            Some(n),
+        )
     }
 }
 
@@ -702,6 +773,96 @@ mod tests {
         assert!(!generation.extract_all(&doc, 1.0).is_empty());
         let doc = Document::parse("first", &tok, &mut int2);
         assert!(generation.extract_all(&doc, 1.0).is_empty());
+    }
+
+    #[test]
+    fn frozen_round_trip_adopts_shards_zero_copy() {
+        let (dict, rules, int, tok) = fixture();
+        for n in [1, 3, 8] {
+            let engine = ShardedEngine::build(dict.clone(), &rules, &int, AeetesConfig::default(), n);
+            let bytes = engine.freeze();
+            let parts = aeetes_core::open_frozen_bytes(&bytes).expect("open frozen");
+            let restored = ShardedEngine::from_frozen(parts, None).expect("from_frozen");
+            assert_eq!(restored.shard_count(), n, "adoption keeps the artifact's shard count");
+            assert_eq!(restored.generation_id(), engine.generation_id());
+            let g = restored.snapshot();
+            assert!(
+                g.shards.iter().all(|s| s.dd.is_frozen() && s.index.is_frozen()),
+                "adopted shards must stay arena-backed (zero-copy), n={n}"
+            );
+            let mut int2 = g.interner().clone();
+            for doc in docs(&mut int2, &tok) {
+                for tau in [0.6, 0.8, 1.0] {
+                    assert_eq!(g.extract_all(&doc, tau), engine.snapshot().extract_all(&doc, tau), "n={n} tau={tau}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_with_shard_override_rebuckets() {
+        let (dict, rules, int, tok) = fixture();
+        let engine = ShardedEngine::build(dict.clone(), &rules, &int, AeetesConfig::default(), 4);
+        let bytes = engine.freeze();
+        let parts = aeetes_core::open_frozen_bytes(&bytes).expect("open frozen");
+        let restored = ShardedEngine::from_frozen(parts, Some(2)).expect("from_frozen override");
+        assert_eq!(restored.shard_count(), 2);
+        let g = restored.snapshot();
+        assert!(g.shards.iter().all(|s| !s.dd.is_frozen()), "re-bucketed shards live on the heap");
+        let mut int2 = g.interner().clone();
+        for doc in docs(&mut int2, &tok) {
+            assert_eq!(g.extract_all(&doc, 0.7), engine.snapshot().extract_all(&doc, 0.7));
+        }
+    }
+
+    #[test]
+    fn update_over_frozen_engine_copies_only_affected_shards() {
+        let (dict, rules, int, tok) = fixture();
+        let engine = ShardedEngine::build(dict.clone(), &rules, &int, AeetesConfig::default(), 8);
+        let bytes = engine.freeze();
+        let parts = aeetes_core::open_frozen_bytes(&bytes).expect("open frozen");
+        let restored = ShardedEngine::from_frozen(parts, None).expect("from_frozen");
+        let before = restored.snapshot();
+        let delta = DictDelta { add_entities: vec!["brand new entity".into()], ..Default::default() };
+        let after = restored.apply_update(&delta, &tok).expect("update over frozen");
+        let new_shard = shard_of(EntityId(5), 8);
+        for i in 0..8 {
+            if i == new_shard {
+                assert!(!after.shards[i].dd.is_frozen(), "the rebuilt shard is heap-owned");
+            } else {
+                assert!(Arc::ptr_eq(&before.shards[i], &after.shards[i]), "untouched shards keep serving from the mapping");
+                assert!(after.shards[i].dd.is_frozen());
+            }
+        }
+        // And the updated engine equals a from-scratch build over the same state.
+        let mut dict2 = dict;
+        let mut int2 = after.interner().clone();
+        dict2.push("brand new entity", &tok, &mut int2);
+        let fresh = ShardedEngine::build(dict2, &rules, &int2, AeetesConfig::default(), 8);
+        for text in ["brand new entity", "uq australia", "purdue university united states"] {
+            let doc = Document::parse(text, &tok, &mut int2);
+            assert_eq!(after.extract_all(&doc, 0.7), fresh.snapshot().extract_all(&doc, 0.7), "doc={text}");
+        }
+    }
+
+    #[test]
+    fn refrozen_updated_engine_round_trips() {
+        // freeze → open → update → freeze again → open: the second artifact
+        // must carry the updated state (mixed frozen/heap shards re-frozen).
+        let (dict, rules, int, tok) = fixture();
+        let engine = ShardedEngine::build(dict, &rules, &int, AeetesConfig::default(), 4);
+        let parts = aeetes_core::open_frozen_bytes(&engine.freeze()).expect("open");
+        let restored = ShardedEngine::from_frozen(parts, None).expect("from_frozen");
+        restored
+            .apply_update(&DictDelta { add_entities: vec!["eth zurich".into()], ..Default::default() }, &tok)
+            .expect("update");
+        let parts2 = aeetes_core::open_frozen_bytes(&restored.freeze()).expect("reopen");
+        assert_eq!(parts2.generation, 2);
+        let again = ShardedEngine::from_frozen(parts2, None).expect("from_frozen again");
+        let g = again.snapshot();
+        let mut int2 = g.interner().clone();
+        let doc = Document::parse("eth zurich", &tok, &mut int2);
+        assert!(!g.extract_all(&doc, 1.0).is_empty(), "the re-frozen artifact carries the delta");
     }
 
     #[test]

@@ -46,14 +46,10 @@ impl Shard {
     pub(crate) fn build(dd: DerivedDictionary, order: Arc<GlobalOrder>) -> Self {
         let start = std::time::Instant::now();
         let index = ClusteredIndex::build_with_order(&dd, order);
-        let mut resident = 0usize;
-        let mut prev = None;
-        for (_, d) in dd.iter() {
-            if prev != Some(d.origin) {
-                resident += 1;
-                prev = Some(d.origin);
-            }
-        }
+        // Count populated origin buckets off the prefix array — walking
+        // `dd.iter()` would materialize a DerivedRef per variant.
+        let by_origin = dd.raw_arenas().6;
+        let resident = by_origin.windows(2).filter(|w| w[0] < w[1]).count();
         Shard {
             dd,
             index,
@@ -61,6 +57,26 @@ impl Shard {
             served: AtomicU64::new(0),
             candidates: AtomicU64::new(0),
             build_nanos: start.elapsed().as_nanos() as u64,
+            extract_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// Wraps an already-built derived dictionary + index pair (the frozen
+    /// open path, where the index comes off the artifact instead of a
+    /// build). Counters start at zero; `build_nanos` is 0 by definition —
+    /// nothing was built.
+    pub(crate) fn from_prebuilt(dd: DerivedDictionary, index: ClusteredIndex) -> Self {
+        // Count populated origin buckets off the prefix array — walking
+        // `dd.iter()` would materialize a DerivedRef per variant.
+        let by_origin = dd.raw_arenas().6;
+        let resident = by_origin.windows(2).filter(|w| w[0] < w[1]).count();
+        Shard {
+            dd,
+            index,
+            resident,
+            served: AtomicU64::new(0),
+            candidates: AtomicU64::new(0),
+            build_nanos: 0,
             extract_nanos: AtomicU64::new(0),
         }
     }
@@ -140,17 +156,18 @@ impl Generation {
         shards: Vec<Arc<Shard>>,
     ) -> Self {
         let n = shards.len();
+        // Hoist each shard's origin prefix array once — the loop below runs
+        // per dictionary entity on the frozen open path.
+        let prefixes: Vec<&[u32]> = shards.iter().map(|s| s.dd.raw_arenas().6).collect();
         let mut global_base = vec![0u32; dict.len()];
         let mut cum = 0u32;
         for (i, base) in global_base.iter_mut().enumerate() {
             *base = cum;
-            let e = EntityId(i as u32);
-            let shard = &shards[shard_of(e, n)];
+            let by_origin = prefixes[shard_of(EntityId(i as u32), n)];
             // A shard predating a dictionary-growing delta covers a shorter
             // origin space; origins beyond it have no variants there.
-            if i < shard.dd.origins() {
-                let r = shard.dd.variant_range(e);
-                cum += r.end - r.start;
+            if i + 1 < by_origin.len() {
+                cum += by_origin[i + 1] - by_origin[i];
             }
         }
         let mut set_len_bounds: Option<(usize, usize)> = None;
@@ -179,6 +196,25 @@ impl Generation {
     /// Monotonic generation number (1 for a fresh build).
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Serializes this generation as a frozen (format v5) artifact: every
+    /// shard's derived dictionary and clustered index laid out as flat
+    /// arenas a future engine can mmap and serve without rebuilding. The
+    /// shared global order is written once; shards predating an append-only
+    /// order extension stay valid against it (extension never changes an
+    /// existing key).
+    pub fn freeze(&self) -> Vec<u8> {
+        aeetes_core::freeze_to_bytes(&aeetes_core::FreezeSource {
+            interner: &self.interner,
+            dict: &self.dict,
+            removed: &self.removed,
+            rules: &self.rules,
+            config: &self.config,
+            generation: self.id,
+            order: &self.order,
+            segments: self.shards.iter().map(|s| aeetes_core::FreezeSegment { dd: &s.dd, index: &s.index }).collect(),
+        })
     }
 
     /// The interner snapshot documents must be tokenized against.

@@ -39,7 +39,7 @@ impl<'a> JaccArVerifier<'a> {
     pub fn new(dd: &'a DerivedDictionary) -> Self {
         let mut sets = Vec::with_capacity(dd.len());
         for (_, d) in dd.iter() {
-            sets.push(sorted_set(&d.tokens));
+            sets.push(sorted_set(d.tokens));
         }
         let mut first_id = Vec::with_capacity(dd.origins());
         let mut acc = 0u32;

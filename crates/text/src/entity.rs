@@ -5,8 +5,12 @@ use crate::tokenize::Tokenizer;
 use std::fmt;
 
 /// Identifier of an *origin* entity in a [`Dictionary`].
+#[repr(transparent)]
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EntityId(pub u32);
+
+// SAFETY: repr(transparent) over u32 — fixed layout, any bit pattern valid.
+unsafe impl aeetes_frozen::Pod for EntityId {}
 
 impl EntityId {
     /// The id as a usize, for indexing side tables.
@@ -22,16 +26,17 @@ impl fmt::Debug for EntityId {
     }
 }
 
-/// An entity: a non-empty token sequence plus its source string.
-#[derive(Debug, Clone)]
-pub struct Entity {
+/// A borrowed view of one entity: a non-empty token sequence plus its
+/// source string, both resolved out of the dictionary's flat arenas.
+#[derive(Debug, Clone, Copy)]
+pub struct Entity<'a> {
     /// Original surface form as it appeared in the reference table.
-    pub raw: String,
+    pub raw: &'a str,
     /// Interned tokens, in surface order.
-    pub tokens: Vec<TokenId>,
+    pub tokens: &'a [TokenId],
 }
 
-impl Entity {
+impl Entity<'_> {
     /// Number of tokens.
     pub fn len(&self) -> usize {
         self.tokens.len()
@@ -46,15 +51,41 @@ impl Entity {
 /// The reference entity table (the paper's dictionary `E0`).
 ///
 /// Entities are stored in insertion order; [`EntityId`]s are dense indices.
-#[derive(Debug, Clone, Default)]
+/// Storage is four flat arenas (surface bytes + offsets, tokens + offsets)
+/// rather than a `Vec` of per-entity records: a clone is four allocations
+/// regardless of entity count, and deserializing a dictionary appends into
+/// the arenas without any per-entity heap traffic.
+#[derive(Debug, Clone)]
 pub struct Dictionary {
-    entities: Vec<Entity>,
+    /// Every surface form, concatenated.
+    raws: String,
+    /// `raws[raw_off[i]..raw_off[i+1]]` is entity `i`'s surface form.
+    raw_off: Vec<u32>,
+    /// Every token sequence, concatenated.
+    tokens: Vec<TokenId>,
+    /// `tokens[tok_off[i]..tok_off[i+1]]` is entity `i`'s token sequence.
+    tok_off: Vec<u32>,
+}
+
+impl Default for Dictionary {
+    fn default() -> Self {
+        Self { raws: String::new(), raw_off: vec![0], tokens: Vec::new(), tok_off: vec![0] }
+    }
 }
 
 impl Dictionary {
     /// Creates an empty dictionary.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Pre-allocates for `entities` more entities averaging `avg_tokens`
+    /// tokens and `avg_raw` surface bytes (a deserializer's bulk-load hint).
+    pub fn reserve(&mut self, entities: usize, avg_tokens: usize, avg_raw: usize) {
+        self.raws.reserve(entities * avg_raw);
+        self.raw_off.reserve(entities);
+        self.tokens.reserve(entities * avg_tokens);
+        self.tok_off.reserve(entities);
     }
 
     /// Tokenizes and appends an entity, returning its id.
@@ -64,39 +95,91 @@ impl Dictionary {
     /// will never match anything.
     pub fn push(&mut self, raw: &str, tokenizer: &Tokenizer, interner: &mut Interner) -> EntityId {
         let tokens = tokenizer.tokenize(raw, interner);
-        self.push_tokens(raw.to_string(), tokens)
+        self.push_from(raw, tokens.into_iter())
     }
 
     /// Appends a pre-tokenized entity.
     pub fn push_tokens(&mut self, raw: String, tokens: Vec<TokenId>) -> EntityId {
-        let id = EntityId(u32::try_from(self.entities.len()).expect("dictionary overflow"));
-        self.entities.push(Entity { raw, tokens });
+        self.push_from(&raw, tokens.into_iter())
+    }
+
+    /// Appends an entity from borrowed parts without intermediate
+    /// allocations (the arenas absorb the bytes directly).
+    pub fn push_from(&mut self, raw: &str, tokens: impl Iterator<Item = TokenId>) -> EntityId {
+        let id = EntityId(u32::try_from(self.len()).expect("dictionary overflow"));
+        self.raws.push_str(raw);
+        self.raw_off.push(u32::try_from(self.raws.len()).expect("dictionary surface arena overflow"));
+        self.tokens.extend(tokens);
+        self.tok_off.push(u32::try_from(self.tokens.len()).expect("dictionary token arena overflow"));
         id
+    }
+
+    /// The four flat arenas backing the dictionary, in storage order:
+    /// `(raws, raw_off, tokens, tok_off)`. The offset tables are prefix
+    /// sums of `len() + 1` entries each, starting at 0.
+    pub fn raw_arenas(&self) -> (&str, &[u32], &[TokenId], &[u32]) {
+        (&self.raws, &self.raw_off, &self.tokens, &self.tok_off)
+    }
+
+    /// Reassembles a dictionary from the arenas [`Self::raw_arenas`]
+    /// exposes, re-validating every invariant the push path maintains:
+    /// matching offset tables forming monotone prefix sums that span their
+    /// arenas, UTF-8 raw bytes cut at character boundaries, and token ids
+    /// below `n_tokens`. The arenas move in unchanged — reassembly costs no
+    /// per-entity work beyond the validation scans.
+    pub fn from_raw_arenas(raws: Vec<u8>, raw_off: Vec<u32>, tokens: Vec<TokenId>, tok_off: Vec<u32>, n_tokens: u32) -> Result<Self, String> {
+        if raw_off.len() != tok_off.len() {
+            return Err(format!("offset tables disagree: {} raw offsets, {} token offsets", raw_off.len(), tok_off.len()));
+        }
+        let spans = |off: &[u32], len: usize, what: &str| -> Result<(), String> {
+            let ok = len <= u32::MAX as usize
+                && off.first() == Some(&0)
+                && off.last() == Some(&(len as u32))
+                && off.windows(2).fold(true, |ok, w| ok & (w[0] <= w[1]));
+            if ok {
+                Ok(())
+            } else {
+                Err(format!("{what} offsets are not a prefix sum spanning {len} elements"))
+            }
+        };
+        spans(&raw_off, raws.len(), "surface")?;
+        spans(&tok_off, tokens.len(), "token")?;
+        let raws = String::from_utf8(raws).map_err(|e| format!("surface arena is not UTF-8: {e}"))?;
+        if let Some(i) = raw_off.iter().position(|&o| !raws.is_char_boundary(o as usize)) {
+            return Err(format!("surface offset {i} splits a UTF-8 character"));
+        }
+        if let Some(t) = tokens.iter().find(|t| t.0 >= n_tokens) {
+            return Err(format!("entity token {:?} out of interner range {n_tokens}", t));
+        }
+        Ok(Self { raws, raw_off, tokens, tok_off })
     }
 
     /// The token sequence of entity `id`.
     pub fn entity(&self, id: EntityId) -> &[TokenId] {
-        &self.entities[id.idx()].tokens
+        &self.tokens[self.tok_off[id.idx()] as usize..self.tok_off[id.idx() + 1] as usize]
     }
 
     /// The full record of entity `id`.
-    pub fn record(&self, id: EntityId) -> &Entity {
-        &self.entities[id.idx()]
+    pub fn record(&self, id: EntityId) -> Entity<'_> {
+        Entity {
+            raw: &self.raws[self.raw_off[id.idx()] as usize..self.raw_off[id.idx() + 1] as usize],
+            tokens: self.entity(id),
+        }
     }
 
     /// Number of entities.
     pub fn len(&self) -> usize {
-        self.entities.len()
+        self.tok_off.len() - 1
     }
 
     /// Whether the dictionary is empty.
     pub fn is_empty(&self) -> bool {
-        self.entities.is_empty()
+        self.len() == 0
     }
 
     /// Iterates over `(id, entity)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (EntityId, &Entity)> {
-        self.entities.iter().enumerate().map(|(i, e)| (EntityId(i as u32), e))
+    pub fn iter(&self) -> impl Iterator<Item = (EntityId, Entity<'_>)> {
+        (0..self.len()).map(|i| (EntityId(i as u32), self.record(EntityId(i as u32))))
     }
 
     /// Builds a dictionary from an iterator of raw strings.

@@ -2,13 +2,18 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A dense identifier for an interned token string.
 ///
 /// Ids are assigned in first-seen order starting from zero, so they can be
 /// used directly as indices into side tables (frequencies, ranks, postings).
+#[repr(transparent)]
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TokenId(pub u32);
+
+// SAFETY: repr(transparent) over u32 — fixed layout, any bit pattern valid.
+unsafe impl aeetes_frozen::Pod for TokenId {}
 
 impl TokenId {
     /// The id as a usize, for indexing side tables.
@@ -24,14 +29,37 @@ impl fmt::Debug for TokenId {
     }
 }
 
+/// A read-only table of interned strings an [`Interner`] can layer an
+/// append-only overlay on top of. Implemented by the frozen (mmap-backed)
+/// string table so that opening an artifact costs no per-string allocation.
+pub trait StringTable: Send + Sync + fmt::Debug {
+    /// Number of strings; ids `0..len` are resolvable.
+    fn len(&self) -> usize;
+    /// Whether the table is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Looks up a string, returning its id if present.
+    fn lookup(&self, s: &str) -> Option<TokenId>;
+    /// The string for id `id` (which must be `< len`).
+    fn resolve(&self, id: u32) -> &str;
+}
+
 /// An append-only string interner.
 ///
 /// Tokens are stored once; lookups in both directions are O(1) (amortized for
 /// the string → id direction). The interner is deliberately append-only:
 /// downstream structures cache `TokenId`s and rely on them never being
 /// invalidated.
+///
+/// An interner can be layered over a read-only [`StringTable`] base (the
+/// frozen path): ids below the base length resolve from the base with zero
+/// copies, and newly interned strings go to a heap overlay starting at the
+/// next id. Cloning such an interner clones only the overlay.
 #[derive(Default, Clone)]
 pub struct Interner {
+    base: Option<Arc<dyn StringTable>>,
+    base_len: u32,
     map: HashMap<Box<str>, TokenId>,
     strings: Vec<Box<str>>,
 }
@@ -42,12 +70,27 @@ impl Interner {
         Self::default()
     }
 
+    /// Creates an interner layered over a read-only base table. Ids
+    /// `0..base.len()` resolve from the base; fresh strings are assigned ids
+    /// starting at `base.len()`.
+    pub fn with_base(base: Arc<dyn StringTable>) -> Self {
+        let base_len = u32::try_from(base.len()).expect("base string table overflows u32 ids");
+        Self { base: Some(base), base_len, map: HashMap::new(), strings: Vec::new() }
+    }
+
     /// Interns `s`, returning its id (existing or freshly assigned).
     pub fn intern(&mut self, s: &str) -> TokenId {
+        if let Some(id) = self.base.as_ref().and_then(|b| b.lookup(s)) {
+            return id;
+        }
         if let Some(&id) = self.map.get(s) {
             return id;
         }
-        let id = TokenId(u32::try_from(self.strings.len()).expect("interner overflow: more than u32::MAX distinct tokens"));
+        let next = (self.base_len as usize)
+            .checked_add(self.strings.len())
+            .and_then(|n| u32::try_from(n).ok())
+            .expect("interner overflow: more than u32::MAX distinct tokens");
+        let id = TokenId(next);
         let boxed: Box<str> = s.into();
         self.strings.push(boxed.clone());
         self.map.insert(boxed, id);
@@ -56,6 +99,9 @@ impl Interner {
 
     /// Looks up an already-interned string without inserting.
     pub fn get(&self, s: &str) -> Option<TokenId> {
+        if let Some(id) = self.base.as_ref().and_then(|b| b.lookup(s)) {
+            return Some(id);
+        }
         self.map.get(s).copied()
     }
 
@@ -64,23 +110,29 @@ impl Interner {
     /// # Panics
     /// Panics if `id` was not produced by this interner.
     pub fn resolve(&self, id: TokenId) -> &str {
-        &self.strings[id.idx()]
+        if id.0 < self.base_len {
+            return self.base.as_ref().expect("base_len > 0 implies a base").resolve(id.0);
+        }
+        &self.strings[(id.0 - self.base_len) as usize]
     }
 
     /// Number of distinct interned tokens.
     pub fn len(&self) -> usize {
-        self.strings.len()
+        self.base_len as usize + self.strings.len()
     }
 
     /// Whether no token has been interned yet.
     pub fn is_empty(&self) -> bool {
-        self.strings.is_empty()
+        self.len() == 0
     }
 
     /// Iterates all interned strings in id order (id 0 first). Useful for
     /// serialization: re-interning them in order reproduces identical ids.
     pub fn iter_strings(&self) -> impl Iterator<Item = &str> {
-        self.strings.iter().map(|s| s.as_ref())
+        let base = self.base.as_deref();
+        (0..self.base_len)
+            .map(move |i| base.expect("base ids imply a base").resolve(i))
+            .chain(self.strings.iter().map(|s| s.as_ref()))
     }
 
     /// Renders a token sequence back to a space-joined string (for display
@@ -99,7 +151,7 @@ impl Interner {
 
 impl fmt::Debug for Interner {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Interner").field("len", &self.len()).finish()
+        f.debug_struct("Interner").field("len", &self.len()).field("overlay", &self.strings.len()).finish()
     }
 }
 
@@ -167,5 +219,52 @@ mod tests {
         }
         assert_eq!(j.len(), i.len());
         assert_eq!(j.get("y"), i.get("y"));
+    }
+
+    /// A toy heap-backed base table for overlay tests.
+    #[derive(Debug)]
+    struct VecTable(Vec<String>);
+
+    impl StringTable for VecTable {
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn lookup(&self, s: &str) -> Option<TokenId> {
+            self.0.iter().position(|x| x == s).map(|i| TokenId(i as u32))
+        }
+        fn resolve(&self, id: u32) -> &str {
+            &self.0[id as usize]
+        }
+    }
+
+    fn based() -> Interner {
+        Interner::with_base(Arc::new(VecTable(vec!["alpha".into(), "beta".into()])))
+    }
+
+    #[test]
+    fn overlay_resolves_base_ids() {
+        let i = based();
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.resolve(TokenId(0)), "alpha");
+        assert_eq!(i.get("beta"), Some(TokenId(1)));
+    }
+
+    #[test]
+    fn overlay_interns_above_base() {
+        let mut i = based();
+        assert_eq!(i.intern("alpha"), TokenId(0), "base hit does not allocate");
+        let g = i.intern("gamma");
+        assert_eq!(g, TokenId(2));
+        assert_eq!(i.resolve(g), "gamma");
+        assert_eq!(i.intern("gamma"), g);
+        assert_eq!(i.len(), 3);
+    }
+
+    #[test]
+    fn overlay_iter_strings_covers_base_and_overlay() {
+        let mut i = based();
+        i.intern("gamma");
+        let all: Vec<&str> = i.iter_strings().collect();
+        assert_eq!(all, vec!["alpha", "beta", "gamma"]);
     }
 }

@@ -22,12 +22,14 @@
 
 mod document;
 mod entity;
+mod frozen_strings;
 mod interner;
 mod tokenize;
 
 pub use document::{Document, Span};
 pub use entity::{Dictionary, Entity, EntityId};
-pub use interner::{Interner, TokenId};
+pub use frozen_strings::{build_table, fnv1a, table_slots, FrozenStrings};
+pub use interner::{Interner, StringTable, TokenId};
 pub use tokenize::{Tokenizer, TokenizerConfig};
 
 /// A token sequence borrowed from an entity or a document window.

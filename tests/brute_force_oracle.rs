@@ -56,8 +56,8 @@ fn brute_force(dict: &Dictionary, dd: &DerivedDictionary, doc: &Document, tau: f
     let verifier = JaccArVerifier::new(dd);
     // Same substring length range as the framework (token count, from the
     // *distinct* set sizes of derived entities).
-    let min_len = dd.iter().map(|(_, d)| sorted_set(&d.tokens).len()).filter(|&l| l > 0).min();
-    let max_len = dd.iter().map(|(_, d)| sorted_set(&d.tokens).len()).max();
+    let min_len = dd.iter().map(|(_, d)| sorted_set(d.tokens).len()).filter(|&l| l > 0).min();
+    let max_len = dd.iter().map(|(_, d)| sorted_set(d.tokens).len()).max();
     let (Some(lo), Some(hi)) = (min_len, max_len) else { return Vec::new() };
     let w_lo = ((lo as f64 * tau + 1e-9).floor() as usize).max(1);
     let w_hi = (hi as f64 / tau - 1e-9).ceil() as usize;

@@ -56,7 +56,7 @@ proptest! {
                         let e = EntityId(e as u32);
                         let mut min_d = usize::MAX;
                         for id in dd.variant_range(e) {
-                            let v = interner.render(&dd.derived(DerivedId(id)).tokens);
+                            let v = interner.render(dd.derived(DerivedId(id)).tokens);
                             min_d = min_d.min(levenshtein(&v, &s));
                         }
                         if min_d <= k {

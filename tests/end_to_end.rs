@@ -81,7 +81,7 @@ fn reported_scores_are_all_above_threshold_and_exact() {
             // Recompute the best-variant Jaccard independently.
             let variant = &engine.derived().derived(m.best_variant);
             assert_eq!(variant.origin, m.entity);
-            let v = sorted_set(&variant.tokens);
+            let v = sorted_set(variant.tokens);
             let s = sorted_set(doc.slice(m.span));
             let expected = jaccard(&v, &s);
             assert!((m.score - expected).abs() < 1e-12, "reported {} vs recomputed {}", m.score, expected);

@@ -49,7 +49,7 @@ fn materialize(inst: &Instance) -> (Dictionary, RuleSet, Document, f64, Interner
 
 /// Brute-force rule-based metric over the engine's own window-length range.
 fn brute_force(dict: &Dictionary, dd: &DerivedDictionary, doc: &Document, tau: f64, metric: Metric) -> Vec<(u32, u32, u32, f64)> {
-    let variant_sets: Vec<Vec<TokenId>> = dd.iter().map(|(_, d)| sorted_set(&d.tokens)).collect();
+    let variant_sets: Vec<Vec<TokenId>> = dd.iter().map(|(_, d)| sorted_set(d.tokens)).collect();
     let lens: Vec<usize> = variant_sets.iter().map(Vec::len).filter(|&l| l > 0).collect();
     let (Some(&min_le), Some(&max_le)) = (lens.iter().min(), lens.iter().max()) else {
         return Vec::new();
