@@ -7,9 +7,10 @@
 
 use crate::args::Args;
 use aeetes_core::{
-    extract_batch_with, extract_segment_scratched, load_sharded, save_engine, save_sharded, suppress_overlaps, Aeetes, AeetesConfig, BatchOptions,
-    EditIndex, ExtractBackend, ExtractLimits, ExtractScratch, ExtractStats, Match, Stage, StageSlots, Strategy,
+    extract_segment_scratched, load_sharded, save_engine, save_sharded, suppress_overlaps, Aeetes, AeetesConfig, BatchOptions, EditIndex,
+    ExtractBackend, ExtractLimits, ExtractScratch, ExtractStats, Match, Stage, StageSlots, Strategy,
 };
+use aeetes_pool::{extract_batch_with, Pool};
 use aeetes_rules::{DeriveConfig, RuleSet};
 use aeetes_shard::ShardedEngine;
 use aeetes_sim::Metric;
@@ -35,7 +36,7 @@ USAGE:
                     [--edit K] [--threads N] [--best] [--format tsv|jsonl]
                     [--timeout SECS] [--max-candidates N] [--max-matches N]
     aeetes serve    --engine ENGINE [--shards N] [--frozen] [--listen ADDR:PORT]
-                    [--metrics-listen ADDR:PORT] [--workers N] [--queue N]
+                    [--metrics-listen ADDR:PORT] [--workers N | --threads N] [--queue N]
                     [--max-doc-bytes N] [--timeout-ceiling SECS]
                     [--max-matches N] [--max-candidates N] [--drain SECS]
                     [--idle-timeout SECS] [--max-conns N] [--wal FILE]
@@ -304,6 +305,11 @@ pub fn extract(argv: &[String]) -> Result<i32, String> {
     let docs_path = args.required("docs")?;
     let tau: f64 = args.parse_or("tau", 0.8)?;
     let threads: usize = args.parse_or("threads", 1)?;
+    // Size the process-wide worker pool to the request: `--threads` means
+    // the same thing here as `--workers` does for serve — one pool.
+    if threads > 1 {
+        Pool::configure_global(threads);
+    }
     let format = args.optional("format").unwrap_or("tsv");
     let metric = match args.optional("metric").unwrap_or("jaccard") {
         "jaccard" => Metric::Jaccard,
@@ -334,6 +340,7 @@ pub fn extract(argv: &[String]) -> Result<i32, String> {
             None => None,
             Some(v) => Some(v.parse().map_err(|e| format!("--max-matches: {e}"))?),
         },
+        ..ExtractLimits::UNLIMITED
     };
 
     let (engine, mut interner) = load(engine_path)?;
@@ -435,6 +442,7 @@ pub fn serve_cmd(argv: &[String]) -> Result<i32, String> {
             "listen",
             "metrics-listen",
             "workers",
+            "threads",
             "queue",
             "max-doc-bytes",
             "timeout-ceiling",
@@ -468,7 +476,12 @@ pub fn serve_cmd(argv: &[String]) -> Result<i32, String> {
     let opts = ServeOptions {
         listen: args.optional("listen").map(str::to_string),
         metrics_listen: args.optional("metrics-listen").map(str::to_string),
-        workers: args.parse_or("workers", defaults.workers)?,
+        // `--threads` is an alias for `--workers`: both size the one
+        // process-wide worker pool, same as `extract --threads`.
+        workers: match args.optional("threads") {
+            Some(v) => v.parse().map_err(|e| format!("--threads: {e}"))?,
+            None => args.parse_or("workers", defaults.workers)?,
+        },
         queue: args.parse_or("queue", defaults.queue)?,
         ceilings: Ceilings {
             max_doc_bytes: args.parse_or("max-doc-bytes", defaults.ceilings.max_doc_bytes)?,
@@ -519,6 +532,7 @@ pub fn fleet_cmd(argv: &[String]) -> Result<i32, String> {
             // Serve flags forwarded verbatim to spawned replicas.
             "shards",
             "workers",
+            "threads",
             "queue",
             "max-doc-bytes",
             "timeout-ceiling",
@@ -571,6 +585,7 @@ pub fn fleet_cmd(argv: &[String]) -> Result<i32, String> {
         for flag in [
             "shards",
             "workers",
+            "threads",
             "queue",
             "max-doc-bytes",
             "timeout-ceiling",

@@ -363,6 +363,7 @@ fn parse_extract(id: Value, value: &Value, ceilings: &Ceilings) -> Result<Reques
         deadline: Some(timeout_ms.map_or(ceilings.max_timeout, |ms| Duration::from_millis(ms).min(ceilings.max_timeout))),
         max_matches: Some(max_matches.map_or(ceilings.max_matches, |n| (n as usize).min(ceilings.max_matches))),
         max_candidates: Some(max_candidates.map_or(ceilings.max_candidates, |n| (n as usize).min(ceilings.max_candidates))),
+        ..ExtractLimits::UNLIMITED
     };
     Ok(Request::Extract(Box::new(ExtractRequest { id, doc, tau, best, limits })))
 }

@@ -43,16 +43,17 @@ use crate::protocol::{
 };
 use aeetes_core::{suppress_overlaps, CancelToken, ExtractBackend, ExtractLimits, ExtractScratch, Match, Stage, Wal};
 use aeetes_obs::{Counter, ExtractCounts, ExtractMetrics, Gauge, Histogram, MetricRegistry, WalMetrics};
+use aeetes_pool::Pool;
 use aeetes_shard::{DictDelta, Generation, RuleDelta, ShardedEngine};
 use aeetes_text::{Document, EntityId, Interner, Tokenizer};
 use serde_json::{json, Number, Value};
+use std::cell::RefCell;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs of one `serve` run.
@@ -63,9 +64,11 @@ pub struct ServeOptions {
     /// `Some(addr)`: serve `/metrics` (Prometheus text) and `/metrics.json`
     /// over HTTP on this address, in either transport mode.
     pub metrics_listen: Option<String>,
-    /// Extraction worker threads.
+    /// Extraction worker threads — the size of the process-wide
+    /// [`Pool`], shared with batch extraction and the sharded engine's
+    /// fan-out (first configuration wins for the whole process).
     pub workers: usize,
-    /// Bounded queue capacity; beyond it requests are shed.
+    /// Bounded admission capacity; beyond it requests are shed.
     pub queue: usize,
     /// Request ceilings (doc size, deadline, match/candidate caps).
     pub ceilings: Ceilings,
@@ -138,6 +141,13 @@ struct ServeMetrics {
     /// families, so a scrape increments each by its delta (the engine's
     /// shard counters are cumulative; obs counters only go up).
     shard_last: Mutex<Vec<[u64; 3]>>,
+    /// Sequential/fan-out routing decisions (same handles the pool's
+    /// [`aeetes_obs::PoolMetrics`] registers; the registry dedupes by
+    /// name), advanced by delta at scrape time from the engine lineage's
+    /// cumulative counters.
+    route_sequential: Arc<Counter>,
+    route_fanout: Arc<Counter>,
+    routing_last: Mutex<(u64, u64)>,
 }
 
 impl ServeMetrics {
@@ -161,6 +171,10 @@ impl ServeMetrics {
             idle_closed: registry.counter("aeetes_idle_closed_total", "Connections closed by the per-connection idle read timeout"),
             wal: WalMetrics::register(&registry),
             shard_last: Mutex::new(Vec::new()),
+            route_sequential: registry
+                .counter("aeetes_pool_route_sequential_total", "Sharded extractions run shard-sequentially on the calling thread"),
+            route_fanout: registry.counter("aeetes_pool_route_fanout_total", "Sharded extractions fanned out across the worker pool"),
+            routing_last: Mutex::new((0, 0)),
             registry,
         }
     }
@@ -180,6 +194,17 @@ struct Shared {
     max_conns: usize,
     metrics: ServeMetrics,
     start: Instant,
+    /// Extract jobs admitted (queued or running) but not yet answered.
+    /// Drain completes when this returns to zero — every admitted line is
+    /// answered exactly once.
+    queued: AtomicI64,
+    /// Admission cap on `queued`: `--queue` waiting slots plus one running
+    /// slot per pool worker (matching the old bounded-channel capacity,
+    /// where workers held jobs outside the queue while running them).
+    queue_cap: i64,
+    /// Process-unique sequence number of this `serve` run, keying the pool
+    /// workers' thread-local interner caches.
+    serve_seq: u64,
     /// Set once drain begins: admission refuses new extract work.
     draining: AtomicBool,
     /// Fired when the drain deadline passes: stops in-flight extractions
@@ -268,6 +293,15 @@ impl Shared {
             last.clear();
             last.resize(stats.len(), [0; 3]);
         }
+        // Routing decisions are cumulative on the engine lineage; push the
+        // delta since the previous scrape into the counter family the pool
+        // registered.
+        let (seq, fan) = generation.routing_stats();
+        let mut routing_last = m.routing_last.lock().expect("routing metric state");
+        m.route_sequential.inc(seq.saturating_sub(routing_last.0));
+        m.route_fanout.inc(fan.saturating_sub(routing_last.1));
+        *routing_last = (seq, fan);
+        drop(routing_last);
         for (i, s) in stats.iter().enumerate() {
             let shard_id = i.to_string();
             let labels = [("shard", shard_id.as_str())];
@@ -367,46 +401,59 @@ struct Job {
     sink: Sink,
 }
 
-/// One worker: pulls jobs until the queue is empty *and* the server is
-/// draining. Uses `recv_timeout` so drain never deadlocks on readers that
-/// still hold queue senders.
-fn worker_loop(shared: &Shared, rx: &Mutex<Receiver<Job>>) {
-    // Each worker parses documents against a clone of the current
-    // generation's interner. The clone is refreshed whenever the generation
-    // changes — a reload interns the delta's tokens, and document tokens
-    // interned locally against the old snapshot would collide with them —
-    // and whenever local growth passes the cap, so a long-lived server's
-    // interner cannot grow without bound on adversarial vocabulary.
-    let mut gen_id = 0u64;
-    let mut growth_cap = 0usize;
-    let mut interner = Interner::new();
-    // Worker-owned extraction scratch, reused across jobs: after warmup the
-    // per-request hot path allocates only for parsing and rendering.
-    let mut scratch = ExtractScratch::new();
-    loop {
-        let job = {
-            let guard = rx.lock().expect("queue receiver lock");
-            guard.recv_timeout(Duration::from_millis(25))
-        };
-        match job {
-            Ok(job) => {
-                shared.metrics.queue_depth.add(-1);
-                let generation = shared.engine.snapshot();
-                if generation.id() != gen_id || interner.len() > growth_cap {
-                    interner = generation.interner().clone();
-                    growth_cap = interner.len() + 100_000;
-                    gen_id = generation.id();
-                }
-                run_job(shared, &generation, &mut interner, &mut scratch, job);
-            }
-            Err(RecvTimeoutError::Timeout) => {
-                if shared.draining.load(Ordering::Relaxed) && shared.metrics.queue_depth.value() == 0 {
-                    return;
-                }
-            }
-            Err(RecvTimeoutError::Disconnected) => return,
-        }
+/// Per-worker parsing state that persists across jobs. The pool's workers
+/// are process-wide and outlive any one `serve` run, so this lives in a
+/// thread-local rather than a worker loop's stack frame.
+#[derive(Default)]
+struct WorkerCtx {
+    /// `(serve run, generation)` the cached interner was cloned from.
+    key: (u64, u64),
+    growth_cap: usize,
+    interner: Interner,
+}
+
+thread_local! {
+    static WORKER_CTX: RefCell<WorkerCtx> = RefCell::new(WorkerCtx::default());
+}
+
+/// One extraction job on a pool worker: runs with the worker's resident
+/// scratch (handed in by the pool) and this thread's parsing context.
+fn worker_job(shared: &Shared, scratch: &mut ExtractScratch, job: Job) {
+    // The drain deadline passed while this job was still queued: answer it
+    // (`shedding`) rather than drop it, so counters always reconcile.
+    if shared.draining.load(Ordering::Relaxed) && shared.cancel.is_cancelled() {
+        shared.metrics.shed.inc(1);
+        respond(
+            &job.sink,
+            &error_line(&Reject {
+                id: job.req.id,
+                code: ErrorCode::Shedding,
+                message: "server drained before this request ran".into(),
+            }),
+        );
+        return;
     }
+    let generation = shared.engine.snapshot();
+    WORKER_CTX.with(|ctx| {
+        let mut ctx = ctx.borrow_mut();
+        let ctx = &mut *ctx;
+        // Each worker parses documents against a clone of the current
+        // generation's interner. The clone is refreshed whenever the
+        // generation changes — a reload interns the delta's tokens, and
+        // document tokens interned locally against the old snapshot would
+        // collide with them — and whenever local growth passes the cap, so
+        // a long-lived server's interner cannot grow without bound on
+        // adversarial vocabulary. The key carries the serve-run sequence
+        // too: pool workers are process-wide, so a later `serve` run with
+        // a different engine must not reuse the previous engine's tokens.
+        let key = (shared.serve_seq, generation.id());
+        if key != ctx.key || ctx.interner.len() > ctx.growth_cap {
+            ctx.interner = generation.interner().clone();
+            ctx.growth_cap = ctx.interner.len() + 100_000;
+            ctx.key = key;
+        }
+        run_job(shared, &generation, &mut ctx.interner, scratch, job);
+    });
 }
 
 fn run_job(shared: &Shared, generation: &Generation, interner: &mut Interner, scratch: &mut ExtractScratch, job: Job) {
@@ -596,10 +643,10 @@ impl LineReader {
 }
 
 /// Serves one protocol stream (a TCP connection or stdin): parses each
-/// line, answers control requests inline, and funnels extract requests
-/// through the bounded queue. Returns `true` when a `shutdown` request
-/// asked the whole server to drain.
-fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink, tx: &SyncSender<Job>) -> bool {
+/// line, answers control requests inline, and hands extract requests to
+/// the worker pool under the bounded admission counter. Returns `true`
+/// when a `shutdown` request asked the whole server to drain.
+fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink) -> bool {
     // JSON syntax + escaping around the document can roughly double it;
     // one extra KiB covers the envelope fields.
     let line_cap = shared.ceilings.max_doc_bytes.saturating_mul(2).saturating_add(1024);
@@ -820,21 +867,37 @@ fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink, tx
                 }
                 let deadline = req.limits.deadline.unwrap_or(shared.ceilings.max_timeout);
                 let job = Job { expires: Instant::now() + deadline, req: *req, sink: Arc::clone(sink) };
-                shared.metrics.queue_depth.add(1);
-                match tx.try_send(job) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(job)) | Err(TrySendError::Disconnected(job)) => {
-                        shared.metrics.queue_depth.add(-1);
-                        shared.metrics.shed.inc(1);
-                        respond(
-                            &job.sink,
-                            &error_line(&Reject {
-                                id: job.req.id,
-                                code: ErrorCode::Shedding,
-                                message: "request queue is full".into(),
-                            }),
-                        );
-                    }
+                // Bounded admission: `queued` counts admitted-but-unanswered
+                // jobs; beyond the cap the request is answered `shedding`
+                // immediately, so pool queues never grow unboundedly.
+                if shared.queued.fetch_add(1, Ordering::SeqCst) >= shared.queue_cap {
+                    shared.queued.fetch_sub(1, Ordering::SeqCst);
+                    shared.metrics.shed.inc(1);
+                    respond(
+                        &job.sink,
+                        &error_line(&Reject {
+                            id: job.req.id,
+                            code: ErrorCode::Shedding,
+                            message: "request queue is full".into(),
+                        }),
+                    );
+                } else {
+                    shared.metrics.queue_depth.add(1);
+                    let shared = Arc::clone(shared);
+                    Pool::global().spawn(move |scratch| {
+                        // Decrement on every exit path (including a panic
+                        // that escapes `run_job`'s isolation) so drain can
+                        // rely on `queued` reaching zero.
+                        struct Admitted(Arc<Shared>);
+                        impl Drop for Admitted {
+                            fn drop(&mut self) {
+                                self.0.queued.fetch_sub(1, Ordering::SeqCst);
+                            }
+                        }
+                        let admitted = Admitted(shared);
+                        admitted.0.metrics.queue_depth.add(-1);
+                        worker_job(&admitted.0, scratch, job);
+                    });
                 }
             }
         }
@@ -912,6 +975,13 @@ pub fn serve(engine: ShardedEngine, opts: &ServeOptions) -> Result<(u64, u64, u6
         None => None,
         Some(path) => Some(Mutex::new(recover_wal(&engine, &tokenizer, path, &metrics.wal)?)),
     };
+    // One process-wide pool serves extraction, batch, and shard fan-out
+    // alike: `--workers` sizes it (first configuration in the process
+    // wins), and its workers own the long-lived extraction scratches.
+    Pool::configure_global(opts.workers.max(1));
+    let pool = Pool::global();
+    pool.attach_metrics(&metrics.registry);
+    static SERVE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
     let shared = Arc::new(Shared {
         engine,
         tokenizer,
@@ -920,6 +990,9 @@ pub fn serve(engine: ShardedEngine, opts: &ServeOptions) -> Result<(u64, u64, u6
         max_conns: opts.max_conns.max(1),
         metrics,
         start: Instant::now(),
+        queued: AtomicI64::new(0),
+        queue_cap: opts.queue.max(1) as i64 + pool.workers() as i64,
+        serve_seq: SERVE_SEQ.fetch_add(1, Ordering::Relaxed),
         draining: AtomicBool::new(false),
         cancel: CancelToken::new(),
         wal,
@@ -934,16 +1007,6 @@ pub fn serve(engine: ShardedEngine, opts: &ServeOptions) -> Result<(u64, u64, u6
         None => None,
         Some(addr) => Some(TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?),
     };
-    let (tx, rx) = mpsc::sync_channel::<Job>(opts.queue.max(1));
-    let rx = Arc::new(Mutex::new(rx));
-    let workers: Vec<_> = (0..opts.workers.max(1))
-        .map(|_| {
-            let shared = Arc::clone(&shared);
-            let rx = Arc::clone(&rx);
-            std::thread::spawn(move || worker_loop(&shared, &rx))
-        })
-        .collect();
-
     match &opts.listen {
         None => {
             if let Some(listener) = metrics_listener {
@@ -956,7 +1019,7 @@ pub fn serve(engine: ShardedEngine, opts: &ServeOptions) -> Result<(u64, u64, u6
             let stdin = std::io::stdin();
             let mut reader = BufReader::new(stdin.lock());
             let sink: Sink = Arc::new(Mutex::new(Box::new(std::io::stdout())));
-            serve_stream(&shared, &mut reader, &sink, &tx);
+            serve_stream(&shared, &mut reader, &sink);
             // stdin EOF (or shutdown request) both end the stream: drain.
             shared.draining.store(true, Ordering::Relaxed);
         }
@@ -976,11 +1039,11 @@ pub fn serve(engine: ShardedEngine, opts: &ServeOptions) -> Result<(u64, u64, u6
             if let Some(listener) = metrics_listener {
                 spawn_metrics_server(listener, Arc::clone(&shared));
             }
-            accept_loop(&listener, &shared, &tx);
+            accept_loop(&listener, &shared);
         }
     }
 
-    drain(&shared, workers, &rx, opts.drain);
+    drain(&shared, opts.drain);
     let served = shared.metrics.served.value();
     let shed = shared.metrics.shed.value();
     let failed = shared.metrics.failed.value();
@@ -1032,7 +1095,7 @@ fn spawn_metrics_server(listener: TcpListener, shared: Arc<Shared>) {
 /// Accepts connections until a `shutdown` request flips the draining flag,
 /// then joins every connection handler (their read timeout guarantees they
 /// notice the drain within one poll interval even when idle).
-fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, tx: &SyncSender<Job>) {
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     let mut handlers = Vec::new();
     for conn in listener.incoming() {
         if shared.draining.load(Ordering::Relaxed) {
@@ -1055,9 +1118,8 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, tx: &SyncSender<Job
         }
         shared.metrics.conns.add(1);
         let shared = Arc::clone(shared);
-        let tx = tx.clone();
         handlers.push(std::thread::spawn(move || {
-            handle_connection(stream, &shared, &tx);
+            handle_connection(stream, &shared);
             shared.metrics.conns.add(-1);
         }));
         handlers.retain(|h| !h.is_finished()); // reap finished handlers so the vec stays bounded
@@ -1070,7 +1132,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, tx: &SyncSender<Job
 /// Poll interval for the draining flag on otherwise-blocking TCP reads.
 const READ_POLL: Duration = Duration::from_millis(100);
 
-fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, tx: &SyncSender<Job>) {
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
     // The timeout turns blocking reads into a drain-flag poll; without it an
     // idle client would pin this thread (and the drain) forever.
     let _ = stream.set_read_timeout(Some(READ_POLL));
@@ -1080,7 +1142,7 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, tx: &SyncSender<Jo
     };
     let mut reader = BufReader::new(stream);
     let sink: Sink = Arc::new(Mutex::new(Box::new(write_half)));
-    if serve_stream(shared, &mut reader, &sink, tx) {
+    if serve_stream(shared, &mut reader, &sink) {
         // A shutdown request arrived on this connection. The acceptor is
         // blocked in `accept`; self-connect once so it can observe
         // `draining` and stop. (The wake-up connection itself is never
@@ -1091,38 +1153,19 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, tx: &SyncSender<Jo
     }
 }
 
-/// Finishes the backlog within `deadline`, then cancels whatever is still
-/// running and answers any leftover queued jobs as shed.
-fn drain(shared: &Arc<Shared>, workers: Vec<std::thread::JoinHandle<()>>, rx: &Arc<Mutex<Receiver<Job>>>, deadline: Duration) {
-    let cancel = shared.cancel.clone();
-    let watchdog = {
-        let (stop_tx, stop_rx) = mpsc::channel::<()>();
-        let handle = std::thread::spawn(move || {
-            // A plain recv_timeout doubles as an interruptible sleep: the
-            // sender dropping early (workers done) ends the wait.
-            let _ = stop_rx.recv_timeout(deadline);
-            cancel.cancel();
-        });
-        (stop_tx, handle)
-    };
-    for w in workers {
-        let _ = w.join();
-    }
-    drop(watchdog.0);
-    let _ = watchdog.1.join();
-    // Workers exited with the queue believed empty, but an admission racing
-    // the drain flag may have slipped a job in. Answer, never drop.
-    while let Ok(job) = rx.lock().expect("queue receiver lock").try_recv() {
-        shared.metrics.queue_depth.add(-1);
-        shared.metrics.shed.inc(1);
-        respond(
-            &job.sink,
-            &error_line(&Reject {
-                id: job.req.id,
-                code: ErrorCode::Shedding,
-                message: "server drained before this request ran".into(),
-            }),
-        );
+/// Waits for the admitted backlog to be answered. Within `deadline` the
+/// pool finishes jobs normally; past it the [`CancelToken`] fires, which
+/// stops in-flight extractions mid-document and makes still-queued jobs
+/// self-answer `shedding` — so `queued` always reaches zero and every
+/// admitted line is answered exactly once. The pool itself is process-wide
+/// and keeps running (idle) after the drain.
+fn drain(shared: &Arc<Shared>, deadline: Duration) {
+    let started = Instant::now();
+    while shared.queued.load(Ordering::SeqCst) > 0 {
+        if started.elapsed() >= deadline {
+            shared.cancel.cancel();
+        }
+        std::thread::sleep(Duration::from_millis(5));
     }
 }
 

@@ -95,6 +95,10 @@ pub fn extract_segment_scratched(
     verify_candidates(index, dd, doc, tau, metric, &mut sink.pairs, &mut stats, weighted, &mut budget, s_keys, matches);
     matches.sort_unstable_by_key(Match::sort_key);
     clk.stop(Stage::Verify, stages);
+    // Mirror the outcome into the scratch so fan-out executors can read
+    // per-segment results back without a result channel.
+    seg.truncated = budget.truncated();
+    seg.stats = stats;
     (budget.truncated(), stats)
 }
 

@@ -1,27 +1,14 @@
-//! Parallel batch extraction over a document collection.
+//! Shared types of parallel batch extraction.
 //!
 //! The paper's motivating systems "receive many consumer reviews" (§1) —
 //! extraction is embarrassingly parallel across documents because the
-//! engine is immutable after the off-line phase. This module fans a slice
-//! of documents out over scoped threads and returns per-document results in
-//! input order.
-//!
-//! Fault isolation: each document runs under [`std::panic::catch_unwind`],
-//! so one poisoned document surfaces as [`DocError::Panicked`] while the
-//! rest of the batch completes. Results travel over an mpsc channel rather
-//! than a shared `Mutex`, so a worker panic can never poison the collector.
-//! A shared [`CancelToken`] is consulted between documents — and, in
-//! [`extract_batch_with`], at window boundaries *inside* each document —
-//! for cooperative early shutdown.
+//! engine is immutable after the off-line phase. The batch *executor*
+//! lives in `aeetes-pool` (persistent work-stealing workers, one resident
+//! scratch each); this module keeps the types both sides of that boundary
+//! share: the per-document error taxonomy, the batch options, and the
+//! panic-payload formatter.
 
-use crate::extractor::Aeetes;
-use crate::limits::{CancelToken, ExtractLimits, ExtractOutcome};
-use crate::matches::Match;
-use crate::scratch::ExtractScratch;
-use aeetes_text::Document;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use crate::limits::{CancelToken, ExtractLimits};
 
 /// Why a single document in a batch produced no result.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,11 +31,12 @@ impl std::fmt::Display for DocError {
 
 impl std::error::Error for DocError {}
 
-/// Knobs for [`extract_batch_with`].
+/// Knobs for fault-isolated batch extraction (`extract_batch_with` in
+/// `aeetes-pool`).
 #[derive(Debug, Clone, Default)]
 pub struct BatchOptions {
-    /// Worker threads; `0` or `1` runs inline on the caller's thread.
-    /// Clamped to the number of documents.
+    /// Maximum concurrent workers; `0` or `1` runs inline on the caller's
+    /// thread. Clamped to the number of documents and the pool size.
     pub threads: usize,
     /// Per-document resource limits (default: unlimited).
     pub limits: ExtractLimits,
@@ -57,251 +45,14 @@ pub struct BatchOptions {
     pub cancel: CancelToken,
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+/// Renders a caught panic payload as a message, preserving `&str` and
+/// `String` payloads (the overwhelmingly common cases).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
     } else {
         "non-string panic payload".to_string()
-    }
-}
-
-/// Runs `f(i, scratch)` for every `i < len` on up to `threads` workers,
-/// catching per-item panics and honouring `cancel` between items. Each
-/// worker owns one [`ExtractScratch`] reused across every document it
-/// claims, so steady-state extraction allocates nothing per document.
-/// Results come back in input order through an mpsc channel — no lock to
-/// poison.
-fn batch_run<R, F>(len: usize, threads: usize, cancel: &CancelToken, f: F) -> Vec<Result<R, DocError>>
-where
-    R: Send,
-    F: Fn(usize, &mut ExtractScratch) -> R + Sync,
-{
-    let run_one = |i: usize, scratch: &mut ExtractScratch| -> Result<R, DocError> {
-        if cancel.is_cancelled() {
-            return Err(DocError::Cancelled);
-        }
-        // The engine is immutable during extraction (`&self` API), so a
-        // caught panic cannot leave it in a broken state for other
-        // documents: AssertUnwindSafe is sound here. The scratch is reset
-        // at the start of every pass, so a panic mid-document cannot leak
-        // stale state into the worker's next document either.
-        catch_unwind(AssertUnwindSafe(|| f(i, scratch))).map_err(|payload| DocError::Panicked(panic_message(payload)))
-    };
-    let threads = threads.clamp(1, len.max(1));
-    if threads <= 1 || len <= 1 {
-        let mut scratch = ExtractScratch::new();
-        return (0..len).map(|i| run_one(i, &mut scratch)).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, Result<R, DocError>)>();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let tx = tx.clone();
-            let next = &next;
-            let run_one = &run_one;
-            scope.spawn(move || {
-                let mut scratch = ExtractScratch::new();
-                loop {
-                    // Atomic work-stealing by document index keeps long
-                    // documents from serializing behind a static partition.
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= len {
-                        break;
-                    }
-                    if tx.send((i, run_one(i, &mut scratch))).is_err() {
-                        break; // receiver gone: nothing left to report to
-                    }
-                }
-            });
-        }
-    });
-    drop(tx);
-    let mut slots: Vec<Option<Result<R, DocError>>> = (0..len).map(|_| None).collect();
-    for (i, r) in rx {
-        slots[i] = Some(r);
-    }
-    // Every index is claimed exactly once, so empty slots are impossible;
-    // map them to Cancelled rather than panicking just in case.
-    slots.into_iter().map(|s| s.unwrap_or(Err(DocError::Cancelled))).collect()
-}
-
-/// Extracts from every document with up to `threads` worker threads,
-/// returning `results[i]` = matches of `docs[i]`.
-///
-/// `threads == 0` or `1` runs inline; thread count is clamped to the number
-/// of documents. If extraction of any document panics, the rest of the
-/// batch still completes and the first panic is then re-raised on the
-/// caller's thread (the pre-fault-isolation contract). Use
-/// [`extract_batch_with`] to receive per-document errors instead.
-pub fn extract_batch(engine: &Aeetes, docs: &[Document], tau: f64, threads: usize) -> Vec<Vec<Match>> {
-    let cancel = CancelToken::new();
-    let limits = engine.config().limits;
-    let results = batch_run(docs.len(), threads, &cancel, |i, scratch| {
-        engine.extract_scratched(&docs[i], tau, &limits, None, scratch).matches.to_vec()
-    });
-    results
-        .into_iter()
-        .map(|r| match r {
-            Ok(matches) => matches,
-            Err(e) => panic!("{e}"),
-        })
-        .collect()
-}
-
-/// Fault-isolated batch extraction: `results[i]` is the outcome of
-/// `docs[i]`, or a [`DocError`] if that document panicked or the batch was
-/// cancelled before it started. Per-document [`ExtractLimits`] come from
-/// `opts.limits`; check [`ExtractOutcome::truncated`] to detect partial
-/// results. `opts.cancel` is honoured *mid-document*: a document in flight
-/// when the token fires stops at the next window boundary and returns a
-/// truncated (partial but exact) outcome.
-pub fn extract_batch_with(engine: &Aeetes, docs: &[Document], tau: f64, opts: &BatchOptions) -> Vec<Result<ExtractOutcome, DocError>> {
-    batch_run(docs.len(), opts.threads, &opts.cancel, |i, scratch| {
-        engine.extract_scratched(&docs[i], tau, &opts.limits, Some(&opts.cancel), scratch).to_outcome()
-    })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::config::AeetesConfig;
-    use aeetes_rules::RuleSet;
-    use aeetes_text::{Dictionary, Interner, Tokenizer};
-
-    fn setup() -> (Aeetes, Vec<Document>) {
-        let mut int = Interner::new();
-        let tok = Tokenizer::default();
-        let mut dict = Dictionary::new();
-        dict.push("purdue university usa", &tok, &mut int);
-        dict.push("uq au", &tok, &mut int);
-        let mut rules = RuleSet::new();
-        rules.push_str("uq", "university of queensland", &tok, &mut int).unwrap();
-        let engine = Aeetes::build(dict, &rules, &int, AeetesConfig::default());
-        let docs: Vec<Document> = [
-            "a visit to purdue university usa was nice",
-            "nothing relevant here at all",
-            "the university of queensland au idea",
-            "purdue university usa and uq au together",
-        ]
-        .iter()
-        .map(|t| Document::parse(t, &tok, &mut int))
-        .collect();
-        (engine, docs)
-    }
-
-    #[test]
-    fn parallel_matches_serial() {
-        let (engine, docs) = setup();
-        let serial = extract_batch(&engine, &docs, 0.8, 1);
-        for threads in [2, 3, 8] {
-            let parallel = extract_batch(&engine, &docs, 0.8, threads);
-            assert_eq!(serial, parallel, "threads={threads}");
-        }
-    }
-
-    #[test]
-    fn empty_docs() {
-        let (engine, _) = setup();
-        assert!(extract_batch(&engine, &[], 0.8, 4).is_empty());
-    }
-
-    #[test]
-    fn zero_threads_runs_inline() {
-        let (engine, docs) = setup();
-        let got = extract_batch(&engine, &docs[..1], 0.8, 0);
-        assert_eq!(got.len(), 1);
-        assert!(!got[0].is_empty());
-    }
-
-    /// Regression test for the old `Mutex` collector: a worker panicking
-    /// mid-batch used to poison the lock, turning one bad document into a
-    /// batch-wide `expect("collector lock")` panic. The channel collector
-    /// must instead report the one failure and finish everything else.
-    #[test]
-    fn one_panicking_item_does_not_poison_the_batch() {
-        for threads in [1, 2, 8] {
-            let results = batch_run(5, threads, &CancelToken::new(), |i, _scratch| {
-                assert!(i != 2, "injected failure on item 2");
-                i * 10
-            });
-            assert_eq!(results.len(), 5);
-            for (i, r) in results.iter().enumerate() {
-                if i == 2 {
-                    let err = r.as_ref().expect_err("item 2 must fail");
-                    assert!(matches!(err, DocError::Panicked(msg) if msg.contains("injected failure")), "{err:?}");
-                } else {
-                    assert_eq!(r.as_ref().unwrap(), &(i * 10), "item {i} with {threads} threads");
-                }
-            }
-        }
-    }
-
-    #[test]
-    fn extract_batch_with_matches_plain_extract() {
-        let (engine, docs) = setup();
-        let plain = extract_batch(&engine, &docs, 0.8, 2);
-        let opts = BatchOptions { threads: 2, ..BatchOptions::default() };
-        let outcomes = extract_batch_with(&engine, &docs, 0.8, &opts);
-        assert_eq!(outcomes.len(), plain.len());
-        for (o, p) in outcomes.iter().zip(&plain) {
-            let o = o.as_ref().unwrap();
-            assert!(!o.truncated);
-            assert_eq!(&o.matches, p);
-        }
-    }
-
-    #[test]
-    fn cancelled_batch_reports_every_document() {
-        let (engine, docs) = setup();
-        let opts = BatchOptions { threads: 4, ..BatchOptions::default() };
-        opts.cancel.cancel();
-        let results = extract_batch_with(&engine, &docs, 0.8, &opts);
-        assert!(results.iter().all(|r| matches!(r, Err(DocError::Cancelled))));
-    }
-
-    #[test]
-    fn zero_candidate_budget_truncates_every_document() {
-        let (engine, docs) = setup();
-        let opts = BatchOptions {
-            threads: 2,
-            limits: ExtractLimits { max_candidates: Some(0), ..ExtractLimits::UNLIMITED },
-            ..BatchOptions::default()
-        };
-        for r in extract_batch_with(&engine, &docs, 0.8, &opts) {
-            let out = r.unwrap();
-            assert!(out.truncated);
-            assert!(out.matches.is_empty());
-        }
-    }
-
-    #[test]
-    fn panicking_document_surfaces_as_doc_error() {
-        let (engine, docs) = setup();
-        // tau = 0.0 violates the extractor's precondition and panics per
-        // document; the batch must survive and report each one.
-        let opts = BatchOptions { threads: 2, ..BatchOptions::default() };
-        let results = extract_batch_with(&engine, &docs, 0.0, &opts);
-        assert_eq!(results.len(), docs.len());
-        for r in results {
-            assert!(matches!(r, Err(DocError::Panicked(ref m)) if m.contains("similarity threshold")), "{r:?}");
-        }
-    }
-
-    /// A fired token reaching the cancellable single-document API truncates
-    /// the extraction (partial, well-formed outcome) instead of erroring;
-    /// the batch path still classifies not-yet-started documents as
-    /// `Cancelled`.
-    #[test]
-    fn fired_token_truncates_single_doc_and_cancels_batch() {
-        let (engine, docs) = setup();
-        let opts = BatchOptions { threads: 1, ..BatchOptions::default() };
-        opts.cancel.cancel();
-        let out = engine.extract_with_limits_cancellable(&docs[0], 0.8, &ExtractLimits::UNLIMITED, &opts.cancel);
-        assert!(out.truncated, "cancelled extraction must report truncation");
-        assert!(out.matches.is_empty());
-        let results = extract_batch_with(&engine, &docs, 0.8, &opts);
-        assert!(results.iter().all(|r| matches!(r, Err(DocError::Cancelled))));
     }
 }

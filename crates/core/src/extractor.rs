@@ -384,6 +384,7 @@ mod tests {
                 deadline: Some(std::time::Duration::ZERO),
                 max_matches: Some(0),
                 max_candidates: Some(0),
+                ..ExtractLimits::UNLIMITED
             },
         ];
         for strategy in [Strategy::Simple, Strategy::Skip, Strategy::Dynamic, Strategy::Lazy] {
@@ -418,6 +419,7 @@ mod tests {
             deadline: Some(std::time::Duration::from_secs(3600)),
             max_candidates: Some(1_000_000),
             max_matches: Some(1_000_000),
+            ..ExtractLimits::UNLIMITED
         };
         let out = f.engine.extract_with_limits(&doc, 0.8, &limits);
         assert!(!out.truncated);

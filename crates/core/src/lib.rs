@@ -69,7 +69,7 @@ pub mod wal;
 mod window;
 
 pub use backend::{extract_segment, extract_segment_scratched, ExtractBackend};
-pub use batch::{extract_batch, extract_batch_with, BatchOptions, DocError};
+pub use batch::{panic_message, BatchOptions, DocError};
 pub use config::AeetesConfig;
 pub use durable::{atomic_replace, fsync_dir};
 pub use edit_extract::{EditIndex, EditMatch};

@@ -58,11 +58,19 @@ pub struct ExtractLimits {
     pub max_candidates: Option<usize>,
     /// Maximum matches to return from verification.
     pub max_matches: Option<usize>,
+    /// Routing knob of the *sharded* engine (never truncates anything): a
+    /// multi-shard request whose estimated cost — document tokens × live
+    /// shards — reaches this value fans out across the worker pool;
+    /// cheaper requests run shard-sequentially on the calling thread.
+    /// `None` uses the engine's calibrated default, `Some(0)` always fans
+    /// out, `Some(u64::MAX)` never does. Results are bit-identical either
+    /// way; only the parallelism differs.
+    pub fanout_threshold: Option<u64>,
 }
 
 impl ExtractLimits {
     /// No limits; extraction behaves exactly like the unbudgeted engine.
-    pub const UNLIMITED: ExtractLimits = ExtractLimits { deadline: None, max_candidates: None, max_matches: None };
+    pub const UNLIMITED: ExtractLimits = ExtractLimits { deadline: None, max_candidates: None, max_matches: None, fanout_threshold: None };
 
     /// Whether every field is unlimited.
     pub fn is_unlimited(&self) -> bool {

@@ -86,6 +86,12 @@ pub struct SegmentScratch {
     /// recording stays allocation-free (zero-sized without the `obs`
     /// feature).
     pub(crate) stages: StageSlots,
+    /// Whether the most recent run was cut short by a budget.
+    pub(crate) truncated: bool,
+    /// Work counters of the most recent run. Kept in the scratch so a
+    /// fan-out executor needs no per-shard result channel: every outcome
+    /// of segment `i` is read back from segment scratch `i`.
+    pub(crate) stats: ExtractStats,
 }
 
 impl SegmentScratch {
@@ -98,6 +104,16 @@ impl SegmentScratch {
     /// Stage timing slots of the most recent extraction into this scratch.
     pub fn stages(&self) -> &StageSlots {
         &self.stages
+    }
+
+    /// Whether the most recent extraction into this scratch was truncated.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Work counters of the most recent extraction into this scratch.
+    pub fn stats(&self) -> ExtractStats {
+        self.stats
     }
 }
 

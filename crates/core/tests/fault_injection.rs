@@ -1,9 +1,9 @@
 //! Fault-injection tests for the robustness layer: corrupt engine files
-//! must fail with errors (never panic or over-allocate), a panicking
-//! document must not take down a batch, and exhausted budgets must return
-//! immediately with `truncated = true`.
+//! must fail with errors (never panic or over-allocate) and exhausted
+//! budgets must return immediately with `truncated = true`. (Batch panic
+//! isolation is tested in the `aeetes-pool` crate with the executor.)
 
-use aeetes_core::{extract_batch_with, load_engine, save_engine, Aeetes, AeetesConfig, BatchOptions, DocError, ExtractLimits, Strategy};
+use aeetes_core::{load_engine, save_engine, Aeetes, AeetesConfig, ExtractLimits, Strategy};
 use aeetes_rules::RuleSet;
 use aeetes_sim::Metric;
 use aeetes_text::{Dictionary, Document, Interner, Tokenizer};
@@ -112,34 +112,6 @@ fn round_trip_across_every_strategy_and_metric() {
             }
         }
     }
-}
-
-/// A document that panics the extractor mid-batch is isolated: the rest of
-/// the batch completes and the failure is reported per-document.
-#[test]
-fn panicking_document_in_a_batch_is_isolated() {
-    let (engine, mut int) = sample_engine(AeetesConfig::default());
-    let tok = Tokenizer::default();
-    let docs: Vec<Document> = ["purdue university usa", "uq au visit", "nothing here"]
-        .iter()
-        .map(|t| Document::parse(t, &tok, &mut int))
-        .collect();
-    // tau = 2.0 violates the extract precondition and panics per document;
-    // with fault isolation every document reports the panic instead of the
-    // whole process aborting (and the collector must not be poisoned).
-    for threads in [1, 2, 4] {
-        let opts = BatchOptions { threads, ..BatchOptions::default() };
-        let results = extract_batch_with(&engine, &docs, 2.0, &opts);
-        assert_eq!(results.len(), docs.len());
-        for r in &results {
-            assert!(matches!(r, Err(DocError::Panicked(msg)) if msg.contains("similarity threshold")), "{r:?}");
-        }
-    }
-    // A healthy batch through the same path still works afterwards.
-    let opts = BatchOptions { threads: 2, ..BatchOptions::default() };
-    let ok = extract_batch_with(&engine, &docs, 0.8, &opts);
-    assert!(ok.iter().all(|r| r.is_ok()));
-    assert!(!ok[0].as_ref().unwrap().matches.is_empty());
 }
 
 /// A zero-candidate budget returns immediately with `truncated = true` and

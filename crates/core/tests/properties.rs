@@ -1,10 +1,11 @@
 //! Property tests for the extraction engine's supporting machinery:
-//! window maintenance, overlap suppression, batch extraction and
-//! persistence.
+//! window maintenance, overlap suppression and persistence. (Batch
+//! extraction properties live in the `aeetes-pool` crate with the
+//! executor.)
 
-use aeetes_core::{extract_batch, load_engine, save_engine, suppress_overlaps, Aeetes, AeetesConfig, WindowState};
+use aeetes_core::{load_engine, save_engine, suppress_overlaps, Aeetes, AeetesConfig, WindowState};
 use aeetes_rules::RuleSet;
-use aeetes_text::{Dictionary, Document, Interner, TokenId, Tokenizer};
+use aeetes_text::{Dictionary, Document, Interner, Tokenizer};
 use proptest::prelude::*;
 
 proptest! {
@@ -94,25 +95,6 @@ proptest! {
                 );
             }
         }
-    }
-
-    /// Batch extraction equals per-document extraction for any thread count.
-    #[test]
-    fn batch_matches_serial(doc_tokens in proptest::collection::vec(proptest::collection::vec(0u8..8, 0..20), 0..5),
-                            threads in 1usize..6) {
-        let mut interner = Interner::new();
-        let ids: Vec<TokenId> = (0..8).map(|i| interner.intern(&format!("tok{i}"))).collect();
-        let mut dict = Dictionary::new();
-        dict.push_tokens("e0".into(), vec![ids[0], ids[1]]);
-        dict.push_tokens("e1".into(), vec![ids[2], ids[3], ids[4]]);
-        let engine = Aeetes::build(dict, &RuleSet::new(), &interner, AeetesConfig::default());
-        let docs: Vec<Document> = doc_tokens
-            .iter()
-            .map(|t| Document::from_tokens(t.iter().map(|&i| ids[i as usize]).collect()))
-            .collect();
-        let serial: Vec<_> = docs.iter().map(|d| engine.extract(d, 0.7)).collect();
-        let batched = extract_batch(&engine, &docs, 0.7, threads);
-        prop_assert_eq!(serial, batched);
     }
 
     /// Persistence round-trips arbitrary dictionaries and rules: the loaded

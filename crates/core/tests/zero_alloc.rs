@@ -14,6 +14,10 @@
 //! layer rides the hot path without adding a single allocation. Handle
 //! registration happens before the warm-up, exactly like a long-running
 //! server does it.
+//!
+//! The document-parallel batch path has the same guarantee over the
+//! persistent pool; see `aeetes-pool/tests/zero_alloc_batch.rs` (its own
+//! binary, for the same one-test-per-allocator reason).
 
 use aeetes_core::{Aeetes, AeetesConfig, ExtractLimits, ExtractScratch, Strategy};
 use aeetes_rules::RuleSet;

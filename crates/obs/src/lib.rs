@@ -19,12 +19,14 @@
 
 mod export;
 mod fleet;
+mod pool;
 mod registry;
 mod stage;
 mod wal;
 
 pub use export::{json, prometheus_text};
 pub use fleet::{FleetMetrics, ReplicaMetrics};
+pub use pool::PoolMetrics;
 pub use registry::{Counter, Gauge, Histogram, MetricRegistry, MetricSnapshot, MetricValue};
 pub use stage::{Stage, StageSlots, StageTimer, SAMPLE_MASK};
 pub use wal::WalMetrics;

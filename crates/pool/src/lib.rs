@@ -1,0 +1,638 @@
+//! Persistent work-stealing executor for extraction work.
+//!
+//! Before this crate, every parallel path in the workspace paid thread
+//! startup on the request path: batch extraction spawned a
+//! `std::thread::scope` per call, the sharded engine spawned one thread per
+//! shard per *request*, and the server ran its own pump threads. At
+//! realistic document sizes the spawn + join cost swamps the extraction
+//! work itself (the old `bench_shard_scaling` measured *negative* scaling).
+//!
+//! A [`Pool`] owns N persistent worker threads, created once per
+//! engine/fleet lifetime. Each worker owns a long-lived
+//! [`ExtractScratch`], so steady-state extraction through the pool
+//! allocates nothing (guarded by the counting-allocator test in
+//! `aeetes-core`). Tasks flow through a global injector queue plus one
+//! deque per worker; an idle worker drains its own deque first, then the
+//! injector, then steals from a sibling's deque back-to-front.
+//!
+//! Three execution shapes sit on top:
+//!
+//! - [`Pool::spawn`]: fire-and-forget jobs (the server's request path).
+//! - [`batch`](crate::extract_batch_into): document-parallel batches with
+//!   claim-counter work distribution — results land in input order, one
+//!   panic isolates to its document.
+//! - [`Pool::fan_out`]: intra-request shard fan-out where the *submitting*
+//!   thread participates, so a pool worker can fan out its own request
+//!   without risking deadlock even when every other worker is busy.
+//!
+//! Borrowed-task safety: batches and fan-outs keep their state on the
+//! submitter's stack and enqueue raw-pointer stubs. The submitter returns
+//! only after every stub has *retired* — executed to exhaustion or swept
+//! back out of the queues — so no queue ever holds a pointer into a dead
+//! stack frame.
+
+use aeetes_core::ExtractScratch;
+use aeetes_obs::{MetricRegistry, PoolMetrics};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+mod batch;
+
+pub use batch::{extract_batch, extract_batch_into, extract_batch_on, extract_batch_with, extract_batch_with_on, run_batch, BatchBuf, BatchSlot};
+
+thread_local! {
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Whether the current thread is a pool worker. Batch submission from a
+/// worker falls back to inline execution (the worker cannot wait on the
+/// pool it is part of without risking deadlock).
+pub(crate) fn on_pool_worker() -> bool {
+    IS_POOL_WORKER.with(std::cell::Cell::get)
+}
+
+/// A queued unit of work: either an owned fire-and-forget job or a
+/// borrowed stub pointing into a live `run_indexed` call frame.
+enum Task {
+    Job(Box<dyn FnOnce(&mut ExtractScratch) + Send>),
+    Stub(Stub),
+}
+
+/// Type-erased pointer to a [`RunState`] (or [`EachState`]) living on a
+/// submitter's stack. The submitter guarantees the pointee outlives the
+/// stub (see the retire protocol on [`RunState`]).
+struct Stub {
+    data: *const (),
+    run: unsafe fn(*const (), usize, Option<&mut ExtractScratch>),
+}
+
+// SAFETY: the pointee is Sync (shared by every executor) and the submitter
+// keeps it alive until every stub retires.
+unsafe impl Send for Stub {}
+
+/// One cache line of per-worker counter state.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+struct Inner {
+    injector: Mutex<VecDeque<Task>>,
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Tasks currently sitting in any queue (not yet executing).
+    pending: AtomicUsize,
+    /// Round-robin cursor for stub placement across worker deques.
+    place: AtomicUsize,
+    park: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    steals: AtomicU64,
+    executed: AtomicU64,
+    busy_nanos: Vec<PaddedU64>,
+    tasks_run: Vec<PaddedU64>,
+    obs: OnceLock<PoolMetrics>,
+}
+
+impl Inner {
+    fn push(&self, task: Task, target: Option<usize>) {
+        match target {
+            Some(i) => self.deques[i].lock().expect("pool deque poisoned").push_back(task),
+            None => self.injector.lock().expect("pool injector poisoned").push_back(task),
+        }
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        if let Some(m) = self.obs.get() {
+            m.queue_depth.add(1);
+        }
+        // Notify under the park lock: a worker checks `pending` under the
+        // same lock before waiting, so this wake-up cannot be lost.
+        let _g = self.park.lock().expect("pool park lock poisoned");
+        self.wake.notify_one();
+    }
+
+    fn note_pop(&self) {
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+        if let Some(m) = self.obs.get() {
+            m.queue_depth.add(-1);
+        }
+    }
+
+    /// Own deque front → injector front → steal a sibling's back.
+    fn find_task(&self, id: usize) -> Option<Task> {
+        if let Some(t) = self.deques[id].lock().expect("pool deque poisoned").pop_front() {
+            self.note_pop();
+            return Some(t);
+        }
+        if let Some(t) = self.injector.lock().expect("pool injector poisoned").pop_front() {
+            self.note_pop();
+            return Some(t);
+        }
+        for k in 1..self.deques.len() {
+            let j = (id + k) % self.deques.len();
+            if let Some(t) = self.deques[j].lock().expect("pool deque poisoned").pop_back() {
+                self.note_pop();
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = self.obs.get() {
+                    m.steals.inc(1);
+                }
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn execute(&self, id: usize, task: Task, scratch: &mut ExtractScratch) {
+        let start = Instant::now();
+        match task {
+            // A panic escaping a job must not take the worker down; the
+            // job's own error handling (e.g. the server's per-request
+            // catch_unwind) is responsible for reporting it.
+            Task::Job(job) => {
+                let _ = catch_unwind(AssertUnwindSafe(move || job(scratch)));
+            }
+            Task::Stub(stub) => unsafe { (stub.run)(stub.data, id, Some(scratch)) },
+        }
+        let nanos = start.elapsed().as_nanos() as u64;
+        self.busy_nanos[id].0.fetch_add(nanos, Ordering::Relaxed);
+        self.tasks_run[id].0.fetch_add(1, Ordering::Relaxed);
+        self.executed.fetch_add(1, Ordering::Relaxed);
+        if let Some(m) = self.obs.get() {
+            m.busy_nanos[id].observe_nanos(nanos);
+            m.tasks.inc(1);
+        }
+    }
+
+    /// Removes every queued stub whose state pointer equals `data`,
+    /// returning how many were removed. Called by a `run_indexed` submitter
+    /// once all indices are claimed: the leftover stubs would find no work
+    /// and must not outlive the submitter's stack frame.
+    fn sweep(&self, data: *const ()) -> usize {
+        let mut removed = 0usize;
+        let matches_state = |t: &Task| matches!(t, Task::Stub(s) if std::ptr::eq(s.data, data));
+        {
+            let mut q = self.injector.lock().expect("pool injector poisoned");
+            let before = q.len();
+            q.retain(|t| !matches_state(t));
+            removed += before - q.len();
+        }
+        for d in &self.deques {
+            let mut q = d.lock().expect("pool deque poisoned");
+            let before = q.len();
+            q.retain(|t| !matches_state(t));
+            removed += before - q.len();
+        }
+        if removed > 0 {
+            self.pending.fetch_sub(removed, Ordering::SeqCst);
+            if let Some(m) = self.obs.get() {
+                m.queue_depth.add(-(removed as i64));
+            }
+        }
+        removed
+    }
+}
+
+fn worker_main(inner: &Inner, id: usize) {
+    IS_POOL_WORKER.with(|f| f.set(true));
+    let mut scratch = ExtractScratch::new();
+    loop {
+        match inner.find_task(id) {
+            Some(task) => inner.execute(id, task, &mut scratch),
+            None => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                let guard = inner.park.lock().expect("pool park lock poisoned");
+                if inner.pending.load(Ordering::SeqCst) == 0 && !inner.shutdown.load(Ordering::SeqCst) {
+                    // The timeout is a safety net only: pushes notify under
+                    // this lock, so a task cannot slip past a parked worker.
+                    let _ = inner.wake.wait_timeout(guard, Duration::from_millis(100)).expect("pool park lock poisoned");
+                }
+            }
+        }
+    }
+}
+
+/// Shared state of one `run_indexed` call, living on the submitter's stack.
+///
+/// Retire protocol: `created` stubs are enqueued; each either runs its
+/// claim loop to exhaustion and then retires, or is swept out of the
+/// queues by the submitter (counted as retired on its behalf). The
+/// `retired` increment happens *inside* the `lock` critical section and is
+/// the stub's final touch of this state, so once the submitter observes
+/// `retired == created` while holding the lock, no other thread can hold
+/// or be blocked on any part of this struct — it is safe to return.
+struct RunState<'f, F: ?Sized> {
+    f: &'f F,
+    len: usize,
+    next: AtomicUsize,
+    panicked: AtomicBool,
+    created: usize,
+    retired: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl<F> RunState<'_, F>
+where
+    F: Fn(usize, Option<&mut ExtractScratch>) + Sync + ?Sized,
+{
+    /// Claims indices until exhaustion, running `f` on each. Item-level
+    /// panics are recorded and do not stop the remaining items.
+    fn claim_loop(&self, mut scratch: Option<&mut ExtractScratch>) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::SeqCst);
+            if i >= self.len {
+                return;
+            }
+            // AssertUnwindSafe: extraction engines are immutable (`&self`)
+            // and scratches reset at the start of every pass, so a caught
+            // panic cannot corrupt state observed by other items.
+            let r = catch_unwind(AssertUnwindSafe(|| (self.f)(i, scratch.as_deref_mut())));
+            if r.is_err() {
+                self.panicked.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+
+    fn retire(&self, by: usize) {
+        let _g = self.lock.lock().expect("run state lock poisoned");
+        self.retired.fetch_add(by, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+}
+
+unsafe fn run_stub<F>(data: *const (), _worker: usize, scratch: Option<&mut ExtractScratch>)
+where
+    F: Fn(usize, Option<&mut ExtractScratch>) + Sync,
+{
+    let state = unsafe { &*(data as *const RunState<'_, F>) };
+    state.claim_loop(scratch);
+    state.retire(1);
+}
+
+/// Shared state of one `on_each_worker` call. The barrier guarantees the
+/// `workers` stubs are held by `workers` distinct threads simultaneously —
+/// which, since only workers execute stubs, pins one stub to each worker.
+struct EachState<'f, F: ?Sized> {
+    barrier: Barrier,
+    f: &'f F,
+    total: usize,
+    done: AtomicUsize,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+unsafe fn run_each<F>(data: *const (), worker: usize, scratch: Option<&mut ExtractScratch>)
+where
+    F: Fn(usize, &mut ExtractScratch) + Sync,
+{
+    let state = unsafe { &*(data as *const EachState<'_, F>) };
+    state.barrier.wait();
+    let scratch = scratch.expect("pin stubs only execute on pool workers");
+    // A panicking warm-up closure must not take the worker down; the
+    // payload is dropped (warm-up is best-effort by contract).
+    let _ = catch_unwind(AssertUnwindSafe(|| (state.f)(worker, scratch)));
+    // Same final-touch discipline as RunState::retire.
+    let _g = state.lock.lock().expect("each state lock poisoned");
+    state.done.fetch_add(1, Ordering::SeqCst);
+    state.cv.notify_all();
+}
+
+/// Point-in-time scheduling statistics of a [`Pool`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Persistent worker threads.
+    pub workers: usize,
+    /// Tasks currently queued (injector + deques), excluding executing.
+    pub queued: usize,
+    /// Tasks taken from a sibling worker's deque.
+    pub steals: u64,
+    /// Tasks executed to completion.
+    pub executed: u64,
+    /// Cumulative busy nanoseconds per worker.
+    pub busy_nanos: Vec<u64>,
+    /// Tasks executed per worker.
+    pub tasks: Vec<u64>,
+}
+
+/// A persistent pool of extraction workers. See the crate docs.
+///
+/// Dropping an explicit pool drains every queued task, then joins the
+/// workers. The process-wide [`Pool::global`] pool is never dropped.
+pub struct Pool {
+    inner: Arc<Inner>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Creates a pool of `workers.max(1)` persistent threads, each owning
+    /// a long-lived [`ExtractScratch`].
+    pub fn new(workers: usize) -> Pool {
+        let workers = workers.max(1);
+        let inner = Arc::new(Inner {
+            injector: Mutex::new(VecDeque::new()),
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+            place: AtomicUsize::new(0),
+            park: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            busy_nanos: (0..workers).map(|_| PaddedU64::default()).collect(),
+            tasks_run: (0..workers).map(|_| PaddedU64::default()).collect(),
+            obs: OnceLock::new(),
+        });
+        let handles = (0..workers)
+            .map(|id| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("aeetes-pool-{id}"))
+                    .spawn(move || worker_main(&inner, id))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool { inner, handles }
+    }
+
+    /// The process-wide pool, created on first use. Sized by (first match
+    /// wins): the `AEETES_POOL_THREADS` environment variable, the last
+    /// [`Pool::configure_global`] call, or `available_parallelism`.
+    pub fn global() -> &'static Pool {
+        GLOBAL.get_or_init(|| {
+            let n = std::env::var("AEETES_POOL_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&n| n > 0)
+                .or_else(|| {
+                    let r = REQUESTED.load(Ordering::SeqCst);
+                    (r > 0).then_some(r)
+                })
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get));
+            Pool::new(n)
+        })
+    }
+
+    /// Requests `threads` workers for the global pool and returns it. Only
+    /// effective before the global pool's first use — a pool never resizes
+    /// once its workers exist (callers that need a specific size later
+    /// should build an explicit [`Pool::new`]).
+    pub fn configure_global(threads: usize) -> &'static Pool {
+        if threads > 0 {
+            REQUESTED.store(threads, Ordering::SeqCst);
+        }
+        Pool::global()
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.inner.deques.len()
+    }
+
+    /// Submits a fire-and-forget job; some worker runs it with its
+    /// resident scratch. Jobs still queued when an explicit pool is
+    /// dropped are executed during the drop's drain.
+    pub fn spawn(&self, job: impl FnOnce(&mut ExtractScratch) + Send + 'static) {
+        self.inner.push(Task::Job(Box::new(job)), None);
+    }
+
+    /// Runs `f(i, scratch)` for every `i < len`, distributing indices over
+    /// `stubs` queued executors (plus the calling thread when `help`).
+    /// Indices are claimed from a shared atomic counter — item-granularity
+    /// work stealing — so one long item never serializes the rest behind a
+    /// static partition. Returns whether any item panicked (payloads are
+    /// dropped; item-level isolation is the caller's job via its own
+    /// `catch_unwind` inside `f`).
+    ///
+    /// `scratch` is `Some` exactly when the executing thread is a pool
+    /// worker. With `help == false` at least one stub must be given,
+    /// and the call must not come from a pool worker (it would wait on
+    /// queues only it can drain); [`extract_batch_into`] guards this by
+    /// falling back to inline execution.
+    pub fn run_indexed<F>(&self, len: usize, stubs: usize, help: bool, f: F) -> bool
+    where
+        F: Fn(usize, Option<&mut ExtractScratch>) + Sync,
+    {
+        if len == 0 {
+            return false;
+        }
+        debug_assert!(help || stubs > 0, "run_indexed needs an executor");
+        debug_assert!(help || !on_pool_worker(), "a pool worker must participate in its own fan-out");
+        let state = RunState {
+            f: &f,
+            len,
+            next: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            created: stubs,
+            retired: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        };
+        let data = &state as *const RunState<'_, F> as *const ();
+        for _ in 0..stubs {
+            let w = self.inner.place.fetch_add(1, Ordering::Relaxed) % self.inner.deques.len();
+            self.inner.push(Task::Stub(Stub { data, run: run_stub::<F> }), Some(w));
+        }
+        if help {
+            state.claim_loop(None);
+        }
+        // Wait for every stub to retire. `retired == created` implies all
+        // indices were claimed and completed: a stub only exits its claim
+        // loop at exhaustion, and sweeping only happens past exhaustion.
+        let mut swept = false;
+        let mut guard = state.lock.lock().expect("run state lock poisoned");
+        while state.retired.load(Ordering::SeqCst) < state.created {
+            if !swept && state.next.load(Ordering::SeqCst) >= len {
+                // All indices claimed: stubs still queued would find no
+                // work — remove them before their pointee goes away.
+                swept = true;
+                drop(guard);
+                let n = self.inner.sweep(data);
+                if n > 0 {
+                    state.retire(n);
+                }
+                guard = state.lock.lock().expect("run state lock poisoned");
+                continue;
+            }
+            // Timeout only to re-check the sweep condition; retires notify.
+            guard = state.cv.wait_timeout(guard, Duration::from_millis(10)).expect("run state lock poisoned").0;
+        }
+        drop(guard);
+        state.panicked.load(Ordering::SeqCst)
+    }
+
+    /// Fans one request out across `n` work items with the calling thread
+    /// participating: used by the sharded engine past its cost threshold.
+    /// Safe to call from a pool worker (the worker claims items itself, so
+    /// progress never depends on a free sibling). Panics in `f` are
+    /// reported in the return value, first-come.
+    pub fn fan_out<F>(&self, n: usize, f: F) -> bool
+    where
+        F: Fn(usize) + Sync,
+    {
+        if n == 0 {
+            return false;
+        }
+        let stubs = (n - 1).min(self.workers());
+        self.run_indexed(n, stubs, true, |i, _scratch| f(i))
+    }
+
+    /// Runs `f(worker_id, scratch)` exactly once on *every* worker thread,
+    /// blocking until all have finished. A barrier holds early finishers
+    /// until every worker has picked up its pin task, so the same worker
+    /// can never run two of them. Intended for warming worker scratches to
+    /// their steady-state capacity (benches, the zero-allocation gate) —
+    /// not for request-path use. Must be called from outside the pool.
+    pub fn on_each_worker<F>(&self, f: F)
+    where
+        F: Fn(usize, &mut ExtractScratch) + Sync,
+    {
+        assert!(!on_pool_worker(), "on_each_worker must be called from outside the pool");
+        let total = self.workers();
+        let state = EachState {
+            barrier: Barrier::new(total),
+            f: &f,
+            total,
+            done: AtomicUsize::new(0),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        };
+        let data = &state as *const EachState<'_, F> as *const ();
+        for i in 0..total {
+            self.inner.push(Task::Stub(Stub { data, run: run_each::<F> }), Some(i));
+        }
+        let mut guard = state.lock.lock().expect("each state lock poisoned");
+        while state.done.load(Ordering::SeqCst) < state.total {
+            guard = state.cv.wait_timeout(guard, Duration::from_millis(10)).expect("each state lock poisoned").0;
+        }
+    }
+
+    /// Attaches observability handles: from here on the pool records queue
+    /// depth, steals, task counts and per-worker busy histograms into
+    /// `registry`. Idempotent; the first attach wins.
+    pub fn attach_metrics(&self, registry: &Arc<MetricRegistry>) {
+        let m = PoolMetrics::register(registry, self.workers());
+        m.workers.set(self.workers() as i64);
+        let _ = self.inner.obs.set(m);
+    }
+
+    /// Point-in-time scheduling statistics.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self.workers(),
+            queued: self.inner.pending.load(Ordering::SeqCst),
+            steals: self.inner.steals.load(Ordering::Relaxed),
+            executed: self.inner.executed.load(Ordering::Relaxed),
+            busy_nanos: self.inner.busy_nanos.iter().map(|c| c.0.load(Ordering::Relaxed)).collect(),
+            tasks: self.inner.tasks_run.iter().map(|c| c.0.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        {
+            let _g = self.inner.park.lock().expect("pool park lock poisoned");
+            self.inner.wake.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+static REQUESTED: AtomicUsize = AtomicUsize::new(0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn spawn_runs_jobs_on_workers() {
+        let pool = Pool::new(2);
+        let hits = Arc::new(AtomicU32::new(0));
+        for _ in 0..16 {
+            let hits = Arc::clone(&hits);
+            pool.spawn(move |_scratch| {
+                assert!(on_pool_worker());
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // drains the queue, joins workers
+        assert_eq!(hits.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn run_indexed_covers_every_index_exactly_once() {
+        let pool = Pool::new(3);
+        for len in [0usize, 1, 2, 7, 64] {
+            let counts: Vec<AtomicU32> = (0..len).map(|_| AtomicU32::new(0)).collect();
+            let panicked = pool.run_indexed(len, 3.min(len.max(1)), false, |i, scratch| {
+                assert!(scratch.is_some(), "stubs run on workers");
+                counts[i].fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(!panicked);
+            assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1), "len={len}");
+        }
+    }
+
+    #[test]
+    fn fan_out_from_inside_a_worker_makes_progress() {
+        // One worker: the outer job occupies it, so the nested fan-out can
+        // only finish because the submitting worker claims items itself.
+        let pool = Arc::new(Pool::new(1));
+        let (tx, rx) = std::sync::mpsc::channel::<u32>();
+        let p2 = Arc::clone(&pool);
+        pool.spawn(move |_scratch| {
+            let sum = AtomicU32::new(0);
+            let panicked = p2.fan_out(5, |i| {
+                sum.fetch_add(i as u32, Ordering::SeqCst);
+            });
+            assert!(!panicked);
+            tx.send(sum.load(Ordering::SeqCst)).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(10)).unwrap(), 10);
+    }
+
+    #[test]
+    fn fan_out_reports_item_panics() {
+        let pool = Pool::new(2);
+        assert!(pool.fan_out(4, |i| assert!(i != 2, "boom")));
+        // The pool stays usable afterwards.
+        assert!(!pool.fan_out(4, |_| {}));
+    }
+
+    #[test]
+    fn on_each_worker_pins_one_task_per_worker() {
+        let pool = Pool::new(3);
+        let seen: Vec<AtomicU32> = (0..3).map(|_| AtomicU32::new(0)).collect();
+        pool.on_each_worker(|worker, _scratch| {
+            seen[worker].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(seen.iter().all(|c| c.load(Ordering::SeqCst) == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn stats_count_executed_tasks() {
+        let pool = Pool::new(2);
+        pool.run_indexed(8, 2, false, |_, _| {});
+        let stats = pool.stats();
+        assert_eq!(stats.workers, 2);
+        assert_eq!(stats.queued, 0);
+        // 2 stubs were queued; both either executed or got swept, and the
+        // executed count only grows.
+        assert!(stats.executed <= 2);
+        assert_eq!(stats.busy_nanos.len(), 2);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = Pool::global() as *const Pool;
+        let b = Pool::configure_global(7) as *const Pool;
+        assert_eq!(a, b, "configure after first use must not rebuild the pool");
+    }
+}

@@ -377,7 +377,9 @@ fn build_next(cur: &Generation, delta: &DictDelta, tokenizer: &Tokenizer) -> Res
     }
 
     let removed: Vec<EntityId> = removed.into_iter().map(EntityId).collect();
-    Ok(Arc::new(Generation::assemble(cur.id() + 1, interner, dict, removed, rules, cur.config.clone(), order, shards)))
+    let mut next = Generation::assemble(cur.id() + 1, interner, dict, removed, rules, cur.config.clone(), order, shards);
+    next.adopt_routing(cur);
+    Ok(Arc::new(next))
 }
 
 impl ShardedEngine {

@@ -5,10 +5,28 @@ use aeetes_core::{
     ScratchOutcome, SegmentScratch,
 };
 use aeetes_index::{ClusteredIndex, GlobalOrder};
+use aeetes_pool::Pool;
 use aeetes_rules::{DerivedDictionary, DerivedId, RuleSet};
 use aeetes_text::{Dictionary, Document, EntityId, Interner};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Default fan-out cost threshold: a multi-shard request whose estimated
+/// cost — document tokens × live shards — reaches this value is worth the
+/// cross-thread handoff of a pool fan-out; anything cheaper runs
+/// shard-sequentially on the calling thread. Calibrated so short serve
+/// requests (tens of tokens) stay on one thread even at high shard counts,
+/// while analytics-sized documents parallelize.
+const DEFAULT_FANOUT_THRESHOLD: u64 = 4096;
+
+/// Cumulative sequential-vs-fanout routing decisions. Shared (via `Arc`)
+/// across the generations of one engine lineage so the counters survive
+/// dictionary-delta swaps.
+#[derive(Debug, Default)]
+pub(crate) struct RoutingCounters {
+    pub(crate) sequential: AtomicU64,
+    pub(crate) fanout: AtomicU64,
+}
 
 /// Deterministic origin-entity → shard routing: a bit-mixed hash of the id
 /// modulo the shard count. Mixing (rather than `id % n`) keeps shards
@@ -141,6 +159,11 @@ pub struct Generation {
     /// skip window lengths the whole dictionary admits, breaking
     /// bit-identity with the monolithic engine.
     set_len_bounds: Option<(usize, usize)>,
+    /// Shards with at least one resident variant — the parallelism factor
+    /// of the fan-out cost model (empty shards contribute no work).
+    live_shards: usize,
+    /// Sequential-vs-fanout routing tallies, inherited across generations.
+    pub(crate) routing: Arc<RoutingCounters>,
 }
 
 impl Generation {
@@ -179,6 +202,7 @@ impl Generation {
                 });
             }
         }
+        let live_shards = shards.iter().filter(|s| !s.dd.is_empty()).count();
         Generation {
             id,
             interner,
@@ -190,7 +214,22 @@ impl Generation {
             shards,
             global_base,
             set_len_bounds,
+            live_shards,
+            routing: Arc::new(RoutingCounters::default()),
         }
+    }
+
+    /// Shares `prev`'s routing counters so sequential/fan-out tallies are
+    /// cumulative across generation swaps, like the per-shard counters.
+    pub(crate) fn adopt_routing(&mut self, prev: &Generation) {
+        self.routing = Arc::clone(&prev.routing);
+    }
+
+    /// Cumulative `(sequential, fanout)` routing decisions of this engine
+    /// lineage: how many multi-shard extractions ran shard-sequentially on
+    /// the calling thread vs fanned out across the worker pool.
+    pub fn routing_stats(&self) -> (u64, u64) {
+        (self.routing.sequential.load(Ordering::Relaxed), self.routing.fanout.load(Ordering::Relaxed))
     }
 
     /// Monotonic generation number (1 for a fresh build).
@@ -320,33 +359,59 @@ impl ExtractBackend for Generation {
             let (truncated, stats) = self.run_shard_into(&self.shards[0], doc, tau, limits, cancel, seg);
             return ScratchOutcome { matches: seg.matches(), truncated, stats, stages: *seg.stages() };
         }
-        let (segs, merged) = scratch.split(self.shards.len());
-        let results: Vec<(bool, ExtractStats)> = {
-            let (seg0, rest) = segs.split_at_mut(1);
-            std::thread::scope(|s| {
-                let handles: Vec<_> = self.shards[1..]
-                    .iter()
-                    .zip(rest.iter_mut())
-                    .map(|(shard, seg)| s.spawn(move || self.run_shard_into(shard, doc, tau, limits, cancel, seg)))
-                    .collect();
-                let mut outs = Vec::with_capacity(self.shards.len());
-                outs.push(self.run_shard_into(&self.shards[0], doc, tau, limits, cancel, &mut seg0[0]));
-                outs.extend(handles.into_iter().map(|h| h.join().expect("shard extraction panicked")));
-                outs
-            })
-        };
+        let n = self.shards.len();
+        let (segs, merged) = scratch.split(n);
+        // Route by estimated cost: tokens × live shards. Cheap requests run
+        // shard-sequentially on the calling thread — no cross-thread
+        // handoff, no wakeups — and only past the threshold does the
+        // request fan out across the persistent pool. Results are
+        // bit-identical either way (the shard property suite is the
+        // oracle); only the parallelism differs.
+        let cost = doc.tokens().len() as u64 * self.live_shards as u64;
+        let threshold = limits.fanout_threshold.unwrap_or(DEFAULT_FANOUT_THRESHOLD);
+        let pool = Pool::global();
+        if pool.workers() <= 1 || cost < threshold {
+            self.routing.sequential.fetch_add(1, Ordering::Relaxed);
+            for (shard, seg) in self.shards.iter().zip(segs.iter_mut()) {
+                self.run_shard_into(shard, doc, tau, limits, cancel, seg);
+            }
+        } else {
+            self.routing.fanout.fetch_add(1, Ordering::Relaxed);
+            // Each item touches only its own disjoint segment scratch; the
+            // raw pointer carries the `&mut` across the `Fn` closure.
+            struct SegPtr(*mut SegmentScratch);
+            unsafe impl Send for SegPtr {}
+            unsafe impl Sync for SegPtr {}
+            impl SegPtr {
+                /// # Safety
+                /// `i` in bounds; dereference only while claimed by exactly
+                /// one executor. A method (not the raw field) so the closure
+                /// captures the `Sync` wrapper under disjoint field capture.
+                unsafe fn seg(&self, i: usize) -> *mut SegmentScratch {
+                    self.0.add(i)
+                }
+            }
+            let base = SegPtr(segs.as_mut_ptr());
+            let panicked = pool.fan_out(n, |i| {
+                let seg = unsafe { &mut *base.seg(i) };
+                self.run_shard_into(&self.shards[i], doc, tau, limits, cancel, seg);
+            });
+            assert!(!panicked, "shard extraction panicked");
+        }
         // Merge per-shard results: remap variant ids into the global derived
         // space, restore the stable `(span, entity)` order, re-apply the
         // match cap across the union (each shard only capped its own
         // stream). Origins are disjoint across shards, so no deduplication
-        // is needed and sort keys never tie across shards.
+        // is needed and sort keys never tie across shards. Each shard's
+        // outcome is read back from its segment scratch — no result
+        // channel on either routing path.
         merged.clear();
         let mut truncated = false;
         let mut stats = ExtractStats::default();
         let mut stages = aeetes_core::StageSlots::default();
-        for ((shard, seg), (trunc, st)) in self.shards.iter().zip(segs.iter()).zip(results) {
-            truncated |= trunc;
-            stats += st;
+        for (shard, seg) in self.shards.iter().zip(segs.iter()) {
+            truncated |= seg.truncated();
+            stats += seg.stats();
             stages.merge(seg.stages());
             for &m in seg.matches() {
                 let local = shard.dd.variant_range(m.entity).start;

@@ -7,8 +7,9 @@
 //!
 //! Run with: `cargo run --release --example mention_analytics`
 
-use aeetes::core::{extract_batch, mention_report};
+use aeetes::core::mention_report;
 use aeetes::datagen::{generate, DatasetProfile};
+use aeetes::extract_batch;
 use aeetes::{Aeetes, AeetesConfig};
 use std::time::Instant;
 

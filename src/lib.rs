@@ -19,6 +19,7 @@
 //! | [`sim`] | Jaccard family, edit distance, Fuzzy Jaccard, JaccAR verify |
 //! | [`index`] | global token order, filters, clustered inverted index |
 //! | [`core`] | the extraction engine and its four filtering strategies |
+//! | [`pool`] | persistent work-stealing executor, parallel batch extraction |
 //! | [`obs`] | metric registry, stage timing, Prometheus/JSON exporters |
 //! | [`baselines`] | exact matching, Faerie, FaerieR |
 //! | [`datagen`] | synthetic corpora calibrated to the paper's datasets |
@@ -58,6 +59,7 @@ pub use aeetes_core as core;
 pub use aeetes_datagen as datagen;
 pub use aeetes_index as index;
 pub use aeetes_obs as obs;
+pub use aeetes_pool as pool;
 pub use aeetes_rules as rules;
 pub use aeetes_shard as shard;
 pub use aeetes_sim as sim;
@@ -65,9 +67,10 @@ pub use aeetes_text as text;
 
 pub use aeetes_cluster::{run_fleet, FleetOptions, FleetSummary, ReplicaSpec};
 pub use aeetes_core::{
-    extract_batch, extract_fuzzy, extract_top_k, load_engine, mention_report, save_engine, suppress_overlaps, Aeetes, AeetesConfig, EditIndex,
-    EditMatch, ExtractStats, FuzzyConfig, Match, MentionReport, PersistError, Strategy,
+    extract_fuzzy, extract_top_k, load_engine, mention_report, save_engine, suppress_overlaps, Aeetes, AeetesConfig, EditIndex, EditMatch,
+    ExtractStats, FuzzyConfig, Match, MentionReport, PersistError, Strategy,
 };
+pub use aeetes_pool::{extract_batch, extract_batch_with, Pool};
 pub use aeetes_rules::{DeriveConfig, DerivedDictionary, RuleSet};
 pub use aeetes_shard::{ActivateError, DictDelta, RuleDelta, ShardedEngine};
 pub use aeetes_sim::Metric;
