@@ -7,13 +7,14 @@
 
 use crate::args::Args;
 use aeetes_core::{
-    extract_segment_scratched, load_sharded, save_engine, save_sharded, suppress_overlaps, Aeetes, AeetesConfig, BatchOptions, EditIndex,
-    ExtractBackend, ExtractLimits, ExtractScratch, ExtractStats, Match, Stage, StageSlots, Strategy,
+    extract_segment_scratched, extract_top_k_with, load_sharded, save_engine, save_sharded, suppress_overlaps, Aeetes, AeetesConfig, BatchOptions,
+    EditIndex, ExtractBackend, ExtractLimits, ExtractScratch, ExtractStats, Match, Stage, StageSlots, Strategy,
 };
 use aeetes_pool::{extract_batch_with, Pool};
 use aeetes_rules::{DeriveConfig, RuleSet};
 use aeetes_shard::ShardedEngine;
 use aeetes_sim::Metric;
+use aeetes_stream::{StreamExtractor, StreamMatch};
 use aeetes_text::{Dictionary, Document, Interner, Tokenizer};
 use std::fs;
 use std::io::Write;
@@ -33,8 +34,10 @@ USAGE:
     aeetes build    --dict FILE --rules FILE --out ENGINE [--max-derived N]
                     [--shards N] [--frozen]
     aeetes extract  --engine ENGINE --docs FILE [--tau F] [--metric NAME]
-                    [--edit K] [--threads N] [--best] [--format tsv|jsonl]
-                    [--timeout SECS] [--max-candidates N] [--max-matches N]
+                    [--edit K] [--threads N] [--best] [--top-k K]
+                    [--format tsv|jsonl] [--timeout SECS]
+                    [--max-candidates N] [--max-matches N]
+    aeetes extract  --engine ENGINE --stream [--tau F] [--format tsv|jsonl]
     aeetes serve    --engine ENGINE [--shards N] [--frozen] [--listen ADDR:PORT]
                     [--metrics-listen ADDR:PORT] [--workers N | --threads N] [--queue N]
                     [--max-doc-bytes N] [--timeout-ceiling SECS]
@@ -79,6 +82,17 @@ a v5 artifact (it fails fast instead of silently paying a v4 rebuild).
 `aeetes dict info FILE` prints any artifact's version, generation,
 entity/rule/token counts and (for v5) per-section sizes without building
 the engine.
+
+`extract --top-k K` returns only the K best-scoring matches per document,
+ordered by score, using bound-pruned search: the running k-th best score
+ratchets the effective threshold upward, so small K examines far fewer
+candidates than full extraction. `extract --stream` reads ONE document
+from stdin in chunks (of any size; token and UTF-8 boundaries may fall
+anywhere) and prints each match as soon as no future input can change it
+— identical results to whole-document extraction, flat memory. The serve
+protocol exposes both: `\"top_k\"` on extract requests, and
+`{\"type\":\"stream\"}` verbs open/feed/flush/close for per-connection
+incremental streams (see README \"Streaming & top-k\").
 
 `serve --metrics-listen` exposes the metric registry over HTTP: `/metrics`
 in Prometheus text format, `/metrics.json` as JSON. The same snapshot is
@@ -287,7 +301,7 @@ fn load(path: &str) -> Result<(Aeetes, Interner), String> {
 pub fn extract(argv: &[String]) -> Result<i32, String> {
     let args = Args::parse(
         argv,
-        &["best"],
+        &["best", "stream"],
         &[
             "engine",
             "docs",
@@ -299,10 +313,10 @@ pub fn extract(argv: &[String]) -> Result<i32, String> {
             "max-candidates",
             "max-matches",
             "edit",
+            "top-k",
         ],
     )?;
     let engine_path = args.required("engine")?;
-    let docs_path = args.required("docs")?;
     let tau: f64 = args.parse_or("tau", 0.8)?;
     let threads: usize = args.parse_or("threads", 1)?;
     // Size the process-wide worker pool to the request: `--threads` means
@@ -342,7 +356,45 @@ pub fn extract(argv: &[String]) -> Result<i32, String> {
         },
         ..ExtractLimits::UNLIMITED
     };
+    let top_k: Option<usize> = match args.optional("top-k") {
+        None => None,
+        Some(v) => {
+            let k: usize = v.parse().map_err(|e| format!("--top-k: {e}"))?;
+            if k == 0 {
+                return Err("--top-k must be at least 1".into());
+            }
+            if args.optional("edit").is_some() {
+                return Err("--top-k and --edit are incompatible (edit-distance mode has no similarity score to rank)".into());
+            }
+            if args.switch("best") {
+                return Err("--top-k and --best are incompatible on the CLI; use the serve protocol to compose them".into());
+            }
+            if limits != ExtractLimits::UNLIMITED {
+                return Err("--top-k is exact and incompatible with --timeout/--max-candidates/--max-matches budgets".into());
+            }
+            Some(k)
+        }
+    };
 
+    // Streaming mode: read stdin chunk-wise, emit matches as they settle.
+    if args.switch("stream") {
+        for (flag, present) in [
+            ("--docs", args.optional("docs").is_some()),
+            ("--top-k", top_k.is_some()),
+            ("--edit", args.optional("edit").is_some()),
+            ("--best", args.switch("best")),
+            ("--metric", args.optional("metric").is_some()),
+        ] {
+            if present {
+                return Err(format!("--stream reads one document from stdin and emits matches incrementally; {flag} does not apply"));
+            }
+        }
+        let format = args.optional("format").unwrap_or("tsv");
+        let (engine, mut interner) = load(engine_path)?;
+        return extract_stream(&engine, &mut interner, tau, format);
+    }
+
+    let docs_path = args.required("docs")?;
     let (engine, mut interner) = load(engine_path)?;
     let tokenizer = Tokenizer::default();
     let docs: Vec<Document> = read_lines(docs_path)?.iter().map(|l| Document::parse(l, &tokenizer, &mut interner)).collect();
@@ -371,7 +423,11 @@ pub fn extract(argv: &[String]) -> Result<i32, String> {
     // config-metric driven); with the default metric we use the
     // fault-isolated batch path. Both paths honour the limits.
     let mut truncated_docs = 0usize;
-    let results: Vec<Vec<Match>> = if metric == Metric::Jaccard {
+    let results: Vec<Vec<Match>> = if let Some(k) = top_k {
+        // Bound-pruned top-k: exact, budget-free, and ordered by score
+        // (best first) instead of by span.
+        docs.iter().map(|d| extract_top_k_with(&engine, d, k, tau, metric).0).collect()
+    } else if metric == Metric::Jaccard {
         let opts = BatchOptions { threads, limits, ..BatchOptions::default() };
         let mut out = Vec::with_capacity(docs.len());
         for (i, r) in extract_batch_with(&engine, &docs, tau, &opts).into_iter().enumerate() {
@@ -427,6 +483,77 @@ pub fn extract(argv: &[String]) -> Result<i32, String> {
         return Ok(EXIT_PARTIAL);
     }
     Ok(EXIT_OK)
+}
+
+/// `aeetes extract --stream`: treats stdin as one unbounded document, fed
+/// to the incremental extractor in fixed-size byte chunks (split points
+/// are arbitrary — the extractor carries partial UTF-8 sequences and
+/// partial tokens across them). Matches print as soon as they *settle*
+/// (no future input can extend or re-score them), so output is available
+/// long before EOF; the final flush emits the tail. Match rows carry byte
+/// offsets into the stream instead of the matched text — the stream is
+/// not retained.
+fn extract_stream(engine: &Aeetes, interner: &mut Interner, tau: f64, format: &str) -> Result<i32, String> {
+    use std::io::Read;
+    if format != "tsv" && format != "jsonl" {
+        return Err(format!("unknown format `{format}` (tsv|jsonl)"));
+    }
+    let tokenizer = Tokenizer::default();
+    let mut stream = StreamExtractor::new(engine, tau);
+    let stdin = std::io::stdin();
+    let mut input = stdin.lock();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut buf = vec![0u8; 64 * 1024];
+    let mut total = 0usize;
+    loop {
+        let n = match input.read(&mut buf) {
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(format!("stdin: {e}")),
+        };
+        if n == 0 {
+            break;
+        }
+        let matches = stream.feed(engine, &tokenizer, interner, &buf[..n]);
+        total += matches.len();
+        write_stream_matches(&mut out, engine, matches, format)?;
+    }
+    let matches = stream.finish(engine, &tokenizer, interner);
+    total += matches.len();
+    write_stream_matches(&mut out, engine, matches, format)?;
+    eprintln!("{total} match(es) at τ = {tau} ({} chunk(s), {} token(s) streamed)", stream.chunks_fed(), stream.tokens_seen());
+    Ok(EXIT_OK)
+}
+
+/// Prints one batch of settled stream matches and flushes, so a consumer
+/// piping the output sees matches as they settle, not at EOF.
+fn write_stream_matches(out: &mut impl Write, engine: &Aeetes, matches: &[StreamMatch], format: &str) -> Result<(), String> {
+    for m in matches {
+        let entity_raw = &engine.dictionary().record(m.entity).raw;
+        match format {
+            "jsonl" => {
+                let row = serde_json::json!({
+                    "start": m.start,
+                    "len": m.len,
+                    "score": m.score,
+                    "entity": m.entity.0,
+                    "entity_text": entity_raw,
+                    "byte_start": m.byte_start,
+                    "byte_end": m.byte_end,
+                });
+                writeln!(out, "{row}").map_err(|e| e.to_string())?;
+            }
+            _ => {
+                writeln!(out, "{}\t{}\t{:.4}\t{}\t{}..{}", m.start, m.len, m.score, entity_raw, m.byte_start, m.byte_end)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+    }
+    if !matches.is_empty() {
+        out.flush().map_err(|e| e.to_string())?;
+    }
+    Ok(())
 }
 
 /// `aeetes serve`: long-lived NDJSON extraction server (see `crate::serve`).

@@ -10,7 +10,11 @@
 //!
 //! ```text
 //! {"id": any?, "type": "extract", "doc": "...", "tau": 0.8?, "best": false?,
-//!  "timeout_ms": N?, "max_matches": N?, "max_candidates": N?}
+//!  "timeout_ms": N?, "max_matches": N?, "max_candidates": N?, "top_k": N?}
+//! {"id": any?, "type": "stream", "verb": "open", "stream": N, "tau": 0.8?}
+//! {"id": any?, "type": "stream", "verb": "feed", "stream": N, "text": "..."}
+//! {"id": any?, "type": "stream", "verb": "flush", "stream": N}
+//! {"id": any?, "type": "stream", "verb": "close", "stream": N}
 //! {"id": any?, "type": "health"}
 //! {"id": any?, "type": "stats"}
 //! {"id": any?, "type": "metrics"}
@@ -21,6 +25,15 @@
 //! {"id": any?, "type": "activate", "generation": N}
 //! {"id": any?, "type": "shutdown"}
 //! ```
+//!
+//! `stream` verbs drive one incremental extraction per client-chosen
+//! `stream` id, scoped to the connection: `open` pins the current engine
+//! generation and takes one admission slot, each `feed` answers with the
+//! matches that chunk *settled* (no future chunk can extend or re-score
+//! them), `flush` finishes the current logical document and resets the
+//! stream for the next one, and `close` flushes and releases the stream.
+//! Every opened stream is answered with exactly one `closed` event — on
+//! explicit close, client disconnect, or server drain.
 //!
 //! `prepare`/`activate` split a reload in two for fleet coordinators:
 //! `prepare` builds the delta's generation off to the side and answers
@@ -171,8 +184,46 @@ pub struct ExtractRequest {
     pub tau: f64,
     /// Whether to suppress overlapping matches (best-match-per-region).
     pub best: bool,
+    /// Keep only the `k` best-scoring matches (clamped to the
+    /// `max_matches` ceiling). Responses are then ordered by score, best
+    /// first, instead of by span.
+    pub top_k: Option<usize>,
     /// Effective budgets after clamping against the server [`Ceilings`].
     pub limits: ExtractLimits,
+}
+
+/// One verb of the incremental stream protocol.
+#[derive(Debug)]
+pub enum StreamVerb {
+    /// Create the stream: pins the serving generation and takes one
+    /// admission slot until the stream closes.
+    Open {
+        /// Similarity threshold for the stream's lifetime, validated to
+        /// `(0, 1]`.
+        tau: f64,
+    },
+    /// Feed one text chunk (arbitrary split points; ceiling-checked like
+    /// an extract `doc`).
+    Feed {
+        /// The chunk. May end mid-token — the stream carries state.
+        text: String,
+    },
+    /// Finish the current logical document: emit everything still carried
+    /// and reset the stream for the next document.
+    Flush,
+    /// Flush, emit the final matches, and release the stream.
+    Close,
+}
+
+/// A parsed, validated stream request.
+#[derive(Debug)]
+pub struct StreamRequest {
+    /// Client-supplied correlation id, echoed verbatim in the response.
+    pub id: Value,
+    /// Client-chosen stream id, scoped to the connection.
+    pub stream: u64,
+    /// What to do with it.
+    pub verb: StreamVerb,
 }
 
 /// A parsed, validated dictionary-reload request (the admin interface to
@@ -194,6 +245,9 @@ pub struct ReloadRequest {
 pub enum Request {
     /// Run an extraction (queued; subject to admission control).
     Extract(Box<ExtractRequest>),
+    /// Drive one incremental stream (answered inline on the connection's
+    /// reader thread; open streams count against admission).
+    Stream(Box<StreamRequest>),
     /// Liveness probe (answered inline, never queued or shed).
     Health(Value),
     /// Counter snapshot (answered inline, never queued or shed).
@@ -261,10 +315,11 @@ pub fn parse_request(line: &str, ceilings: &Ceilings) -> Result<Request, Reject>
             None => Err(Reject::new(id, ErrorCode::BadRequest, "`activate` needs a numeric `generation` field")),
         },
         "extract" => parse_extract(id, &value, ceilings),
+        "stream" => parse_stream(id, &value, ceilings),
         other => Err(Reject::new(
             id,
             ErrorCode::BadRequest,
-            format!("unknown request type `{other}` (extract|health|stats|metrics|reload|prepare|activate|shutdown)"),
+            format!("unknown request type `{other}` (extract|stream|health|stats|metrics|reload|prepare|activate|shutdown)"),
         )),
     }
 }
@@ -336,17 +391,7 @@ fn parse_extract(id: Value, value: &Value, ceilings: &Ceilings) -> Result<Reques
         let msg = format!("document is {} bytes; ceiling is {}", doc.len(), ceilings.max_doc_bytes);
         return Err(Reject::new(id, ErrorCode::TooLarge, msg));
     }
-    let tau = match value.get("tau") {
-        None => 0.8,
-        Some(v) => match v.as_f64() {
-            // NaN fails `t > 0.0`, infinities fail `t <= 1.0`: every
-            // pathological τ lands here with a structured error instead of
-            // reaching the engine's panic.
-            Some(t) if t > 0.0 && t <= 1.0 => t,
-            Some(t) => return Err(Reject::new(id, ErrorCode::BadRequest, format!("`tau` must be in (0, 1], got {t}"))),
-            None => return Err(Reject::new(id, ErrorCode::BadRequest, "`tau` must be a number")),
-        },
-    };
+    let tau = parse_tau(&id, value)?;
     let best = match value.get("best") {
         None => false,
         Some(v) => match v.as_bool() {
@@ -357,6 +402,9 @@ fn parse_extract(id: Value, value: &Value, ceilings: &Ceilings) -> Result<Reques
     let timeout_ms = optional_u64(&id, value, "timeout_ms")?;
     let max_matches = optional_u64(&id, value, "max_matches")?;
     let max_candidates = optional_u64(&id, value, "max_candidates")?;
+    // Like the budgets, `top_k` clamps to the match ceiling: a giant k is
+    // just "all matches, score-ordered", never an allocation lever.
+    let top_k = optional_u64(&id, value, "top_k")?.map(|k| (k as usize).min(ceilings.max_matches));
     // Clamp client budgets to the server ceilings: the client may only
     // tighten, never loosen. Absent fields get the full ceiling.
     let limits = ExtractLimits {
@@ -365,7 +413,56 @@ fn parse_extract(id: Value, value: &Value, ceilings: &Ceilings) -> Result<Reques
         max_candidates: Some(max_candidates.map_or(ceilings.max_candidates, |n| (n as usize).min(ceilings.max_candidates))),
         ..ExtractLimits::UNLIMITED
     };
-    Ok(Request::Extract(Box::new(ExtractRequest { id, doc, tau, best, limits })))
+    Ok(Request::Extract(Box::new(ExtractRequest { id, doc, tau, best, top_k, limits })))
+}
+
+/// Validates a request's `tau` field (default 0.8). NaN fails `t > 0.0`,
+/// infinities fail `t <= 1.0`: every pathological τ lands here with a
+/// structured error instead of reaching the engine's panic.
+fn parse_tau(id: &Value, value: &Value) -> Result<f64, Reject> {
+    match value.get("tau") {
+        None => Ok(0.8),
+        Some(v) => match v.as_f64() {
+            Some(t) if t > 0.0 && t <= 1.0 => Ok(t),
+            Some(t) => Err(Reject::new(id.clone(), ErrorCode::BadRequest, format!("`tau` must be in (0, 1], got {t}"))),
+            None => Err(Reject::new(id.clone(), ErrorCode::BadRequest, "`tau` must be a number")),
+        },
+    }
+}
+
+fn parse_stream(id: Value, value: &Value, ceilings: &Ceilings) -> Result<Request, Reject> {
+    let Some(stream) = value.get("stream").and_then(Value::as_u64) else {
+        return Err(Reject::new(id, ErrorCode::BadRequest, "`stream` requests need a numeric `stream` id"));
+    };
+    let Some(verb) = value.get("verb").and_then(Value::as_str) else {
+        return Err(Reject::new(id, ErrorCode::BadRequest, "missing or non-string `verb` field (open|feed|flush|close)"));
+    };
+    let verb = match verb {
+        "open" => StreamVerb::Open { tau: parse_tau(&id, value)? },
+        "feed" => {
+            let text = match value.get("text") {
+                Some(v) => match v.as_str() {
+                    Some(s) => s.to_string(),
+                    None => return Err(Reject::new(id, ErrorCode::BadRequest, "`text` must be a string")),
+                },
+                None => return Err(Reject::new(id, ErrorCode::BadRequest, "`feed` needs a `text` field")),
+            };
+            // Each chunk obeys the same ceiling as an extract `doc`; the
+            // stream's *carried* bytes stay bounded by the engine's window
+            // length, not by chunk count.
+            if text.len() > ceilings.max_doc_bytes {
+                let msg = format!("chunk is {} bytes; ceiling is {}", text.len(), ceilings.max_doc_bytes);
+                return Err(Reject::new(id, ErrorCode::TooLarge, msg));
+            }
+            StreamVerb::Feed { text }
+        }
+        "flush" => StreamVerb::Flush,
+        "close" => StreamVerb::Close,
+        other => {
+            return Err(Reject::new(id, ErrorCode::BadRequest, format!("unknown stream verb `{other}` (open|feed|flush|close)")));
+        }
+    };
+    Ok(Request::Stream(Box::new(StreamRequest { id, stream, verb })))
 }
 
 /// Parses a bare delta body (the reload fields without the `type`/`id`
@@ -466,6 +563,76 @@ mod tests {
         assert_eq!(req.limits.deadline, Some(ceilings().max_timeout), "timeout clamps down to the ceiling");
         assert_eq!(req.limits.max_matches, Some(5), "client may tighten");
         assert_eq!(req.limits.max_candidates, Some(ceilings().max_candidates));
+    }
+
+    #[test]
+    fn top_k_parses_and_clamps() {
+        let r = parse(r#"{"type":"extract","doc":"x","top_k":3}"#).unwrap();
+        let Request::Extract(req) = r else { panic!("expected extract") };
+        assert_eq!(req.top_k, Some(3));
+        let r = parse(r#"{"type":"extract","doc":"x"}"#).unwrap();
+        let Request::Extract(req) = r else { panic!("expected extract") };
+        assert_eq!(req.top_k, None, "absent means all matches, span-ordered");
+        let r = parse(r#"{"type":"extract","doc":"x","top_k":99999999}"#).unwrap();
+        let Request::Extract(req) = r else { panic!("expected extract") };
+        assert_eq!(req.top_k, Some(ceilings().max_matches), "k clamps to the match ceiling");
+        assert_eq!(parse(r#"{"type":"extract","doc":"x","top_k":-2}"#).unwrap_err().code, ErrorCode::BadRequest);
+        assert_eq!(parse(r#"{"type":"extract","doc":"x","top_k":"all"}"#).unwrap_err().code, ErrorCode::BadRequest);
+    }
+
+    #[test]
+    fn stream_verbs_parse() {
+        let r = parse(r#"{"id":1,"type":"stream","verb":"open","stream":7,"tau":0.9}"#).unwrap();
+        let Request::Stream(req) = r else { panic!("expected stream") };
+        assert_eq!(req.stream, 7);
+        let StreamVerb::Open { tau } = req.verb else { panic!("expected open") };
+        assert_eq!(tau, 0.9);
+
+        let r = parse(r#"{"type":"stream","verb":"feed","stream":7,"text":"some chu"}"#).unwrap();
+        let Request::Stream(req) = r else { panic!("expected stream") };
+        let StreamVerb::Feed { text } = req.verb else { panic!("expected feed") };
+        assert_eq!(text, "some chu");
+
+        for (line, expect_flush) in [
+            (r#"{"type":"stream","verb":"flush","stream":0}"#, true),
+            (r#"{"type":"stream","verb":"close","stream":0}"#, false),
+        ] {
+            let Request::Stream(req) = parse(line).unwrap() else {
+                panic!("expected stream")
+            };
+            assert_eq!(matches!(req.verb, StreamVerb::Flush), expect_flush, "{line}");
+        }
+    }
+
+    #[test]
+    fn stream_open_defaults_tau() {
+        let Request::Stream(req) = parse(r#"{"type":"stream","verb":"open","stream":1}"#).unwrap() else {
+            panic!("expected stream")
+        };
+        let StreamVerb::Open { tau } = req.verb else { panic!("expected open") };
+        assert_eq!(tau, 0.8);
+    }
+
+    #[test]
+    fn malformed_stream_requests_are_bad_requests() {
+        for line in [
+            r#"{"type":"stream","verb":"open"}"#,
+            r#"{"type":"stream","stream":1}"#,
+            r#"{"type":"stream","verb":"devour","stream":1}"#,
+            r#"{"type":"stream","verb":"open","stream":"one"}"#,
+            r#"{"type":"stream","verb":"open","stream":1,"tau":0}"#,
+            r#"{"type":"stream","verb":"feed","stream":1}"#,
+            r#"{"type":"stream","verb":"feed","stream":1,"text":5}"#,
+        ] {
+            assert_eq!(parse(line).unwrap_err().code, ErrorCode::BadRequest, "{line}");
+        }
+    }
+
+    #[test]
+    fn oversized_stream_chunk_is_too_large() {
+        let c = Ceilings { max_doc_bytes: 8, ..Ceilings::default() };
+        let e = parse_request(r#"{"type":"stream","verb":"feed","stream":1,"text":"123456789"}"#, &c).unwrap_err();
+        assert_eq!(e.code, ErrorCode::TooLarge);
     }
 
     #[test]

@@ -39,15 +39,18 @@
 //!   the hot path.
 
 use crate::protocol::{
-    delta_value, error_line, ok_line, parse_delta, parse_request, Ceilings, ErrorCode, ExtractRequest, Reject, ReloadRequest, Request,
+    delta_value, error_line, ok_line, parse_delta, parse_request, Ceilings, ErrorCode, ExtractRequest, Reject, ReloadRequest, Request, StreamRequest,
+    StreamVerb,
 };
-use aeetes_core::{suppress_overlaps, CancelToken, ExtractBackend, ExtractLimits, ExtractScratch, Match, Stage, Wal};
-use aeetes_obs::{Counter, ExtractCounts, ExtractMetrics, Gauge, Histogram, MetricRegistry, WalMetrics};
+use aeetes_core::{select_top_k, suppress_overlaps, CancelToken, ExtractBackend, ExtractLimits, ExtractScratch, Match, Stage, Wal};
+use aeetes_obs::{Counter, ExtractCounts, ExtractMetrics, Gauge, Histogram, MetricRegistry, StreamMetrics, WalMetrics};
 use aeetes_pool::Pool;
 use aeetes_shard::{DictDelta, Generation, RuleDelta, ShardedEngine};
+use aeetes_stream::{StreamExtractor, StreamMatch};
 use aeetes_text::{Document, EntityId, Interner, Tokenizer};
 use serde_json::{json, Number, Value};
 use std::cell::RefCell;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -137,6 +140,9 @@ struct ServeMetrics {
     /// The `aeetes_wal_*` family (registered even without `--wal`, so the
     /// scrape shape is stable; all zeros when no log is attached).
     wal: WalMetrics,
+    /// The `aeetes_stream*` family: open-stream gauge, chunk/emission
+    /// counters, carried-byte gauge, flush latency.
+    stream: StreamMetrics,
     /// Shard-counter values already pushed into the per-shard counter
     /// families, so a scrape increments each by its delta (the engine's
     /// shard counters are cumulative; obs counters only go up).
@@ -170,6 +176,7 @@ impl ServeMetrics {
             conns_rejected: registry.counter("aeetes_conns_rejected_total", "Connections refused by the --max-conns cap"),
             idle_closed: registry.counter("aeetes_idle_closed_total", "Connections closed by the per-connection idle read timeout"),
             wal: WalMetrics::register(&registry),
+            stream: StreamMetrics::register(&registry),
             shard_last: Mutex::new(Vec::new()),
             route_sequential: registry
                 .counter("aeetes_pool_route_sequential_total", "Sharded extractions run shard-sequentially on the calling thread"),
@@ -271,6 +278,8 @@ impl Shared {
             "control": m.control.value(),
             "queue_depth": m.queue_depth.value(),
             "in_flight": m.in_flight.value(),
+            "streams_open": m.stream.open.value(),
+            "stream_carried_bytes": m.stream.carried_bytes.value(),
             "latency_p50_us": quantile(0.50),
             "latency_p99_us": quantile(0.99),
             "latency_samples": samples,
@@ -495,6 +504,18 @@ fn run_job(shared: &Shared, generation: &Generation, interner: &mut Interner, sc
         } else {
             out.matches
         };
+        // `top_k` post-filters whatever survived `best`, reordering by
+        // score (best first) — the same contract as `extract --top-k`.
+        let top;
+        let matches: &[Match] = match job.req.top_k {
+            Some(k) => {
+                let mut kept = matches.to_vec();
+                select_top_k(&mut kept, k);
+                top = kept;
+                &top
+            }
+            None => matches,
+        };
         let rendered: Vec<Value> = matches
             .iter()
             .map(|m| {
@@ -552,6 +573,237 @@ fn delta_of(req: ReloadRequest) -> (Value, DictDelta) {
         add_rules: req.add_rules.into_iter().map(|(lhs, rhs, weight)| RuleDelta { lhs, rhs, weight }).collect(),
     };
     (req.id, delta)
+}
+
+/// One open stream of a connection: the incremental extractor, the engine
+/// generation pinned at `open` (a hot reload never disturbs a stream
+/// mid-document), and a stream-local interner clone for parsing chunks.
+struct StreamState {
+    extractor: StreamExtractor,
+    generation: Arc<Generation>,
+    interner: Interner,
+    /// `carried_bytes()` after the last verb, so the global carried-bytes
+    /// gauge advances by delta.
+    last_carried: i64,
+}
+
+/// All streams of one connection, keyed by the client-chosen id.
+///
+/// Owns the exactly-once close guarantee: every stream opened on the
+/// connection is answered with exactly one `closed` event — by an explicit
+/// `close` verb, or by the drop path when the connection ends for any
+/// other reason (EOF, read error, idle timeout, server drain, or a panic
+/// escaping the handler). Each open stream also holds one admission slot
+/// (`Shared::queued`), so a drain waits for streams to close and a
+/// connection cannot open unbounded per-stream buffers.
+struct ConnStreams {
+    shared: Arc<Shared>,
+    sink: Sink,
+    streams: HashMap<u64, StreamState>,
+}
+
+/// Renders one stream match for the wire. `start`/`len` are global token
+/// coordinates over the whole stream; `byte_start`/`byte_end` index the
+/// decoded byte stream (for valid UTF-8 input, the concatenated chunks).
+fn stream_match_value(m: &StreamMatch, generation: &Generation) -> Value {
+    json!({
+        "start": m.start,
+        "len": m.len,
+        "score": m.score,
+        "entity": m.entity.0,
+        "entity_text": generation.dictionary().record(m.entity).raw,
+        "byte_start": m.byte_start,
+        "byte_end": m.byte_end,
+    })
+}
+
+impl ConnStreams {
+    fn new(shared: Arc<Shared>, sink: Sink) -> Self {
+        ConnStreams { shared, sink, streams: HashMap::new() }
+    }
+
+    /// Handles one parsed stream request, answering exactly one line (plus
+    /// the separate `closed` event line for `close`).
+    fn handle(&mut self, req: StreamRequest) {
+        let StreamRequest { id, stream, verb } = req;
+        let m = &self.shared.metrics;
+        match verb {
+            StreamVerb::Open { tau } => {
+                if self.shared.draining.load(Ordering::Relaxed) {
+                    m.shed.inc(1);
+                    respond(&self.sink, &error_line(&Reject { id, code: ErrorCode::Shedding, message: "server is draining".into() }));
+                    return;
+                }
+                if self.streams.contains_key(&stream) {
+                    m.failed.inc(1);
+                    let msg = format!("stream {stream} is already open on this connection");
+                    respond(&self.sink, &error_line(&Reject { id, code: ErrorCode::BadRequest, message: msg }));
+                    return;
+                }
+                // An open stream holds one admission slot until it closes:
+                // per-stream buffering is counted against the same bounded
+                // capacity as queued extract requests.
+                if self.shared.queued.fetch_add(1, Ordering::SeqCst) >= self.shared.queue_cap {
+                    self.shared.queued.fetch_sub(1, Ordering::SeqCst);
+                    m.shed.inc(1);
+                    respond(&self.sink, &error_line(&Reject { id, code: ErrorCode::Shedding, message: "request queue is full".into() }));
+                    return;
+                }
+                let generation = self.shared.engine.snapshot();
+                let state = StreamState {
+                    extractor: StreamExtractor::new(&*generation, tau),
+                    interner: generation.interner().clone(),
+                    generation,
+                    last_carried: 0,
+                };
+                let generation_id = state.generation.id();
+                self.streams.insert(stream, state);
+                m.stream.open.add(1);
+                m.stream.opened.inc(1);
+                m.control.inc(1);
+                respond(
+                    &self.sink,
+                    &json!({"id": id, "status": "ok", "stream": stream, "event": "opened", "generation": generation_id}).to_string(),
+                );
+            }
+            StreamVerb::Feed { text } => {
+                let Some(state) = self.streams.get_mut(&stream) else {
+                    m.failed.inc(1);
+                    respond(&self.sink, &error_line(&Reject { id, code: ErrorCode::BadRequest, message: format!("stream {stream} is not open") }));
+                    return;
+                };
+                let shared = &self.shared;
+                // Same isolation contract as extract jobs: a panicking
+                // chunk answers `internal` and force-closes only this
+                // stream; the connection and its other streams survive.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let matches = state.extractor.feed(&*state.generation, &shared.tokenizer, &mut state.interner, text.as_bytes());
+                    let rendered: Vec<Value> = matches.iter().map(|mm| stream_match_value(mm, &state.generation)).collect();
+                    (rendered, matches.len() as u64, state.extractor.carried_tokens())
+                }));
+                match outcome {
+                    Ok((rendered, emitted, carried_tokens)) => {
+                        let carried = state.extractor.carried_bytes() as i64;
+                        m.stream.observe_chunk(emitted, carried - state.last_carried);
+                        state.last_carried = carried;
+                        m.control.inc(1);
+                        let line = json!({
+                            "id": id,
+                            "status": "ok",
+                            "stream": stream,
+                            "event": "matches",
+                            "matches": rendered,
+                            "carried_tokens": carried_tokens,
+                        });
+                        respond(&self.sink, &line.to_string());
+                    }
+                    Err(_) => {
+                        m.failed.inc(1);
+                        let msg = "stream feed panicked; fault isolated, stream closed".to_string();
+                        respond(&self.sink, &error_line(&Reject { id, code: ErrorCode::Internal, message: msg }));
+                        // The extractor's carry state is suspect after a
+                        // panic: close without flushing.
+                        self.close_stream(stream, Value::Null, false, "error");
+                    }
+                }
+            }
+            StreamVerb::Flush => {
+                let Some(state) = self.streams.get_mut(&stream) else {
+                    m.failed.inc(1);
+                    respond(&self.sink, &error_line(&Reject { id, code: ErrorCode::BadRequest, message: format!("stream {stream} is not open") }));
+                    return;
+                };
+                let shared = &self.shared;
+                let started = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let matches = state.extractor.finish(&*state.generation, &shared.tokenizer, &mut state.interner);
+                    let rendered: Vec<Value> = matches.iter().map(|mm| stream_match_value(mm, &state.generation)).collect();
+                    (rendered, matches.len() as u64)
+                }));
+                match outcome {
+                    Ok((rendered, emitted)) => {
+                        m.stream.flush_nanos.observe_nanos(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                        let carried = state.extractor.carried_bytes() as i64;
+                        m.stream.emitted.inc(emitted);
+                        m.stream.carried_bytes.add(carried - state.last_carried);
+                        state.last_carried = carried;
+                        m.control.inc(1);
+                        respond(
+                            &self.sink,
+                            &json!({"id": id, "status": "ok", "stream": stream, "event": "flushed", "matches": rendered}).to_string(),
+                        );
+                    }
+                    Err(_) => {
+                        m.failed.inc(1);
+                        let msg = "stream flush panicked; fault isolated, stream closed".to_string();
+                        respond(&self.sink, &error_line(&Reject { id, code: ErrorCode::Internal, message: msg }));
+                        self.close_stream(stream, Value::Null, false, "error");
+                    }
+                }
+            }
+            StreamVerb::Close => {
+                if !self.streams.contains_key(&stream) {
+                    m.failed.inc(1);
+                    respond(&self.sink, &error_line(&Reject { id, code: ErrorCode::BadRequest, message: format!("stream {stream} is not open") }));
+                    return;
+                }
+                m.control.inc(1);
+                self.close_stream(stream, id, true, "close");
+            }
+        }
+    }
+
+    /// Closes one stream: optionally flushes the tail, emits the single
+    /// `closed` event (with any final matches), and releases the stream's
+    /// admission slot and gauges. Removing the entry first makes the event
+    /// unrepeatable — this is the exactly-once point.
+    fn close_stream(&mut self, stream: u64, id: Value, flush: bool, reason: &str) {
+        let Some(mut state) = self.streams.remove(&stream) else { return };
+        let m = &self.shared.metrics;
+        let shared = &self.shared;
+        let rendered: Vec<Value> = if flush {
+            let started = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let matches = state.extractor.finish(&*state.generation, &shared.tokenizer, &mut state.interner);
+                m.stream.emitted.inc(matches.len() as u64);
+                matches.iter().map(|mm| stream_match_value(mm, &state.generation)).collect()
+            }));
+            m.stream.flush_nanos.observe_nanos(u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            outcome.unwrap_or_default() // a panicking final flush still closes cleanly
+        } else {
+            Vec::new()
+        };
+        m.stream.carried_bytes.add(-state.last_carried);
+        m.stream.open.add(-1);
+        m.stream.closed.inc(1);
+        self.shared.queued.fetch_sub(1, Ordering::SeqCst);
+        let line = json!({
+            "id": id,
+            "status": "ok",
+            "stream": stream,
+            "event": "closed",
+            "reason": reason,
+            "matches": rendered,
+        });
+        respond(&self.sink, &line.to_string());
+    }
+}
+
+impl Drop for ConnStreams {
+    fn drop(&mut self) {
+        let reason = if self.shared.draining.load(Ordering::Relaxed) {
+            "drain"
+        } else {
+            "disconnect"
+        };
+        let open: Vec<u64> = self.streams.keys().copied().collect();
+        for stream in open {
+            // The peer may already be gone (`respond` swallows write
+            // errors); what matters is that accounting releases and the
+            // event is emitted exactly once even on abrupt ends.
+            self.close_stream(stream, Value::Null, true, reason);
+        }
+    }
 }
 
 /// Outcome of reading one protocol line from a connection.
@@ -651,6 +903,12 @@ fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink) ->
     // one extra KiB covers the envelope fields.
     let line_cap = shared.ceilings.max_doc_bytes.saturating_mul(2).saturating_add(1024);
     let mut lines = LineReader::new(line_cap);
+    // Streams opened on this connection. Dropping this on ANY exit path —
+    // EOF, read error, idle timeout, drain, shutdown — closes each open
+    // stream with its single `closed` event and releases its admission
+    // slot, so drains and disconnects answer in-flight streams exactly
+    // once.
+    let mut conn_streams = ConnStreams::new(Arc::clone(shared), Arc::clone(sink));
     // Only completed reads reset this clock, so a peer trickling one byte
     // per poll interval still idles out (see `ServeOptions::idle_timeout`).
     let mut last_activity = Instant::now();
@@ -719,6 +977,8 @@ fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink) ->
                     "health": status,
                     "draining": draining,
                     "generation": shared.engine.generation_id(),
+                    "open_streams": shared.metrics.stream.open.value(),
+                    "stream_carried_bytes": shared.metrics.stream.carried_bytes.value(),
                 });
                 respond(sink, &line.to_string());
             }
@@ -852,6 +1112,12 @@ fn serve_stream(shared: &Arc<Shared>, reader: &mut impl BufRead, sink: &Sink) ->
                         respond(sink, &error_line(&Reject { id, code: ErrorCode::Conflict, message: e.to_string() }));
                     }
                 }
+            }
+            Ok(Request::Stream(req)) => {
+                // Stream verbs run inline on this reader thread: a stream
+                // is sequential by construction (chunk order matters), so
+                // pooling them would only add queueing latency.
+                conn_streams.handle(*req);
             }
             Ok(Request::Shutdown(id)) => {
                 shared.metrics.control.inc(1);

@@ -116,6 +116,65 @@ fn metric_flag_accepted_and_validated() {
 }
 
 #[test]
+fn top_k_and_stream_flags_parse_and_validate() {
+    let dir = workdir("topk");
+    let dict = dir.join("dict.txt");
+    let rules = dir.join("rules.tsv");
+    let docs = dir.join("docs.txt");
+    let engine = dir.join("engine.aeet");
+    fs::write(&dict, "alpha beta gamma\nbeta gamma\n").unwrap();
+    fs::write(&rules, "alpha\ta1\n").unwrap();
+    fs::write(&docs, "alpha beta gamma and beta gamma again\n").unwrap();
+    commands::build(&argv(&[
+        s("--dict"),
+        dict.display().to_string(),
+        s("--rules"),
+        rules.display().to_string(),
+        s("--out"),
+        engine.display().to_string(),
+    ]))
+    .unwrap();
+    let base = [s("--engine"), engine.display().to_string(), s("--docs"), docs.display().to_string()];
+
+    // Both `--top-k K` and `--top-k=K` spellings work.
+    for spelling in [vec![s("--top-k"), s("2")], vec![s("--top-k=2")]] {
+        let mut args = base.to_vec();
+        args.extend(spelling);
+        commands::extract(&argv(&args)).expect("--top-k extract succeeds");
+    }
+
+    // Bad values and near-miss flags are rejected with pointed messages.
+    let mut args = base.to_vec();
+    args.extend([s("--top-k"), s("0")]);
+    assert!(commands::extract(&argv(&args)).unwrap_err().contains("--top-k"));
+    let mut args = base.to_vec();
+    args.extend([s("--top-k"), s("abc")]);
+    assert!(commands::extract(&argv(&args)).unwrap_err().contains("--top-k"));
+    let mut args = base.to_vec();
+    args.extend([s("--top-q"), s("2")]);
+    let err = commands::extract(&argv(&args)).unwrap_err();
+    assert!(err.contains("unknown flag") && err.contains("--top-k"), "near-miss must name the real flag: {err}");
+
+    // Exactness guard: --top-k refuses --best and extraction budgets.
+    let mut args = base.to_vec();
+    args.extend([s("--top-k"), s("2"), s("--best")]);
+    assert!(commands::extract(&argv(&args)).unwrap_err().contains("--best"));
+    let mut args = base.to_vec();
+    args.extend([s("--top-k"), s("2"), s("--max-matches"), s("5")]);
+    assert!(commands::extract(&argv(&args)).unwrap_err().contains("--top-k"));
+
+    // --stream reads one document from stdin: batch-shaped flags are
+    // rejected up front (before any stdin read).
+    for extra in [vec![s("--docs"), docs.display().to_string()], vec![s("--top-k"), s("2")], vec![s("--best")]] {
+        let mut args = vec![s("--engine"), engine.display().to_string(), s("--stream")];
+        args.extend(extra.clone());
+        let err = commands::extract(&argv(&args)).unwrap_err();
+        assert!(err.contains("--stream"), "{extra:?}: {err}");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn helpful_errors_for_missing_files_and_flags() {
     assert!(commands::build(&argv(&[s("--dict"), s("/nonexistent/x")])).is_err());
     let err = commands::extract(&argv(&[])).unwrap_err();

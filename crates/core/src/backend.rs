@@ -112,6 +112,14 @@ pub trait ExtractBackend: Send + Sync {
     /// The engine configuration.
     fn config(&self) -> &AeetesConfig;
 
+    /// The `(min, max)` distinct token-set length range of the indexed
+    /// dictionary, or `None` when it is empty. This is the range that
+    /// bounds window enumeration; streaming extraction derives its tail
+    /// retention from it. A sharded engine reports the dictionary-global
+    /// range (not a shard-local one) for the same reason
+    /// [`extract_segment`] takes the global override.
+    fn set_len_range(&self) -> Option<(usize, usize)>;
+
     /// Extracts under explicit limits and an optional cancellation token,
     /// with the backend's configured strategy/metric. Matches are sorted by
     /// `(span, entity)`; `truncated` reports whether any budget (or the
@@ -159,6 +167,10 @@ impl ExtractBackend for Aeetes {
 
     fn config(&self) -> &AeetesConfig {
         Aeetes::config(self)
+    }
+
+    fn set_len_range(&self) -> Option<(usize, usize)> {
+        self.index().min_set_len().zip(self.index().max_set_len())
     }
 
     fn extract_limited(&self, doc: &Document, tau: f64, limits: &ExtractLimits, cancel: Option<&CancelToken>) -> ExtractOutcome {

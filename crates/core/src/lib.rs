@@ -87,7 +87,7 @@ pub use scratch::{ExtractScratch, ScratchOutcome, SegmentScratch};
 pub use stage::{Stage, StageSlots, SAMPLE_MASK};
 pub use stats::{ExtractStats, LatencyRing};
 pub use strategy::{generate_candidates, Strategy};
-pub use topk::extract_top_k;
+pub use topk::{extract_top_k, extract_top_k_with, select_top_k};
 pub use typo::{extract_fuzzy, FuzzyConfig};
 pub use wal::{Wal, WalError, WalRecord, WalReplay};
 pub use window::{DenseRemap, WindowState};

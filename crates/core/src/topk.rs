@@ -1,16 +1,70 @@
 //! Top-k extraction (extension): the k best-scoring pairs above a floor.
+//!
+//! [`extract_top_k`] no longer extracts everything at the floor and
+//! truncates. It runs a *bound-pruned* scan: a max-size-k heap keeps the
+//! best matches seen so far, and the effective threshold τ ratchets up from
+//! `tau_floor` to the k-th best score as the heap fills. Every per-metric
+//! filter bound ([`Metric::prefix_len`], [`Metric::length_bounds`],
+//! [`metric_window_bounds`]) is re-derived at the ratcheted τ, so whole
+//! window lengths — and eventually whole document suffixes — are skipped
+//! once they cannot beat the current k-th best score.
+//!
+//! Soundness: the heap's k-th best score is always ≤ the true k-th best
+//! score, so any pair that belongs in the final top-k scores ≥ the ratcheted
+//! τ at the moment its start position is scanned — the thresholded
+//! extraction at that τ finds it (the τ-filters admit every pair scoring
+//! ≥ τ, and verification is exact). Window starts are visited left to
+//! right and each span is generated only at its own start position, so no
+//! pair is seen twice. The result is therefore *identical* to "extract all
+//! at `tau_floor`, sort by (score desc, span, entity), truncate to k" — the
+//! naive oracle kept in the test module — while examining strictly fewer
+//! candidates whenever the ratchet rises above the floor.
 
+use crate::candidates::scan_clustered;
 use crate::extractor::Aeetes;
+use crate::limits::{Budget, ExtractLimits};
 use crate::matches::Match;
-use aeetes_text::Document;
+use crate::stats::ExtractStats;
+use crate::verify::verify_candidates;
+use aeetes_index::metric_window_bounds;
+use aeetes_sim::Metric;
+use aeetes_text::{Document, Span};
+use std::collections::BinaryHeap;
 
-/// Returns the `k` highest-scoring `(entity, substring)` pairs with
-/// `JaccAR ≥ tau_floor`, ties broken by `(span, entity)` for determinism.
-///
-/// This runs a thresholded extraction at `tau_floor` and keeps the best `k`;
-/// choose the floor as the lowest score you are willing to surface.
-pub fn extract_top_k(engine: &Aeetes, doc: &Document, k: usize, tau_floor: f64) -> Vec<Match> {
-    let mut matches = engine.extract(doc, tau_floor);
+/// Heap entry ordered so the *worst* match is the heap maximum: lower score
+/// is "greater", and among equal scores the larger `(span, entity)` key is
+/// "greater" (it would be truncated first by the canonical top-k order).
+#[derive(Debug, Clone, Copy)]
+struct Worst(Match);
+
+impl PartialEq for Worst {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Worst {}
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Scores are exact similarity values in (0, 1] — never NaN.
+        other
+            .0
+            .score
+            .partial_cmp(&self.0.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| self.0.sort_key().cmp(&other.0.sort_key()))
+    }
+}
+
+/// Sorts `matches` into the canonical top-k order — score descending, ties
+/// by `(span, entity)` ascending — and truncates to `k`. This is the exact
+/// post-filter the pruned scan is equivalent to; servers use it to apply a
+/// `top_k` request field over an already-extracted result.
+pub fn select_top_k(matches: &mut Vec<Match>, k: usize) {
     matches.sort_by(|a, b| {
         b.score
             .partial_cmp(&a.score)
@@ -18,15 +72,125 @@ pub fn extract_top_k(engine: &Aeetes, doc: &Document, k: usize, tau_floor: f64) 
             .then_with(|| a.sort_key().cmp(&b.sort_key()))
     });
     matches.truncate(k);
-    matches
+}
+
+/// Returns the `k` highest-scoring `(entity, substring)` pairs with
+/// `score ≥ tau_floor` under the engine's configured metric, ties broken by
+/// `(span, entity)` for determinism. Equivalent to extracting everything at
+/// `tau_floor` and keeping the best `k`, but bound-pruned: the effective
+/// threshold ratchets up to the current k-th best score, shrinking the
+/// window-length and prefix filters as the scan proceeds.
+///
+/// # Panics
+/// Panics when `tau_floor` is not in `(0, 1]`.
+pub fn extract_top_k(engine: &Aeetes, doc: &Document, k: usize, tau_floor: f64) -> Vec<Match> {
+    extract_top_k_with(engine, doc, k, tau_floor, engine.config().metric).0
+}
+
+/// [`extract_top_k`] under an explicit metric, also returning the work
+/// counters of the pruned scan (the bench harness counter-asserts these
+/// against a full extraction).
+///
+/// # Panics
+/// Panics when `tau_floor` is not in `(0, 1]`.
+pub fn extract_top_k_with(engine: &Aeetes, doc: &Document, k: usize, tau_floor: f64, metric: Metric) -> (Vec<Match>, ExtractStats) {
+    assert!(tau_floor > 0.0 && tau_floor <= 1.0, "similarity threshold must be in (0, 1], got {tau_floor}");
+    let mut stats = ExtractStats::default();
+    if k == 0 {
+        return (Vec::new(), stats);
+    }
+    let index = engine.index();
+    let dd = engine.derived();
+    let set_bounds = (index.min_set_len(), index.max_set_len());
+    let order = index.order();
+    let n = doc.len();
+
+    let mut remap = crate::window::DenseRemap::new();
+    remap.build(doc.tokens().iter().map(|&t| order.key(t)));
+
+    let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(k + 1);
+    let mut sink = crate::candidates::CandidateSink::default();
+    let mut buf: Vec<u32> = Vec::new();
+    let mut s_keys: Vec<u64> = Vec::new();
+    let mut verified: Vec<Match> = Vec::new();
+    let mut budget = Budget::start(&ExtractLimits::UNLIMITED);
+
+    for p in 0..n {
+        // The ratcheted threshold: once the heap holds k matches, nothing
+        // scoring below (or tying above, by sort key) the worst of them can
+        // enter — so the worst score is a sound extraction threshold. The
+        // comparison stays inclusive (≥) to keep equal-score, smaller-key
+        // pairs discoverable.
+        let tau_cur = match heap.peek() {
+            Some(worst) if heap.len() == k => tau_floor.max(worst.0.score),
+            _ => tau_floor,
+        };
+        // Window bounds tighten as τ rises: `min` only grows and `max` only
+        // shrinks, so once the shortest admissible window no longer fits in
+        // the remaining suffix, no later position can produce a match.
+        let Some(bounds) = metric_window_bounds(set_bounds.0, set_bounds.1, tau_cur, metric) else {
+            break;
+        };
+        let lmax = bounds.max.min(n - p);
+        if bounds.min > lmax {
+            break;
+        }
+        stats.windows += 1;
+        sink.clear();
+        for l in bounds.min..=lmax {
+            stats.substrings += 1;
+            stats.prefix_builds += 1;
+            buf.clear();
+            buf.extend_from_slice(&remap.doc_ranks()[p..p + l]);
+            buf.sort_unstable();
+            buf.dedup();
+            let s_len = buf.len();
+            let plen = metric.prefix_len(s_len, tau_cur);
+            let span = Span::new(p, l);
+            for &r in &buf[..plen] {
+                if !remap.is_valid_rank(r) {
+                    continue; // invalid token: empty posting list
+                }
+                let t = order.token_of(remap.key_of(r));
+                scan_clustered(index, t, span, s_len, tau_cur, metric, &mut sink, &mut stats);
+            }
+        }
+        // Verify this position's candidates immediately so the ratchet can
+        // rise before the next position is scanned.
+        verify_candidates(index, dd, doc, tau_cur, metric, &mut sink.pairs, &mut stats, false, &mut budget, &mut s_keys, &mut verified);
+        for &m in &verified {
+            if heap.len() < k {
+                heap.push(Worst(m));
+            } else if let Some(worst) = heap.peek() {
+                if m.score > worst.0.score || (m.score == worst.0.score && m.sort_key() < worst.0.sort_key()) {
+                    heap.pop();
+                    heap.push(Worst(m));
+                }
+            }
+        }
+    }
+
+    let mut out: Vec<Match> = heap.into_iter().map(|w| w.0).collect();
+    select_top_k(&mut out, k);
+    (out, stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::AeetesConfig;
+    use crate::strategy::Strategy;
     use aeetes_rules::RuleSet;
     use aeetes_text::{Dictionary, Interner, Tokenizer};
+    use proptest::prelude::*;
+
+    /// The pre-pruning implementation, kept verbatim as the equivalence
+    /// oracle: extract everything at the floor, sort, truncate.
+    fn naive_top_k(engine: &Aeetes, doc: &Document, k: usize, tau_floor: f64) -> Vec<Match> {
+        let mut matches = engine.extract(doc, tau_floor);
+        select_top_k(&mut matches, k);
+        matches
+    }
 
     fn engine() -> (Aeetes, Interner, Tokenizer) {
         let mut int = Interner::new();
@@ -62,5 +226,68 @@ mod tests {
         let all = e.extract(&doc, 0.5);
         let top = extract_top_k(&e, &doc, 100, 0.5);
         assert_eq!(top.len(), all.len());
+    }
+
+    #[test]
+    fn pruned_equals_naive_on_fixture() {
+        let (e, mut int, tok) = engine();
+        let doc = Document::parse("machine learning systems and other learning systems in machine learning", &tok, &mut int);
+        for k in [1, 2, 3, 5, 100] {
+            for tau in [0.3, 0.5, 0.8, 1.0] {
+                assert_eq!(extract_top_k(&e, &doc, k, tau), naive_top_k(&e, &doc, k, tau), "k={k} tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_k_examines_fewer_candidates() {
+        let (e, mut int, tok) = engine();
+        let text = "machine learning systems and other learning systems in machine learning \
+                    plus machine learning systems again and yet more learning systems"
+            .to_string();
+        let doc = Document::parse(&text, &tok, &mut int);
+        let (_, full) = e.extract_with(&doc, 0.3, Strategy::Simple);
+        let (_, pruned) = extract_top_k_with(&e, &doc, 1, 0.3, Metric::Jaccard);
+        assert!(
+            pruned.candidates < full.candidates,
+            "pruned ({}) should examine fewer candidates than full ({})",
+            pruned.candidates,
+            full.candidates
+        );
+    }
+
+    /// Small vocabulary so generated documents actually hit the dictionary.
+    fn word(i: u8) -> &'static str {
+        ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"][i as usize % 6]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn pruned_equals_naive(
+            words in proptest::collection::vec(0u8..6, 0..24),
+            k in 0usize..8,
+            tau_idx in 0usize..4,
+        ) {
+            let tau_floor = [0.4, 0.6, 0.8, 1.0][tau_idx];
+            let mut int = Interner::new();
+            let tok = Tokenizer::default();
+            let mut dict = Dictionary::new();
+            dict.push("alpha beta gamma", &tok, &mut int);
+            dict.push("beta gamma", &tok, &mut int);
+            dict.push("delta epsilon", &tok, &mut int);
+            dict.push("zeta", &tok, &mut int);
+            let mut rules = RuleSet::new();
+            rules.push_str("zeta", "epsilon delta", &tok, &mut int).unwrap();
+            let text: String = words.iter().map(|&w| word(w)).collect::<Vec<_>>().join(" ");
+            for strategy in Strategy::ALL {
+                let config = AeetesConfig { strategy, ..AeetesConfig::default() };
+                let engine = Aeetes::build(dict.clone(), &rules, &int, config);
+                let doc = Document::parse(&text, &tok, &mut int);
+                let pruned = extract_top_k(&engine, &doc, k, tau_floor);
+                let naive = naive_top_k(&engine, &doc, k, tau_floor);
+                prop_assert_eq!(pruned, naive, "strategy {} k {} tau {}", strategy, k, tau_floor);
+            }
+        }
     }
 }

@@ -22,6 +22,7 @@ mod fleet;
 mod pool;
 mod registry;
 mod stage;
+mod stream;
 mod wal;
 
 pub use export::{json, prometheus_text};
@@ -29,6 +30,7 @@ pub use fleet::{FleetMetrics, ReplicaMetrics};
 pub use pool::PoolMetrics;
 pub use registry::{Counter, Gauge, Histogram, MetricRegistry, MetricSnapshot, MetricValue};
 pub use stage::{Stage, StageSlots, StageTimer, SAMPLE_MASK};
+pub use stream::StreamMetrics;
 pub use wal::WalMetrics;
 
 /// Work counters of one extraction, mirrored as plain integers so engine

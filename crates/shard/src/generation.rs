@@ -281,6 +281,13 @@ impl Generation {
         self.shards.len()
     }
 
+    /// Dictionary-global `(min, max)` distinct-set length range — the same
+    /// range every shard extraction is bounded by, so streaming callers
+    /// derive the same tail retention a monolithic engine would.
+    pub fn set_len_range(&self) -> Option<(usize, usize)> {
+        self.set_len_bounds
+    }
+
     /// Total derived variants across all shards.
     pub fn variants(&self) -> usize {
         self.shards.iter().map(|s| s.dd.len()).sum()
@@ -338,6 +345,10 @@ impl ExtractBackend for Generation {
 
     fn config(&self) -> &AeetesConfig {
         &self.config
+    }
+
+    fn set_len_range(&self) -> Option<(usize, usize)> {
+        self.set_len_bounds
     }
 
     fn extract_limited(&self, doc: &Document, tau: f64, limits: &ExtractLimits, cancel: Option<&CancelToken>) -> ExtractOutcome {

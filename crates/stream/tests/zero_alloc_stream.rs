@@ -1,0 +1,97 @@
+//! Proves the steady-state streaming feed path is allocation-free, the
+//! same way `aeetes-core/tests/zero_alloc.rs` proves it for one-shot
+//! extraction: a counting `#[global_allocator]`, warm-up rounds to reach
+//! high-water buffer capacity, then steady rounds asserting the counter
+//! does not move. One test per binary so nothing else perturbs the
+//! counter.
+//!
+//! Input is lowercase ASCII: the tokenizer's ASCII fast path interns raw
+//! slices without a lowering buffer, so a warmed [`StreamExtractor`] fed
+//! already-seen tokens performs zero heap allocations per chunk — decode,
+//! tokenize, extract, emit and drain included.
+
+use aeetes_core::{Aeetes, AeetesConfig, Strategy};
+use aeetes_rules::RuleSet;
+use aeetes_stream::StreamExtractor;
+use aeetes_text::{Dictionary, Interner, Tokenizer};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System` unchanged; the counter is
+// a side effect only.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_streaming_allocates_nothing() {
+    for strategy in [Strategy::Dynamic, Strategy::Lazy] {
+        let mut int = Interner::new();
+        let tok = Tokenizer::default();
+        let mut dict = Dictionary::new();
+        dict.push("purdue university usa", &tok, &mut int);
+        dict.push("uq au", &tok, &mut int);
+        dict.push("university of wisconsin madison", &tok, &mut int);
+        let mut rules = RuleSet::new();
+        rules.push_str("uq", "university of queensland", &tok, &mut int).unwrap();
+        rules.push_str("usa", "united states", &tok, &mut int).unwrap();
+        let config = AeetesConfig { strategy, ..AeetesConfig::default() };
+        let engine = Aeetes::build(dict, &rules, &int, config);
+        // Chunks split mid-token and mid-document on purpose; every token
+        // is pre-interned lowercase ASCII so steady-state feeding takes
+        // the allocation-free fast path.
+        let chunks: &[&[u8]] = &[
+            b"a visit to purdue univ",
+            b"ersity usa was scheduled after the uni",
+            b"versity of queensland au talks and uq au ",
+            b"purdue university united states then university of wis",
+            b"consin madison closed it out ",
+        ];
+        let mut stream = StreamExtractor::new(&engine, 0.8);
+        let mut warm_matches = 0usize;
+        for _ in 0..3 {
+            warm_matches = 0;
+            for chunk in chunks {
+                warm_matches += stream.feed(&engine, &tok, &mut int, chunk).len();
+            }
+            warm_matches += stream.finish(&engine, &tok, &mut int).len();
+        }
+        assert!(warm_matches > 0, "fixture must produce matches for the test to mean anything");
+        let before = ALLOCS.load(Ordering::Relaxed);
+        let mut steady_matches = 0usize;
+        for _ in 0..5 {
+            steady_matches = 0;
+            for chunk in chunks {
+                steady_matches += stream.feed(&engine, &tok, &mut int, chunk).len();
+            }
+            steady_matches += stream.finish(&engine, &tok, &mut int).len();
+        }
+        let delta = ALLOCS.load(Ordering::Relaxed) - before;
+        assert_eq!(steady_matches, warm_matches, "steady-state rounds must reproduce the warmed-up result");
+        assert_eq!(delta, 0, "strategy {strategy} allocated {delta} time(s) across 5 steady-state rounds");
+    }
+}

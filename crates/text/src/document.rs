@@ -57,6 +57,17 @@ impl Document {
         Self { raw: String::new(), tokens, byte_spans: Vec::new() }
     }
 
+    /// Refills this document in place with `tokens`, dropping any raw text
+    /// and byte spans but keeping all allocated capacity. The streaming
+    /// extractor reuses one document across chunk feeds this way, so the
+    /// steady-state feed path never reallocates the token buffer.
+    pub fn assign_tokens(&mut self, tokens: &[TokenId]) {
+        self.raw.clear();
+        self.byte_spans.clear();
+        self.tokens.clear();
+        self.tokens.extend_from_slice(tokens);
+    }
+
     /// The token sequence.
     pub fn tokens(&self) -> &[TokenId] {
         &self.tokens

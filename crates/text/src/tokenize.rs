@@ -46,8 +46,19 @@ impl Tokenizer {
     pub fn tokenize_spanned(&self, text: &str, interner: &mut Interner) -> (Vec<TokenId>, Vec<(u32, u32)>) {
         let mut ids = Vec::new();
         let mut spans = Vec::new();
+        self.tokenize_spanned_into(text, interner, &mut ids, &mut spans);
+        (ids, spans)
+    }
+
+    /// [`Tokenizer::tokenize_spanned`] appending into caller-owned buffers
+    /// (which are *not* cleared), so repeat callers — the streaming
+    /// extractor's per-chunk hot path — tokenize without allocating once
+    /// the buffers reach their high-water capacity. Lowercasing ASCII text
+    /// with no uppercase letters stays allocation-free; mixed-case or
+    /// non-ASCII chunks go through an internal lowering buffer.
+    pub fn tokenize_spanned_into(&self, text: &str, interner: &mut Interner, ids: &mut Vec<TokenId>, spans: &mut Vec<(u32, u32)>) {
         let mut lower_buf = String::new();
-        for (start, end) in self.chunk_spans(text) {
+        self.for_each_chunk(text, |start, end| {
             let raw = &text[start..end];
             // ASCII fast path; non-ASCII always goes through to_lowercase
             // (titlecase characters like 'ᾈ' are not `is_uppercase` yet
@@ -70,8 +81,7 @@ impl Tokenizer {
             };
             ids.push(interner.intern(tok));
             spans.push((start as u32, end as u32));
-        }
-        (ids, spans)
+        });
     }
 
     /// Tokenizes `text` and returns only the token ids.
@@ -79,29 +89,35 @@ impl Tokenizer {
         self.tokenize_spanned(text, interner).0
     }
 
-    /// Byte spans of the token chunks in `text`, before interning.
-    fn chunk_spans(&self, text: &str) -> Vec<(usize, usize)> {
-        let mut spans = Vec::new();
+    /// Whether `c` can be part of a token chunk under this configuration.
+    /// Chunking is a per-character (context-free) decision, which is what
+    /// lets a streaming caller tokenize chunk-by-chunk: splitting text at
+    /// any non-word boundary yields the same tokens as tokenizing it whole.
+    pub fn is_word_char(&self, c: char) -> bool {
+        if self.config.strip_punctuation {
+            c.is_alphanumeric()
+        } else {
+            !c.is_whitespace()
+        }
+    }
+
+    /// Calls `f(start, end)` for the byte span of every token chunk in
+    /// `text`, before interning. Allocation-free.
+    fn for_each_chunk(&self, text: &str, mut f: impl FnMut(usize, usize)) {
         let mut start: Option<usize> = None;
         for (i, c) in text.char_indices() {
-            let is_word = if self.config.strip_punctuation {
-                c.is_alphanumeric()
-            } else {
-                !c.is_whitespace()
-            };
-            match (is_word, start) {
+            match (self.is_word_char(c), start) {
                 (true, None) => start = Some(i),
                 (false, Some(s)) => {
-                    spans.push((s, i));
+                    f(s, i);
                     start = None;
                 }
                 _ => {}
             }
         }
         if let Some(s) = start {
-            spans.push((s, text.len()));
+            f(s, text.len());
         }
-        spans
     }
 }
 

@@ -20,6 +20,7 @@
 //! | [`index`] | global token order, filters, clustered inverted index |
 //! | [`core`] | the extraction engine and its four filtering strategies |
 //! | [`pool`] | persistent work-stealing executor, parallel batch extraction |
+//! | [`stream`] | chunk-fed incremental extraction with exactly-once emission |
 //! | [`obs`] | metric registry, stage timing, Prometheus/JSON exporters |
 //! | [`baselines`] | exact matching, Faerie, FaerieR |
 //! | [`datagen`] | synthetic corpora calibrated to the paper's datasets |
@@ -63,17 +64,19 @@ pub use aeetes_pool as pool;
 pub use aeetes_rules as rules;
 pub use aeetes_shard as shard;
 pub use aeetes_sim as sim;
+pub use aeetes_stream as stream;
 pub use aeetes_text as text;
 
 pub use aeetes_cluster::{run_fleet, FleetOptions, FleetSummary, ReplicaSpec};
 pub use aeetes_core::{
-    extract_fuzzy, extract_top_k, load_engine, mention_report, save_engine, suppress_overlaps, Aeetes, AeetesConfig, EditIndex, EditMatch,
-    ExtractStats, FuzzyConfig, Match, MentionReport, PersistError, Strategy,
+    extract_fuzzy, extract_top_k, extract_top_k_with, load_engine, mention_report, save_engine, select_top_k, suppress_overlaps, Aeetes,
+    AeetesConfig, EditIndex, EditMatch, ExtractStats, FuzzyConfig, Match, MentionReport, PersistError, Strategy,
 };
 pub use aeetes_pool::{extract_batch, extract_batch_with, Pool};
 pub use aeetes_rules::{DeriveConfig, DerivedDictionary, RuleSet};
 pub use aeetes_shard::{ActivateError, DictDelta, RuleDelta, ShardedEngine};
 pub use aeetes_sim::Metric;
+pub use aeetes_stream::{StreamExtractor, StreamMatch};
 pub use aeetes_text::{Dictionary, Document, EntityId, Interner, Span, TokenId, Tokenizer};
 
 #[cfg(test)]
